@@ -1,0 +1,416 @@
+// Benchmarks mirror the experiment index (DESIGN.md §4): one group per
+// table/figure, measuring the *real compute* behind each — the virtual-
+// clock harness (cmd/tpbench) reports the modelled hardware latencies,
+// while these testing.B benches report what the host CPU actually pays
+// for the cryptography, marshaling, and protocol logic.
+package unitp_test
+
+import (
+	"fmt"
+	"testing"
+
+	"unitp"
+	"unitp/internal/attest"
+	"unitp/internal/captcha"
+	"unitp/internal/core"
+	"unitp/internal/cryptoutil"
+	"unitp/internal/platform"
+	"unitp/internal/sim"
+	"unitp/internal/tpm"
+	"unitp/internal/workload"
+)
+
+// newBenchTPM builds a started zero-latency TPM.
+func newBenchTPM(b *testing.B) *tpm.TPM {
+	b.Helper()
+	dev, err := tpm.New(tpm.Config{Random: sim.NewRand(1)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := dev.Startup(); err != nil {
+		b.Fatal(err)
+	}
+	return dev
+}
+
+// --- T1: TPM command compute costs ---
+
+func BenchmarkTPMExtend(b *testing.B) {
+	dev := newBenchTPM(b)
+	m := cryptoutil.SHA1([]byte("measurement"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dev.Extend(0, 10, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTPMQuote(b *testing.B) {
+	dev := newBenchTPM(b)
+	aik, _, err := dev.CreateAIK()
+	if err != nil {
+		b.Fatal(err)
+	}
+	nonce := make([]byte, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dev.Quote(0, aik, nonce, []int{17, 23}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTPMSeal(b *testing.B) {
+	dev := newBenchTPM(b)
+	data := []byte("32-byte-long-hmac-key-material!!")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dev.SealCurrent(0, []int{17}, tpm.AllLocalities, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTPMUnseal(b *testing.B) {
+	dev := newBenchTPM(b)
+	blob, err := dev.SealCurrent(0, []int{17}, tpm.AllLocalities, []byte("secret"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dev.Unseal(0, blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- T2/T3: full sessions and end-to-end protocol ---
+
+// newBenchDeployment builds a loopback, zero-latency deployment with an
+// instant approving user.
+func newBenchDeployment(b *testing.B, seed uint64) (*unitp.Deployment, *workload.TxStream) {
+	b.Helper()
+	d, err := unitp.NewDeployment(unitp.DeploymentConfig{
+		Seed: seed,
+		Link: unitp.LinkLoopback(),
+		// Effectively unlimited funds: benchmarks run b.N transactions.
+		Accounts: map[string]int64{"alice": 1 << 60, "bob": 0, "mallory": 0},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	stream := unitp.NewTxStream(d.Rng.Fork("txs"), unitp.TxStreamConfig{
+		From: "alice", MaxCents: 600,
+	})
+	return d, stream
+}
+
+// attachInstantApprover arms a zero-think-time user approving tx.
+func attachInstantApprover(d *unitp.Deployment, tx *unitp.Transaction) {
+	u := unitp.DefaultUser(d.Rng.Fork(tx.ID))
+	u.Reaction = 0
+	u.ReactionJitter = 0
+	u.ReadTime = 0
+	u.Intend(tx)
+	u.AttachTo(d.Machine)
+}
+
+func BenchmarkConfirmSessionQuoteMode(b *testing.B) {
+	d, stream := newBenchDeployment(b, 0xB1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx, _ := stream.Next()
+		attachInstantApprover(d, tx)
+		outcome, err := d.Client.SubmitTransaction(tx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !outcome.Accepted {
+			b.Fatalf("rejected: %s", outcome.Reason)
+		}
+	}
+}
+
+func BenchmarkConfirmSessionHMACMode(b *testing.B) {
+	d, stream := newBenchDeployment(b, 0xB2)
+	if outcome, err := d.Client.ProvisionHMACKey(); err != nil || !outcome.Accepted {
+		b.Fatalf("provision: %v / %+v", err, outcome)
+	}
+	if err := d.Client.SetMode(unitp.ModeHMAC); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx, _ := stream.Next()
+		attachInstantApprover(d, tx)
+		outcome, err := d.Client.SubmitTransaction(tx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !outcome.Accepted {
+			b.Fatalf("rejected: %s", outcome.Reason)
+		}
+	}
+}
+
+func BenchmarkPresenceProof(b *testing.B) {
+	d, _ := newBenchDeployment(b, 0xB3)
+	u := unitp.DefaultUser(d.Rng.Fork("user"))
+	u.Reaction = 0
+	u.ReactionJitter = 0
+	u.ReadTime = 0
+	u.AttachTo(d.Machine)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		outcome, err := d.Client.ProveHumanPresence()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !outcome.Accepted {
+			b.Fatalf("rejected: %s", outcome.Reason)
+		}
+	}
+}
+
+func BenchmarkBatchConfirm8(b *testing.B) {
+	d, stream := newBenchDeployment(b, 0xB4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		txs := make([]unitp.Transaction, 8)
+		intents := make([]unitp.Transaction, 8)
+		for j := range txs {
+			tx, _ := stream.Next()
+			txs[j] = *tx
+			intents[j] = *tx
+		}
+		u := unitp.DefaultUser(d.Rng.Fork(txs[0].ID))
+		u.Reaction = 0
+		u.ReactionJitter = 0
+		u.ReadTime = 0
+		u.IntendBatch(intents)
+		u.AttachTo(d.Machine)
+		outcome, _, err := d.Client.SubmitBatch(txs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !outcome.Accepted {
+			b.Fatalf("rejected: %s", outcome.Reason)
+		}
+	}
+}
+
+func BenchmarkLoginFlow(b *testing.B) {
+	d, _ := newBenchDeployment(b, 0xB5)
+	u := unitp.DefaultUser(d.Rng.Fork("user"))
+	u.Reaction = 0
+	u.ReactionJitter = 0
+	u.ReadTime = 0
+	u.Keystroke = 0
+	u.AttachTo(d.Machine)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		outcome, err := d.Client.Login("alice")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !outcome.Accepted {
+			b.Fatalf("rejected: %s", outcome.Reason)
+		}
+	}
+}
+
+// --- F1: late-launch compute vs image size ---
+
+func BenchmarkLateLaunchBySLBSize(b *testing.B) {
+	for _, kb := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("%dKiB", kb), func(b *testing.B) {
+			machine, err := platform.New(platform.Config{Random: sim.NewRand(2)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			image := make([]byte, kb*1024)
+			b.SetBytes(int64(len(image)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := machine.LateLaunch(image, func(*platform.LaunchEnv) error {
+					return nil
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- F2: provider-side verification ---
+
+// benchEvidence builds one genuine confirmation evidence plus its
+// verifier and expectations.
+func benchEvidence(b *testing.B) (*attest.Verifier, *attest.Evidence, attest.Expectations) {
+	b.Helper()
+	d, err := unitp.NewDeployment(unitp.DeploymentConfig{Seed: 0xF2, Link: unitp.LinkLoopback()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tx := &core.Transaction{ID: "bench", From: "alice", To: "bob",
+		AmountCents: 100, Currency: "EUR"}
+	nonce := attest.Nonce(cryptoutil.SHA1([]byte("bench-nonce")))
+	binding := core.ConfirmationBinding(nonce, tx.Digest(), true)
+	_, err = d.Machine.LateLaunch(core.ConfirmPALImage(), func(env *platform.LaunchEnv) error {
+		if err := env.ResetPCR(tpm.PCRApp); err != nil {
+			return err
+		}
+		_, err := env.Extend(tpm.PCRApp, binding)
+		return err
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	quote, err := d.Machine.TPM().Quote(0, d.AIK, nonce[:], []int{tpm.PCRDRTM, tpm.PCRApp})
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := attest.NewVerifier(d.CA.PublicKey())
+	v.ApprovePAL(core.ConfirmPALName, cryptoutil.SHA1(core.ConfirmPALImage()))
+	return v, &attest.Evidence{Cert: d.Cert, Quote: quote},
+		attest.Expectations{Nonce: nonce, ExpectedPCR23: core.ExpectedAppPCR(binding)}
+}
+
+func BenchmarkVerifyEvidence(b *testing.B) {
+	v, ev, want := benchEvidence(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := v.Verify(ev, want); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVerifyEvidenceParallel(b *testing.B) {
+	v, ev, want := benchEvidence(b)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := v.Verify(ev, want); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- F3: forged-evidence rejection cost ---
+
+func BenchmarkRejectForgedEvidence(b *testing.B) {
+	v, ev, want := benchEvidence(b)
+	forged := *ev
+	forgedQuote := *ev.Quote
+	forgedQuote.ExternalData[0] ^= 1 // replayed nonce
+	forged.Quote = &forgedQuote
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := v.Verify(&forged, want); err == nil {
+			b.Fatal("forged evidence verified")
+		}
+	}
+}
+
+// --- F4: CAPTCHA baseline compute ---
+
+func BenchmarkCaptchaRound(b *testing.B) {
+	clock := sim.NewVirtualClock()
+	rng := sim.NewRand(3)
+	svc := captcha.NewService(rng.Fork("svc"))
+	solver := captcha.HumanSolver()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch := svc.Issue()
+		resp := solver.Attempt(clock, rng, ch)
+		if _, err := svc.Answer(ch.ID, resp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- F5: sealed-state chaining compute ---
+
+func BenchmarkSealedStateSession(b *testing.B) {
+	machine, err := platform.New(platform.Config{Random: sim.NewRand(4)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var blob *tpm.SealedBlob
+	image := []byte("bench-chain-pal")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := machine.LateLaunch(image, func(env *platform.LaunchEnv) error {
+			state := []byte{0}
+			if blob != nil {
+				loaded, err := env.Unseal(blob)
+				if err != nil {
+					return err
+				}
+				state = loaded
+			}
+			state[0]++
+			newBlob, err := env.SealCurrent([]int{tpm.PCRDRTM}, tpm.MaskOf(2), state)
+			if err != nil {
+				return err
+			}
+			blob = newBlob
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- wire codecs (supporting all tables) ---
+
+func BenchmarkEncodeDecodeConfirmTx(b *testing.B) {
+	msg := &core.ConfirmTx{
+		Confirmed: true,
+		Mode:      core.ModeQuote,
+		Evidence:  make([]byte, 700),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wire, err := core.EncodeMessage(msg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.DecodeMessage(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQuoteMarshalRoundTrip(b *testing.B) {
+	dev := newBenchTPM(b)
+	aik, _, err := dev.CreateAIK()
+	if err != nil {
+		b.Fatal(err)
+	}
+	quote, err := dev.Quote(0, aik, make([]byte, 20), []int{17, 23})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wire := quote.Marshal()
+		if _, err := tpm.UnmarshalQuote(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTransactionDigest(b *testing.B) {
+	tx := &core.Transaction{ID: "bench", From: "alice", To: "bob",
+		AmountCents: 100, Currency: "EUR", Memo: "memo"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tx.Digest()
+	}
+}

@@ -1,0 +1,60 @@
+// Command tpbench regenerates every table and figure of the
+// reconstructed evaluation (DESIGN.md §4 / EXPERIMENTS.md).
+//
+// Usage:
+//
+//	tpbench               # run everything
+//	tpbench -exp t1       # one experiment (t1, t2, t3, f1..f5)
+//	tpbench -list         # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"unitp/internal/experiments"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		exp  = flag.String("exp", "all", "experiment to run (all, t1, t2, t3, f1, f2, f3, f4, f5)")
+		list = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.All() {
+			fmt.Printf("%-4s %s\n", r.ID, r.Title)
+		}
+		return 0
+	}
+
+	runners := experiments.All()
+	if *exp != "all" {
+		r, ok := experiments.Lookup(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "tpbench: unknown experiment %q (try -list)\n", *exp)
+			return 2
+		}
+		runners = []experiments.Runner{r}
+	}
+
+	for _, r := range runners {
+		fmt.Printf("==== %s: %s ====\n", r.ID, r.Title)
+		start := time.Now()
+		result, err := r.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tpbench: %s failed: %v\n", r.ID, err)
+			return 1
+		}
+		fmt.Println(result.Text)
+		fmt.Printf("(%s completed in %v real time)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return 0
+}

@@ -1,0 +1,139 @@
+// Command tpserver runs the service-provider engine on a real TCP
+// socket. Clients (cmd/tpclient) connect, perform a demo-grade
+// enrollment handshake (the out-of-band EK/AIK certification step of a
+// real deployment), and then speak the uni-directional trusted path
+// protocol over length-prefixed frames.
+//
+// Usage:
+//
+//	tpserver -addr :7700
+package main
+
+import (
+	"crypto/rand"
+	"crypto/x509"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+
+	"unitp/internal/attest"
+	"unitp/internal/core"
+	"unitp/internal/cryptoutil"
+	"unitp/internal/netsim"
+	"unitp/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.SetFlags(0)
+		log.Fatalf("tpserver: %v", err)
+	}
+}
+
+func run() error {
+	var (
+		addr      = flag.String("addr", ":7700", "listen address")
+		threshold = flag.Int64("threshold", 0, "auto-accept below this amount in cents (0 = confirm everything)")
+	)
+	flag.Parse()
+
+	clock := sim.WallClock{}
+	rng := sim.NewRand(uint64(os.Getpid()))
+
+	caKey, err := cryptoutil.GenerateRSAKey(rand.Reader, cryptoutil.DefaultRSABits)
+	if err != nil {
+		return err
+	}
+	ca := attest.NewPrivacyCA("tpserver-ca", caKey, clock, rng.Fork("ca"))
+
+	provKey, err := cryptoutil.GenerateRSAKey(rand.Reader, cryptoutil.DefaultRSABits)
+	if err != nil {
+		return err
+	}
+	provider := core.NewProvider(core.ProviderConfig{
+		Name:                  "tpserver",
+		CAPub:                 ca.PublicKey(),
+		Key:                   provKey,
+		Clock:                 clock,
+		Random:                rng.Fork("provider"),
+		ConfirmThresholdCents: *threshold,
+	})
+	provider.Verifier().ApprovePAL(core.ConfirmPALName, cryptoutil.SHA1(core.ConfirmPALImage()))
+	provider.Verifier().ApprovePAL(core.PresencePALName, cryptoutil.SHA1(core.PresencePALImage()))
+	provider.Verifier().ApprovePAL(core.ProvisionPALName,
+		cryptoutil.SHA1(core.ProvisionPALImage(provider.PublicKeyDER())))
+	provider.Verifier().ApprovePAL(core.PINPALName, cryptoutil.SHA1(core.PINPALImage()))
+	provider.Verifier().ApprovePAL(core.BatchPALName, cryptoutil.SHA1(core.BatchPALImage()))
+	for _, acct := range []struct {
+		name  string
+		cents int64
+	}{{"alice", 1_000_000}, {"bob", 0}, {"mallory", 0}} {
+		if err := provider.Ledger().CreateAccount(acct.name, acct.cents); err != nil {
+			return err
+		}
+	}
+	if err := provider.EnrollCredential("alice", "2468"); err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	log.Printf("tpserver: listening on %s (confirm threshold: %d cents)", ln.Addr(), *threshold)
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go func() {
+			defer conn.Close()
+			if err := serveConn(conn, ca, provider); err != nil {
+				log.Printf("tpserver: %s: %v", conn.RemoteAddr(), err)
+			}
+			st := provider.Stats()
+			log.Printf("tpserver: stats: %+v", st)
+		}()
+	}
+}
+
+// serveConn performs the enrollment handshake and then serves protocol
+// frames.
+func serveConn(conn net.Conn, ca *attest.PrivacyCA, provider *core.Provider) error {
+	// Enrollment frame: platformID, EK (PKCS#1 DER), AIK (PKCS#1 DER).
+	hello, err := netsim.ReadFrame(conn)
+	if err != nil {
+		return fmt.Errorf("read enrollment: %w", err)
+	}
+	r := cryptoutil.NewReader(hello)
+	platformID := r.String()
+	ekDER := r.Bytes()
+	aikDER := r.Bytes()
+	if err := r.ExpectEOF(); err != nil {
+		return fmt.Errorf("enrollment frame: %w", err)
+	}
+	ek, err := x509.ParsePKCS1PublicKey(ekDER)
+	if err != nil {
+		return fmt.Errorf("enrollment EK: %w", err)
+	}
+	aik, err := x509.ParsePKCS1PublicKey(aikDER)
+	if err != nil {
+		return fmt.Errorf("enrollment AIK: %w", err)
+	}
+	if err := ca.EnrollEK(platformID, ek); err != nil {
+		return fmt.Errorf("enroll: %w", err)
+	}
+	cert, err := ca.CertifyAIK(platformID, ek, aik)
+	if err != nil {
+		return fmt.Errorf("certify: %w", err)
+	}
+	if err := netsim.WriteFrame(conn, cert.Marshal()); err != nil {
+		return fmt.Errorf("send cert: %w", err)
+	}
+	log.Printf("tpserver: enrolled %s", platformID)
+	return netsim.Serve(conn, provider.Handle)
+}

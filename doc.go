@@ -1,0 +1,30 @@
+// Package unitp is a faithful Go reproduction of "Uni-directional
+// trusted path: Transaction confirmation on just one device" (Filyanov,
+// McCune, Sadeghi, Winandy — DSN 2011).
+//
+// The paper's system lets a service provider verify that a *human* —
+// not malware — approved exactly the transaction the provider holds,
+// using only the user's one (compromised) computer: a DRTM late launch
+// (AMD SKINIT / Intel TXT) runs a tiny confirmation PAL with exclusive
+// keyboard ownership, the human's y/n lands in a TPM-bound measurement,
+// and a TPM quote (or provisioned HMAC) proves it remotely.
+//
+// A Go process cannot late-launch code or own TPM localities, so the
+// hardware layer is simulated with checkable fidelity (see DESIGN.md for
+// the substitution table); all cryptography — PCR extend chains, quote
+// signatures, sealed-blob encryption, certificates — is real.
+//
+// The facade exposes the full system:
+//
+//	d, err := unitp.NewDeployment(unitp.DeploymentConfig{Seed: 1})
+//	user := unitp.DefaultUser(d.Rng.Fork("user"))
+//	tx := &unitp.Transaction{ID: "t1", From: "alice", To: "bob",
+//		AmountCents: 12_300, Currency: "EUR"}
+//	user.Intend(tx)
+//	user.AttachTo(d.Machine)
+//	outcome, err := d.Client.SubmitTransaction(tx)
+//
+// See examples/ for runnable scenarios and cmd/tpbench for the
+// experiment harness that regenerates every table and figure of the
+// reconstructed evaluation.
+package unitp

@@ -1,0 +1,75 @@
+// Attack lab: runs the full security evaluation's attack suite against
+// the intact platform and against targeted ablations, printing a verdict
+// per strategy — the executable form of the paper's security argument.
+//
+//	go run ./examples/attack-lab
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"unitp"
+	"unitp/internal/workload"
+)
+
+func main() {
+	fmt.Println("attack lab — every strategy vs the uni-directional trusted path")
+	fmt.Println()
+
+	fmt.Println("phase 1: full platform protections")
+	for i, atk := range unitp.AllAttacks() {
+		res, err := atk.Execute(unitp.DeploymentConfig{Seed: uint64(1000 + i)})
+		if err != nil {
+			log.Fatalf("%s: %v", atk.Name(), err)
+		}
+		printResult(res)
+	}
+
+	fmt.Println()
+	fmt.Println("phase 2: ablations — remove one protection, rerun its attack")
+	ablations := []struct {
+		attack unitp.Attack
+		mut    func(*unitp.Protections)
+		label  string
+	}{
+		{workload.PALInputInjection{}, func(p *unitp.Protections) { p.ExclusiveInput = false }, "exclusive input OFF"},
+		{workload.PALSubstitution{}, func(p *unitp.Protections) { p.MeasuredLaunch = false }, "measured launch OFF"},
+		{workload.LocalityForgery{}, func(p *unitp.Protections) { p.LocalityGating = false }, "locality gating OFF"},
+		{workload.DMAKeyTheft{}, func(p *unitp.Protections) { p.DMAProtection = false }, "DMA protection OFF"},
+	}
+	for i, abl := range ablations {
+		prot := unitp.AllProtections()
+		abl.mut(&prot)
+		res, err := abl.attack.Execute(unitp.DeploymentConfig{
+			Seed:        uint64(2000 + i),
+			Protections: &prot,
+		})
+		if err != nil {
+			log.Fatalf("%s: %v", abl.attack.Name(), err)
+		}
+		printResult(res)
+	}
+	fmt.Println()
+	fmt.Println("phase 3: the cuckoo relay and its policy defence")
+	res, err := workload.CuckooRelay{Bind: true}.Execute(unitp.DeploymentConfig{Seed: 3000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	printResult(res)
+
+	fmt.Println()
+	fmt.Println("reading: the two baselines show the pre-paper world; the intact trusted")
+	fmt.Println("path rejects every malware forgery; each ablation re-admits exactly its")
+	fmt.Println("attack — every platform property is load-bearing. The cuckoo relay is the")
+	fmt.Println("one strategy platform protections cannot stop (the attacker's machine is")
+	fmt.Println("genuine); binding each account to its enrolled platform closes it.")
+}
+
+func printResult(res unitp.AttackResult) {
+	verdict := "rejected       "
+	if res.ForgedAccepted {
+		verdict = "FORGED ACCEPTED"
+	}
+	fmt.Printf("  [%s]  %-42s (%s) — %s\n", verdict, res.Attack, res.Protections, res.Detail)
+}

@@ -1,0 +1,130 @@
+// E-banking under active malware: a banking trojan on the client
+// rewrites outbound payment orders and fakes the inbound challenge to
+// hide it. The example shows the paper's two defence layers in action:
+//
+//  1. a vigilant user sees the *provider's* copy of the transaction on
+//     the trusted prompt and denies the manipulated payment;
+//
+//  2. even when the trojan also rewrites the challenge so the prompt
+//     looks right, the cryptographic binding exposes the mismatch and
+//     the provider rejects — mallory never gets paid.
+//
+//     go run ./examples/ebanking
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"unitp"
+	"unitp/internal/core"
+)
+
+func main() {
+	fmt.Println("── scenario 1: trojan rewrites the payee; user is vigilant ──")
+	if err := scenarioVisibleTampering(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Println("── scenario 2: trojan also hides the rewrite from the user ──")
+	if err := scenarioHiddenTampering(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// installPayeeRewriter adds the trojan's outbound hook: every payment
+// order is redirected to mallory.
+func installPayeeRewriter(d *unitp.Deployment) {
+	d.OS.AddInterceptor(func(p []byte) []byte {
+		msg, err := core.DecodeMessage(p)
+		if err != nil {
+			return p
+		}
+		if sub, ok := msg.(*core.SubmitTx); ok {
+			sub.Tx.To = "mallory"
+			sub.Tx.AmountCents = 99_900
+			if out, err := core.EncodeMessage(sub); err == nil {
+				fmt.Println("  [trojan] rewrote outbound order: payee → mallory, amount → 999.00")
+				return out
+			}
+		}
+		return p
+	})
+}
+
+func scenarioVisibleTampering() error {
+	d, err := unitp.NewDeployment(unitp.DeploymentConfig{Seed: 7})
+	if err != nil {
+		return err
+	}
+	installPayeeRewriter(d)
+
+	user := unitp.DefaultUser(d.Rng.Fork("user"))
+	intended := &unitp.Transaction{
+		ID: "rent-06", From: "alice", To: "bob",
+		AmountCents: 85_000, Currency: "EUR", Memo: "rent june",
+	}
+	user.Intend(intended)
+	user.AttachTo(d.Machine)
+
+	outcome, err := d.Client.SubmitTransaction(intended)
+	if err != nil {
+		return err
+	}
+	report(d, outcome)
+	return nil
+}
+
+func scenarioHiddenTampering() error {
+	d, err := unitp.NewDeployment(unitp.DeploymentConfig{Seed: 8})
+	if err != nil {
+		return err
+	}
+	installPayeeRewriter(d)
+	// The trojan's second hook: rewrite the inbound challenge so the
+	// trusted prompt shows what the user expects.
+	d.OS.AddInboundInterceptor(func(p []byte) []byte {
+		msg, err := core.DecodeMessage(p)
+		if err != nil {
+			return p
+		}
+		if ch, ok := msg.(*core.Challenge); ok {
+			ch.Tx.To = "bob"
+			ch.Tx.AmountCents = 85_000
+			if out, err := core.EncodeMessage(ch); err == nil {
+				fmt.Println("  [trojan] rewrote inbound challenge to hide the manipulation")
+				return out
+			}
+		}
+		return p
+	})
+
+	user := unitp.DefaultUser(d.Rng.Fork("user"))
+	intended := &unitp.Transaction{
+		ID: "rent-06", From: "alice", To: "bob",
+		AmountCents: 85_000, Currency: "EUR", Memo: "rent june",
+	}
+	user.Intend(intended)
+	user.AttachTo(d.Machine)
+
+	outcome, err := d.Client.SubmitTransaction(intended)
+	if err != nil {
+		return err
+	}
+	report(d, outcome)
+	return nil
+}
+
+func report(d *unitp.Deployment, outcome *unitp.Outcome) {
+	for _, line := range d.Machine.Display().Lines() {
+		fmt.Printf("  display [%s]: %s\n", line.By, line.Text)
+	}
+	fmt.Printf("  provider outcome: accepted=%v authentic=%v (%s)\n",
+		outcome.Accepted, outcome.Authentic, outcome.Reason)
+	mallory, _ := d.Provider.Ledger().Balance("mallory")
+	bob, _ := d.Provider.Ledger().Balance("bob")
+	fmt.Printf("  balances: bob=%d mallory=%d  → mallory got %d cents\n", bob, mallory, mallory)
+	st := d.Provider.Stats()
+	fmt.Printf("  provider stats: denied-by-user=%d rejected-forged=%d\n",
+		st.DeniedByUser, st.RejectedForged)
+}

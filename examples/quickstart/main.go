@@ -1,0 +1,64 @@
+// Quickstart: one confirmed transaction through the uni-directional
+// trusted path, entirely in-memory.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"unitp"
+)
+
+func main() {
+	// A full deployment: client machine (simulated DRTM + TPM), its
+	// operating system, a privacy CA, the service provider, and a
+	// broadband link — all deterministic under one seed.
+	d, err := unitp.NewDeployment(unitp.DeploymentConfig{
+		Seed:       42,
+		TPMProfile: unitp.ProfileInfineon(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The human at the keyboard, and the transaction they intend.
+	user := unitp.DefaultUser(d.Rng.Fork("user"))
+	tx := &unitp.Transaction{
+		ID:          "quickstart-1",
+		From:        "alice",
+		To:          "bob",
+		AmountCents: 12_300,
+		Currency:    "EUR",
+		Memo:        "rent",
+	}
+	user.Intend(tx)
+	user.AttachTo(d.Machine)
+
+	// Submit. Under the hood: the provider challenges with a fresh
+	// nonce, the client late-launches the confirmation PAL, the PAL
+	// displays the provider's copy of the transaction and reads the
+	// human's keystroke over exclusively owned input, and a TPM quote
+	// proves the whole thing remotely.
+	start := d.Clock.Elapsed()
+	outcome, err := d.Client.SubmitTransaction(tx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := d.Clock.Elapsed() - start
+
+	fmt.Printf("outcome: accepted=%v authentic=%v (%s)\n",
+		outcome.Accepted, outcome.Authentic, outcome.Reason)
+	bobBalance, err := d.Provider.Ledger().Balance("bob")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bob's balance: %d cents\n", bobBalance)
+	fmt.Printf("virtual time for the transaction (network + TPM + human): %v\n", elapsed)
+
+	// What the human saw on the trusted display:
+	for _, line := range d.Machine.Display().Lines() {
+		fmt.Printf("display [%s]: %s\n", line.By, line.Text)
+	}
+}

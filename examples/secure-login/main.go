@@ -1,0 +1,73 @@
+// Secure login: the user types their PIN while a keylogger is recording
+// every keystroke the OS can see — and captures nothing, because the
+// PIN-entry PAL owns the keyboard exclusively. The provider verifies via
+// the quoted binding that the enrolled credential was typed by a human
+// on this very machine.
+//
+// A second act shows what the same keylogger harvests from a
+// conventional (OS-mediated) password prompt.
+//
+//	go run ./examples/secure-login
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"unitp"
+	"unitp/internal/hostos"
+)
+
+func main() {
+	d, err := unitp.NewDeployment(unitp.DeploymentConfig{
+		Seed:        21,
+		Credentials: map[string]string{"alice": "2468"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The resident keylogger, installed before anything happens.
+	keylogger := hostos.NewKeylogger()
+	if err := d.OS.Install(keylogger); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("── act 1: conventional login through the OS ──")
+	// The user types their password into an ordinary login form.
+	loginForm := d.OS.RunApp("legacy-login-form")
+	d.OS.TypeString("hunter2")
+	if pw, ok := loginForm.ReadLine(); ok {
+		fmt.Printf("  login form received: %q\n", pw)
+	}
+	fmt.Printf("  keylogger captured:  %q   ← credential stolen\n\n", keylogger.Captured())
+
+	fmt.Println("── act 2: trusted-path login ──")
+	user := unitp.DefaultUser(d.Rng.Fork("user"))
+	user.PIN = "2468"
+	user.AttachTo(d.Machine)
+
+	before := keylogger.Captured()
+	outcome, err := d.Client.Login("alice")
+	if err != nil {
+		log.Fatal(err)
+	}
+	stolen := keylogger.Captured()[len(before):]
+	fmt.Printf("  provider outcome: accepted=%v token=%s (%s)\n",
+		outcome.Accepted, outcome.Token, outcome.Reason)
+	fmt.Printf("  keylogger captured during PIN entry: %q   ← nothing\n", stolen)
+
+	fmt.Println()
+	fmt.Println("── act 3: the keylogger's best guess fails ──")
+	// Even replaying act 1's harvest as a PIN gets the malware nowhere:
+	// it cannot reach the PAL's exclusive input, and without the PAL it
+	// cannot produce a valid login binding.
+	user.PIN = "hunter2"[0:4] // malware-driven "user" trying stolen material
+	user.AttachTo(d.Machine)
+	outcome, err = d.Client.Login("alice")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  login with stolen-material guess: accepted=%v (%s)\n",
+		outcome.Accepted, outcome.Reason)
+}

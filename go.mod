@@ -1,0 +1,3 @@
+module unitp
+
+go 1.22

@@ -1,0 +1,187 @@
+// Package attest provides the attestation infrastructure between the
+// client platform and the service provider: a privacy CA that certifies
+// AIKs against enrolled endorsement keys, wire-encodable AIK
+// certificates, a nonce cache for freshness, and a verifier that checks
+// quotes against an approved-PAL policy.
+package attest
+
+import (
+	"crypto"
+	"crypto/rsa"
+	"crypto/sha256"
+	"crypto/x509"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"unitp/internal/cryptoutil"
+	"unitp/internal/sim"
+)
+
+// Attestation errors.
+var (
+	// ErrUnknownEK is returned when certifying an AIK for a platform
+	// whose endorsement key was never enrolled.
+	ErrUnknownEK = errors.New("attest: endorsement key not enrolled")
+
+	// ErrEKMismatch is returned when the presented EK does not match
+	// the enrolled one.
+	ErrEKMismatch = errors.New("attest: endorsement key mismatch")
+
+	// ErrBadCertSignature is returned when an AIK certificate fails
+	// signature verification.
+	ErrBadCertSignature = errors.New("attest: AIK certificate signature invalid")
+
+	// ErrPlatformEnrolled is returned when enrolling a platform ID twice.
+	ErrPlatformEnrolled = errors.New("attest: platform already enrolled")
+)
+
+// AIKCert binds an AIK public key to a platform identity, signed by a
+// privacy CA. (The paper's deployment assumes standard TCG AIK
+// enrollment; this is that, minus the ASN.1.)
+type AIKCert struct {
+	// PlatformID names the certified platform (pseudonymous).
+	PlatformID string
+
+	// AIKPub is the certified attestation identity key.
+	AIKPub *rsa.PublicKey
+
+	// Issuer names the privacy CA.
+	Issuer string
+
+	// IssuedAt is the issuance time.
+	IssuedAt time.Time
+
+	// Signature is the CA's RSA-PKCS1v15-SHA256 signature over the
+	// certificate body.
+	Signature []byte
+}
+
+// body serializes the signed portion of the certificate.
+func (c *AIKCert) body() []byte {
+	b := cryptoutil.NewBuffer(256)
+	b.PutString(c.PlatformID)
+	b.PutBytes(x509.MarshalPKCS1PublicKey(c.AIKPub))
+	b.PutString(c.Issuer)
+	b.PutUint64(uint64(c.IssuedAt.UnixNano()))
+	return b.Bytes()
+}
+
+// Marshal encodes the certificate for wire transport.
+func (c *AIKCert) Marshal() []byte {
+	body := c.body()
+	b := cryptoutil.NewBuffer(len(body) + len(c.Signature) + 8)
+	b.PutRaw(body)
+	b.PutBytes(c.Signature)
+	return b.Bytes()
+}
+
+// UnmarshalAIKCert decodes a certificate from wire bytes.
+func UnmarshalAIKCert(data []byte) (*AIKCert, error) {
+	r := cryptoutil.NewReader(data)
+	var c AIKCert
+	c.PlatformID = r.String()
+	pubDER := r.Bytes()
+	c.Issuer = r.String()
+	c.IssuedAt = time.Unix(0, int64(r.Uint64()))
+	c.Signature = r.Bytes()
+	if err := r.ExpectEOF(); err != nil {
+		return nil, fmt.Errorf("attest: unmarshal cert: %w", err)
+	}
+	pub, err := x509.ParsePKCS1PublicKey(pubDER)
+	if err != nil {
+		return nil, fmt.Errorf("attest: unmarshal cert key: %w", err)
+	}
+	c.AIKPub = pub
+	return &c, nil
+}
+
+// VerifyAIKCert checks the certificate signature against the CA key.
+func VerifyAIKCert(caPub *rsa.PublicKey, c *AIKCert) error {
+	if caPub == nil || c == nil || c.AIKPub == nil {
+		return fmt.Errorf("attest: verify cert: nil argument")
+	}
+	digest := sha256.Sum256(c.body())
+	if err := rsa.VerifyPKCS1v15(caPub, crypto.SHA256, digest[:], c.Signature); err != nil {
+		return ErrBadCertSignature
+	}
+	return nil
+}
+
+// PrivacyCA certifies AIKs for enrolled platforms, modelling TCG AIK
+// enrollment: a platform proves possession of an enrolled endorsement
+// key, and the CA vouches (pseudonymously) that the AIK lives in a
+// genuine TPM.
+type PrivacyCA struct {
+	mu    sync.Mutex
+	name  string
+	key   *rsa.PrivateKey
+	clock sim.Clock
+	rng   *sim.Rand
+	eks   map[string]*rsa.PublicKey // platformID -> enrolled EK
+}
+
+// NewPrivacyCA creates a CA with the given signing key.
+func NewPrivacyCA(name string, key *rsa.PrivateKey, clock sim.Clock, rng *sim.Rand) *PrivacyCA {
+	if clock == nil {
+		clock = sim.NewVirtualClock()
+	}
+	if rng == nil {
+		rng = sim.NewRand(0xCA)
+	}
+	return &PrivacyCA{
+		name:  name,
+		key:   key,
+		clock: clock,
+		rng:   rng,
+		eks:   make(map[string]*rsa.PublicKey),
+	}
+}
+
+// Name returns the CA's issuer name.
+func (ca *PrivacyCA) Name() string { return ca.name }
+
+// PublicKey returns the CA verification key distributed to providers.
+func (ca *PrivacyCA) PublicKey() *rsa.PublicKey { return &ca.key.PublicKey }
+
+// EnrollEK registers a platform's endorsement key (the out-of-band step
+// the TPM manufacturer's EK certificate normally covers).
+func (ca *PrivacyCA) EnrollEK(platformID string, ek *rsa.PublicKey) error {
+	ca.mu.Lock()
+	defer ca.mu.Unlock()
+	if _, ok := ca.eks[platformID]; ok {
+		return fmt.Errorf("%w: %s", ErrPlatformEnrolled, platformID)
+	}
+	ca.eks[platformID] = ek
+	return nil
+}
+
+// CertifyAIK issues an AIK certificate after checking the requesting
+// platform presents its enrolled EK. (The full ActivateIdentity challenge
+// ceremony collapses to this check in simulation; the property preserved
+// is "only a platform with an enrolled TPM obtains a cert".)
+func (ca *PrivacyCA) CertifyAIK(platformID string, ek, aikPub *rsa.PublicKey) (*AIKCert, error) {
+	ca.mu.Lock()
+	defer ca.mu.Unlock()
+	enrolled, ok := ca.eks[platformID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownEK, platformID)
+	}
+	if ek == nil || enrolled.N.Cmp(ek.N) != 0 || enrolled.E != ek.E {
+		return nil, ErrEKMismatch
+	}
+	cert := &AIKCert{
+		PlatformID: platformID,
+		AIKPub:     aikPub,
+		Issuer:     ca.name,
+		IssuedAt:   ca.clock.Now(),
+	}
+	digest := sha256.Sum256(cert.body())
+	sig, err := rsa.SignPKCS1v15(ca.rng, ca.key, crypto.SHA256, digest[:])
+	if err != nil {
+		return nil, fmt.Errorf("attest: sign cert: %w", err)
+	}
+	cert.Signature = sig
+	return cert, nil
+}

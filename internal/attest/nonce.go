@@ -1,0 +1,141 @@
+package attest
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"unitp/internal/sim"
+)
+
+// Nonce freshness errors.
+var (
+	// ErrNonceUnknown is returned when redeeming a nonce that was never
+	// issued (or was forged).
+	ErrNonceUnknown = errors.New("attest: nonce was never issued")
+
+	// ErrNonceReplayed is returned when redeeming a nonce twice — the
+	// replay defence.
+	ErrNonceReplayed = errors.New("attest: nonce already redeemed")
+
+	// ErrNonceExpired is returned when a nonce outlives its TTL before
+	// redemption.
+	ErrNonceExpired = errors.New("attest: nonce expired")
+)
+
+// NonceSize is the size of a challenge nonce, matching TPM_Quote's
+// external data field.
+const NonceSize = 20
+
+// Nonce is a single-use challenge value.
+type Nonce [NonceSize]byte
+
+// NonceCache issues single-use, time-limited challenge nonces and
+// enforces at-most-once redemption. The provider issues one per
+// confirmation challenge; a quote only verifies if its external data is
+// an issued, unexpired, unredeemed nonce.
+type NonceCache struct {
+	mu     sync.Mutex
+	clock  sim.Clock
+	rng    *sim.Rand
+	ttl    time.Duration
+	issued map[Nonce]time.Time
+	spent  map[Nonce]bool
+	// stats
+	issuedCount   int
+	redeemedCount int
+}
+
+// NewNonceCache creates a cache with the given time-to-live. A zero TTL
+// means nonces never expire (tests); production-style configurations use
+// a minute-scale TTL.
+func NewNonceCache(clock sim.Clock, rng *sim.Rand, ttl time.Duration) *NonceCache {
+	if clock == nil {
+		clock = sim.NewVirtualClock()
+	}
+	if rng == nil {
+		rng = sim.NewRand(0x4E)
+	}
+	return &NonceCache{
+		clock:  clock,
+		rng:    rng,
+		ttl:    ttl,
+		issued: make(map[Nonce]time.Time),
+		spent:  make(map[Nonce]bool),
+	}
+}
+
+// Issue returns a fresh nonce and records its issuance time.
+func (c *NonceCache) Issue() Nonce {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var n Nonce
+	_, _ = c.rng.Read(n[:])
+	c.issued[n] = c.clock.Now()
+	c.issuedCount++
+	return n
+}
+
+// Redeem consumes a nonce: it must have been issued, be within TTL, and
+// never redeemed before.
+func (c *NonceCache) Redeem(n Nonce) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	at, ok := c.issued[n]
+	if !ok {
+		if c.spent[n] {
+			return ErrNonceReplayed
+		}
+		return ErrNonceUnknown
+	}
+	if c.ttl > 0 && c.clock.Now().Sub(at) > c.ttl {
+		delete(c.issued, n)
+		return ErrNonceExpired
+	}
+	delete(c.issued, n)
+	c.spent[n] = true
+	c.redeemedCount++
+	return nil
+}
+
+// Outstanding reports the number of issued, unredeemed, unexpired nonces.
+func (c *NonceCache) Outstanding() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ttl <= 0 {
+		return len(c.issued)
+	}
+	now := c.clock.Now()
+	n := 0
+	for _, at := range c.issued {
+		if now.Sub(at) <= c.ttl {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats returns (issued, redeemed) totals.
+func (c *NonceCache) Stats() (issued, redeemed int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.issuedCount, c.redeemedCount
+}
+
+// GC removes expired issued nonces, returning how many were collected.
+func (c *NonceCache) GC() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ttl <= 0 {
+		return 0
+	}
+	now := c.clock.Now()
+	n := 0
+	for nonce, at := range c.issued {
+		if now.Sub(at) > c.ttl {
+			delete(c.issued, nonce)
+			n++
+		}
+	}
+	return n
+}

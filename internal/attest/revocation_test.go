@@ -1,0 +1,56 @@
+package attest
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"unitp/internal/cryptoutil"
+)
+
+func TestRevokedPlatformRejected(t *testing.T) {
+	f := newFixture(t)
+	out := cryptoutil.SHA1([]byte("tx"))
+	var nonce Nonce
+	ev := f.runSessionAndQuote(t, out, nonce)
+	want := Expectations{Nonce: nonce, ExpectedPCR23: expectedPCR23(out)}
+
+	// Sanity: verifies before revocation.
+	if _, err := f.verifier.Verify(ev, want); err != nil {
+		t.Fatalf("pre-revocation: %v", err)
+	}
+	f.verifier.RevokeCert("platform-1")
+	if _, err := f.verifier.Verify(ev, want); !errors.Is(err, ErrCertRevoked) {
+		t.Fatalf("revoked platform: %v", err)
+	}
+	// Reinstatement restores service — but the consumed nonce is the
+	// caller's concern; the verifier itself is stateless about nonces.
+	f.verifier.ReinstateCert("platform-1")
+	if _, err := f.verifier.Verify(ev, want); err != nil {
+		t.Fatalf("post-reinstatement: %v", err)
+	}
+	// Revoking an unknown platform is harmless.
+	f.verifier.RevokeCert("never-seen")
+}
+
+func TestCertExpiry(t *testing.T) {
+	f := newFixture(t)
+	out := cryptoutil.SHA1([]byte("tx"))
+	var nonce Nonce
+	ev := f.runSessionAndQuote(t, out, nonce)
+	want := Expectations{Nonce: nonce, ExpectedPCR23: expectedPCR23(out)}
+
+	f.verifier.SetCertValidity(f.clock, 24*time.Hour)
+	if _, err := f.verifier.Verify(ev, want); err != nil {
+		t.Fatalf("fresh cert rejected: %v", err)
+	}
+	f.clock.Sleep(48 * time.Hour)
+	if _, err := f.verifier.Verify(ev, want); !errors.Is(err, ErrCertExpired) {
+		t.Fatalf("stale cert: %v", err)
+	}
+	// Zero max age disables the check.
+	f.verifier.SetCertValidity(f.clock, 0)
+	if _, err := f.verifier.Verify(ev, want); err != nil {
+		t.Fatalf("disabled expiry still rejects: %v", err)
+	}
+}

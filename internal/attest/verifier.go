@@ -1,0 +1,295 @@
+package attest
+
+import (
+	"crypto/rsa"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"unitp/internal/cryptoutil"
+	"unitp/internal/sim"
+	"unitp/internal/tpm"
+)
+
+// Verification errors.
+var (
+	// ErrUnapprovedPAL is returned when the quoted PCR 17 does not
+	// correspond to any PAL on the approved list.
+	ErrUnapprovedPAL = errors.New("attest: quoted PCR17 matches no approved PAL")
+
+	// ErrNonceMismatch is returned when the quote's external data is
+	// not the expected challenge nonce.
+	ErrNonceMismatch = errors.New("attest: quote external data does not match challenge nonce")
+
+	// ErrOutputMismatch is returned when the quoted application PCR
+	// does not carry the expected output binding.
+	ErrOutputMismatch = errors.New("attest: quoted PCR23 does not match expected output binding")
+
+	// ErrMissingPCR is returned when a required PCR is absent from the
+	// quote's selection.
+	ErrMissingPCR = errors.New("attest: required PCR missing from quote selection")
+
+	// ErrCertRevoked is returned for evidence from a revoked platform.
+	ErrCertRevoked = errors.New("attest: platform certificate revoked")
+
+	// ErrCertExpired is returned when certificate validity checking is
+	// enabled and the AIK certificate is older than the allowed age.
+	ErrCertExpired = errors.New("attest: AIK certificate expired")
+)
+
+// Evidence is what a client submits: its AIK certificate and a TPM quote.
+type Evidence struct {
+	// Cert is the client's AIK certificate from a trusted privacy CA.
+	Cert *AIKCert
+
+	// Quote is the TPM quote over (at least) PCR 17 and PCR 23.
+	Quote *tpm.Quote
+}
+
+// Marshal encodes the evidence for wire transport.
+func (e *Evidence) Marshal() []byte {
+	cert := e.Cert.Marshal()
+	quote := e.Quote.Marshal()
+	b := cryptoutil.NewBuffer(len(cert) + len(quote) + 8)
+	b.PutBytes(cert)
+	b.PutBytes(quote)
+	return b.Bytes()
+}
+
+// UnmarshalEvidence decodes evidence from wire bytes.
+func UnmarshalEvidence(data []byte) (*Evidence, error) {
+	r := cryptoutil.NewReader(data)
+	certBytes := r.Bytes()
+	quoteBytes := r.Bytes()
+	if err := r.ExpectEOF(); err != nil {
+		return nil, fmt.Errorf("attest: unmarshal evidence: %w", err)
+	}
+	cert, err := UnmarshalAIKCert(certBytes)
+	if err != nil {
+		return nil, err
+	}
+	quote, err := tpm.UnmarshalQuote(quoteBytes)
+	if err != nil {
+		return nil, err
+	}
+	return &Evidence{Cert: cert, Quote: quote}, nil
+}
+
+// Expectations states what a verifier demands of one piece of evidence.
+type Expectations struct {
+	// Nonce is the challenge nonce the quote must embed.
+	Nonce Nonce
+
+	// ExpectedPCR23 is the output-binding value PCR 23 must show
+	// (computed by the protocol layer from the transaction and the
+	// user's confirmation).
+	ExpectedPCR23 cryptoutil.Digest
+
+	// SkipOutputCheck disables the PCR 23 check for attestations that
+	// carry no application output (e.g. a bare human-presence proof
+	// whose binding travels inside PCR 23 anyway would not set this;
+	// it exists for protocol variants and ablations).
+	SkipOutputCheck bool
+}
+
+// Result is a successful verification outcome.
+type Result struct {
+	// PALName is the approved PAL the quote proves ran.
+	PALName string
+
+	// PALMeasurement is that PAL's identity digest.
+	PALMeasurement cryptoutil.Digest
+
+	// PlatformID is the certified platform pseudonym.
+	PlatformID string
+}
+
+// Verifier checks evidence against an approved-PAL policy. It is safe
+// for concurrent use.
+// palEntry is one approved launch identity.
+type palEntry struct {
+	name        string
+	measurement cryptoutil.Digest // the PAL's own measurement (last in chain)
+}
+
+type Verifier struct {
+	mu       sync.RWMutex
+	caPub    *rsa.PublicKey
+	approved map[cryptoutil.Digest]palEntry // capped PCR17 -> entry
+	byName   map[string]cryptoutil.Digest   // PAL name -> capped PCR17
+	revoked  map[string]bool                // revoked platform IDs
+
+	// cert validity (optional)
+	clock      sim.Clock
+	maxCertAge time.Duration
+}
+
+// NewVerifier creates a verifier trusting the given privacy-CA key.
+func NewVerifier(caPub *rsa.PublicKey) *Verifier {
+	return &Verifier{
+		caPub:    caPub,
+		approved: make(map[cryptoutil.Digest]palEntry),
+		byName:   make(map[string]cryptoutil.Digest),
+		revoked:  make(map[string]bool),
+	}
+}
+
+// RevokeCert blacklists a platform (e.g. its TPM is known compromised
+// or its AIK leaked). Subsequent evidence from it fails with
+// ErrCertRevoked regardless of cryptographic validity.
+func (v *Verifier) RevokeCert(platformID string) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.revoked[platformID] = true
+}
+
+// ReinstateCert removes a platform from the revocation list.
+func (v *Verifier) ReinstateCert(platformID string) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	delete(v.revoked, platformID)
+}
+
+// SetCertValidity enables certificate age checking against the given
+// clock: evidence whose AIK certificate is older than maxAge fails with
+// ErrCertExpired. A zero maxAge disables the check.
+func (v *Verifier) SetCertValidity(clock sim.Clock, maxAge time.Duration) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.clock = clock
+	v.maxCertAge = maxAge
+}
+
+// ApprovePAL adds a PAL measurement to the policy (SKINIT convention:
+// the PAL is the only measurement in the dynamic chain). The verifier
+// demands the *capped* PCR 17 state, i.e. proof that the PAL both ran
+// and exited before the quote was taken.
+func (v *Verifier) ApprovePAL(name string, measurement cryptoutil.Digest) {
+	v.ApprovePALChain(name, measurement)
+}
+
+// ApprovePALChain approves a launch whose dynamic PCR carries several
+// measurements in order — the Intel TXT convention, where the SINIT ACM
+// is measured before the MLE (the PAL). The last measurement is taken
+// as the PAL's own identity.
+func (v *Verifier) ApprovePALChain(name string, measurements ...cryptoutil.Digest) {
+	if len(measurements) == 0 {
+		return
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	capped := expectedChainCapped(measurements)
+	v.approved[capped] = palEntry{
+		name:        name,
+		measurement: measurements[len(measurements)-1],
+	}
+	v.byName[name] = capped
+}
+
+// RevokePAL removes a PAL from the policy (e.g. after a vulnerability is
+// found in a deployed PAL version).
+func (v *Verifier) RevokePAL(name string) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	capped, ok := v.byName[name]
+	if !ok {
+		return
+	}
+	delete(v.approved, capped)
+	delete(v.byName, name)
+}
+
+// ApprovedPALs lists the approved PAL names.
+func (v *Verifier) ApprovedPALs() []string {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	names := make([]string, 0, len(v.byName))
+	for n := range v.byName {
+		names = append(names, n)
+	}
+	return names
+}
+
+// expectedCapped mirrors platform.ExpectedPCR17Capped without importing
+// the platform package (the verifier runs provider-side and must not
+// depend on client hardware models — only on the public constants of the
+// measurement convention).
+func expectedCapped(measurement cryptoutil.Digest) cryptoutil.Digest {
+	return expectedChainCapped([]cryptoutil.Digest{measurement})
+}
+
+// expectedChainCapped computes the capped dynamic-PCR value of a launch
+// measuring the given chain in order.
+func expectedChainCapped(measurements []cryptoutil.Digest) cryptoutil.Digest {
+	var v cryptoutil.Digest
+	for _, m := range measurements {
+		v = cryptoutil.ExtendDigest(v, m)
+	}
+	return cryptoutil.ExtendDigest(v, capDigest)
+}
+
+// capDigest must equal platform.CapDigest; kept as an independent
+// constant of the measurement convention (checked by an integration
+// test).
+var capDigest = cryptoutil.SHA1([]byte("unitp.platform.session-cap.v1"))
+
+// Verify checks one piece of evidence end to end:
+//
+//  1. the AIK certificate chains to the trusted privacy CA;
+//  2. the quote signature verifies under the certified AIK and the
+//     reported PCR values hash to the signed composite;
+//  3. the external data equals the expected challenge nonce;
+//  4. quoted PCR 17 equals the capped launch state of an approved PAL;
+//  5. quoted PCR 23 equals the expected output binding.
+//
+// Nonce single-use enforcement is the caller's job (NonceCache), since
+// the cache is shared across verifications.
+func (v *Verifier) Verify(ev *Evidence, want Expectations) (*Result, error) {
+	if ev == nil || ev.Cert == nil || ev.Quote == nil {
+		return nil, fmt.Errorf("attest: verify: nil evidence")
+	}
+	if err := VerifyAIKCert(v.caPub, ev.Cert); err != nil {
+		return nil, err
+	}
+	v.mu.RLock()
+	isRevoked := v.revoked[ev.Cert.PlatformID]
+	clock, maxAge := v.clock, v.maxCertAge
+	v.mu.RUnlock()
+	if isRevoked {
+		return nil, ErrCertRevoked
+	}
+	if clock != nil && maxAge > 0 && clock.Now().Sub(ev.Cert.IssuedAt) > maxAge {
+		return nil, ErrCertExpired
+	}
+	if err := tpm.VerifyQuote(ev.Cert.AIKPub, ev.Quote); err != nil {
+		return nil, err
+	}
+	if [NonceSize]byte(want.Nonce) != ev.Quote.ExternalData {
+		return nil, ErrNonceMismatch
+	}
+	pcr17, ok := ev.Quote.PCRValue(tpm.PCRDRTM)
+	if !ok {
+		return nil, fmt.Errorf("%w: PCR17", ErrMissingPCR)
+	}
+	v.mu.RLock()
+	entry, approved := v.approved[pcr17]
+	v.mu.RUnlock()
+	if !approved {
+		return nil, ErrUnapprovedPAL
+	}
+	if !want.SkipOutputCheck {
+		pcr23, ok := ev.Quote.PCRValue(tpm.PCRApp)
+		if !ok {
+			return nil, fmt.Errorf("%w: PCR23", ErrMissingPCR)
+		}
+		if pcr23 != want.ExpectedPCR23 {
+			return nil, ErrOutputMismatch
+		}
+	}
+	return &Result{
+		PALName:        entry.name,
+		PALMeasurement: entry.measurement,
+		PlatformID:     ev.Cert.PlatformID,
+	}, nil
+}

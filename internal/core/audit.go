@@ -1,0 +1,190 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"unitp/internal/attest"
+	"unitp/internal/cryptoutil"
+)
+
+// The audit log gives the provider non-repudiation: every verified
+// confirmation is recorded with its full evidence in a hash-chained,
+// append-only log. In a dispute ("I never approved that transfer"), an
+// independent auditor replays the log: the chain proves nothing was
+// inserted, dropped, or reordered after the fact, and each entry's
+// evidence re-verifies against the CA key and PAL policy — so the
+// provider can prove a human at the certified platform approved exactly
+// the disputed transaction.
+
+// AuditEntry is one confirmed-transaction record.
+type AuditEntry struct {
+	// Seq is the entry's position in the chain (0-based).
+	Seq uint64
+
+	// At is the provider-side timestamp.
+	At time.Time
+
+	// TxID names the transaction.
+	TxID string
+
+	// TxDigest is the canonical transaction digest the human's
+	// decision was bound to.
+	TxDigest cryptoutil.Digest
+
+	// Confirmed is the authenticated decision.
+	Confirmed bool
+
+	// Nonce is the challenge the decision answered.
+	Nonce attest.Nonce
+
+	// Evidence is the full marshalled attest.Evidence (quote mode).
+	// Empty for HMAC-mode confirmations, which are recorded but only
+	// provider-verifiable (symmetric key).
+	Evidence []byte
+
+	// PrevChain is the chain value before this entry.
+	PrevChain cryptoutil.Digest
+
+	// Chain is SHA1(PrevChain ‖ body) — the tamper-evidence link.
+	Chain cryptoutil.Digest
+}
+
+// body serializes the hashed portion of the entry.
+func (e *AuditEntry) body() []byte {
+	b := cryptoutil.NewBuffer(128 + len(e.Evidence))
+	b.PutUint64(e.Seq)
+	b.PutUint64(uint64(e.At.UnixNano()))
+	b.PutString(e.TxID)
+	b.PutDigest(e.TxDigest)
+	b.PutBool(e.Confirmed)
+	b.PutRaw(e.Nonce[:])
+	b.PutBytes(e.Evidence)
+	return b.Bytes()
+}
+
+// computeChain links the entry onto prev.
+func (e *AuditEntry) computeChain(prev cryptoutil.Digest) cryptoutil.Digest {
+	return cryptoutil.SHA1Concat(prev[:], e.body())
+}
+
+// AuditLog is an append-only, hash-chained record of verified
+// confirmations. Safe for concurrent use.
+type AuditLog struct {
+	mu      sync.Mutex
+	entries []AuditEntry
+	head    cryptoutil.Digest
+}
+
+// NewAuditLog returns an empty log.
+func NewAuditLog() *AuditLog {
+	return &AuditLog{}
+}
+
+// Append records a confirmation. The caller supplies everything except
+// the chain fields.
+func (l *AuditLog) Append(entry AuditEntry) AuditEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	entry.Seq = uint64(len(l.entries))
+	entry.PrevChain = l.head
+	entry.Chain = entry.computeChain(l.head)
+	l.entries = append(l.entries, entry)
+	l.head = entry.Chain
+	return entry
+}
+
+// Head returns the current chain head (a compact commitment to the
+// entire history, suitable for periodic external anchoring).
+func (l *AuditLog) Head() cryptoutil.Digest {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.head
+}
+
+// Len returns the number of entries.
+func (l *AuditLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}
+
+// Entries returns a copy of the log.
+func (l *AuditLog) Entries() []AuditEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]AuditEntry, len(l.entries))
+	copy(out, l.entries)
+	return out
+}
+
+// Audit errors.
+var (
+	// ErrChainBroken is returned when the hash chain does not verify.
+	ErrChainBroken = errors.New("core: audit chain broken")
+
+	// ErrAuditEvidence is returned when an entry's evidence fails
+	// re-verification.
+	ErrAuditEvidence = errors.New("core: audit entry evidence invalid")
+)
+
+// AuditReport summarizes an auditor replay.
+type AuditReport struct {
+	// Entries is the number of records checked.
+	Entries int
+
+	// Reverified counts entries whose attestation evidence was
+	// re-verified end to end.
+	Reverified int
+
+	// HMACOnly counts entries recorded from HMAC-mode confirmations
+	// (chain-protected but not independently re-verifiable).
+	HMACOnly int
+
+	// Head is the verified chain head.
+	Head cryptoutil.Digest
+}
+
+// ReplayAudit is the independent auditor: given the provider's log and
+// the verification policy (CA key + approved PALs), it checks the hash
+// chain link by link and re-verifies every quote-mode entry's evidence
+// against its recorded nonce, transaction digest, and decision.
+func ReplayAudit(entries []AuditEntry, verifier *attest.Verifier) (*AuditReport, error) {
+	report := &AuditReport{}
+	var prev cryptoutil.Digest
+	for i := range entries {
+		e := &entries[i]
+		if e.Seq != uint64(i) {
+			return nil, fmt.Errorf("%w: entry %d claims seq %d", ErrChainBroken, i, e.Seq)
+		}
+		if e.PrevChain != prev {
+			return nil, fmt.Errorf("%w: entry %d prev link", ErrChainBroken, i)
+		}
+		if e.computeChain(prev) != e.Chain {
+			return nil, fmt.Errorf("%w: entry %d chain value", ErrChainBroken, i)
+		}
+		prev = e.Chain
+		report.Entries++
+
+		if len(e.Evidence) == 0 {
+			report.HMACOnly++
+			continue
+		}
+		ev, err := attest.UnmarshalEvidence(e.Evidence)
+		if err != nil {
+			return nil, fmt.Errorf("%w: entry %d: %v", ErrAuditEvidence, i, err)
+		}
+		binding := ConfirmationBinding(e.Nonce, e.TxDigest, e.Confirmed)
+		if _, err := verifier.Verify(ev, attest.Expectations{
+			Nonce:         e.Nonce,
+			ExpectedPCR23: ExpectedAppPCR(binding),
+		}); err != nil {
+			return nil, fmt.Errorf("%w: entry %d: %v", ErrAuditEvidence, i, err)
+		}
+		report.Reverified++
+	}
+	report.Head = prev
+	return report, nil
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"unitp/internal/attest"
+	"unitp/internal/cryptoutil"
+)
+
+// confirmN runs n confirmed transactions on a rig.
+func confirmN(t *testing.T, r *rig, n int, key rune) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		r.pressOnce(key)
+		tx := payment("a-"+string(rune('0'+i)), "bob", 1_000)
+		if _, err := r.client.SubmitTransaction(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestAuditLogRecordsDecisions(t *testing.T) {
+	r := newRig(t, nil)
+	confirmN(t, r, 2, 'y')
+	confirmN(t, r, 1, 'n')
+	log := r.provider.AuditLog()
+	if log.Len() != 3 {
+		t.Fatalf("audit entries = %d", log.Len())
+	}
+	entries := log.Entries()
+	if !entries[0].Confirmed || !entries[1].Confirmed || entries[2].Confirmed {
+		t.Fatalf("decisions = %v %v %v", entries[0].Confirmed, entries[1].Confirmed, entries[2].Confirmed)
+	}
+	if entries[1].PrevChain != entries[0].Chain {
+		t.Fatal("chain not linked")
+	}
+	if log.Head() != entries[2].Chain {
+		t.Fatal("head mismatch")
+	}
+}
+
+func TestAuditReplayReverifies(t *testing.T) {
+	r := newRig(t, nil)
+	confirmN(t, r, 3, 'y')
+
+	// An independent auditor with only the CA key and PAL policy.
+	auditor := attest.NewVerifier(r.ca.PublicKey())
+	auditor.ApprovePAL(ConfirmPALName, cryptoutil.SHA1(ConfirmPALImage()))
+	report, err := ReplayAudit(r.provider.AuditLog().Entries(), auditor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Entries != 3 || report.Reverified != 3 || report.HMACOnly != 0 {
+		t.Fatalf("report = %+v", report)
+	}
+	if report.Head != r.provider.AuditLog().Head() {
+		t.Fatal("auditor head disagrees with provider")
+	}
+}
+
+func TestAuditDetectsEntryTampering(t *testing.T) {
+	r := newRig(t, nil)
+	confirmN(t, r, 3, 'y')
+	auditor := attest.NewVerifier(r.ca.PublicKey())
+	auditor.ApprovePAL(ConfirmPALName, cryptoutil.SHA1(ConfirmPALImage()))
+
+	// A corrupt operator rewrites a past decision.
+	entries := r.provider.AuditLog().Entries()
+	entries[1].Confirmed = false
+	if _, err := ReplayAudit(entries, auditor); !errors.Is(err, ErrChainBroken) {
+		t.Fatalf("tampered decision: %v", err)
+	}
+
+	// ...or drops an entry.
+	entries = r.provider.AuditLog().Entries()
+	dropped := append(entries[:1], entries[2:]...)
+	if _, err := ReplayAudit(dropped, auditor); !errors.Is(err, ErrChainBroken) {
+		t.Fatalf("dropped entry: %v", err)
+	}
+
+	// ...or reorders.
+	entries = r.provider.AuditLog().Entries()
+	entries[0], entries[1] = entries[1], entries[0]
+	if _, err := ReplayAudit(entries, auditor); !errors.Is(err, ErrChainBroken) {
+		t.Fatalf("reordered entries: %v", err)
+	}
+}
+
+func TestAuditDetectsForgedEvidence(t *testing.T) {
+	// The operator rebuilds the whole chain around a fabricated entry:
+	// the chain verifies, but the fabricated evidence cannot — the
+	// operator does not have a genuine PAL quote for its invented
+	// transaction.
+	r := newRig(t, nil)
+	confirmN(t, r, 1, 'y')
+	auditor := attest.NewVerifier(r.ca.PublicKey())
+	auditor.ApprovePAL(ConfirmPALName, cryptoutil.SHA1(ConfirmPALImage()))
+
+	genuine := r.provider.AuditLog().Entries()[0]
+	forgedTx := payment("forged", "mallory", 99_000)
+	rebuilt := NewAuditLog()
+	rebuilt.Append(AuditEntry{
+		At:        genuine.At,
+		TxID:      forgedTx.ID,
+		TxDigest:  forgedTx.Digest(), // different tx...
+		Confirmed: true,
+		Nonce:     genuine.Nonce,
+		Evidence:  genuine.Evidence, // ...with the old evidence
+	})
+	if _, err := ReplayAudit(rebuilt.Entries(), auditor); !errors.Is(err, ErrAuditEvidence) {
+		t.Fatalf("forged entry with rebuilt chain: %v", err)
+	}
+}
+
+func TestAuditHMACEntriesChainOnly(t *testing.T) {
+	r := newRig(t, nil)
+	if _, err := r.client.ProvisionHMACKey(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.client.SetMode(ModeHMAC); err != nil {
+		t.Fatal(err)
+	}
+	confirmN(t, r, 2, 'y')
+	auditor := attest.NewVerifier(r.ca.PublicKey())
+	auditor.ApprovePAL(ConfirmPALName, cryptoutil.SHA1(ConfirmPALImage()))
+	report, err := ReplayAudit(r.provider.AuditLog().Entries(), auditor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Entries != 2 || report.HMACOnly != 2 || report.Reverified != 0 {
+		t.Fatalf("report = %+v", report)
+	}
+}
+
+func TestAuditEmptyLog(t *testing.T) {
+	auditor := attest.NewVerifier(nil)
+	report, err := ReplayAudit(nil, auditor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Entries != 0 || !report.Head.IsZero() {
+		t.Fatalf("report = %+v", report)
+	}
+	log := NewAuditLog()
+	if log.Len() != 0 || !log.Head().IsZero() {
+		t.Fatal("fresh log not empty")
+	}
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"unitp/internal/attest"
+	"unitp/internal/cryptoutil"
+)
+
+// Binding digests are what the confirmation PAL extends into the
+// application PCR (23). A verifier recomputes the expected binding from
+// its own copy of (nonce, transaction, decision) — so a binding only
+// matches if the human's decision was made over exactly the provider's
+// transaction and exactly this challenge.
+
+// bindingTag domain-separates the binding constructions.
+const bindingTag = "unitp.binding.v1"
+
+// ConfirmationBinding is the PCR-23 measurement for a transaction
+// confirmation decision.
+func ConfirmationBinding(nonce attest.Nonce, txDigest cryptoutil.Digest, confirmed bool) cryptoutil.Digest {
+	decision := byte(0)
+	if confirmed {
+		decision = 1
+	}
+	return cryptoutil.SHA1Concat(
+		[]byte(bindingTag),
+		[]byte("/confirm/"),
+		nonce[:],
+		txDigest[:],
+		[]byte{decision},
+	)
+}
+
+// PresenceBinding is the PCR-23 measurement for a bare human-presence
+// proof (the CAPTCHA replacement).
+func PresenceBinding(nonce attest.Nonce) cryptoutil.Digest {
+	return cryptoutil.SHA1Concat(
+		[]byte(bindingTag),
+		[]byte("/presence/"),
+		nonce[:],
+	)
+}
+
+// ProvisionBinding is the PCR-23 measurement binding a provisioning
+// session to the encrypted key blob it produced.
+func ProvisionBinding(nonce attest.Nonce, encKeyDigest cryptoutil.Digest) cryptoutil.Digest {
+	return cryptoutil.SHA1Concat(
+		[]byte(bindingTag),
+		[]byte("/provision/"),
+		nonce[:],
+		encKeyDigest[:],
+	)
+}
+
+// ExpectedAppPCR returns the application PCR value after a session that
+// reset PCR 23 and extended exactly one binding into it.
+func ExpectedAppPCR(binding cryptoutil.Digest) cryptoutil.Digest {
+	return cryptoutil.ExtendDigest(cryptoutil.Digest{}, binding)
+}
+
+// MACMessage is the byte string MACed in HMAC mode — same binding
+// semantics, symmetric verification.
+func MACMessage(nonce attest.Nonce, txDigest cryptoutil.Digest, confirmed bool) []byte {
+	b := ConfirmationBinding(nonce, txDigest, confirmed)
+	return b[:]
+}
+
+// txDigests computes the digest sequence of a batch in order.
+func txDigests(txs []Transaction) []cryptoutil.Digest {
+	out := make([]cryptoutil.Digest, len(txs))
+	for i := range txs {
+		out[i] = txs[i].Digest()
+	}
+	return out
+}
+
+// verifyBindingMAC checks an HMAC over a binding digest.
+func verifyBindingMAC(key []byte, binding cryptoutil.Digest, mac []byte) bool {
+	return cryptoutil.VerifyHMACSHA256(key, binding[:], mac)
+}
+
+// CredentialDigest derives the stored/typed credential value bound into
+// a login proof: SHA-256 over the domain-separated username:PIN pair.
+//
+// Threat-model note: the login binding proves knowledge of the PIN *as
+// typed on exclusively owned input* — the keylogger never sees the
+// digits. A malware-observed quote still permits offline guessing of
+// low-entropy PINs against the binding; deployments with provisioned
+// HMAC keys close that by MACing the binding (ModeHMAC), which this
+// implementation supports on the confirmation path and providers can
+// demand for login too.
+func CredentialDigest(username, pin string) [32]byte {
+	return cryptoutil.SHA256Sum([]byte("unitp.credential.v1\x00" + username + "\x00" + pin))
+}
+
+// LoginBinding is the PCR-23 measurement for a PIN login proof.
+func LoginBinding(nonce attest.Nonce, cred [32]byte) cryptoutil.Digest {
+	return cryptoutil.SHA1Concat(
+		[]byte(bindingTag),
+		[]byte("/login/"),
+		nonce[:],
+		cred[:],
+	)
+}
+
+// BatchBinding is the PCR-23 measurement for a batch confirmation: it
+// covers the challenge nonce and, in order, each transaction digest with
+// its individual decision — so neither the set, the order, nor any
+// single decision can be altered after the human acted.
+func BatchBinding(nonce attest.Nonce, txDigests []cryptoutil.Digest, decisions []bool) cryptoutil.Digest {
+	chunks := make([][]byte, 0, 2+2*len(txDigests))
+	chunks = append(chunks, []byte(bindingTag), []byte("/batch/"), nonce[:])
+	for i := range txDigests {
+		d := byte(0)
+		if i < len(decisions) && decisions[i] {
+			d = 1
+		}
+		chunks = append(chunks, txDigests[i][:], []byte{d})
+	}
+	return cryptoutil.SHA1Concat(chunks...)
+}

@@ -1,0 +1,327 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"unitp/internal/attest"
+	"unitp/internal/flicker"
+	"unitp/internal/hostos"
+	"unitp/internal/netsim"
+	"unitp/internal/platform"
+	"unitp/internal/tpm"
+)
+
+// Client-side errors.
+var (
+	// ErrUnexpectedResponse is returned when the provider answers with
+	// a message of the wrong type.
+	ErrUnexpectedResponse = errors.New("core: unexpected provider response")
+
+	// ErrNotProvisioned is returned when ModeHMAC is used before key
+	// provisioning.
+	ErrNotProvisioned = errors.New("core: no provisioned HMAC key")
+
+	// ErrPALFailed wraps PAL session failures.
+	ErrPALFailed = errors.New("core: PAL session failed")
+)
+
+// ClientConfig configures the client engine on one machine.
+type ClientConfig struct {
+	// Manager runs PAL sessions on the client machine.
+	Manager *flicker.Manager
+
+	// OS is the (possibly compromised) operating system whose network
+	// path the client's traffic traverses. nil models direct traffic
+	// (testing).
+	OS *hostos.OS
+
+	// Transport reaches the service provider.
+	Transport netsim.Transport
+
+	// AIK is the client TPM's attestation key handle.
+	AIK tpm.Handle
+
+	// Cert is the AIK certificate from the privacy CA.
+	Cert *attest.AIKCert
+
+	// Mode selects quote-per-transaction or provisioned-HMAC
+	// confirmation (default ModeQuote).
+	Mode ConfirmMode
+}
+
+// Client is the client-side protocol engine: it submits transactions,
+// reacts to confirmation challenges by running the confirmation PAL, and
+// assembles the attestation evidence. All of its traffic passes through
+// the untrusted OS — the protocol's security does not depend on the
+// engine itself being honest, which the attack experiments exploit by
+// running hostile variants of these flows.
+type Client struct {
+	manager   *flicker.Manager
+	os        *hostos.OS
+	transport netsim.Transport
+	aik       tpm.Handle
+	cert      *attest.AIKCert
+	mode      ConfirmMode
+
+	sealedKey      []byte // marshalled sealed HMAC key blob (ModeHMAC)
+	sealedKeyBatch []byte // same key sealed to the batch PAL
+	providerPK     []byte // provider public key DER seen at provisioning
+
+	lastReport *platform.LaunchReport // most recent PAL session timing
+}
+
+// NewClient builds a client engine and registers the protocol PALs with
+// its session manager (confirm and presence; the provisioning PAL is
+// registered on demand because its image pins the provider key).
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if cfg.Manager == nil || cfg.Transport == nil {
+		return nil, errors.New("core: client requires a manager and a transport")
+	}
+	if cfg.Cert == nil {
+		return nil, errors.New("core: client requires an AIK certificate")
+	}
+	if cfg.Mode == 0 {
+		cfg.Mode = ModeQuote
+	}
+	c := &Client{
+		manager:   cfg.Manager,
+		os:        cfg.OS,
+		transport: cfg.Transport,
+		aik:       cfg.AIK,
+		cert:      cfg.Cert,
+		mode:      cfg.Mode,
+	}
+	for _, pal := range []*flicker.PAL{NewConfirmPAL(), NewPresencePAL(), NewPINPAL(), NewBatchPAL()} {
+		if err := c.manager.Register(pal); err != nil && !errors.Is(err, flicker.ErrPALExists) {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// Mode returns the active confirmation mode.
+func (c *Client) Mode() ConfirmMode { return c.mode }
+
+// LastSessionReport returns the timing breakdown of the most recent
+// confirmation PAL session (nil before the first), for the experiment
+// harness.
+func (c *Client) LastSessionReport() *platform.LaunchReport { return c.lastReport }
+
+// SetMode switches the confirmation mode. Switching to ModeHMAC requires
+// a prior successful ProvisionHMACKey.
+func (c *Client) SetMode(m ConfirmMode) error {
+	if m == ModeHMAC && c.sealedKey == nil {
+		return ErrNotProvisioned
+	}
+	c.mode = m
+	return nil
+}
+
+// roundTrip sends a protocol message through the OS's network path and
+// decodes the reply.
+func (c *Client) roundTrip(msg any) (any, error) {
+	payload, err := EncodeMessage(msg)
+	if err != nil {
+		return nil, err
+	}
+	if c.os != nil {
+		payload = c.os.FilterOutbound(payload)
+	}
+	resp, err := c.transport.RoundTrip(payload)
+	if err != nil {
+		return nil, err
+	}
+	if c.os != nil {
+		resp = c.os.FilterInbound(resp)
+	}
+	return DecodeMessage(resp)
+}
+
+// quoteEvidence takes a TPM quote over the trusted-path PCRs for the
+// given nonce and packages it with the AIK certificate.
+func (c *Client) quoteEvidence(nonce attest.Nonce) ([]byte, error) {
+	quote, err := c.manager.Machine().TPM().Quote(
+		c.manager.Machine().OSLocality(), c.aik, nonce[:],
+		[]int{tpm.PCRDRTM, tpm.PCRApp})
+	if err != nil {
+		return nil, fmt.Errorf("core: quote: %w", err)
+	}
+	ev := attest.Evidence{Cert: c.cert, Quote: quote}
+	return ev.Marshal(), nil
+}
+
+// SubmitTransaction runs the full uni-directional trusted path flow for
+// one transaction:
+//
+//  1. submit the order;
+//  2. if the provider auto-accepts, done;
+//  3. otherwise run the confirmation PAL on the provider's challenge
+//     (the human decides at the keyboard);
+//  4. send the confirmation with quote or MAC evidence;
+//  5. return the provider's outcome.
+//
+// ErrNoHumanResponse surfaces (wrapped) when nobody was at the keyboard.
+func (c *Client) SubmitTransaction(tx *Transaction) (*Outcome, error) {
+	resp, err := c.roundTrip(&SubmitTx{Tx: tx})
+	if err != nil {
+		return nil, err
+	}
+	switch m := resp.(type) {
+	case *Outcome:
+		return m, nil
+	case *Challenge:
+		return c.runConfirmation(m)
+	default:
+		return nil, fmt.Errorf("%w: %T to SubmitTx", ErrUnexpectedResponse, resp)
+	}
+}
+
+// runConfirmation executes the confirmation PAL for a challenge and
+// submits the resulting proof.
+func (c *Client) runConfirmation(ch *Challenge) (*Outcome, error) {
+	if c.mode == ModeHMAC && c.sealedKey == nil {
+		return nil, ErrNotProvisioned
+	}
+	in := confirmInput{
+		Nonce:     ch.Nonce,
+		TxBytes:   ch.Tx.Marshal(),
+		Mode:      c.mode,
+		SealedKey: c.sealedKey,
+	}
+	res, err := c.manager.Run(ConfirmPALName, in.marshal())
+	if err != nil {
+		return nil, err
+	}
+	c.lastReport = res.Report
+	if res.PALErr != nil {
+		return nil, fmt.Errorf("%w: %w", ErrPALFailed, res.PALErr)
+	}
+	out, err := parseConfirmOutput(res.Output)
+	if err != nil {
+		return nil, err
+	}
+	confirm := ConfirmTx{
+		Nonce:     ch.Nonce,
+		Confirmed: out.Confirmed,
+		Mode:      c.mode,
+	}
+	switch c.mode {
+	case ModeQuote:
+		evidence, err := c.quoteEvidence(ch.Nonce)
+		if err != nil {
+			return nil, err
+		}
+		confirm.Evidence = evidence
+	case ModeHMAC:
+		confirm.PlatformID = c.cert.PlatformID
+		confirm.MAC = out.MAC
+	}
+	resp, err := c.roundTrip(&confirm)
+	if err != nil {
+		return nil, err
+	}
+	outcome, ok := resp.(*Outcome)
+	if !ok {
+		return nil, fmt.Errorf("%w: %T to ConfirmTx", ErrUnexpectedResponse, resp)
+	}
+	return outcome, nil
+}
+
+// ProveHumanPresence runs the CAPTCHA-replacement flow and returns the
+// provider's outcome (with a presence token on success).
+func (c *Client) ProveHumanPresence() (*Outcome, error) {
+	resp, err := c.roundTrip(&PresenceRequest{})
+	if err != nil {
+		return nil, err
+	}
+	ch, ok := resp.(*PresenceChallenge)
+	if !ok {
+		if o, isOutcome := resp.(*Outcome); isOutcome {
+			return o, nil
+		}
+		return nil, fmt.Errorf("%w: %T to PresenceRequest", ErrUnexpectedResponse, resp)
+	}
+	in := presenceInput{Nonce: ch.Nonce, Prompt: ch.Prompt}
+	res, err := c.manager.Run(PresencePALName, in.marshal())
+	if err != nil {
+		return nil, err
+	}
+	if res.PALErr != nil {
+		return nil, fmt.Errorf("%w: %w", ErrPALFailed, res.PALErr)
+	}
+	evidence, err := c.quoteEvidence(ch.Nonce)
+	if err != nil {
+		return nil, err
+	}
+	resp, err = c.roundTrip(&PresenceProof{Nonce: ch.Nonce, Evidence: evidence})
+	if err != nil {
+		return nil, err
+	}
+	outcome, ok := resp.(*Outcome)
+	if !ok {
+		return nil, fmt.Errorf("%w: %T to PresenceProof", ErrUnexpectedResponse, resp)
+	}
+	return outcome, nil
+}
+
+// ProvisionHMACKey runs the provisioning protocol: the provisioning PAL
+// generates a fresh symmetric key, seals it to the confirmation PAL's
+// identity, and transports it to the provider under the PAL-pinned
+// provider key with an attestation binding. On success the client can
+// SetMode(ModeHMAC).
+func (c *Client) ProvisionHMACKey() (*Outcome, error) {
+	resp, err := c.roundTrip(&ProvisionRequest{PlatformID: c.cert.PlatformID})
+	if err != nil {
+		return nil, err
+	}
+	ch, ok := resp.(*ProvisionChallenge)
+	if !ok {
+		if o, isOutcome := resp.(*Outcome); isOutcome {
+			return o, nil
+		}
+		return nil, fmt.Errorf("%w: %T to ProvisionRequest", ErrUnexpectedResponse, resp)
+	}
+	// Register (or reuse) the provisioning PAL pinned to this provider
+	// key. A MITM that substituted the key in the challenge produces a
+	// PAL whose measurement the provider will not approve.
+	pal := NewProvisionPAL(ch.ProviderPubDER)
+	if err := c.manager.Register(pal); err != nil && !errors.Is(err, flicker.ErrPALExists) {
+		return nil, err
+	}
+	in := provisionInput{Nonce: ch.Nonce, ProviderPubDER: ch.ProviderPubDER}
+	res, err := c.manager.Run(pal.Name, in.marshal())
+	if err != nil {
+		return nil, err
+	}
+	if res.PALErr != nil {
+		return nil, fmt.Errorf("%w: %w", ErrPALFailed, res.PALErr)
+	}
+	out, err := parseProvisionOutput(res.Output)
+	if err != nil {
+		return nil, err
+	}
+	evidence, err := c.quoteEvidence(ch.Nonce)
+	if err != nil {
+		return nil, err
+	}
+	resp, err = c.roundTrip(&ProvisionComplete{
+		Nonce:      ch.Nonce,
+		PlatformID: c.cert.PlatformID,
+		EncKey:     out.EncKey,
+		Evidence:   evidence,
+	})
+	if err != nil {
+		return nil, err
+	}
+	outcome, ok := resp.(*Outcome)
+	if !ok {
+		return nil, fmt.Errorf("%w: %T to ProvisionComplete", ErrUnexpectedResponse, resp)
+	}
+	if outcome.Accepted {
+		c.sealedKey = out.SealedKey
+		c.sealedKeyBatch = out.SealedKeyBatch
+		c.providerPK = ch.ProviderPubDER
+	}
+	return outcome, nil
+}

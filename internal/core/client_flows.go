@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+)
+
+// Login runs the trusted-path PIN login flow: the provider challenges,
+// the PIN-entry PAL collects the PIN over exclusively owned input (a
+// keylogger sees nothing), and the quoted binding proves to the provider
+// that the enrolled credential was typed by a human on this platform.
+// On success the outcome carries a session token.
+func (c *Client) Login(username string) (*Outcome, error) {
+	resp, err := c.roundTrip(&LoginRequest{Username: username})
+	if err != nil {
+		return nil, err
+	}
+	ch, ok := resp.(*LoginChallenge)
+	if !ok {
+		if o, isOutcome := resp.(*Outcome); isOutcome {
+			return o, nil
+		}
+		return nil, fmt.Errorf("%w: %T to LoginRequest", ErrUnexpectedResponse, resp)
+	}
+	in := loginInput{Nonce: ch.Nonce, Username: ch.Username}
+	res, err := c.manager.Run(PINPALName, in.marshal())
+	if err != nil {
+		return nil, err
+	}
+	c.lastReport = res.Report
+	if res.PALErr != nil {
+		return nil, fmt.Errorf("%w: %w", ErrPALFailed, res.PALErr)
+	}
+	evidence, err := c.quoteEvidence(ch.Nonce)
+	if err != nil {
+		return nil, err
+	}
+	resp, err = c.roundTrip(&LoginProof{Nonce: ch.Nonce, Username: username, Evidence: evidence})
+	if err != nil {
+		return nil, err
+	}
+	outcome, ok := resp.(*Outcome)
+	if !ok {
+		return nil, fmt.Errorf("%w: %T to LoginProof", ErrUnexpectedResponse, resp)
+	}
+	return outcome, nil
+}
+
+// SubmitBatch runs the amortized confirmation flow: one late launch
+// reviews the whole batch, one quote (or MAC) proves every decision. It
+// returns the provider's outcome and the human's per-transaction
+// decisions in batch order.
+func (c *Client) SubmitBatch(txs []Transaction) (*Outcome, []bool, error) {
+	if len(txs) == 0 {
+		return nil, nil, fmt.Errorf("%w: empty batch", ErrBadMessage)
+	}
+	resp, err := c.roundTrip(&SubmitBatch{Txs: txs})
+	if err != nil {
+		return nil, nil, err
+	}
+	ch, ok := resp.(*BatchChallenge)
+	if !ok {
+		if o, isOutcome := resp.(*Outcome); isOutcome {
+			return o, nil, nil
+		}
+		return nil, nil, fmt.Errorf("%w: %T to SubmitBatch", ErrUnexpectedResponse, resp)
+	}
+	if c.mode == ModeHMAC && c.sealedKeyBatch == nil {
+		return nil, nil, ErrNotProvisioned
+	}
+	in := batchInput{
+		Nonce:     ch.Nonce,
+		Txs:       ch.Txs,
+		Mode:      c.mode,
+		SealedKey: c.sealedKeyBatch,
+	}
+	res, err := c.manager.Run(BatchPALName, in.marshal())
+	if err != nil {
+		return nil, nil, err
+	}
+	c.lastReport = res.Report
+	if res.PALErr != nil {
+		return nil, nil, fmt.Errorf("%w: %w", ErrPALFailed, res.PALErr)
+	}
+	out, err := parseBatchOutput(res.Output)
+	if err != nil {
+		return nil, nil, err
+	}
+	confirm := ConfirmBatch{
+		Nonce:     ch.Nonce,
+		Decisions: out.Decisions,
+		Mode:      c.mode,
+	}
+	switch c.mode {
+	case ModeQuote:
+		evidence, err := c.quoteEvidence(ch.Nonce)
+		if err != nil {
+			return nil, nil, err
+		}
+		confirm.Evidence = evidence
+	case ModeHMAC:
+		confirm.PlatformID = c.cert.PlatformID
+		confirm.MAC = out.MAC
+	}
+	resp, err = c.roundTrip(&confirm)
+	if err != nil {
+		return nil, nil, err
+	}
+	outcome, ok := resp.(*Outcome)
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %T to ConfirmBatch", ErrUnexpectedResponse, resp)
+	}
+	return outcome, out.Decisions, nil
+}

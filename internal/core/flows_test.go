@@ -1,0 +1,429 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"unitp/internal/attest"
+	"unitp/internal/cryptoutil"
+	"unitp/internal/platform"
+)
+
+// typePIN arms the input pump with a human who answers a PIN prompt
+// with the given digits (and y/n prompts with 'y').
+func (r *rig) typePIN(pin string) {
+	done := false
+	r.machine.SetInputPump(func() bool {
+		if done {
+			return false
+		}
+		done = true
+		r.clock.Sleep(700 * time.Millisecond)
+		lines := r.machine.Display().Lines()
+		if len(lines) > 0 && strings.Contains(lines[len(lines)-1].Text, "SECURE PIN ENTRY") {
+			for _, c := range pin {
+				r.clock.Sleep(250 * time.Millisecond)
+				r.machine.Keyboard().Press(c)
+			}
+			r.machine.Keyboard().Press('\n')
+			return true
+		}
+		r.machine.Keyboard().Press('y')
+		return true
+	})
+}
+
+// pressSequence arms the pump to answer successive prompts with the
+// given keys, one per pump call.
+func (r *rig) pressSequence(keys string) {
+	i := 0
+	r.machine.SetInputPump(func() bool {
+		if i >= len(keys) {
+			return false
+		}
+		r.clock.Sleep(600 * time.Millisecond)
+		r.machine.Keyboard().Press(rune(keys[i]))
+		i++
+		return true
+	})
+}
+
+func TestLoginHappyPath(t *testing.T) {
+	r := newRig(t, nil)
+	r.typePIN("2468")
+	outcome, err := r.client.Login("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !outcome.Accepted || !outcome.Authentic || outcome.Token == "" {
+		t.Fatalf("outcome = %+v", outcome)
+	}
+	if st := r.provider.Stats(); st.LoginsGranted != 1 || st.LoginsRejected != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLoginWrongPINRejected(t *testing.T) {
+	r := newRig(t, nil)
+	r.typePIN("9999")
+	outcome, err := r.client.Login("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcome.Accepted {
+		t.Fatal("wrong PIN accepted")
+	}
+	if st := r.provider.Stats(); st.LoginsRejected != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLoginUnknownUserRejected(t *testing.T) {
+	r := newRig(t, nil)
+	r.typePIN("2468")
+	outcome, err := r.client.Login("eve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcome.Accepted {
+		t.Fatal("unknown user logged in")
+	}
+	// The rejection must not reveal whether the user exists.
+	if outcome.Reason != "login failed" {
+		t.Fatalf("reason leaks information: %q", outcome.Reason)
+	}
+}
+
+func TestLoginUsernameMismatchRejected(t *testing.T) {
+	r := newRig(t, nil)
+	// Obtain a challenge for alice, then claim the proof is for a
+	// different user.
+	resp, err := r.client.roundTrip(&LoginRequest{Username: "alice"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := resp.(*LoginChallenge)
+	resp, err = r.client.roundTrip(&LoginProof{Nonce: ch.Nonce, Username: "mallory", Evidence: []byte{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.(*Outcome).Accepted {
+		t.Fatal("username substitution accepted")
+	}
+}
+
+func TestLoginPINNeverVisibleToOS(t *testing.T) {
+	// The whole point of the PIN PAL: an OS keylogger observing the
+	// keyboard sees nothing while the PIN is typed.
+	r := newRig(t, nil)
+	var logged []rune
+	r.machine.Keyboard().Observe(func(ev platform.KeyEvent) {
+		logged = append(logged, ev.Rune)
+	})
+	r.typePIN("2468")
+	outcome, err := r.client.Login("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !outcome.Accepted {
+		t.Fatalf("login failed: %+v", outcome)
+	}
+	if strings.Contains(string(logged), "2468") {
+		t.Fatalf("keylogger captured the PIN: %q", string(logged))
+	}
+	if len(logged) != 0 {
+		t.Fatalf("keylogger captured %q during exclusive session", string(logged))
+	}
+}
+
+func TestLoginNoHumanFails(t *testing.T) {
+	r := newRig(t, nil)
+	r.nobodyHome()
+	if _, err := r.client.Login("alice"); !errors.Is(err, ErrPALFailed) {
+		t.Fatalf("unattended login: %v", err)
+	}
+}
+
+func TestLoginPINTooLong(t *testing.T) {
+	r := newRig(t, nil)
+	r.typePIN(strings.Repeat("1", maxPINLength+1))
+	_, err := r.client.Login("alice")
+	if !errors.Is(err, ErrPINTooLong) {
+		t.Fatalf("overlong PIN: %v", err)
+	}
+}
+
+func batchOf(n int) []Transaction {
+	txs := make([]Transaction, n)
+	for i := range txs {
+		txs[i] = Transaction{
+			ID: "b-" + string(rune('a'+i)), From: "alice", To: "bob",
+			AmountCents: int64(1000 * (i + 1)), Currency: "EUR",
+		}
+	}
+	return txs
+}
+
+func TestBatchAllApproved(t *testing.T) {
+	r := newRig(t, nil)
+	txs := batchOf(3)
+	r.pressSequence("yyy")
+	outcome, decisions, err := r.client.SubmitBatch(txs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !outcome.Accepted || !outcome.Authentic {
+		t.Fatalf("outcome = %+v", outcome)
+	}
+	for i, d := range decisions {
+		if !d {
+			t.Fatalf("decision %d = false", i)
+		}
+	}
+	// 1000 + 2000 + 3000.
+	if bal, _ := r.provider.Ledger().Balance("bob"); bal != 6000 {
+		t.Fatalf("bob = %d", bal)
+	}
+	st := r.provider.Stats()
+	if st.BatchesConfirmed != 1 || st.Confirmed != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestBatchPartialDenial(t *testing.T) {
+	r := newRig(t, nil)
+	txs := batchOf(3)
+	r.pressSequence("yny")
+	outcome, decisions, err := r.client.SubmitBatch(txs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !outcome.Authentic {
+		t.Fatalf("outcome = %+v", outcome)
+	}
+	if !decisions[0] || decisions[1] || !decisions[2] {
+		t.Fatalf("decisions = %v", decisions)
+	}
+	// 1000 + 3000 (the middle one denied).
+	if bal, _ := r.provider.Ledger().Balance("bob"); bal != 4000 {
+		t.Fatalf("bob = %d", bal)
+	}
+	if st := r.provider.Stats(); st.DeniedByUser != 1 || st.Confirmed != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestBatchHMACMode(t *testing.T) {
+	r := newRig(t, nil)
+	if outcome, err := r.client.ProvisionHMACKey(); err != nil || !outcome.Accepted {
+		t.Fatalf("provision: %v / %+v", err, outcome)
+	}
+	if err := r.client.SetMode(ModeHMAC); err != nil {
+		t.Fatal(err)
+	}
+	r.pressSequence("yy")
+	outcome, _, err := r.client.SubmitBatch(batchOf(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !outcome.Accepted {
+		t.Fatalf("HMAC batch outcome = %+v", outcome)
+	}
+	if bal, _ := r.provider.Ledger().Balance("bob"); bal != 3000 {
+		t.Fatalf("bob = %d", bal)
+	}
+}
+
+func TestBatchDecisionTamperRejected(t *testing.T) {
+	// Malware flips a denial into an approval after the PAL ran; the
+	// binding covers every decision, so verification fails.
+	r := newRig(t, nil)
+	r.os.AddInterceptor(func(p []byte) []byte {
+		msg, err := DecodeMessage(p)
+		if err != nil {
+			return p
+		}
+		if cb, ok := msg.(*ConfirmBatch); ok {
+			for i := range cb.Decisions {
+				cb.Decisions[i] = true
+			}
+			if out, err := EncodeMessage(cb); err == nil {
+				return out
+			}
+		}
+		return p
+	})
+	txs := batchOf(2)
+	r.pressSequence("yn")
+	outcome, _, err := r.client.SubmitBatch(txs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcome.Accepted {
+		t.Fatal("tampered decisions accepted")
+	}
+	if bal, _ := r.provider.Ledger().Balance("bob"); bal != 0 {
+		t.Fatalf("money moved on tampered batch: %d", bal)
+	}
+	if st := r.provider.Stats(); st.RejectedForged != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestBatchSizeLimits(t *testing.T) {
+	r := newRig(t, nil)
+	if _, _, err := r.client.SubmitBatch(nil); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("empty batch: %v", err)
+	}
+	// Oversize batches are rejected by the provider.
+	big := make([]Transaction, maxBatchSize+1)
+	for i := range big {
+		big[i] = Transaction{ID: "x", From: "alice", To: "bob", AmountCents: 1, Currency: "EUR"}
+	}
+	resp, err := r.client.roundTrip(&SubmitBatch{Txs: big})
+	if err == nil {
+		if o, ok := resp.(*Outcome); !ok || o.Accepted {
+			t.Fatalf("oversize batch response: %T %+v", resp, resp)
+		}
+	}
+}
+
+func TestBatchInvalidTxRejected(t *testing.T) {
+	r := newRig(t, nil)
+	txs := batchOf(2)
+	txs[1].AmountCents = -5
+	r.nobodyHome()
+	outcome, _, err := r.client.SubmitBatch(txs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcome.Accepted {
+		t.Fatal("invalid tx in batch accepted")
+	}
+}
+
+func TestBatchDecisionCountMismatchRejected(t *testing.T) {
+	r := newRig(t, nil)
+	resp, err := r.client.roundTrip(&SubmitBatch{Txs: batchOf(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := resp.(*BatchChallenge)
+	resp, err = r.client.roundTrip(&ConfirmBatch{
+		Nonce: ch.Nonce, Decisions: []bool{true}, Mode: ModeQuote, Evidence: []byte{1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.(*Outcome).Accepted {
+		t.Fatal("mismatched decision count accepted")
+	}
+}
+
+func TestProviderGC(t *testing.T) {
+	r := newRig(t, nil)
+	// Issue several challenges that are never answered (DoSed by
+	// malware / user walked away).
+	for i := 0; i < 5; i++ {
+		tx := payment("dos", "bob", 5_000)
+		tx.ID = tx.ID + string(rune('0'+i))
+		resp, err := r.client.roundTrip(&SubmitTx{Tx: tx})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := resp.(*Challenge); !ok {
+			t.Fatalf("response = %T", resp)
+		}
+	}
+	if got := r.provider.PendingChallenges(); got != 5 {
+		t.Fatalf("pending = %d", got)
+	}
+	// Before expiry GC collects nothing.
+	if n := r.provider.GC(); n != 0 {
+		t.Fatalf("premature GC collected %d", n)
+	}
+	r.clock.Sleep(10 * time.Minute) // past the 5-minute default TTL
+	if n := r.provider.GC(); n != 5 {
+		t.Fatalf("GC collected %d, want 5", n)
+	}
+	if got := r.provider.PendingChallenges(); got != 0 {
+		t.Fatalf("pending after GC = %d", got)
+	}
+	if st := r.provider.Stats(); st.ExpiredChallenges != 5 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestExpiredChallengeRejected(t *testing.T) {
+	r := newRig(t, nil)
+	resp, err := r.client.roundTrip(&SubmitTx{Tx: payment("slow", "bob", 5_000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := resp.(*Challenge)
+	r.clock.Sleep(10 * time.Minute)
+	r.provider.GC()
+	resp, err = r.client.roundTrip(&ConfirmTx{
+		Nonce: ch.Nonce, Confirmed: true, Mode: ModeQuote, Evidence: []byte{1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.(*Outcome).Accepted {
+		t.Fatal("expired challenge accepted")
+	}
+}
+
+func TestEnrollCredentialValidation(t *testing.T) {
+	r := newRig(t, nil)
+	if err := r.provider.EnrollCredential("", "1234"); err == nil {
+		t.Fatal("empty username accepted")
+	}
+	if err := r.provider.EnrollCredential("x", ""); err == nil {
+		t.Fatal("empty PIN accepted")
+	}
+	if err := r.provider.EnrollCredential("alice", "0000"); err == nil {
+		t.Fatal("duplicate enrollment accepted")
+	}
+}
+
+func TestCredentialDigestProperties(t *testing.T) {
+	a := CredentialDigest("alice", "2468")
+	if a != CredentialDigest("alice", "2468") {
+		t.Fatal("credential digest not deterministic")
+	}
+	if a == CredentialDigest("alice", "2469") {
+		t.Fatal("PIN change did not change digest")
+	}
+	if a == CredentialDigest("alicf", "2468") {
+		t.Fatal("username change did not change digest")
+	}
+	// Separator prevents (user, pin) boundary confusion.
+	if CredentialDigest("ab", "c") == CredentialDigest("a", "bc") {
+		t.Fatal("credential field-boundary confusion")
+	}
+}
+
+func TestBatchBindingProperties(t *testing.T) {
+	var n attest.Nonce
+	txs := batchOf(3)
+	ds := txDigests(txs)
+	base := BatchBinding(n, ds, []bool{true, false, true})
+	// Flipping any decision changes the binding.
+	if base == BatchBinding(n, ds, []bool{true, true, true}) {
+		t.Fatal("decision flip invisible to binding")
+	}
+	// Reordering transactions changes the binding.
+	swapped := []cryptoutil.Digest{ds[1], ds[0], ds[2]}
+	if base == BatchBinding(n, swapped, []bool{true, false, true}) {
+		t.Fatal("reorder invisible to binding")
+	}
+	// Nonce binds.
+	var n2 attest.Nonce
+	n2[0] = 1
+	if base == BatchBinding(n2, ds, []bool{true, false, true}) {
+		t.Fatal("nonce invisible to binding")
+	}
+}

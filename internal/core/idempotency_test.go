@@ -1,0 +1,249 @@
+package core
+
+import (
+	"testing"
+
+	"unitp/internal/cryptoutil"
+	"unitp/internal/sim"
+)
+
+// captureMessages returns a pointer to a slice accumulating every
+// outbound wire message of one type.
+func captureOutbound[T any](r *rig) *[][]byte {
+	var captured [][]byte
+	r.os.AddInterceptor(func(p []byte) []byte {
+		if msg, err := DecodeMessage(p); err == nil {
+			if _, ok := msg.(T); ok {
+				captured = append(captured, append([]byte{}, p...))
+			}
+		}
+		return p
+	})
+	return &captured
+}
+
+// replayLast re-delivers a captured message to the provider and decodes
+// the outcome.
+func replayLast(t *testing.T, r *rig, captured [][]byte) *Outcome {
+	t.Helper()
+	if len(captured) == 0 {
+		t.Fatal("nothing captured")
+	}
+	respBytes, err := r.provider.Handle(captured[len(captured)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := DecodeMessage(respBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.(*Outcome)
+}
+
+func TestPresenceProofIdempotent(t *testing.T) {
+	r := newRig(t, nil)
+	captured := captureOutbound[*PresenceProof](r)
+	r.pressOnce(' ')
+	original, err := r.client.ProveHumanPresence()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !original.Accepted {
+		t.Fatalf("setup: %+v", original)
+	}
+	replayed := replayLast(t, r, *captured)
+	if !replayed.Accepted || replayed.Token != original.Token {
+		t.Fatalf("replay = %+v, original = %+v", replayed, original)
+	}
+	// No second token was minted.
+	if st := r.provider.Stats(); st.PresenceGranted != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestProvisionCompleteIdempotent(t *testing.T) {
+	r := newRig(t, nil)
+	captured := captureOutbound[*ProvisionComplete](r)
+	original, err := r.client.ProvisionHMACKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !original.Accepted {
+		t.Fatalf("setup: %+v", original)
+	}
+	replayed := replayLast(t, r, *captured)
+	if !replayed.Accepted {
+		t.Fatalf("replay = %+v", replayed)
+	}
+	if st := r.provider.Stats(); st.Provisioned != 1 {
+		t.Fatalf("provisioned twice: %+v", st)
+	}
+}
+
+func TestLoginProofIdempotent(t *testing.T) {
+	r := newRig(t, nil)
+	captured := captureOutbound[*LoginProof](r)
+	r.typePIN("2468")
+	original, err := r.client.Login("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !original.Accepted {
+		t.Fatalf("setup: %+v", original)
+	}
+	replayed := replayLast(t, r, *captured)
+	if !replayed.Accepted || replayed.Token != original.Token {
+		t.Fatalf("replay = %+v", replayed)
+	}
+	if st := r.provider.Stats(); st.LoginsGranted != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestConfirmBatchIdempotent(t *testing.T) {
+	r := newRig(t, nil)
+	captured := captureOutbound[*ConfirmBatch](r)
+	r.pressSequence("yy")
+	original, _, err := r.client.SubmitBatch(batchOf(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !original.Accepted {
+		t.Fatalf("setup: %+v", original)
+	}
+	replayed := replayLast(t, r, *captured)
+	if !replayed.Accepted {
+		t.Fatalf("replay = %+v", replayed)
+	}
+	// The batch did not execute twice.
+	if bal, _ := r.provider.Ledger().Balance("bob"); bal != 3000 {
+		t.Fatalf("bob = %d", bal)
+	}
+	if st := r.provider.Stats(); st.BatchesConfirmed != 1 || st.Confirmed != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestProvisionRejectsTamperedKeyTransport(t *testing.T) {
+	// Malware flips a byte in the encrypted key on the way out: the
+	// binding no longer matches, so the provider rejects before any
+	// decryption confusion.
+	r := newRig(t, nil)
+	r.os.AddInterceptor(func(p []byte) []byte {
+		if msg, err := DecodeMessage(p); err == nil {
+			if pc, ok := msg.(*ProvisionComplete); ok {
+				pc.EncKey[0] ^= 1
+				if out, err := EncodeMessage(pc); err == nil {
+					return out
+				}
+			}
+		}
+		return p
+	})
+	outcome, err := r.client.ProvisionHMACKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcome.Accepted {
+		t.Fatal("tampered key transport accepted")
+	}
+	if st := r.provider.Stats(); st.RejectedForged != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestProvisionRejectsPlatformIDSubstitution(t *testing.T) {
+	// Malware claims the provisioned key belongs to a different
+	// platform: the certificate inside the evidence disagrees.
+	r := newRig(t, nil)
+	r.os.AddInterceptor(func(p []byte) []byte {
+		if msg, err := DecodeMessage(p); err == nil {
+			if pc, ok := msg.(*ProvisionComplete); ok {
+				pc.PlatformID = "some-other-platform"
+				if out, err := EncodeMessage(pc); err == nil {
+					return out
+				}
+			}
+		}
+		return p
+	})
+	outcome, err := r.client.ProvisionHMACKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcome.Accepted {
+		t.Fatal("platform substitution accepted")
+	}
+}
+
+func TestProvisionRequiresProviderKey(t *testing.T) {
+	// A provider constructed without an RSA key refuses provisioning.
+	clock := sim.NewVirtualClock()
+	caKey, err := cryptoutil.PooledKey(3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = caKey
+	p := NewProvider(ProviderConfig{Name: "no-key", Clock: clock})
+	if p.PublicKeyDER() != nil {
+		t.Fatal("keyless provider has a public key")
+	}
+	respBytes, err := p.Handle(mustEncode(t, &ProvisionRequest{PlatformID: "x"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := mustDecode(t, respBytes).(*Outcome)
+	if resp.Accepted {
+		t.Fatal("keyless provider accepted provisioning")
+	}
+	// Missing platform ID also refused.
+	p2 := NewProvider(ProviderConfig{Name: "k", Clock: clock, Key: caKey})
+	respBytes, err = p2.Handle(mustEncode(t, &ProvisionRequest{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mustDecode(t, respBytes).(*Outcome).Accepted {
+		t.Fatal("empty platform ID accepted")
+	}
+}
+
+func TestLedgerHistory(t *testing.T) {
+	r := newRig(t, nil)
+	r.pressOnce('y')
+	if _, err := r.client.SubmitTransaction(payment("h1", "bob", 1_000)); err != nil {
+		t.Fatal(err)
+	}
+	hist := r.provider.Ledger().History()
+	if len(hist) != 1 || hist[0].ID != "h1" {
+		t.Fatalf("history = %+v", hist)
+	}
+	// The returned slice is a copy.
+	hist[0].ID = "tampered"
+	if r.provider.Ledger().History()[0].ID != "h1" {
+		t.Fatal("history exposed internal state")
+	}
+}
+
+func TestLastSessionReportExposed(t *testing.T) {
+	r := newRig(t, nil)
+	if r.client.LastSessionReport() != nil {
+		t.Fatal("report before any session")
+	}
+	r.pressOnce('y')
+	if _, err := r.client.SubmitTransaction(payment("s1", "bob", 1_000)); err != nil {
+		t.Fatal(err)
+	}
+	rep := r.client.LastSessionReport()
+	if rep == nil || rep.Total <= 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestSafeTxIDNil(t *testing.T) {
+	if safeTxID(nil) != "" {
+		t.Fatal("nil tx id")
+	}
+	if safeTxID(&Transaction{ID: "x"}) != "x" {
+		t.Fatal("tx id")
+	}
+}

@@ -1,0 +1,398 @@
+package core
+
+import (
+	"crypto/rsa"
+	"crypto/sha256"
+	"crypto/x509"
+	"errors"
+	"fmt"
+	"time"
+
+	"unitp/internal/attest"
+	"unitp/internal/cryptoutil"
+	"unitp/internal/flicker"
+	"unitp/internal/platform"
+	"unitp/internal/tpm"
+)
+
+// PAL errors.
+var (
+	// ErrNoHumanResponse is returned by the confirmation and presence
+	// PALs when no keystroke arrives — malware cannot substitute one,
+	// so an unattended machine simply cannot confirm.
+	ErrNoHumanResponse = errors.New("core: no human response in PAL session")
+
+	// ErrProviderKeyMismatch is returned by the provisioning PAL when
+	// the supplied provider key does not match the hash baked into the
+	// PAL image (a MITM substituting its own key).
+	ErrProviderKeyMismatch = errors.New("core: provider key does not match PAL-pinned hash")
+)
+
+// Registered PAL names.
+const (
+	// ConfirmPALName is the transaction confirmation PAL.
+	ConfirmPALName = "unitp-confirm"
+
+	// PresencePALName is the human-presence (CAPTCHA replacement) PAL.
+	PresencePALName = "unitp-presence"
+
+	// ProvisionPALName is the HMAC-key provisioning PAL.
+	ProvisionPALName = "unitp-provision"
+)
+
+// palCompute is the modelled execution time of PAL logic itself —
+// microseconds of hashing and branching, dwarfed by TPM commands.
+const palCompute = 50 * time.Microsecond
+
+// ConfirmPALImage is the measured identity of the confirmation PAL. In a
+// real deployment this is the SLB binary; here it is a versioned
+// descriptor whose digest plays the same role.
+func ConfirmPALImage() []byte {
+	return []byte("unitp.pal.confirm.v2\x00uni-directional trusted path confirmation logic")
+}
+
+// PresencePALImage is the measured identity of the presence PAL.
+func PresencePALImage() []byte {
+	return []byte("unitp.pal.presence.v1\x00human presence proof logic")
+}
+
+// ProvisionPALImage is the measured identity of the provisioning PAL for
+// a specific provider key: the key hash is baked into the image so that
+// the measured identity pins the key-transport target (a MITM cannot
+// redirect the fresh key without changing PCR 17).
+func ProvisionPALImage(providerPubDER []byte) []byte {
+	h := sha256.Sum256(providerPubDER)
+	return append([]byte("unitp.pal.provision.v1\x00pinned-provider-key:"), h[:]...)
+}
+
+// confirmInput is the marshalled input of the confirmation PAL.
+type confirmInput struct {
+	Nonce     attest.Nonce
+	TxBytes   []byte
+	Mode      ConfirmMode
+	SealedKey []byte // ModeHMAC: marshalled sealed key blob
+}
+
+func (in *confirmInput) marshal() []byte {
+	b := cryptoutil.NewBuffer(64 + len(in.TxBytes) + len(in.SealedKey))
+	b.PutRaw(in.Nonce[:])
+	b.PutBytes(in.TxBytes)
+	b.PutUint8(uint8(in.Mode))
+	b.PutBytes(in.SealedKey)
+	return b.Bytes()
+}
+
+func parseConfirmInput(data []byte) (*confirmInput, error) {
+	r := cryptoutil.NewReader(data)
+	var in confirmInput
+	copy(in.Nonce[:], r.Raw(attest.NonceSize))
+	in.TxBytes = r.Bytes()
+	in.Mode = ConfirmMode(r.Uint8())
+	in.SealedKey = r.Bytes()
+	if err := r.ExpectEOF(); err != nil {
+		return nil, fmt.Errorf("%w: confirm input", ErrBadMessage)
+	}
+	return &in, nil
+}
+
+// MarshalConfirmInput encodes the confirmation PAL's input ABI — the
+// bytes the (untrusted) OS marshals into a session. Exposed for driver
+// tooling and for the attack harness, which must speak the genuine ABI
+// to mount relay attacks.
+func MarshalConfirmInput(nonce attest.Nonce, txBytes []byte, mode ConfirmMode, sealedKey []byte) []byte {
+	in := confirmInput{Nonce: nonce, TxBytes: txBytes, Mode: mode, SealedKey: sealedKey}
+	return in.marshal()
+}
+
+// confirmOutput is the marshalled output of the confirmation PAL.
+type confirmOutput struct {
+	Confirmed bool
+	MAC       []byte // ModeHMAC only
+}
+
+func (out *confirmOutput) marshal() []byte {
+	b := cryptoutil.NewBuffer(8 + len(out.MAC))
+	b.PutBool(out.Confirmed)
+	b.PutBytes(out.MAC)
+	return b.Bytes()
+}
+
+func parseConfirmOutput(data []byte) (*confirmOutput, error) {
+	r := cryptoutil.NewReader(data)
+	var out confirmOutput
+	out.Confirmed = r.Bool()
+	out.MAC = r.Bytes()
+	if err := r.ExpectEOF(); err != nil {
+		return nil, fmt.Errorf("%w: confirm output", ErrBadMessage)
+	}
+	return &out, nil
+}
+
+// NewConfirmPAL builds the transaction confirmation PAL: it resets the
+// application PCR, renders the transaction, captures the human's y/n
+// keystroke over exclusively owned input, and extends the confirmation
+// binding. In ModeHMAC it additionally unseals the provisioned key and
+// MACs the binding.
+func NewConfirmPAL() *flicker.PAL {
+	return &flicker.PAL{
+		Name:    ConfirmPALName,
+		Image:   ConfirmPALImage(),
+		Compute: palCompute,
+		Entry: func(env *platform.LaunchEnv, input []byte) ([]byte, error) {
+			in, err := parseConfirmInput(input)
+			if err != nil {
+				return nil, err
+			}
+			tx, err := UnmarshalTransaction(in.TxBytes)
+			if err != nil {
+				return nil, err
+			}
+			if err := env.ResetPCR(tpm.PCRApp); err != nil {
+				return nil, err
+			}
+			// In HMAC mode the provisioned key is unsealed into PAL
+			// memory before the human interaction — the window the DMA
+			// exclusion vector must cover (experiment F3's DMA-theft
+			// ablation reads this region mid-session).
+			var hmacKey []byte
+			if in.Mode == ModeHMAC {
+				blob, err := tpm.UnmarshalSealedBlob(in.SealedKey)
+				if err != nil {
+					return nil, err
+				}
+				hmacKey, err = env.Unseal(blob)
+				if err != nil {
+					return nil, fmt.Errorf("core: unseal provisioned key: %w", err)
+				}
+				if err := env.StoreSecret(hmacKey); err != nil {
+					return nil, err
+				}
+			}
+			// Display is best-effort: the trusted path is
+			// uni-directional, so a platform without exclusive display
+			// degrades to an OS-rendered prompt without breaking the
+			// input-side guarantee.
+			if err := env.Display("TRUSTED CONFIRMATION — " + tx.Summary() + " — press y/n"); err != nil &&
+				!errors.Is(err, platform.ErrDeviceNotOwned) {
+				return nil, err
+			}
+			ev, err := env.WaitKey()
+			if errors.Is(err, platform.ErrNoInput) {
+				return nil, ErrNoHumanResponse
+			}
+			if err != nil {
+				return nil, err
+			}
+			confirmed := ev.Rune == 'y' || ev.Rune == 'Y'
+			txDigest := cryptoutil.SHA1(in.TxBytes)
+			binding := ConfirmationBinding(in.Nonce, txDigest, confirmed)
+			if _, err := env.Extend(tpm.PCRApp, binding); err != nil {
+				return nil, err
+			}
+			out := confirmOutput{Confirmed: confirmed}
+			if in.Mode == ModeHMAC {
+				out.MAC = cryptoutil.HMACSHA256(hmacKey, MACMessage(in.Nonce, txDigest, confirmed))
+			}
+			return out.marshal(), nil
+		},
+	}
+}
+
+// presenceInput is the marshalled input of the presence PAL.
+type presenceInput struct {
+	Nonce  attest.Nonce
+	Prompt string
+}
+
+func (in *presenceInput) marshal() []byte {
+	b := cryptoutil.NewBuffer(32 + len(in.Prompt))
+	b.PutRaw(in.Nonce[:])
+	b.PutString(in.Prompt)
+	return b.Bytes()
+}
+
+func parsePresenceInput(data []byte) (*presenceInput, error) {
+	r := cryptoutil.NewReader(data)
+	var in presenceInput
+	copy(in.Nonce[:], r.Raw(attest.NonceSize))
+	in.Prompt = r.String()
+	if err := r.ExpectEOF(); err != nil {
+		return nil, fmt.Errorf("%w: presence input", ErrBadMessage)
+	}
+	return &in, nil
+}
+
+// NewPresencePAL builds the human-presence PAL: any keystroke over
+// exclusive input proves a human, bound to the challenge nonce.
+func NewPresencePAL() *flicker.PAL {
+	return &flicker.PAL{
+		Name:    PresencePALName,
+		Image:   PresencePALImage(),
+		Compute: palCompute,
+		Entry: func(env *platform.LaunchEnv, input []byte) ([]byte, error) {
+			in, err := parsePresenceInput(input)
+			if err != nil {
+				return nil, err
+			}
+			if err := env.ResetPCR(tpm.PCRApp); err != nil {
+				return nil, err
+			}
+			if err := env.Display("HUMAN CHECK — " + in.Prompt); err != nil &&
+				!errors.Is(err, platform.ErrDeviceNotOwned) {
+				return nil, err
+			}
+			if _, err := env.WaitKey(); err != nil {
+				if errors.Is(err, platform.ErrNoInput) {
+					return nil, ErrNoHumanResponse
+				}
+				return nil, err
+			}
+			if _, err := env.Extend(tpm.PCRApp, PresenceBinding(in.Nonce)); err != nil {
+				return nil, err
+			}
+			return []byte{1}, nil
+		},
+	}
+}
+
+// provisionInput is the marshalled input of the provisioning PAL.
+type provisionInput struct {
+	Nonce          attest.Nonce
+	ProviderPubDER []byte
+}
+
+func (in *provisionInput) marshal() []byte {
+	b := cryptoutil.NewBuffer(32 + len(in.ProviderPubDER))
+	b.PutRaw(in.Nonce[:])
+	b.PutBytes(in.ProviderPubDER)
+	return b.Bytes()
+}
+
+func parseProvisionInput(data []byte) (*provisionInput, error) {
+	r := cryptoutil.NewReader(data)
+	var in provisionInput
+	copy(in.Nonce[:], r.Raw(attest.NonceSize))
+	in.ProviderPubDER = r.Bytes()
+	if err := r.ExpectEOF(); err != nil {
+		return nil, fmt.Errorf("%w: provision input", ErrBadMessage)
+	}
+	return &in, nil
+}
+
+// provisionOutput is the marshalled output of the provisioning PAL. The
+// fresh key is sealed once per consumer PAL (single-transaction and
+// batch confirmation), since sealed blobs release only to the exact
+// launch state of one PAL identity.
+type provisionOutput struct {
+	SealedKey      []byte // sealed to the confirm PAL, kept by the client
+	SealedKeyBatch []byte // sealed to the batch PAL
+	EncKey         []byte // RSA-OAEP ciphertext, sent to the provider
+}
+
+func (out *provisionOutput) marshal() []byte {
+	b := cryptoutil.NewBuffer(24 + len(out.SealedKey) + len(out.SealedKeyBatch) + len(out.EncKey))
+	b.PutBytes(out.SealedKey)
+	b.PutBytes(out.SealedKeyBatch)
+	b.PutBytes(out.EncKey)
+	return b.Bytes()
+}
+
+func parseProvisionOutput(data []byte) (*provisionOutput, error) {
+	r := cryptoutil.NewReader(data)
+	var out provisionOutput
+	out.SealedKey = r.Bytes()
+	out.SealedKeyBatch = r.Bytes()
+	out.EncKey = r.Bytes()
+	if err := r.ExpectEOF(); err != nil {
+		return nil, fmt.Errorf("%w: provision output", ErrBadMessage)
+	}
+	return &out, nil
+}
+
+// oaepLabel domain-separates the provisioning key transport.
+var oaepLabel = []byte("unitp.provision.v1")
+
+// envRandReader adapts the PAL environment's TPM entropy to io.Reader
+// for RSA-OAEP.
+type envRandReader struct {
+	env *platform.LaunchEnv
+}
+
+func (r envRandReader) Read(p []byte) (int, error) {
+	buf, err := r.env.GetRandom(len(p))
+	if err != nil {
+		return 0, err
+	}
+	copy(p, buf)
+	return len(p), nil
+}
+
+// NewProvisionPAL builds the key-provisioning PAL for a specific
+// provider key. The key hash is part of the measured image, so the
+// attested identity pins where the fresh key can go.
+func NewProvisionPAL(providerPubDER []byte) *flicker.PAL {
+	pinned := sha256.Sum256(providerPubDER)
+	return &flicker.PAL{
+		// One provisioning PAL per pinned provider key: the name
+		// carries the key hash so clients talking to several
+		// providers register distinct PALs.
+		Name:    fmt.Sprintf("%s-%x", ProvisionPALName, pinned[:4]),
+		Image:   ProvisionPALImage(providerPubDER),
+		Compute: palCompute,
+		Entry: func(env *platform.LaunchEnv, input []byte) ([]byte, error) {
+			in, err := parseProvisionInput(input)
+			if err != nil {
+				return nil, err
+			}
+			if sha256.Sum256(in.ProviderPubDER) != pinned {
+				return nil, ErrProviderKeyMismatch
+			}
+			pub, err := x509.ParsePKCS1PublicKey(in.ProviderPubDER)
+			if err != nil {
+				return nil, fmt.Errorf("core: parse provider key: %w", err)
+			}
+			if err := env.ResetPCR(tpm.PCRApp); err != nil {
+				return nil, err
+			}
+			key, err := env.GetRandom(32)
+			if err != nil {
+				return nil, err
+			}
+			// Seal the key to the launch state of each consumer PAL:
+			// only a genuine session of exactly that PAL can use it.
+			// LaunchIdentity accounts for the platform's DRTM flavour
+			// (SKINIT vs TXT SINIT chain).
+			sealTo := func(image []byte) (*tpm.SealedBlob, error) {
+				pcr17 := env.LaunchIdentity(cryptoutil.SHA1(image))
+				composite, err := tpm.ComputeComposite(
+					[]int{tpm.PCRDRTM}, []cryptoutil.Digest{pcr17})
+				if err != nil {
+					return nil, err
+				}
+				return env.Seal([]int{tpm.PCRDRTM}, composite, tpm.MaskOf(2), key)
+			}
+			sealed, err := sealTo(ConfirmPALImage())
+			if err != nil {
+				return nil, err
+			}
+			sealedBatch, err := sealTo(BatchPALImage())
+			if err != nil {
+				return nil, err
+			}
+			encKey, err := rsa.EncryptOAEP(sha256.New(), envRandReader{env}, pub, key, oaepLabel)
+			if err != nil {
+				return nil, fmt.Errorf("core: encrypt provisioned key: %w", err)
+			}
+			binding := ProvisionBinding(in.Nonce, cryptoutil.SHA1(encKey))
+			if _, err := env.Extend(tpm.PCRApp, binding); err != nil {
+				return nil, err
+			}
+			out := provisionOutput{
+				SealedKey:      sealed.Marshal(),
+				SealedKeyBatch: sealedBatch.Marshal(),
+				EncKey:         encKey,
+			}
+			return out.marshal(), nil
+		},
+	}
+}

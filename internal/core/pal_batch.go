@@ -1,0 +1,150 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"unitp/internal/attest"
+	"unitp/internal/cryptoutil"
+	"unitp/internal/flicker"
+	"unitp/internal/platform"
+	"unitp/internal/tpm"
+)
+
+// BatchPALName is the batch confirmation PAL: one late launch reviews N
+// transactions, amortizing the session and quote cost (experiment F6).
+const BatchPALName = "unitp-confirm-batch"
+
+// BatchPALImage is the measured identity of the batch confirmation PAL.
+func BatchPALImage() []byte {
+	return []byte("unitp.pal.confirm-batch.v1\x00amortized multi-transaction confirmation logic")
+}
+
+// batchInput is the marshalled input of the batch PAL.
+type batchInput struct {
+	Nonce     attest.Nonce
+	Txs       []Transaction
+	Mode      ConfirmMode
+	SealedKey []byte
+}
+
+func (in *batchInput) marshal() []byte {
+	b := cryptoutil.NewBuffer(64 + 64*len(in.Txs) + len(in.SealedKey))
+	b.PutRaw(in.Nonce[:])
+	putTxSlice(b, in.Txs)
+	b.PutUint8(uint8(in.Mode))
+	b.PutBytes(in.SealedKey)
+	return b.Bytes()
+}
+
+func parseBatchInput(data []byte) (*batchInput, error) {
+	r := cryptoutil.NewReader(data)
+	var in batchInput
+	copy(in.Nonce[:], r.Raw(attest.NonceSize))
+	txs, err := readTxSlice(r)
+	if err != nil {
+		return nil, err
+	}
+	in.Txs = txs
+	in.Mode = ConfirmMode(r.Uint8())
+	in.SealedKey = r.Bytes()
+	if err := r.ExpectEOF(); err != nil {
+		return nil, fmt.Errorf("%w: batch input", ErrBadMessage)
+	}
+	return &in, nil
+}
+
+// batchOutput is the marshalled output of the batch PAL.
+type batchOutput struct {
+	Decisions []bool
+	MAC       []byte
+}
+
+func (out *batchOutput) marshal() []byte {
+	b := cryptoutil.NewBuffer(16 + len(out.Decisions) + len(out.MAC))
+	putBoolSlice(b, out.Decisions)
+	b.PutBytes(out.MAC)
+	return b.Bytes()
+}
+
+func parseBatchOutput(data []byte) (*batchOutput, error) {
+	r := cryptoutil.NewReader(data)
+	var out batchOutput
+	ds, err := readBoolSlice(r)
+	if err != nil {
+		return nil, err
+	}
+	out.Decisions = ds
+	out.MAC = r.Bytes()
+	if err := r.ExpectEOF(); err != nil {
+		return nil, fmt.Errorf("%w: batch output", ErrBadMessage)
+	}
+	return &out, nil
+}
+
+// NewBatchPAL builds the batch confirmation PAL: it shows each
+// transaction in turn, collects a y/n per entry over exclusive input,
+// and extends a single binding covering every (transaction, decision)
+// pair in order.
+func NewBatchPAL() *flicker.PAL {
+	return &flicker.PAL{
+		Name:    BatchPALName,
+		Image:   BatchPALImage(),
+		Compute: palCompute,
+		Entry: func(env *platform.LaunchEnv, input []byte) ([]byte, error) {
+			in, err := parseBatchInput(input)
+			if err != nil {
+				return nil, err
+			}
+			if len(in.Txs) == 0 {
+				return nil, fmt.Errorf("%w: empty batch", ErrBadMessage)
+			}
+			if err := env.ResetPCR(tpm.PCRApp); err != nil {
+				return nil, err
+			}
+			var hmacKey []byte
+			if in.Mode == ModeHMAC {
+				blob, err := tpm.UnmarshalSealedBlob(in.SealedKey)
+				if err != nil {
+					return nil, err
+				}
+				hmacKey, err = env.Unseal(blob)
+				if err != nil {
+					return nil, fmt.Errorf("core: unseal provisioned key: %w", err)
+				}
+				if err := env.StoreSecret(hmacKey); err != nil {
+					return nil, err
+				}
+			}
+			decisions := make([]bool, len(in.Txs))
+			digests := make([]cryptoutil.Digest, len(in.Txs))
+			for i := range in.Txs {
+				tx := in.Txs[i]
+				digests[i] = tx.Digest()
+				prompt := fmt.Sprintf("TRUSTED CONFIRMATION — [%d/%d] %s — press y/n",
+					i+1, len(in.Txs), tx.Summary())
+				if err := env.Display(prompt); err != nil &&
+					!errors.Is(err, platform.ErrDeviceNotOwned) {
+					return nil, err
+				}
+				ev, err := env.WaitKey()
+				if errors.Is(err, platform.ErrNoInput) {
+					return nil, ErrNoHumanResponse
+				}
+				if err != nil {
+					return nil, err
+				}
+				decisions[i] = ev.Rune == 'y' || ev.Rune == 'Y'
+			}
+			binding := BatchBinding(in.Nonce, digests, decisions)
+			if _, err := env.Extend(tpm.PCRApp, binding); err != nil {
+				return nil, err
+			}
+			out := batchOutput{Decisions: decisions}
+			if in.Mode == ModeHMAC {
+				out.MAC = cryptoutil.HMACSHA256(hmacKey, binding[:])
+			}
+			return out.marshal(), nil
+		},
+	}
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"unitp/internal/attest"
+	"unitp/internal/cryptoutil"
+	"unitp/internal/flicker"
+	"unitp/internal/platform"
+	"unitp/internal/tpm"
+)
+
+// PINPALName is the secure PIN-entry PAL (the abstract's "reveal
+// sensitive information to malicious parties" use case: the PIN crosses
+// only exclusively owned input and never exists in OS-visible memory).
+const PINPALName = "unitp-pin-entry"
+
+// maxPINLength bounds one PIN entry.
+const maxPINLength = 12
+
+// ErrPINTooLong is returned when the PIN entry exceeds maxPINLength
+// without a terminator.
+var ErrPINTooLong = errors.New("core: PIN entry too long")
+
+// PINPALImage is the measured identity of the PIN-entry PAL.
+func PINPALImage() []byte {
+	return []byte("unitp.pal.pin-entry.v1\x00secure credential capture logic")
+}
+
+// loginInput is the marshalled input of the PIN-entry PAL.
+type loginInput struct {
+	Nonce    attest.Nonce
+	Username string
+}
+
+func (in *loginInput) marshal() []byte {
+	b := cryptoutil.NewBuffer(32 + len(in.Username))
+	b.PutRaw(in.Nonce[:])
+	b.PutString(in.Username)
+	return b.Bytes()
+}
+
+func parseLoginInput(data []byte) (*loginInput, error) {
+	r := cryptoutil.NewReader(data)
+	var in loginInput
+	copy(in.Nonce[:], r.Raw(attest.NonceSize))
+	in.Username = r.String()
+	if err := r.ExpectEOF(); err != nil {
+		return nil, fmt.Errorf("%w: login input", ErrBadMessage)
+	}
+	return &in, nil
+}
+
+// NewPINPAL builds the secure PIN-entry PAL: it collects digits over
+// exclusively owned input until Enter, derives the credential digest
+// in PAL memory only, and extends the login binding. The PIN itself
+// never leaves the session — not in the output, not in OS memory.
+func NewPINPAL() *flicker.PAL {
+	return &flicker.PAL{
+		Name:    PINPALName,
+		Image:   PINPALImage(),
+		Compute: palCompute,
+		Entry: func(env *platform.LaunchEnv, input []byte) ([]byte, error) {
+			in, err := parseLoginInput(input)
+			if err != nil {
+				return nil, err
+			}
+			if err := env.ResetPCR(tpm.PCRApp); err != nil {
+				return nil, err
+			}
+			if err := env.Display("SECURE PIN ENTRY for " + in.Username + " — type PIN, press Enter"); err != nil &&
+				!errors.Is(err, platform.ErrDeviceNotOwned) {
+				return nil, err
+			}
+			var pin strings.Builder
+			for {
+				ev, err := env.WaitKey()
+				if errors.Is(err, platform.ErrNoInput) {
+					return nil, ErrNoHumanResponse
+				}
+				if err != nil {
+					return nil, err
+				}
+				if ev.Rune == '\n' || ev.Rune == '\r' {
+					break
+				}
+				if pin.Len() >= maxPINLength {
+					return nil, ErrPINTooLong
+				}
+				pin.WriteRune(ev.Rune)
+			}
+			cred := CredentialDigest(in.Username, pin.String())
+			binding := LoginBinding(in.Nonce, cred)
+			if _, err := env.Extend(tpm.PCRApp, binding); err != nil {
+				return nil, err
+			}
+			// Output deliberately carries no credential material.
+			return []byte{1}, nil
+		},
+	}
+}

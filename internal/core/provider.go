@@ -1,0 +1,631 @@
+package core
+
+import (
+	"crypto/rsa"
+	"crypto/sha256"
+	"crypto/x509"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"unitp/internal/attest"
+	"unitp/internal/cryptoutil"
+	"unitp/internal/netsim"
+	"unitp/internal/sim"
+)
+
+// Provider-side errors.
+var (
+	// ErrInsufficientFunds is returned by the ledger for overdrafts.
+	ErrInsufficientFunds = errors.New("core: insufficient funds")
+
+	// ErrUnknownAccount is returned for ledger operations on missing
+	// accounts.
+	ErrUnknownAccount = errors.New("core: unknown account")
+
+	// ErrAccountExists is returned when creating a duplicate account.
+	ErrAccountExists = errors.New("core: account already exists")
+)
+
+// Ledger is the provider's account store. It exists so examples and
+// experiments execute real transfers with real balance effects.
+type Ledger struct {
+	mu       sync.Mutex
+	balances map[string]int64
+	history  []Transaction
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{balances: make(map[string]int64)}
+}
+
+// CreateAccount opens an account with an initial balance.
+func (l *Ledger) CreateAccount(name string, initialCents int64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.balances[name]; ok {
+		return fmt.Errorf("%w: %s", ErrAccountExists, name)
+	}
+	l.balances[name] = initialCents
+	return nil
+}
+
+// Balance returns an account's balance.
+func (l *Ledger) Balance(name string) (int64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	bal, ok := l.balances[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownAccount, name)
+	}
+	return bal, nil
+}
+
+// Apply executes a transfer atomically.
+func (l *Ledger) Apply(tx *Transaction) error {
+	if err := tx.Validate(); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	from, ok := l.balances[tx.From]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownAccount, tx.From)
+	}
+	if _, ok := l.balances[tx.To]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownAccount, tx.To)
+	}
+	if from < tx.AmountCents {
+		return fmt.Errorf("%w: %s", ErrInsufficientFunds, tx.From)
+	}
+	l.balances[tx.From] -= tx.AmountCents
+	l.balances[tx.To] += tx.AmountCents
+	l.history = append(l.history, *tx)
+	return nil
+}
+
+// History returns a copy of the executed transactions.
+func (l *Ledger) History() []Transaction {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Transaction, len(l.history))
+	copy(out, l.history)
+	return out
+}
+
+// ProviderStats counts protocol outcomes for the experiment tables.
+type ProviderStats struct {
+	// Submitted counts transaction submissions received.
+	Submitted int
+	// AutoAccepted counts transactions below the confirmation
+	// threshold, executed without a challenge.
+	AutoAccepted int
+	// Challenged counts confirmation challenges issued.
+	Challenged int
+	// Confirmed counts transactions executed after verified human
+	// confirmation.
+	Confirmed int
+	// DeniedByUser counts authenticated human denials.
+	DeniedByUser int
+	// RejectedForged counts confirmations whose evidence failed
+	// verification — the attack detections.
+	RejectedForged int
+	// RejectedStale counts unknown/expired/replayed challenges.
+	RejectedStale int
+	// PresenceGranted counts human-presence tokens issued.
+	PresenceGranted int
+	// PresenceRejected counts failed presence proofs.
+	PresenceRejected int
+	// Provisioned counts successful HMAC key provisionings.
+	Provisioned int
+	// LedgerRejected counts verified confirmations the ledger refused
+	// (e.g. insufficient funds).
+	LedgerRejected int
+	// ExpiredChallenges counts challenges garbage-collected without an
+	// answer — the footprint of malware DoS (refusing to run the PAL)
+	// and of abandoned sessions.
+	ExpiredChallenges int
+	// LoginsGranted counts verified PIN logins.
+	LoginsGranted int
+	// LoginsRejected counts failed login proofs.
+	LoginsRejected int
+	// BatchesConfirmed counts verified batch confirmations.
+	BatchesConfirmed int
+}
+
+// pendingKind distinguishes outstanding challenges.
+type pendingKind int
+
+const (
+	pendingConfirm pendingKind = iota + 1
+	pendingPresence
+	pendingProvision
+	pendingLogin
+	pendingBatch
+)
+
+// pendingChallenge is one outstanding nonce's context.
+type pendingChallenge struct {
+	kind     pendingKind
+	tx       *Transaction
+	batch    []Transaction
+	username string
+	issuedAt time.Time
+}
+
+// ProviderConfig configures a service provider.
+type ProviderConfig struct {
+	// Name labels the provider in logs.
+	Name string
+
+	// CAPub is the trusted privacy-CA verification key.
+	CAPub *rsa.PublicKey
+
+	// Key is the provider's RSA key pair (key transport for
+	// provisioning). nil disables ModeHMAC provisioning.
+	Key *rsa.PrivateKey
+
+	// Clock and Random drive nonce freshness and token generation.
+	Clock  sim.Clock
+	Random *sim.Rand
+
+	// NonceTTL bounds how long a challenge stays redeemable
+	// (default 5 min).
+	NonceTTL time.Duration
+
+	// ConfirmThresholdCents is the amount at or above which a
+	// transaction demands human confirmation. Zero means every
+	// transaction does.
+	ConfirmThresholdCents int64
+}
+
+// Provider is the service-provider engine: it owns the ledger, issues
+// challenges, and verifies confirmations. Its Handle method implements
+// netsim.Handler, so the same engine serves simulated and real
+// transports.
+type Provider struct {
+	mu        sync.Mutex
+	name      string
+	verifier  *attest.Verifier
+	nonces    *attest.NonceCache
+	clock     sim.Clock
+	rng       *sim.Rand
+	key       *rsa.PrivateKey
+	ledger    *Ledger
+	audit     *AuditLog
+	pending   map[attest.Nonce]pendingChallenge
+	answered  map[attest.Nonce]answeredChallenge
+	hmacKeys  map[string][]byte
+	presence  map[string]bool     // issued presence tokens
+	creds     map[string][32]byte // username -> credential digest
+	platforms map[string]string   // account -> bound platform ID
+	stats     ProviderStats
+	thresh    int64
+	ttl       time.Duration
+	gcTick    int
+}
+
+// answeredChallenge caches the outcome of a consumed challenge so that
+// a retransmitted proof (lost response, transport retry) receives the
+// same answer instead of a spurious rejection — proof handling is
+// idempotent, and the underlying transaction never executes twice.
+type answeredChallenge struct {
+	outcome Outcome
+	at      time.Time
+}
+
+// NewProvider builds a provider engine.
+func NewProvider(cfg ProviderConfig) *Provider {
+	clock := cfg.Clock
+	if clock == nil {
+		clock = sim.NewVirtualClock()
+	}
+	rng := cfg.Random
+	if rng == nil {
+		rng = sim.NewRand(0x5E)
+	}
+	ttl := cfg.NonceTTL
+	if ttl == 0 {
+		ttl = 5 * time.Minute
+	}
+	return &Provider{
+		name:      cfg.Name,
+		verifier:  attest.NewVerifier(cfg.CAPub),
+		nonces:    attest.NewNonceCache(clock, rng.Fork("nonces"), ttl),
+		clock:     clock,
+		rng:       rng,
+		key:       cfg.Key,
+		ledger:    NewLedger(),
+		audit:     NewAuditLog(),
+		pending:   make(map[attest.Nonce]pendingChallenge),
+		answered:  make(map[attest.Nonce]answeredChallenge),
+		hmacKeys:  make(map[string][]byte),
+		presence:  make(map[string]bool),
+		creds:     make(map[string][32]byte),
+		platforms: make(map[string]string),
+		thresh:    cfg.ConfirmThresholdCents,
+		ttl:       ttl,
+	}
+}
+
+// GC removes challenges that outlived the nonce TTL without an answer —
+// the provider-side bound on state held for clients whose malware DoSed
+// the confirmation (or who walked away). Returns the number collected.
+func (p *Provider) GC() int {
+	p.nonces.GC()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := p.clock.Now()
+	n := 0
+	for nonce, pend := range p.pending {
+		if now.Sub(pend.issuedAt) > p.ttl {
+			delete(p.pending, nonce)
+			n++
+		}
+	}
+	for nonce, ans := range p.answered {
+		if now.Sub(ans.at) > p.ttl {
+			delete(p.answered, nonce)
+		}
+	}
+	p.stats.ExpiredChallenges += n
+	return n
+}
+
+// PendingChallenges reports the number of outstanding challenges.
+func (p *Provider) PendingChallenges() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.pending)
+}
+
+// maybeGC runs GC opportunistically every 64 challenge issuances, so
+// long-running providers stay bounded without an external timer.
+func (p *Provider) maybeGC() {
+	p.mu.Lock()
+	p.gcTick++
+	due := p.gcTick%64 == 0
+	p.mu.Unlock()
+	if due {
+		p.GC()
+	}
+}
+
+// issueChallenge allocates a nonce and records the pending context.
+func (p *Provider) issueChallenge(pend pendingChallenge) attest.Nonce {
+	p.maybeGC()
+	nonce := p.nonces.Issue()
+	pend.issuedAt = p.clock.Now()
+	p.mu.Lock()
+	p.pending[nonce] = pend
+	p.mu.Unlock()
+	return nonce
+}
+
+// takePending consumes a pending challenge of the expected kind and
+// redeems its nonce. It returns (pending, nil, "") on success, a cached
+// outcome for an already-answered nonce (idempotent retransmissions),
+// or a rejection reason.
+func (p *Provider) takePending(nonce attest.Nonce, kind pendingKind) (pendingChallenge, *Outcome, string) {
+	p.mu.Lock()
+	pend, ok := p.pending[nonce]
+	if ok {
+		delete(p.pending, nonce)
+	}
+	cached, wasAnswered := p.answered[nonce]
+	p.mu.Unlock()
+	if !ok || pend.kind != kind {
+		if wasAnswered {
+			replay := cached.outcome
+			return pendingChallenge{}, &replay, ""
+		}
+		p.count(func(s *ProviderStats) { s.RejectedStale++ })
+		return pendingChallenge{}, nil, "unknown or expired challenge"
+	}
+	if err := p.nonces.Redeem(nonce); err != nil {
+		p.count(func(s *ProviderStats) { s.RejectedStale++ })
+		return pendingChallenge{}, nil, err.Error()
+	}
+	return pend, nil, ""
+}
+
+// rememberOutcome stores a proof handler's answer for idempotent
+// replays, and returns the outcome for convenience.
+func (p *Provider) rememberOutcome(nonce attest.Nonce, outcome *Outcome) *Outcome {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.answered[nonce] = answeredChallenge{outcome: *outcome, at: p.clock.Now()}
+	return outcome
+}
+
+// Ledger exposes the provider's account store (examples, tests).
+func (p *Provider) Ledger() *Ledger { return p.ledger }
+
+// Verifier exposes the attestation policy (to approve PALs).
+func (p *Provider) Verifier() *attest.Verifier { return p.verifier }
+
+// AuditLog exposes the provider's hash-chained confirmation record
+// (non-repudiation; see ReplayAudit).
+func (p *Provider) AuditLog() *AuditLog { return p.audit }
+
+// Stats returns a copy of the outcome counters.
+func (p *Provider) Stats() ProviderStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// PublicKeyDER returns the provider's public key in PKCS#1 DER form, or
+// nil when provisioning is disabled.
+func (p *Provider) PublicKeyDER() []byte {
+	if p.key == nil {
+		return nil
+	}
+	return x509.MarshalPKCS1PublicKey(&p.key.PublicKey)
+}
+
+// ValidPresenceToken reports whether a token was genuinely issued
+// (single check; tokens stay valid for the simulation's lifetime).
+func (p *Provider) ValidPresenceToken(token string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.presence[token]
+}
+
+var _ netsim.Handler = (*Provider)(nil).Handle
+
+// Handle implements the provider's wire protocol: it decodes one request
+// message and returns the encoded response. Protocol-level rejections
+// are expressed as Outcome messages, not Go errors; a Go error means the
+// request was undecodable.
+func (p *Provider) Handle(req []byte) ([]byte, error) {
+	msg, err := DecodeMessage(req)
+	if err != nil {
+		return nil, err
+	}
+	var resp any
+	switch m := msg.(type) {
+	case *SubmitTx:
+		resp = p.handleSubmit(m)
+	case *ConfirmTx:
+		resp = p.handleConfirm(m)
+	case *PresenceRequest:
+		resp = p.handlePresenceRequest()
+	case *PresenceProof:
+		resp = p.handlePresenceProof(m)
+	case *ProvisionRequest:
+		resp = p.handleProvisionRequest(m)
+	case *ProvisionComplete:
+		resp = p.handleProvisionComplete(m)
+	case *LoginRequest:
+		resp = p.handleLoginRequest(m)
+	case *LoginProof:
+		resp = p.handleLoginProof(m)
+	case *SubmitBatch:
+		resp = p.handleSubmitBatch(m)
+	case *ConfirmBatch:
+		resp = p.handleConfirmBatch(m)
+	default:
+		return nil, fmt.Errorf("%w: unexpected %T", ErrBadMessage, msg)
+	}
+	return EncodeMessage(resp)
+}
+
+// handleSubmit processes a transaction submission: auto-accept below the
+// threshold, otherwise issue a confirmation challenge echoing the
+// provider's copy of the transaction.
+func (p *Provider) handleSubmit(m *SubmitTx) any {
+	p.mu.Lock()
+	p.stats.Submitted++
+	p.mu.Unlock()
+	if err := m.Tx.Validate(); err != nil {
+		return &Outcome{Accepted: false, Reason: err.Error(), TxID: safeTxID(m.Tx)}
+	}
+	if p.thresh > 0 && m.Tx.AmountCents < p.thresh {
+		if err := p.ledger.Apply(m.Tx); err != nil {
+			p.count(func(s *ProviderStats) { s.LedgerRejected++ })
+			return &Outcome{Accepted: false, Reason: err.Error(), TxID: m.Tx.ID}
+		}
+		p.count(func(s *ProviderStats) { s.AutoAccepted++ })
+		return &Outcome{Accepted: true, Reason: "below confirmation threshold", TxID: m.Tx.ID}
+	}
+	txCopy := *m.Tx
+	nonce := p.issueChallenge(pendingChallenge{kind: pendingConfirm, tx: &txCopy})
+	p.count(func(s *ProviderStats) { s.Challenged++ })
+	return &Challenge{Nonce: nonce, Tx: &txCopy}
+}
+
+// handleConfirm verifies a confirmation against the pending challenge.
+func (p *Provider) handleConfirm(m *ConfirmTx) any {
+	pend, cached, rejection := p.takePending(m.Nonce, pendingConfirm)
+	if cached != nil {
+		return cached
+	}
+	if rejection != "" {
+		return &Outcome{Accepted: false, Reason: rejection}
+	}
+	return p.rememberOutcome(m.Nonce, p.confirmOutcome(m, pend))
+}
+
+// confirmOutcome computes the outcome of a live (non-replayed)
+// confirmation.
+func (p *Provider) confirmOutcome(m *ConfirmTx, pend pendingChallenge) *Outcome {
+	txDigest := pend.tx.Digest()
+	switch m.Mode {
+	case ModeQuote:
+		ev, err := attest.UnmarshalEvidence(m.Evidence)
+		if err != nil {
+			p.count(func(s *ProviderStats) { s.RejectedForged++ })
+			return &Outcome{Accepted: false, Reason: "malformed evidence", TxID: pend.tx.ID}
+		}
+		binding := ConfirmationBinding(m.Nonce, txDigest, m.Confirmed)
+		res, err := p.verifier.Verify(ev, attest.Expectations{
+			Nonce:         m.Nonce,
+			ExpectedPCR23: ExpectedAppPCR(binding),
+		})
+		if err != nil {
+			p.count(func(s *ProviderStats) { s.RejectedForged++ })
+			return &Outcome{Accepted: false, Reason: "attestation failed: " + err.Error(), TxID: pend.tx.ID}
+		}
+		// Cuckoo/relay defence: the attesting platform must be the one
+		// bound to the debited account.
+		if reason := p.checkPlatformBinding(pend.tx.From, res.PlatformID); reason != "" {
+			return &Outcome{Accepted: false, Reason: reason, TxID: pend.tx.ID}
+		}
+	case ModeHMAC:
+		p.mu.Lock()
+		key, ok := p.hmacKeys[m.PlatformID]
+		p.mu.Unlock()
+		if !ok {
+			p.count(func(s *ProviderStats) { s.RejectedForged++ })
+			return &Outcome{Accepted: false, Reason: "platform has no provisioned key", TxID: pend.tx.ID}
+		}
+		if !cryptoutil.VerifyHMACSHA256(key, MACMessage(m.Nonce, txDigest, m.Confirmed), m.MAC) {
+			p.count(func(s *ProviderStats) { s.RejectedForged++ })
+			return &Outcome{Accepted: false, Reason: "confirmation MAC invalid", TxID: pend.tx.ID}
+		}
+		if reason := p.checkPlatformBinding(pend.tx.From, m.PlatformID); reason != "" {
+			return &Outcome{Accepted: false, Reason: reason, TxID: pend.tx.ID}
+		}
+	default:
+		p.count(func(s *ProviderStats) { s.RejectedForged++ })
+		return &Outcome{Accepted: false, Reason: "unknown confirmation mode", TxID: pend.tx.ID}
+	}
+
+	// The decision is authenticated: record it (approvals AND denials —
+	// an authenticated denial is dispute evidence too).
+	p.audit.Append(AuditEntry{
+		At:        p.clock.Now(),
+		TxID:      pend.tx.ID,
+		TxDigest:  txDigest,
+		Confirmed: m.Confirmed,
+		Nonce:     m.Nonce,
+		Evidence:  m.Evidence, // empty in HMAC mode
+	})
+
+	if !m.Confirmed {
+		p.count(func(s *ProviderStats) { s.DeniedByUser++ })
+		return &Outcome{Accepted: false, Authentic: true, Reason: "denied by user", TxID: pend.tx.ID}
+	}
+	if err := p.ledger.Apply(pend.tx); err != nil {
+		p.count(func(s *ProviderStats) { s.LedgerRejected++ })
+		return &Outcome{Accepted: false, Authentic: true, Reason: err.Error(), TxID: pend.tx.ID}
+	}
+	p.count(func(s *ProviderStats) { s.Confirmed++ })
+	return &Outcome{Accepted: true, Authentic: true, Reason: "confirmed by user", TxID: pend.tx.ID}
+}
+
+// handlePresenceRequest issues a presence challenge.
+func (p *Provider) handlePresenceRequest() any {
+	nonce := p.issueChallenge(pendingChallenge{kind: pendingPresence})
+	return &PresenceChallenge{Nonce: nonce, Prompt: "press any key to continue"}
+}
+
+// handlePresenceProof verifies a presence proof and grants a token.
+func (p *Provider) handlePresenceProof(m *PresenceProof) any {
+	_, cached, rejection := p.takePending(m.Nonce, pendingPresence)
+	if cached != nil {
+		return cached
+	}
+	if rejection != "" {
+		return &Outcome{Accepted: false, Reason: rejection}
+	}
+	return p.rememberOutcome(m.Nonce, p.presenceOutcome(m))
+}
+
+// presenceOutcome computes the outcome of a live presence proof.
+func (p *Provider) presenceOutcome(m *PresenceProof) *Outcome {
+	ev, err := attest.UnmarshalEvidence(m.Evidence)
+	if err != nil {
+		p.count(func(s *ProviderStats) { s.PresenceRejected++ })
+		return &Outcome{Accepted: false, Reason: "malformed evidence"}
+	}
+	_, err = p.verifier.Verify(ev, attest.Expectations{
+		Nonce:         m.Nonce,
+		ExpectedPCR23: ExpectedAppPCR(PresenceBinding(m.Nonce)),
+	})
+	if err != nil {
+		p.count(func(s *ProviderStats) { s.PresenceRejected++ })
+		return &Outcome{Accepted: false, Reason: "attestation failed: " + err.Error()}
+	}
+	token := fmt.Sprintf("presence-%016x", p.rng.Uint64())
+	p.mu.Lock()
+	p.presence[token] = true
+	p.stats.PresenceGranted++
+	p.mu.Unlock()
+	return &Outcome{Accepted: true, Authentic: true, Reason: "human presence verified", Token: token}
+}
+
+// handleProvisionRequest starts key provisioning.
+func (p *Provider) handleProvisionRequest(m *ProvisionRequest) any {
+	if p.key == nil {
+		return &Outcome{Accepted: false, Reason: "provider does not support provisioning"}
+	}
+	if m.PlatformID == "" {
+		return &Outcome{Accepted: false, Reason: "missing platform ID"}
+	}
+	nonce := p.issueChallenge(pendingChallenge{kind: pendingProvision})
+	return &ProvisionChallenge{Nonce: nonce, ProviderPubDER: p.PublicKeyDER()}
+}
+
+// handleProvisionComplete verifies the provisioning attestation and
+// installs the key.
+func (p *Provider) handleProvisionComplete(m *ProvisionComplete) any {
+	_, cached, rejection := p.takePending(m.Nonce, pendingProvision)
+	if cached != nil {
+		return cached
+	}
+	if rejection != "" {
+		return &Outcome{Accepted: false, Reason: rejection}
+	}
+	return p.rememberOutcome(m.Nonce, p.provisionOutcome(m))
+}
+
+// provisionOutcome computes the outcome of a live provisioning proof.
+func (p *Provider) provisionOutcome(m *ProvisionComplete) *Outcome {
+	ev, err := attest.UnmarshalEvidence(m.Evidence)
+	if err != nil {
+		p.count(func(s *ProviderStats) { s.RejectedForged++ })
+		return &Outcome{Accepted: false, Reason: "malformed evidence"}
+	}
+	binding := ProvisionBinding(m.Nonce, cryptoutil.SHA1(m.EncKey))
+	res, err := p.verifier.Verify(ev, attest.Expectations{
+		Nonce:         m.Nonce,
+		ExpectedPCR23: ExpectedAppPCR(binding),
+	})
+	if err != nil {
+		p.count(func(s *ProviderStats) { s.RejectedForged++ })
+		return &Outcome{Accepted: false, Reason: "attestation failed: " + err.Error()}
+	}
+	if res.PlatformID != m.PlatformID {
+		p.count(func(s *ProviderStats) { s.RejectedForged++ })
+		return &Outcome{Accepted: false, Reason: "platform ID does not match certificate"}
+	}
+	key, err := rsa.DecryptOAEP(sha256.New(), nil, p.key, m.EncKey, oaepLabel)
+	if err != nil {
+		p.count(func(s *ProviderStats) { s.RejectedForged++ })
+		return &Outcome{Accepted: false, Reason: "key transport failed"}
+	}
+	p.mu.Lock()
+	p.hmacKeys[m.PlatformID] = key
+	p.stats.Provisioned++
+	p.mu.Unlock()
+	return &Outcome{Accepted: true, Authentic: true, Reason: "key provisioned"}
+}
+
+// count applies a mutation to the stats under the lock.
+func (p *Provider) count(f func(*ProviderStats)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f(&p.stats)
+}
+
+// safeTxID extracts a transaction ID from possibly nil transactions.
+func safeTxID(tx *Transaction) string {
+	if tx == nil {
+		return ""
+	}
+	return tx.ID
+}

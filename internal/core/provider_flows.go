@@ -1,0 +1,242 @@
+package core
+
+import (
+	"fmt"
+
+	"unitp/internal/attest"
+)
+
+// BindPlatform ties an account to a certified platform pseudonym: once
+// bound, confirmations for that account are only accepted from that
+// platform. This closes the cuckoo/relay attack (malware forwarding the
+// challenge to an attacker-controlled machine whose *own* genuine PAL
+// and human produce a valid confirmation — valid, but from the wrong
+// computer). Binding happens at account setup, out of band.
+func (p *Provider) BindPlatform(account, platformID string) error {
+	if account == "" || platformID == "" {
+		return fmt.Errorf("core: empty account or platform ID")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if prev, ok := p.platforms[account]; ok && prev != platformID {
+		return fmt.Errorf("core: account %s already bound to %s", account, prev)
+	}
+	p.platforms[account] = platformID
+	return nil
+}
+
+// boundPlatform returns the platform an account is bound to ("" if
+// unbound).
+func (p *Provider) boundPlatform(account string) string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.platforms[account]
+}
+
+// checkPlatformBinding rejects evidence from the wrong platform for a
+// bound account.
+func (p *Provider) checkPlatformBinding(account, platformID string) string {
+	bound := p.boundPlatform(account)
+	if bound == "" || bound == platformID {
+		return ""
+	}
+	p.count(func(s *ProviderStats) { s.RejectedForged++ })
+	return "confirmation came from a platform not bound to this account"
+}
+
+// EnrollCredential registers a username/PIN pair for trusted-path login.
+// (Out-of-band account setup; the provider stores only the credential
+// digest.)
+func (p *Provider) EnrollCredential(username, pin string) error {
+	if username == "" || pin == "" {
+		return fmt.Errorf("core: empty username or PIN")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.creds[username]; ok {
+		return fmt.Errorf("core: credential for %s already enrolled", username)
+	}
+	p.creds[username] = CredentialDigest(username, pin)
+	return nil
+}
+
+// verifyEvidence decodes and checks evidence against expectations plus
+// the expected PAL identity label, counting a forgery on failure.
+func (p *Provider) verifyEvidence(raw []byte, want attest.Expectations, expectedPAL string) (*attest.Result, string) {
+	ev, err := attest.UnmarshalEvidence(raw)
+	if err != nil {
+		p.count(func(s *ProviderStats) { s.RejectedForged++ })
+		return nil, "malformed evidence"
+	}
+	res, err := p.verifier.Verify(ev, want)
+	if err != nil {
+		p.count(func(s *ProviderStats) { s.RejectedForged++ })
+		return nil, "attestation failed: " + err.Error()
+	}
+	if expectedPAL != "" && res.PALName != expectedPAL {
+		p.count(func(s *ProviderStats) { s.RejectedForged++ })
+		return nil, fmt.Sprintf("wrong PAL for this flow: %s", res.PALName)
+	}
+	return res, ""
+}
+
+// handleLoginRequest issues a PIN-entry challenge for an enrolled user.
+func (p *Provider) handleLoginRequest(m *LoginRequest) any {
+	p.mu.Lock()
+	_, enrolled := p.creds[m.Username]
+	p.mu.Unlock()
+	if !enrolled {
+		// Challenge anyway (constant-shape response) but remember the
+		// user is unknown — prevents username probing via response
+		// type while still failing the proof.
+		_ = enrolled
+	}
+	nonce := p.issueChallenge(pendingChallenge{kind: pendingLogin, username: m.Username})
+	p.count(func(s *ProviderStats) { s.Challenged++ })
+	return &LoginChallenge{Nonce: nonce, Username: m.Username}
+}
+
+// handleLoginProof verifies a PIN login proof.
+func (p *Provider) handleLoginProof(m *LoginProof) any {
+	pend, cached, rejection := p.takePending(m.Nonce, pendingLogin)
+	if cached != nil {
+		return cached
+	}
+	if rejection != "" {
+		return &Outcome{Accepted: false, Reason: rejection}
+	}
+	return p.rememberOutcome(m.Nonce, p.loginOutcome(m, pend))
+}
+
+// loginOutcome computes the outcome of a live login proof.
+func (p *Provider) loginOutcome(m *LoginProof, pend pendingChallenge) *Outcome {
+	if pend.username != m.Username {
+		p.count(func(s *ProviderStats) { s.LoginsRejected++ })
+		return &Outcome{Accepted: false, Reason: "username does not match challenge"}
+	}
+	p.mu.Lock()
+	cred, enrolled := p.creds[m.Username]
+	p.mu.Unlock()
+	if !enrolled {
+		p.count(func(s *ProviderStats) { s.LoginsRejected++ })
+		return &Outcome{Accepted: false, Reason: "login failed"}
+	}
+	binding := LoginBinding(m.Nonce, cred)
+	_, failReason := p.verifyEvidence(m.Evidence, attest.Expectations{
+		Nonce:         m.Nonce,
+		ExpectedPCR23: ExpectedAppPCR(binding),
+	}, PINPALName)
+	if failReason != "" {
+		p.count(func(s *ProviderStats) { s.LoginsRejected++ })
+		// A wrong PIN surfaces as a binding mismatch; report it as a
+		// login failure rather than leaking verifier detail.
+		return &Outcome{Accepted: false, Reason: "login failed"}
+	}
+	token := fmt.Sprintf("session-%016x", p.rng.Uint64())
+	p.mu.Lock()
+	p.presence[token] = true
+	p.stats.LoginsGranted++
+	p.mu.Unlock()
+	return &Outcome{Accepted: true, Authentic: true, Reason: "login verified", Token: token}
+}
+
+// handleSubmitBatch processes a batch submission: validate every order,
+// then challenge the whole batch at once.
+func (p *Provider) handleSubmitBatch(m *SubmitBatch) any {
+	p.count(func(s *ProviderStats) { s.Submitted += len(m.Txs) })
+	if len(m.Txs) == 0 || len(m.Txs) > maxBatchSize {
+		return &Outcome{Accepted: false, Reason: fmt.Sprintf("batch size %d outside [1, %d]", len(m.Txs), maxBatchSize)}
+	}
+	for i := range m.Txs {
+		if err := m.Txs[i].Validate(); err != nil {
+			return &Outcome{Accepted: false, Reason: err.Error(), TxID: m.Txs[i].ID}
+		}
+	}
+	batch := make([]Transaction, len(m.Txs))
+	copy(batch, m.Txs)
+	nonce := p.issueChallenge(pendingChallenge{kind: pendingBatch, batch: batch})
+	p.count(func(s *ProviderStats) { s.Challenged++ })
+	return &BatchChallenge{Nonce: nonce, Txs: batch}
+}
+
+// handleConfirmBatch verifies a batch confirmation and applies the
+// approved transactions.
+func (p *Provider) handleConfirmBatch(m *ConfirmBatch) any {
+	pend, cached, rejection := p.takePending(m.Nonce, pendingBatch)
+	if cached != nil {
+		return cached
+	}
+	if rejection != "" {
+		return &Outcome{Accepted: false, Reason: rejection}
+	}
+	return p.rememberOutcome(m.Nonce, p.batchOutcome(m, pend))
+}
+
+// batchOutcome computes the outcome of a live batch confirmation.
+func (p *Provider) batchOutcome(m *ConfirmBatch, pend pendingChallenge) *Outcome {
+	if len(m.Decisions) != len(pend.batch) {
+		p.count(func(s *ProviderStats) { s.RejectedForged++ })
+		return &Outcome{Accepted: false, Reason: "decision count does not match batch"}
+	}
+	digests := txDigests(pend.batch)
+	binding := BatchBinding(m.Nonce, digests, m.Decisions)
+
+	attestingPlatform := m.PlatformID
+	switch m.Mode {
+	case ModeQuote:
+		res, failReason := p.verifyEvidence(m.Evidence, attest.Expectations{
+			Nonce:         m.Nonce,
+			ExpectedPCR23: ExpectedAppPCR(binding),
+		}, BatchPALName)
+		if failReason != "" {
+			return &Outcome{Accepted: false, Reason: failReason}
+		}
+		attestingPlatform = res.PlatformID
+	case ModeHMAC:
+		p.mu.Lock()
+		key, ok := p.hmacKeys[m.PlatformID]
+		p.mu.Unlock()
+		if !ok {
+			p.count(func(s *ProviderStats) { s.RejectedForged++ })
+			return &Outcome{Accepted: false, Reason: "platform has no provisioned key"}
+		}
+		if !verifyBindingMAC(key, binding, m.MAC) {
+			p.count(func(s *ProviderStats) { s.RejectedForged++ })
+			return &Outcome{Accepted: false, Reason: "batch MAC invalid"}
+		}
+	default:
+		p.count(func(s *ProviderStats) { s.RejectedForged++ })
+		return &Outcome{Accepted: false, Reason: "unknown confirmation mode"}
+	}
+
+	// Cuckoo/relay defence across the whole batch.
+	for i := range pend.batch {
+		if reason := p.checkPlatformBinding(pend.batch[i].From, attestingPlatform); reason != "" {
+			return &Outcome{Accepted: false, Reason: reason}
+		}
+	}
+
+	applied, denied, failed := 0, 0, 0
+	for i := range pend.batch {
+		if !m.Decisions[i] {
+			denied++
+			continue
+		}
+		if err := p.ledger.Apply(&pend.batch[i]); err != nil {
+			failed++
+			continue
+		}
+		applied++
+	}
+	p.count(func(s *ProviderStats) {
+		s.BatchesConfirmed++
+		s.Confirmed += applied
+		s.DeniedByUser += denied
+		s.LedgerRejected += failed
+	})
+	return &Outcome{
+		Accepted:  applied > 0 && failed == 0,
+		Authentic: true,
+		Reason:    fmt.Sprintf("batch: %d applied, %d denied, %d failed", applied, denied, failed),
+	}
+}

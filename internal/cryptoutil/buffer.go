@@ -1,0 +1,217 @@
+package cryptoutil
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrBufferUnderflow is returned when a Reader runs out of bytes while
+// decoding a structure.
+var ErrBufferUnderflow = errors.New("cryptoutil: buffer underflow")
+
+// ErrFieldTooLarge is returned when a length-prefixed field exceeds the
+// decoder's sanity bound.
+var ErrFieldTooLarge = errors.New("cryptoutil: length-prefixed field too large")
+
+// maxFieldLen bounds a single length-prefixed field. TPM structures and
+// protocol messages in this system are all well under 1 MiB; the bound
+// protects decoders from hostile length prefixes.
+const maxFieldLen = 1 << 20
+
+// Buffer builds big-endian wire structures in the style of the TPM
+// specification (fixed-width integers, 32-bit length-prefixed byte fields).
+// The zero value is an empty buffer ready for use.
+type Buffer struct {
+	data []byte
+}
+
+// NewBuffer returns a Buffer with the given initial capacity.
+func NewBuffer(capacity int) *Buffer {
+	return &Buffer{data: make([]byte, 0, capacity)}
+}
+
+// Bytes returns the accumulated wire bytes. The caller must not modify the
+// returned slice if it will keep using the Buffer.
+func (b *Buffer) Bytes() []byte { return b.data }
+
+// Len returns the current encoded length.
+func (b *Buffer) Len() int { return len(b.data) }
+
+// PutUint8 appends a single byte.
+func (b *Buffer) PutUint8(v uint8) {
+	b.data = append(b.data, v)
+}
+
+// PutUint16 appends a big-endian 16-bit value.
+func (b *Buffer) PutUint16(v uint16) {
+	b.data = binary.BigEndian.AppendUint16(b.data, v)
+}
+
+// PutUint32 appends a big-endian 32-bit value.
+func (b *Buffer) PutUint32(v uint32) {
+	b.data = binary.BigEndian.AppendUint32(b.data, v)
+}
+
+// PutUint64 appends a big-endian 64-bit value.
+func (b *Buffer) PutUint64(v uint64) {
+	b.data = binary.BigEndian.AppendUint64(b.data, v)
+}
+
+// PutRaw appends raw bytes with no length prefix (fixed-size fields such as
+// digests).
+func (b *Buffer) PutRaw(p []byte) {
+	b.data = append(b.data, p...)
+}
+
+// PutDigest appends a TPM digest as a fixed 20-byte field.
+func (b *Buffer) PutDigest(d Digest) {
+	b.data = append(b.data, d[:]...)
+}
+
+// PutBytes appends a 32-bit length prefix followed by the bytes.
+func (b *Buffer) PutBytes(p []byte) {
+	b.PutUint32(uint32(len(p)))
+	b.data = append(b.data, p...)
+}
+
+// PutString appends a length-prefixed UTF-8 string.
+func (b *Buffer) PutString(s string) {
+	b.PutUint32(uint32(len(s)))
+	b.data = append(b.data, s...)
+}
+
+// PutBool appends a boolean as one byte.
+func (b *Buffer) PutBool(v bool) {
+	if v {
+		b.PutUint8(1)
+	} else {
+		b.PutUint8(0)
+	}
+}
+
+// Reader decodes big-endian wire structures produced by Buffer. All methods
+// return ErrBufferUnderflow once the input is exhausted; after the first
+// error every subsequent call fails, so callers may decode a full structure
+// and check Err once at the end.
+type Reader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+// NewReader returns a Reader over p. The Reader does not copy p.
+func NewReader(p []byte) *Reader {
+	return &Reader{data: p}
+}
+
+// Err returns the first error encountered, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of undecoded bytes.
+func (r *Reader) Remaining() int { return len(r.data) - r.off }
+
+// ExpectEOF records an error if undecoded bytes remain.
+func (r *Reader) ExpectEOF() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.Remaining() != 0 {
+		r.err = fmt.Errorf("cryptoutil: %d trailing bytes after structure", r.Remaining())
+	}
+	return r.err
+}
+
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.Remaining() < n {
+		r.err = ErrBufferUnderflow
+		return nil
+	}
+	p := r.data[r.off : r.off+n]
+	r.off += n
+	return p
+}
+
+// Uint8 decodes a single byte.
+func (r *Reader) Uint8() uint8 {
+	p := r.take(1)
+	if p == nil {
+		return 0
+	}
+	return p[0]
+}
+
+// Uint16 decodes a big-endian 16-bit value.
+func (r *Reader) Uint16() uint16 {
+	p := r.take(2)
+	if p == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(p)
+}
+
+// Uint32 decodes a big-endian 32-bit value.
+func (r *Reader) Uint32() uint32 {
+	p := r.take(4)
+	if p == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(p)
+}
+
+// Uint64 decodes a big-endian 64-bit value.
+func (r *Reader) Uint64() uint64 {
+	p := r.take(8)
+	if p == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(p)
+}
+
+// Raw decodes n raw bytes, returning a copy (nil for n == 0, so decoded
+// structures compare equal to their nil-fielded originals).
+func (r *Reader) Raw(n int) []byte {
+	p := r.take(n)
+	if p == nil || n == 0 {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, p)
+	return out
+}
+
+// Digest decodes a fixed 20-byte TPM digest.
+func (r *Reader) Digest() Digest {
+	var d Digest
+	p := r.take(DigestSize)
+	if p != nil {
+		copy(d[:], p)
+	}
+	return d
+}
+
+// Bytes decodes a 32-bit length-prefixed byte field, returning a copy.
+func (r *Reader) Bytes() []byte {
+	n := r.Uint32()
+	if r.err != nil {
+		return nil
+	}
+	if n > maxFieldLen {
+		r.err = ErrFieldTooLarge
+		return nil
+	}
+	return r.Raw(int(n))
+}
+
+// String decodes a length-prefixed UTF-8 string.
+func (r *Reader) String() string {
+	return string(r.Bytes())
+}
+
+// Bool decodes a one-byte boolean; any non-zero value is true.
+func (r *Reader) Bool() bool {
+	return r.Uint8() != 0
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+
+	"unitp/internal/metrics"
+	"unitp/internal/platform"
+	"unitp/internal/sim"
+	"unitp/internal/tpm"
+)
+
+// f1Sizes are the PAL (SLB) sizes swept, in KiB. 64 KiB is SKINIT's
+// architectural SLB limit; the sweep extends past it to show the trend a
+// multi-stage loader would face.
+var f1Sizes = []int{4, 8, 16, 32, 64, 128}
+
+// RunF1 reproduces the session-time-vs-SLB-size figure: the late launch
+// streams the PAL image to the TPM over the slow LPC bus, so SKINIT cost
+// — and with it the whole session — grows linearly with PAL size. This
+// is the design pressure that keeps confirmation PALs tiny.
+//
+// Shape expectation: linear growth with size; the vendor-dependent
+// offset (PCR reset/extend costs) preserves vendor ordering.
+func RunF1() (*Result, error) {
+	var sections []string
+	table := metrics.NewTable("F1: late-launch session time vs PAL size (virtual ms)",
+		append([]string{"vendor"}, sizesHeader()...)...)
+	for vi, profile := range tpm.VendorProfiles() {
+		series := metrics.Series{Name: "session-ms-vs-KiB/" + profile.Name}
+		row := []string{profile.Name}
+		for _, kb := range f1Sizes {
+			clock := sim.NewVirtualClock()
+			machine, err := platform.New(platform.Config{
+				Clock:      clock,
+				Random:     sim.NewRand(seedFor("f1", vi*1000+kb)),
+				TPMProfile: profile,
+			})
+			if err != nil {
+				return nil, err
+			}
+			image := bytes.Repeat([]byte{0x90}, kb*1024)
+			report, err := machine.LateLaunch(image, func(*platform.LaunchEnv) error {
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			series.Add(float64(kb), float64(report.Total.Microseconds())/1000)
+			row = append(row, millis(report.Total))
+		}
+		table.AddRow(row...)
+		sections = append(sections, series.Render())
+	}
+	out := joinSections(append([]string{table.Render()}, sections...)...)
+	out = joinSections(out, "shape check: linear in size; slope = SKINIT per-KiB cost\n")
+	return &Result{ID: "f1", Title: "Session time vs PAL size", Text: out}, nil
+}
+
+func sizesHeader() []string {
+	hs := make([]string, len(f1Sizes))
+	for i, kb := range f1Sizes {
+		hs[i] = fmt.Sprintf("%d KiB", kb)
+	}
+	return hs
+}

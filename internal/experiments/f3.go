@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"unitp/internal/metrics"
+	"unitp/internal/platform"
+	"unitp/internal/workload"
+)
+
+// f3Ablations maps each attack to the protection whose removal should
+// re-admit it (nil = no platform ablation applies; the defence is
+// protocol-level).
+var f3Ablations = map[string]func(*platform.Protections){
+	workload.PALInputInjection{}.Name(): func(p *platform.Protections) { p.ExclusiveInput = false },
+	workload.PALSubstitution{}.Name():   func(p *platform.Protections) { p.MeasuredLaunch = false },
+	workload.LocalityForgery{}.Name():   func(p *platform.Protections) { p.LocalityGating = false },
+	workload.DMAKeyTheft{}.Name():       func(p *platform.Protections) { p.DMAProtection = false },
+}
+
+// verdict renders an attack outcome.
+func verdict(forged bool) string {
+	if forged {
+		return "FORGED ACCEPTED"
+	}
+	return "rejected"
+}
+
+// RunF3 reproduces the security evaluation: every attack strategy
+// against the fully protected platform, and — where a platform property
+// is the defence — against the platform with exactly that property
+// removed. This is the paper's security argument made executable.
+//
+// Shape expectations: the two baseline rows (no trusted path) succeed —
+// the problem statement; every attack against the intact trusted path
+// fails; each ablation re-admits exactly its attack; the protocol-level
+// defences (replay, rewrite) hold regardless.
+func RunF3() (*Result, error) {
+	table := metrics.NewTable(
+		"F3: forged-transaction outcomes (attack × platform protections)",
+		"attack", "full protections", "with ablation", "ablated property")
+	for i, atk := range workload.AllAttacks() {
+		full, err := atk.Execute(workload.DeploymentConfig{Seed: seedFor("f3", i)})
+		if err != nil {
+			return nil, err
+		}
+		ablCell, ablName := "—", "—"
+		if ablate, ok := f3Ablations[atk.Name()]; ok {
+			prot := platform.AllProtections()
+			ablate(&prot)
+			abl, err := atk.Execute(workload.DeploymentConfig{
+				Seed:        seedFor("f3", 100+i),
+				Protections: &prot,
+			})
+			if err != nil {
+				return nil, err
+			}
+			ablCell = verdict(abl.ForgedAccepted)
+			ablName = abl.Protections
+		}
+		if _, isCuckoo := atk.(workload.CuckooRelay); isCuckoo {
+			// The cuckoo relay's defence is policy, not platform: the
+			// second column shows the bound-account variant.
+			bound, err := workload.CuckooRelay{Bind: true}.Execute(
+				workload.DeploymentConfig{Seed: seedFor("f3", 100+i)})
+			if err != nil {
+				return nil, err
+			}
+			ablCell = verdict(bound.ForgedAccepted)
+			ablName = bound.Protections
+		}
+		table.AddRow(atk.Name(), verdict(full.ForgedAccepted), ablCell, ablName)
+	}
+	return &Result{
+		ID:    "f3",
+		Title: "Security evaluation",
+		Text: joinSections(table.Render(),
+			"shape check: baselines (rows 1-2) forge successfully; the intact trusted path rejects\n"+
+				"every attack; each ablation re-admits exactly its attack\n"),
+	}, nil
+}

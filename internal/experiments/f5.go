@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"unitp/internal/flicker"
+	"unitp/internal/metrics"
+	"unitp/internal/platform"
+	"unitp/internal/sim"
+	"unitp/internal/tpm"
+)
+
+// f5ChainLengths is the swept number of chained sessions.
+var f5ChainLengths = []int{1, 2, 4, 8}
+
+// chainedStatePAL builds a PAL that loads sealed state, increments a
+// counter inside it, and saves it back — one "stateful session". With
+// nvFreshness it additionally increments a TPM monotonic counter and
+// stores the expected value in the state, defeating sealed-state
+// rollback at the cost of extra TPM commands per session (the paper's
+// design-choice ablation).
+type chainedState struct {
+	manager *flicker.Manager
+	saved   *tpm.SealedBlob
+	name    string
+}
+
+func newChainedState(machine *platform.Machine, nvFreshness bool) (*chainedState, error) {
+	cs := &chainedState{manager: flicker.NewManager(machine), name: "chain"}
+	const counterID = 7
+	if nvFreshness {
+		if err := machine.TPM().CounterCreate(counterID); err != nil {
+			return nil, err
+		}
+	}
+	pal := &flicker.PAL{
+		Name:  "chain",
+		Image: []byte("unitp.experiment.chained-state.v1"),
+		Entry: func(env *platform.LaunchEnv, _ []byte) ([]byte, error) {
+			state := make([]byte, 16) // [count uint64][expected counter uint64]
+			if cs.saved != nil {
+				loaded, err := flicker.LoadState(env, cs.saved)
+				if err != nil {
+					return nil, err
+				}
+				state = loaded
+			}
+			count := binary.BigEndian.Uint64(state[:8])
+			if nvFreshness {
+				// Verify the sealed state is the *latest* one: its
+				// recorded counter must match the hardware counter,
+				// which is then advanced.
+				expect := binary.BigEndian.Uint64(state[8:])
+				hw, err := cs.manager.Machine().TPM().CounterRead(counterID)
+				if err != nil {
+					return nil, err
+				}
+				if cs.saved != nil && hw != expect {
+					return nil, fmt.Errorf("experiments: stale sealed state (rollback)")
+				}
+				next, err := cs.manager.Machine().TPM().CounterIncrement(counterID)
+				if err != nil {
+					return nil, err
+				}
+				binary.BigEndian.PutUint64(state[8:], next)
+			}
+			count++
+			binary.BigEndian.PutUint64(state[:8], count)
+			blob, err := flicker.SaveState(env, state)
+			if err != nil {
+				return nil, err
+			}
+			cs.saved = blob
+			out := make([]byte, 8)
+			binary.BigEndian.PutUint64(out, count)
+			return out, nil
+		},
+	}
+	if err := cs.manager.Register(pal); err != nil {
+		return nil, err
+	}
+	return cs, nil
+}
+
+// runChain executes n chained sessions and returns the final count.
+func (cs *chainedState) runChain(n int) (uint64, error) {
+	var last uint64
+	for i := 0; i < n; i++ {
+		res, err := cs.manager.Run(cs.name, nil)
+		if err != nil {
+			return 0, err
+		}
+		if res.PALErr != nil {
+			return 0, fmt.Errorf("experiments: chain session %d: %w", i, res.PALErr)
+		}
+		last = binary.BigEndian.Uint64(res.Output)
+	}
+	return last, nil
+}
+
+// RunF5 reproduces the sealed-state chaining figure: total time for a
+// chain of stateful PAL sessions, per vendor, with and without
+// NV-counter rollback protection — the freshness design choice DESIGN.md
+// calls out.
+//
+// Shape expectations: cost is linear in chain length, dominated by
+// seal+unseal; NV-counter freshness adds a small fixed per-session
+// surcharge (counter read + increment).
+func RunF5() (*Result, error) {
+	table := metrics.NewTable(
+		"F5: chained stateful sessions — total virtual ms (seal-only vs +NV freshness)",
+		append([]string{"vendor", "mode"}, chainHeader()...)...)
+	var sections []string
+	for vi, profile := range tpm.VendorProfiles() {
+		for _, nv := range []bool{false, true} {
+			mode := "seal-only"
+			if nv {
+				mode = "+NV freshness"
+			}
+			series := metrics.Series{Name: fmt.Sprintf("chain-ms/%s/%s", profile.Name, mode)}
+			row := []string{profile.Name, mode}
+			for _, n := range f5ChainLengths {
+				clock := sim.NewVirtualClock()
+				machine, err := platform.New(platform.Config{
+					Clock:      clock,
+					Random:     sim.NewRand(seedFor("f5", vi*100+n)),
+					TPMProfile: profile,
+				})
+				if err != nil {
+					return nil, err
+				}
+				cs, err := newChainedState(machine, nv)
+				if err != nil {
+					return nil, err
+				}
+				start := clock.Elapsed()
+				count, err := cs.runChain(n)
+				if err != nil {
+					return nil, err
+				}
+				if count != uint64(n) {
+					return nil, fmt.Errorf("experiments: chain of %d counted %d", n, count)
+				}
+				elapsed := clock.Elapsed() - start
+				row = append(row, millis(elapsed))
+				series.Add(float64(n), float64(elapsed.Microseconds())/1000)
+			}
+			table.AddRow(row...)
+			sections = append(sections, series.Render())
+		}
+	}
+	out := joinSections(append([]string{table.Render()}, sections...)...)
+	out = joinSections(out,
+		"shape check: linear in chain length; NV freshness adds a fixed per-session surcharge\n")
+	return &Result{ID: "f5", Title: "Sealed-state chaining", Text: out}, nil
+}
+
+func chainHeader() []string {
+	hs := make([]string, len(f5ChainLengths))
+	for i, n := range f5ChainLengths {
+		hs[i] = fmt.Sprintf("n=%d", n)
+	}
+	return hs
+}

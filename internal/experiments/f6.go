@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"unitp/internal/core"
+	"unitp/internal/metrics"
+	"unitp/internal/netsim"
+	"unitp/internal/tpm"
+	"unitp/internal/workload"
+)
+
+// f6BatchSizes is the swept batch size.
+var f6BatchSizes = []int{1, 2, 4, 8, 16}
+
+// measureBatch runs one batch confirmation of size n with an instant
+// user and returns the machine time (total minus zero human time).
+func measureBatch(d *workload.Deployment, stream *workload.TxStream, n int) (time.Duration, error) {
+	txs := make([]core.Transaction, n)
+	intents := make([]core.Transaction, n)
+	for i := 0; i < n; i++ {
+		tx, _ := stream.Next()
+		txs[i] = *tx
+		intents[i] = *tx
+	}
+	u := workload.DefaultUser(d.Rng.Fork(fmt.Sprintf("u-%d", stream.Count())))
+	u.Reaction = 0
+	u.ReactionJitter = 0
+	u.ReadTime = 0
+	u.IntendBatch(intents)
+	u.AttachTo(d.Machine)
+	start := d.Clock.Elapsed()
+	outcome, _, err := d.Client.SubmitBatch(txs)
+	if err != nil {
+		return 0, err
+	}
+	if !outcome.Accepted {
+		return 0, fmt.Errorf("experiments: batch rejected: %s", outcome.Reason)
+	}
+	return d.Clock.Elapsed() - start, nil
+}
+
+// RunF6 reproduces the batch-amortization figure: per-transaction
+// machine cost as the confirmation batch size grows. One late launch +
+// one quote covers the whole batch, so the per-transaction cost decays
+// toward the marginal display/keystroke cost — the paper-style
+// optimization for users who queue several payments.
+//
+// Shape expectation: per-transaction cost falls hyperbolically with
+// batch size (fixed session cost / n + marginal per-entry cost), on
+// every vendor.
+func RunF6() (*Result, error) {
+	table := metrics.NewTable(
+		"F6: per-transaction machine cost vs confirmation batch size (virtual ms)",
+		append([]string{"vendor"}, batchHeader()...)...)
+	var sections []string
+	for vi, profile := range tpm.VendorProfiles() {
+		d, err := workload.NewDeployment(workload.DeploymentConfig{
+			Seed:       seedFor("f6", vi),
+			TPMProfile: profile,
+			Link:       netsim.LinkLoopback(),
+			Accounts:   map[string]int64{"alice": 1 << 40, "bob": 0, "mallory": 0},
+		})
+		if err != nil {
+			return nil, err
+		}
+		stream := workload.NewTxStream(d.Rng.Fork("txs"), workload.TxStreamConfig{From: "alice"})
+		series := metrics.Series{Name: "per-tx-ms-vs-batch/" + profile.Name}
+		row := []string{profile.Name}
+		for _, n := range f6BatchSizes {
+			total, err := measureBatch(d, stream, n)
+			if err != nil {
+				return nil, err
+			}
+			perTx := total / time.Duration(n)
+			row = append(row, millis(perTx))
+			series.Add(float64(n), float64(perTx.Microseconds())/1000)
+		}
+		table.AddRow(row...)
+		sections = append(sections, series.Render())
+	}
+	out := joinSections(append([]string{table.Render()}, sections...)...)
+	out = joinSections(out,
+		"shape check: per-transaction cost decays ~1/n toward the marginal per-entry cost\n")
+	return &Result{ID: "f6", Title: "Batch amortization", Text: out}, nil
+}
+
+func batchHeader() []string {
+	hs := make([]string, len(f6BatchSizes))
+	for i, n := range f6BatchSizes {
+		hs[i] = fmt.Sprintf("n=%d", n)
+	}
+	return hs
+}

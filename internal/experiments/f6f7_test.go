@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"unitp/internal/netsim"
+	"unitp/internal/workload"
+)
+
+func TestF6AmortizationShape(t *testing.T) {
+	// Per-transaction cost must fall strictly with batch size (one
+	// vendor suffices for the shape test).
+	d, err := workload.NewDeployment(workload.DeploymentConfig{
+		Seed:       seedFor("f6-test", 0),
+		TPMProfile: vendorForTest(),
+		Link:       netsim.LinkLoopback(),
+		Accounts:   map[string]int64{"alice": 1 << 40, "bob": 0, "mallory": 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := workload.NewTxStream(d.Rng.Fork("txs"), workload.TxStreamConfig{From: "alice"})
+	var prevPerTx time.Duration
+	for i, n := range []int{1, 4, 16} {
+		total, err := measureBatch(d, stream, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perTx := total / time.Duration(n)
+		if i > 0 && perTx >= prevPerTx {
+			t.Fatalf("per-tx cost did not fall: n=%d %v vs previous %v", n, perTx, prevPerTx)
+		}
+		prevPerTx = perTx
+	}
+	// At n=16, per-tx cost must be well under a single session.
+	single, err := measureBatch(d, stream, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prevPerTx*8 > single {
+		t.Fatalf("amortization too weak: per-tx %v vs single %v", prevPerTx, single)
+	}
+}
+
+func TestF7PopulationShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("population world is heavy")
+	}
+	base, err := workload.RunPopulation(workload.PopulationConfig{
+		Seed: seedFor("f7-test", 0), Clients: 4, InfectedFraction: 0.5,
+		TxPerClient: 1, TrustedPath: false,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := workload.RunPopulation(workload.PopulationConfig{
+		Seed: seedFor("f7-test", 1), Clients: 4, InfectedFraction: 0.5,
+		TxPerClient: 1, TrustedPath: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.FraudRate() != 1 {
+		t.Fatalf("baseline fraud rate = %v", base.FraudRate())
+	}
+	if tp.FraudRate() != 0 {
+		t.Fatalf("trusted-path fraud rate = %v", tp.FraudRate())
+	}
+	if tp.LegitRate() != 1 {
+		t.Fatalf("trusted path harmed legit traffic: %v", tp.LegitRate())
+	}
+}
+
+func TestF8CarelessnessShape(t *testing.T) {
+	// Endpoints: an attentive user executes zero tampered transactions;
+	// a fully careless one executes all of them.
+	attentive, err := runCarelessTrials(seedFor("f8-test", 0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attentive != 0 {
+		t.Fatalf("attentive user executed %d tampered txs", attentive)
+	}
+	careless, err := runCarelessTrials(seedFor("f8-test", 1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if careless != f8Trials {
+		t.Fatalf("fully careless user executed %d/%d", careless, f8Trials)
+	}
+}
+
+func TestF6F7Render(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full renders are heavy")
+	}
+	res, err := RunF6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Text, "n=16") {
+		t.Fatalf("F6 missing sweep point:\n%s", res.Text)
+	}
+	res, err = RunF7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, needle := range []string{"baseline", "trusted path", "100.0%", "  0.0%"} {
+		if !strings.Contains(res.Text, needle) {
+			t.Fatalf("F7 missing %q:\n%s", needle, res.Text)
+		}
+	}
+}

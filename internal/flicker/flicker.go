@@ -1,0 +1,196 @@
+// Package flicker provides the PAL (piece of application logic) session
+// framework the paper builds on: named PAL images registered with a
+// per-machine manager, sessions that marshal inputs and outputs through
+// the untrusted OS, and sealed state that survives between sessions of
+// the same PAL but is inaccessible to the OS and to any other PAL.
+//
+// The framework reproduces the Flicker architecture (McCune et al.,
+// EuroSys 2008) that the paper's client side instantiates.
+package flicker
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"unitp/internal/cryptoutil"
+	"unitp/internal/platform"
+	"unitp/internal/tpm"
+)
+
+// Framework errors.
+var (
+	// ErrPALExists is returned when registering a duplicate PAL name.
+	ErrPALExists = errors.New("flicker: PAL already registered")
+
+	// ErrUnknownPAL is returned when running an unregistered PAL.
+	ErrUnknownPAL = errors.New("flicker: unknown PAL")
+
+	// ErrInvalidPAL is returned for PALs without a name, image, or
+	// entry point.
+	ErrInvalidPAL = errors.New("flicker: invalid PAL definition")
+)
+
+// Entry is a PAL entry point. It receives the launch environment and the
+// input the (untrusted) OS marshalled in, and returns output to marshal
+// back out. Both cross the trust boundary: a correct PAL treats input as
+// hostile and produces output whose integrity is verified remotely.
+type Entry func(env *platform.LaunchEnv, input []byte) ([]byte, error)
+
+// PAL is a registered piece of application logic.
+type PAL struct {
+	// Name is the manager-local identifier.
+	Name string
+
+	// Image is the code image measured by the late launch; the PAL's
+	// remotely verifiable identity is SHA1(Image).
+	Image []byte
+
+	// Entry is the simulated behaviour of the image.
+	Entry Entry
+
+	// Compute is the modelled execution time of one session of this
+	// PAL's own logic (excluding TPM commands, which charge
+	// themselves). Zero is allowed: confirmation logic is microseconds
+	// of real work.
+	Compute time.Duration
+}
+
+// Measurement returns the PAL's identity digest, SHA1(Image).
+func (p *PAL) Measurement() cryptoutil.Digest {
+	return cryptoutil.SHA1(p.Image)
+}
+
+// ExpectedPCR17 returns PCR 17 while this PAL runs.
+func (p *PAL) ExpectedPCR17() cryptoutil.Digest {
+	return platform.ExpectedPCR17(p.Measurement())
+}
+
+// ExpectedPCR17Capped returns PCR 17 after a session of this PAL — the
+// value a remote verifier demands in a quote.
+func (p *PAL) ExpectedPCR17Capped() cryptoutil.Digest {
+	return platform.ExpectedPCR17Capped(p.Measurement())
+}
+
+// validate checks the PAL definition.
+func (p *PAL) validate() error {
+	if p == nil || p.Name == "" || len(p.Image) == 0 || p.Entry == nil {
+		return ErrInvalidPAL
+	}
+	return nil
+}
+
+// SessionResult reports one PAL session.
+type SessionResult struct {
+	// Output is what the PAL marshalled back to the OS (nil if the PAL
+	// failed).
+	Output []byte
+
+	// Report is the platform's per-phase timing breakdown.
+	Report *platform.LaunchReport
+
+	// PALErr is the error returned by the PAL entry, if any.
+	PALErr error
+}
+
+// Manager registers PALs and runs sessions on one machine.
+type Manager struct {
+	mu      sync.Mutex
+	machine *platform.Machine
+	pals    map[string]*PAL
+}
+
+// NewManager returns a session manager for the machine.
+func NewManager(machine *platform.Machine) *Manager {
+	return &Manager{
+		machine: machine,
+		pals:    make(map[string]*PAL),
+	}
+}
+
+// Machine returns the manager's platform.
+func (m *Manager) Machine() *platform.Machine { return m.machine }
+
+// Register adds a PAL. Names must be unique per manager.
+func (m *Manager) Register(pal *PAL) error {
+	if err := pal.validate(); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.pals[pal.Name]; ok {
+		return fmt.Errorf("%w: %s", ErrPALExists, pal.Name)
+	}
+	// Copy the image so later caller mutations cannot change the
+	// registered identity.
+	img := make([]byte, len(pal.Image))
+	copy(img, pal.Image)
+	registered := *pal
+	registered.Image = img
+	m.pals[pal.Name] = &registered
+	return nil
+}
+
+// Lookup returns a registered PAL.
+func (m *Manager) Lookup(name string) (*PAL, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	pal, ok := m.pals[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownPAL, name)
+	}
+	return pal, nil
+}
+
+// Run executes one session of the named PAL with the given input,
+// marshalling output back through the OS.
+func (m *Manager) Run(name string, input []byte) (*SessionResult, error) {
+	return m.RunWithOptions(name, input)
+}
+
+// RunWithOptions executes a session, forwarding launch options (attack
+// modelling such as platform.WithClaimedImage) to the platform.
+func (m *Manager) RunWithOptions(name string, input []byte, opts ...platform.LaunchOption) (*SessionResult, error) {
+	pal, err := m.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	var output []byte
+	report, err := m.machine.LateLaunch(pal.Image, func(env *platform.LaunchEnv) error {
+		if pal.Compute > 0 {
+			env.ChargeCompute(pal.Compute)
+		}
+		out, err := pal.Entry(env, input)
+		if err != nil {
+			return err
+		}
+		output = out
+		return nil
+	}, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("flicker: session %s: %w", name, err)
+	}
+	return &SessionResult{Output: output, Report: report, PALErr: report.PALErr}, nil
+}
+
+// SaveState seals PAL state to the current (pre-cap) PCR 17 value at
+// locality 2: only a future session of the *same* PAL can load it. Call
+// from inside a PAL entry.
+func SaveState(env *platform.LaunchEnv, state []byte) (*tpm.SealedBlob, error) {
+	blob, err := env.SealCurrent([]int{tpm.PCRDRTM}, tpm.MaskOf(2), state)
+	if err != nil {
+		return nil, fmt.Errorf("flicker: save state: %w", err)
+	}
+	return blob, nil
+}
+
+// LoadState unseals PAL state saved by a previous session of the same
+// PAL. Call from inside a PAL entry.
+func LoadState(env *platform.LaunchEnv, blob *tpm.SealedBlob) ([]byte, error) {
+	state, err := env.Unseal(blob)
+	if err != nil {
+		return nil, fmt.Errorf("flicker: load state: %w", err)
+	}
+	return state, nil
+}

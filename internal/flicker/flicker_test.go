@@ -1,0 +1,274 @@
+package flicker
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"unitp/internal/cryptoutil"
+	"unitp/internal/platform"
+	"unitp/internal/sim"
+	"unitp/internal/tpm"
+)
+
+func newTestManager(t *testing.T) *Manager {
+	t.Helper()
+	m, err := platform.New(platform.Config{Random: sim.NewRand(8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewManager(m)
+}
+
+func echoPAL(name string) *PAL {
+	return &PAL{
+		Name:  name,
+		Image: []byte("image-of-" + name),
+		Entry: func(_ *platform.LaunchEnv, input []byte) ([]byte, error) {
+			out := append([]byte("echo:"), input...)
+			return out, nil
+		},
+	}
+}
+
+func TestRegisterAndRun(t *testing.T) {
+	m := newTestManager(t)
+	if err := m.Register(echoPAL("echo")); err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run("echo", []byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PALErr != nil {
+		t.Fatalf("PAL error: %v", res.PALErr)
+	}
+	if !bytes.Equal(res.Output, []byte("echo:hello")) {
+		t.Fatalf("output = %q", res.Output)
+	}
+	if res.Report == nil || res.Report.Total <= 0 {
+		t.Fatal("missing timing report")
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	m := newTestManager(t)
+	cases := []*PAL{
+		nil,
+		{},
+		{Name: "x"},
+		{Name: "x", Image: []byte("i")},
+		{Image: []byte("i"), Entry: func(*platform.LaunchEnv, []byte) ([]byte, error) { return nil, nil }},
+	}
+	for i, pal := range cases {
+		if err := m.Register(pal); !errors.Is(err, ErrInvalidPAL) {
+			t.Fatalf("case %d: %v", i, err)
+		}
+	}
+}
+
+func TestRegisterDuplicate(t *testing.T) {
+	m := newTestManager(t)
+	if err := m.Register(echoPAL("dup")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Register(echoPAL("dup")); !errors.Is(err, ErrPALExists) {
+		t.Fatalf("duplicate register: %v", err)
+	}
+}
+
+func TestRunUnknownPAL(t *testing.T) {
+	m := newTestManager(t)
+	if _, err := m.Run("ghost", nil); !errors.Is(err, ErrUnknownPAL) {
+		t.Fatalf("unknown PAL: %v", err)
+	}
+	if _, err := m.Lookup("ghost"); !errors.Is(err, ErrUnknownPAL) {
+		t.Fatalf("unknown lookup: %v", err)
+	}
+}
+
+func TestRegisteredImageImmutable(t *testing.T) {
+	m := newTestManager(t)
+	img := []byte("mutable-image")
+	pal := &PAL{
+		Name:  "p",
+		Image: img,
+		Entry: func(*platform.LaunchEnv, []byte) ([]byte, error) { return nil, nil },
+	}
+	if err := m.Register(pal); err != nil {
+		t.Fatal(err)
+	}
+	img[0] = 'X' // attacker mutates the caller's copy after registration
+	got, err := m.Lookup("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Measurement() != cryptoutil.SHA1([]byte("mutable-image")) {
+		t.Fatal("registered identity changed via caller's slice")
+	}
+}
+
+func TestPALErrorPropagates(t *testing.T) {
+	m := newTestManager(t)
+	sentinel := errors.New("refused")
+	if err := m.Register(&PAL{
+		Name:  "fail",
+		Image: []byte("fail-image"),
+		Entry: func(*platform.LaunchEnv, []byte) ([]byte, error) { return nil, sentinel },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run("fail", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(res.PALErr, sentinel) {
+		t.Fatalf("PALErr = %v", res.PALErr)
+	}
+	if res.Output != nil {
+		t.Fatal("failed PAL produced output")
+	}
+}
+
+func TestPALComputeCharged(t *testing.T) {
+	clock := sim.NewVirtualClock()
+	machine, err := platform.New(platform.Config{Clock: clock, Random: sim.NewRand(9)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(machine)
+	const work = 7 * time.Millisecond
+	if err := m.Register(&PAL{
+		Name:    "busy",
+		Image:   []byte("busy-image"),
+		Compute: work,
+		Entry:   func(*platform.LaunchEnv, []byte) ([]byte, error) { return nil, nil },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run("busy", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.PALRun != work {
+		t.Fatalf("PALRun = %v, want %v", res.Report.PALRun, work)
+	}
+}
+
+func TestExpectedPCRHelpers(t *testing.T) {
+	pal := echoPAL("e")
+	if pal.ExpectedPCR17() != platform.ExpectedPCR17(pal.Measurement()) {
+		t.Fatal("ExpectedPCR17 mismatch")
+	}
+	if pal.ExpectedPCR17Capped() != platform.ExpectedPCR17Capped(pal.Measurement()) {
+		t.Fatal("ExpectedPCR17Capped mismatch")
+	}
+	if pal.ExpectedPCR17() == pal.ExpectedPCR17Capped() {
+		t.Fatal("cap did not change expected value")
+	}
+}
+
+func TestSealedStateAcrossSessions(t *testing.T) {
+	m := newTestManager(t)
+	var saved *tpm.SealedBlob
+
+	counter := &PAL{
+		Name:  "counter",
+		Image: []byte("counter-image"),
+		Entry: func(env *platform.LaunchEnv, input []byte) ([]byte, error) {
+			state := []byte{0}
+			if saved != nil {
+				loaded, err := LoadState(env, saved)
+				if err != nil {
+					return nil, err
+				}
+				state = loaded
+			}
+			state[0]++
+			blob, err := SaveState(env, state)
+			if err != nil {
+				return nil, err
+			}
+			saved = blob
+			return []byte{state[0]}, nil
+		},
+	}
+	if err := m.Register(counter); err != nil {
+		t.Fatal(err)
+	}
+	for want := byte(1); want <= 3; want++ {
+		res, err := m.Run("counter", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.PALErr != nil {
+			t.Fatalf("run %d: %v", want, res.PALErr)
+		}
+		if len(res.Output) != 1 || res.Output[0] != want {
+			t.Fatalf("run %d output = %v", want, res.Output)
+		}
+	}
+}
+
+func TestSealedStateUnreadableByOtherPAL(t *testing.T) {
+	m := newTestManager(t)
+	var saved *tpm.SealedBlob
+	saver := &PAL{
+		Name:  "saver",
+		Image: []byte("saver-image"),
+		Entry: func(env *platform.LaunchEnv, _ []byte) ([]byte, error) {
+			blob, err := SaveState(env, []byte("secret"))
+			if err != nil {
+				return nil, err
+			}
+			saved = blob
+			return nil, nil
+		},
+	}
+	thief := &PAL{
+		Name:  "thief",
+		Image: []byte("thief-image"),
+		Entry: func(env *platform.LaunchEnv, _ []byte) ([]byte, error) {
+			_, err := LoadState(env, saved)
+			return nil, err
+		},
+	}
+	if err := m.Register(saver); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Register(thief); err != nil {
+		t.Fatal(err)
+	}
+	if res, err := m.Run("saver", nil); err != nil || res.PALErr != nil {
+		t.Fatalf("saver: %v / %v", err, res.PALErr)
+	}
+	res, err := m.Run("thief", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(res.PALErr, tpm.ErrWrongPCRState) {
+		t.Fatalf("thief PAL read foreign state: %v", res.PALErr)
+	}
+	// The OS cannot unseal it either.
+	if _, err := m.Machine().TPM().Unseal(0, saved); err == nil {
+		t.Fatal("OS unsealed PAL state")
+	}
+}
+
+func TestRunWithClaimedImageOption(t *testing.T) {
+	// With full protections the claimed image is ignored; the session's
+	// quoteable identity is the real one.
+	m := newTestManager(t)
+	pal := echoPAL("real")
+	if err := m.Register(pal); err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.RunWithOptions("real", nil, platform.WithClaimedImage([]byte("fake")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Measurement != pal.Measurement() {
+		t.Fatal("claimed image affected measured launch")
+	}
+}

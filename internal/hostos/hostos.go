@@ -1,0 +1,295 @@
+// Package hostos models the commodity operating system of the paper's
+// threat model: a software stack that mediates all of the user's input
+// and output and all network traffic, and that must be assumed
+// compromised. Malware installed here can log keystrokes, inject fake
+// input, rewrite outbound protocol messages, and autonomously generate
+// transactions — everything the uni-directional trusted path is designed
+// to make detectable.
+package hostos
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"unitp/internal/platform"
+)
+
+// ErrNoFocus is returned when input is read with no focused application.
+var ErrNoFocus = errors.New("hostos: no focused application")
+
+// OS is the commodity operating system instance on one machine.
+type OS struct {
+	mu           sync.Mutex
+	machine      *platform.Machine
+	apps         map[string]*App
+	focus        *App
+	malware      []Malware
+	interceptors []MessageInterceptor
+	inbound      []MessageInterceptor
+}
+
+// New boots the OS on a machine. The OS immediately claims the keyboard
+// routing (it owns the devices whenever no PAL session is active).
+func New(machine *platform.Machine) *OS {
+	return &OS{
+		machine: machine,
+		apps:    make(map[string]*App),
+	}
+}
+
+// Machine returns the underlying platform.
+func (o *OS) Machine() *platform.Machine { return o.machine }
+
+// App is a userspace application (e.g. the banking client) receiving
+// OS-routed input.
+type App struct {
+	// Name identifies the app.
+	Name string
+
+	os    *OS
+	input []rune
+}
+
+// RunApp starts (or returns) an application and focuses it.
+func (o *OS) RunApp(name string) *App {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	app, ok := o.apps[name]
+	if !ok {
+		app = &App{Name: name, os: o}
+		o.apps[name] = app
+	}
+	o.focus = app
+	return app
+}
+
+// Focused returns the currently focused application (nil if none).
+func (o *OS) Focused() *App {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.focus
+}
+
+// PumpInput drains pending keyboard events through the OS driver stack
+// into the focused application. It returns the number of events routed.
+// While a PAL session owns the keyboard, the OS sees nothing and the call
+// routes zero events.
+func (o *OS) PumpInput() int {
+	o.mu.Lock()
+	focus := o.focus
+	o.mu.Unlock()
+	n := 0
+	for {
+		ev, err := o.machine.Keyboard().Read(platform.OwnerOS)
+		if err != nil {
+			return n
+		}
+		n++
+		if focus != nil {
+			o.mu.Lock()
+			focus.input = append(focus.input, ev.Rune)
+			o.mu.Unlock()
+		}
+	}
+}
+
+// ReadLine pumps input and returns the next newline-terminated line typed
+// into the app, or what has accumulated so far with ok=false if no
+// newline arrived yet.
+func (a *App) ReadLine() (string, bool) {
+	a.os.PumpInput()
+	a.os.mu.Lock()
+	defer a.os.mu.Unlock()
+	for i, r := range a.input {
+		if r == '\n' {
+			line := string(a.input[:i])
+			a.input = a.input[i+1:]
+			return line, true
+		}
+	}
+	return string(a.input), false
+}
+
+// TypeString is a test/demo convenience: the human types a whole string
+// (plus newline) on the physical keyboard.
+func (o *OS) TypeString(s string) {
+	for _, r := range s {
+		o.machine.Keyboard().Press(r)
+	}
+	o.machine.Keyboard().Press('\n')
+}
+
+// Malware is software installed on the compromised OS.
+type Malware interface {
+	// Name identifies the strain in experiment tables.
+	Name() string
+
+	// Infect installs the malware's hooks into the OS.
+	Infect(host *OS) error
+}
+
+// Install registers and activates a piece of malware.
+func (o *OS) Install(m Malware) error {
+	if err := m.Infect(o); err != nil {
+		return fmt.Errorf("hostos: install %s: %w", m.Name(), err)
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.malware = append(o.malware, m)
+	return nil
+}
+
+// InstalledMalware lists active malware names.
+func (o *OS) InstalledMalware() []string {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	names := make([]string, 0, len(o.malware))
+	for _, m := range o.malware {
+		names = append(names, m.Name())
+	}
+	return names
+}
+
+// MessageInterceptor rewrites (or observes) an outbound protocol message.
+// Returning the input unchanged is a pure wiretap; returning different
+// bytes is a man-in-the-middle rewrite.
+type MessageInterceptor func(payload []byte) []byte
+
+// AddInterceptor installs an outbound message interceptor. Interceptors
+// run in installation order on every message sent through FilterOutbound.
+func (o *OS) AddInterceptor(i MessageInterceptor) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.interceptors = append(o.interceptors, i)
+}
+
+// FilterOutbound runs an outbound payload through all installed
+// interceptors, modelling malware's position on the network path. The
+// client engine passes every protocol message through here before it
+// reaches the wire.
+func (o *OS) FilterOutbound(payload []byte) []byte {
+	o.mu.Lock()
+	interceptors := append([]MessageInterceptor{}, o.interceptors...)
+	o.mu.Unlock()
+	for _, f := range interceptors {
+		payload = f(payload)
+	}
+	return payload
+}
+
+// AddInboundInterceptor installs an interceptor on the receive path —
+// malware rewriting what the provider's responses *look like* to local
+// software (e.g. showing the user the transaction they expect while the
+// provider holds a manipulated one).
+func (o *OS) AddInboundInterceptor(i MessageInterceptor) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.inbound = append(o.inbound, i)
+}
+
+// FilterInbound runs a received payload through all inbound interceptors.
+func (o *OS) FilterInbound(payload []byte) []byte {
+	o.mu.Lock()
+	interceptors := append([]MessageInterceptor{}, o.inbound...)
+	o.mu.Unlock()
+	for _, f := range interceptors {
+		payload = f(payload)
+	}
+	return payload
+}
+
+// Keylogger records every keystroke visible to the OS driver stack.
+type Keylogger struct {
+	mu       sync.Mutex
+	captured []rune
+}
+
+// NewKeylogger returns an inactive keylogger; Install it on an OS to arm
+// it.
+func NewKeylogger() *Keylogger { return &Keylogger{} }
+
+// Name implements Malware.
+func (k *Keylogger) Name() string { return "keylogger" }
+
+// Infect implements Malware by hooking the keyboard observer chain.
+func (k *Keylogger) Infect(host *OS) error {
+	host.Machine().Keyboard().Observe(func(ev platform.KeyEvent) {
+		k.mu.Lock()
+		defer k.mu.Unlock()
+		k.captured = append(k.captured, ev.Rune)
+	})
+	return nil
+}
+
+// Captured returns everything the keylogger has seen.
+func (k *Keylogger) Captured() string {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return string(k.captured)
+}
+
+// InputInjector fabricates keystrokes through the OS driver stack — the
+// tool a transaction generator uses to "confirm" its own forged
+// transactions in a UI-level confirmation scheme.
+type InputInjector struct {
+	host *OS
+}
+
+// NewInputInjector returns an inactive injector.
+func NewInputInjector() *InputInjector { return &InputInjector{} }
+
+// Name implements Malware.
+func (i *InputInjector) Name() string { return "input-injector" }
+
+// Infect implements Malware.
+func (i *InputInjector) Infect(host *OS) error {
+	i.host = host
+	return nil
+}
+
+// Type injects a string of fake keystrokes. It fails (per keystroke
+// short-circuit) while a PAL session owns the keyboard.
+func (i *InputInjector) Type(s string) error {
+	if i.host == nil {
+		return errors.New("hostos: injector not installed")
+	}
+	for _, r := range s {
+		if err := i.host.Machine().Keyboard().InjectAsOS(r); err != nil {
+			return fmt.Errorf("hostos: inject %q: %w", r, err)
+		}
+	}
+	return nil
+}
+
+// DisplayPhisher draws a pixel-perfect fake of the trusted confirmation
+// UI while the OS owns the display — demonstrating the paper's explicit
+// caveat that the *output* direction is not authenticated (hence
+// "uni-directional"). The human cannot distinguish the fake; the service
+// provider, however, never receives a valid confirmation for it.
+type DisplayPhisher struct {
+	host *OS
+}
+
+// NewDisplayPhisher returns an inactive phisher.
+func NewDisplayPhisher() *DisplayPhisher { return &DisplayPhisher{} }
+
+// Name implements Malware.
+func (p *DisplayPhisher) Name() string { return "display-phisher" }
+
+// Infect implements Malware.
+func (p *DisplayPhisher) Infect(host *OS) error {
+	p.host = host
+	return nil
+}
+
+// DrawFakePrompt renders a counterfeit confirmation dialog. It succeeds
+// only while the OS owns the display (i.e. outside PAL sessions).
+func (p *DisplayPhisher) DrawFakePrompt(transaction string) error {
+	if p.host == nil {
+		return errors.New("hostos: phisher not installed")
+	}
+	text := "CONFIRM: " + strings.TrimSpace(transaction) + " [y/n]"
+	return p.host.Machine().Display().Write(platform.OwnerOS, text)
+}

@@ -1,0 +1,206 @@
+package hostos
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"unitp/internal/platform"
+	"unitp/internal/sim"
+)
+
+func newTestOS(t *testing.T) *OS {
+	t.Helper()
+	m, err := platform.New(platform.Config{Random: sim.NewRand(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(m)
+}
+
+func TestAppInputRouting(t *testing.T) {
+	os := newTestOS(t)
+	app := os.RunApp("banking")
+	os.TypeString("transfer 100")
+	line, ok := app.ReadLine()
+	if !ok {
+		t.Fatalf("no complete line; got %q", line)
+	}
+	if line != "transfer 100" {
+		t.Fatalf("line = %q", line)
+	}
+	// Partial input: no newline yet.
+	os.Machine().Keyboard().Press('h')
+	os.Machine().Keyboard().Press('i')
+	partial, ok := app.ReadLine()
+	if ok {
+		t.Fatalf("partial input returned complete line %q", partial)
+	}
+	if partial != "hi" {
+		t.Fatalf("partial = %q", partial)
+	}
+}
+
+func TestRunAppFocusesAndReuses(t *testing.T) {
+	os := newTestOS(t)
+	a := os.RunApp("a")
+	if os.Focused() != a {
+		t.Fatal("app not focused")
+	}
+	b := os.RunApp("b")
+	if os.Focused() != b {
+		t.Fatal("focus did not move")
+	}
+	if os.RunApp("a") != a {
+		t.Fatal("RunApp did not reuse existing app")
+	}
+}
+
+func TestPumpInputWithNoFocus(t *testing.T) {
+	os := newTestOS(t)
+	os.Machine().Keyboard().Press('x')
+	if n := os.PumpInput(); n != 1 {
+		t.Fatalf("pumped %d", n)
+	}
+}
+
+func TestKeyloggerCapturesOSInput(t *testing.T) {
+	os := newTestOS(t)
+	kl := NewKeylogger()
+	if err := os.Install(kl); err != nil {
+		t.Fatal(err)
+	}
+	os.RunApp("banking")
+	os.TypeString("pin 1234")
+	if got := kl.Captured(); got != "pin 1234\n" {
+		t.Fatalf("keylogger captured %q", got)
+	}
+	if names := os.InstalledMalware(); len(names) != 1 || names[0] != "keylogger" {
+		t.Fatalf("installed = %v", names)
+	}
+}
+
+func TestKeyloggerBlindDuringPALSession(t *testing.T) {
+	os := newTestOS(t)
+	kl := NewKeylogger()
+	if err := os.Install(kl); err != nil {
+		t.Fatal(err)
+	}
+	_, err := os.Machine().LateLaunch([]byte("pal"), func(env *platform.LaunchEnv) error {
+		os.Machine().Keyboard().Press('y')
+		_, err := env.ReadKey()
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := kl.Captured(); got != "" {
+		t.Fatalf("keylogger captured %q during exclusive session", got)
+	}
+}
+
+func TestInputInjector(t *testing.T) {
+	os := newTestOS(t)
+	inj := NewInputInjector()
+	if err := inj.Type("y"); err == nil {
+		t.Fatal("uninstalled injector typed")
+	}
+	if err := os.Install(inj); err != nil {
+		t.Fatal(err)
+	}
+	app := os.RunApp("banking")
+	if err := inj.Type("y\n"); err != nil {
+		t.Fatal(err)
+	}
+	line, ok := app.ReadLine()
+	if !ok || line != "y" {
+		t.Fatalf("app received %q, %v", line, ok)
+	}
+}
+
+func TestInjectorBlockedDuringPALSession(t *testing.T) {
+	os := newTestOS(t)
+	inj := NewInputInjector()
+	if err := os.Install(inj); err != nil {
+		t.Fatal(err)
+	}
+	_, err := os.Machine().LateLaunch([]byte("pal"), func(*platform.LaunchEnv) error {
+		if err := inj.Type("y"); !errors.Is(err, platform.ErrDeviceNotOwned) {
+			t.Fatalf("injection during session: %v", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOutboundInterceptorRewrites(t *testing.T) {
+	os := newTestOS(t)
+	// Malware rewrites the payee in outbound transactions.
+	os.AddInterceptor(func(p []byte) []byte {
+		return bytes.ReplaceAll(p, []byte("alice"), []byte("mallory"))
+	})
+	got := os.FilterOutbound([]byte("pay alice 100"))
+	if string(got) != "pay mallory 100" {
+		t.Fatalf("FilterOutbound = %q", got)
+	}
+	// No interceptors case.
+	clean := newTestOS(t)
+	if string(clean.FilterOutbound([]byte("x"))) != "x" {
+		t.Fatal("clean OS modified payload")
+	}
+}
+
+func TestInterceptorsChainInOrder(t *testing.T) {
+	os := newTestOS(t)
+	os.AddInterceptor(func(p []byte) []byte { return append(p, 'A') })
+	os.AddInterceptor(func(p []byte) []byte { return append(p, 'B') })
+	if got := os.FilterOutbound([]byte("x")); string(got) != "xAB" {
+		t.Fatalf("chained = %q", got)
+	}
+}
+
+func TestDisplayPhisher(t *testing.T) {
+	os := newTestOS(t)
+	ph := NewDisplayPhisher()
+	if err := ph.DrawFakePrompt("x"); err == nil {
+		t.Fatal("uninstalled phisher drew")
+	}
+	if err := os.Install(ph); err != nil {
+		t.Fatal(err)
+	}
+	if err := ph.DrawFakePrompt("pay mallory 9999"); err != nil {
+		t.Fatal(err)
+	}
+	lines := os.Machine().Display().Lines()
+	if len(lines) != 1 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// The fake is drawn by the OS — invisible to the human, but tagged
+	// in the model.
+	if lines[0].By != platform.OwnerOS {
+		t.Fatal("phished line not tagged as OS-drawn")
+	}
+	if !strings.Contains(lines[0].Text, "mallory") {
+		t.Fatalf("fake prompt = %q", lines[0].Text)
+	}
+}
+
+func TestPhisherBlockedDuringPALSession(t *testing.T) {
+	os := newTestOS(t)
+	ph := NewDisplayPhisher()
+	if err := os.Install(ph); err != nil {
+		t.Fatal(err)
+	}
+	_, err := os.Machine().LateLaunch([]byte("pal"), func(*platform.LaunchEnv) error {
+		if err := ph.DrawFakePrompt("x"); !errors.Is(err, platform.ErrDeviceNotOwned) {
+			t.Fatalf("phishing during exclusive session: %v", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,166 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 ||
+		h.Percentile(50) != 0 || h.Stddev() != 0 {
+		t.Fatal("empty histogram not all-zero")
+	}
+}
+
+func TestHistogramBasicStats(t *testing.T) {
+	var h Histogram
+	for _, d := range []time.Duration{30, 10, 20, 40, 50} {
+		h.Record(d * time.Millisecond)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Mean() != 30*time.Millisecond {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	if h.Min() != 10*time.Millisecond || h.Max() != 50*time.Millisecond {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+	if h.Percentile(50) != 30*time.Millisecond {
+		t.Fatalf("p50 = %v", h.Percentile(50))
+	}
+	if h.Percentile(100) != 50*time.Millisecond {
+		t.Fatalf("p100 = %v", h.Percentile(100))
+	}
+	if h.Percentile(0) != 10*time.Millisecond {
+		t.Fatalf("p0 = %v", h.Percentile(0))
+	}
+	if h.Percentile(20) != 10*time.Millisecond {
+		t.Fatalf("p20 = %v", h.Percentile(20))
+	}
+}
+
+func TestHistogramSingleSampleStddev(t *testing.T) {
+	var h Histogram
+	h.Record(time.Second)
+	if h.Stddev() != 0 {
+		t.Fatalf("stddev of one sample = %v", h.Stddev())
+	}
+}
+
+func TestHistogramStddev(t *testing.T) {
+	var h Histogram
+	// Samples 2, 4, 4, 4, 5, 5, 7, 9 ns: sample sd = sqrt(32/7).
+	for _, v := range []int{2, 4, 4, 4, 5, 5, 7, 9} {
+		h.Record(time.Duration(v))
+	}
+	got := h.Stddev()
+	if got < 2 || got > 3 {
+		t.Fatalf("stddev = %v, want ~2.14ns", got)
+	}
+}
+
+func TestHistogramPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var h Histogram
+		for _, v := range raw {
+			h.Record(time.Duration(v))
+		}
+		if len(raw) == 0 {
+			return true
+		}
+		prev := h.Percentile(1)
+		for p := 5.0; p <= 100; p += 5 {
+			cur := h.Percentile(p)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return h.Min() <= h.Mean() && h.Mean() <= h.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramRecordAfterRead(t *testing.T) {
+	var h Histogram
+	h.Record(10)
+	_ = h.Max()
+	h.Record(20) // must re-sort
+	if h.Max() != 20 {
+		t.Fatal("sample recorded after read was lost")
+	}
+}
+
+func TestHistogramSummary(t *testing.T) {
+	var h Histogram
+	h.Record(10 * time.Millisecond)
+	s := h.Summary()
+	if !strings.Contains(s, "10.0ms") || !strings.Contains(s, "p95") {
+		t.Fatalf("summary = %q", s)
+	}
+}
+
+func TestMillis(t *testing.T) {
+	if got := Millis(1500 * time.Microsecond); got != "1.5ms" {
+		t.Fatalf("Millis = %q", got)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := NewTable("Table I: demo", "vendor", "quote")
+	tbl.AddRow("Infineon", "331ms")
+	tbl.AddRow("Broadcom", "972ms")
+	out := tbl.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Table I") {
+		t.Fatalf("title line = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "vendor") || !strings.Contains(lines[1], "quote") {
+		t.Fatalf("header = %q", lines[1])
+	}
+	// Alignment: all data rows should place the second column at the
+	// same offset.
+	off3 := strings.Index(lines[3], "331ms")
+	off4 := strings.Index(lines[4], "972ms")
+	if off3 != off4 {
+		t.Fatalf("columns misaligned: %d vs %d", off3, off4)
+	}
+	if tbl.Rows() != 2 {
+		t.Fatalf("rows = %d", tbl.Rows())
+	}
+}
+
+func TestTableShortRowPadded(t *testing.T) {
+	tbl := NewTable("", "a", "b", "c")
+	tbl.AddRow("only")
+	out := tbl.Render()
+	if !strings.Contains(out, "only") {
+		t.Fatalf("row lost: %q", out)
+	}
+}
+
+func TestSeriesRender(t *testing.T) {
+	var s Series
+	s.Name = "latency-vs-size"
+	s.Add(1, 100)
+	s.Add(2, 200.5)
+	out := s.Render()
+	if !strings.Contains(out, "# series: latency-vs-size") {
+		t.Fatalf("missing header: %q", out)
+	}
+	if !strings.Contains(out, "1\t100\n") || !strings.Contains(out, "2\t200.5\n") {
+		t.Fatalf("missing points: %q", out)
+	}
+	if len(s.X) != 2 || len(s.Y) != 2 {
+		t.Fatal("points not stored")
+	}
+}

@@ -1,0 +1,259 @@
+// Package netsim provides the network substrate between clients and
+// service providers: an in-memory request/response transport with
+// modelled latency, jitter, and loss charged to the simulation clock,
+// plus a length-prefixed frame codec for running the same protocol over
+// real TCP connections (cmd/tpserver, cmd/tpclient).
+package netsim
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"unitp/internal/sim"
+)
+
+// Transport errors.
+var (
+	// ErrTimeout is returned when a request exhausts its retries.
+	ErrTimeout = errors.New("netsim: request timed out")
+
+	// ErrFrameTooLarge is returned for frames above MaxFrameSize.
+	ErrFrameTooLarge = errors.New("netsim: frame exceeds maximum size")
+)
+
+// Transport is a synchronous request/response channel to a remote peer —
+// the shape of the paper's client↔provider interaction (HTTPS POST-like).
+type Transport interface {
+	// RoundTrip sends a request and returns the peer's response.
+	RoundTrip(req []byte) ([]byte, error)
+}
+
+// Handler processes one request on the server side.
+type Handler func(req []byte) ([]byte, error)
+
+// Link models one network path's conditions.
+type Link struct {
+	// Name labels the link in experiment tables.
+	Name string
+
+	// Latency is the one-way propagation delay.
+	Latency time.Duration
+
+	// Jitter is the standard deviation of per-message delay.
+	Jitter time.Duration
+
+	// LossProb is the probability that one direction of a round trip
+	// loses the message.
+	LossProb float64
+}
+
+// LinkLoopback models in-host communication (testing).
+func LinkLoopback() Link {
+	return Link{Name: "loopback"}
+}
+
+// LinkLAN models a local network.
+func LinkLAN() Link {
+	return Link{Name: "LAN", Latency: 200 * time.Microsecond, Jitter: 50 * time.Microsecond}
+}
+
+// LinkBroadband models a 2011-era consumer broadband path to a nearby
+// provider.
+func LinkBroadband() Link {
+	return Link{Name: "broadband", Latency: 15 * time.Millisecond, Jitter: 3 * time.Millisecond}
+}
+
+// LinkWAN models an intercontinental path.
+func LinkWAN() Link {
+	return Link{Name: "WAN", Latency: 80 * time.Millisecond, Jitter: 10 * time.Millisecond, LossProb: 0.002}
+}
+
+// LinkMobile models a 3G mobile path.
+func LinkMobile() Link {
+	return Link{Name: "mobile-3G", Latency: 120 * time.Millisecond, Jitter: 30 * time.Millisecond, LossProb: 0.01}
+}
+
+// Links returns the modelled link profiles in table order.
+func Links() []Link {
+	return []Link{LinkLoopback(), LinkLAN(), LinkBroadband(), LinkWAN(), LinkMobile()}
+}
+
+// Config configures an in-memory transport.
+type Config struct {
+	// Clock receives the modelled network delays.
+	Clock sim.Clock
+
+	// Random drives jitter and loss.
+	Random *sim.Rand
+
+	// Link is the path model.
+	Link Link
+
+	// Timeout is how long a lost message costs before a retry
+	// (defaults to 2 s).
+	Timeout time.Duration
+
+	// MaxRetries bounds retransmissions (defaults to 3).
+	MaxRetries int
+}
+
+// Pipe is an in-memory Transport delivering requests to a Handler across
+// a modelled Link. It is safe for concurrent use if the Handler is.
+type Pipe struct {
+	clock   sim.Clock
+	rng     *sim.Rand
+	link    Link
+	timeout time.Duration
+	retries int
+	handler Handler
+
+	// stats
+	sent, lost int
+}
+
+// NewPipe connects a transport to a handler.
+func NewPipe(cfg Config, handler Handler) *Pipe {
+	if cfg.Clock == nil {
+		cfg.Clock = sim.NewVirtualClock()
+	}
+	if cfg.Random == nil {
+		cfg.Random = sim.NewRand(0x9E)
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 2 * time.Second
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 3
+	}
+	return &Pipe{
+		clock:   cfg.Clock,
+		rng:     cfg.Random,
+		link:    cfg.Link,
+		timeout: cfg.Timeout,
+		retries: cfg.MaxRetries,
+		handler: handler,
+	}
+}
+
+// oneWayDelay samples the delay of one message traversal.
+func (p *Pipe) oneWayDelay() time.Duration {
+	if p.link.Jitter <= 0 {
+		return p.link.Latency
+	}
+	return p.rng.NormalDuration(p.link.Latency, p.link.Jitter)
+}
+
+// RoundTrip implements Transport: request travels the link, the handler
+// runs, the response travels back. Either direction may lose the message
+// (charging the timeout), after which the whole round trip is retried.
+func (p *Pipe) RoundTrip(req []byte) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; attempt <= p.retries; attempt++ {
+		p.sent++
+		// Request direction.
+		if p.rng.Bool(p.link.LossProb) {
+			p.lost++
+			p.clock.Sleep(p.timeout)
+			lastErr = ErrTimeout
+			continue
+		}
+		p.clock.Sleep(p.oneWayDelay())
+		resp, err := p.handler(req)
+		if err != nil {
+			return nil, err
+		}
+		// Response direction.
+		if p.rng.Bool(p.link.LossProb) {
+			p.lost++
+			p.clock.Sleep(p.timeout)
+			lastErr = ErrTimeout
+			continue
+		}
+		p.clock.Sleep(p.oneWayDelay())
+		return resp, nil
+	}
+	return nil, fmt.Errorf("netsim: %s after %d attempts: %w", p.link.Name, p.retries+1, lastErr)
+}
+
+// Stats returns (messages sent, messages lost).
+func (p *Pipe) Stats() (sent, lost int) { return p.sent, p.lost }
+
+// MaxFrameSize bounds a single protocol frame on real connections.
+const MaxFrameSize = 1 << 20
+
+// WriteFrame writes a 4-byte big-endian length prefix followed by the
+// payload.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("netsim: write frame header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("netsim: write frame body: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one length-prefixed frame.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("netsim: read frame header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return nil, ErrFrameTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("netsim: read frame body: %w", err)
+	}
+	return payload, nil
+}
+
+// ConnTransport runs the protocol over a real stream connection using the
+// frame codec — the cmd/tpclient path.
+type ConnTransport struct {
+	rw io.ReadWriter
+}
+
+// NewConnTransport wraps a connection.
+func NewConnTransport(rw io.ReadWriter) *ConnTransport {
+	return &ConnTransport{rw: rw}
+}
+
+// RoundTrip implements Transport over the stream.
+func (c *ConnTransport) RoundTrip(req []byte) ([]byte, error) {
+	if err := WriteFrame(c.rw, req); err != nil {
+		return nil, err
+	}
+	return ReadFrame(c.rw)
+}
+
+// Serve reads frames from the connection, dispatches them to handler,
+// and writes responses until the connection errors (io.EOF returns nil).
+func Serve(rw io.ReadWriter, handler Handler) error {
+	for {
+		req, err := ReadFrame(rw)
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil
+			}
+			return err
+		}
+		resp, err := handler(req)
+		if err != nil {
+			return fmt.Errorf("netsim: handler: %w", err)
+		}
+		if err := WriteFrame(rw, resp); err != nil {
+			return err
+		}
+	}
+}

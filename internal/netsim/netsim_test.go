@@ -1,0 +1,237 @@
+package netsim
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"unitp/internal/sim"
+)
+
+func echoHandler(req []byte) ([]byte, error) {
+	return append([]byte("re:"), req...), nil
+}
+
+func TestPipeRoundTrip(t *testing.T) {
+	clock := sim.NewVirtualClock()
+	p := NewPipe(Config{Clock: clock, Link: LinkLoopback()}, echoHandler)
+	resp, err := p.RoundTrip([]byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resp, []byte("re:hello")) {
+		t.Fatalf("resp = %q", resp)
+	}
+	if clock.Elapsed() != 0 {
+		t.Fatalf("loopback charged %v", clock.Elapsed())
+	}
+}
+
+func TestPipeChargesLatency(t *testing.T) {
+	clock := sim.NewVirtualClock()
+	link := Link{Name: "fixed", Latency: 40 * time.Millisecond} // no jitter
+	p := NewPipe(Config{Clock: clock, Link: link}, echoHandler)
+	if _, err := p.RoundTrip([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := clock.Elapsed(), 80*time.Millisecond; got != want {
+		t.Fatalf("round trip charged %v, want %v", got, want)
+	}
+}
+
+func TestPipeJitterVariesDelay(t *testing.T) {
+	clock := sim.NewVirtualClock()
+	p := NewPipe(Config{
+		Clock:  clock,
+		Random: sim.NewRand(11),
+		Link:   Link{Name: "j", Latency: 50 * time.Millisecond, Jitter: 10 * time.Millisecond},
+	}, echoHandler)
+	var delays []time.Duration
+	prev := clock.Elapsed()
+	for i := 0; i < 10; i++ {
+		if _, err := p.RoundTrip([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		now := clock.Elapsed()
+		delays = append(delays, now-prev)
+		prev = now
+	}
+	allEqual := true
+	for _, d := range delays[1:] {
+		if d != delays[0] {
+			allEqual = false
+		}
+	}
+	if allEqual {
+		t.Fatal("jitter produced identical delays")
+	}
+}
+
+func TestPipeHandlesLossWithRetry(t *testing.T) {
+	clock := sim.NewVirtualClock()
+	p := NewPipe(Config{
+		Clock:  clock,
+		Random: sim.NewRand(13),
+		Link:   Link{Name: "lossy", Latency: time.Millisecond, LossProb: 0.3},
+		// generous retries: must eventually succeed
+		MaxRetries: 50,
+	}, echoHandler)
+	for i := 0; i < 50; i++ {
+		if _, err := p.RoundTrip([]byte("x")); err != nil {
+			t.Fatalf("round trip %d: %v", i, err)
+		}
+	}
+	sent, lost := p.Stats()
+	if lost == 0 {
+		t.Fatal("30% loss produced zero losses in 50+ round trips")
+	}
+	if sent <= 50 {
+		t.Fatalf("sent = %d, expected retransmissions", sent)
+	}
+}
+
+func TestPipeTimesOutOnTotalLoss(t *testing.T) {
+	clock := sim.NewVirtualClock()
+	p := NewPipe(Config{
+		Clock:      clock,
+		Random:     sim.NewRand(17),
+		Link:       Link{Name: "dead", LossProb: 1.0},
+		Timeout:    time.Second,
+		MaxRetries: 2,
+	}, echoHandler)
+	_, err := p.RoundTrip([]byte("x"))
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("total loss: %v", err)
+	}
+	// 3 attempts * 1s timeout each.
+	if got := clock.Elapsed(); got != 3*time.Second {
+		t.Fatalf("charged %v, want 3s", got)
+	}
+}
+
+func TestPipePropagatesHandlerError(t *testing.T) {
+	sentinel := errors.New("server error")
+	p := NewPipe(Config{Link: LinkLoopback()}, func([]byte) ([]byte, error) {
+		return nil, sentinel
+	})
+	if _, err := p.RoundTrip([]byte("x")); !errors.Is(err, sentinel) {
+		t.Fatalf("handler error: %v", err)
+	}
+}
+
+func TestLinkProfiles(t *testing.T) {
+	links := Links()
+	if len(links) != 5 {
+		t.Fatalf("links = %d", len(links))
+	}
+	// Ordering: each successive profile is slower.
+	for i := 1; i < len(links); i++ {
+		if links[i].Latency < links[i-1].Latency {
+			t.Fatalf("link %s faster than %s", links[i].Name, links[i-1].Name)
+		}
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("frame payload")
+	if err := WriteFrame(&buf, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("frame = %q", got)
+	}
+}
+
+func TestFrameEmptyPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("frame = %v", got)
+	}
+}
+
+func TestFrameSizeLimit(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, make([]byte, MaxFrameSize+1)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversize write: %v", err)
+	}
+	// Hostile header claiming a huge frame.
+	buf.Reset()
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := ReadFrame(&buf); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("hostile header: %v", err)
+	}
+}
+
+func TestFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := ReadFrame(bytes.NewReader(data[:6])); err == nil {
+		t.Fatal("truncated body accepted")
+	}
+	if _, err := ReadFrame(bytes.NewReader(data[:2])); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+}
+
+func TestConnTransportOverPipe(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- Serve(server, echoHandler)
+	}()
+
+	tr := NewConnTransport(client)
+	resp, err := tr.RoundTrip([]byte("over tcp-ish"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resp, []byte("re:over tcp-ish")) {
+		t.Fatalf("resp = %q", resp)
+	}
+	resp2, err := tr.RoundTrip([]byte("again"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resp2, []byte("re:again")) {
+		t.Fatalf("resp2 = %q", resp2)
+	}
+	client.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+}
+
+func TestServeStopsOnHandlerError(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	sentinel := errors.New("boom")
+	done := make(chan error, 1)
+	go func() {
+		done <- Serve(server, func([]byte) ([]byte, error) { return nil, sentinel })
+	}()
+	if err := WriteFrame(client, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; !errors.Is(err, sentinel) {
+		t.Fatalf("Serve returned %v", err)
+	}
+}

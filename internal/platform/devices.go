@@ -1,0 +1,239 @@
+package platform
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"unitp/internal/sim"
+)
+
+// DeviceOwner identifies which software layer currently owns an input or
+// output device.
+type DeviceOwner int
+
+// Device owners.
+const (
+	// OwnerOS is the commodity operating system (and hence any malware
+	// running on it).
+	OwnerOS DeviceOwner = iota + 1
+
+	// OwnerPAL is the late-launched piece of application logic; while it
+	// owns a device, OS-level code can neither observe nor drive it.
+	OwnerPAL
+)
+
+// String names the owner for logs and experiment tables.
+func (o DeviceOwner) String() string {
+	switch o {
+	case OwnerOS:
+		return "OS"
+	case OwnerPAL:
+		return "PAL"
+	default:
+		return "unknown"
+	}
+}
+
+// KeyEvent is a single keystroke delivered by the (simulated) human.
+type KeyEvent struct {
+	// Rune is the character of the key.
+	Rune rune
+
+	// At is the instant the key was pressed.
+	At time.Time
+
+	// Injected marks events fabricated by software rather than by the
+	// physical keyboard. The hardware model sets this for events queued
+	// through the OS injection path; a PAL that owns the keyboard
+	// exclusively never sees injected events, because injection rides
+	// on OS device access.
+	Injected bool
+}
+
+// ErrDeviceNotOwned is returned when a layer accesses a device it does not
+// currently own.
+var ErrDeviceNotOwned = errors.New("platform: device owned by another layer")
+
+// ErrNoInput is returned when a keyboard read finds no pending event.
+var ErrNoInput = errors.New("platform: no pending input")
+
+// KeyObserver receives keystrokes that are visible to the OS layer —
+// exactly the hook a keylogger uses.
+type KeyObserver func(KeyEvent)
+
+// Keyboard models a PS/2 keyboard whose controller can be owned either by
+// the OS driver stack or polled directly by a late-launched PAL. Ownership
+// decides both who may read and who gets to observe.
+type Keyboard struct {
+	mu        sync.Mutex
+	owner     DeviceOwner
+	queue     []KeyEvent
+	observers []KeyObserver
+	clock     sim.Clock
+}
+
+// NewKeyboard returns a keyboard owned by the OS.
+func NewKeyboard(clock sim.Clock) *Keyboard {
+	return &Keyboard{owner: OwnerOS, clock: clock}
+}
+
+// Owner returns the current device owner.
+func (k *Keyboard) Owner() DeviceOwner {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.owner
+}
+
+// setOwner transfers the device and clears pending events so data queued
+// for one layer never leaks into the other (mirrors the controller flush
+// Flicker performs around a session).
+func (k *Keyboard) setOwner(o DeviceOwner) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.owner = o
+	k.queue = nil
+}
+
+// Press delivers a physical keystroke from the human. Whoever owns the
+// device will read it; OS observers see it only while the OS owns the
+// device.
+func (k *Keyboard) Press(r rune) {
+	k.mu.Lock()
+	ev := KeyEvent{Rune: r, At: k.clock.Now()}
+	k.queue = append(k.queue, ev)
+	var observers []KeyObserver
+	if k.owner == OwnerOS {
+		observers = append(observers, k.observers...)
+	}
+	k.mu.Unlock()
+	for _, obs := range observers {
+		obs(ev)
+	}
+}
+
+// InjectAsOS fabricates a keystroke through the OS driver stack, the move
+// a transaction generator makes to "type" a confirmation. It only reaches
+// the queue while the OS owns the device: a PAL polling the controller
+// directly is unreachable from this path.
+func (k *Keyboard) InjectAsOS(r rune) error {
+	k.mu.Lock()
+	if k.owner != OwnerOS {
+		k.mu.Unlock()
+		return ErrDeviceNotOwned
+	}
+	ev := KeyEvent{Rune: r, At: k.clock.Now(), Injected: true}
+	k.queue = append(k.queue, ev)
+	observers := append([]KeyObserver{}, k.observers...)
+	k.mu.Unlock()
+	for _, obs := range observers {
+		obs(ev)
+	}
+	return nil
+}
+
+// Observe registers an OS-level observer (keylogger hook). Observers only
+// fire while the OS owns the device.
+func (k *Keyboard) Observe(obs KeyObserver) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.observers = append(k.observers, obs)
+}
+
+// Read pops the oldest pending event, failing if caller is not the owner
+// or no event is pending.
+func (k *Keyboard) Read(as DeviceOwner) (KeyEvent, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.owner != as {
+		return KeyEvent{}, ErrDeviceNotOwned
+	}
+	if len(k.queue) == 0 {
+		return KeyEvent{}, ErrNoInput
+	}
+	ev := k.queue[0]
+	k.queue = k.queue[1:]
+	return ev, nil
+}
+
+// Pending reports the number of queued events visible to the owner.
+func (k *Keyboard) Pending() int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return len(k.queue)
+}
+
+// DisplayLine is one line of text on the screen, tagged with the layer
+// that drew it. The tag exists for experiments only: the *human* cannot
+// see it — which is precisely the paper's "uni-directional" caveat (no
+// trusted output channel).
+type DisplayLine struct {
+	// Text is the rendered content.
+	Text string
+
+	// By is the layer that drew the line.
+	By DeviceOwner
+
+	// At is when it was drawn.
+	At time.Time
+}
+
+// Display models a text-mode screen. Both layers can draw while they own
+// it; the human reads whatever is there, unable to authenticate origin.
+type Display struct {
+	mu    sync.Mutex
+	owner DeviceOwner
+	lines []DisplayLine
+	clock sim.Clock
+}
+
+// NewDisplay returns a display owned by the OS.
+func NewDisplay(clock sim.Clock) *Display {
+	return &Display{owner: OwnerOS, clock: clock}
+}
+
+// Owner returns the current owner.
+func (d *Display) Owner() DeviceOwner {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.owner
+}
+
+func (d *Display) setOwner(o DeviceOwner) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.owner = o
+}
+
+// Write draws a line as the given layer, failing if it does not own the
+// device.
+func (d *Display) Write(as DeviceOwner, text string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.owner != as {
+		return ErrDeviceNotOwned
+	}
+	d.lines = append(d.lines, DisplayLine{Text: text, By: as, At: d.clock.Now()})
+	return nil
+}
+
+// Lines returns a copy of everything drawn so far (what the human sees,
+// in order).
+func (d *Display) Lines() []DisplayLine {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]DisplayLine, len(d.lines))
+	copy(out, d.lines)
+	return out
+}
+
+// Clear erases the screen as the given layer.
+func (d *Display) Clear(as DeviceOwner) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.owner != as {
+		return ErrDeviceNotOwned
+	}
+	d.lines = nil
+	return nil
+}

@@ -1,0 +1,209 @@
+package platform
+
+import (
+	"errors"
+	"testing"
+
+	"unitp/internal/sim"
+)
+
+func TestKeyboardPressAndRead(t *testing.T) {
+	clock := sim.NewVirtualClock()
+	kb := NewKeyboard(clock)
+	if kb.Owner() != OwnerOS {
+		t.Fatalf("initial owner = %v", kb.Owner())
+	}
+	kb.Press('y')
+	clock.Sleep(1)
+	kb.Press('n')
+	if kb.Pending() != 2 {
+		t.Fatalf("pending = %d", kb.Pending())
+	}
+	ev, err := kb.Read(OwnerOS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Rune != 'y' || ev.Injected {
+		t.Fatalf("first event = %+v", ev)
+	}
+	ev2, err := kb.Read(OwnerOS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ev2.At.After(ev.At) {
+		t.Fatal("timestamps not ordered")
+	}
+	if _, err := kb.Read(OwnerOS); !errors.Is(err, ErrNoInput) {
+		t.Fatalf("empty read: %v", err)
+	}
+}
+
+func TestKeyboardOwnershipBlocksReads(t *testing.T) {
+	kb := NewKeyboard(sim.NewVirtualClock())
+	kb.Press('x')
+	if _, err := kb.Read(OwnerPAL); !errors.Is(err, ErrDeviceNotOwned) {
+		t.Fatalf("PAL read while OS owns: %v", err)
+	}
+	kb.setOwner(OwnerPAL)
+	// Ownership transfer flushes the queue: pre-transfer input never
+	// leaks into the PAL session.
+	if _, err := kb.Read(OwnerPAL); !errors.Is(err, ErrNoInput) {
+		t.Fatalf("stale event survived ownership transfer: %v", err)
+	}
+	kb.Press('y')
+	ev, err := kb.Read(OwnerPAL)
+	if err != nil || ev.Rune != 'y' {
+		t.Fatalf("PAL read = %+v, %v", ev, err)
+	}
+	if _, err := kb.Read(OwnerOS); !errors.Is(err, ErrDeviceNotOwned) {
+		t.Fatalf("OS read while PAL owns: %v", err)
+	}
+}
+
+func TestKeyboardObserverSeesOnlyOSOwnedEvents(t *testing.T) {
+	kb := NewKeyboard(sim.NewVirtualClock())
+	var logged []rune
+	kb.Observe(func(ev KeyEvent) { logged = append(logged, ev.Rune) })
+
+	kb.Press('a') // OS owns: keylogger sees it
+	kb.setOwner(OwnerPAL)
+	kb.Press('s') // PAL owns: keylogger must NOT see it
+	kb.Press('3')
+	kb.setOwner(OwnerOS)
+	kb.Press('b') // OS owns again
+
+	if got, want := string(logged), "ab"; got != want {
+		t.Fatalf("keylogger saw %q, want %q", got, want)
+	}
+}
+
+func TestKeyboardInjectionRequiresOSOwnership(t *testing.T) {
+	kb := NewKeyboard(sim.NewVirtualClock())
+	if err := kb.InjectAsOS('y'); err != nil {
+		t.Fatalf("inject while OS owns: %v", err)
+	}
+	ev, err := kb.Read(OwnerOS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ev.Injected {
+		t.Fatal("injected event not flagged")
+	}
+	kb.setOwner(OwnerPAL)
+	if err := kb.InjectAsOS('y'); !errors.Is(err, ErrDeviceNotOwned) {
+		t.Fatalf("inject while PAL owns: %v", err)
+	}
+}
+
+func TestDisplayOwnershipAndLines(t *testing.T) {
+	clock := sim.NewVirtualClock()
+	d := NewDisplay(clock)
+	if err := d.Write(OwnerOS, "os line"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Write(OwnerPAL, "pal line"); !errors.Is(err, ErrDeviceNotOwned) {
+		t.Fatalf("PAL write while OS owns: %v", err)
+	}
+	d.setOwner(OwnerPAL)
+	if err := d.Write(OwnerPAL, "confirm tx?"); err != nil {
+		t.Fatal(err)
+	}
+	lines := d.Lines()
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if lines[0].By != OwnerOS || lines[1].By != OwnerPAL {
+		t.Fatalf("line origins = %v, %v", lines[0].By, lines[1].By)
+	}
+	if err := d.Clear(OwnerPAL); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Lines()) != 0 {
+		t.Fatal("clear did not empty display")
+	}
+	if err := d.Clear(OwnerOS); !errors.Is(err, ErrDeviceNotOwned) {
+		t.Fatalf("OS clear while PAL owns: %v", err)
+	}
+}
+
+func TestDisplayLinesCopies(t *testing.T) {
+	d := NewDisplay(sim.NewVirtualClock())
+	if err := d.Write(OwnerOS, "a"); err != nil {
+		t.Fatal(err)
+	}
+	lines := d.Lines()
+	lines[0].Text = "tampered"
+	if d.Lines()[0].Text != "a" {
+		t.Fatal("Lines exposed internal slice")
+	}
+}
+
+func TestDeviceOwnerString(t *testing.T) {
+	if OwnerOS.String() != "OS" || OwnerPAL.String() != "PAL" {
+		t.Fatal("owner names wrong")
+	}
+	if DeviceOwner(0).String() != "unknown" {
+		t.Fatal("zero owner not unknown")
+	}
+}
+
+func TestMemoryStoreLoadErase(t *testing.T) {
+	m := NewMemory()
+	m.Store("r", []byte{1, 2, 3})
+	got, err := m.Load("r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got[0] = 99
+	again, err := m.Load("r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again[0] != 1 {
+		t.Fatal("Load exposed internal storage")
+	}
+	m.Erase("r")
+	if _, err := m.Load("r"); !errors.Is(err, ErrNoSuchRegion) {
+		t.Fatalf("load after erase: %v", err)
+	}
+	m.Erase("never-existed") // must not panic
+}
+
+func TestMemoryDMAProtection(t *testing.T) {
+	m := NewMemory()
+	m.Store("pal", []byte("session key"))
+
+	// No exclusion vector: DMA succeeds (the attack).
+	got, err := m.DMARead("pal")
+	if err != nil {
+		t.Fatalf("DMA with DEV inactive: %v", err)
+	}
+	if string(got) != "session key" {
+		t.Fatal("DMA returned wrong data")
+	}
+
+	// Protected + active: blocked.
+	m.Protect("pal")
+	m.SetDEVActive(true)
+	if !m.DEVActive() {
+		t.Fatal("DEV not active")
+	}
+	if _, err := m.DMARead("pal"); !errors.Is(err, ErrDMABlocked) {
+		t.Fatalf("DMA with DEV active: %v", err)
+	}
+
+	// Other regions stay DMA-readable even while DEV is active.
+	m.Store("os", []byte("os data"))
+	if _, err := m.DMARead("os"); err != nil {
+		t.Fatalf("DMA of unprotected region: %v", err)
+	}
+
+	// Unprotect: readable again.
+	m.Unprotect("pal")
+	if _, err := m.DMARead("pal"); err != nil {
+		t.Fatalf("DMA after unprotect: %v", err)
+	}
+	if _, err := m.DMARead("ghost"); !errors.Is(err, ErrNoSuchRegion) {
+		t.Fatalf("DMA of missing region: %v", err)
+	}
+}

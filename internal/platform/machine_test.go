@@ -1,0 +1,488 @@
+package platform
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"unitp/internal/cryptoutil"
+	"unitp/internal/sim"
+	"unitp/internal/tpm"
+)
+
+// newTestMachine builds a machine with ideal TPM latencies and all
+// protections (unless overridden).
+func newTestMachine(t *testing.T, prot *Protections) *Machine {
+	t.Helper()
+	m, err := New(Config{
+		Random:      sim.NewRand(42),
+		Protections: prot,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return m
+}
+
+func TestBootMeasurementsInStaticPCRs(t *testing.T) {
+	m := newTestMachine(t, nil)
+	for _, idx := range []int{0, 2, 4, 8} {
+		v, err := m.TPM().PCRRead(idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.IsZero() {
+			t.Fatalf("static PCR %d empty after boot", idx)
+		}
+	}
+	if !m.OSRunning() {
+		t.Fatal("OS not running after boot")
+	}
+}
+
+func TestLateLaunchHappyPath(t *testing.T) {
+	m := newTestMachine(t, nil)
+	image := []byte("confirmation-pal-image-v1")
+	var insidePCR17 cryptoutil.Digest
+
+	report, err := m.LateLaunch(image, func(env *LaunchEnv) error {
+		v, err := env.PCRRead(tpm.PCRDRTM)
+		if err != nil {
+			return err
+		}
+		insidePCR17 = v
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("LateLaunch: %v", err)
+	}
+	if report.PALErr != nil {
+		t.Fatalf("PAL error: %v", report.PALErr)
+	}
+	wantInside := ExpectedPCR17(cryptoutil.SHA1(image))
+	if insidePCR17 != wantInside {
+		t.Fatalf("PCR17 during PAL = %v, want %v", insidePCR17, wantInside)
+	}
+	after, err := m.TPM().PCRRead(tpm.PCRDRTM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := ExpectedPCR17Capped(cryptoutil.SHA1(image)); after != want {
+		t.Fatalf("PCR17 after cap = %v, want %v", after, want)
+	}
+	if !m.OSRunning() {
+		t.Fatal("OS not resumed")
+	}
+	if m.Keyboard().Owner() != OwnerOS || m.Display().Owner() != OwnerOS {
+		t.Fatal("devices not returned to OS")
+	}
+	if m.LaunchCount() != 1 {
+		t.Fatalf("launch count = %d", m.LaunchCount())
+	}
+	if report.Measurement != cryptoutil.SHA1(image) {
+		t.Fatal("report measurement wrong")
+	}
+}
+
+func TestLateLaunchReportPhases(t *testing.T) {
+	clock := sim.NewVirtualClock()
+	m, err := New(Config{Clock: clock, Random: sim.NewRand(7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	image := bytes.Repeat([]byte{0xAA}, 4096) // 4 KiB SLB
+	palWork := 5 * time.Millisecond
+	report, err := m.LateLaunch(image, func(env *LaunchEnv) error {
+		env.ChargeCompute(palWork)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := DefaultCosts()
+	if report.Suspend != costs.OSSuspend {
+		t.Fatalf("suspend = %v, want %v", report.Suspend, costs.OSSuspend)
+	}
+	if report.SKINIT != costs.skinitCost(len(image)) {
+		t.Fatalf("skinit = %v, want %v", report.SKINIT, costs.skinitCost(len(image)))
+	}
+	if report.PALRun != palWork {
+		t.Fatalf("pal run = %v, want %v", report.PALRun, palWork)
+	}
+	if report.Resume != costs.OSResume {
+		t.Fatalf("resume = %v, want %v", report.Resume, costs.OSResume)
+	}
+	if want := report.Suspend + report.SKINIT + report.PALRun + report.Resume; report.Total != want {
+		t.Fatalf("total = %v, want %v", report.Total, want)
+	}
+}
+
+func TestSKINITCostGrowsWithImage(t *testing.T) {
+	costs := DefaultCosts()
+	small := costs.skinitCost(1024)
+	large := costs.skinitCost(64 * 1024)
+	if large <= small {
+		t.Fatalf("SKINIT cost not monotone: %v vs %v", small, large)
+	}
+}
+
+func TestLateLaunchErrors(t *testing.T) {
+	m := newTestMachine(t, nil)
+	if _, err := m.LateLaunch(nil, func(*LaunchEnv) error { return nil }); !errors.Is(err, ErrEmptyImage) {
+		t.Fatalf("empty image: %v", err)
+	}
+	// Nested launch.
+	_, err := m.LateLaunch([]byte("outer"), func(env *LaunchEnv) error {
+		_, inner := m.LateLaunch([]byte("inner"), func(*LaunchEnv) error { return nil })
+		if !errors.Is(inner, ErrLaunchActive) {
+			t.Fatalf("nested launch: %v", inner)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPALErrorStillCapsAndResumes(t *testing.T) {
+	m := newTestMachine(t, nil)
+	image := []byte("pal")
+	sentinel := errors.New("pal failed")
+	report, err := m.LateLaunch(image, func(*LaunchEnv) error { return sentinel })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(report.PALErr, sentinel) {
+		t.Fatalf("PALErr = %v", report.PALErr)
+	}
+	after, err := m.TPM().PCRRead(tpm.PCRDRTM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := ExpectedPCR17Capped(cryptoutil.SHA1(image)); after != want {
+		t.Fatal("failed PAL session not capped")
+	}
+	if !m.OSRunning() {
+		t.Fatal("OS not resumed after PAL failure")
+	}
+}
+
+func TestEnvRevokedAfterSession(t *testing.T) {
+	m := newTestMachine(t, nil)
+	var stolen *LaunchEnv
+	_, err := m.LateLaunch([]byte("pal"), func(env *LaunchEnv) error {
+		stolen = env
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Malware that captured the env pointer must get nothing after
+	// resume.
+	if _, err := stolen.Unseal(&tpm.SealedBlob{}); !errors.Is(err, errRevoked) {
+		t.Fatalf("post-session Unseal: %v", err)
+	}
+	if _, err := stolen.Extend(tpm.PCRApp, cryptoutil.Digest{}); !errors.Is(err, errRevoked) {
+		t.Fatalf("post-session Extend: %v", err)
+	}
+	if _, err := stolen.ReadKey(); !errors.Is(err, errRevoked) {
+		t.Fatalf("post-session ReadKey: %v", err)
+	}
+	if err := stolen.Display("x"); !errors.Is(err, errRevoked) {
+		t.Fatalf("post-session Display: %v", err)
+	}
+	if _, err := stolen.GetRandom(8); !errors.Is(err, errRevoked) {
+		t.Fatalf("post-session GetRandom: %v", err)
+	}
+	if _, err := stolen.LoadSecret(); !errors.Is(err, errRevoked) {
+		t.Fatalf("post-session LoadSecret: %v", err)
+	}
+	if err := stolen.StoreSecret(nil); !errors.Is(err, errRevoked) {
+		t.Fatalf("post-session StoreSecret: %v", err)
+	}
+	if _, err := stolen.SealCurrent([]int{0}, 0, nil); !errors.Is(err, errRevoked) {
+		t.Fatalf("post-session SealCurrent: %v", err)
+	}
+	if _, err := stolen.Seal([]int{0}, cryptoutil.Digest{}, 0, nil); !errors.Is(err, errRevoked) {
+		t.Fatalf("post-session Seal: %v", err)
+	}
+	if _, err := stolen.PCRRead(0); !errors.Is(err, errRevoked) {
+		t.Fatalf("post-session PCRRead: %v", err)
+	}
+}
+
+func TestExclusiveInputDuringLaunch(t *testing.T) {
+	m := newTestMachine(t, nil)
+	var logged []rune
+	m.Keyboard().Observe(func(ev KeyEvent) { logged = append(logged, ev.Rune) })
+
+	_, err := m.LateLaunch([]byte("pal"), func(env *LaunchEnv) error {
+		// Malware injection path is dead while the PAL owns input.
+		if err := m.Keyboard().InjectAsOS('y'); !errors.Is(err, ErrDeviceNotOwned) {
+			t.Fatalf("injection during exclusive session: %v", err)
+		}
+		// Human presses a key; the PAL reads it, the keylogger does not
+		// observe it.
+		m.Keyboard().Press('y')
+		ev, err := env.ReadKey()
+		if err != nil {
+			return err
+		}
+		if ev.Rune != 'y' || ev.Injected {
+			t.Fatalf("PAL read = %+v", ev)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(logged) != 0 {
+		t.Fatalf("keylogger captured %q during exclusive session", string(logged))
+	}
+}
+
+func TestNonExclusiveInputAdmitsInjection(t *testing.T) {
+	prot := AllProtections()
+	prot.ExclusiveInput = false
+	m := newTestMachine(t, &prot)
+
+	_, err := m.LateLaunch([]byte("pal"), func(env *LaunchEnv) error {
+		// With input left on the OS path, malware injects a fake
+		// confirmation and the PAL cannot tell... except via the
+		// model's Injected flag, which exists for experiments.
+		if err := m.Keyboard().InjectAsOS('y'); err != nil {
+			t.Fatalf("injection with shared input failed: %v", err)
+		}
+		ev, err := env.ReadKey()
+		if err != nil {
+			return err
+		}
+		if !ev.Injected {
+			t.Fatal("injected event lost its provenance tag")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeasuredLaunchIgnoresClaimedImage(t *testing.T) {
+	m := newTestMachine(t, nil)
+	real := []byte("evil-pal")
+	claimed := []byte("good-pal")
+	report, err := m.LateLaunch(real, func(*LaunchEnv) error { return nil },
+		WithClaimedImage(claimed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Measurement != cryptoutil.SHA1(real) {
+		t.Fatal("measured launch did not measure the real image")
+	}
+}
+
+func TestUnmeasuredLaunchAdmitsSubstitution(t *testing.T) {
+	prot := AllProtections()
+	prot.MeasuredLaunch = false
+	m := newTestMachine(t, &prot)
+	real := []byte("evil-pal")
+	claimed := []byte("good-pal")
+	report, err := m.LateLaunch(real, func(*LaunchEnv) error { return nil },
+		WithClaimedImage(claimed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Measurement != cryptoutil.SHA1(claimed) {
+		t.Fatal("TOCTOU substitution did not take effect with measurement off")
+	}
+	after, err := m.TPM().PCRRead(tpm.PCRDRTM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after != ExpectedPCR17Capped(cryptoutil.SHA1(claimed)) {
+		t.Fatal("PCR17 does not reflect the claimed (forged) measurement")
+	}
+}
+
+func TestDMAProtectionDuringLaunch(t *testing.T) {
+	m := newTestMachine(t, nil)
+	_, err := m.LateLaunch([]byte("pal"), func(env *LaunchEnv) error {
+		if err := env.StoreSecret([]byte("session key")); err != nil {
+			return err
+		}
+		// Peripheral DMA read must be blocked mid-session.
+		if _, err := m.Memory().DMARead(palMemoryRegion); !errors.Is(err, ErrDMABlocked) {
+			t.Fatalf("DMA during protected session: %v", err)
+		}
+		got, err := env.LoadSecret()
+		if err != nil {
+			return err
+		}
+		if string(got) != "session key" {
+			t.Fatal("PAL could not read its own secret")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After resume the region is erased.
+	if _, err := m.Memory().Load(palMemoryRegion); !errors.Is(err, ErrNoSuchRegion) {
+		t.Fatalf("PAL memory survived resume: %v", err)
+	}
+}
+
+func TestNoDMAProtectionLeaksSecrets(t *testing.T) {
+	prot := AllProtections()
+	prot.DMAProtection = false
+	m := newTestMachine(t, &prot)
+	var leaked []byte
+	_, err := m.LateLaunch([]byte("pal"), func(env *LaunchEnv) error {
+		if err := env.StoreSecret([]byte("session key")); err != nil {
+			return err
+		}
+		data, err := m.Memory().DMARead(palMemoryRegion)
+		if err != nil {
+			t.Fatalf("DMA with protection off: %v", err)
+		}
+		leaked = data
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(leaked) != "session key" {
+		t.Fatal("expected DMA leak did not happen")
+	}
+}
+
+func TestLocalityGating(t *testing.T) {
+	m := newTestMachine(t, nil)
+	if got := m.AssertLocality(4); got != 0 {
+		t.Fatalf("gated platform granted locality %d", got)
+	}
+	prot := AllProtections()
+	prot.LocalityGating = false
+	broken := newTestMachine(t, &prot)
+	if got := broken.AssertLocality(4); got != 4 {
+		t.Fatalf("ungated platform granted locality %d, want 4", got)
+	}
+	// On the broken platform the OS can fake a DRTM state.
+	if err := broken.TPM().PCRReset(broken.AssertLocality(4), tpm.PCRDRTM); err != nil {
+		t.Fatalf("forged locality-4 reset: %v", err)
+	}
+}
+
+func TestWaitKeyUsesPump(t *testing.T) {
+	m := newTestMachine(t, nil)
+	pumped := 0
+	m.SetInputPump(func() bool {
+		pumped++
+		if pumped > 1 {
+			return false
+		}
+		m.Clock().Sleep(800 * time.Millisecond) // human reaction time
+		m.Keyboard().Press('y')
+		return true
+	})
+	_, err := m.LateLaunch([]byte("pal"), func(env *LaunchEnv) error {
+		ev, err := env.WaitKey()
+		if err != nil {
+			return err
+		}
+		if ev.Rune != 'y' {
+			t.Fatalf("WaitKey = %+v", ev)
+		}
+		// Second wait: pump is exhausted.
+		if _, err := env.WaitKey(); !errors.Is(err, ErrNoInput) {
+			t.Fatalf("exhausted pump: %v", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pumped != 3 { // one delivery + two refusals (second WaitKey asks once)
+		t.Logf("pump called %d times", pumped)
+	}
+}
+
+func TestWaitKeyNoPump(t *testing.T) {
+	m := newTestMachine(t, nil)
+	_, err := m.LateLaunch([]byte("pal"), func(env *LaunchEnv) error {
+		if _, err := env.WaitKey(); !errors.Is(err, ErrNoInput) {
+			t.Fatalf("WaitKey without pump: %v", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPALDisplayDuringExclusiveSession(t *testing.T) {
+	m := newTestMachine(t, nil)
+	_, err := m.LateLaunch([]byte("pal"), func(env *LaunchEnv) error {
+		return env.Display("Confirm transfer of EUR 100 to DE89...? [y/n]")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := m.Display().Lines()
+	if len(lines) != 1 || lines[0].By != OwnerPAL {
+		t.Fatalf("display lines = %+v", lines)
+	}
+}
+
+func TestEnvSealUnsealAtLocality2(t *testing.T) {
+	m := newTestMachine(t, nil)
+	image := []byte("pal")
+	var blob *tpm.SealedBlob
+	_, err := m.LateLaunch(image, func(env *LaunchEnv) error {
+		b, err := env.SealCurrent([]int{tpm.PCRDRTM}, tpm.MaskOf(2), []byte("persisted"))
+		if err != nil {
+			return err
+		}
+		blob = b
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After the cap, even the same locality cannot unseal (PCR changed).
+	if _, err := m.TPM().Unseal(2, blob); !errors.Is(err, tpm.ErrWrongPCRState) {
+		t.Fatalf("unseal after cap: %v", err)
+	}
+	// A fresh launch of the same PAL reaches the same pre-cap state and
+	// can unseal.
+	_, err = m.LateLaunch(image, func(env *LaunchEnv) error {
+		got, err := env.Unseal(blob)
+		if err != nil {
+			return err
+		}
+		if string(got) != "persisted" {
+			t.Fatal("wrong unsealed data")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMachineAccessors(t *testing.T) {
+	m := newTestMachine(t, nil)
+	if m.Clock() == nil || m.Random() == nil || m.TPM() == nil {
+		t.Fatal("nil accessor")
+	}
+	if m.Costs().OSSuspend == 0 {
+		t.Fatal("zero cost model")
+	}
+	if !m.Protections().MeasuredLaunch {
+		t.Fatal("default protections not all-on")
+	}
+	if m.OSLocality() != 0 {
+		t.Fatal("OS locality != 0")
+	}
+}

@@ -1,0 +1,119 @@
+package platform
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrDMABlocked is returned when a DMA read targets a protected region.
+var ErrDMABlocked = errors.New("platform: DMA blocked by device exclusion vector")
+
+// ErrNoSuchRegion is returned for reads of undefined memory regions.
+var ErrNoSuchRegion = errors.New("platform: no such memory region")
+
+// Memory models physical memory at region granularity, with the device
+// exclusion vector (DEV on AMD, VT-d on Intel) that a late launch programs
+// to stop peripherals from reading PAL memory via DMA.
+type Memory struct {
+	mu      sync.Mutex
+	regions map[string][]byte
+	// protected marks regions covered by the DMA exclusion vector.
+	protected map[string]bool
+	// devActive is whether the exclusion vector is being enforced.
+	devActive bool
+}
+
+// NewMemory returns an empty physical memory.
+func NewMemory() *Memory {
+	return &Memory{
+		regions:   make(map[string][]byte),
+		protected: make(map[string]bool),
+	}
+}
+
+// Store writes a region (CPU path — always allowed for the executing
+// layer; isolation between layers is enforced by the machine's execution
+// model, not by the memory map).
+func (m *Memory) Store(region string, data []byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	m.regions[region] = buf
+}
+
+// Load reads a region through the CPU path.
+func (m *Memory) Load(region string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.regions[region]
+	if !ok {
+		return nil, ErrNoSuchRegion
+	}
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out, nil
+}
+
+// Erase zeroes and removes a region (the PAL's secret cleanup before
+// resuming the OS).
+func (m *Memory) Erase(region string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if data, ok := m.regions[region]; ok {
+		for i := range data {
+			data[i] = 0
+		}
+		delete(m.regions, region)
+	}
+}
+
+// Protect places a region under the DMA exclusion vector.
+func (m *Memory) Protect(region string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.protected[region] = true
+}
+
+// Unprotect removes a region from the exclusion vector.
+func (m *Memory) Unprotect(region string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.protected, region)
+}
+
+// SetDEVActive turns exclusion-vector enforcement on or off. A late
+// launch turns it on; the security experiment's "no DMA protection"
+// ablation leaves it off.
+func (m *Memory) SetDEVActive(active bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.devActive = active
+}
+
+// DEVActive reports whether the exclusion vector is enforced.
+func (m *Memory) DEVActive() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.devActive
+}
+
+// DMARead models a peripheral (or malware programming a peripheral)
+// reading a region over the bus, bypassing the CPU. It fails for
+// protected regions while the exclusion vector is enforced — and
+// succeeds otherwise, which is how the F3 experiment demonstrates key
+// theft when DMA protection is disabled.
+func (m *Memory) DMARead(region string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.regions[region]
+	if !ok {
+		return nil, ErrNoSuchRegion
+	}
+	if m.devActive && m.protected[region] {
+		return nil, ErrDMABlocked
+	}
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out, nil
+}

@@ -1,0 +1,165 @@
+package platform
+
+import (
+	"errors"
+	"testing"
+
+	"unitp/internal/cryptoutil"
+	"unitp/internal/tpm"
+)
+
+func TestRebootResetsVolatileState(t *testing.T) {
+	m := newTestMachine(t, nil)
+	image := []byte("pal")
+	// Dirty the dynamic and application PCRs via a session.
+	if _, err := m.LateLaunch(image, func(env *LaunchEnv) error {
+		_, err := env.Extend(tpm.PCRApp, cryptoutil.SHA1([]byte("output")))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	before, err := m.TPM().PCRRead(tpm.PCRDRTM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.IsOnes() {
+		t.Fatal("setup: PCR17 untouched")
+	}
+
+	if err := m.Reboot(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := m.TPM().PCRRead(tpm.PCRDRTM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.IsOnes() {
+		t.Fatalf("PCR17 after reboot = %v, want all-ones", after)
+	}
+	// Static PCRs carry the fresh boot chain (same values — same boot).
+	pcr0, err := m.TPM().PCRRead(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pcr0.IsZero() {
+		t.Fatal("boot chain missing after reboot")
+	}
+	if !m.OSRunning() {
+		t.Fatal("OS not running after reboot")
+	}
+}
+
+func TestRebootPersistsKeysCountersNV(t *testing.T) {
+	m := newTestMachine(t, nil)
+	dev := m.TPM()
+	ekBefore := dev.EK().N
+	aik, aikPub, err := dev.CreateAIK()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.CounterCreate(3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.CounterIncrement(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.NVDefine(1, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.NVWrite(1, 0, []byte("persist!")); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := m.Reboot(); err != nil {
+		t.Fatal(err)
+	}
+	if dev.EK().N.Cmp(ekBefore) != 0 {
+		t.Fatal("EK changed across reboot")
+	}
+	v, err := dev.CounterRead(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1 {
+		t.Fatalf("counter after reboot = %d", v)
+	}
+	data, err := dev.NVRead(1, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "persist!" {
+		t.Fatalf("NV after reboot = %q", data)
+	}
+	// The AIK still signs.
+	nonce := make([]byte, 20)
+	q, err := dev.Quote(0, aik, nonce, []int{tpm.PCRDRTM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tpm.VerifyQuote(aikPub, q); err != nil {
+		t.Fatalf("AIK broken after reboot: %v", err)
+	}
+}
+
+func TestSealedPALStateSurvivesReboot(t *testing.T) {
+	// State sealed to a PAL's launch identity is release-policy-bound,
+	// not boot-bound: after a reboot, a fresh launch of the same PAL
+	// reaches the same PCR-17 state and unseals it.
+	m := newTestMachine(t, nil)
+	image := []byte("stateful-pal")
+	var blob *tpm.SealedBlob
+	if _, err := m.LateLaunch(image, func(env *LaunchEnv) error {
+		b, err := env.SealCurrent([]int{tpm.PCRDRTM}, tpm.MaskOf(2), []byte("carried over"))
+		if err != nil {
+			return err
+		}
+		blob = b
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Reboot(); err != nil {
+		t.Fatal(err)
+	}
+	report, err := m.LateLaunch(image, func(env *LaunchEnv) error {
+		got, err := env.Unseal(blob)
+		if err != nil {
+			return err
+		}
+		if string(got) != "carried over" {
+			t.Fatalf("unsealed %q", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.PALErr != nil {
+		t.Fatalf("post-reboot unseal failed: %v", report.PALErr)
+	}
+}
+
+func TestRebootDuringLaunchRefused(t *testing.T) {
+	m := newTestMachine(t, nil)
+	_, err := m.LateLaunch([]byte("pal"), func(*LaunchEnv) error {
+		if err := m.Reboot(); !errors.Is(err, ErrLaunchActive) {
+			t.Fatalf("mid-session reboot: %v", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRebootChargesTime(t *testing.T) {
+	m := newTestMachine(t, nil)
+	clock := m.Clock()
+	before := clock.Now()
+	if err := m.Reboot(); err != nil {
+		t.Fatal(err)
+	}
+	if !clock.Now().After(before) {
+		t.Fatal("reboot cost no time")
+	}
+}

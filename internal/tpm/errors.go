@@ -1,0 +1,56 @@
+package tpm
+
+import "errors"
+
+var (
+	// ErrNotStarted is returned when a command is issued before
+	// TPM_Startup.
+	ErrNotStarted = errors.New("tpm: device not started")
+
+	// ErrBadPCRIndex is returned for PCR indices outside [0, NumPCRs).
+	ErrBadPCRIndex = errors.New("tpm: PCR index out of range")
+
+	// ErrBadLocality is returned for localities outside [0, 4] or for
+	// operations not permitted at the caller's locality.
+	ErrBadLocality = errors.New("tpm: operation not permitted at this locality")
+
+	// ErrPCRNotResettable is returned when PCR_Reset targets a PCR whose
+	// policy forbids reset at the caller's locality.
+	ErrPCRNotResettable = errors.New("tpm: PCR not resettable at this locality")
+
+	// ErrUnknownHandle is returned for key handles that do not exist.
+	ErrUnknownHandle = errors.New("tpm: unknown key handle")
+
+	// ErrWrongPCRState is returned by Unseal when the current PCR
+	// composite does not match the sealed digest-at-release.
+	ErrWrongPCRState = errors.New("tpm: PCR state does not match sealed policy")
+
+	// ErrSealedBlobCorrupt is returned when a sealed blob fails
+	// authenticated decryption (tampered or from another TPM).
+	ErrSealedBlobCorrupt = errors.New("tpm: sealed blob corrupt or foreign")
+
+	// ErrNVIndexExists is returned when defining an NV index that is
+	// already defined.
+	ErrNVIndexExists = errors.New("tpm: NV index already defined")
+
+	// ErrNVIndexUndefined is returned for reads/writes of undefined NV
+	// indices.
+	ErrNVIndexUndefined = errors.New("tpm: NV index not defined")
+
+	// ErrNVRange is returned when an NV access exceeds the defined area.
+	ErrNVRange = errors.New("tpm: NV access out of range")
+
+	// ErrCounterExists is returned when creating a counter with an ID
+	// that is already in use.
+	ErrCounterExists = errors.New("tpm: counter already exists")
+
+	// ErrCounterUndefined is returned for operations on unknown counters.
+	ErrCounterUndefined = errors.New("tpm: counter not defined")
+
+	// ErrEmptySelection is returned when a quote or seal names no PCRs.
+	ErrEmptySelection = errors.New("tpm: empty PCR selection")
+
+	// ErrBadNonce is returned when external data of the wrong size is
+	// supplied to Quote.
+	ErrBadNonce = errors.New("tpm: external data must be exactly 20 bytes")
+)

@@ -1,0 +1,114 @@
+package tpm
+
+import "fmt"
+
+// maxNVSize bounds a single NV area; era TPMs offered ~1.2 KiB total, and
+// the trusted-path system stores only small freshness records.
+const maxNVSize = 4096
+
+// NVDefine allocates a non-volatile storage area of the given size at
+// index. The area is zero-filled.
+func (t *TPM) NVDefine(index uint32, size int) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.started {
+		return ErrNotStarted
+	}
+	if size <= 0 || size > maxNVSize {
+		return fmt.Errorf("tpm: NV size %d outside (0, %d]: %w", size, maxNVSize, ErrNVRange)
+	}
+	if _, ok := t.nv[index]; ok {
+		return ErrNVIndexExists
+	}
+	t.charge(OpNVDefine)
+	t.nv[index] = make([]byte, size)
+	return nil
+}
+
+// NVWrite writes data into the NV area at the given offset.
+func (t *TPM) NVWrite(index uint32, offset int, data []byte) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.started {
+		return ErrNotStarted
+	}
+	area, ok := t.nv[index]
+	if !ok {
+		return ErrNVIndexUndefined
+	}
+	if offset < 0 || offset+len(data) > len(area) {
+		return ErrNVRange
+	}
+	t.charge(OpNVWrite)
+	copy(area[offset:], data)
+	return nil
+}
+
+// NVRead returns n bytes from the NV area starting at offset.
+func (t *TPM) NVRead(index uint32, offset, n int) ([]byte, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.started {
+		return nil, ErrNotStarted
+	}
+	area, ok := t.nv[index]
+	if !ok {
+		return nil, ErrNVIndexUndefined
+	}
+	if offset < 0 || n < 0 || offset+n > len(area) {
+		return nil, ErrNVRange
+	}
+	t.charge(OpNVRead)
+	out := make([]byte, n)
+	copy(out, area[offset:offset+n])
+	return out, nil
+}
+
+// CounterCreate allocates a monotonic counter starting at zero.
+func (t *TPM) CounterCreate(id uint32) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.started {
+		return ErrNotStarted
+	}
+	if _, ok := t.counters[id]; ok {
+		return ErrCounterExists
+	}
+	t.charge(OpCounterCreate)
+	t.counters[id] = 0
+	return nil
+}
+
+// CounterIncrement advances a monotonic counter and returns the new value.
+// Counters never decrease — the freshness anchor for sealed-state replay
+// protection (experiment F5 ablation).
+func (t *TPM) CounterIncrement(id uint32) (uint64, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.started {
+		return 0, ErrNotStarted
+	}
+	v, ok := t.counters[id]
+	if !ok {
+		return 0, ErrCounterUndefined
+	}
+	t.charge(OpCounterIncrement)
+	v++
+	t.counters[id] = v
+	return v, nil
+}
+
+// CounterRead returns the current value of a monotonic counter.
+func (t *TPM) CounterRead(id uint32) (uint64, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.started {
+		return 0, ErrNotStarted
+	}
+	v, ok := t.counters[id]
+	if !ok {
+		return 0, ErrCounterUndefined
+	}
+	t.charge(OpCounterRead)
+	return v, nil
+}

@@ -1,0 +1,174 @@
+package tpm
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestNVDefineWriteRead(t *testing.T) {
+	dev, _ := newTestTPM(t)
+	if err := dev.NVDefine(1, 32); err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("freshness-record")
+	if err := dev.NVWrite(1, 4, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := dev.NVRead(1, 4, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("NVRead = %q, want %q", got, data)
+	}
+	// Unwritten bytes remain zero.
+	head, err := dev.NVRead(1, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(head, make([]byte, 4)) {
+		t.Fatalf("unwritten area = %v", head)
+	}
+}
+
+func TestNVReadCopies(t *testing.T) {
+	dev, _ := newTestTPM(t)
+	if err := dev.NVDefine(1, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.NVWrite(1, 0, []byte{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	a, err := dev.NVRead(1, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a[0] = 99 // must not write through to NV
+	b, err := dev.NVRead(1, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != 1 {
+		t.Fatal("NVRead exposed internal storage")
+	}
+}
+
+func TestNVErrors(t *testing.T) {
+	dev, _ := newTestTPM(t)
+	if err := dev.NVDefine(1, 16); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.NVDefine(1, 16); !errors.Is(err, ErrNVIndexExists) {
+		t.Fatalf("redefine: %v", err)
+	}
+	if err := dev.NVDefine(2, 0); !errors.Is(err, ErrNVRange) {
+		t.Fatalf("zero size: %v", err)
+	}
+	if err := dev.NVDefine(2, maxNVSize+1); !errors.Is(err, ErrNVRange) {
+		t.Fatalf("oversize: %v", err)
+	}
+	if err := dev.NVWrite(9, 0, []byte{1}); !errors.Is(err, ErrNVIndexUndefined) {
+		t.Fatalf("write undefined: %v", err)
+	}
+	if _, err := dev.NVRead(9, 0, 1); !errors.Is(err, ErrNVIndexUndefined) {
+		t.Fatalf("read undefined: %v", err)
+	}
+	if err := dev.NVWrite(1, 15, []byte{1, 2}); !errors.Is(err, ErrNVRange) {
+		t.Fatalf("write past end: %v", err)
+	}
+	if err := dev.NVWrite(1, -1, []byte{1}); !errors.Is(err, ErrNVRange) {
+		t.Fatalf("negative offset: %v", err)
+	}
+	if _, err := dev.NVRead(1, 8, 9); !errors.Is(err, ErrNVRange) {
+		t.Fatalf("read past end: %v", err)
+	}
+	if _, err := dev.NVRead(1, 0, -1); !errors.Is(err, ErrNVRange) {
+		t.Fatalf("negative count: %v", err)
+	}
+}
+
+func TestCounterMonotonicity(t *testing.T) {
+	dev, _ := newTestTPM(t)
+	if err := dev.CounterCreate(7); err != nil {
+		t.Fatal(err)
+	}
+	v0, err := dev.CounterRead(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v0 != 0 {
+		t.Fatalf("fresh counter = %d", v0)
+	}
+	prev := uint64(0)
+	for i := 0; i < 10; i++ {
+		v, err := dev.CounterIncrement(7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != prev+1 {
+			t.Fatalf("increment %d: got %d, want %d", i, v, prev+1)
+		}
+		prev = v
+	}
+	final, err := dev.CounterRead(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final != 10 {
+		t.Fatalf("final counter = %d, want 10", final)
+	}
+}
+
+func TestCounterErrors(t *testing.T) {
+	dev, _ := newTestTPM(t)
+	if err := dev.CounterCreate(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.CounterCreate(1); !errors.Is(err, ErrCounterExists) {
+		t.Fatalf("duplicate create: %v", err)
+	}
+	if _, err := dev.CounterIncrement(2); !errors.Is(err, ErrCounterUndefined) {
+		t.Fatalf("increment undefined: %v", err)
+	}
+	if _, err := dev.CounterRead(2); !errors.Is(err, ErrCounterUndefined) {
+		t.Fatalf("read undefined: %v", err)
+	}
+}
+
+func TestNVAndCountersRequireStartup(t *testing.T) {
+	dev, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.NVDefine(1, 8); !errors.Is(err, ErrNotStarted) {
+		t.Fatalf("NVDefine: %v", err)
+	}
+	if err := dev.CounterCreate(1); !errors.Is(err, ErrNotStarted) {
+		t.Fatalf("CounterCreate: %v", err)
+	}
+	if _, err := dev.CounterIncrement(1); !errors.Is(err, ErrNotStarted) {
+		t.Fatalf("CounterIncrement: %v", err)
+	}
+	if _, err := dev.CounterRead(1); !errors.Is(err, ErrNotStarted) {
+		t.Fatalf("CounterRead: %v", err)
+	}
+	if err := dev.NVWrite(1, 0, nil); !errors.Is(err, ErrNotStarted) {
+		t.Fatalf("NVWrite: %v", err)
+	}
+	if _, err := dev.NVRead(1, 0, 0); !errors.Is(err, ErrNotStarted) {
+		t.Fatalf("NVRead: %v", err)
+	}
+	if _, err := dev.Seal(0, []int{0}, [20]byte{}, 0, nil); !errors.Is(err, ErrNotStarted) {
+		t.Fatalf("Seal: %v", err)
+	}
+	if _, err := dev.Unseal(0, &SealedBlob{}); !errors.Is(err, ErrNotStarted) {
+		t.Fatalf("Unseal: %v", err)
+	}
+	if _, err := dev.Quote(0, 1, make([]byte, 20), []int{0}); !errors.Is(err, ErrNotStarted) {
+		t.Fatalf("Quote: %v", err)
+	}
+	if _, err := dev.CurrentComposite([]int{0}); !errors.Is(err, ErrNotStarted) {
+		t.Fatalf("CurrentComposite: %v", err)
+	}
+}

@@ -1,0 +1,193 @@
+package tpm
+
+import "unitp/internal/cryptoutil"
+
+// NumPCRs is the number of platform configuration registers in a TPM v1.2.
+const NumPCRs = 24
+
+// Well-known PCR indices used by the trusted-path system.
+const (
+	// PCRDRTM (17) receives the DRTM measurement of the late-launched
+	// code (the PAL). It is resettable only at locality 4, which only
+	// the CPU microcode asserts during SKINIT/SENTER — the root of the
+	// whole security argument.
+	PCRDRTM = 17
+
+	// PCRTrustedOS (18) receives measurements of code the PAL itself
+	// launches (unused by the minimal confirmation PAL, modelled for
+	// completeness).
+	PCRTrustedOS = 18
+
+	// PCRApp (23) is the application PCR the confirmation PAL extends
+	// with its input/output digest; resettable and extendable at any
+	// locality.
+	PCRApp = 23
+
+	// PCRDebug (16) is the debug PCR, resettable at any locality.
+	PCRDebug = 16
+)
+
+// pcrPolicy captures the PC-client locality policy of one PCR.
+type pcrPolicy struct {
+	// resetLocalities lists localities allowed to issue PCR_Reset.
+	// Zero means the PCR is reset only by platform restart.
+	resetLocalities LocalityMask
+
+	// extendLocalities lists localities allowed to extend.
+	extendLocalities LocalityMask
+
+	// startupValue is the value after TPM_Startup(ST_CLEAR): zero for
+	// static PCRs, all-0xFF for DRTM registers (so that the zero-prefix
+	// state is reachable only via a genuine locality-4 reset).
+	startupValue cryptoutil.Digest
+}
+
+// pcrPolicies is the PC-client-inspired policy table. Indices 0–15 are the
+// static SRTM registers; 16 is debug; 17–22 are the dynamically
+// resettable DRTM registers; 23 is the application register.
+var pcrPolicies = buildPCRPolicies()
+
+func buildPCRPolicies() [NumPCRs]pcrPolicy {
+	var ps [NumPCRs]pcrPolicy
+	ones := cryptoutil.OnesDigest()
+	for i := 0; i <= 15; i++ {
+		ps[i] = pcrPolicy{
+			resetLocalities:  0, // static: reboot only
+			extendLocalities: AllLocalities,
+		}
+	}
+	ps[16] = pcrPolicy{ // debug
+		resetLocalities:  AllLocalities,
+		extendLocalities: AllLocalities,
+	}
+	ps[17] = pcrPolicy{ // DRTM measurement register
+		resetLocalities:  MaskOf(4),
+		extendLocalities: MaskOf(2, 3, 4),
+		startupValue:     ones,
+	}
+	ps[18] = pcrPolicy{
+		resetLocalities:  MaskOf(4),
+		extendLocalities: MaskOf(2, 3, 4),
+		startupValue:     ones,
+	}
+	ps[19] = pcrPolicy{
+		resetLocalities:  MaskOf(4),
+		extendLocalities: MaskOf(2, 3),
+		startupValue:     ones,
+	}
+	ps[20] = pcrPolicy{
+		resetLocalities:  MaskOf(2, 4),
+		extendLocalities: MaskOf(1, 2, 3),
+		startupValue:     ones,
+	}
+	ps[21] = pcrPolicy{
+		resetLocalities:  MaskOf(2),
+		extendLocalities: MaskOf(2),
+		startupValue:     ones,
+	}
+	ps[22] = pcrPolicy{
+		resetLocalities:  MaskOf(2),
+		extendLocalities: MaskOf(2),
+		startupValue:     ones,
+	}
+	ps[23] = pcrPolicy{ // application register
+		resetLocalities:  AllLocalities,
+		extendLocalities: AllLocalities,
+	}
+	return ps
+}
+
+// DynamicPCRs lists the DRTM registers reset by a late launch.
+func DynamicPCRs() []int {
+	return []int{17, 18, 19, 20, 21, 22}
+}
+
+func validPCR(idx int) bool { return idx >= 0 && idx < NumPCRs }
+
+func validLocality(loc Locality) bool { return loc <= MaxLocality }
+
+// Extend performs TPM_Extend at the given locality:
+// PCR[idx] = SHA1(PCR[idx] || measurement). It returns the new value.
+func (t *TPM) Extend(loc Locality, idx int, measurement cryptoutil.Digest) (cryptoutil.Digest, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.started {
+		return cryptoutil.Digest{}, ErrNotStarted
+	}
+	if !validPCR(idx) {
+		return cryptoutil.Digest{}, ErrBadPCRIndex
+	}
+	if !validLocality(loc) || !pcrPolicies[idx].extendLocalities.Contains(loc) {
+		return cryptoutil.Digest{}, ErrBadLocality
+	}
+	t.charge(OpExtend)
+	t.pcrs[idx] = cryptoutil.ExtendDigest(t.pcrs[idx], measurement)
+	return t.pcrs[idx], nil
+}
+
+// PCRRead returns the current value of a PCR. Reads are permitted at any
+// locality.
+func (t *TPM) PCRRead(idx int) (cryptoutil.Digest, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.started {
+		return cryptoutil.Digest{}, ErrNotStarted
+	}
+	if !validPCR(idx) {
+		return cryptoutil.Digest{}, ErrBadPCRIndex
+	}
+	t.charge(OpPCRRead)
+	return t.pcrs[idx], nil
+}
+
+// PCRReset performs TPM_PCR_Reset at the given locality, setting the PCR
+// to zero. Static PCRs and localities outside the PCR's reset policy are
+// rejected — the property that makes a zero-prefixed PCR 17 chain proof of
+// a genuine late launch.
+func (t *TPM) PCRReset(loc Locality, idx int) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.started {
+		return ErrNotStarted
+	}
+	if !validPCR(idx) {
+		return ErrBadPCRIndex
+	}
+	if !validLocality(loc) {
+		return ErrBadLocality
+	}
+	if !pcrPolicies[idx].resetLocalities.Contains(loc) {
+		return ErrPCRNotResettable
+	}
+	t.charge(OpPCRReset)
+	t.pcrs[idx] = cryptoutil.Digest{}
+	return nil
+}
+
+// CurrentComposite computes the TPM_PCR_COMPOSITE hash over the current
+// values of the selected PCRs — the digest a Quote would attest to and a
+// Seal would bind to.
+func (t *TPM) CurrentComposite(selection []int) (cryptoutil.Digest, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.started {
+		return cryptoutil.Digest{}, ErrNotStarted
+	}
+	return t.compositeLocked(selection)
+}
+
+// compositeLocked computes the composite digest. Must be called with t.mu
+// held.
+func (t *TPM) compositeLocked(selection []int) (cryptoutil.Digest, error) {
+	if len(selection) == 0 {
+		return cryptoutil.Digest{}, ErrEmptySelection
+	}
+	values := make([]cryptoutil.Digest, 0, len(selection))
+	for _, idx := range selection {
+		if !validPCR(idx) {
+			return cryptoutil.Digest{}, ErrBadPCRIndex
+		}
+		values = append(values, t.pcrs[idx])
+	}
+	return ComputeComposite(selection, values)
+}

@@ -1,0 +1,299 @@
+package tpm
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"unitp/internal/cryptoutil"
+)
+
+func TestExtendChain(t *testing.T) {
+	dev, _ := newTestTPM(t)
+	m1 := cryptoutil.SHA1([]byte("first"))
+	m2 := cryptoutil.SHA1([]byte("second"))
+
+	v1, err := dev.Extend(0, 10, m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want1 := cryptoutil.ExtendDigest(cryptoutil.Digest{}, m1)
+	if v1 != want1 {
+		t.Fatalf("after first extend: %v, want %v", v1, want1)
+	}
+	v2, err := dev.Extend(0, 10, m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want2 := cryptoutil.ExtendDigest(want1, m2); v2 != want2 {
+		t.Fatalf("after second extend: %v, want %v", v2, want2)
+	}
+	read, err := dev.PCRRead(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if read != v2 {
+		t.Fatal("PCRRead disagrees with Extend return value")
+	}
+}
+
+func TestExtendIsolatedPerPCR(t *testing.T) {
+	dev, _ := newTestTPM(t)
+	m := cryptoutil.SHA1([]byte("m"))
+	if _, err := dev.Extend(0, 3, m); err != nil {
+		t.Fatal(err)
+	}
+	v, err := dev.PCRRead(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.IsZero() {
+		t.Fatal("extending PCR 3 changed PCR 4")
+	}
+}
+
+func TestExtendBadIndex(t *testing.T) {
+	dev, _ := newTestTPM(t)
+	m := cryptoutil.SHA1([]byte("m"))
+	for _, idx := range []int{-1, NumPCRs, 1000} {
+		if _, err := dev.Extend(0, idx, m); !errors.Is(err, ErrBadPCRIndex) {
+			t.Fatalf("Extend(%d): %v, want ErrBadPCRIndex", idx, err)
+		}
+	}
+	if _, err := dev.PCRRead(-1); !errors.Is(err, ErrBadPCRIndex) {
+		t.Fatalf("PCRRead(-1): %v", err)
+	}
+	if err := dev.PCRReset(4, NumPCRs); !errors.Is(err, ErrBadPCRIndex) {
+		t.Fatalf("PCRReset(24): %v", err)
+	}
+}
+
+func TestDRTMPCRLocalityPolicy(t *testing.T) {
+	dev, _ := newTestTPM(t)
+	m := cryptoutil.SHA1([]byte("slb"))
+
+	// The OS (locality 0) must be unable to extend or reset PCR 17.
+	if _, err := dev.Extend(0, PCRDRTM, m); !errors.Is(err, ErrBadLocality) {
+		t.Fatalf("locality-0 extend of PCR17: %v, want ErrBadLocality", err)
+	}
+	for loc := Locality(0); loc <= 3; loc++ {
+		if err := dev.PCRReset(loc, PCRDRTM); !errors.Is(err, ErrPCRNotResettable) {
+			t.Fatalf("locality-%d reset of PCR17: %v, want ErrPCRNotResettable", loc, err)
+		}
+	}
+	// Locality 4 (CPU during late launch) may reset, then extend.
+	if err := dev.PCRReset(4, PCRDRTM); err != nil {
+		t.Fatalf("locality-4 reset: %v", err)
+	}
+	v, err := dev.PCRRead(PCRDRTM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.IsZero() {
+		t.Fatal("PCR17 not zero after locality-4 reset")
+	}
+	if _, err := dev.Extend(4, PCRDRTM, m); err != nil {
+		t.Fatalf("locality-4 extend: %v", err)
+	}
+}
+
+func TestStaticPCRsNotResettable(t *testing.T) {
+	dev, _ := newTestTPM(t)
+	for idx := 0; idx <= 15; idx++ {
+		for loc := Locality(0); loc <= MaxLocality; loc++ {
+			if err := dev.PCRReset(loc, idx); !errors.Is(err, ErrPCRNotResettable) {
+				t.Fatalf("reset of static PCR %d at locality %d: %v", idx, loc, err)
+			}
+		}
+	}
+}
+
+func TestDebugAndAppPCRsResettableAnywhere(t *testing.T) {
+	dev, _ := newTestTPM(t)
+	m := cryptoutil.SHA1([]byte("m"))
+	for _, idx := range []int{PCRDebug, PCRApp} {
+		if _, err := dev.Extend(0, idx, m); err != nil {
+			t.Fatalf("extend PCR %d: %v", idx, err)
+		}
+		if err := dev.PCRReset(0, idx); err != nil {
+			t.Fatalf("reset PCR %d at locality 0: %v", idx, err)
+		}
+		v, err := dev.PCRRead(idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !v.IsZero() {
+			t.Fatalf("PCR %d not zero after reset", idx)
+		}
+	}
+}
+
+func TestInvalidLocalityRejected(t *testing.T) {
+	dev, _ := newTestTPM(t)
+	m := cryptoutil.SHA1([]byte("m"))
+	if _, err := dev.Extend(5, 0, m); !errors.Is(err, ErrBadLocality) {
+		t.Fatalf("Extend at locality 5: %v", err)
+	}
+	if err := dev.PCRReset(9, PCRDebug); !errors.Is(err, ErrBadLocality) {
+		t.Fatalf("PCRReset at locality 9: %v", err)
+	}
+}
+
+func TestZeroPrefixPCR17UnreachableWithoutLocality4(t *testing.T) {
+	// The core DRTM security property: starting from power-on (all-ones),
+	// no sequence of locality-0..3 operations can bring PCR 17 to a chain
+	// rooted at zero, because extend never produces the zero digest and
+	// reset is locality-4 gated.
+	dev, _ := newTestTPM(t)
+	measurement := cryptoutil.SHA1([]byte("fake-pal"))
+	target := cryptoutil.ExtendDigest(cryptoutil.Digest{}, measurement)
+
+	// Attacker attempts: direct extends at permitted localities 2 and 3.
+	for _, loc := range []Locality{2, 3} {
+		if _, err := dev.Extend(loc, PCRDRTM, measurement); err != nil {
+			t.Fatalf("extend at locality %d should be allowed: %v", loc, err)
+		}
+	}
+	v, err := dev.PCRRead(PCRDRTM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == target {
+		t.Fatal("attacker reached DRTM-rooted PCR17 value without locality 4")
+	}
+}
+
+func TestCurrentCompositeMatchesComputeComposite(t *testing.T) {
+	dev, _ := newTestTPM(t)
+	m := cryptoutil.SHA1([]byte("m"))
+	if _, err := dev.Extend(0, 1, m); err != nil {
+		t.Fatal(err)
+	}
+	sel := []int{1, 2}
+	got, err := dev.CurrentComposite(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, _ := dev.PCRRead(1)
+	v2, _ := dev.PCRRead(2)
+	want, err := ComputeComposite(sel, []cryptoutil.Digest{v1, v2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatal("CurrentComposite disagrees with ComputeComposite")
+	}
+}
+
+func TestCompositeSelectionOrderCanonical(t *testing.T) {
+	dev, _ := newTestTPM(t)
+	a, err := dev.CurrentComposite([]int{1, 5, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := dev.CurrentComposite([]int{9, 1, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("composite depends on selection order")
+	}
+}
+
+func TestCompositeEmptySelection(t *testing.T) {
+	dev, _ := newTestTPM(t)
+	if _, err := dev.CurrentComposite(nil); !errors.Is(err, ErrEmptySelection) {
+		t.Fatalf("empty selection: %v", err)
+	}
+}
+
+func TestNormalizeSelection(t *testing.T) {
+	got, err := NormalizeSelection([]int{5, 1, 5, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 3, 5}
+	if len(got) != len(want) {
+		t.Fatalf("NormalizeSelection = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("NormalizeSelection = %v, want %v", got, want)
+		}
+	}
+	if _, err := NormalizeSelection([]int{24}); !errors.Is(err, ErrBadPCRIndex) {
+		t.Fatalf("out-of-range index: %v", err)
+	}
+	if _, err := NormalizeSelection(nil); !errors.Is(err, ErrEmptySelection) {
+		t.Fatalf("empty: %v", err)
+	}
+}
+
+func TestSelectionBitmapRoundTrip(t *testing.T) {
+	f := func(raw []byte) bool {
+		// Build a selection from arbitrary bytes.
+		seen := map[int]bool{}
+		var sel []int
+		for _, b := range raw {
+			idx := int(b) % NumPCRs
+			if !seen[idx] {
+				seen[idx] = true
+				sel = append(sel, idx)
+			}
+		}
+		if len(sel) == 0 {
+			return true
+		}
+		norm, err := NormalizeSelection(sel)
+		if err != nil {
+			return false
+		}
+		round := SelectionFromBitmap(selectionBitmap(norm))
+		if len(round) != len(norm) {
+			return false
+		}
+		for i := range norm {
+			if round[i] != norm[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompositeDistinguishesValues(t *testing.T) {
+	// Property: changing any selected PCR value changes the composite.
+	sel := []int{17, 23}
+	v1 := []cryptoutil.Digest{cryptoutil.SHA1([]byte("a")), cryptoutil.SHA1([]byte("b"))}
+	v2 := []cryptoutil.Digest{cryptoutil.SHA1([]byte("a")), cryptoutil.SHA1([]byte("c"))}
+	c1, err := ComputeComposite(sel, v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := ComputeComposite(sel, v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 == c2 {
+		t.Fatal("composite collision on different PCR values")
+	}
+}
+
+func TestComputeCompositeErrors(t *testing.T) {
+	d := cryptoutil.SHA1([]byte("x"))
+	if _, err := ComputeComposite(nil, nil); !errors.Is(err, ErrEmptySelection) {
+		t.Fatalf("empty: %v", err)
+	}
+	if _, err := ComputeComposite([]int{1}, nil); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+	if _, err := ComputeComposite([]int{99}, []cryptoutil.Digest{d}); !errors.Is(err, ErrBadPCRIndex) {
+		t.Fatalf("bad index: %v", err)
+	}
+	if _, err := ComputeComposite([]int{1, 1}, []cryptoutil.Digest{d, d}); err == nil {
+		t.Fatal("duplicate selection accepted")
+	}
+}

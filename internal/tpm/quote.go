@@ -1,0 +1,85 @@
+package tpm
+
+import (
+	"crypto"
+	"crypto/rsa"
+	"fmt"
+
+	"unitp/internal/cryptoutil"
+)
+
+// Quote performs TPM_Quote: it signs, with the AIK named by handle, the
+// composite digest of the selected PCRs together with the 20 bytes of
+// externalData (the challenger's anti-replay nonce).
+//
+// Quotes may be requested from any locality — the security of the trusted
+// path comes from *what the PCRs contain*, not from who asks for the
+// quote, which is exactly why the protocol works with a compromised OS
+// issuing the command after the PAL has exited.
+func (t *TPM) Quote(loc Locality, handle Handle, externalData []byte, selection []int) (*Quote, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.started {
+		return nil, ErrNotStarted
+	}
+	if !validLocality(loc) {
+		return nil, ErrBadLocality
+	}
+	if len(externalData) != 20 {
+		return nil, ErrBadNonce
+	}
+	key, ok := t.aiks[handle]
+	if !ok {
+		return nil, ErrUnknownHandle
+	}
+	sel, err := NormalizeSelection(selection)
+	if err != nil {
+		return nil, err
+	}
+	t.charge(OpQuote)
+
+	values := make([]cryptoutil.Digest, len(sel))
+	for i, idx := range sel {
+		values[i] = t.pcrs[idx]
+	}
+	composite, err := ComputeComposite(sel, values)
+	if err != nil {
+		return nil, err
+	}
+	var ext [20]byte
+	copy(ext[:], externalData)
+	sig, err := t.signSHA1(key, quoteInfoBytes(composite, ext))
+	if err != nil {
+		return nil, err
+	}
+	return &Quote{
+		CompositeDigest: composite,
+		ExternalData:    ext,
+		Selection:       sel,
+		PCRValues:       values,
+		Signature:       sig,
+	}, nil
+}
+
+// VerifyQuote checks a quote against an AIK public key: the reported PCR
+// values must hash to the signed composite, and the signature over
+// TPM_QUOTE_INFO must verify. It does not judge whether the PCR values
+// themselves are trustworthy — that is attestation policy (package
+// attest).
+func VerifyQuote(pub *rsa.PublicKey, q *Quote) error {
+	if pub == nil || q == nil {
+		return fmt.Errorf("tpm: verify quote: nil argument")
+	}
+	recomputed, err := ComputeComposite(q.Selection, q.PCRValues)
+	if err != nil {
+		return fmt.Errorf("tpm: verify quote: %w", err)
+	}
+	if recomputed != q.CompositeDigest {
+		return ErrQuoteInconsistent
+	}
+	digest := cryptoutil.SHA1(quoteInfoBytes(q.CompositeDigest, q.ExternalData))
+	if err := rsa.VerifyPKCS1v15(pub, crypto.SHA1, digest[:], q.Signature); err != nil {
+		return fmt.Errorf("tpm: verify quote signature: %w", err)
+	}
+	return nil
+}

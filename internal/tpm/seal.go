@@ -1,0 +1,199 @@
+package tpm
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"fmt"
+	"io"
+
+	"unitp/internal/cryptoutil"
+)
+
+// SealInfo is the release policy bound to a sealed blob, modelling
+// TPM_PCR_INFO_LONG: the PCR selection, the composite digest those PCRs
+// must have at release time, and the localities allowed to unseal.
+type SealInfo struct {
+	// Selection lists the PCR indices the policy covers (normalized).
+	Selection []int
+
+	// ReleaseComposite is the composite digest the selected PCRs must
+	// match at unseal time.
+	ReleaseComposite cryptoutil.Digest
+
+	// ReleaseLocalities is the set of localities allowed to unseal.
+	ReleaseLocalities LocalityMask
+}
+
+// marshal serializes the policy; it doubles as the additional
+// authenticated data of the blob so the policy cannot be stripped or
+// swapped.
+func (si SealInfo) marshal() []byte {
+	b := cryptoutil.NewBuffer(8 + selectionBitmapSize + cryptoutil.DigestSize)
+	bm := selectionBitmap(si.Selection)
+	b.PutRaw(bm[:])
+	b.PutDigest(si.ReleaseComposite)
+	b.PutUint8(uint8(si.ReleaseLocalities))
+	return b.Bytes()
+}
+
+func unmarshalSealInfo(r *cryptoutil.Reader) (SealInfo, error) {
+	var si SealInfo
+	var bm [selectionBitmapSize]byte
+	copy(bm[:], r.Raw(selectionBitmapSize))
+	si.ReleaseComposite = r.Digest()
+	si.ReleaseLocalities = LocalityMask(r.Uint8())
+	if r.Err() != nil {
+		return SealInfo{}, fmt.Errorf("tpm: unmarshal seal info: %w", r.Err())
+	}
+	si.Selection = SelectionFromBitmap(bm)
+	return si, nil
+}
+
+// SealedBlob is data sealed to a PCR state. The plaintext is encrypted
+// with an authenticated cipher under the device's storage root key, with
+// the release policy as authenticated data — only this TPM can unseal,
+// and only when the policy is satisfied.
+//
+// Fidelity note: a hardware TPM v1.2 wraps sealed data with the RSA
+// storage root key; this model uses AES-256-GCM under a device-internal
+// key, which preserves the two properties the protocol relies on
+// (device-binding and policy-binding) while remaining size-flexible.
+type SealedBlob struct {
+	// Info is the release policy (authenticated, not secret).
+	Info SealInfo
+
+	// Nonce is the GCM nonce.
+	Nonce []byte
+
+	// Ciphertext is the encrypted and authenticated payload.
+	Ciphertext []byte
+}
+
+// Marshal encodes the blob for storage by the (untrusted) OS.
+func (sb *SealedBlob) Marshal() []byte {
+	info := sb.Info.marshal()
+	b := cryptoutil.NewBuffer(len(info) + len(sb.Nonce) + len(sb.Ciphertext) + 16)
+	b.PutRaw(info)
+	b.PutBytes(sb.Nonce)
+	b.PutBytes(sb.Ciphertext)
+	return b.Bytes()
+}
+
+// UnmarshalSealedBlob decodes a blob produced by Marshal.
+func UnmarshalSealedBlob(data []byte) (*SealedBlob, error) {
+	r := cryptoutil.NewReader(data)
+	info, err := unmarshalSealInfo(r)
+	if err != nil {
+		return nil, err
+	}
+	var sb SealedBlob
+	sb.Info = info
+	sb.Nonce = r.Bytes()
+	sb.Ciphertext = r.Bytes()
+	if err := r.ExpectEOF(); err != nil {
+		return nil, fmt.Errorf("tpm: unmarshal sealed blob: %w", err)
+	}
+	return &sb, nil
+}
+
+// gcm constructs the AEAD over the device SRK. Must be called with t.mu
+// held (the key never changes, but keeping the discipline uniform).
+func (t *TPM) gcm() (cipher.AEAD, error) {
+	block, err := aes.NewCipher(t.srk[:])
+	if err != nil {
+		return nil, fmt.Errorf("tpm: srk cipher: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("tpm: srk gcm: %w", err)
+	}
+	return aead, nil
+}
+
+// Seal encrypts data under the device storage key, bound to the given
+// release policy. releaseComposite is the composite digest the selected
+// PCRs must show at unseal time (commonly the *current* composite — use
+// CurrentComposite — or a pre-computed future state, which is how a
+// provider seals a secret to a PAL that has not run yet).
+func (t *TPM) Seal(loc Locality, selection []int, releaseComposite cryptoutil.Digest, releaseLocalities LocalityMask, data []byte) (*SealedBlob, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.started {
+		return nil, ErrNotStarted
+	}
+	if !validLocality(loc) {
+		return nil, ErrBadLocality
+	}
+	sel, err := NormalizeSelection(selection)
+	if err != nil {
+		return nil, err
+	}
+	if releaseLocalities == 0 {
+		releaseLocalities = AllLocalities
+	}
+	t.charge(OpSeal)
+
+	info := SealInfo{
+		Selection:         sel,
+		ReleaseComposite:  releaseComposite,
+		ReleaseLocalities: releaseLocalities,
+	}
+	aead, err := t.gcm()
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, aead.NonceSize())
+	if _, err := io.ReadFull(t.random, nonce); err != nil {
+		return nil, fmt.Errorf("tpm: seal nonce: %w", err)
+	}
+	ct := aead.Seal(nil, nonce, data, info.marshal())
+	return &SealedBlob{Info: info, Nonce: nonce, Ciphertext: ct}, nil
+}
+
+// SealCurrent seals data to the *current* values of the selected PCRs.
+func (t *TPM) SealCurrent(loc Locality, selection []int, releaseLocalities LocalityMask, data []byte) (*SealedBlob, error) {
+	composite, err := t.CurrentComposite(selection)
+	if err != nil {
+		return nil, err
+	}
+	return t.Seal(loc, selection, composite, releaseLocalities, data)
+}
+
+// Unseal decrypts a sealed blob, succeeding only if the current values of
+// the policy's PCRs hash to the release composite and the caller's
+// locality is permitted. A blob sealed to the measured state of a PAL is
+// therefore unreadable by the OS and by any *different* PAL.
+func (t *TPM) Unseal(loc Locality, blob *SealedBlob) ([]byte, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.started {
+		return nil, ErrNotStarted
+	}
+	if blob == nil {
+		return nil, fmt.Errorf("tpm: unseal: nil blob")
+	}
+	if !validLocality(loc) {
+		return nil, ErrBadLocality
+	}
+	t.charge(OpUnseal)
+
+	if !blob.Info.ReleaseLocalities.Contains(loc) {
+		return nil, ErrBadLocality
+	}
+	current, err := t.compositeLocked(blob.Info.Selection)
+	if err != nil {
+		return nil, err
+	}
+	if current != blob.Info.ReleaseComposite {
+		return nil, ErrWrongPCRState
+	}
+	aead, err := t.gcm()
+	if err != nil {
+		return nil, err
+	}
+	pt, err := aead.Open(nil, blob.Nonce, blob.Ciphertext, blob.Info.marshal())
+	if err != nil {
+		return nil, ErrSealedBlobCorrupt
+	}
+	return pt, nil
+}

@@ -1,0 +1,255 @@
+package tpm
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"unitp/internal/cryptoutil"
+	"unitp/internal/sim"
+)
+
+func TestSealUnsealRoundTrip(t *testing.T) {
+	dev, _ := newTestTPM(t)
+	secret := []byte("long-term HMAC key material")
+	blob, err := dev.SealCurrent(0, []int{0, 1}, AllLocalities, secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dev.Unseal(0, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, secret) {
+		t.Fatalf("unsealed %q, want %q", got, secret)
+	}
+}
+
+func TestUnsealFailsAfterPCRChange(t *testing.T) {
+	dev, _ := newTestTPM(t)
+	secret := []byte("secret")
+	blob, err := dev.SealCurrent(0, []int{5}, AllLocalities, secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.Extend(0, 5, cryptoutil.SHA1([]byte("change"))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.Unseal(0, blob); !errors.Is(err, ErrWrongPCRState) {
+		t.Fatalf("unseal after PCR change: %v, want ErrWrongPCRState", err)
+	}
+}
+
+func TestSealToFutureState(t *testing.T) {
+	// A provider seals a secret to the PCR state a PAL *will* have after
+	// late launch. The OS cannot unseal; the correctly measured PAL can.
+	dev, _ := newTestTPM(t)
+	palMeasurement := cryptoutil.SHA1([]byte("confirmation-pal-v1"))
+	futurePCR17 := cryptoutil.ExtendDigest(cryptoutil.Digest{}, palMeasurement)
+	future, err := ComputeComposite([]int{PCRDRTM}, []cryptoutil.Digest{futurePCR17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	secret := []byte("sealed to the PAL identity")
+	blob, err := dev.Seal(0, []int{PCRDRTM}, future, MaskOf(2), secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// OS state (PCR17 = all ones): unseal must fail even at locality 2.
+	if _, err := dev.Unseal(2, blob); !errors.Is(err, ErrWrongPCRState) {
+		t.Fatalf("unseal in OS state: %v", err)
+	}
+
+	// Late launch of the right PAL: locality-4 reset + measurement.
+	if err := dev.PCRReset(4, PCRDRTM); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.Extend(4, PCRDRTM, palMeasurement); err != nil {
+		t.Fatal(err)
+	}
+	got, err := dev.Unseal(2, blob)
+	if err != nil {
+		t.Fatalf("unseal inside correct PAL: %v", err)
+	}
+	if !bytes.Equal(got, secret) {
+		t.Fatal("wrong plaintext")
+	}
+
+	// Locality policy: even with matching PCRs, locality 0 is refused.
+	if _, err := dev.Unseal(0, blob); !errors.Is(err, ErrBadLocality) {
+		t.Fatalf("unseal at disallowed locality: %v", err)
+	}
+}
+
+func TestWrongPALCannotUnseal(t *testing.T) {
+	dev, _ := newTestTPM(t)
+	goodPAL := cryptoutil.SHA1([]byte("good-pal"))
+	futurePCR17 := cryptoutil.ExtendDigest(cryptoutil.Digest{}, goodPAL)
+	future, err := ComputeComposite([]int{PCRDRTM}, []cryptoutil.Digest{futurePCR17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := dev.Seal(0, []int{PCRDRTM}, future, AllLocalities, []byte("secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A *different* PAL launches (attacker-supplied code): measured
+	// honestly by the CPU, so PCR17 differs.
+	if err := dev.PCRReset(4, PCRDRTM); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.Extend(4, PCRDRTM, cryptoutil.SHA1([]byte("evil-pal"))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.Unseal(2, blob); !errors.Is(err, ErrWrongPCRState) {
+		t.Fatalf("evil PAL unsealed the secret: %v", err)
+	}
+}
+
+func TestSealedBlobTamperDetected(t *testing.T) {
+	dev, _ := newTestTPM(t)
+	blob, err := dev.SealCurrent(0, []int{0}, AllLocalities, []byte("secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob.Ciphertext[0] ^= 1
+	if _, err := dev.Unseal(0, blob); !errors.Is(err, ErrSealedBlobCorrupt) {
+		t.Fatalf("tampered ciphertext: %v", err)
+	}
+}
+
+func TestSealedBlobPolicyTamperDetected(t *testing.T) {
+	// Attacker rewrites the release policy on a blob (e.g. widening the
+	// PCR selection to one they control). AAD binding must catch it.
+	dev, _ := newTestTPM(t)
+	blob, err := dev.SealCurrent(0, []int{5}, AllLocalities, []byte("secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Extend PCR 5, then rewrite the policy to match the *new* state.
+	if _, err := dev.Extend(0, 5, cryptoutil.SHA1([]byte("x"))); err != nil {
+		t.Fatal(err)
+	}
+	newComposite, err := dev.CurrentComposite([]int{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob.Info.ReleaseComposite = newComposite
+	if _, err := dev.Unseal(0, blob); !errors.Is(err, ErrSealedBlobCorrupt) {
+		t.Fatalf("policy rewrite: %v, want ErrSealedBlobCorrupt", err)
+	}
+}
+
+func TestSealedBlobForeignTPM(t *testing.T) {
+	devA, _ := newTestTPM(t)
+	clock := sim.NewVirtualClock()
+	devB, err := New(Config{Clock: clock, Random: sim.NewRand(99)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := devB.Startup(); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := devA.SealCurrent(0, []int{0}, AllLocalities, []byte("secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := devB.Unseal(0, blob); !errors.Is(err, ErrSealedBlobCorrupt) {
+		t.Fatalf("foreign TPM unsealed blob: %v", err)
+	}
+}
+
+func TestSealedBlobMarshalRoundTrip(t *testing.T) {
+	dev, _ := newTestTPM(t)
+	secret := []byte("persisted by the untrusted OS")
+	blob, err := dev.SealCurrent(0, []int{0, PCRDRTM}, MaskOf(0, 2), secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire := blob.Marshal()
+	got, err := UnmarshalSealedBlob(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := dev.Unseal(2, got)
+	if err != nil {
+		t.Fatalf("unseal after round trip: %v", err)
+	}
+	if !bytes.Equal(pt, secret) {
+		t.Fatal("plaintext mismatch after round trip")
+	}
+	if _, err := UnmarshalSealedBlob(wire[:10]); err == nil {
+		t.Fatal("truncated blob accepted")
+	}
+	if _, err := UnmarshalSealedBlob(append(wire, 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestSealErrors(t *testing.T) {
+	dev, _ := newTestTPM(t)
+	if _, err := dev.Seal(0, nil, cryptoutil.Digest{}, 0, []byte("x")); !errors.Is(err, ErrEmptySelection) {
+		t.Fatalf("empty selection: %v", err)
+	}
+	if _, err := dev.Seal(9, []int{0}, cryptoutil.Digest{}, 0, []byte("x")); !errors.Is(err, ErrBadLocality) {
+		t.Fatalf("bad locality: %v", err)
+	}
+	if _, err := dev.Unseal(0, nil); err == nil {
+		t.Fatal("nil blob accepted")
+	}
+	if _, err := dev.Unseal(8, &SealedBlob{}); !errors.Is(err, ErrBadLocality) {
+		t.Fatalf("bad locality unseal: %v", err)
+	}
+}
+
+func TestSealDefaultLocalityMask(t *testing.T) {
+	dev, _ := newTestTPM(t)
+	blob, err := dev.SealCurrent(0, []int{0}, 0, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blob.Info.ReleaseLocalities != AllLocalities {
+		t.Fatalf("zero mask not defaulted: %v", blob.Info.ReleaseLocalities)
+	}
+}
+
+func TestSealUnsealRoundTripProperty(t *testing.T) {
+	// Property: any payload round-trips through seal/marshal/unmarshal/
+	// unseal when the PCR state is unchanged.
+	dev, _ := newTestTPM(t)
+	f := func(payload []byte) bool {
+		blob, err := dev.SealCurrent(0, []int{0, 17}, AllLocalities, payload)
+		if err != nil {
+			return false
+		}
+		round, err := UnmarshalSealedBlob(blob.Marshal())
+		if err != nil {
+			return false
+		}
+		got, err := dev.Unseal(0, round)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSealEmptyPayload(t *testing.T) {
+	dev, _ := newTestTPM(t)
+	blob, err := dev.SealCurrent(0, []int{0}, AllLocalities, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dev.Unseal(0, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("unsealed %d bytes from empty payload", len(got))
+	}
+}

@@ -1,0 +1,202 @@
+package tpm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"unitp/internal/cryptoutil"
+)
+
+// quoteVersion is the TPM_STRUCT_VER prefix of TPM_QUOTE_INFO for v1.1/1.2.
+var quoteVersion = [4]byte{0x01, 0x01, 0x00, 0x00}
+
+// quoteFixed is the 4-byte fixed field of TPM_QUOTE_INFO.
+var quoteFixed = [4]byte{'Q', 'U', 'O', 'T'}
+
+// selectionBitmapSize is sizeOfSelect for a 24-PCR TPM (3 bytes).
+const selectionBitmapSize = 3
+
+// NormalizeSelection returns the selection sorted ascending with
+// duplicates removed, validating every index. Quote and Seal normalize so
+// that the composite digest is canonical regardless of caller ordering.
+func NormalizeSelection(selection []int) ([]int, error) {
+	if len(selection) == 0 {
+		return nil, ErrEmptySelection
+	}
+	out := make([]int, len(selection))
+	copy(out, selection)
+	sort.Ints(out)
+	dedup := out[:0]
+	prev := -1
+	for _, idx := range out {
+		if !validPCR(idx) {
+			return nil, ErrBadPCRIndex
+		}
+		if idx != prev {
+			dedup = append(dedup, idx)
+			prev = idx
+		}
+	}
+	return dedup, nil
+}
+
+// selectionBitmap encodes a normalized selection as the TPM_PCR_SELECTION
+// bitmap (bit i of byte i/8).
+func selectionBitmap(selection []int) [selectionBitmapSize]byte {
+	var bm [selectionBitmapSize]byte
+	for _, idx := range selection {
+		bm[idx/8] |= 1 << (idx % 8)
+	}
+	return bm
+}
+
+// SelectionFromBitmap decodes a TPM_PCR_SELECTION bitmap into a sorted
+// index list.
+func SelectionFromBitmap(bm [selectionBitmapSize]byte) []int {
+	var out []int
+	for i := 0; i < NumPCRs; i++ {
+		if bm[i/8]&(1<<(i%8)) != 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// ComputeComposite computes the SHA-1 digest of the TPM_PCR_COMPOSITE
+// structure for the given (normalized or not) selection and the PCR values
+// in selection order.
+func ComputeComposite(selection []int, values []cryptoutil.Digest) (cryptoutil.Digest, error) {
+	if len(selection) == 0 {
+		return cryptoutil.Digest{}, ErrEmptySelection
+	}
+	if len(selection) != len(values) {
+		return cryptoutil.Digest{}, fmt.Errorf("tpm: %d PCR values for %d selected", len(values), len(selection))
+	}
+	// Canonical order: sort (selection, values) pairs by index.
+	type pair struct {
+		idx int
+		val cryptoutil.Digest
+	}
+	pairs := make([]pair, len(selection))
+	for i := range selection {
+		if !validPCR(selection[i]) {
+			return cryptoutil.Digest{}, ErrBadPCRIndex
+		}
+		pairs[i] = pair{selection[i], values[i]}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].idx < pairs[j].idx })
+	for i := 1; i < len(pairs); i++ {
+		if pairs[i].idx == pairs[i-1].idx {
+			return cryptoutil.Digest{}, fmt.Errorf("tpm: duplicate PCR %d in selection", pairs[i].idx)
+		}
+	}
+
+	sorted := make([]int, len(pairs))
+	b := cryptoutil.NewBuffer(2 + selectionBitmapSize + 4 + len(pairs)*cryptoutil.DigestSize)
+	for i, p := range pairs {
+		sorted[i] = p.idx
+	}
+	bm := selectionBitmap(sorted)
+	b.PutUint16(selectionBitmapSize)
+	b.PutRaw(bm[:])
+	b.PutUint32(uint32(len(pairs) * cryptoutil.DigestSize))
+	for _, p := range pairs {
+		b.PutDigest(p.val)
+	}
+	return cryptoutil.SHA1(b.Bytes()), nil
+}
+
+// Quote is the result of TPM_Quote: the attested PCR composite, the
+// caller-supplied external data (anti-replay nonce), the reported PCR
+// values, and the AIK signature over TPM_QUOTE_INFO.
+type Quote struct {
+	// CompositeDigest is the SHA-1 of the TPM_PCR_COMPOSITE the TPM
+	// observed.
+	CompositeDigest cryptoutil.Digest
+
+	// ExternalData is the 20-byte challenger nonce bound into the
+	// signature.
+	ExternalData [20]byte
+
+	// Selection lists the quoted PCR indices in ascending order.
+	Selection []int
+
+	// PCRValues holds the quoted values in Selection order. They are
+	// reported (not signed directly); verifiers recompute the composite
+	// from them and compare against CompositeDigest.
+	PCRValues []cryptoutil.Digest
+
+	// Signature is the RSA-PKCS1v15-SHA1 signature over the serialized
+	// TPM_QUOTE_INFO.
+	Signature []byte
+}
+
+// quoteInfoBytes serializes the TPM_QUOTE_INFO structure that is signed.
+func quoteInfoBytes(composite cryptoutil.Digest, externalData [20]byte) []byte {
+	b := cryptoutil.NewBuffer(4 + 4 + cryptoutil.DigestSize + 20)
+	b.PutRaw(quoteVersion[:])
+	b.PutRaw(quoteFixed[:])
+	b.PutDigest(composite)
+	b.PutRaw(externalData[:])
+	return b.Bytes()
+}
+
+// Marshal encodes the quote for wire transport.
+func (q *Quote) Marshal() []byte {
+	b := cryptoutil.NewBuffer(128 + len(q.PCRValues)*cryptoutil.DigestSize + len(q.Signature))
+	b.PutDigest(q.CompositeDigest)
+	b.PutRaw(q.ExternalData[:])
+	bm := selectionBitmap(q.Selection)
+	b.PutRaw(bm[:])
+	b.PutUint32(uint32(len(q.PCRValues)))
+	for _, v := range q.PCRValues {
+		b.PutDigest(v)
+	}
+	b.PutBytes(q.Signature)
+	return b.Bytes()
+}
+
+// UnmarshalQuote decodes a quote from wire bytes.
+func UnmarshalQuote(data []byte) (*Quote, error) {
+	r := cryptoutil.NewReader(data)
+	var q Quote
+	q.CompositeDigest = r.Digest()
+	copy(q.ExternalData[:], r.Raw(20))
+	var bm [selectionBitmapSize]byte
+	copy(bm[:], r.Raw(selectionBitmapSize))
+	n := r.Uint32()
+	if r.Err() != nil {
+		return nil, fmt.Errorf("tpm: unmarshal quote: %w", r.Err())
+	}
+	if n > NumPCRs {
+		return nil, fmt.Errorf("tpm: quote reports %d PCR values", n)
+	}
+	q.Selection = SelectionFromBitmap(bm)
+	if len(q.Selection) != int(n) {
+		return nil, fmt.Errorf("tpm: quote bitmap selects %d PCRs but carries %d values", len(q.Selection), n)
+	}
+	q.PCRValues = make([]cryptoutil.Digest, n)
+	for i := range q.PCRValues {
+		q.PCRValues[i] = r.Digest()
+	}
+	q.Signature = r.Bytes()
+	if err := r.ExpectEOF(); err != nil {
+		return nil, fmt.Errorf("tpm: unmarshal quote: %w", err)
+	}
+	return &q, nil
+}
+
+// PCRValue returns the quoted value of the given PCR index.
+func (q *Quote) PCRValue(idx int) (cryptoutil.Digest, bool) {
+	for i, sel := range q.Selection {
+		if sel == idx {
+			return q.PCRValues[i], true
+		}
+	}
+	return cryptoutil.Digest{}, false
+}
+
+// ErrQuoteInconsistent is returned when the reported PCR values do not
+// hash to the signed composite digest.
+var ErrQuoteInconsistent = errors.New("tpm: reported PCR values do not match signed composite")

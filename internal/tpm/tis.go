@@ -1,0 +1,297 @@
+package tpm
+
+import (
+	"unitp/internal/cryptoutil"
+)
+
+// This file implements a TIS-style command transport: the byte-level
+// request/response framing through which driver software addresses a
+// TPM (TPM Interface Specification). The simulator's Go API (Extend,
+// Quote, ...) is the chip's internal behaviour; the TIS layer is the
+// bus-visible surface — useful for driver-level integration tests and
+// for exercising exactly what a locality-tagged command frame may and
+// may not do.
+//
+// Framing (TPM 1.2 main spec, part 3 style):
+//
+//	request  = tag(u16)=0x00C1 ‖ paramSize(u32) ‖ ordinal(u32) ‖ params
+//	response = tag(u16)=0x00C4 ‖ paramSize(u32) ‖ returnCode(u32) ‖ params
+//
+// Only the command subset the trusted path uses is wired up.
+
+// Command framing tags.
+const (
+	tagRequest  uint16 = 0x00C1
+	tagResponse uint16 = 0x00C4
+)
+
+// Ordinal identifies a TPM command on the wire.
+type Ordinal uint32
+
+// Supported command ordinals (TPM 1.2 values where defined).
+const (
+	OrdExtend           Ordinal = 0x0000_0014
+	OrdPCRRead          Ordinal = 0x0000_0015
+	OrdQuote            Ordinal = 0x0000_0016
+	OrdGetRandom        Ordinal = 0x0000_0046
+	OrdPCRReset         Ordinal = 0x0000_00C8
+	OrdCounterIncrement Ordinal = 0x0000_00DD
+	OrdCounterRead      Ordinal = 0x0000_00DE
+)
+
+// ReturnCode is a TPM response status.
+type ReturnCode uint32
+
+// Response codes (TPM 1.2 values where defined).
+const (
+	RCSuccess      ReturnCode = 0x0000_0000
+	RCBadParameter ReturnCode = 0x0000_0003
+	RCBadIndex     ReturnCode = 0x0000_0002
+	RCBadOrdinal   ReturnCode = 0x0000_000A
+	RCBadLocality  ReturnCode = 0x0000_0029 // TPM_BAD_LOCALITY
+	RCNotResetable ReturnCode = 0x0000_0032 // TPM_NOTRESETABLE
+	RCFail         ReturnCode = 0x0000_0009
+	RCBadTag       ReturnCode = 0x0000_001E
+)
+
+// TIS exposes a TPM device through the byte-level command interface.
+type TIS struct {
+	dev *TPM
+}
+
+// NewTIS wraps a device.
+func NewTIS(dev *TPM) *TIS {
+	return &TIS{dev: dev}
+}
+
+// errToRC maps device errors to wire return codes.
+func errToRC(err error) ReturnCode {
+	switch err {
+	case nil:
+		return RCSuccess
+	case ErrBadPCRIndex:
+		return RCBadIndex
+	case ErrBadLocality:
+		return RCBadLocality
+	case ErrPCRNotResettable:
+		return RCNotResetable
+	case ErrBadNonce, ErrEmptySelection, ErrUnknownHandle:
+		return RCBadParameter
+	default:
+		return RCFail
+	}
+}
+
+// respond frames a response.
+func respond(rc ReturnCode, params []byte) []byte {
+	b := cryptoutil.NewBuffer(10 + len(params))
+	b.PutUint16(tagResponse)
+	b.PutUint32(uint32(10 + len(params)))
+	b.PutUint32(uint32(rc))
+	b.PutRaw(params)
+	return b.Bytes()
+}
+
+// Execute processes one locality-tagged command frame and returns the
+// response frame. Malformed frames yield error responses, never panics —
+// the bus must survive hostile drivers.
+func (t *TIS) Execute(locality Locality, request []byte) []byte {
+	r := cryptoutil.NewReader(request)
+	tag := r.Uint16()
+	size := r.Uint32()
+	ordinal := Ordinal(r.Uint32())
+	if r.Err() != nil || tag != tagRequest {
+		return respond(RCBadTag, nil)
+	}
+	if int(size) != len(request) {
+		return respond(RCBadParameter, nil)
+	}
+	switch ordinal {
+	case OrdExtend:
+		idx := r.Uint32()
+		digest := r.Digest()
+		if r.ExpectEOF() != nil {
+			return respond(RCBadParameter, nil)
+		}
+		newVal, err := t.dev.Extend(locality, int(idx), digest)
+		if err != nil {
+			return respond(errToRC(err), nil)
+		}
+		out := cryptoutil.NewBuffer(20)
+		out.PutDigest(newVal)
+		return respond(RCSuccess, out.Bytes())
+
+	case OrdPCRRead:
+		idx := r.Uint32()
+		if r.ExpectEOF() != nil {
+			return respond(RCBadParameter, nil)
+		}
+		val, err := t.dev.PCRRead(int(idx))
+		if err != nil {
+			return respond(errToRC(err), nil)
+		}
+		out := cryptoutil.NewBuffer(20)
+		out.PutDigest(val)
+		return respond(RCSuccess, out.Bytes())
+
+	case OrdPCRReset:
+		idx := r.Uint32()
+		if r.ExpectEOF() != nil {
+			return respond(RCBadParameter, nil)
+		}
+		if err := t.dev.PCRReset(locality, int(idx)); err != nil {
+			return respond(errToRC(err), nil)
+		}
+		return respond(RCSuccess, nil)
+
+	case OrdGetRandom:
+		n := r.Uint32()
+		if r.ExpectEOF() != nil || n > 1024 {
+			return respond(RCBadParameter, nil)
+		}
+		buf, err := t.dev.GetRandom(int(n))
+		if err != nil {
+			return respond(errToRC(err), nil)
+		}
+		out := cryptoutil.NewBuffer(4 + len(buf))
+		out.PutBytes(buf)
+		return respond(RCSuccess, out.Bytes())
+
+	case OrdQuote:
+		handle := Handle(r.Uint32())
+		nonce := r.Raw(20)
+		var bm [selectionBitmapSize]byte
+		copy(bm[:], r.Raw(selectionBitmapSize))
+		if r.ExpectEOF() != nil {
+			return respond(RCBadParameter, nil)
+		}
+		quote, err := t.dev.Quote(locality, handle, nonce, SelectionFromBitmap(bm))
+		if err != nil {
+			return respond(errToRC(err), nil)
+		}
+		wire := quote.Marshal()
+		out := cryptoutil.NewBuffer(4 + len(wire))
+		out.PutBytes(wire)
+		return respond(RCSuccess, out.Bytes())
+
+	case OrdCounterIncrement:
+		id := r.Uint32()
+		if r.ExpectEOF() != nil {
+			return respond(RCBadParameter, nil)
+		}
+		v, err := t.dev.CounterIncrement(id)
+		if err != nil {
+			return respond(errToRC(err), nil)
+		}
+		out := cryptoutil.NewBuffer(8)
+		out.PutUint64(v)
+		return respond(RCSuccess, out.Bytes())
+
+	case OrdCounterRead:
+		id := r.Uint32()
+		if r.ExpectEOF() != nil {
+			return respond(RCBadParameter, nil)
+		}
+		v, err := t.dev.CounterRead(id)
+		if err != nil {
+			return respond(errToRC(err), nil)
+		}
+		out := cryptoutil.NewBuffer(8)
+		out.PutUint64(v)
+		return respond(RCSuccess, out.Bytes())
+
+	default:
+		return respond(RCBadOrdinal, nil)
+	}
+}
+
+// Request builders and response parsers (the driver side of the bus).
+
+// frameRequest builds a request frame for an ordinal and params.
+func frameRequest(ordinal Ordinal, params []byte) []byte {
+	b := cryptoutil.NewBuffer(10 + len(params))
+	b.PutUint16(tagRequest)
+	b.PutUint32(uint32(10 + len(params)))
+	b.PutUint32(uint32(ordinal))
+	b.PutRaw(params)
+	return b.Bytes()
+}
+
+// EncodeExtendRequest frames TPM_Extend.
+func EncodeExtendRequest(idx int, digest cryptoutil.Digest) []byte {
+	b := cryptoutil.NewBuffer(24)
+	b.PutUint32(uint32(idx))
+	b.PutDigest(digest)
+	return frameRequest(OrdExtend, b.Bytes())
+}
+
+// EncodePCRReadRequest frames TPM_PCRRead.
+func EncodePCRReadRequest(idx int) []byte {
+	b := cryptoutil.NewBuffer(4)
+	b.PutUint32(uint32(idx))
+	return frameRequest(OrdPCRRead, b.Bytes())
+}
+
+// EncodePCRResetRequest frames TPM_PCR_Reset.
+func EncodePCRResetRequest(idx int) []byte {
+	b := cryptoutil.NewBuffer(4)
+	b.PutUint32(uint32(idx))
+	return frameRequest(OrdPCRReset, b.Bytes())
+}
+
+// EncodeGetRandomRequest frames TPM_GetRandom.
+func EncodeGetRandomRequest(n int) []byte {
+	b := cryptoutil.NewBuffer(4)
+	b.PutUint32(uint32(n))
+	return frameRequest(OrdGetRandom, b.Bytes())
+}
+
+// EncodeQuoteRequest frames TPM_Quote.
+func EncodeQuoteRequest(handle Handle, nonce []byte, selection []int) ([]byte, error) {
+	sel, err := NormalizeSelection(selection)
+	if err != nil {
+		return nil, err
+	}
+	if len(nonce) != 20 {
+		return nil, ErrBadNonce
+	}
+	bm := selectionBitmap(sel)
+	b := cryptoutil.NewBuffer(4 + 20 + selectionBitmapSize)
+	b.PutUint32(uint32(handle))
+	b.PutRaw(nonce)
+	b.PutRaw(bm[:])
+	return frameRequest(OrdQuote, b.Bytes()), nil
+}
+
+// EncodeCounterIncrementRequest frames TPM_IncrementCounter.
+func EncodeCounterIncrementRequest(id uint32) []byte {
+	b := cryptoutil.NewBuffer(4)
+	b.PutUint32(id)
+	return frameRequest(OrdCounterIncrement, b.Bytes())
+}
+
+// EncodeCounterReadRequest frames TPM_ReadCounter.
+func EncodeCounterReadRequest(id uint32) []byte {
+	b := cryptoutil.NewBuffer(4)
+	b.PutUint32(id)
+	return frameRequest(OrdCounterRead, b.Bytes())
+}
+
+// ParseResponse splits a response frame into its return code and
+// parameter bytes.
+func ParseResponse(response []byte) (ReturnCode, []byte, error) {
+	r := cryptoutil.NewReader(response)
+	tag := r.Uint16()
+	size := r.Uint32()
+	rc := ReturnCode(r.Uint32())
+	if r.Err() != nil || tag != tagResponse {
+		return RCBadTag, nil, ErrBufferTooShort
+	}
+	if int(size) != len(response) {
+		return RCBadTag, nil, ErrBufferTooShort
+	}
+	return rc, r.Raw(r.Remaining()), nil
+}
+
+// ErrBufferTooShort is returned when a response frame is malformed.
+var ErrBufferTooShort = cryptoutil.ErrBufferUnderflow

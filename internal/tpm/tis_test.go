@@ -1,0 +1,233 @@
+package tpm
+
+import (
+	"bytes"
+	"testing"
+
+	"unitp/internal/cryptoutil"
+)
+
+func newTestTIS(t *testing.T) (*TIS, *TPM) {
+	t.Helper()
+	dev, _ := newTestTPM(t)
+	return NewTIS(dev), dev
+}
+
+func TestTISExtendAndRead(t *testing.T) {
+	tis, dev := newTestTIS(t)
+	m := cryptoutil.SHA1([]byte("measurement"))
+
+	rc, params, err := ParseResponse(tis.Execute(0, EncodeExtendRequest(10, m)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc != RCSuccess {
+		t.Fatalf("extend rc = %#x", rc)
+	}
+	want := cryptoutil.ExtendDigest(cryptoutil.Digest{}, m)
+	if !bytes.Equal(params, want[:]) {
+		t.Fatalf("extend returned %x", params)
+	}
+	// Device state matches.
+	direct, err := dev.PCRRead(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct != want {
+		t.Fatal("TIS extend did not reach the device")
+	}
+	// Read it back over the bus.
+	rc, params, err = ParseResponse(tis.Execute(0, EncodePCRReadRequest(10)))
+	if err != nil || rc != RCSuccess {
+		t.Fatalf("read rc = %#x, %v", rc, err)
+	}
+	if !bytes.Equal(params, want[:]) {
+		t.Fatalf("read returned %x", params)
+	}
+}
+
+func TestTISLocalityEnforcement(t *testing.T) {
+	tis, _ := newTestTIS(t)
+	// PCR 17 reset from locality 0 must be refused with the TPM 1.2
+	// code.
+	rc, _, err := ParseResponse(tis.Execute(0, EncodePCRResetRequest(PCRDRTM)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc != RCNotResetable {
+		t.Fatalf("rc = %#x, want RCNotResetable", rc)
+	}
+	// Locality 4 succeeds.
+	rc, _, err = ParseResponse(tis.Execute(4, EncodePCRResetRequest(PCRDRTM)))
+	if err != nil || rc != RCSuccess {
+		t.Fatalf("locality-4 reset rc = %#x, %v", rc, err)
+	}
+	// Extend of PCR 17 at locality 0: bad locality.
+	m := cryptoutil.SHA1([]byte("x"))
+	rc, _, err = ParseResponse(tis.Execute(0, EncodeExtendRequest(PCRDRTM, m)))
+	if err != nil || rc != RCBadLocality {
+		t.Fatalf("locality-0 extend rc = %#x, %v", rc, err)
+	}
+}
+
+func TestTISGetRandom(t *testing.T) {
+	tis, _ := newTestTIS(t)
+	rc, params, err := ParseResponse(tis.Execute(0, EncodeGetRandomRequest(16)))
+	if err != nil || rc != RCSuccess {
+		t.Fatalf("rc = %#x, %v", rc, err)
+	}
+	r := cryptoutil.NewReader(params)
+	buf := r.Bytes()
+	if len(buf) != 16 {
+		t.Fatalf("random bytes = %d", len(buf))
+	}
+	// Oversize requests are refused.
+	rc, _, err = ParseResponse(tis.Execute(0, EncodeGetRandomRequest(10_000)))
+	if err != nil || rc != RCBadParameter {
+		t.Fatalf("oversize rc = %#x, %v", rc, err)
+	}
+}
+
+func TestTISQuote(t *testing.T) {
+	tis, dev := newTestTIS(t)
+	handle, pub, err := dev.CreateAIK()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonce := make([]byte, 20)
+	copy(nonce, "tis-quote-nonce-20bb")
+	req, err := EncodeQuoteRequest(handle, nonce, []int{PCRDRTM, PCRApp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, params, err := ParseResponse(tis.Execute(0, req))
+	if err != nil || rc != RCSuccess {
+		t.Fatalf("rc = %#x, %v", rc, err)
+	}
+	r := cryptoutil.NewReader(params)
+	quote, err := UnmarshalQuote(r.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyQuote(pub, quote); err != nil {
+		t.Fatalf("bus-transported quote invalid: %v", err)
+	}
+	// Unknown handle over the bus.
+	req, err = EncodeQuoteRequest(Handle(0xdead), nonce, []int{17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, _, err = ParseResponse(tis.Execute(0, req))
+	if err != nil || rc != RCBadParameter {
+		t.Fatalf("unknown handle rc = %#x, %v", rc, err)
+	}
+}
+
+func TestTISQuoteRequestValidation(t *testing.T) {
+	if _, err := EncodeQuoteRequest(1, make([]byte, 19), []int{17}); err == nil {
+		t.Fatal("short nonce accepted")
+	}
+	if _, err := EncodeQuoteRequest(1, make([]byte, 20), nil); err == nil {
+		t.Fatal("empty selection accepted")
+	}
+}
+
+func TestTISCounters(t *testing.T) {
+	tis, dev := newTestTIS(t)
+	if err := dev.CounterCreate(5); err != nil {
+		t.Fatal(err)
+	}
+	rc, params, err := ParseResponse(tis.Execute(0, EncodeCounterIncrementRequest(5)))
+	if err != nil || rc != RCSuccess {
+		t.Fatalf("rc = %#x, %v", rc, err)
+	}
+	if v := cryptoutil.NewReader(params).Uint64(); v != 1 {
+		t.Fatalf("counter = %d", v)
+	}
+	rc, params, err = ParseResponse(tis.Execute(0, EncodeCounterReadRequest(5)))
+	if err != nil || rc != RCSuccess {
+		t.Fatalf("rc = %#x, %v", rc, err)
+	}
+	if v := cryptoutil.NewReader(params).Uint64(); v != 1 {
+		t.Fatalf("counter read = %d", v)
+	}
+	// Undefined counter fails on the bus.
+	rc, _, err = ParseResponse(tis.Execute(0, EncodeCounterReadRequest(99)))
+	if err != nil || rc != RCFail {
+		t.Fatalf("undefined counter rc = %#x, %v", rc, err)
+	}
+}
+
+func TestTISHostileFrames(t *testing.T) {
+	tis, _ := newTestTIS(t)
+	cases := []struct {
+		name string
+		req  []byte
+		want ReturnCode
+	}{
+		{"empty", nil, RCBadTag},
+		{"short", []byte{0x00, 0xC1}, RCBadTag},
+		{"wrong tag", frameWithTag(0x00C4, uint32(OrdPCRRead)), RCBadTag},
+		{"bad ordinal", frameRequest(Ordinal(0xFFFF), nil), RCBadOrdinal},
+		{"length lies", lengthLie(), RCBadParameter},
+		{"truncated params", frameRequest(OrdExtend, []byte{0, 0}), RCBadParameter},
+		{"trailing params", frameRequest(OrdPCRReset, []byte{0, 0, 0, 16, 0xAA}), RCBadParameter},
+	}
+	for _, tc := range cases {
+		rc, _, err := ParseResponse(tis.Execute(0, tc.req))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if rc != tc.want {
+			t.Fatalf("%s: rc = %#x, want %#x", tc.name, rc, tc.want)
+		}
+	}
+}
+
+// frameWithTag builds a frame with an arbitrary tag.
+func frameWithTag(tag uint16, ordinal uint32) []byte {
+	b := cryptoutil.NewBuffer(10)
+	b.PutUint16(tag)
+	b.PutUint32(10)
+	b.PutUint32(ordinal)
+	return b.Bytes()
+}
+
+// lengthLie builds a frame whose declared size disagrees with its
+// actual length.
+func lengthLie() []byte {
+	b := cryptoutil.NewBuffer(10)
+	b.PutUint16(tagRequest)
+	b.PutUint32(99)
+	b.PutUint32(uint32(OrdPCRRead))
+	return b.Bytes()
+}
+
+func TestParseResponseRejectsGarbage(t *testing.T) {
+	if _, _, err := ParseResponse([]byte{1, 2}); err == nil {
+		t.Fatal("garbage response accepted")
+	}
+	// Response with lying size.
+	b := cryptoutil.NewBuffer(10)
+	b.PutUint16(tagResponse)
+	b.PutUint32(5)
+	b.PutUint32(0)
+	if _, _, err := ParseResponse(b.Bytes()); err == nil {
+		t.Fatal("lying response size accepted")
+	}
+}
+
+func TestTISBeforeStartup(t *testing.T) {
+	dev, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tis := NewTIS(dev)
+	rc, _, err := ParseResponse(tis.Execute(0, EncodePCRReadRequest(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc != RCFail {
+		t.Fatalf("pre-startup rc = %#x", rc)
+	}
+}

@@ -1,0 +1,241 @@
+package tpm
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"unitp/internal/cryptoutil"
+	"unitp/internal/sim"
+)
+
+// newTestTPM returns a started zero-latency TPM with deterministic
+// entropy, plus its virtual clock.
+func newTestTPM(t *testing.T) (*TPM, *sim.VirtualClock) {
+	t.Helper()
+	clock := sim.NewVirtualClock()
+	dev, err := New(Config{
+		Clock:  clock,
+		Random: sim.NewRand(0x54504d), // "TPM"
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := dev.Startup(); err != nil {
+		t.Fatalf("Startup: %v", err)
+	}
+	return dev, clock
+}
+
+func TestCommandsBeforeStartupFail(t *testing.T) {
+	dev, err := New(Config{Random: sim.NewRand(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := cryptoutil.SHA1([]byte("m"))
+	if _, err := dev.Extend(0, 0, m); !errors.Is(err, ErrNotStarted) {
+		t.Fatalf("Extend before startup: %v", err)
+	}
+	if _, err := dev.PCRRead(0); !errors.Is(err, ErrNotStarted) {
+		t.Fatalf("PCRRead before startup: %v", err)
+	}
+	if _, err := dev.GetRandom(8); !errors.Is(err, ErrNotStarted) {
+		t.Fatalf("GetRandom before startup: %v", err)
+	}
+	if _, _, err := dev.CreateAIK(); !errors.Is(err, ErrNotStarted) {
+		t.Fatalf("CreateAIK before startup: %v", err)
+	}
+	if err := dev.PCRReset(4, PCRDRTM); !errors.Is(err, ErrNotStarted) {
+		t.Fatalf("PCRReset before startup: %v", err)
+	}
+	if dev.Started() {
+		t.Fatal("Started() true before Startup")
+	}
+}
+
+func TestStartupValues(t *testing.T) {
+	dev, _ := newTestTPM(t)
+	for i := 0; i <= 16; i++ {
+		v, err := dev.PCRRead(i)
+		if err != nil {
+			t.Fatalf("PCRRead(%d): %v", i, err)
+		}
+		if !v.IsZero() {
+			t.Fatalf("static PCR %d not zero at startup: %v", i, v)
+		}
+	}
+	for _, i := range DynamicPCRs() {
+		v, err := dev.PCRRead(i)
+		if err != nil {
+			t.Fatalf("PCRRead(%d): %v", i, err)
+		}
+		if !v.IsOnes() {
+			t.Fatalf("dynamic PCR %d not all-ones at startup: %v", i, v)
+		}
+	}
+	v, err := dev.PCRRead(PCRApp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.IsZero() {
+		t.Fatalf("application PCR not zero at startup: %v", v)
+	}
+}
+
+func TestGetRandomDistinct(t *testing.T) {
+	dev, _ := newTestTPM(t)
+	a, err := dev.GetRandom(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := dev.GetRandom(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 16 || len(b) != 16 {
+		t.Fatalf("lengths %d, %d", len(a), len(b))
+	}
+	if string(a) == string(b) {
+		t.Fatal("consecutive GetRandom outputs identical")
+	}
+}
+
+func TestCreateAIKDistinctHandlesAndKeys(t *testing.T) {
+	dev, _ := newTestTPM(t)
+	h1, pub1, err := dev.CreateAIK()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, pub2, err := dev.CreateAIK()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 == h2 {
+		t.Fatal("AIK handles collide")
+	}
+	if pub1.N.Cmp(pub2.N) == 0 {
+		t.Fatal("AIK moduli collide")
+	}
+}
+
+func TestEKStable(t *testing.T) {
+	dev, _ := newTestTPM(t)
+	if dev.EK() == nil {
+		t.Fatal("nil EK")
+	}
+	if dev.EK().N.Cmp(dev.EK().N) != 0 {
+		t.Fatal("EK changed between calls")
+	}
+}
+
+func TestLatencyCharging(t *testing.T) {
+	clock := sim.NewVirtualClock()
+	dev, err := New(Config{
+		Profile: ProfileInfineon(),
+		Clock:   clock,
+		Random:  sim.NewRand(2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Startup(); err != nil {
+		t.Fatal(err)
+	}
+	before := clock.Elapsed()
+	m := cryptoutil.SHA1([]byte("m"))
+	if _, err := dev.Extend(0, 0, m); err != nil {
+		t.Fatal(err)
+	}
+	got := clock.Elapsed() - before
+	if want := ProfileInfineon().LatencyOf(OpExtend); got != want {
+		t.Fatalf("Extend charged %v, want %v", got, want)
+	}
+}
+
+func TestStatsAccumulateAndReset(t *testing.T) {
+	clock := sim.NewVirtualClock()
+	dev, err := New(Config{Profile: ProfileAtmel(), Clock: clock, Random: sim.NewRand(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Startup(); err != nil {
+		t.Fatal(err)
+	}
+	m := cryptoutil.SHA1([]byte("m"))
+	for i := 0; i < 3; i++ {
+		if _, err := dev.Extend(0, 1, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := dev.Stats()[OpExtend]
+	if st.Count != 3 {
+		t.Fatalf("Extend count = %d, want 3", st.Count)
+	}
+	if want := 3 * ProfileAtmel().LatencyOf(OpExtend); st.Total != want {
+		t.Fatalf("Extend total = %v, want %v", st.Total, want)
+	}
+	if st.Mean() != ProfileAtmel().LatencyOf(OpExtend) {
+		t.Fatalf("Extend mean = %v", st.Mean())
+	}
+	dev.ResetStats()
+	if len(dev.Stats()) != 0 {
+		t.Fatal("stats not cleared")
+	}
+}
+
+func TestOpStatMeanZeroCount(t *testing.T) {
+	var s OpStat
+	if s.Mean() != 0 {
+		t.Fatal("mean of empty stat not zero")
+	}
+}
+
+func TestOpStringNames(t *testing.T) {
+	for _, op := range Ops() {
+		if op.String() == "Unknown" {
+			t.Fatalf("op %d has no name", op)
+		}
+	}
+	if Op(999).String() != "Unknown" {
+		t.Fatal("unknown op not reported as Unknown")
+	}
+}
+
+func TestVendorProfilesShape(t *testing.T) {
+	profiles := VendorProfiles()
+	if len(profiles) != 4 {
+		t.Fatalf("got %d vendor profiles, want 4", len(profiles))
+	}
+	for _, p := range profiles {
+		if p.Name == "" {
+			t.Fatal("unnamed profile")
+		}
+		quote := p.LatencyOf(OpQuote)
+		if quote < 100*time.Millisecond {
+			t.Fatalf("%s quote latency %v implausibly low for era hardware", p.Name, quote)
+		}
+		// The paper's practicality analysis leans on quote/unseal
+		// dominating extend by orders of magnitude.
+		if quote < 10*p.LatencyOf(OpExtend) {
+			t.Fatalf("%s: quote (%v) does not dominate extend (%v)", p.Name, quote, p.LatencyOf(OpExtend))
+		}
+	}
+	if ideal := ProfileIdeal(); ideal.LatencyOf(OpQuote) != 0 {
+		t.Fatal("ideal profile has nonzero latency")
+	}
+}
+
+func TestLocalityMask(t *testing.T) {
+	m := MaskOf(0, 2, 4)
+	for _, tc := range []struct {
+		loc  Locality
+		want bool
+	}{{0, true}, {1, false}, {2, true}, {3, false}, {4, true}, {5, false}} {
+		if got := m.Contains(tc.loc); got != tc.want {
+			t.Fatalf("Contains(%d) = %v, want %v", tc.loc, got, tc.want)
+		}
+	}
+	if !AllLocalities.Contains(0) || !AllLocalities.Contains(4) {
+		t.Fatal("AllLocalities missing endpoints")
+	}
+}

@@ -1,0 +1,623 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+
+	"unitp/internal/attest"
+	"unitp/internal/core"
+	"unitp/internal/cryptoutil"
+	"unitp/internal/hostos"
+	"unitp/internal/platform"
+	"unitp/internal/tpm"
+)
+
+// AttackResult reports one attack execution for the F3 table.
+type AttackResult struct {
+	// Attack names the strategy.
+	Attack string
+
+	// Protections describes the platform configuration the attack ran
+	// against ("full" or the disabled property).
+	Protections string
+
+	// ForgedAccepted reports whether the provider executed a
+	// transaction (or granted a token) the human never approved — a
+	// successful attack.
+	ForgedAccepted bool
+
+	// Detail explains what happened.
+	Detail string
+}
+
+// Attack is one adversarial strategy against the system.
+type Attack interface {
+	// Name identifies the strategy in tables.
+	Name() string
+
+	// Execute mounts the attack on a fresh deployment with the given
+	// protections and reports whether the forgery was accepted.
+	Execute(cfg DeploymentConfig) (AttackResult, error)
+}
+
+// forgedTx is the transaction every attack tries to get executed.
+func forgedTx() *core.Transaction {
+	return &core.Transaction{
+		ID: "forged-1", From: "alice", To: "mallory",
+		AmountCents: 50_000, Currency: "EUR", Memo: "totally legit",
+	}
+}
+
+// protectionLabel renders the ablation column.
+func protectionLabel(p *platform.Protections) string {
+	if p == nil {
+		return "full"
+	}
+	full := platform.AllProtections()
+	switch {
+	case *p == full:
+		return "full"
+	case !p.MeasuredLaunch:
+		return "no measured launch"
+	case !p.ExclusiveInput:
+		return "no exclusive input"
+	case !p.DMAProtection:
+		return "no DMA protection"
+	case !p.LocalityGating:
+		return "no locality gating"
+	case !p.ExclusiveDisplay:
+		return "no exclusive display"
+	default:
+		return "custom"
+	}
+}
+
+// mallorysGain checks whether the forged transaction moved money.
+func mallorysGain(d *Deployment) bool {
+	bal, err := d.Provider.Ledger().Balance("mallory")
+	return err == nil && bal > 0
+}
+
+// --- Attack 1: transaction generator against a provider without the
+// trusted path (the pre-paper baseline).
+
+// TxGeneratorBaseline models malware submitting transactions to a
+// provider that does not demand confirmation. It always succeeds — the
+// problem statement.
+type TxGeneratorBaseline struct{}
+
+// Name implements Attack.
+func (TxGeneratorBaseline) Name() string { return "tx-generator (no trusted path)" }
+
+// Execute implements Attack.
+func (TxGeneratorBaseline) Execute(cfg DeploymentConfig) (AttackResult, error) {
+	// A provider without the scheme: threshold above the forged amount
+	// means no challenge is ever issued.
+	cfg.ConfirmThresholdCents = 1_000_000_00
+	d, err := NewDeployment(cfg)
+	if err != nil {
+		return AttackResult{}, err
+	}
+	outcome, err := d.Client.SubmitTransaction(forgedTx())
+	if err != nil {
+		return AttackResult{}, err
+	}
+	return AttackResult{
+		Attack:         TxGeneratorBaseline{}.Name(),
+		Protections:    protectionLabel(cfg.Protections),
+		ForgedAccepted: outcome.Accepted && mallorysGain(d),
+		Detail:         outcome.Reason,
+	}, nil
+}
+
+// --- Attack 2: UI-level confirmation (no PAL) defeated by input
+// injection.
+
+// UIInjectionBaseline models a provider that "confirms" through the
+// normal OS UI: malware injects the y keystroke itself.
+type UIInjectionBaseline struct{}
+
+// Name implements Attack.
+func (UIInjectionBaseline) Name() string { return "input injection (OS-UI confirmation)" }
+
+// Execute implements Attack.
+func (UIInjectionBaseline) Execute(cfg DeploymentConfig) (AttackResult, error) {
+	cfg.ConfirmThresholdCents = 1_000_000_00 // provider executes on request
+	d, err := NewDeployment(cfg)
+	if err != nil {
+		return AttackResult{}, err
+	}
+	// The "confirmation dialog" is an ordinary app; malware types into
+	// it.
+	inj := hostos.NewInputInjector()
+	if err := d.OS.Install(inj); err != nil {
+		return AttackResult{}, err
+	}
+	app := d.OS.RunApp("banking-ui")
+	if err := inj.Type("y\n"); err != nil {
+		return AttackResult{}, err
+	}
+	line, ok := app.ReadLine()
+	if !ok || line != "y" {
+		return AttackResult{}, fmt.Errorf("workload: injection failed: %q", line)
+	}
+	outcome, err := d.Client.SubmitTransaction(forgedTx())
+	if err != nil {
+		return AttackResult{}, err
+	}
+	return AttackResult{
+		Attack:         UIInjectionBaseline{}.Name(),
+		Protections:    protectionLabel(cfg.Protections),
+		ForgedAccepted: outcome.Accepted && mallorysGain(d),
+		Detail:         "fake keystroke accepted by OS UI; " + outcome.Reason,
+	}, nil
+}
+
+// --- Attack 3: transaction generator against the trusted path,
+// answering the challenge with an OS-state quote.
+
+// TxGeneratorTrustedPath submits a forged transaction and fabricates
+// evidence without running the PAL.
+type TxGeneratorTrustedPath struct{}
+
+// Name implements Attack.
+func (TxGeneratorTrustedPath) Name() string { return "tx-generator (OS-state quote)" }
+
+// Execute implements Attack.
+func (TxGeneratorTrustedPath) Execute(cfg DeploymentConfig) (AttackResult, error) {
+	d, err := NewDeployment(cfg)
+	if err != nil {
+		return AttackResult{}, err
+	}
+	resp, err := submitRaw(d, forgedTx())
+	if err != nil {
+		return AttackResult{}, err
+	}
+	ch, ok := resp.(*core.Challenge)
+	if !ok {
+		return AttackResult{}, fmt.Errorf("workload: expected challenge, got %T", resp)
+	}
+	// Quote the current (OS) state and claim it confirms.
+	quote, err := d.Machine.TPM().Quote(d.Machine.OSLocality(), d.AIK, ch.Nonce[:],
+		[]int{tpm.PCRDRTM, tpm.PCRApp})
+	if err != nil {
+		return AttackResult{}, err
+	}
+	ev := attest.Evidence{Cert: d.Cert, Quote: quote}
+	outcome, err := confirmRaw(d, &core.ConfirmTx{
+		Nonce: ch.Nonce, Confirmed: true, Mode: core.ModeQuote, Evidence: ev.Marshal(),
+	})
+	if err != nil {
+		return AttackResult{}, err
+	}
+	return AttackResult{
+		Attack:         TxGeneratorTrustedPath{}.Name(),
+		Protections:    protectionLabel(cfg.Protections),
+		ForgedAccepted: outcome.Accepted && mallorysGain(d),
+		Detail:         outcome.Reason,
+	}, nil
+}
+
+// --- Attack 4: input injection into the genuine confirmation PAL.
+
+// PALInputInjection runs the real PAL for the forged transaction and
+// tries to inject the confirming keystroke. Blocked by exclusive input;
+// succeeds when that protection is ablated.
+type PALInputInjection struct{}
+
+// Name implements Attack.
+func (PALInputInjection) Name() string { return "input injection (into PAL session)" }
+
+// Execute implements Attack.
+func (PALInputInjection) Execute(cfg DeploymentConfig) (AttackResult, error) {
+	d, err := NewDeployment(cfg)
+	if err != nil {
+		return AttackResult{}, err
+	}
+	inj := hostos.NewInputInjector()
+	if err := d.OS.Install(inj); err != nil {
+		return AttackResult{}, err
+	}
+	// The malware's "pump": whenever the PAL waits for the human, try
+	// to inject a confirmation instead.
+	injected := false
+	d.Machine.SetInputPump(func() bool {
+		if injected {
+			return false
+		}
+		injected = true
+		return inj.Type("y") == nil
+	})
+	outcome, err := d.Client.SubmitTransaction(forgedTx())
+	if err != nil {
+		if errors.Is(err, core.ErrPALFailed) {
+			return AttackResult{
+				Attack:         PALInputInjection{}.Name(),
+				Protections:    protectionLabel(cfg.Protections),
+				ForgedAccepted: false,
+				Detail:         "PAL received no input: injection dead during exclusive session",
+			}, nil
+		}
+		return AttackResult{}, err
+	}
+	return AttackResult{
+		Attack:         PALInputInjection{}.Name(),
+		Protections:    protectionLabel(cfg.Protections),
+		ForgedAccepted: outcome.Accepted && mallorysGain(d),
+		Detail:         outcome.Reason,
+	}, nil
+}
+
+// --- Attack 5: replay of a captured genuine confirmation.
+
+// ConfirmationReplay captures a legitimate confirmation and replays it
+// for a second execution.
+type ConfirmationReplay struct{}
+
+// Name implements Attack.
+func (ConfirmationReplay) Name() string { return "confirmation replay" }
+
+// Execute implements Attack.
+func (ConfirmationReplay) Execute(cfg DeploymentConfig) (AttackResult, error) {
+	d, err := NewDeployment(cfg)
+	if err != nil {
+		return AttackResult{}, err
+	}
+	var captured []byte
+	d.OS.AddInterceptor(func(p []byte) []byte {
+		if msg, err := core.DecodeMessage(p); err == nil {
+			if _, ok := msg.(*core.ConfirmTx); ok {
+				captured = append([]byte{}, p...)
+			}
+		}
+		return p
+	})
+	user := DefaultUser(d.Rng.Fork("user"))
+	legit := &core.Transaction{ID: "legit-1", From: "alice", To: "bob",
+		AmountCents: 10_000, Currency: "EUR"}
+	user.Intend(legit)
+	user.AttachTo(d.Machine)
+	if _, err := d.Client.SubmitTransaction(legit); err != nil {
+		return AttackResult{}, err
+	}
+	if captured == nil {
+		return AttackResult{}, errors.New("workload: no confirmation captured")
+	}
+	before, err := d.Provider.Ledger().Balance("bob")
+	if err != nil {
+		return AttackResult{}, err
+	}
+	respBytes, err := d.Provider.Handle(captured)
+	if err != nil {
+		return AttackResult{}, err
+	}
+	resp, err := core.DecodeMessage(respBytes)
+	if err != nil {
+		return AttackResult{}, err
+	}
+	outcome := resp.(*core.Outcome)
+	after, err := d.Provider.Ledger().Balance("bob")
+	if err != nil {
+		return AttackResult{}, err
+	}
+	// Idempotent proof handling may politely repeat the original
+	// outcome; the attack only succeeds if the transaction *executes
+	// again* (double spend).
+	return AttackResult{
+		Attack:         ConfirmationReplay{}.Name(),
+		Protections:    protectionLabel(cfg.Protections),
+		ForgedAccepted: after != before,
+		Detail:         fmt.Sprintf("%s (balance delta %d)", outcome.Reason, after-before),
+	}, nil
+}
+
+// --- Attack 6: PAL substitution (TOCTOU) — run hostile code, claim the
+// approved image.
+
+// PALSubstitution launches an auto-confirming trojan PAL while claiming
+// the approved confirmation PAL's image. Defeated by measured launch;
+// succeeds when measurement is ablated.
+type PALSubstitution struct{}
+
+// Name implements Attack.
+func (PALSubstitution) Name() string { return "PAL substitution (TOCTOU)" }
+
+// Execute implements Attack.
+func (PALSubstitution) Execute(cfg DeploymentConfig) (AttackResult, error) {
+	d, err := NewDeployment(cfg)
+	if err != nil {
+		return AttackResult{}, err
+	}
+	resp, err := submitRaw(d, forgedTx())
+	if err != nil {
+		return AttackResult{}, err
+	}
+	ch, ok := resp.(*core.Challenge)
+	if !ok {
+		return AttackResult{}, fmt.Errorf("workload: expected challenge, got %T", resp)
+	}
+	// The trojan PAL: no human interaction; it simply extends the
+	// "user confirmed" binding.
+	binding := core.ConfirmationBinding(ch.Nonce, ch.Tx.Digest(), true)
+	_, err = d.Machine.LateLaunch([]byte("trojan-auto-confirm"),
+		func(env *platform.LaunchEnv) error {
+			if err := env.ResetPCR(tpm.PCRApp); err != nil {
+				return err
+			}
+			_, err := env.Extend(tpm.PCRApp, binding)
+			return err
+		},
+		platform.WithClaimedImage(core.ConfirmPALImage()))
+	if err != nil {
+		return AttackResult{}, err
+	}
+	quote, err := d.Machine.TPM().Quote(d.Machine.OSLocality(), d.AIK, ch.Nonce[:],
+		[]int{tpm.PCRDRTM, tpm.PCRApp})
+	if err != nil {
+		return AttackResult{}, err
+	}
+	ev := attest.Evidence{Cert: d.Cert, Quote: quote}
+	outcome, err := confirmRaw(d, &core.ConfirmTx{
+		Nonce: ch.Nonce, Confirmed: true, Mode: core.ModeQuote, Evidence: ev.Marshal(),
+	})
+	if err != nil {
+		return AttackResult{}, err
+	}
+	return AttackResult{
+		Attack:         PALSubstitution{}.Name(),
+		Protections:    protectionLabel(cfg.Protections),
+		ForgedAccepted: outcome.Accepted && mallorysGain(d),
+		Detail:         outcome.Reason,
+	}, nil
+}
+
+// --- Attack 7: locality forgery — fake the DRTM registers from the OS.
+
+// LocalityForgery resets and refills PCR 17 from OS level. Defeated by
+// chipset locality gating; succeeds when that is ablated.
+type LocalityForgery struct{}
+
+// Name implements Attack.
+func (LocalityForgery) Name() string { return "DRTM state forgery (locality)" }
+
+// Execute implements Attack.
+func (LocalityForgery) Execute(cfg DeploymentConfig) (AttackResult, error) {
+	d, err := NewDeployment(cfg)
+	if err != nil {
+		return AttackResult{}, err
+	}
+	resp, err := submitRaw(d, forgedTx())
+	if err != nil {
+		return AttackResult{}, err
+	}
+	ch, ok := resp.(*core.Challenge)
+	if !ok {
+		return AttackResult{}, fmt.Errorf("workload: expected challenge, got %T", resp)
+	}
+	// From OS level, ask the chipset for locality 4 and rebuild the
+	// approved PAL's capped PCR-17 chain plus the binding in PCR 23.
+	loc := d.Machine.AssertLocality(4)
+	dev := d.Machine.TPM()
+	detail := "chipset refused elevated locality"
+	if err := dev.PCRReset(loc, tpm.PCRDRTM); err == nil {
+		m := cryptoutil.SHA1(core.ConfirmPALImage())
+		if _, err := dev.Extend(loc, tpm.PCRDRTM, m); err != nil {
+			return AttackResult{}, err
+		}
+		if _, err := dev.Extend(loc, tpm.PCRDRTM, platform.CapDigest); err != nil {
+			return AttackResult{}, err
+		}
+		detail = "forged DRTM chain written from OS"
+	}
+	if err := dev.PCRReset(d.Machine.OSLocality(), tpm.PCRApp); err != nil {
+		return AttackResult{}, err
+	}
+	binding := core.ConfirmationBinding(ch.Nonce, ch.Tx.Digest(), true)
+	if _, err := dev.Extend(d.Machine.OSLocality(), tpm.PCRApp, binding); err != nil {
+		return AttackResult{}, err
+	}
+	quote, err := dev.Quote(d.Machine.OSLocality(), d.AIK, ch.Nonce[:],
+		[]int{tpm.PCRDRTM, tpm.PCRApp})
+	if err != nil {
+		return AttackResult{}, err
+	}
+	ev := attest.Evidence{Cert: d.Cert, Quote: quote}
+	outcome, err := confirmRaw(d, &core.ConfirmTx{
+		Nonce: ch.Nonce, Confirmed: true, Mode: core.ModeQuote, Evidence: ev.Marshal(),
+	})
+	if err != nil {
+		return AttackResult{}, err
+	}
+	return AttackResult{
+		Attack:         LocalityForgery{}.Name(),
+		Protections:    protectionLabel(cfg.Protections),
+		ForgedAccepted: outcome.Accepted && mallorysGain(d),
+		Detail:         detail + "; " + outcome.Reason,
+	}, nil
+}
+
+// --- Attack 8: challenge rewrite against a vigilant user (full MITM).
+
+// ChallengeRewrite rewrites the payee outbound and hides it inbound; the
+// user confirms what they see, but the binding mismatch exposes the
+// manipulation.
+type ChallengeRewrite struct{}
+
+// Name implements Attack.
+func (ChallengeRewrite) Name() string { return "submit+challenge rewrite (full MITM)" }
+
+// Execute implements Attack.
+func (ChallengeRewrite) Execute(cfg DeploymentConfig) (AttackResult, error) {
+	d, err := NewDeployment(cfg)
+	if err != nil {
+		return AttackResult{}, err
+	}
+	d.OS.AddInterceptor(func(p []byte) []byte {
+		if msg, err := core.DecodeMessage(p); err == nil {
+			if sub, ok := msg.(*core.SubmitTx); ok {
+				sub.Tx.To = "mallory"
+				sub.Tx.AmountCents = 50_000
+				if out, err := core.EncodeMessage(sub); err == nil {
+					return out
+				}
+			}
+		}
+		return p
+	})
+	d.OS.AddInboundInterceptor(func(p []byte) []byte {
+		if msg, err := core.DecodeMessage(p); err == nil {
+			if ch, ok := msg.(*core.Challenge); ok {
+				ch.Tx.To = "bob"
+				ch.Tx.AmountCents = 10_000
+				if out, err := core.EncodeMessage(ch); err == nil {
+					return out
+				}
+			}
+		}
+		return p
+	})
+	user := DefaultUser(d.Rng.Fork("user"))
+	legit := &core.Transaction{ID: "legit-1", From: "alice", To: "bob",
+		AmountCents: 10_000, Currency: "EUR"}
+	user.Intend(legit)
+	user.AttachTo(d.Machine)
+	outcome, err := d.Client.SubmitTransaction(legit)
+	if err != nil {
+		return AttackResult{}, err
+	}
+	return AttackResult{
+		Attack:         ChallengeRewrite{}.Name(),
+		Protections:    protectionLabel(cfg.Protections),
+		ForgedAccepted: mallorysGain(d),
+		Detail:         outcome.Reason,
+	}, nil
+}
+
+// --- Attack 9: DMA theft of the provisioned HMAC key.
+
+// DMAKeyTheft provisions an HMAC key legitimately, then — during a later
+// confirmation session, while the key sits in PAL memory — reads it over
+// DMA and forges a confirmation. Defeated by the device exclusion
+// vector; succeeds when DMA protection is ablated.
+type DMAKeyTheft struct{}
+
+// Name implements Attack.
+func (DMAKeyTheft) Name() string { return "DMA theft of provisioned key" }
+
+// Execute implements Attack.
+func (DMAKeyTheft) Execute(cfg DeploymentConfig) (AttackResult, error) {
+	d, err := NewDeployment(cfg)
+	if err != nil {
+		return AttackResult{}, err
+	}
+	if outcome, err := d.Client.ProvisionHMACKey(); err != nil || !outcome.Accepted {
+		return AttackResult{}, fmt.Errorf("workload: provisioning failed: %v / %+v", err, outcome)
+	}
+	if err := d.Client.SetMode(core.ModeHMAC); err != nil {
+		return AttackResult{}, err
+	}
+	// During the victim's next confirmation, the malware-programmed
+	// peripheral reads PAL memory while the PAL waits for the human.
+	var stolen []byte
+	user := DefaultUser(d.Rng.Fork("user"))
+	legit := &core.Transaction{ID: "legit-1", From: "alice", To: "bob",
+		AmountCents: 10_000, Currency: "EUR"}
+	user.Intend(legit)
+	// Chain: DMA attempt first, then the human responds normally.
+	humanPump := user.MakePump(d.Machine)
+	d.Machine.SetInputPump(func() bool {
+		if data, err := d.Machine.Memory().DMARead("pal-secrets"); err == nil {
+			stolen = data
+		}
+		return humanPump()
+	})
+	if _, err := d.Client.SubmitTransaction(legit); err != nil {
+		return AttackResult{}, err
+	}
+	if stolen == nil {
+		return AttackResult{
+			Attack:         DMAKeyTheft{}.Name(),
+			Protections:    protectionLabel(cfg.Protections),
+			ForgedAccepted: false,
+			Detail:         "DMA read blocked by exclusion vector",
+		}, nil
+	}
+	// Key in hand: forge a confirmation for the forged transaction.
+	resp, err := submitRaw(d, forgedTx())
+	if err != nil {
+		return AttackResult{}, err
+	}
+	ch, ok := resp.(*core.Challenge)
+	if !ok {
+		return AttackResult{}, fmt.Errorf("workload: expected challenge, got %T", resp)
+	}
+	mac := cryptoutil.HMACSHA256(stolen, core.MACMessage(ch.Nonce, ch.Tx.Digest(), true))
+	outcome, err := confirmRaw(d, &core.ConfirmTx{
+		Nonce: ch.Nonce, Confirmed: true, Mode: core.ModeHMAC,
+		PlatformID: d.Cert.PlatformID, MAC: mac,
+	})
+	if err != nil {
+		return AttackResult{}, err
+	}
+	return AttackResult{
+		Attack:         DMAKeyTheft{}.Name(),
+		Protections:    protectionLabel(cfg.Protections),
+		ForgedAccepted: outcome.Accepted && mallorysGain(d),
+		Detail:         "key stolen over DMA; " + outcome.Reason,
+	}, nil
+}
+
+// submitRaw submits a transaction bypassing the client's confirmation
+// logic, returning the provider's raw response.
+func submitRaw(d *Deployment, tx *core.Transaction) (any, error) {
+	payload, err := core.EncodeMessage(&core.SubmitTx{Tx: tx})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := d.Pipe.RoundTrip(payload)
+	if err != nil {
+		return nil, err
+	}
+	return core.DecodeMessage(resp)
+}
+
+// confirmRaw sends a raw confirmation message.
+func confirmRaw(d *Deployment, m *core.ConfirmTx) (*core.Outcome, error) {
+	payload, err := core.EncodeMessage(m)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := d.Pipe.RoundTrip(payload)
+	if err != nil {
+		return nil, err
+	}
+	msg, err := core.DecodeMessage(resp)
+	if err != nil {
+		return nil, err
+	}
+	outcome, ok := msg.(*core.Outcome)
+	if !ok {
+		return nil, fmt.Errorf("workload: expected outcome, got %T", msg)
+	}
+	return outcome, nil
+}
+
+// AllAttacks returns the full strategy suite in table order. Note the
+// cuckoo relay: it succeeds against the *default* (unbound) provider
+// even with full platform protections — the defence is the provider's
+// account-platform binding policy, demonstrated by CuckooRelay{Bind:
+// true}.
+func AllAttacks() []Attack {
+	return []Attack{
+		TxGeneratorBaseline{},
+		UIInjectionBaseline{},
+		TxGeneratorTrustedPath{},
+		PALInputInjection{},
+		ConfirmationReplay{},
+		PALSubstitution{},
+		LocalityForgery{},
+		ChallengeRewrite{},
+		DMAKeyTheft{},
+		CuckooRelay{},
+	}
+}

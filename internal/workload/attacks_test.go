@@ -1,0 +1,147 @@
+package workload
+
+import (
+	"testing"
+	"unitp/internal/core"
+
+	"unitp/internal/platform"
+)
+
+// TestAttacksAgainstFullProtections is the executable core of the
+// paper's security argument: with every platform property intact, the
+// two baseline attacks (which model the world *without* the trusted
+// path) succeed, and every attack against the trusted path itself fails.
+func TestAttacksAgainstFullProtections(t *testing.T) {
+	expectSuccess := map[string]bool{
+		TxGeneratorBaseline{}.Name(): true,
+		UIInjectionBaseline{}.Name(): true,
+		// The cuckoo relay defeats platform protections by construction
+		// (everything on the attacker's machine is genuine); without
+		// the account-platform binding *policy*, it succeeds.
+		CuckooRelay{}.Name(): true,
+	}
+	for i, atk := range AllAttacks() {
+		res, err := atk.Execute(DeploymentConfig{Seed: uint64(100 + i)})
+		if err != nil {
+			t.Fatalf("%s: %v", atk.Name(), err)
+		}
+		want := expectSuccess[atk.Name()]
+		if res.ForgedAccepted != want {
+			t.Errorf("%s under full protections: forged accepted = %v, want %v (%s)",
+				atk.Name(), res.ForgedAccepted, want, res.Detail)
+		}
+		if _, isCuckoo := atk.(CuckooRelay); !isCuckoo && res.Protections != "full" {
+			t.Errorf("%s: protections label = %q", atk.Name(), res.Protections)
+		}
+	}
+}
+
+// TestCuckooRelayStoppedByBinding shows the policy defence: binding the
+// account to its enrolled platform rejects confirmations relayed through
+// any other machine, however genuine.
+func TestCuckooRelayStoppedByBinding(t *testing.T) {
+	res, err := CuckooRelay{Bind: true}.Execute(DeploymentConfig{Seed: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ForgedAccepted {
+		t.Fatalf("cuckoo relay beat the platform binding: %s", res.Detail)
+	}
+	// And the legitimate client on the bound platform still works.
+	d, err := NewDeployment(DeploymentConfig{Seed: 401})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Provider.BindPlatform("alice", d.Cert.PlatformID); err != nil {
+		t.Fatal(err)
+	}
+	user := DefaultUser(d.Rng.Fork("user"))
+	tx := &core.Transaction{ID: "b1", From: "alice", To: "bob",
+		AmountCents: 5_000, Currency: "EUR"}
+	user.Intend(tx)
+	user.AttachTo(d.Machine)
+	outcome, err := d.Client.SubmitTransaction(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !outcome.Accepted {
+		t.Fatalf("bound platform's own confirmation rejected: %+v", outcome)
+	}
+	// Binding management rules.
+	if err := d.Provider.BindPlatform("alice", "other"); err == nil {
+		t.Fatal("rebinding to a different platform accepted")
+	}
+	if err := d.Provider.BindPlatform("alice", d.Cert.PlatformID); err != nil {
+		t.Fatalf("idempotent rebinding rejected: %v", err)
+	}
+	if err := d.Provider.BindPlatform("", "x"); err == nil {
+		t.Fatal("empty account accepted")
+	}
+}
+
+// TestAblationsReadmitAttacks shows each protection is load-bearing:
+// disabling it re-admits exactly the corresponding attack.
+func TestAblationsReadmitAttacks(t *testing.T) {
+	cases := []struct {
+		attack Attack
+		ablate func(*platform.Protections)
+	}{
+		{PALInputInjection{}, func(p *platform.Protections) { p.ExclusiveInput = false }},
+		{PALSubstitution{}, func(p *platform.Protections) { p.MeasuredLaunch = false }},
+		{LocalityForgery{}, func(p *platform.Protections) { p.LocalityGating = false }},
+		{DMAKeyTheft{}, func(p *platform.Protections) { p.DMAProtection = false }},
+	}
+	for i, tc := range cases {
+		prot := platform.AllProtections()
+		tc.ablate(&prot)
+		res, err := tc.attack.Execute(DeploymentConfig{
+			Seed:        uint64(200 + i),
+			Protections: &prot,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.attack.Name(), err)
+		}
+		if !res.ForgedAccepted {
+			t.Errorf("%s with %s: expected the forgery to succeed, got %q",
+				tc.attack.Name(), res.Protections, res.Detail)
+		}
+	}
+}
+
+// TestReplayAndRewriteFailEvenUnderAblations shows the protocol-level
+// defences (nonce freshness, transaction binding) hold regardless of
+// platform ablations — they are cryptographic, not hardware, properties.
+func TestReplayAndRewriteFailEvenUnderAblations(t *testing.T) {
+	prot := platform.AllProtections()
+	prot.DMAProtection = false
+	prot.ExclusiveDisplay = false
+	for i, atk := range []Attack{ConfirmationReplay{}, ChallengeRewrite{}} {
+		res, err := atk.Execute(DeploymentConfig{
+			Seed:        uint64(300 + i),
+			Protections: &prot,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", atk.Name(), err)
+		}
+		if res.ForgedAccepted {
+			t.Errorf("%s succeeded despite protocol defences: %s", atk.Name(), res.Detail)
+		}
+	}
+}
+
+func TestAttackSuiteComplete(t *testing.T) {
+	attacks := AllAttacks()
+	if len(attacks) != 10 {
+		t.Fatalf("attack suite has %d strategies, want 10", len(attacks))
+	}
+	seen := make(map[string]bool)
+	for _, a := range attacks {
+		if a.Name() == "" {
+			t.Fatal("unnamed attack")
+		}
+		if seen[a.Name()] {
+			t.Fatalf("duplicate attack name %q", a.Name())
+		}
+		seen[a.Name()] = true
+	}
+}

@@ -1,0 +1,207 @@
+// Package workload provides the experiment substrate above the protocol:
+// complete client+provider deployments, human user models, transaction
+// stream generators, and the attack strategies of the security
+// evaluation (experiment F3).
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"unitp/internal/attest"
+	"unitp/internal/core"
+	"unitp/internal/cryptoutil"
+	"unitp/internal/flicker"
+	"unitp/internal/hostos"
+	"unitp/internal/netsim"
+	"unitp/internal/platform"
+	"unitp/internal/sim"
+	"unitp/internal/tpm"
+)
+
+// DeploymentConfig parameterizes a full deployment.
+type DeploymentConfig struct {
+	// Seed drives all randomness in the deployment deterministically.
+	Seed uint64
+
+	// TPMProfile selects the client TPM vendor (default Ideal).
+	TPMProfile tpm.Profile
+
+	// Link selects the client↔provider network path (default
+	// broadband).
+	Link netsim.Link
+
+	// Protections selects the client platform's security properties
+	// (nil = all on).
+	Protections *platform.Protections
+
+	// ConfirmThresholdCents configures the provider's confirmation
+	// policy (0 = confirm everything).
+	ConfirmThresholdCents int64
+
+	// NonceTTL bounds challenge freshness (default 5 min).
+	NonceTTL time.Duration
+
+	// Accounts seeds the provider ledger; nil gets a default
+	// alice/bob/mallory set.
+	Accounts map[string]int64
+
+	// Credentials seeds username/PIN pairs for the login flow; nil
+	// enrolls alice with DefaultPIN.
+	Credentials map[string]string
+
+	// SINITImage switches the client platform to Intel TXT semantics
+	// (SINIT measured before the PAL); the provider's approvals follow
+	// automatically.
+	SINITImage []byte
+}
+
+// DefaultPIN is the PIN enrolled for alice in default deployments.
+const DefaultPIN = "2468"
+
+// Deployment is one complete simulated system: a client machine with OS
+// and PAL manager, the privacy CA, the service provider, and the network
+// between them — everything an experiment or example needs.
+type Deployment struct {
+	// Clock is the shared virtual clock.
+	Clock *sim.VirtualClock
+
+	// Rng is the deployment's deterministic randomness root.
+	Rng *sim.Rand
+
+	// Machine is the client platform.
+	Machine *platform.Machine
+
+	// OS is the client's (infectable) operating system.
+	OS *hostos.OS
+
+	// Manager runs PAL sessions on the client.
+	Manager *flicker.Manager
+
+	// CA is the privacy CA both sides trust.
+	CA *attest.PrivacyCA
+
+	// Provider is the service provider engine.
+	Provider *core.Provider
+
+	// Client is the client protocol engine.
+	Client *core.Client
+
+	// Pipe is the simulated network path (exposed for loss/latency
+	// statistics).
+	Pipe *netsim.Pipe
+
+	// AIK is the client's attestation key handle.
+	AIK tpm.Handle
+
+	// Cert is the client's AIK certificate.
+	Cert *attest.AIKCert
+}
+
+// NewDeployment wires a full deployment: boots the machine, enrolls the
+// TPM with the CA, certifies an AIK, builds a provider that approves the
+// protocol PALs, seeds the ledger, and connects client to provider over
+// the simulated link.
+func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
+	clock := sim.NewVirtualClock()
+	rng := sim.NewRand(cfg.Seed ^ 0xDEB10)
+	if cfg.Link.Name == "" {
+		cfg.Link = netsim.LinkBroadband()
+	}
+
+	machine, err := platform.New(platform.Config{
+		Clock:       clock,
+		Random:      rng.Fork("machine"),
+		TPMProfile:  cfg.TPMProfile,
+		Protections: cfg.Protections,
+		SINITImage:  cfg.SINITImage,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("workload: machine: %w", err)
+	}
+	osys := hostos.New(machine)
+	manager := flicker.NewManager(machine)
+
+	caKey, err := tpm.PooledKeySource().Next()
+	if err != nil {
+		return nil, fmt.Errorf("workload: CA key: %w", err)
+	}
+	ca := attest.NewPrivacyCA("unitp-privacy-ca", caKey, clock, rng.Fork("ca"))
+	if err := ca.EnrollEK("client-platform", machine.TPM().EK()); err != nil {
+		return nil, fmt.Errorf("workload: enroll: %w", err)
+	}
+	aik, aikPub, err := machine.TPM().CreateAIK()
+	if err != nil {
+		return nil, fmt.Errorf("workload: AIK: %w", err)
+	}
+	cert, err := ca.CertifyAIK("client-platform", machine.TPM().EK(), aikPub)
+	if err != nil {
+		return nil, fmt.Errorf("workload: certify: %w", err)
+	}
+
+	provKey, err := tpm.PooledKeySource().Next()
+	if err != nil {
+		return nil, fmt.Errorf("workload: provider key: %w", err)
+	}
+	provider := core.NewProvider(core.ProviderConfig{
+		Name:                  "sim-bank",
+		CAPub:                 ca.PublicKey(),
+		Key:                   provKey,
+		Clock:                 clock,
+		Random:                rng.Fork("provider"),
+		NonceTTL:              cfg.NonceTTL,
+		ConfirmThresholdCents: cfg.ConfirmThresholdCents,
+	})
+	// Approvals follow the client platform's DRTM flavour: plain image
+	// measurement on SKINIT, (SINIT, image) chain on TXT.
+	approve := func(name string, image []byte) {
+		provider.Verifier().ApprovePALChain(name,
+			machine.LaunchChain(cryptoutil.SHA1(image))...)
+	}
+	approve(core.ConfirmPALName, core.ConfirmPALImage())
+	approve(core.PresencePALName, core.PresencePALImage())
+	approve(core.ProvisionPALName, core.ProvisionPALImage(provider.PublicKeyDER()))
+	approve(core.PINPALName, core.PINPALImage())
+	approve(core.BatchPALName, core.BatchPALImage())
+
+	accounts := cfg.Accounts
+	if accounts == nil {
+		accounts = map[string]int64{"alice": 1_000_000, "bob": 0, "mallory": 0}
+	}
+	for name, cents := range accounts {
+		if err := provider.Ledger().CreateAccount(name, cents); err != nil {
+			return nil, fmt.Errorf("workload: account %s: %w", name, err)
+		}
+	}
+	creds := cfg.Credentials
+	if creds == nil {
+		creds = map[string]string{"alice": DefaultPIN}
+	}
+	for user, pin := range creds {
+		if err := provider.EnrollCredential(user, pin); err != nil {
+			return nil, fmt.Errorf("workload: credential %s: %w", user, err)
+		}
+	}
+
+	pipe := netsim.NewPipe(netsim.Config{
+		Clock:  clock,
+		Random: rng.Fork("net"),
+		Link:   cfg.Link,
+	}, provider.Handle)
+
+	client, err := core.NewClient(core.ClientConfig{
+		Manager:   manager,
+		OS:        osys,
+		Transport: pipe,
+		AIK:       aik,
+		Cert:      cert,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("workload: client: %w", err)
+	}
+	return &Deployment{
+		Clock: clock, Rng: rng, Machine: machine, OS: osys,
+		Manager: manager, CA: ca, Provider: provider, Client: client,
+		Pipe: pipe, AIK: aik, Cert: cert,
+	}, nil
+}

@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"unitp/internal/core"
+	"unitp/internal/sim"
+)
+
+// TxStream generates a deterministic stream of plausible payment orders
+// for one account — the offered load of the end-to-end experiments.
+type TxStream struct {
+	rng     *sim.Rand
+	from    string
+	payees  []string
+	minC    int64
+	maxC    int64
+	next    int
+	minGap  time.Duration
+	meanGap time.Duration
+}
+
+// TxStreamConfig parameterizes a stream.
+type TxStreamConfig struct {
+	// From is the paying account.
+	From string
+
+	// Payees is the set of legitimate recipients (default: bob).
+	Payees []string
+
+	// MinCents / MaxCents bound the drawn amounts (defaults 500 /
+	// 50_000).
+	MinCents, MaxCents int64
+
+	// MeanGap is the mean inter-transaction time (default 2 h — retail
+	// e-banking cadence).
+	MeanGap time.Duration
+}
+
+// NewTxStream builds a stream.
+func NewTxStream(rng *sim.Rand, cfg TxStreamConfig) *TxStream {
+	if rng == nil {
+		rng = sim.NewRand(0x75)
+	}
+	if len(cfg.Payees) == 0 {
+		cfg.Payees = []string{"bob"}
+	}
+	if cfg.MinCents == 0 {
+		cfg.MinCents = 500
+	}
+	if cfg.MaxCents == 0 {
+		cfg.MaxCents = 50_000
+	}
+	if cfg.MeanGap == 0 {
+		cfg.MeanGap = 2 * time.Hour
+	}
+	return &TxStream{
+		rng:     rng,
+		from:    cfg.From,
+		payees:  append([]string{}, cfg.Payees...),
+		minC:    cfg.MinCents,
+		maxC:    cfg.MaxCents,
+		meanGap: cfg.MeanGap,
+	}
+}
+
+// Next draws the next transaction and the think-time gap before it.
+func (s *TxStream) Next() (*core.Transaction, time.Duration) {
+	s.next++
+	span := s.maxC - s.minC
+	amount := s.minC
+	if span > 0 {
+		amount += int64(s.rng.Intn(int(span)))
+	}
+	tx := &core.Transaction{
+		ID:          fmt.Sprintf("%s-tx-%06d", s.from, s.next),
+		From:        s.from,
+		To:          s.payees[s.rng.Intn(len(s.payees))],
+		AmountCents: amount,
+		Currency:    "EUR",
+		Memo:        fmt.Sprintf("order %d", s.next),
+	}
+	gap := time.Duration(s.rng.Exponential(float64(s.meanGap)))
+	if gap < s.minGap {
+		gap = s.minGap
+	}
+	return tx, gap
+}
+
+// Count reports how many transactions have been drawn.
+func (s *TxStream) Count() int { return s.next }

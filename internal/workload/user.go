@@ -1,0 +1,204 @@
+package workload
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"unitp/internal/core"
+	"unitp/internal/platform"
+	"unitp/internal/sim"
+)
+
+// User models the human at the client machine: reaction times, how
+// carefully they read the trusted prompt, and occasional typos. The
+// model decides y/n by comparing what the PAL *displays* with what the
+// user *intends* — which is exactly the comparison the paper's security
+// argument asks the human to perform.
+type User struct {
+	// Name labels the user.
+	Name string
+
+	// Reaction is the mean time to react to a prompt with a single
+	// keypress.
+	Reaction time.Duration
+
+	// ReactionJitter is the standard deviation of the reaction time.
+	ReactionJitter time.Duration
+
+	// ReadTime is the additional time spent actually reading a
+	// transaction summary before deciding.
+	ReadTime time.Duration
+
+	// CarelessProb is the probability the user approves without
+	// reading (the paper's human-factor caveat).
+	CarelessProb float64
+
+	// TypoProb is the probability the user presses the opposite key of
+	// what they decided.
+	TypoProb float64
+
+	// PIN is what the user types at a secure PIN-entry prompt.
+	PIN string
+
+	// Keystroke is the per-character typing time at a PIN prompt.
+	Keystroke time.Duration
+
+	mu      sync.Mutex
+	intent  *core.Transaction
+	intents []core.Transaction
+	rng     *sim.Rand
+
+	// decision log for experiments
+	approvals int
+	denials   int
+}
+
+// DefaultUser returns a reasonably attentive user.
+func DefaultUser(rng *sim.Rand) *User {
+	return &User{
+		Name:           "default-user",
+		Reaction:       900 * time.Millisecond,
+		ReactionJitter: 250 * time.Millisecond,
+		ReadTime:       1800 * time.Millisecond,
+		CarelessProb:   0.0,
+		TypoProb:       0.0,
+		PIN:            DefaultPIN,
+		Keystroke:      280 * time.Millisecond,
+		rng:            rng,
+	}
+}
+
+// CarelessUser returns a user who blindly confirms a fraction of
+// prompts.
+func CarelessUser(rng *sim.Rand, carelessProb float64) *User {
+	u := DefaultUser(rng)
+	u.Name = "careless-user"
+	u.CarelessProb = carelessProb
+	return u
+}
+
+// Intend records the transaction the user believes they are making. The
+// next confirmation prompt is judged against it.
+func (u *User) Intend(tx *core.Transaction) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.intents = nil
+	if tx == nil {
+		u.intent = nil
+		return
+	}
+	cp := *tx
+	u.intent = &cp
+}
+
+// IntendBatch records the set of transactions the user believes they are
+// making; a batch prompt entry is approved iff it matches one of them.
+func (u *User) IntendBatch(txs []core.Transaction) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.intent = nil
+	u.intents = append([]core.Transaction{}, txs...)
+}
+
+// Stats returns (approvals, denials) this user has issued.
+func (u *User) Stats() (approvals, denials int) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.approvals, u.denials
+}
+
+// MakePump builds the user's input pump for a machine without
+// installing it (so experiments can chain pumps, e.g. a DMA thief in
+// front of the human).
+func (u *User) MakePump(m *platform.Machine) platform.InputPump {
+	if u.rng == nil {
+		u.rng = sim.NewRand(0x05E2)
+	}
+	return func() bool {
+		u.mu.Lock()
+		defer u.mu.Unlock()
+		u.respond(m)
+		return true
+	}
+}
+
+// AttachTo installs the user as the machine's input pump: whenever a PAL
+// waits for a keystroke, the user reads the display, decides, and
+// presses a key — charging human time to the clock.
+func (u *User) AttachTo(m *platform.Machine) {
+	m.SetInputPump(u.MakePump(m))
+}
+
+// respond produces one keypress (or a typed PIN). Must be called with
+// u.mu held.
+func (u *User) respond(m *platform.Machine) {
+	lines := m.Display().Lines()
+	var prompt string
+	if len(lines) > 0 {
+		prompt = lines[len(lines)-1].Text
+	}
+
+	// Secure PIN entry: type the PIN, one charged keystroke at a time,
+	// then Enter.
+	if strings.Contains(prompt, "SECURE PIN ENTRY") {
+		m.Clock().Sleep(u.rng.NormalDuration(u.Reaction, u.ReactionJitter))
+		for _, r := range u.PIN {
+			m.Clock().Sleep(u.Keystroke)
+			m.Keyboard().Press(r)
+		}
+		m.Clock().Sleep(u.Keystroke)
+		m.Keyboard().Press('\n')
+		return
+	}
+
+	// A bare presence prompt: any key after a simple reaction.
+	if !strings.Contains(prompt, "TRUSTED CONFIRMATION") {
+		m.Clock().Sleep(u.rng.NormalDuration(u.Reaction, u.ReactionJitter))
+		m.Keyboard().Press(' ')
+		return
+	}
+
+	// Confirmation prompt: read (unless careless), compare with
+	// intent, decide.
+	var decision bool
+	if u.rng.Bool(u.CarelessProb) {
+		m.Clock().Sleep(u.rng.NormalDuration(u.Reaction, u.ReactionJitter))
+		decision = true
+	} else {
+		m.Clock().Sleep(u.ReadTime + u.rng.NormalDuration(u.Reaction, u.ReactionJitter))
+		decision = u.promptMatchesIntent(prompt)
+	}
+	if u.rng.Bool(u.TypoProb) {
+		decision = !decision
+	}
+	key := 'n'
+	if decision {
+		key = 'y'
+		u.approvals++
+	} else {
+		u.denials++
+	}
+	m.Keyboard().Press(key)
+}
+
+// promptMatchesIntent checks the displayed summary against the intended
+// transaction(s): payee, amount, and currency must all appear for at
+// least one intent.
+func (u *User) promptMatchesIntent(prompt string) bool {
+	candidates := u.intents
+	if u.intent != nil {
+		candidates = append(candidates, *u.intent)
+	}
+	for i := range candidates {
+		tx := &candidates[i]
+		amount := strconv.FormatInt(tx.AmountCents/100, 10)
+		if strings.Contains(prompt, " to "+tx.To+" ") &&
+			strings.Contains(prompt, amount) &&
+			strings.Contains(prompt, tx.Currency) {
+			return true
+		}
+	}
+	return false
+}

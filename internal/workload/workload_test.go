@@ -1,0 +1,221 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"unitp/internal/core"
+	"unitp/internal/netsim"
+	"unitp/internal/platform"
+	"unitp/internal/sim"
+	"unitp/internal/tpm"
+)
+
+func TestDeploymentHappyPath(t *testing.T) {
+	d, err := NewDeployment(DeploymentConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	user := DefaultUser(d.Rng.Fork("user"))
+	tx := &core.Transaction{ID: "t1", From: "alice", To: "bob",
+		AmountCents: 12_300, Currency: "EUR"}
+	user.Intend(tx)
+	user.AttachTo(d.Machine)
+	outcome, err := d.Client.SubmitTransaction(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !outcome.Accepted {
+		t.Fatalf("outcome = %+v", outcome)
+	}
+	approvals, denials := user.Stats()
+	if approvals != 1 || denials != 0 {
+		t.Fatalf("user stats = %d/%d", approvals, denials)
+	}
+	if bal, _ := d.Provider.Ledger().Balance("bob"); bal != 12_300 {
+		t.Fatalf("bob = %d", bal)
+	}
+	// Human + TPM + network time all accrued on the virtual clock.
+	if d.Clock.Elapsed() <= 0 {
+		t.Fatal("no virtual time elapsed")
+	}
+}
+
+func TestDeploymentCustomAccounts(t *testing.T) {
+	d, err := NewDeployment(DeploymentConfig{
+		Seed:     2,
+		Accounts: map[string]int64{"x": 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bal, err := d.Provider.Ledger().Balance("x"); err != nil || bal != 100 {
+		t.Fatalf("x = %d, %v", bal, err)
+	}
+	if _, err := d.Provider.Ledger().Balance("alice"); err == nil {
+		t.Fatal("default accounts created despite custom set")
+	}
+}
+
+func TestDeploymentWithVendorTPMChargesLatency(t *testing.T) {
+	d, err := NewDeployment(DeploymentConfig{
+		Seed:       3,
+		TPMProfile: tpm.ProfileBroadcom(),
+		Link:       netsim.LinkLoopback(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	user := DefaultUser(d.Rng.Fork("user"))
+	tx := &core.Transaction{ID: "t1", From: "alice", To: "bob",
+		AmountCents: 10_000, Currency: "EUR"}
+	user.Intend(tx)
+	user.AttachTo(d.Machine)
+	before := d.Clock.Elapsed()
+	if _, err := d.Client.SubmitTransaction(tx); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := d.Clock.Elapsed() - before
+	// Broadcom quote alone is 972 ms; the whole flow must exceed it.
+	if elapsed < 972*time.Millisecond {
+		t.Fatalf("end-to-end %v, too fast for a Broadcom TPM", elapsed)
+	}
+}
+
+func TestUserDeniesMismatchedPrompt(t *testing.T) {
+	d, err := NewDeployment(DeploymentConfig{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	user := DefaultUser(d.Rng.Fork("user"))
+	intended := &core.Transaction{ID: "t1", From: "alice", To: "bob",
+		AmountCents: 10_000, Currency: "EUR"}
+	user.Intend(intended)
+	user.AttachTo(d.Machine)
+	// What actually gets submitted differs from the intent (as if a
+	// compromised UI rewrote it before submission).
+	actual := *intended
+	actual.To = "mallory"
+	outcome, err := d.Client.SubmitTransaction(&actual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcome.Accepted {
+		t.Fatal("user approved a mismatched prompt")
+	}
+	if _, denials := user.Stats(); denials != 1 {
+		t.Fatal("denial not recorded")
+	}
+}
+
+func TestUserWithoutIntentDenies(t *testing.T) {
+	d, err := NewDeployment(DeploymentConfig{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	user := DefaultUser(d.Rng.Fork("user"))
+	user.AttachTo(d.Machine) // no Intend call
+	tx := &core.Transaction{ID: "t1", From: "alice", To: "bob",
+		AmountCents: 10_000, Currency: "EUR"}
+	outcome, err := d.Client.SubmitTransaction(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcome.Accepted {
+		t.Fatal("user approved with no intent")
+	}
+}
+
+func TestCarelessUserApprovesAnything(t *testing.T) {
+	d, err := NewDeployment(DeploymentConfig{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	user := CarelessUser(d.Rng.Fork("user"), 1.0)
+	user.AttachTo(d.Machine) // no intent, fully careless
+	tx := &core.Transaction{ID: "t1", From: "alice", To: "mallory",
+		AmountCents: 10_000, Currency: "EUR"}
+	outcome, err := d.Client.SubmitTransaction(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !outcome.Accepted {
+		t.Fatalf("careless user failed to approve: %+v", outcome)
+	}
+}
+
+func TestUserAnswersPresencePrompt(t *testing.T) {
+	d, err := NewDeployment(DeploymentConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	user := DefaultUser(d.Rng.Fork("user"))
+	user.AttachTo(d.Machine)
+	outcome, err := d.Client.ProveHumanPresence()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !outcome.Accepted || outcome.Token == "" {
+		t.Fatalf("presence outcome = %+v", outcome)
+	}
+}
+
+func TestTxStreamDeterministicAndValid(t *testing.T) {
+	a := NewTxStream(sim.NewRand(8), TxStreamConfig{From: "alice"})
+	b := NewTxStream(sim.NewRand(8), TxStreamConfig{From: "alice"})
+	for i := 0; i < 50; i++ {
+		txA, gapA := a.Next()
+		txB, gapB := b.Next()
+		if !txA.Equal(txB) || gapA != gapB {
+			t.Fatalf("streams diverged at %d", i)
+		}
+		if err := txA.Validate(); err != nil {
+			t.Fatalf("generated invalid tx: %v", err)
+		}
+		if txA.AmountCents < 500 || txA.AmountCents > 50_000 {
+			t.Fatalf("amount %d out of range", txA.AmountCents)
+		}
+	}
+	if a.Count() != 50 {
+		t.Fatalf("count = %d", a.Count())
+	}
+}
+
+func TestTxStreamUniqueIDs(t *testing.T) {
+	s := NewTxStream(sim.NewRand(9), TxStreamConfig{From: "alice"})
+	seen := make(map[string]bool)
+	for i := 0; i < 100; i++ {
+		tx, _ := s.Next()
+		if seen[tx.ID] {
+			t.Fatalf("duplicate ID %s", tx.ID)
+		}
+		seen[tx.ID] = true
+	}
+}
+
+func TestProtectionLabels(t *testing.T) {
+	if got := protectionLabel(nil); got != "full" {
+		t.Fatalf("nil label = %q", got)
+	}
+	full := platform.AllProtections()
+	if got := protectionLabel(&full); got != "full" {
+		t.Fatalf("full label = %q", got)
+	}
+	cases := []struct {
+		mut  func(*platform.Protections)
+		want string
+	}{
+		{func(p *platform.Protections) { p.MeasuredLaunch = false }, "no measured launch"},
+		{func(p *platform.Protections) { p.ExclusiveInput = false }, "no exclusive input"},
+		{func(p *platform.Protections) { p.DMAProtection = false }, "no DMA protection"},
+		{func(p *platform.Protections) { p.LocalityGating = false }, "no locality gating"},
+		{func(p *platform.Protections) { p.ExclusiveDisplay = false }, "no exclusive display"},
+	}
+	for _, tc := range cases {
+		p := platform.AllProtections()
+		tc.mut(&p)
+		if got := protectionLabel(&p); got != tc.want {
+			t.Fatalf("label = %q, want %q", got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package unitp
+
+import (
+	"unitp/internal/attest"
+	"unitp/internal/captcha"
+	"unitp/internal/core"
+	"unitp/internal/netsim"
+	"unitp/internal/platform"
+	"unitp/internal/sim"
+	"unitp/internal/tpm"
+	"unitp/internal/workload"
+)
+
+// Protocol types.
+type (
+	// Transaction is one payment order; its canonical digest is what
+	// the human's confirmation is cryptographically bound to.
+	Transaction = core.Transaction
+
+	// Outcome is the provider's final answer for a submission,
+	// confirmation, presence proof, or provisioning exchange.
+	Outcome = core.Outcome
+
+	// Client is the client-side protocol engine.
+	Client = core.Client
+
+	// Provider is the service-provider engine (ledger, challenges,
+	// verification).
+	Provider = core.Provider
+
+	// ProviderConfig configures a Provider.
+	ProviderConfig = core.ProviderConfig
+
+	// ClientConfig configures a Client.
+	ClientConfig = core.ClientConfig
+
+	// ProviderStats counts protocol outcomes.
+	ProviderStats = core.ProviderStats
+
+	// ConfirmMode selects quote-per-transaction or provisioned-HMAC
+	// confirmation.
+	ConfirmMode = core.ConfirmMode
+
+	// Ledger is the provider's account store.
+	Ledger = core.Ledger
+
+	// AuditLog is the provider's hash-chained confirmation record.
+	AuditLog = core.AuditLog
+
+	// AuditEntry is one confirmed-transaction record.
+	AuditEntry = core.AuditEntry
+
+	// AuditReport summarizes an independent auditor replay.
+	AuditReport = core.AuditReport
+)
+
+// ReplayAudit independently re-verifies a provider's audit log against
+// an attestation policy (dispute resolution / non-repudiation).
+var ReplayAudit = core.ReplayAudit
+
+// Confirmation modes.
+const (
+	// ModeQuote authenticates each confirmation with a TPM quote.
+	ModeQuote = core.ModeQuote
+
+	// ModeHMAC authenticates with an HMAC under a provisioned,
+	// PAL-sealed key.
+	ModeHMAC = core.ModeHMAC
+)
+
+// Deployment types.
+type (
+	// Deployment is a complete simulated system: client machine, OS,
+	// privacy CA, provider, and the network between them.
+	Deployment = workload.Deployment
+
+	// DeploymentConfig parameterizes a Deployment.
+	DeploymentConfig = workload.DeploymentConfig
+
+	// User models the human at the keyboard.
+	User = workload.User
+
+	// TxStream generates deterministic transaction workloads.
+	TxStream = workload.TxStream
+
+	// TxStreamConfig parameterizes a TxStream.
+	TxStreamConfig = workload.TxStreamConfig
+
+	// Attack is one adversarial strategy of the security evaluation.
+	Attack = workload.Attack
+
+	// AttackResult reports one attack execution.
+	AttackResult = workload.AttackResult
+
+	// PopulationConfig parameterizes a multi-client fraud simulation.
+	PopulationConfig = workload.PopulationConfig
+
+	// PopulationResult aggregates a population run's outcomes.
+	PopulationResult = workload.PopulationResult
+)
+
+// RunPopulation simulates a provider serving a population of clients, a
+// fraction infected with transaction generators, with or without the
+// trusted path.
+func RunPopulation(cfg PopulationConfig) (*PopulationResult, error) {
+	return workload.RunPopulation(cfg)
+}
+
+// DefaultPIN is the PIN enrolled for alice in default deployments.
+const DefaultPIN = workload.DefaultPIN
+
+// Platform types.
+type (
+	// Machine is one simulated client platform (CPU with DRTM, TPM,
+	// devices, memory).
+	Machine = platform.Machine
+
+	// Protections lists the platform security properties; the security
+	// evaluation ablates them one at a time.
+	Protections = platform.Protections
+
+	// TPMProfile models the command latencies of a discrete TPM chip.
+	TPMProfile = tpm.Profile
+
+	// Link models a network path's latency, jitter, and loss.
+	Link = netsim.Link
+
+	// Rand is the deterministic random source used throughout the
+	// simulation.
+	Rand = sim.Rand
+
+	// Nonce is a single-use challenge value.
+	Nonce = attest.Nonce
+
+	// CaptchaSolver models a CAPTCHA-solving population (the F4
+	// baseline).
+	CaptchaSolver = captcha.Solver
+)
+
+// NewDeployment wires a full client+provider deployment.
+func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
+	return workload.NewDeployment(cfg)
+}
+
+// DefaultUser returns a reasonably attentive human model.
+func DefaultUser(rng *Rand) *User { return workload.DefaultUser(rng) }
+
+// CarelessUser returns a human who blindly confirms a fraction of
+// prompts.
+func CarelessUser(rng *Rand, carelessProb float64) *User {
+	return workload.CarelessUser(rng, carelessProb)
+}
+
+// NewRand returns a deterministic random source for the given seed.
+func NewRand(seed uint64) *Rand { return sim.NewRand(seed) }
+
+// NewTxStream builds a deterministic transaction workload.
+func NewTxStream(rng *Rand, cfg TxStreamConfig) *TxStream {
+	return workload.NewTxStream(rng, cfg)
+}
+
+// AllAttacks returns the security evaluation's strategy suite.
+func AllAttacks() []Attack { return workload.AllAttacks() }
+
+// AllProtections returns the full protection set of a correct platform.
+func AllProtections() Protections { return platform.AllProtections() }
+
+// TPM vendor latency profiles (era-plausible discrete TPM v1.2 chips; see
+// internal/tpm for the sources of the figures).
+var (
+	// ProfileIdeal is a zero-latency TPM for functional tests.
+	ProfileIdeal = tpm.ProfileIdeal
+
+	// ProfileInfineon has the fastest quote of the cohort.
+	ProfileInfineon = tpm.ProfileInfineon
+
+	// ProfileSTM is a mid-range chip.
+	ProfileSTM = tpm.ProfileSTM
+
+	// ProfileAtmel is a mid-range chip with slow unseal.
+	ProfileAtmel = tpm.ProfileAtmel
+
+	// ProfileBroadcom has the slowest quote and unseal.
+	ProfileBroadcom = tpm.ProfileBroadcom
+
+	// VendorProfiles lists the four vendor profiles in table order.
+	VendorProfiles = tpm.VendorProfiles
+)
+
+// Network link profiles.
+var (
+	// LinkLoopback models in-host communication.
+	LinkLoopback = netsim.LinkLoopback
+
+	// LinkLAN models a local network.
+	LinkLAN = netsim.LinkLAN
+
+	// LinkBroadband models 2011-era consumer broadband.
+	LinkBroadband = netsim.LinkBroadband
+
+	// LinkWAN models an intercontinental path.
+	LinkWAN = netsim.LinkWAN
+
+	// LinkMobile models a 3G mobile path.
+	LinkMobile = netsim.LinkMobile
+)
+
+// CaptchaSolvers returns the modelled CAPTCHA solver population (human,
+// OCR bots, solver farm).
+func CaptchaSolvers() []CaptchaSolver { return captcha.Solvers() }

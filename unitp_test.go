@@ -1,0 +1,86 @@
+package unitp_test
+
+import (
+	"testing"
+
+	"unitp"
+)
+
+// TestFacadeQuickstart exercises the README's quickstart flow end to
+// end through the public API only.
+func TestFacadeQuickstart(t *testing.T) {
+	d, err := unitp.NewDeployment(unitp.DeploymentConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	user := unitp.DefaultUser(d.Rng.Fork("user"))
+	tx := &unitp.Transaction{
+		ID: "quickstart-1", From: "alice", To: "bob",
+		AmountCents: 12_300, Currency: "EUR", Memo: "rent",
+	}
+	user.Intend(tx)
+	user.AttachTo(d.Machine)
+
+	outcome, err := d.Client.SubmitTransaction(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !outcome.Accepted || !outcome.Authentic {
+		t.Fatalf("outcome = %+v", outcome)
+	}
+	if bal, _ := d.Provider.Ledger().Balance("bob"); bal != 12_300 {
+		t.Fatalf("bob = %d", bal)
+	}
+}
+
+func TestFacadeVendorAndLinkProfiles(t *testing.T) {
+	if len(unitp.VendorProfiles()) != 4 {
+		t.Fatal("vendor profiles")
+	}
+	if unitp.ProfileIdeal().Name != "Ideal" {
+		t.Fatal("ideal profile")
+	}
+	if unitp.LinkBroadband().Latency <= unitp.LinkLAN().Latency {
+		t.Fatal("link ordering")
+	}
+	if len(unitp.CaptchaSolvers()) == 0 {
+		t.Fatal("captcha solvers")
+	}
+	if len(unitp.AllAttacks()) != 10 {
+		t.Fatal("attack suite")
+	}
+	if !unitp.AllProtections().MeasuredLaunch {
+		t.Fatal("protections")
+	}
+}
+
+func TestFacadeHMACMode(t *testing.T) {
+	d, err := unitp.NewDeployment(unitp.DeploymentConfig{
+		Seed:       2,
+		TPMProfile: unitp.ProfileInfineon(),
+		Link:       unitp.LinkLAN(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcome, err := d.Client.ProvisionHMACKey(); err != nil || !outcome.Accepted {
+		t.Fatalf("provision: %v / %+v", err, outcome)
+	}
+	if err := d.Client.SetMode(unitp.ModeHMAC); err != nil {
+		t.Fatal(err)
+	}
+	user := unitp.DefaultUser(d.Rng.Fork("user"))
+	stream := unitp.NewTxStream(d.Rng.Fork("txs"), unitp.TxStreamConfig{From: "alice"})
+	for i := 0; i < 3; i++ {
+		tx, _ := stream.Next()
+		user.Intend(tx)
+		user.AttachTo(d.Machine)
+		outcome, err := d.Client.SubmitTransaction(tx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !outcome.Accepted {
+			t.Fatalf("tx %d: %+v", i, outcome)
+		}
+	}
+}
