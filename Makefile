@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all vet build test race check bench results clean
+
+all: check
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the full gate: vet, build, tests with and without the race
+# detector.
+check: vet build test race
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# results regenerates every table/figure into results/.
+results:
+	$(GO) run ./cmd/tpbench -save results
+
+clean:
+	$(GO) clean ./...

@@ -4,14 +4,16 @@
 // Usage:
 //
 //	tpbench               # run everything
-//	tpbench -exp t1       # one experiment (t1, t2, t3, f1..f5)
+//	tpbench -exp t1       # one experiment (t1, t2, t3, f1..f9)
 //	tpbench -list         # list experiments
+//	tpbench -save results # also write each result to results/<id>.txt
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"unitp/internal/experiments"
@@ -23,10 +25,18 @@ func main() {
 
 func run() int {
 	var (
-		exp  = flag.String("exp", "all", "experiment to run (all, t1, t2, t3, f1, f2, f3, f4, f5)")
+		exp  = flag.String("exp", "all", "experiment to run (all, t1, t2, t3, f1..f9)")
 		list = flag.Bool("list", false, "list experiments and exit")
+		save = flag.String("save", "", "directory to write per-experiment result files into")
 	)
 	flag.Parse()
+
+	if *save != "" {
+		if err := os.MkdirAll(*save, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "tpbench: -save: %v\n", err)
+			return 1
+		}
+	}
 
 	if *list {
 		for _, r := range experiments.All() {
@@ -55,6 +65,14 @@ func run() int {
 		}
 		fmt.Println(result.Text)
 		fmt.Printf("(%s completed in %v real time)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+		if *save != "" {
+			path := filepath.Join(*save, r.ID+".txt")
+			body := fmt.Sprintf("%s: %s\n\n%s", r.ID, r.Title, result.Text)
+			if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "tpbench: write %s: %v\n", path, err)
+				return 1
+			}
+		}
 	}
 	return 0
 }

@@ -82,9 +82,13 @@ func run() error {
 	}
 	log.Printf("tpclient: enrolled as %s with CA %s", cert.PlatformID, cert.Issuer)
 
+	// Real TCP still loses frames and drops connections; the retry
+	// transport masks transient failures with backoff and a deadline.
+	transport := netsim.NewRetryTransport(netsim.NewConnTransport(conn),
+		netsim.DefaultRetryPolicy(), sim.WallClock{}, sim.NewRand(uint64(time.Now().UnixNano())^0x7e7))
 	client, err := core.NewClient(core.ClientConfig{
 		Manager:   flicker.NewManager(machine),
-		Transport: netsim.NewConnTransport(conn),
+		Transport: transport,
 		AIK:       aik,
 		Cert:      cert,
 	})

@@ -19,10 +19,49 @@ import (
 // provider can prove a human at the certified platform approved exactly
 // the disputed transaction.
 
+// AuditKind classifies an audit entry. The zero value is a trusted-path
+// confirmation, so existing call sites are unchanged.
+type AuditKind uint8
+
+// Audit entry kinds.
+const (
+	// AuditConfirm records a trusted-path confirmation (the default).
+	AuditConfirm AuditKind = iota
+
+	// AuditDowngrade records a client falling back from the trusted
+	// path to the CAPTCHA gate after repeated session failures.
+	AuditDowngrade
+
+	// AuditFallbackTx records a transaction executed under the
+	// degraded, CAPTCHA-gated regime (no attestation evidence).
+	AuditFallbackTx
+)
+
+// String names the kind for reports.
+func (k AuditKind) String() string {
+	switch k {
+	case AuditConfirm:
+		return "confirm"
+	case AuditDowngrade:
+		return "downgrade"
+	case AuditFallbackTx:
+		return "fallback-tx"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
 // AuditEntry is one confirmed-transaction record.
 type AuditEntry struct {
 	// Seq is the entry's position in the chain (0-based).
 	Seq uint64
+
+	// Kind classifies the entry; zero means trusted-path confirmation.
+	Kind AuditKind
+
+	// Note carries human-readable context for non-confirmation entries
+	// (e.g. the downgrade reason).
+	Note string
 
 	// At is the provider-side timestamp.
 	At time.Time
@@ -56,6 +95,8 @@ type AuditEntry struct {
 func (e *AuditEntry) body() []byte {
 	b := cryptoutil.NewBuffer(128 + len(e.Evidence))
 	b.PutUint64(e.Seq)
+	b.PutUint8(uint8(e.Kind))
+	b.PutString(e.Note)
 	b.PutUint64(uint64(e.At.UnixNano()))
 	b.PutString(e.TxID)
 	b.PutDigest(e.TxDigest)
@@ -143,6 +184,13 @@ type AuditReport struct {
 	// (chain-protected but not independently re-verifiable).
 	HMACOnly int
 
+	// Downgrades counts degradation records (AuditDowngrade).
+	Downgrades int
+
+	// FallbackTxs counts transactions executed on the CAPTCHA-gated
+	// path (AuditFallbackTx) — chain-protected, never attested.
+	FallbackTxs int
+
 	// Head is the verified chain head.
 	Head cryptoutil.Digest
 }
@@ -168,6 +216,17 @@ func ReplayAudit(entries []AuditEntry, verifier *attest.Verifier) (*AuditReport,
 		prev = e.Chain
 		report.Entries++
 
+		switch e.Kind {
+		case AuditDowngrade:
+			// Degradation records carry no evidence by construction;
+			// their value is the tamper-evident fact that the downgrade
+			// happened, when, and why.
+			report.Downgrades++
+			continue
+		case AuditFallbackTx:
+			report.FallbackTxs++
+			continue
+		}
 		if len(e.Evidence) == 0 {
 			report.HMACOnly++
 			continue

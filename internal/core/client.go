@@ -48,6 +48,10 @@ type ClientConfig struct {
 	// Mode selects quote-per-transaction or provisioned-HMAC
 	// confirmation (default ModeQuote).
 	Mode ConfirmMode
+
+	// Recovery tunes session retries and CAPTCHA degradation for
+	// SubmitResilient. The zero value gives sensible defaults.
+	Recovery RecoveryConfig
 }
 
 // Client is the client-side protocol engine: it submits transactions,
@@ -67,6 +71,9 @@ type Client struct {
 	sealedKey      []byte // marshalled sealed HMAC key blob (ModeHMAC)
 	sealedKeyBatch []byte // same key sealed to the batch PAL
 	providerPK     []byte // provider public key DER seen at provisioning
+
+	recovery   RecoveryConfig
+	failStreak int // consecutive trusted-path session failures
 
 	lastReport *platform.LaunchReport // most recent PAL session timing
 }
@@ -91,6 +98,7 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		aik:       cfg.AIK,
 		cert:      cfg.Cert,
 		mode:      cfg.Mode,
+		recovery:  cfg.Recovery,
 	}
 	for _, pal := range []*flicker.PAL{NewConfirmPAL(), NewPresencePAL(), NewPINPAL(), NewBatchPAL()} {
 		if err := c.manager.Register(pal); err != nil && !errors.Is(err, flicker.ErrPALExists) {
@@ -171,6 +179,15 @@ func (c *Client) SubmitTransaction(tx *Transaction) (*Outcome, error) {
 	case *Outcome:
 		return m, nil
 	case *Challenge:
+		// A challenge with no transaction at all is a broken frame. A
+		// challenge echoing a *different* transaction is deliberately NOT
+		// rejected here: deciding whether the displayed order is the
+		// intended one is the human's job at the trusted display — this
+		// code runs below the PAL and is not trustworthy in the paper's
+		// threat model.
+		if m.Tx == nil {
+			return nil, fmt.Errorf("%w: challenge without transaction", ErrUnexpectedResponse)
+		}
 		return c.runConfirmation(m)
 	default:
 		return nil, fmt.Errorf("%w: %T to SubmitTx", ErrUnexpectedResponse, resp)
@@ -224,6 +241,12 @@ func (c *Client) runConfirmation(ch *Challenge) (*Outcome, error) {
 	outcome, ok := resp.(*Outcome)
 	if !ok {
 		return nil, fmt.Errorf("%w: %T to ConfirmTx", ErrUnexpectedResponse, resp)
+	}
+	// An outcome naming a different transaction cannot be the answer to
+	// this confirmation (crossed or damaged response).
+	if outcome.TxID != "" && outcome.TxID != ch.Tx.ID {
+		return nil, fmt.Errorf("%w: outcome for transaction %q, confirmed %q",
+			ErrUnexpectedResponse, outcome.TxID, ch.Tx.ID)
 	}
 	return outcome, nil
 }

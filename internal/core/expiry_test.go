@@ -1,0 +1,120 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// These tests pin the provider's challenge-lifetime behavior under a
+// virtual clock: expiry is enforced at redemption time (a proof that
+// arrives after the TTL is rejected even before any GC pass), the
+// opportunistic GC bounds pending state, and a confirmation arriving
+// after its challenge was collected gets a clean, retryable rejection.
+
+func TestConfirmAfterTTLRejectedBeforeGC(t *testing.T) {
+	r := newRig(t, nil)
+	resp, err := r.client.roundTrip(&SubmitTx{Tx: payment("tx-slow", "bob", 5_000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, ok := resp.(*Challenge)
+	if !ok {
+		t.Fatalf("response = %T", resp)
+	}
+
+	// The client dawdles past the 5-minute nonce TTL. No GC has run:
+	// the challenge is still in the pending map, but redeeming it must
+	// fail anyway.
+	r.clock.Sleep(6 * time.Minute)
+	if got := r.provider.PendingChallenges(); got != 1 {
+		t.Fatalf("pending = %d before confirm", got)
+	}
+	resp, err = r.client.roundTrip(&ConfirmTx{
+		Nonce: ch.Nonce, Confirmed: true, Mode: ModeQuote, Evidence: []byte{1, 2, 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outcome := resp.(*Outcome)
+	if outcome.Accepted {
+		t.Fatal("expired challenge redeemed")
+	}
+	if outcome.Reason != "challenge expired" {
+		t.Fatalf("reason = %q", outcome.Reason)
+	}
+	if !outcome.Retryable {
+		t.Fatal("expiry rejection not marked retryable")
+	}
+	st := r.provider.Stats()
+	if st.RejectedStale != 1 || st.ExpiredChallenges != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if got := r.provider.PendingChallenges(); got != 0 {
+		t.Fatalf("pending = %d after expired confirm", got)
+	}
+	if bal, _ := r.provider.Ledger().Balance("bob"); bal != 0 {
+		t.Fatalf("expired confirm moved money: bob = %d", bal)
+	}
+}
+
+func TestConfirmAfterChallengeCollected(t *testing.T) {
+	r := newRig(t, nil)
+	resp, err := r.client.roundTrip(&SubmitTx{Tx: payment("tx-gone", "bob", 5_000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := resp.(*Challenge)
+
+	r.clock.Sleep(10 * time.Minute)
+	if n := r.provider.GC(); n != 1 {
+		t.Fatalf("GC collected %d", n)
+	}
+	if st := r.provider.Stats(); st.ExpiredChallenges != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// The confirm for the collected challenge arrives late: the nonce
+	// is simply unknown now, and the rejection is retryable — a fresh
+	// session gets a fresh challenge.
+	resp, err = r.client.roundTrip(&ConfirmTx{
+		Nonce: ch.Nonce, Confirmed: true, Mode: ModeQuote, Evidence: []byte{1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outcome := resp.(*Outcome)
+	if outcome.Accepted {
+		t.Fatal("collected challenge redeemed")
+	}
+	if outcome.Reason != "unknown or expired challenge" {
+		t.Fatalf("reason = %q", outcome.Reason)
+	}
+	if !outcome.Retryable {
+		t.Fatal("post-GC rejection not marked retryable")
+	}
+	if st := r.provider.Stats(); st.RejectedStale != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestMaybeGCBoundsPendingState(t *testing.T) {
+	r := newRig(t, nil)
+	tx := payment("tx-dos", "bob", 5_000)
+	for i := 0; i < 5; i++ {
+		r.provider.issueChallenge(pendingChallenge{kind: pendingConfirm, tx: tx})
+	}
+	r.clock.Sleep(10 * time.Minute)
+
+	// 59 more issuances bring gcTick to 64: the opportunistic GC fires
+	// on the last one and collects the 5 stale challenges without any
+	// external GC call.
+	for i := 0; i < 59; i++ {
+		r.provider.issueChallenge(pendingChallenge{kind: pendingConfirm, tx: tx})
+	}
+	if got := r.provider.PendingChallenges(); got != 59 {
+		t.Fatalf("pending = %d after opportunistic GC", got)
+	}
+	if st := r.provider.Stats(); st.ExpiredChallenges != 5 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

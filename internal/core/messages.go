@@ -29,6 +29,9 @@ const (
 	MsgSubmitBatch
 	MsgBatchChallenge
 	MsgConfirmBatch
+	MsgFallbackRequest
+	MsgFallbackChallenge
+	MsgFallbackAnswer
 )
 
 // ConfirmMode selects how a confirmation is authenticated.
@@ -123,6 +126,11 @@ type Outcome struct {
 
 	// Token carries a human-presence token when one was granted.
 	Token string
+
+	// Retryable marks a rejection as transient (stale or expired
+	// challenge): a fresh session may well succeed, so the client's
+	// recovery layer should retry rather than give up or degrade.
+	Retryable bool
 }
 
 // PresenceRequest asks for a human-presence challenge (the CAPTCHA
@@ -250,6 +258,43 @@ type ConfirmBatch struct {
 	MAC []byte
 }
 
+// FallbackRequest reports that the client's trusted path failed
+// repeatedly and asks for the legacy CAPTCHA gate instead — the paper's
+// own baseline, kept as the graceful-degradation path.
+type FallbackRequest struct {
+	// PlatformID identifies the degrading client (for the audit trail).
+	PlatformID string
+
+	// Reason describes the last trusted-path failure.
+	Reason string
+
+	// Failures is the consecutive-failure count that triggered the
+	// downgrade.
+	Failures uint32
+}
+
+// FallbackChallenge is a CAPTCHA issued on the degraded path.
+type FallbackChallenge struct {
+	// ID identifies the challenge.
+	ID uint64
+
+	// Text is the transcription the human must produce.
+	Text string
+}
+
+// FallbackAnswer carries the transcription and the transaction to
+// execute under the weaker, CAPTCHA-gated regime.
+type FallbackAnswer struct {
+	// ID identifies the challenge being answered.
+	ID uint64
+
+	// Response is the human's transcription.
+	Response string
+
+	// Tx is the order to execute if the CAPTCHA passes.
+	Tx *Transaction
+}
+
 // putTxSlice appends a length-prefixed transaction sequence.
 func putTxSlice(b *cryptoutil.Buffer, txs []Transaction) {
 	b.PutUint32(uint32(len(txs)))
@@ -341,6 +386,7 @@ func EncodeMessage(msg any) ([]byte, error) {
 		b.PutString(m.Reason)
 		b.PutString(m.TxID)
 		b.PutString(m.Token)
+		b.PutBool(m.Retryable)
 	case *PresenceRequest:
 		b.PutUint8(uint8(MsgPresenceRequest))
 	case *PresenceChallenge:
@@ -391,6 +437,20 @@ func EncodeMessage(msg any) ([]byte, error) {
 		b.PutBytes(m.Evidence)
 		b.PutString(m.PlatformID)
 		b.PutBytes(m.MAC)
+	case *FallbackRequest:
+		b.PutUint8(uint8(MsgFallbackRequest))
+		b.PutString(m.PlatformID)
+		b.PutString(m.Reason)
+		b.PutUint32(m.Failures)
+	case *FallbackChallenge:
+		b.PutUint8(uint8(MsgFallbackChallenge))
+		b.PutUint64(m.ID)
+		b.PutString(m.Text)
+	case *FallbackAnswer:
+		b.PutUint8(uint8(MsgFallbackAnswer))
+		b.PutUint64(m.ID)
+		b.PutString(m.Response)
+		writeTransaction(b, m.Tx)
 	default:
 		return nil, fmt.Errorf("%w: unknown message type %T", ErrBadMessage, msg)
 	}
@@ -434,6 +494,7 @@ func DecodeMessage(data []byte) (any, error) {
 		m.Reason = r.String()
 		m.TxID = r.String()
 		m.Token = r.String()
+		m.Retryable = r.Bool()
 		msg = m
 	case MsgPresenceRequest:
 		msg = &PresenceRequest{}
@@ -495,6 +556,23 @@ func DecodeMessage(data []byte) (any, error) {
 		m.Evidence = r.Bytes()
 		m.PlatformID = r.String()
 		m.MAC = r.Bytes()
+		msg = m
+	case MsgFallbackRequest:
+		m := &FallbackRequest{}
+		m.PlatformID = r.String()
+		m.Reason = r.String()
+		m.Failures = r.Uint32()
+		msg = m
+	case MsgFallbackChallenge:
+		m := &FallbackChallenge{}
+		m.ID = r.Uint64()
+		m.Text = r.String()
+		msg = m
+	case MsgFallbackAnswer:
+		m := &FallbackAnswer{}
+		m.ID = r.Uint64()
+		m.Response = r.String()
+		m.Tx, err = readTransaction(r)
 		msg = m
 	default:
 		return nil, fmt.Errorf("%w: unknown type tag %d", ErrBadMessage, kind)

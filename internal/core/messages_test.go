@@ -33,12 +33,16 @@ func TestMessageRoundTrips(t *testing.T) {
 			PlatformID: "plat-1", MAC: []byte{9, 8, 7},
 		},
 		&Outcome{Accepted: true, Authentic: true, Reason: "ok", TxID: "tx-42", Token: "tok"},
+		&Outcome{Accepted: false, Reason: "unknown or expired challenge", Retryable: true},
 		&PresenceRequest{},
 		&PresenceChallenge{Nonce: nonce, Prompt: "press any key"},
 		&PresenceProof{Nonce: nonce, Evidence: []byte{4, 5}},
 		&ProvisionRequest{PlatformID: "plat-1"},
 		&ProvisionChallenge{Nonce: nonce, ProviderPubDER: []byte{0x30, 0x82}},
 		&ProvisionComplete{Nonce: nonce, PlatformID: "plat-1", EncKey: []byte{1}, Evidence: []byte{2}},
+		&FallbackRequest{PlatformID: "plat-1", Reason: "netsim: timeout", Failures: 3},
+		&FallbackChallenge{ID: 7, Text: "xk4g9"},
+		&FallbackAnswer{ID: 7, Response: "xk4g9", Tx: sampleTx()},
 	}
 	for _, msg := range msgs {
 		wire, err := EncodeMessage(msg)

@@ -10,7 +10,9 @@ import (
 	"time"
 
 	"unitp/internal/attest"
+	"unitp/internal/captcha"
 	"unitp/internal/cryptoutil"
+	"unitp/internal/metrics"
 	"unitp/internal/netsim"
 	"unitp/internal/sim"
 )
@@ -133,6 +135,18 @@ type ProviderStats struct {
 	LoginsRejected int
 	// BatchesConfirmed counts verified batch confirmations.
 	BatchesConfirmed int
+	// CorruptFrames counts undecodable requests — the footprint of
+	// in-flight corruption (or garbage from broken clients).
+	CorruptFrames int
+	// DowngradesRequested counts clients that fell back from the
+	// trusted path to the CAPTCHA gate.
+	DowngradesRequested int
+	// FallbackPassed counts transactions executed on the degraded,
+	// CAPTCHA-gated path.
+	FallbackPassed int
+	// FallbackFailed counts failed CAPTCHA answers on the degraded
+	// path.
+	FallbackFailed int
 }
 
 // pendingKind distinguishes outstanding challenges.
@@ -179,6 +193,11 @@ type ProviderConfig struct {
 	// transaction demands human confirmation. Zero means every
 	// transaction does.
 	ConfirmThresholdCents int64
+
+	// Captcha is the degraded-path challenge service. When nil, one is
+	// created from Random — set it only to share a service with a
+	// baseline experiment.
+	Captcha *captcha.Service
 }
 
 // Provider is the service-provider engine: it owns the ledger, issues
@@ -201,6 +220,9 @@ type Provider struct {
 	presence  map[string]bool     // issued presence tokens
 	creds     map[string][32]byte // username -> credential digest
 	platforms map[string]string   // account -> bound platform ID
+	captcha   *captcha.Service
+	fallback  map[uint64]Outcome // answered CAPTCHA IDs (idempotency)
+	counters  *metrics.CounterSet
 	stats     ProviderStats
 	thresh    int64
 	ttl       time.Duration
@@ -230,6 +252,10 @@ func NewProvider(cfg ProviderConfig) *Provider {
 	if ttl == 0 {
 		ttl = 5 * time.Minute
 	}
+	svc := cfg.Captcha
+	if svc == nil {
+		svc = captcha.NewService(rng.Fork("captcha"))
+	}
 	return &Provider{
 		name:      cfg.Name,
 		verifier:  attest.NewVerifier(cfg.CAPub),
@@ -245,6 +271,9 @@ func NewProvider(cfg ProviderConfig) *Provider {
 		presence:  make(map[string]bool),
 		creds:     make(map[string][32]byte),
 		platforms: make(map[string]string),
+		captcha:   svc,
+		fallback:  make(map[uint64]Outcome),
+		counters:  metrics.NewCounterSet(),
 		thresh:    cfg.ConfirmThresholdCents,
 		ttl:       ttl,
 	}
@@ -324,6 +353,17 @@ func (p *Provider) takePending(nonce attest.Nonce, kind pendingKind) (pendingCha
 		p.count(func(s *ProviderStats) { s.RejectedStale++ })
 		return pendingChallenge{}, nil, "unknown or expired challenge"
 	}
+	// Explicit TTL expiry: a proof that arrives after the challenge's
+	// lifetime is rejected even if the opportunistic GC has not run yet,
+	// so the expiry bound is enforced at redemption time, not just at
+	// collection time.
+	if p.clock.Now().Sub(pend.issuedAt) > p.ttl {
+		p.count(func(s *ProviderStats) {
+			s.RejectedStale++
+			s.ExpiredChallenges++
+		})
+		return pendingChallenge{}, nil, "challenge expired"
+	}
 	if err := p.nonces.Redeem(nonce); err != nil {
 		p.count(func(s *ProviderStats) { s.RejectedStale++ })
 		return pendingChallenge{}, nil, err.Error()
@@ -357,6 +397,10 @@ func (p *Provider) Stats() ProviderStats {
 	return p.stats
 }
 
+// Counters exposes the provider's named rejection counters (corrupt
+// frames, stale nonces, downgrades) for experiment tables.
+func (p *Provider) Counters() *metrics.CounterSet { return p.counters }
+
 // PublicKeyDER returns the provider's public key in PKCS#1 DER form, or
 // nil when provisioning is disabled.
 func (p *Provider) PublicKeyDER() []byte {
@@ -383,6 +427,12 @@ var _ netsim.Handler = (*Provider)(nil).Handle
 func (p *Provider) Handle(req []byte) ([]byte, error) {
 	msg, err := DecodeMessage(req)
 	if err != nil {
+		// An undecodable frame is either in-flight corruption or a
+		// broken client; count it so chaos experiments can report the
+		// rejection rate, then let the transport layer decide whether
+		// the sender retries.
+		p.count(func(s *ProviderStats) { s.CorruptFrames++ })
+		p.counters.Counter("corrupt-frames").Inc()
 		return nil, err
 	}
 	var resp any
@@ -407,6 +457,10 @@ func (p *Provider) Handle(req []byte) ([]byte, error) {
 		resp = p.handleSubmitBatch(m)
 	case *ConfirmBatch:
 		resp = p.handleConfirmBatch(m)
+	case *FallbackRequest:
+		resp = p.handleFallbackRequest(m)
+	case *FallbackAnswer:
+		resp = p.handleFallbackAnswer(m)
 	default:
 		return nil, fmt.Errorf("%w: unexpected %T", ErrBadMessage, msg)
 	}
@@ -444,7 +498,7 @@ func (p *Provider) handleConfirm(m *ConfirmTx) any {
 		return cached
 	}
 	if rejection != "" {
-		return &Outcome{Accepted: false, Reason: rejection}
+		return &Outcome{Accepted: false, Reason: rejection, Retryable: true}
 	}
 	return p.rememberOutcome(m.Nonce, p.confirmOutcome(m, pend))
 }
@@ -453,12 +507,17 @@ func (p *Provider) handleConfirm(m *ConfirmTx) any {
 // confirmation.
 func (p *Provider) confirmOutcome(m *ConfirmTx, pend pendingChallenge) *Outcome {
 	txDigest := pend.tx.Digest()
+	// Evidence that fails an integrity check is rejected as retryable: a
+	// bit flip in transit is indistinguishable from a forgery here, and
+	// letting the client run a fresh session is harmless — acceptance
+	// still requires valid evidence against a fresh nonce. Binding
+	// violations and authenticated user decisions stay final.
 	switch m.Mode {
 	case ModeQuote:
 		ev, err := attest.UnmarshalEvidence(m.Evidence)
 		if err != nil {
 			p.count(func(s *ProviderStats) { s.RejectedForged++ })
-			return &Outcome{Accepted: false, Reason: "malformed evidence", TxID: pend.tx.ID}
+			return &Outcome{Accepted: false, Reason: "malformed evidence", TxID: pend.tx.ID, Retryable: true}
 		}
 		binding := ConfirmationBinding(m.Nonce, txDigest, m.Confirmed)
 		res, err := p.verifier.Verify(ev, attest.Expectations{
@@ -467,7 +526,7 @@ func (p *Provider) confirmOutcome(m *ConfirmTx, pend pendingChallenge) *Outcome 
 		})
 		if err != nil {
 			p.count(func(s *ProviderStats) { s.RejectedForged++ })
-			return &Outcome{Accepted: false, Reason: "attestation failed: " + err.Error(), TxID: pend.tx.ID}
+			return &Outcome{Accepted: false, Reason: "attestation failed: " + err.Error(), TxID: pend.tx.ID, Retryable: true}
 		}
 		// Cuckoo/relay defence: the attesting platform must be the one
 		// bound to the debited account.
@@ -480,18 +539,18 @@ func (p *Provider) confirmOutcome(m *ConfirmTx, pend pendingChallenge) *Outcome 
 		p.mu.Unlock()
 		if !ok {
 			p.count(func(s *ProviderStats) { s.RejectedForged++ })
-			return &Outcome{Accepted: false, Reason: "platform has no provisioned key", TxID: pend.tx.ID}
+			return &Outcome{Accepted: false, Reason: "platform has no provisioned key", TxID: pend.tx.ID, Retryable: true}
 		}
 		if !cryptoutil.VerifyHMACSHA256(key, MACMessage(m.Nonce, txDigest, m.Confirmed), m.MAC) {
 			p.count(func(s *ProviderStats) { s.RejectedForged++ })
-			return &Outcome{Accepted: false, Reason: "confirmation MAC invalid", TxID: pend.tx.ID}
+			return &Outcome{Accepted: false, Reason: "confirmation MAC invalid", TxID: pend.tx.ID, Retryable: true}
 		}
 		if reason := p.checkPlatformBinding(pend.tx.From, m.PlatformID); reason != "" {
 			return &Outcome{Accepted: false, Reason: reason, TxID: pend.tx.ID}
 		}
 	default:
 		p.count(func(s *ProviderStats) { s.RejectedForged++ })
-		return &Outcome{Accepted: false, Reason: "unknown confirmation mode", TxID: pend.tx.ID}
+		return &Outcome{Accepted: false, Reason: "unknown confirmation mode", TxID: pend.tx.ID, Retryable: true}
 	}
 
 	// The decision is authenticated: record it (approvals AND denials —
@@ -530,7 +589,7 @@ func (p *Provider) handlePresenceProof(m *PresenceProof) any {
 		return cached
 	}
 	if rejection != "" {
-		return &Outcome{Accepted: false, Reason: rejection}
+		return &Outcome{Accepted: false, Reason: rejection, Retryable: true}
 	}
 	return p.rememberOutcome(m.Nonce, p.presenceOutcome(m))
 }
@@ -540,7 +599,7 @@ func (p *Provider) presenceOutcome(m *PresenceProof) *Outcome {
 	ev, err := attest.UnmarshalEvidence(m.Evidence)
 	if err != nil {
 		p.count(func(s *ProviderStats) { s.PresenceRejected++ })
-		return &Outcome{Accepted: false, Reason: "malformed evidence"}
+		return &Outcome{Accepted: false, Reason: "malformed evidence", Retryable: true}
 	}
 	_, err = p.verifier.Verify(ev, attest.Expectations{
 		Nonce:         m.Nonce,
@@ -548,7 +607,7 @@ func (p *Provider) presenceOutcome(m *PresenceProof) *Outcome {
 	})
 	if err != nil {
 		p.count(func(s *ProviderStats) { s.PresenceRejected++ })
-		return &Outcome{Accepted: false, Reason: "attestation failed: " + err.Error()}
+		return &Outcome{Accepted: false, Reason: "attestation failed: " + err.Error(), Retryable: true}
 	}
 	token := fmt.Sprintf("presence-%016x", p.rng.Uint64())
 	p.mu.Lock()
@@ -578,7 +637,7 @@ func (p *Provider) handleProvisionComplete(m *ProvisionComplete) any {
 		return cached
 	}
 	if rejection != "" {
-		return &Outcome{Accepted: false, Reason: rejection}
+		return &Outcome{Accepted: false, Reason: rejection, Retryable: true}
 	}
 	return p.rememberOutcome(m.Nonce, p.provisionOutcome(m))
 }
@@ -588,7 +647,7 @@ func (p *Provider) provisionOutcome(m *ProvisionComplete) *Outcome {
 	ev, err := attest.UnmarshalEvidence(m.Evidence)
 	if err != nil {
 		p.count(func(s *ProviderStats) { s.RejectedForged++ })
-		return &Outcome{Accepted: false, Reason: "malformed evidence"}
+		return &Outcome{Accepted: false, Reason: "malformed evidence", Retryable: true}
 	}
 	binding := ProvisionBinding(m.Nonce, cryptoutil.SHA1(m.EncKey))
 	res, err := p.verifier.Verify(ev, attest.Expectations{
@@ -597,7 +656,7 @@ func (p *Provider) provisionOutcome(m *ProvisionComplete) *Outcome {
 	})
 	if err != nil {
 		p.count(func(s *ProviderStats) { s.RejectedForged++ })
-		return &Outcome{Accepted: false, Reason: "attestation failed: " + err.Error()}
+		return &Outcome{Accepted: false, Reason: "attestation failed: " + err.Error(), Retryable: true}
 	}
 	if res.PlatformID != m.PlatformID {
 		p.count(func(s *ProviderStats) { s.RejectedForged++ })
@@ -606,13 +665,87 @@ func (p *Provider) provisionOutcome(m *ProvisionComplete) *Outcome {
 	key, err := rsa.DecryptOAEP(sha256.New(), nil, p.key, m.EncKey, oaepLabel)
 	if err != nil {
 		p.count(func(s *ProviderStats) { s.RejectedForged++ })
-		return &Outcome{Accepted: false, Reason: "key transport failed"}
+		return &Outcome{Accepted: false, Reason: "key transport failed", Retryable: true}
 	}
 	p.mu.Lock()
 	p.hmacKeys[m.PlatformID] = key
 	p.stats.Provisioned++
 	p.mu.Unlock()
 	return &Outcome{Accepted: true, Authentic: true, Reason: "key provisioned"}
+}
+
+// handleFallbackRequest starts the degraded path: a client whose trusted
+// path keeps failing asks for the legacy CAPTCHA gate. The downgrade
+// itself is recorded in the tamper-evident audit log — a dispute over a
+// CAPTCHA-gated transfer must be able to show when and why the strong
+// mechanism was bypassed.
+func (p *Provider) handleFallbackRequest(m *FallbackRequest) any {
+	p.count(func(s *ProviderStats) { s.DowngradesRequested++ })
+	p.counters.Counter("downgrades").Inc()
+	p.audit.Append(AuditEntry{
+		Kind: AuditDowngrade,
+		At:   p.clock.Now(),
+		Note: fmt.Sprintf("platform %q degraded to captcha after %d trusted-path failures: %s",
+			m.PlatformID, m.Failures, m.Reason),
+	})
+	ch := p.captcha.Issue()
+	return &FallbackChallenge{ID: ch.ID, Text: ch.Text}
+}
+
+// handleFallbackAnswer grades a CAPTCHA answer and, on success, executes
+// the transaction under the weaker regime: Accepted but explicitly not
+// Authentic, and audit-logged as a fallback execution with no evidence.
+func (p *Provider) handleFallbackAnswer(m *FallbackAnswer) any {
+	p.mu.Lock()
+	if prev, ok := p.fallback[m.ID]; ok {
+		// A retransmitted answer (lost response) replays the recorded
+		// outcome; the transaction never executes twice.
+		p.mu.Unlock()
+		replay := prev
+		return &replay
+	}
+	p.mu.Unlock()
+
+	passed, err := p.captcha.Answer(m.ID, m.Response)
+	if err != nil {
+		p.count(func(s *ProviderStats) { s.FallbackFailed++ })
+		return &Outcome{Accepted: false, Reason: "unknown or expired challenge", Retryable: true}
+	}
+	outcome := p.fallbackOutcome(m, passed)
+	p.mu.Lock()
+	p.fallback[m.ID] = *outcome
+	p.mu.Unlock()
+	return outcome
+}
+
+// fallbackOutcome computes the outcome of a live (non-replayed) CAPTCHA
+// answer.
+func (p *Provider) fallbackOutcome(m *FallbackAnswer, passed bool) *Outcome {
+	if !passed {
+		p.count(func(s *ProviderStats) { s.FallbackFailed++ })
+		return &Outcome{Accepted: false, Reason: "captcha failed", TxID: safeTxID(m.Tx), Retryable: true}
+	}
+	if m.Tx == nil {
+		p.count(func(s *ProviderStats) { s.FallbackFailed++ })
+		return &Outcome{Accepted: false, Reason: "missing transaction"}
+	}
+	if err := m.Tx.Validate(); err != nil {
+		p.count(func(s *ProviderStats) { s.FallbackFailed++ })
+		return &Outcome{Accepted: false, Reason: err.Error(), TxID: m.Tx.ID}
+	}
+	if err := p.ledger.Apply(m.Tx); err != nil {
+		p.count(func(s *ProviderStats) { s.LedgerRejected++ })
+		return &Outcome{Accepted: false, Reason: err.Error(), TxID: m.Tx.ID}
+	}
+	p.audit.Append(AuditEntry{
+		Kind:     AuditFallbackTx,
+		At:       p.clock.Now(),
+		TxID:     m.Tx.ID,
+		TxDigest: m.Tx.Digest(),
+		Note:     "executed on captcha-gated fallback path (no attestation)",
+	})
+	p.count(func(s *ProviderStats) { s.FallbackPassed++ })
+	return &Outcome{Accepted: true, Authentic: false, Reason: "captcha passed (degraded path)", TxID: m.Tx.ID}
 }
 
 // count applies a mutation to the stats under the lock.

@@ -103,7 +103,7 @@ func (p *Provider) handleLoginProof(m *LoginProof) any {
 		return cached
 	}
 	if rejection != "" {
-		return &Outcome{Accepted: false, Reason: rejection}
+		return &Outcome{Accepted: false, Reason: rejection, Retryable: true}
 	}
 	return p.rememberOutcome(m.Nonce, p.loginOutcome(m, pend))
 }
@@ -167,7 +167,7 @@ func (p *Provider) handleConfirmBatch(m *ConfirmBatch) any {
 		return cached
 	}
 	if rejection != "" {
-		return &Outcome{Accepted: false, Reason: rejection}
+		return &Outcome{Accepted: false, Reason: rejection, Retryable: true}
 	}
 	return p.rememberOutcome(m.Nonce, p.batchOutcome(m, pend))
 }
@@ -189,7 +189,10 @@ func (p *Provider) batchOutcome(m *ConfirmBatch, pend pendingChallenge) *Outcome
 			ExpectedPCR23: ExpectedAppPCR(binding),
 		}, BatchPALName)
 		if failReason != "" {
-			return &Outcome{Accepted: false, Reason: failReason}
+			// Integrity failures are retryable: transit corruption and
+			// forgery look alike, and a fresh session is harmless (see
+			// confirmOutcome).
+			return &Outcome{Accepted: false, Reason: failReason, Retryable: true}
 		}
 		attestingPlatform = res.PlatformID
 	case ModeHMAC:
@@ -198,15 +201,15 @@ func (p *Provider) batchOutcome(m *ConfirmBatch, pend pendingChallenge) *Outcome
 		p.mu.Unlock()
 		if !ok {
 			p.count(func(s *ProviderStats) { s.RejectedForged++ })
-			return &Outcome{Accepted: false, Reason: "platform has no provisioned key"}
+			return &Outcome{Accepted: false, Reason: "platform has no provisioned key", Retryable: true}
 		}
 		if !verifyBindingMAC(key, binding, m.MAC) {
 			p.count(func(s *ProviderStats) { s.RejectedForged++ })
-			return &Outcome{Accepted: false, Reason: "batch MAC invalid"}
+			return &Outcome{Accepted: false, Reason: "batch MAC invalid", Retryable: true}
 		}
 	default:
 		p.count(func(s *ProviderStats) { s.RejectedForged++ })
-		return &Outcome{Accepted: false, Reason: "unknown confirmation mode"}
+		return &Outcome{Accepted: false, Reason: "unknown confirmation mode", Retryable: true}
 	}
 
 	// Cuckoo/relay defence across the whole batch.

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"testing"
+
+	"unitp/internal/netsim"
+)
+
+// TestChaosEveryLinkDeterministic runs the full submit→challenge→confirm
+// flow under a combined drop+duplicate+reorder+corrupt plan on every
+// link profile, twice per profile with the same seed: the summaries —
+// including latency percentiles — must be bit-identical, and the layered
+// retries must still land most transactions.
+func TestChaosEveryLinkDeterministic(t *testing.T) {
+	const rate = 0.15 // 3.75% each of drop, duplicate, reorder, corrupt
+	const txs = 3
+	totalInjected := 0
+	for li, link := range netsim.Links() {
+		seed := seedFor("chaos-test", li)
+		a, err := runChaosCell(seed, link, rate, txs)
+		if err != nil {
+			t.Fatalf("%s: first run: %v", link.Name, err)
+		}
+		b, err := runChaosCell(seed, link, rate, txs)
+		if err != nil {
+			t.Fatalf("%s: second run: %v", link.Name, err)
+		}
+		if *a != *b {
+			t.Fatalf("%s: seeded runs diverged:\n  %+v\n  %+v", link.Name, a, b)
+		}
+		if a.Transactions != txs || a.Completed+a.Downgraded+a.Failed != txs {
+			t.Fatalf("%s: summary does not account for all txs: %+v", link.Name, a)
+		}
+		if a.Completed+a.Downgraded == 0 {
+			t.Fatalf("%s: nothing survived moderate fault injection: %+v", link.Name, a)
+		}
+		totalInjected += a.FaultsInjected
+	}
+	// A cell with few frames can dodge injection by chance; across all
+	// profiles the plans must have fired.
+	if totalInjected == 0 {
+		t.Fatalf("no faults injected across any link at rate %.2f", rate)
+	}
+}
+
+// TestChaosCleanCellAllTrustedPath pins the sweep's zero-fault corner:
+// no downgrades, no failures, one session per transaction.
+func TestChaosCleanCellAllTrustedPath(t *testing.T) {
+	cell, err := runChaosCell(seedFor("chaos-clean", 0), netsim.LinkBroadband(), 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell.Completed != 4 || cell.Downgraded != 0 || cell.Failed != 0 {
+		t.Fatalf("clean cell = %+v", cell)
+	}
+	if cell.SessionAttempts != 4 {
+		t.Fatalf("clean cell needed %d sessions for 4 txs", cell.SessionAttempts)
+	}
+	if cell.FaultsInjected != 0 {
+		t.Fatalf("clean cell injected %d faults", cell.FaultsInjected)
+	}
+}

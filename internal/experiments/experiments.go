@@ -54,6 +54,7 @@ func All() []Runner {
 		{ID: "f6", Title: "Figure F6: batch confirmation amortization", Run: RunF6},
 		{ID: "f7", Title: "Figure F7: population-scale fraud vs infection rate", Run: RunF7},
 		{ID: "f8", Title: "Figure F8: human-factors boundary (carelessness sweep)", Run: RunF8},
+		{ID: "f9", Title: "Figure F9: chaos sweep (fault injection, retry, degradation)", Run: RunF9},
 	}
 }
 

@@ -1,0 +1,290 @@
+// Package faults is the deterministic fault-injection substrate for the
+// trusted-path protocol: a Plan decides, per message traversal, whether
+// the network drops, duplicates, reorders, corrupts, delays, or resets
+// the frame. Plans plug into netsim.Pipe via the netsim.Injector hook,
+// are driven entirely by sim.Rand (same seed → same fault sequence), and
+// combine probabilistic rates with exactly scheduled events, so chaos
+// experiments are reproducible and regression tests can place a specific
+// fault on a specific frame.
+package faults
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"unitp/internal/netsim"
+	"unitp/internal/sim"
+)
+
+// Kind enumerates the injectable fault classes.
+type Kind int
+
+// Fault kinds.
+const (
+	// None delivers the frame untouched.
+	None Kind = iota
+
+	// Drop loses the frame.
+	Drop
+
+	// Duplicate delivers a request twice.
+	Duplicate
+
+	// Reorder holds a request back so it arrives after a newer one.
+	Reorder
+
+	// Corrupt flips bits in the payload.
+	Corrupt
+
+	// Delay adds a latency spike.
+	Delay
+
+	// Reset aborts the round trip like a TCP RST.
+	Reset
+)
+
+// String names the kind for tables.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Drop:
+		return "drop"
+	case Duplicate:
+		return "duplicate"
+	case Reorder:
+		return "reorder"
+	case Corrupt:
+		return "corrupt"
+	case Delay:
+		return "delay"
+	case Reset:
+		return "reset"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Rates is a probabilistic fault mix for one direction. Probabilities
+// are evaluated in declaration order and are mutually exclusive per
+// frame (at most one fault fires per traversal).
+type Rates struct {
+	// Drop is the probability of losing the frame.
+	Drop float64
+
+	// Duplicate is the probability of delivering a request twice.
+	Duplicate float64
+
+	// Reorder is the probability of holding a request for late
+	// delivery.
+	Reorder float64
+
+	// Corrupt is the probability of flipping bits in flight.
+	Corrupt float64
+
+	// Reset is the probability of a connection reset.
+	Reset float64
+
+	// DelayProb is the probability of a latency spike of
+	// [DelayMin, DelayMax].
+	DelayProb float64
+
+	// DelayMin and DelayMax bound an injected spike.
+	DelayMin, DelayMax time.Duration
+}
+
+// Uniform spreads one total fault rate evenly across drop, duplicate,
+// reorder, and corrupt — the chaos-sweep axis: every fault class is
+// exercised at every point of the sweep.
+func Uniform(total float64) Rates {
+	p := total / 4
+	return Rates{Drop: p, Duplicate: p, Reorder: p, Corrupt: p}
+}
+
+// Mild models an unreliable consumer path: mostly loss and delay.
+func Mild() Rates {
+	return Rates{
+		Drop: 0.02, Duplicate: 0.005, Corrupt: 0.002,
+		DelayProb: 0.05, DelayMin: 50 * time.Millisecond, DelayMax: 400 * time.Millisecond,
+	}
+}
+
+// Harsh models a hostile or badly degraded path.
+func Harsh() Rates {
+	return Rates{
+		Drop: 0.10, Duplicate: 0.03, Reorder: 0.03, Corrupt: 0.03, Reset: 0.01,
+		DelayProb: 0.10, DelayMin: 100 * time.Millisecond, DelayMax: 1500 * time.Millisecond,
+	}
+}
+
+// Event schedules one exact injection: the n-th traversal (0-based,
+// counted per direction) suffers the given fault. Scheduled events take
+// precedence over the probabilistic rates.
+type Event struct {
+	// At is the 0-based traversal index in the event's direction.
+	At int
+
+	// Dir selects which direction's counter At indexes.
+	Dir netsim.Direction
+
+	// Kind is the fault to inject.
+	Kind Kind
+
+	// Delay is the spike size when Kind == Delay.
+	Delay time.Duration
+}
+
+// Stats counts what a plan injected, by kind.
+type Stats struct {
+	// Messages counts traversals inspected (both directions).
+	Messages int
+
+	// Injected counts faults by kind.
+	Injected map[Kind]int
+}
+
+// Plan is a deterministic fault schedule implementing netsim.Injector.
+// Safe for concurrent use.
+type Plan struct {
+	mu       sync.Mutex
+	rng      *sim.Rand
+	request  Rates
+	response Rates
+	events   map[netsim.Direction]map[int]Event
+	seen     map[netsim.Direction]int
+	stats    Stats
+}
+
+var _ netsim.Injector = (*Plan)(nil)
+
+// NewPlan builds a plan with per-direction probabilistic rates. The rng
+// must be dedicated to this plan (fork it from the experiment root) so
+// fault decisions do not perturb other subsystems' streams.
+func NewPlan(rng *sim.Rand, request, response Rates) *Plan {
+	if rng == nil {
+		rng = sim.NewRand(0xFA17)
+	}
+	return &Plan{
+		rng:      rng,
+		request:  request,
+		response: response,
+		events: map[netsim.Direction]map[int]Event{
+			netsim.DirRequest:  {},
+			netsim.DirResponse: {},
+		},
+		seen:  map[netsim.Direction]int{},
+		stats: Stats{Injected: map[Kind]int{}},
+	}
+}
+
+// Schedule registers an exact injection. Later registrations for the
+// same slot win.
+func (p *Plan) Schedule(e Event) *Plan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.events[e.Dir][e.At] = e
+	return p
+}
+
+// Stats returns a copy of the injection counters.
+func (p *Plan) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := Stats{Messages: p.stats.Messages, Injected: map[Kind]int{}}
+	for k, v := range p.stats.Injected {
+		out.Injected[k] = v
+	}
+	return out
+}
+
+// Inject implements netsim.Injector.
+func (p *Plan) Inject(dir netsim.Direction, payload []byte) ([]byte, netsim.Action) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	idx := p.seen[dir]
+	p.seen[dir]++
+	p.stats.Messages++
+
+	kind, delay := p.decide(dir, idx)
+	if kind != None {
+		p.stats.Injected[kind]++
+	}
+	switch kind {
+	case Drop:
+		return payload, netsim.Action{Drop: true}
+	case Duplicate:
+		if dir == netsim.DirRequest {
+			return payload, netsim.Action{Duplicate: true}
+		}
+		// A duplicated response is indistinguishable from a clean
+		// delivery in a synchronous round trip; deliver it.
+		return payload, netsim.Action{}
+	case Reorder:
+		if dir == netsim.DirRequest {
+			return payload, netsim.Action{Reorder: true}
+		}
+		return payload, netsim.Action{}
+	case Corrupt:
+		return p.corrupt(payload), netsim.Action{Corrupt: true}
+	case Delay:
+		return payload, netsim.Action{Delay: delay}
+	case Reset:
+		return payload, netsim.Action{Reset: true}
+	default:
+		return payload, netsim.Action{}
+	}
+}
+
+// decide picks the fault for one traversal. Must be called with p.mu
+// held.
+func (p *Plan) decide(dir netsim.Direction, idx int) (Kind, time.Duration) {
+	if e, ok := p.events[dir][idx]; ok {
+		return e.Kind, e.Delay
+	}
+	rates := p.request
+	if dir == netsim.DirResponse {
+		rates = p.response
+	}
+	// One uniform draw against cumulative rates keeps the per-frame
+	// fault classes mutually exclusive and the stream consumption
+	// constant (one draw per frame, plus extras only when a fault with
+	// parameters fires).
+	u := p.rng.Float64()
+	cum := 0.0
+	step := func(prob float64) bool {
+		cum += prob
+		return u < cum
+	}
+	switch {
+	case step(rates.Drop):
+		return Drop, 0
+	case step(rates.Duplicate):
+		return Duplicate, 0
+	case step(rates.Reorder):
+		return Reorder, 0
+	case step(rates.Corrupt):
+		return Corrupt, 0
+	case step(rates.Reset):
+		return Reset, 0
+	case step(rates.DelayProb):
+		return Delay, p.rng.Duration(rates.DelayMin, rates.DelayMax)
+	default:
+		return None, 0
+	}
+}
+
+// corrupt flips one to three bits in a copy of the payload. Must be
+// called with p.mu held.
+func (p *Plan) corrupt(payload []byte) []byte {
+	if len(payload) == 0 {
+		return payload
+	}
+	out := append([]byte(nil), payload...)
+	flips := 1 + p.rng.Intn(3)
+	for i := 0; i < flips; i++ {
+		pos := p.rng.Intn(len(out))
+		out[pos] ^= byte(1 << p.rng.Intn(8))
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+package faults
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"unitp/internal/netsim"
+	"unitp/internal/sim"
+)
+
+func TestScheduledEventsFireExactly(t *testing.T) {
+	plan := NewPlan(sim.NewRand(1), Rates{}, Rates{}).
+		Schedule(Event{At: 0, Dir: netsim.DirRequest, Kind: Drop}).
+		Schedule(Event{At: 2, Dir: netsim.DirRequest, Kind: Corrupt}).
+		Schedule(Event{At: 0, Dir: netsim.DirResponse, Kind: Delay, Delay: time.Second})
+
+	payload := []byte("frame")
+	if _, act := plan.Inject(netsim.DirRequest, payload); !act.Drop {
+		t.Fatalf("req 0: %+v", act)
+	}
+	if _, act := plan.Inject(netsim.DirRequest, payload); act != (netsim.Action{}) {
+		t.Fatalf("req 1: %+v", act)
+	}
+	mutated, act := plan.Inject(netsim.DirRequest, payload)
+	if !act.Corrupt || bytes.Equal(mutated, payload) {
+		t.Fatalf("req 2: %+v payload %q", act, mutated)
+	}
+	if _, act := plan.Inject(netsim.DirResponse, payload); act.Delay != time.Second {
+		t.Fatalf("resp 0: %+v", act)
+	}
+
+	st := plan.Stats()
+	if st.Messages != 4 || st.Injected[Drop] != 1 || st.Injected[Corrupt] != 1 || st.Injected[Delay] != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSameSeedSameFaultSequence(t *testing.T) {
+	run := func() []netsim.Action {
+		plan := NewPlan(sim.NewRand(42), Harsh(), Mild())
+		var acts []netsim.Action
+		for i := 0; i < 200; i++ {
+			_, act := plan.Inject(netsim.DirRequest, []byte("abcdefgh"))
+			acts = append(acts, act)
+			_, act = plan.Inject(netsim.DirResponse, []byte("response"))
+			acts = append(acts, act)
+		}
+		return acts
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sequence diverged at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestUniformSpreadsAcrossKinds(t *testing.T) {
+	plan := NewPlan(sim.NewRand(7), Uniform(0.4), Rates{})
+	for i := 0; i < 4000; i++ {
+		plan.Inject(netsim.DirRequest, []byte("xxxxxxxxxxxxxxxx"))
+	}
+	st := plan.Stats()
+	for _, k := range []Kind{Drop, Duplicate, Reorder, Corrupt} {
+		got := st.Injected[k]
+		// 0.1 each over 4000 frames: expect ~400, accept a wide band.
+		if got < 250 || got > 550 {
+			t.Fatalf("%v fired %d times, want ~400 (stats %+v)", k, got, st.Injected)
+		}
+	}
+	if st.Injected[Reset] != 0 || st.Injected[Delay] != 0 {
+		t.Fatalf("unexpected kinds fired: %+v", st.Injected)
+	}
+}
+
+func TestResponseDirectionNeverDuplicatesOrReorders(t *testing.T) {
+	plan := NewPlan(sim.NewRand(9), Rates{}, Rates{Duplicate: 1})
+	_, act := plan.Inject(netsim.DirResponse, []byte("r"))
+	if act.Duplicate || act.Reorder {
+		t.Fatalf("response action = %+v", act)
+	}
+	plan2 := NewPlan(sim.NewRand(9), Rates{}, Rates{Reorder: 1})
+	if _, act := plan2.Inject(netsim.DirResponse, []byte("r")); act.Reorder {
+		t.Fatalf("response action = %+v", act)
+	}
+}
+
+func TestCorruptAlwaysChangesPayload(t *testing.T) {
+	plan := NewPlan(sim.NewRand(3), Rates{Corrupt: 1}, Rates{})
+	orig := []byte("uni-directional trusted path")
+	for i := 0; i < 50; i++ {
+		got, act := plan.Inject(netsim.DirRequest, orig)
+		if !act.Corrupt {
+			t.Fatalf("frame %d not corrupted", i)
+		}
+		if bytes.Equal(got, orig) {
+			t.Fatalf("frame %d: corruption produced identical payload", i)
+		}
+		if string(orig) != "uni-directional trusted path" {
+			t.Fatal("original payload mutated in place")
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k, want := range map[Kind]string{
+		None: "none", Drop: "drop", Duplicate: "duplicate", Reorder: "reorder",
+		Corrupt: "corrupt", Delay: "delay", Reset: "reset", Kind(99): "kind(99)",
+	} {
+		if k.String() != want {
+			t.Fatalf("%d.String() = %q", int(k), k.String())
+		}
+	}
+}
+
+func TestPlanThroughPipeEndToEnd(t *testing.T) {
+	// A plan with heavy loss+corruption on a pipe still completes under
+	// the retry policy, and the pipe's counters reflect the injections.
+	clock := sim.NewVirtualClock()
+	plan := NewPlan(sim.NewRand(11), Rates{Drop: 0.3, Corrupt: 0.2}, Rates{Drop: 0.1})
+	pipe := netsim.NewPipe(netsim.Config{
+		Clock:  clock,
+		Random: sim.NewRand(12),
+		Link:   netsim.LinkLoopback(),
+		Retry:  &netsim.RetryPolicy{MaxAttempts: 30, AttemptTimeout: 100 * time.Millisecond},
+		Faults: plan,
+	}, func(req []byte) ([]byte, error) {
+		if !bytes.Equal(req, []byte("ping")) {
+			return nil, netsim.ErrCorruptFrame
+		}
+		return []byte("pong"), nil
+	})
+	for i := 0; i < 40; i++ {
+		resp, err := pipe.RoundTrip([]byte("ping"))
+		if err != nil {
+			t.Fatalf("round trip %d: %v", i, err)
+		}
+		if !bytes.Equal(resp, []byte("pong")) {
+			t.Fatalf("round trip %d: resp %q", i, resp)
+		}
+	}
+	st := pipe.FaultStats()
+	if st.Lost == 0 || st.Corrupted == 0 {
+		t.Fatalf("no faults landed: %+v", st)
+	}
+}

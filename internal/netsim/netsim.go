@@ -3,6 +3,15 @@
 // modelled latency, jitter, and loss charged to the simulation clock,
 // plus a length-prefixed frame codec for running the same protocol over
 // real TCP connections (cmd/tpserver, cmd/tpclient).
+//
+// The transport exposes two fault-handling layers. An Injector hook
+// (implemented by internal/faults) decides the fate of each message
+// traversal — drop, duplicate, reorder, corrupt, delay, or reset — so
+// chaos experiments can subject the protocol to adversarial network
+// conditions without touching call sites. A RetryPolicy governs how the
+// sender reacts: exponential backoff with jitter, per-attempt timeout
+// charging, an overall deadline, and classification of retryable vs.
+// fatal errors.
 package netsim
 
 import (
@@ -10,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"unitp/internal/sim"
@@ -17,12 +27,34 @@ import (
 
 // Transport errors.
 var (
-	// ErrTimeout is returned when a request exhausts its retries.
+	// ErrTimeout is returned when a message (or its response) is lost
+	// and the sender's per-attempt timer expires.
 	ErrTimeout = errors.New("netsim: request timed out")
+
+	// ErrReset is returned when the connection is reset mid round trip.
+	ErrReset = errors.New("netsim: connection reset")
+
+	// ErrCorruptFrame is returned when a frame was damaged in flight and
+	// the peer could not parse it.
+	ErrCorruptFrame = errors.New("netsim: frame corrupted in flight")
+
+	// ErrDeadline is returned when a retry sequence exhausts its overall
+	// deadline before any attempt succeeds.
+	ErrDeadline = errors.New("netsim: retry deadline exceeded")
 
 	// ErrFrameTooLarge is returned for frames above MaxFrameSize.
 	ErrFrameTooLarge = errors.New("netsim: frame exceeds maximum size")
 )
+
+// RemoteError is a handler-side error reported back to the sender as an
+// error frame instead of tearing down the connection (see Serve).
+type RemoteError struct {
+	// Msg is the peer's error text.
+	Msg string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string { return "netsim: remote error: " + e.Msg }
 
 // Transport is a synchronous request/response channel to a remote peer —
 // the shape of the paper's client↔provider interaction (HTTPS POST-like).
@@ -33,6 +65,59 @@ type Transport interface {
 
 // Handler processes one request on the server side.
 type Handler func(req []byte) ([]byte, error)
+
+// Direction labels which half of a round trip a message traversal is on.
+type Direction int
+
+// Traversal directions.
+const (
+	// DirRequest is the client→provider half.
+	DirRequest Direction = iota
+
+	// DirResponse is the provider→client half.
+	DirResponse
+)
+
+// String names the direction for fault-plan tables.
+func (d Direction) String() string {
+	if d == DirRequest {
+		return "request"
+	}
+	return "response"
+}
+
+// Action is an Injector's verdict on one message traversal. The zero
+// value delivers the message untouched.
+type Action struct {
+	// Drop loses the message; the sender's attempt times out.
+	Drop bool
+
+	// Duplicate delivers the request twice (request direction only) —
+	// the peer's idempotency machinery is what keeps this harmless.
+	Duplicate bool
+
+	// Reorder holds this request back and delivers a previously held
+	// one in its place (request direction only), so stale frames arrive
+	// after newer ones.
+	Reorder bool
+
+	// Corrupt marks that the injector mutated the payload in flight.
+	Corrupt bool
+
+	// Reset aborts the round trip with ErrReset after a short charge.
+	Reset bool
+
+	// Delay is extra one-way latency (a congestion spike).
+	Delay time.Duration
+}
+
+// Injector decides the fate of each message traversal. Implementations
+// must be deterministic given their seed and safe for concurrent use.
+// The returned payload replaces the original (corruption); return it
+// unchanged when Action.Corrupt is false.
+type Injector interface {
+	Inject(dir Direction, payload []byte) ([]byte, Action)
+}
 
 // Link models one network path's conditions.
 type Link struct {
@@ -96,8 +181,32 @@ type Config struct {
 	// (defaults to 2 s).
 	Timeout time.Duration
 
-	// MaxRetries bounds retransmissions (defaults to 3).
+	// MaxRetries bounds retransmissions (defaults to 3). Ignored when
+	// Retry is set.
 	MaxRetries int
+
+	// Retry, when non-nil, replaces the legacy fixed-timeout retry loop
+	// with a full policy (backoff, jitter, deadline, classification).
+	Retry *RetryPolicy
+
+	// Faults, when non-nil, is consulted on every message traversal.
+	Faults Injector
+}
+
+// PipeStats counts what the link did to traffic.
+type PipeStats struct {
+	// Sent counts request attempts entering the link.
+	Sent int
+	// Lost counts messages dropped (modelled loss or injected drops).
+	Lost int
+	// Corrupted counts payloads mutated in flight.
+	Corrupted int
+	// Duplicated counts requests delivered twice.
+	Duplicated int
+	// Reordered counts requests held back for late delivery.
+	Reordered int
+	// Resets counts injected connection resets.
+	Resets int
 }
 
 // Pipe is an in-memory Transport delivering requests to a Handler across
@@ -107,11 +216,13 @@ type Pipe struct {
 	rng     *sim.Rand
 	link    Link
 	timeout time.Duration
-	retries int
+	retry   RetryPolicy
+	faults  Injector
 	handler Handler
 
-	// stats
-	sent, lost int
+	mu      sync.Mutex
+	stats   PipeStats
+	heldReq []byte // reorder stash: a request frame still "in flight"
 }
 
 // NewPipe connects a transport to a handler.
@@ -128,12 +239,28 @@ func NewPipe(cfg Config, handler Handler) *Pipe {
 	if cfg.MaxRetries <= 0 {
 		cfg.MaxRetries = 3
 	}
+	retry := RetryPolicy{}
+	if cfg.Retry != nil {
+		retry = *cfg.Retry
+	} else {
+		// Legacy semantics: immediate retransmission, no backoff, the
+		// per-attempt timeout is the only cost of a loss.
+		retry = RetryPolicy{
+			MaxAttempts:    cfg.MaxRetries + 1,
+			AttemptTimeout: cfg.Timeout,
+		}
+	}
+	retry.normalize()
+	if retry.AttemptTimeout > 0 {
+		cfg.Timeout = retry.AttemptTimeout
+	}
 	return &Pipe{
 		clock:   cfg.Clock,
 		rng:     cfg.Random,
 		link:    cfg.Link,
 		timeout: cfg.Timeout,
-		retries: cfg.MaxRetries,
+		retry:   retry,
+		faults:  cfg.Faults,
 		handler: handler,
 	}
 }
@@ -146,40 +273,137 @@ func (p *Pipe) oneWayDelay() time.Duration {
 	return p.rng.NormalDuration(p.link.Latency, p.link.Jitter)
 }
 
+// count mutates the stats under the lock.
+func (p *Pipe) count(f func(*PipeStats)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f(&p.stats)
+}
+
+// inject consults the fault hook for one traversal.
+func (p *Pipe) inject(dir Direction, payload []byte) ([]byte, Action) {
+	if p.faults == nil {
+		return payload, Action{}
+	}
+	return p.faults.Inject(dir, payload)
+}
+
 // RoundTrip implements Transport: request travels the link, the handler
-// runs, the response travels back. Either direction may lose the message
-// (charging the timeout), after which the whole round trip is retried.
+// runs, the response travels back. Losses, resets, and in-flight
+// corruption are retried under the pipe's RetryPolicy; handler errors on
+// intact frames are fatal (the server really answered that).
 func (p *Pipe) RoundTrip(req []byte) ([]byte, error) {
-	var lastErr error
-	for attempt := 0; attempt <= p.retries; attempt++ {
-		p.sent++
-		// Request direction.
-		if p.rng.Bool(p.link.LossProb) {
-			p.lost++
-			p.clock.Sleep(p.timeout)
-			lastErr = ErrTimeout
-			continue
-		}
+	resp, err := p.retry.Run(p.clock, p.rng, func() ([]byte, error) {
+		return p.attempt(req)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("netsim: %s: %w", p.link.Name, err)
+	}
+	return resp, nil
+}
+
+// attempt performs one full traversal of the link, applying modelled
+// loss and injected faults in both directions.
+func (p *Pipe) attempt(req []byte) ([]byte, error) {
+	p.count(func(s *PipeStats) { s.Sent++ })
+
+	// Request direction.
+	payload, act := p.inject(DirRequest, req)
+	if act.Corrupt {
+		p.count(func(s *PipeStats) { s.Corrupted++ })
+	}
+	if act.Reset {
+		p.count(func(s *PipeStats) { s.Resets++ })
 		p.clock.Sleep(p.oneWayDelay())
-		resp, err := p.handler(req)
-		if err != nil {
+		return nil, ErrReset
+	}
+	if act.Drop || p.rng.Bool(p.link.LossProb) {
+		p.count(func(s *PipeStats) { s.Lost++ })
+		p.clock.Sleep(p.timeout)
+		return nil, ErrTimeout
+	}
+	if act.Reorder {
+		if held := p.swapHeld(payload); held != nil {
+			// An older frame overtakes this one: the peer sees the
+			// stale frame now, ours stays in flight for later.
+			payload = held
+		} else {
+			// Nothing to swap with yet: the frame is in flight but will
+			// not arrive before the sender's timer expires.
+			p.count(func(s *PipeStats) { s.Lost++ })
+			p.clock.Sleep(p.timeout)
+			return nil, ErrTimeout
+		}
+	}
+	p.clock.Sleep(p.oneWayDelay() + act.Delay)
+
+	resp, err := p.deliver(payload, act.Duplicate)
+	if err != nil {
+		if act.Corrupt {
+			// The peer rejected a frame we damaged: the sender's frame
+			// was fine, so retransmission is the right reaction.
+			p.clock.Sleep(p.oneWayDelay())
+			return nil, fmt.Errorf("%w: %v", ErrCorruptFrame, err)
+		}
+		return nil, err
+	}
+
+	// Response direction.
+	respPayload, ract := p.inject(DirResponse, resp)
+	if ract.Corrupt {
+		p.count(func(s *PipeStats) { s.Corrupted++ })
+	}
+	if ract.Reset {
+		p.count(func(s *PipeStats) { s.Resets++ })
+		p.clock.Sleep(p.oneWayDelay())
+		return nil, ErrReset
+	}
+	if ract.Drop || p.rng.Bool(p.link.LossProb) {
+		p.count(func(s *PipeStats) { s.Lost++ })
+		p.clock.Sleep(p.timeout)
+		return nil, ErrTimeout
+	}
+	p.clock.Sleep(p.oneWayDelay() + ract.Delay)
+	return respPayload, nil
+}
+
+// deliver hands a frame to the handler, optionally twice (a duplicated
+// frame on the wire); the duplicate's response is discarded, exercising
+// the peer's idempotency.
+func (p *Pipe) deliver(payload []byte, duplicate bool) ([]byte, error) {
+	if duplicate {
+		p.count(func(s *PipeStats) { s.Duplicated++ })
+		if _, err := p.handler(payload); err != nil {
 			return nil, err
 		}
-		// Response direction.
-		if p.rng.Bool(p.link.LossProb) {
-			p.lost++
-			p.clock.Sleep(p.timeout)
-			lastErr = ErrTimeout
-			continue
-		}
-		p.clock.Sleep(p.oneWayDelay())
-		return resp, nil
 	}
-	return nil, fmt.Errorf("netsim: %s after %d attempts: %w", p.link.Name, p.retries+1, lastErr)
+	return p.handler(payload)
+}
+
+// swapHeld stashes cur as the in-flight frame and returns the previously
+// held one (nil if none).
+func (p *Pipe) swapHeld(cur []byte) []byte {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	held := p.heldReq
+	p.heldReq = append([]byte(nil), cur...)
+	p.stats.Reordered++
+	return held
 }
 
 // Stats returns (messages sent, messages lost).
-func (p *Pipe) Stats() (sent, lost int) { return p.sent, p.lost }
+func (p *Pipe) Stats() (sent, lost int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats.Sent, p.stats.Lost
+}
+
+// FaultStats returns the full traffic-fate counters.
+func (p *Pipe) FaultStats() PipeStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
 
 // MaxFrameSize bounds a single protocol frame on real connections.
 const MaxFrameSize = 1 << 20
@@ -218,9 +442,34 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 	return payload, nil
 }
 
+// errorFrameTag prefixes an error frame on the wire. Protocol messages
+// never start with a zero byte (core message type tags start at 1), so
+// the two are unambiguous; handlers must not emit responses beginning
+// with 0x00.
+const errorFrameTag = 0x00
+
+// EncodeErrorFrame renders a handler error as an error frame payload.
+func EncodeErrorFrame(err error) []byte {
+	msg := "unknown error"
+	if err != nil {
+		msg = err.Error()
+	}
+	return append([]byte{errorFrameTag}, msg...)
+}
+
+// DecodeErrorFrame reports whether a frame is an error frame and, if so,
+// its message.
+func DecodeErrorFrame(frame []byte) (string, bool) {
+	if len(frame) == 0 || frame[0] != errorFrameTag {
+		return "", false
+	}
+	return string(frame[1:]), true
+}
+
 // ConnTransport runs the protocol over a real stream connection using the
 // frame codec — the cmd/tpclient path.
 type ConnTransport struct {
+	mu sync.Mutex
 	rw io.ReadWriter
 }
 
@@ -229,16 +478,29 @@ func NewConnTransport(rw io.ReadWriter) *ConnTransport {
 	return &ConnTransport{rw: rw}
 }
 
-// RoundTrip implements Transport over the stream.
+// RoundTrip implements Transport over the stream. A peer-reported error
+// frame surfaces as *RemoteError.
 func (c *ConnTransport) RoundTrip(req []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if err := WriteFrame(c.rw, req); err != nil {
 		return nil, err
 	}
-	return ReadFrame(c.rw)
+	resp, err := ReadFrame(c.rw)
+	if err != nil {
+		return nil, err
+	}
+	if msg, isErr := DecodeErrorFrame(resp); isErr {
+		return nil, &RemoteError{Msg: msg}
+	}
+	return resp, nil
 }
 
 // Serve reads frames from the connection, dispatches them to handler,
 // and writes responses until the connection errors (io.EOF returns nil).
+// A handler error is reported to the peer as an error frame and the
+// connection keeps serving — one bad (e.g. corrupted) request must not
+// tear down the session.
 func Serve(rw io.ReadWriter, handler Handler) error {
 	for {
 		req, err := ReadFrame(rw)
@@ -250,7 +512,7 @@ func Serve(rw io.ReadWriter, handler Handler) error {
 		}
 		resp, err := handler(req)
 		if err != nil {
-			return fmt.Errorf("netsim: handler: %w", err)
+			resp = EncodeErrorFrame(err)
 		}
 		if err := WriteFrame(rw, resp); err != nil {
 			return err

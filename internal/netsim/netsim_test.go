@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"errors"
 	"net"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -220,18 +222,303 @@ func TestConnTransportOverPipe(t *testing.T) {
 	}
 }
 
-func TestServeStopsOnHandlerError(t *testing.T) {
+func TestServeSurvivesHandlerError(t *testing.T) {
+	// Regression: a handler error (e.g. one corrupted frame) must be
+	// reported to the peer as an error frame, not tear down the whole
+	// connection loop.
 	client, server := net.Pipe()
 	defer client.Close()
-	sentinel := errors.New("boom")
 	done := make(chan error, 1)
 	go func() {
-		done <- Serve(server, func([]byte) ([]byte, error) { return nil, sentinel })
+		done <- Serve(server, func(req []byte) ([]byte, error) {
+			if bytes.Equal(req, []byte("bad")) {
+				return nil, errors.New("boom")
+			}
+			return echoHandler(req)
+		})
 	}()
-	if err := WriteFrame(client, []byte("x")); err != nil {
-		t.Fatal(err)
+
+	tr := NewConnTransport(client)
+	_, err := tr.RoundTrip([]byte("bad"))
+	var remote *RemoteError
+	if !errors.As(err, &remote) || !strings.Contains(remote.Msg, "boom") {
+		t.Fatalf("bad request: err = %v", err)
 	}
-	if err := <-done; !errors.Is(err, sentinel) {
-		t.Fatalf("Serve returned %v", err)
+	// The connection is still alive and serving.
+	resp, err := tr.RoundTrip([]byte("good"))
+	if err != nil {
+		t.Fatalf("after error frame: %v", err)
+	}
+	if !bytes.Equal(resp, []byte("re:good")) {
+		t.Fatalf("resp = %q", resp)
+	}
+	client.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("Serve: %v", err)
 	}
 }
+
+func TestErrorFrameCodec(t *testing.T) {
+	frame := EncodeErrorFrame(errors.New("decode failed"))
+	msg, isErr := DecodeErrorFrame(frame)
+	if !isErr || msg != "decode failed" {
+		t.Fatalf("decoded (%q, %v)", msg, isErr)
+	}
+	if _, isErr := DecodeErrorFrame([]byte{1, 2, 3}); isErr {
+		t.Fatal("protocol frame misread as error frame")
+	}
+	if _, isErr := DecodeErrorFrame(nil); isErr {
+		t.Fatal("empty frame misread as error frame")
+	}
+	if msg, _ := DecodeErrorFrame(EncodeErrorFrame(nil)); msg != "unknown error" {
+		t.Fatalf("nil error frame = %q", msg)
+	}
+}
+
+func TestPipeStatsConcurrentWithRoundTrips(t *testing.T) {
+	// Regression for the data race on the pipe counters: Stats() while
+	// RoundTrip mutates them must be race-clean (run with -race).
+	p := NewPipe(Config{Link: LinkLoopback()}, echoHandler)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			if _, err := p.RoundTrip([]byte("x")); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		p.Stats()
+		p.FaultStats()
+	}
+	<-done
+	if sent, _ := p.Stats(); sent != 200 {
+		t.Fatalf("sent = %d", sent)
+	}
+}
+
+// scriptedInjector replays a fixed sequence of actions on request
+// traversals and delivers responses untouched.
+type scriptedInjector struct {
+	mu      sync.Mutex
+	actions []Action
+	mutate  func([]byte) []byte
+}
+
+func (s *scriptedInjector) Inject(dir Direction, payload []byte) ([]byte, Action) {
+	if dir != DirRequest {
+		return payload, Action{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.actions) == 0 {
+		return payload, Action{}
+	}
+	act := s.actions[0]
+	s.actions = s.actions[1:]
+	if act.Corrupt && s.mutate != nil {
+		payload = s.mutate(append([]byte(nil), payload...))
+	}
+	return payload, act
+}
+
+func TestPipeInjectedDropIsRetried(t *testing.T) {
+	clock := sim.NewVirtualClock()
+	p := NewPipe(Config{
+		Clock:  clock,
+		Link:   LinkLoopback(),
+		Faults: &scriptedInjector{actions: []Action{{Drop: true}}},
+	}, echoHandler)
+	resp, err := p.RoundTrip([]byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resp, []byte("re:x")) {
+		t.Fatalf("resp = %q", resp)
+	}
+	st := p.FaultStats()
+	if st.Lost != 1 || st.Sent != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPipeInjectedDuplicateHitsHandlerTwice(t *testing.T) {
+	var calls int
+	p := NewPipe(Config{
+		Link:   LinkLoopback(),
+		Faults: &scriptedInjector{actions: []Action{{Duplicate: true}}},
+	}, func(req []byte) ([]byte, error) {
+		calls++
+		return echoHandler(req)
+	})
+	if _, err := p.RoundTrip([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Fatalf("handler calls = %d", calls)
+	}
+	if st := p.FaultStats(); st.Duplicated != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPipeInjectedCorruptionIsRetryable(t *testing.T) {
+	// A corrupted request makes the handler fail; the pipe must treat
+	// that as transient and retransmit the intact original.
+	inj := &scriptedInjector{
+		actions: []Action{{Corrupt: true}},
+		mutate:  func(p []byte) []byte { p[0] ^= 0xFF; return p },
+	}
+	p := NewPipe(Config{Link: LinkLoopback(), Faults: inj}, func(req []byte) ([]byte, error) {
+		if req[0] != 'x' {
+			return nil, errors.New("cannot parse")
+		}
+		return echoHandler(req)
+	})
+	resp, err := p.RoundTrip([]byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resp, []byte("re:x")) {
+		t.Fatalf("resp = %q", resp)
+	}
+	if st := p.FaultStats(); st.Corrupted != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPipeInjectedResetSurfacesAndRetries(t *testing.T) {
+	p := NewPipe(Config{
+		Link:   LinkLoopback(),
+		Retry:  &RetryPolicy{MaxAttempts: 1},
+		Faults: &scriptedInjector{actions: []Action{{Reset: true}}},
+	}, echoHandler)
+	if _, err := p.RoundTrip([]byte("x")); !errors.Is(err, ErrReset) {
+		t.Fatalf("reset: %v", err)
+	}
+}
+
+func TestPipeReorderDeliversStaleFrameLater(t *testing.T) {
+	var seen [][]byte
+	p := NewPipe(Config{
+		Link: LinkLoopback(),
+		Faults: &scriptedInjector{
+			actions: []Action{{Reorder: true}, {Reorder: true}},
+		},
+	}, func(req []byte) ([]byte, error) {
+		seen = append(seen, append([]byte(nil), req...))
+		return echoHandler(req)
+	})
+	// First frame gets held (times out, retransmitted clean). Second
+	// frame swaps with the held copy: the handler sees the stale "a".
+	if _, err := p.RoundTrip([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := p.RoundTrip([]byte("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) < 2 || !bytes.Equal(seen[len(seen)-1], []byte("b")) {
+		// The reordered attempt delivered "a" out of order at some
+		// point; the retried clean attempt delivered "b" last.
+		t.Fatalf("handler saw %q (resp %q)", seen, resp)
+	}
+	if st := p.FaultStats(); st.Reordered != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRetryPolicyBackoffChargedToClock(t *testing.T) {
+	clock := sim.NewVirtualClock()
+	rng := sim.NewRand(7)
+	rp := RetryPolicy{
+		MaxAttempts:    3,
+		InitialBackoff: 100 * time.Millisecond,
+		Multiplier:     2,
+		AttemptTimeout: time.Second,
+	}
+	fails := 0
+	_, err := rp.Run(clock, rng, func() ([]byte, error) {
+		fails++
+		return nil, ErrTimeout
+	})
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v", err)
+	}
+	if fails != 3 {
+		t.Fatalf("attempts = %d", fails)
+	}
+	// Two backoffs: 100ms + 200ms (no jitter configured).
+	if got, want := clock.Elapsed(), 300*time.Millisecond; got != want {
+		t.Fatalf("backoff charged %v, want %v", got, want)
+	}
+}
+
+func TestRetryPolicyDeadline(t *testing.T) {
+	clock := sim.NewVirtualClock()
+	rp := RetryPolicy{
+		MaxAttempts:    100,
+		InitialBackoff: time.Second,
+		Multiplier:     1,
+		MaxBackoff:     time.Second,
+		Deadline:       2500 * time.Millisecond,
+	}
+	_, err := rp.Run(clock, sim.NewRand(1), func() ([]byte, error) {
+		return nil, ErrTimeout
+	})
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("err = %v", err)
+	}
+	if clock.Elapsed() > 2500*time.Millisecond {
+		t.Fatalf("slept past deadline: %v", clock.Elapsed())
+	}
+}
+
+func TestRetryPolicyFatalErrorImmediate(t *testing.T) {
+	fatal := errors.New("schema violation")
+	calls := 0
+	_, err := RetryPolicy{MaxAttempts: 5}.Run(sim.NewVirtualClock(), sim.NewRand(1), func() ([]byte, error) {
+		calls++
+		return nil, fatal
+	})
+	if !errors.Is(err, fatal) || calls != 1 {
+		t.Fatalf("err = %v after %d calls", err, calls)
+	}
+}
+
+func TestDefaultRetryableClassification(t *testing.T) {
+	for _, err := range []error{ErrTimeout, ErrReset, ErrCorruptFrame, &RemoteError{Msg: "x"}} {
+		if !DefaultRetryable(err) {
+			t.Fatalf("%v should be retryable", err)
+		}
+	}
+	if DefaultRetryable(errors.New("logic bug")) {
+		t.Fatal("arbitrary error should be fatal")
+	}
+}
+
+func TestRetryTransportMasksTransientFailures(t *testing.T) {
+	fails := 2
+	inner := transportFunc(func(req []byte) ([]byte, error) {
+		if fails > 0 {
+			fails--
+			return nil, ErrTimeout
+		}
+		return echoHandler(req)
+	})
+	tr := NewRetryTransport(inner, RetryPolicy{MaxAttempts: 4}, sim.NewVirtualClock(), sim.NewRand(3))
+	resp, err := tr.RoundTrip([]byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resp, []byte("re:x")) {
+		t.Fatalf("resp = %q", resp)
+	}
+}
+
+// transportFunc adapts a function to Transport.
+type transportFunc func(req []byte) ([]byte, error)
+
+func (f transportFunc) RoundTrip(req []byte) ([]byte, error) { return f(req) }

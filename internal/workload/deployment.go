@@ -54,6 +54,19 @@ type DeploymentConfig struct {
 	// (SINIT measured before the PAL); the provider's approvals follow
 	// automatically.
 	SINITImage []byte
+
+	// Faults plugs a fault injector (e.g. *faults.Plan) into the
+	// network pipe. nil means a clean link beyond the Link's own loss
+	// model.
+	Faults netsim.Injector
+
+	// Retry replaces the pipe's legacy fixed-timeout loop with a full
+	// backoff policy. nil keeps legacy transport behavior.
+	Retry *netsim.RetryPolicy
+
+	// Recovery tunes the client's session retries and CAPTCHA
+	// degradation (zero value = defaults).
+	Recovery core.RecoveryConfig
 }
 
 // DefaultPIN is the PIN enrolled for alice in default deployments.
@@ -187,14 +200,21 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 		Clock:  clock,
 		Random: rng.Fork("net"),
 		Link:   cfg.Link,
+		Retry:  cfg.Retry,
+		Faults: cfg.Faults,
 	}, provider.Handle)
 
+	recovery := cfg.Recovery
+	if recovery.Rng == nil {
+		recovery.Rng = rng.Fork("recovery")
+	}
 	client, err := core.NewClient(core.ClientConfig{
 		Manager:   manager,
 		OS:        osys,
 		Transport: pipe,
 		AIK:       aik,
 		Cert:      cert,
+		Recovery:  recovery,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("workload: client: %w", err)
