@@ -3,10 +3,11 @@
 //
 // Usage:
 //
-//	tpbench               # run everything
-//	tpbench -exp t1       # one experiment (t1, t2, t3, f1..f9)
-//	tpbench -list         # list experiments
-//	tpbench -save results # also write each result to results/<id>.txt
+//	tpbench                 # run everything
+//	tpbench -exp t1         # one experiment (t1, t2, t3, f1..f10)
+//	tpbench -list           # list experiments
+//	tpbench -save results   # also write each result to results/<id>.txt
+//	tpbench -recovery       # benchmark WAL replay throughput (records/sec)
 package main
 
 import (
@@ -25,11 +26,17 @@ func main() {
 
 func run() int {
 	var (
-		exp  = flag.String("exp", "all", "experiment to run (all, t1, t2, t3, f1..f9)")
-		list = flag.Bool("list", false, "list experiments and exit")
-		save = flag.String("save", "", "directory to write per-experiment result files into")
+		exp      = flag.String("exp", "all", "experiment to run (all, t1, t2, t3, f1..f10)")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		save     = flag.String("save", "", "directory to write per-experiment result files into")
+		recovery = flag.Bool("recovery", false, "benchmark WAL replay throughput instead of running experiments")
+		recTxs   = flag.Int("recovery-txs", 200, "transactions to journal before the recovery benchmark")
 	)
 	flag.Parse()
+
+	if *recovery {
+		return runRecoveryBench(*recTxs)
+	}
 
 	if *save != "" {
 		if err := os.MkdirAll(*save, 0o755); err != nil {

@@ -4,25 +4,35 @@
 // real deployment), and then speak the uni-directional trusted path
 // protocol over length-prefixed frames.
 //
+// With -data the provider journals every state mutation to a crash-safe
+// store (WAL + snapshots) in that directory and restores from it on the
+// next start; SIGINT/SIGTERM trigger a graceful shutdown that stops
+// accepting, closes live connections, and writes a final snapshot.
+//
 // Usage:
 //
-//	tpserver -addr :7700
+//	tpserver -addr :7700 -data /var/lib/tpserver -snapshot-every 64
 package main
 
 import (
 	"crypto/rand"
 	"crypto/x509"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"os"
+	"os/signal"
+	"sync"
+	"syscall"
 
 	"unitp/internal/attest"
 	"unitp/internal/core"
 	"unitp/internal/cryptoutil"
 	"unitp/internal/netsim"
 	"unitp/internal/sim"
+	"unitp/internal/store"
 )
 
 func main() {
@@ -36,6 +46,8 @@ func run() error {
 	var (
 		addr      = flag.String("addr", ":7700", "listen address")
 		threshold = flag.Int64("threshold", 0, "auto-accept below this amount in cents (0 = confirm everything)")
+		dataDir   = flag.String("data", "", "durability directory (WAL + snapshots); empty = memory-only")
+		snapEvery = flag.Int("snapshot-every", 64, "rotate the snapshot after this many journal commits (needs -data)")
 	)
 	flag.Parse()
 
@@ -52,53 +64,185 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	provider := core.NewProvider(core.ProviderConfig{
+	cfg := core.ProviderConfig{
 		Name:                  "tpserver",
 		CAPub:                 ca.PublicKey(),
 		Key:                   provKey,
 		Clock:                 clock,
 		Random:                rng.Fork("provider"),
 		ConfirmThresholdCents: *threshold,
-	})
+		SnapshotEvery:         *snapEvery,
+	}
+	provider, err := buildProvider(cfg, *dataDir)
+	if err != nil {
+		return err
+	}
 	provider.Verifier().ApprovePAL(core.ConfirmPALName, cryptoutil.SHA1(core.ConfirmPALImage()))
 	provider.Verifier().ApprovePAL(core.PresencePALName, cryptoutil.SHA1(core.PresencePALImage()))
 	provider.Verifier().ApprovePAL(core.ProvisionPALName,
 		cryptoutil.SHA1(core.ProvisionPALImage(provider.PublicKeyDER())))
 	provider.Verifier().ApprovePAL(core.PINPALName, cryptoutil.SHA1(core.PINPALImage()))
 	provider.Verifier().ApprovePAL(core.BatchPALName, cryptoutil.SHA1(core.BatchPALImage()))
-	for _, acct := range []struct {
-		name  string
-		cents int64
-	}{{"alice", 1_000_000}, {"bob", 0}, {"mallory", 0}} {
-		if err := provider.Ledger().CreateAccount(acct.name, acct.cents); err != nil {
-			return err
-		}
-	}
-	if err := provider.EnrollCredential("alice", "2468"); err != nil {
-		return err
-	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	defer ln.Close()
-	log.Printf("tpserver: listening on %s (confirm threshold: %d cents)", ln.Addr(), *threshold)
+	log.Printf("tpserver: listening on %s (confirm threshold: %d cents, durability: %s)",
+		ln.Addr(), *threshold, durabilityLabel(*dataDir))
+
+	srv := &server{ca: ca, provider: provider, conns: map[net.Conn]struct{}{}}
+
+	// Graceful shutdown: stop accepting, hang up on live sessions (their
+	// in-flight request finishes its journal commit first — Handle only
+	// returns after the WAL sync), then snapshot and close the store.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		sig := <-sigCh
+		log.Printf("tpserver: %s: shutting down", sig)
+		srv.beginShutdown()
+		ln.Close()
+	}()
 
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
+			if srv.shuttingDown() {
+				return srv.finish()
+			}
+			ln.Close()
 			return err
 		}
+		if !srv.track(conn) {
+			conn.Close()
+			continue
+		}
 		go func() {
-			defer conn.Close()
-			if err := serveConn(conn, ca, provider); err != nil {
+			defer srv.untrack(conn)
+			if err := serveConn(conn, ca, provider); err != nil && !srv.shuttingDown() {
 				log.Printf("tpserver: %s: %v", conn.RemoteAddr(), err)
 			}
 			st := provider.Stats()
 			log.Printf("tpserver: stats: %+v", st)
 		}()
 	}
+}
+
+// buildProvider either restores the provider from an existing durability
+// directory or builds a fresh one (seeding demo accounts) and attaches
+// the store so the initial snapshot captures the seeded state.
+func buildProvider(cfg core.ProviderConfig, dataDir string) (*core.Provider, error) {
+	var st *store.Store
+	if dataDir != "" {
+		backend, err := store.OpenDir(dataDir)
+		if err != nil {
+			return nil, fmt.Errorf("open data dir: %w", err)
+		}
+		st, err = store.Open(backend)
+		if err != nil {
+			return nil, fmt.Errorf("open store: %w", err)
+		}
+		if st.Snapshot() != nil {
+			p, err := core.RestoreProvider(cfg, st)
+			if err != nil {
+				return nil, fmt.Errorf("restore provider: %w", err)
+			}
+			stats := st.Stats()
+			log.Printf("tpserver: restored generation %d (%d WAL records replayed)",
+				st.Generation(), stats.RecoveredRecords)
+			return p, nil
+		}
+	}
+
+	provider := core.NewProvider(cfg)
+	for _, acct := range []struct {
+		name  string
+		cents int64
+	}{{"alice", 1_000_000}, {"bob", 0}, {"mallory", 0}} {
+		if err := provider.Ledger().CreateAccount(acct.name, acct.cents); err != nil {
+			return nil, err
+		}
+	}
+	if err := provider.EnrollCredential("alice", "2468"); err != nil {
+		return nil, err
+	}
+	if st != nil {
+		if err := provider.AttachStore(st); err != nil {
+			return nil, fmt.Errorf("attach store: %w", err)
+		}
+	}
+	return provider, nil
+}
+
+func durabilityLabel(dataDir string) string {
+	if dataDir == "" {
+		return "none"
+	}
+	return dataDir
+}
+
+// server tracks accepted connections so shutdown can hang up on all of
+// them, and owns the final store flush.
+type server struct {
+	ca       *attest.PrivacyCA
+	provider *core.Provider
+
+	mu       sync.Mutex
+	conns    map[net.Conn]struct{}
+	draining bool
+}
+
+func (s *server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *server) untrack(conn net.Conn) {
+	conn.Close()
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+func (s *server) shuttingDown() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// beginShutdown refuses new connections and closes the live ones;
+// serveConn goroutines unwind on the resulting read errors.
+func (s *server) beginShutdown() {
+	s.mu.Lock()
+	s.draining = true
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+}
+
+// finish flushes durable state: a final snapshot truncates the WAL so
+// the next start restores without replay, then the store files close.
+func (s *server) finish() error {
+	st := s.provider.Store()
+	if st == nil {
+		log.Printf("tpserver: shutdown complete (memory-only)")
+		return nil
+	}
+	if err := s.provider.SnapshotNow(); err != nil && !errors.Is(err, store.ErrCrashed) {
+		return fmt.Errorf("final snapshot: %w", err)
+	}
+	if err := st.Close(); err != nil {
+		return fmt.Errorf("close store: %w", err)
+	}
+	log.Printf("tpserver: shutdown complete (generation %d durable)", st.Generation())
+	return nil
 }
 
 // serveConn performs the enrollment handshake and then serves protocol

@@ -122,6 +122,59 @@ func (c *NonceCache) Stats() (issued, redeemed int) {
 	return c.issuedCount, c.redeemedCount
 }
 
+// Export returns copies of the cache's durable state: the issued
+// (unredeemed) nonces with their issue times, the spent set, and the
+// lifetime counters. Used by the provider's snapshot path.
+func (c *NonceCache) Export() (issued map[Nonce]time.Time, spent []Nonce, issuedCount, redeemedCount int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	issued = make(map[Nonce]time.Time, len(c.issued))
+	for n, at := range c.issued {
+		issued[n] = at
+	}
+	spent = make([]Nonce, 0, len(c.spent))
+	for n := range c.spent {
+		spent = append(spent, n)
+	}
+	return issued, spent, c.issuedCount, c.redeemedCount
+}
+
+// Restore replaces the cache's state with a snapshot (crash recovery).
+func (c *NonceCache) Restore(issued map[Nonce]time.Time, spent []Nonce, issuedCount, redeemedCount int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.issued = make(map[Nonce]time.Time, len(issued))
+	for n, at := range issued {
+		c.issued[n] = at
+	}
+	c.spent = make(map[Nonce]bool, len(spent))
+	for _, n := range spent {
+		c.spent[n] = true
+	}
+	c.issuedCount = issuedCount
+	c.redeemedCount = redeemedCount
+}
+
+// RestoreIssued re-records one issued nonce (WAL replay). Unlike Issue
+// it does not draw from the RNG, so replay does not perturb the
+// deterministic random stream.
+func (c *NonceCache) RestoreIssued(n Nonce, at time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.issued[n] = at
+	c.issuedCount++
+}
+
+// RestoreSpent re-records one redemption (WAL replay): the nonce moves
+// from issued to spent exactly as Redeem would have moved it.
+func (c *NonceCache) RestoreSpent(n Nonce) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.issued, n)
+	c.spent[n] = true
+	c.redeemedCount++
+}
+
 // GC removes expired issued nonces, returning how many were collected.
 func (c *NonceCache) GC() int {
 	c.mu.Lock()

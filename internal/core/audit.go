@@ -111,6 +111,45 @@ func (e *AuditEntry) computeChain(prev cryptoutil.Digest) cryptoutil.Digest {
 	return cryptoutil.SHA1Concat(prev[:], e.body())
 }
 
+// Marshal produces the full wire encoding of an entry, chain fields
+// included — the form persisted in snapshots and WAL records.
+func (e *AuditEntry) Marshal() []byte {
+	b := cryptoutil.NewBuffer(168 + len(e.Note) + len(e.TxID) + len(e.Evidence))
+	b.PutRaw(e.body())
+	b.PutDigest(e.PrevChain)
+	b.PutDigest(e.Chain)
+	return b.Bytes()
+}
+
+// readAuditEntry decodes an entry from an open reader.
+func readAuditEntry(r *cryptoutil.Reader) AuditEntry {
+	var e AuditEntry
+	e.Seq = r.Uint64()
+	e.Kind = AuditKind(r.Uint8())
+	e.Note = r.String()
+	e.At = time.Unix(0, int64(r.Uint64()))
+	e.TxID = r.String()
+	e.TxDigest = r.Digest()
+	e.Confirmed = r.Bool()
+	copy(e.Nonce[:], r.Raw(attest.NonceSize))
+	e.Evidence = r.Bytes()
+	e.PrevChain = r.Digest()
+	e.Chain = r.Digest()
+	return e
+}
+
+// UnmarshalAuditEntry decodes one marshalled entry. The chain fields
+// are decoded but not verified here; AuditLog.Restore (or
+// VerifyAuditChain) checks them in sequence context.
+func UnmarshalAuditEntry(data []byte) (*AuditEntry, error) {
+	r := cryptoutil.NewReader(data)
+	e := readAuditEntry(r)
+	if err := r.ExpectEOF(); err != nil {
+		return nil, fmt.Errorf("core: unmarshal audit entry: %w", err)
+	}
+	return &e, nil
+}
+
 // AuditLog is an append-only, hash-chained record of verified
 // confirmations. Safe for concurrent use.
 type AuditLog struct {
@@ -135,6 +174,29 @@ func (l *AuditLog) Append(entry AuditEntry) AuditEntry {
 	l.entries = append(l.entries, entry)
 	l.head = entry.Chain
 	return entry
+}
+
+// Restore appends a recovered entry, verifying it links onto the
+// current head — so a snapshot-load plus WAL replay re-verifies the
+// whole hash chain as a side effect of rebuilding it. An entry that
+// does not link is evidence of tampering or storage corruption, never
+// silently accepted.
+func (l *AuditLog) Restore(e AuditEntry) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if e.Seq != uint64(len(l.entries)) {
+		return fmt.Errorf("%w: restored entry at position %d claims seq %d",
+			ErrChainBroken, len(l.entries), e.Seq)
+	}
+	if e.PrevChain != l.head {
+		return fmt.Errorf("%w: restored entry %d prev link", ErrChainBroken, e.Seq)
+	}
+	if e.computeChain(l.head) != e.Chain {
+		return fmt.Errorf("%w: restored entry %d chain value", ErrChainBroken, e.Seq)
+	}
+	l.entries = append(l.entries, e)
+	l.head = e.Chain
+	return nil
 }
 
 // Head returns the current chain head (a compact commitment to the
@@ -193,6 +255,28 @@ type AuditReport struct {
 
 	// Head is the verified chain head.
 	Head cryptoutil.Digest
+}
+
+// VerifyAuditChain checks the structural hash-chain invariants of a log
+// (sequence numbers, prev links, chain values) without re-verifying
+// evidence — the cheap end-to-end check recovery runs on every restart.
+// ReplayAudit is the full auditor pass on top of this.
+func VerifyAuditChain(entries []AuditEntry) error {
+	var prev cryptoutil.Digest
+	for i := range entries {
+		e := &entries[i]
+		if e.Seq != uint64(i) {
+			return fmt.Errorf("%w: entry %d claims seq %d", ErrChainBroken, i, e.Seq)
+		}
+		if e.PrevChain != prev {
+			return fmt.Errorf("%w: entry %d prev link", ErrChainBroken, i)
+		}
+		if e.computeChain(prev) != e.Chain {
+			return fmt.Errorf("%w: entry %d chain value", ErrChainBroken, i)
+		}
+		prev = e.Chain
+	}
+	return nil
 }
 
 // ReplayAudit is the independent auditor: given the provider's log and

@@ -1,0 +1,790 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"unitp/internal/attest"
+	"unitp/internal/cryptoutil"
+	"unitp/internal/store"
+)
+
+// Provider durability. When a store is attached, every state mutation a
+// request performs — challenge issue/redeem, outcome remembered, ledger
+// apply, audit append, token grant, key install — is collected into a
+// per-request journal and committed to the WAL as ONE group record,
+// synced before the response leaves the provider. Group commit is what
+// makes each request's durability atomic: a crash tears either the
+// whole group (the client retries into a clean provider) or nothing.
+// RestoreProvider rebuilds a provider from the latest snapshot plus the
+// WAL tail, re-verifying the audit hash chain end to end, and rotates
+// into a fresh generation so torn tails are discarded for good.
+//
+// While a store is attached, request handling serializes on the commit
+// lock — WAL order then equals mutation order, which replay depends on
+// (audit chain links, balance-dependent transfers). Providers without a
+// store keep the original fully concurrent behavior.
+
+// recKind tags one WAL journal record.
+type recKind uint8
+
+// Journal record kinds.
+const (
+	recLedgerApply recKind = iota + 1
+	recChallengeIssued
+	recPendingDropped
+	recNonceRedeemed
+	recOutcomeCached
+	recAuditAppended
+	recPresenceToken
+	recHMACKey
+	recCredential
+	recPlatformBound
+	recFallbackOutcome
+)
+
+// String names the kind for diagnostics.
+func (k recKind) String() string {
+	switch k {
+	case recLedgerApply:
+		return "ledger-apply"
+	case recChallengeIssued:
+		return "challenge-issued"
+	case recPendingDropped:
+		return "pending-dropped"
+	case recNonceRedeemed:
+		return "nonce-redeemed"
+	case recOutcomeCached:
+		return "outcome-cached"
+	case recAuditAppended:
+		return "audit-appended"
+	case recPresenceToken:
+		return "presence-token"
+	case recHMACKey:
+		return "hmac-key"
+	case recCredential:
+		return "credential"
+	case recPlatformBound:
+		return "platform-bound"
+	case recFallbackOutcome:
+		return "fallback-outcome"
+	default:
+		return fmt.Sprintf("rec(%d)", uint8(k))
+	}
+}
+
+// groupVersion versions the WAL group-record framing.
+const groupVersion = 1
+
+// journal buffers one request's mutation records until group commit. A
+// nil journal (provider without a store) makes every emit a no-op, so
+// handlers call emit methods unconditionally.
+type journal struct {
+	recs [][]byte
+}
+
+// emit appends one kind-tagged record.
+func (j *journal) emit(kind recKind, body func(b *cryptoutil.Buffer)) {
+	if j == nil {
+		return
+	}
+	b := cryptoutil.NewBuffer(64)
+	b.PutUint8(uint8(kind))
+	body(b)
+	j.recs = append(j.recs, b.Bytes())
+}
+
+func (j *journal) ledgerApplied(tx *Transaction) {
+	j.emit(recLedgerApply, func(b *cryptoutil.Buffer) { b.PutBytes(tx.Marshal()) })
+}
+
+func (j *journal) challengeIssued(nonce attest.Nonce, pend pendingChallenge) {
+	j.emit(recChallengeIssued, func(b *cryptoutil.Buffer) {
+		b.PutRaw(nonce[:])
+		putPendingChallenge(b, pend)
+	})
+}
+
+func (j *journal) pendingDropped(nonce attest.Nonce) {
+	j.emit(recPendingDropped, func(b *cryptoutil.Buffer) { b.PutRaw(nonce[:]) })
+}
+
+func (j *journal) nonceRedeemed(nonce attest.Nonce) {
+	j.emit(recNonceRedeemed, func(b *cryptoutil.Buffer) { b.PutRaw(nonce[:]) })
+}
+
+func (j *journal) outcomeCached(nonce attest.Nonce, at time.Time, o *Outcome) {
+	j.emit(recOutcomeCached, func(b *cryptoutil.Buffer) {
+		b.PutRaw(nonce[:])
+		b.PutUint64(uint64(at.UnixNano()))
+		b.PutBytes(marshalOutcome(o))
+	})
+}
+
+func (j *journal) auditAppended(e AuditEntry) {
+	j.emit(recAuditAppended, func(b *cryptoutil.Buffer) { b.PutBytes(e.Marshal()) })
+}
+
+func (j *journal) presenceTokenGranted(token string) {
+	j.emit(recPresenceToken, func(b *cryptoutil.Buffer) { b.PutString(token) })
+}
+
+func (j *journal) hmacKeyInstalled(platformID string, key []byte) {
+	j.emit(recHMACKey, func(b *cryptoutil.Buffer) {
+		b.PutString(platformID)
+		b.PutBytes(key)
+	})
+}
+
+func (j *journal) credentialEnrolled(username string, digest [32]byte) {
+	j.emit(recCredential, func(b *cryptoutil.Buffer) {
+		b.PutString(username)
+		b.PutRaw(digest[:])
+	})
+}
+
+func (j *journal) platformBound(account, platformID string) {
+	j.emit(recPlatformBound, func(b *cryptoutil.Buffer) {
+		b.PutString(account)
+		b.PutString(platformID)
+	})
+}
+
+func (j *journal) fallbackOutcomeCached(id uint64, o *Outcome) {
+	j.emit(recFallbackOutcome, func(b *cryptoutil.Buffer) {
+		b.PutUint64(id)
+		b.PutBytes(marshalOutcome(o))
+	})
+}
+
+// encodeGroup frames the journal as one WAL group record.
+func (j *journal) encodeGroup() []byte {
+	b := cryptoutil.NewBuffer(64)
+	b.PutUint8(groupVersion)
+	b.PutUint32(uint32(len(j.recs)))
+	for _, rec := range j.recs {
+		b.PutBytes(rec)
+	}
+	return b.Bytes()
+}
+
+// marshalOutcome encodes an Outcome via its wire form.
+func marshalOutcome(o *Outcome) []byte {
+	data, err := EncodeMessage(o)
+	if err != nil {
+		panic("core: outcome encode: " + err.Error()) // unreachable: Outcome is a known type
+	}
+	return data
+}
+
+// unmarshalOutcome decodes an Outcome wire form.
+func unmarshalOutcome(data []byte) (*Outcome, error) {
+	msg, err := DecodeMessage(data)
+	if err != nil {
+		return nil, err
+	}
+	o, ok := msg.(*Outcome)
+	if !ok {
+		return nil, fmt.Errorf("%w: expected outcome, got %T", ErrBadMessage, msg)
+	}
+	return o, nil
+}
+
+// putPendingChallenge encodes one pending-challenge context.
+func putPendingChallenge(b *cryptoutil.Buffer, pend pendingChallenge) {
+	b.PutUint8(uint8(pend.kind))
+	b.PutBool(pend.tx != nil)
+	if pend.tx != nil {
+		b.PutBytes(pend.tx.Marshal())
+	}
+	b.PutUint32(uint32(len(pend.batch)))
+	for i := range pend.batch {
+		b.PutBytes(pend.batch[i].Marshal())
+	}
+	b.PutString(pend.username)
+	b.PutUint64(uint64(pend.issuedAt.UnixNano()))
+}
+
+// readPendingChallenge decodes one pending-challenge context.
+func readPendingChallenge(r *cryptoutil.Reader) (pendingChallenge, error) {
+	var pend pendingChallenge
+	pend.kind = pendingKind(r.Uint8())
+	if r.Bool() {
+		tx, err := UnmarshalTransaction(r.Bytes())
+		if err != nil {
+			return pend, err
+		}
+		pend.tx = tx
+	}
+	n := r.Uint32()
+	if r.Err() != nil {
+		return pend, r.Err()
+	}
+	if n > maxBatchSize {
+		return pend, fmt.Errorf("core: restored batch of %d", n)
+	}
+	for i := uint32(0); i < n; i++ {
+		tx, err := UnmarshalTransaction(r.Bytes())
+		if err != nil {
+			return pend, err
+		}
+		pend.batch = append(pend.batch, *tx)
+	}
+	pend.username = r.String()
+	pend.issuedAt = time.Unix(0, int64(r.Uint64()))
+	return pend, r.Err()
+}
+
+// statsFields enumerates the persisted counters in fixed wire order.
+// Appending a field here extends the snapshot format compatibly (the
+// count prefix lets older snapshots restore into newer providers).
+func statsFields(s *ProviderStats) []*int {
+	return []*int{
+		&s.Submitted, &s.AutoAccepted, &s.Challenged, &s.Confirmed,
+		&s.DeniedByUser, &s.RejectedForged, &s.RejectedStale,
+		&s.PresenceGranted, &s.PresenceRejected, &s.Provisioned,
+		&s.LedgerRejected, &s.ExpiredChallenges, &s.ExpiredOutcomes,
+		&s.LoginsGranted, &s.LoginsRejected, &s.BatchesConfirmed,
+		&s.CorruptFrames, &s.DowngradesRequested,
+		&s.FallbackPassed, &s.FallbackFailed,
+	}
+}
+
+// snapshotVersion versions the provider-state snapshot payload.
+const providerSnapshotVersion = 1
+
+// encodeState serializes the provider's full durable state. Map keys
+// are sorted so the same state always produces the same bytes.
+func (p *Provider) encodeState() []byte {
+	b := cryptoutil.NewBuffer(4096)
+	b.PutUint8(providerSnapshotVersion)
+
+	// Ledger: balances and executed history (the applied set is the
+	// history's ID set, rebuilt on restore).
+	balances, history := p.ledger.exportState()
+	names := sortedKeys(balances)
+	b.PutUint32(uint32(len(names)))
+	for _, name := range names {
+		b.PutString(name)
+		b.PutUint64(uint64(balances[name]))
+	}
+	b.PutUint32(uint32(len(history)))
+	for i := range history {
+		b.PutBytes(history[i].Marshal())
+	}
+
+	// Audit log, entries in chain order.
+	entries := p.audit.Entries()
+	b.PutUint32(uint32(len(entries)))
+	for i := range entries {
+		b.PutBytes(entries[i].Marshal())
+	}
+
+	p.mu.Lock()
+	pending := make(map[attest.Nonce]pendingChallenge, len(p.pending))
+	for n, pend := range p.pending {
+		pending[n] = pend
+	}
+	answered := make(map[attest.Nonce]answeredChallenge, len(p.answered))
+	for n, a := range p.answered {
+		answered[n] = a
+	}
+	hmacKeys := make(map[string][]byte, len(p.hmacKeys))
+	for k, v := range p.hmacKeys {
+		hmacKeys[k] = v
+	}
+	presence := make([]string, 0, len(p.presence))
+	for tok := range p.presence {
+		presence = append(presence, tok)
+	}
+	creds := make(map[string][32]byte, len(p.creds))
+	for k, v := range p.creds {
+		creds[k] = v
+	}
+	platforms := make(map[string]string, len(p.platforms))
+	for k, v := range p.platforms {
+		platforms[k] = v
+	}
+	fallback := make(map[uint64]Outcome, len(p.fallback))
+	for k, v := range p.fallback {
+		fallback[k] = v
+	}
+	stats := p.stats
+	p.mu.Unlock()
+
+	nonces := make([]attest.Nonce, 0, len(pending))
+	for n := range pending {
+		nonces = append(nonces, n)
+	}
+	sortNonces(nonces)
+	b.PutUint32(uint32(len(nonces)))
+	for _, n := range nonces {
+		b.PutRaw(n[:])
+		putPendingChallenge(b, pending[n])
+	}
+
+	nonces = nonces[:0]
+	for n := range answered {
+		nonces = append(nonces, n)
+	}
+	sortNonces(nonces)
+	b.PutUint32(uint32(len(nonces)))
+	for _, n := range nonces {
+		a := answered[n]
+		b.PutRaw(n[:])
+		b.PutUint64(uint64(a.at.UnixNano()))
+		b.PutBytes(marshalOutcome(&a.outcome))
+	}
+
+	keys := sortedKeys(hmacKeys)
+	b.PutUint32(uint32(len(keys)))
+	for _, k := range keys {
+		b.PutString(k)
+		b.PutBytes(hmacKeys[k])
+	}
+
+	sort.Strings(presence)
+	b.PutUint32(uint32(len(presence)))
+	for _, tok := range presence {
+		b.PutString(tok)
+	}
+
+	keys = sortedKeys(creds)
+	b.PutUint32(uint32(len(keys)))
+	for _, k := range keys {
+		d := creds[k]
+		b.PutString(k)
+		b.PutRaw(d[:])
+	}
+
+	keys = sortedKeys(platforms)
+	b.PutUint32(uint32(len(keys)))
+	for _, k := range keys {
+		b.PutString(k)
+		b.PutString(platforms[k])
+	}
+
+	ids := make([]uint64, 0, len(fallback))
+	for id := range fallback {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	b.PutUint32(uint32(len(ids)))
+	for _, id := range ids {
+		o := fallback[id]
+		b.PutUint64(id)
+		b.PutBytes(marshalOutcome(&o))
+	}
+
+	// Nonce cache: issued set, spent set, counters.
+	issued, spent, issuedCount, redeemedCount := p.nonces.Export()
+	nonces = nonces[:0]
+	for n := range issued {
+		nonces = append(nonces, n)
+	}
+	sortNonces(nonces)
+	b.PutUint32(uint32(len(nonces)))
+	for _, n := range nonces {
+		b.PutRaw(n[:])
+		b.PutUint64(uint64(issued[n].UnixNano()))
+	}
+	sortNonces(spent)
+	b.PutUint32(uint32(len(spent)))
+	for _, n := range spent {
+		b.PutRaw(n[:])
+	}
+	b.PutUint64(uint64(issuedCount))
+	b.PutUint64(uint64(redeemedCount))
+
+	fields := statsFields(&stats)
+	b.PutUint32(uint32(len(fields)))
+	for _, f := range fields {
+		b.PutUint64(uint64(*f))
+	}
+
+	return b.Bytes()
+}
+
+// loadState restores the provider from a snapshot payload. Audit
+// entries go through AuditLog.Restore, which verifies every chain link.
+func (p *Provider) loadState(data []byte) error {
+	r := cryptoutil.NewReader(data)
+	if v := r.Uint8(); v != providerSnapshotVersion {
+		return fmt.Errorf("core: unsupported provider snapshot version %d", v)
+	}
+
+	balances := make(map[string]int64)
+	for i, n := 0, int(r.Uint32()); i < n && r.Err() == nil; i++ {
+		name := r.String()
+		balances[name] = int64(r.Uint64())
+	}
+	var history []Transaction
+	for i, n := 0, int(r.Uint32()); i < n && r.Err() == nil; i++ {
+		tx, err := UnmarshalTransaction(r.Bytes())
+		if err != nil {
+			return fmt.Errorf("core: snapshot history: %w", err)
+		}
+		history = append(history, *tx)
+	}
+	p.ledger.restoreState(balances, history)
+
+	for i, n := 0, int(r.Uint32()); i < n && r.Err() == nil; i++ {
+		e, err := UnmarshalAuditEntry(r.Bytes())
+		if err != nil {
+			return fmt.Errorf("core: snapshot audit: %w", err)
+		}
+		if err := p.audit.Restore(*e); err != nil {
+			return err
+		}
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, n := 0, int(r.Uint32()); i < n && r.Err() == nil; i++ {
+		var nonce attest.Nonce
+		copy(nonce[:], r.Raw(attest.NonceSize))
+		pend, err := readPendingChallenge(r)
+		if err != nil {
+			return fmt.Errorf("core: snapshot pending: %w", err)
+		}
+		p.pending[nonce] = pend
+	}
+	for i, n := 0, int(r.Uint32()); i < n && r.Err() == nil; i++ {
+		var nonce attest.Nonce
+		copy(nonce[:], r.Raw(attest.NonceSize))
+		at := time.Unix(0, int64(r.Uint64()))
+		o, err := unmarshalOutcome(r.Bytes())
+		if err != nil {
+			return fmt.Errorf("core: snapshot answered: %w", err)
+		}
+		p.answered[nonce] = answeredChallenge{outcome: *o, at: at}
+	}
+	for i, n := 0, int(r.Uint32()); i < n && r.Err() == nil; i++ {
+		k := r.String()
+		p.hmacKeys[k] = r.Bytes()
+	}
+	for i, n := 0, int(r.Uint32()); i < n && r.Err() == nil; i++ {
+		p.presence[r.String()] = true
+	}
+	for i, n := 0, int(r.Uint32()); i < n && r.Err() == nil; i++ {
+		k := r.String()
+		var d [32]byte
+		copy(d[:], r.Raw(32))
+		p.creds[k] = d
+	}
+	for i, n := 0, int(r.Uint32()); i < n && r.Err() == nil; i++ {
+		k := r.String()
+		p.platforms[k] = r.String()
+	}
+	for i, n := 0, int(r.Uint32()); i < n && r.Err() == nil; i++ {
+		id := r.Uint64()
+		o, err := unmarshalOutcome(r.Bytes())
+		if err != nil {
+			return fmt.Errorf("core: snapshot fallback: %w", err)
+		}
+		p.fallback[id] = *o
+	}
+
+	issued := make(map[attest.Nonce]time.Time)
+	for i, n := 0, int(r.Uint32()); i < n && r.Err() == nil; i++ {
+		var nonce attest.Nonce
+		copy(nonce[:], r.Raw(attest.NonceSize))
+		issued[nonce] = time.Unix(0, int64(r.Uint64()))
+	}
+	var spent []attest.Nonce
+	for i, n := 0, int(r.Uint32()); i < n && r.Err() == nil; i++ {
+		var nonce attest.Nonce
+		copy(nonce[:], r.Raw(attest.NonceSize))
+		spent = append(spent, nonce)
+	}
+	issuedCount := int(r.Uint64())
+	redeemedCount := int(r.Uint64())
+	p.nonces.Restore(issued, spent, issuedCount, redeemedCount)
+
+	nStats := int(r.Uint32())
+	fields := statsFields(&p.stats)
+	if nStats > len(fields) {
+		return fmt.Errorf("core: snapshot carries %d stat fields, provider knows %d", nStats, len(fields))
+	}
+	for i := 0; i < nStats && r.Err() == nil; i++ {
+		*fields[i] = int(r.Uint64())
+	}
+
+	if err := r.ExpectEOF(); err != nil {
+		return fmt.Errorf("core: provider snapshot: %w", err)
+	}
+	return nil
+}
+
+// replayGroup applies one WAL group record.
+func (p *Provider) replayGroup(group []byte) error {
+	r := cryptoutil.NewReader(group)
+	if v := r.Uint8(); v != groupVersion {
+		return fmt.Errorf("core: unsupported WAL group version %d", v)
+	}
+	n := int(r.Uint32())
+	if r.Err() != nil {
+		return fmt.Errorf("core: WAL group header: %w", r.Err())
+	}
+	for i := 0; i < n; i++ {
+		rec := r.Bytes()
+		if r.Err() != nil {
+			return fmt.Errorf("core: WAL group record %d: %w", i, r.Err())
+		}
+		if err := p.replayRecord(rec); err != nil {
+			return fmt.Errorf("core: WAL group record %d: %w", i, err)
+		}
+	}
+	if err := r.ExpectEOF(); err != nil {
+		return fmt.Errorf("core: WAL group: %w", err)
+	}
+	return nil
+}
+
+// replayRecord applies one journal record. Replays are idempotent with
+// respect to the snapshot they follow: each record re-performs exactly
+// the mutation it journaled.
+func (p *Provider) replayRecord(rec []byte) error {
+	r := cryptoutil.NewReader(rec)
+	kind := recKind(r.Uint8())
+	if r.Err() != nil {
+		return fmt.Errorf("core: empty WAL record")
+	}
+	switch kind {
+	case recLedgerApply:
+		tx, err := UnmarshalTransaction(r.Bytes())
+		if err != nil {
+			return err
+		}
+		if err := p.ledger.Apply(tx); err != nil {
+			return fmt.Errorf("core: replay %s %s: %w", kind, tx.ID, err)
+		}
+	case recChallengeIssued:
+		var nonce attest.Nonce
+		copy(nonce[:], r.Raw(attest.NonceSize))
+		pend, err := readPendingChallenge(r)
+		if err != nil {
+			return err
+		}
+		p.nonces.RestoreIssued(nonce, pend.issuedAt)
+		p.mu.Lock()
+		p.pending[nonce] = pend
+		p.mu.Unlock()
+	case recPendingDropped:
+		var nonce attest.Nonce
+		copy(nonce[:], r.Raw(attest.NonceSize))
+		p.mu.Lock()
+		delete(p.pending, nonce)
+		p.mu.Unlock()
+	case recNonceRedeemed:
+		var nonce attest.Nonce
+		copy(nonce[:], r.Raw(attest.NonceSize))
+		p.nonces.RestoreSpent(nonce)
+		p.mu.Lock()
+		delete(p.pending, nonce)
+		p.mu.Unlock()
+	case recOutcomeCached:
+		var nonce attest.Nonce
+		copy(nonce[:], r.Raw(attest.NonceSize))
+		at := time.Unix(0, int64(r.Uint64()))
+		o, err := unmarshalOutcome(r.Bytes())
+		if err != nil {
+			return err
+		}
+		p.mu.Lock()
+		p.answered[nonce] = answeredChallenge{outcome: *o, at: at}
+		p.mu.Unlock()
+	case recAuditAppended:
+		e, err := UnmarshalAuditEntry(r.Bytes())
+		if err != nil {
+			return err
+		}
+		if err := p.audit.Restore(*e); err != nil {
+			return err
+		}
+	case recPresenceToken:
+		tok := r.String()
+		p.mu.Lock()
+		p.presence[tok] = true
+		p.mu.Unlock()
+	case recHMACKey:
+		platform := r.String()
+		key := r.Bytes()
+		p.mu.Lock()
+		p.hmacKeys[platform] = key
+		p.mu.Unlock()
+	case recCredential:
+		user := r.String()
+		var d [32]byte
+		copy(d[:], r.Raw(32))
+		p.mu.Lock()
+		p.creds[user] = d
+		p.mu.Unlock()
+	case recPlatformBound:
+		account := r.String()
+		platform := r.String()
+		p.mu.Lock()
+		p.platforms[account] = platform
+		p.mu.Unlock()
+	case recFallbackOutcome:
+		id := r.Uint64()
+		o, err := unmarshalOutcome(r.Bytes())
+		if err != nil {
+			return err
+		}
+		p.mu.Lock()
+		p.fallback[id] = *o
+		p.mu.Unlock()
+	default:
+		return fmt.Errorf("core: unknown WAL record kind %d", uint8(kind))
+	}
+	if r.Err() != nil {
+		return fmt.Errorf("core: WAL record %s: %w", kind, r.Err())
+	}
+	return nil
+}
+
+// AttachStore makes the provider durable: every mutation from here on
+// is WAL-journaled, and the provider's current state is written as the
+// initial snapshot (so setup done before attaching — accounts,
+// credentials, bindings — is captured). Attach once, after setup.
+func (p *Provider) AttachStore(st *store.Store) error {
+	p.commitMu.Lock()
+	defer p.commitMu.Unlock()
+	p.st = st
+	return p.snapshotLocked()
+}
+
+// Store returns the attached durability store (nil if none).
+func (p *Provider) Store() *store.Store { return p.st }
+
+// SnapshotNow forces a snapshot + WAL rotation (graceful shutdown, or
+// an operator checkpoint).
+func (p *Provider) SnapshotNow() error {
+	if p.st == nil {
+		return nil
+	}
+	p.commitMu.Lock()
+	defer p.commitMu.Unlock()
+	if p.isDead() {
+		return store.ErrCrashed
+	}
+	return p.snapshotLocked()
+}
+
+// snapshotLocked writes the current state as a new generation. Must be
+// called with commitMu held.
+func (p *Provider) snapshotLocked() error {
+	if err := p.st.WriteSnapshot(p.encodeState()); err != nil {
+		p.markDead()
+		return err
+	}
+	p.sinceSnap = 0
+	return nil
+}
+
+// commitLocked group-commits one request's journal: append, sync, and
+// rotate the snapshot when due. Must be called with commitMu held. Any
+// store failure kills the provider — a half-durable provider must not
+// keep answering.
+func (p *Provider) commitLocked(j *journal) error {
+	if err := p.st.Append(j.encodeGroup()); err != nil {
+		p.markDead()
+		return err
+	}
+	if err := p.st.Sync(); err != nil {
+		p.markDead()
+		return err
+	}
+	p.sinceSnap++
+	if p.snapEvery > 0 && p.sinceSnap >= p.snapEvery {
+		return p.snapshotLocked()
+	}
+	return nil
+}
+
+// mutateDurable runs an out-of-band mutation (BindPlatform,
+// EnrollCredential) under the commit lock and group-commits whatever it
+// journaled. Without a store it runs the mutation directly.
+func (p *Provider) mutateDurable(fn func(j *journal) error) error {
+	if p.st == nil {
+		return fn(nil)
+	}
+	p.commitMu.Lock()
+	defer p.commitMu.Unlock()
+	if p.isDead() {
+		return store.ErrCrashed
+	}
+	j := &journal{}
+	if err := fn(j); err != nil {
+		return err
+	}
+	if len(j.recs) == 0 {
+		return nil
+	}
+	return p.commitLocked(j)
+}
+
+// isDead reports whether a store failure killed the provider.
+func (p *Provider) isDead() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.dead
+}
+
+// markDead records a fatal store failure.
+func (p *Provider) markDead() {
+	p.mu.Lock()
+	p.dead = true
+	p.mu.Unlock()
+}
+
+// RestoreProvider rebuilds a provider from a store: latest valid
+// snapshot, then the WAL tail, with the audit hash chain re-verified
+// end to end, finishing with a rotation into a fresh generation (which
+// is how torn WAL tails are discarded durably). The caller re-applies
+// configuration that is not state — the CA key, provider RSA key, and
+// PAL approvals on Verifier() — exactly as at first construction.
+func RestoreProvider(cfg ProviderConfig, st *store.Store) (*Provider, error) {
+	p := NewProvider(cfg)
+	if snap := st.Snapshot(); snap != nil {
+		if err := p.loadState(snap); err != nil {
+			return nil, fmt.Errorf("core: restore snapshot: %w", err)
+		}
+	}
+	for i, group := range st.Records() {
+		if err := p.replayGroup(group); err != nil {
+			return nil, fmt.Errorf("core: restore WAL group %d: %w", i, err)
+		}
+	}
+	if err := VerifyAuditChain(p.audit.Entries()); err != nil {
+		return nil, fmt.Errorf("core: restore: %w", err)
+	}
+	if err := p.AttachStore(st); err != nil {
+		return nil, fmt.Errorf("core: restore rotation: %w", err)
+	}
+	return p, nil
+}
+
+// sortedKeys returns a map's string keys in sorted order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sortNonces orders nonces bytewise for deterministic snapshots.
+func sortNonces(ns []attest.Nonce) {
+	sort.Slice(ns, func(i, j int) bool {
+		for k := range ns[i] {
+			if ns[i][k] != ns[j][k] {
+				return ns[i][k] < ns[j][k]
+			}
+		}
+		return false
+	})
+}

@@ -101,7 +101,7 @@ func TestMaybeGCBoundsPendingState(t *testing.T) {
 	r := newRig(t, nil)
 	tx := payment("tx-dos", "bob", 5_000)
 	for i := 0; i < 5; i++ {
-		r.provider.issueChallenge(pendingChallenge{kind: pendingConfirm, tx: tx})
+		r.provider.issueChallenge(pendingChallenge{kind: pendingConfirm, tx: tx}, nil)
 	}
 	r.clock.Sleep(10 * time.Minute)
 
@@ -109,7 +109,7 @@ func TestMaybeGCBoundsPendingState(t *testing.T) {
 	// on the last one and collects the 5 stale challenges without any
 	// external GC call.
 	for i := 0; i < 59; i++ {
-		r.provider.issueChallenge(pendingChallenge{kind: pendingConfirm, tx: tx})
+		r.provider.issueChallenge(pendingChallenge{kind: pendingConfirm, tx: tx}, nil)
 	}
 	if got := r.provider.PendingChallenges(); got != 59 {
 		t.Fatalf("pending = %d after opportunistic GC", got)

@@ -15,6 +15,7 @@ import (
 	"unitp/internal/metrics"
 	"unitp/internal/netsim"
 	"unitp/internal/sim"
+	"unitp/internal/store"
 )
 
 // Provider-side errors.
@@ -28,6 +29,12 @@ var (
 
 	// ErrAccountExists is returned when creating a duplicate account.
 	ErrAccountExists = errors.New("core: account already exists")
+
+	// ErrDuplicateTransaction is returned when applying a transaction
+	// whose ID already executed — the ledger-level idempotence that
+	// keeps client retries (and crash-recovery replays) from debiting
+	// twice.
+	ErrDuplicateTransaction = errors.New("core: transaction already executed")
 )
 
 // Ledger is the provider's account store. It exists so examples and
@@ -36,11 +43,12 @@ type Ledger struct {
 	mu       sync.Mutex
 	balances map[string]int64
 	history  []Transaction
+	applied  map[string]bool // executed transaction IDs (idempotence)
 }
 
 // NewLedger returns an empty ledger.
 func NewLedger() *Ledger {
-	return &Ledger{balances: make(map[string]int64)}
+	return &Ledger{balances: make(map[string]int64), applied: make(map[string]bool)}
 }
 
 // CreateAccount opens an account with an initial balance.
@@ -72,6 +80,9 @@ func (l *Ledger) Apply(tx *Transaction) error {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.applied[tx.ID] {
+		return fmt.Errorf("%w: %s", ErrDuplicateTransaction, tx.ID)
+	}
 	from, ok := l.balances[tx.From]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownAccount, tx.From)
@@ -85,7 +96,34 @@ func (l *Ledger) Apply(tx *Transaction) error {
 	l.balances[tx.From] -= tx.AmountCents
 	l.balances[tx.To] += tx.AmountCents
 	l.history = append(l.history, *tx)
+	l.applied[tx.ID] = true
 	return nil
+}
+
+// exportState returns copies of the balances and history (snapshots).
+func (l *Ledger) exportState() (map[string]int64, []Transaction) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	balances := make(map[string]int64, len(l.balances))
+	for k, v := range l.balances {
+		balances[k] = v
+	}
+	history := make([]Transaction, len(l.history))
+	copy(history, l.history)
+	return balances, history
+}
+
+// restoreState replaces the ledger's contents (crash recovery). The
+// applied set is rebuilt from the history's transaction IDs.
+func (l *Ledger) restoreState(balances map[string]int64, history []Transaction) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.balances = balances
+	l.history = history
+	l.applied = make(map[string]bool, len(history))
+	for i := range history {
+		l.applied[history[i].ID] = true
+	}
 }
 
 // History returns a copy of the executed transactions.
@@ -129,6 +167,10 @@ type ProviderStats struct {
 	// answer — the footprint of malware DoS (refusing to run the PAL)
 	// and of abandoned sessions.
 	ExpiredChallenges int
+	// ExpiredOutcomes counts answered-challenge cache entries evicted
+	// after their TTL: retransmissions past this point get a stale
+	// rejection instead of the cached answer.
+	ExpiredOutcomes int
 	// LoginsGranted counts verified PIN logins.
 	LoginsGranted int
 	// LoginsRejected counts failed login proofs.
@@ -198,6 +240,11 @@ type ProviderConfig struct {
 	// created from Random — set it only to share a service with a
 	// baseline experiment.
 	Captcha *captcha.Service
+
+	// SnapshotEvery rotates the durability snapshot after this many WAL
+	// group commits (0 = only on AttachStore/SnapshotNow). Irrelevant
+	// until a store is attached.
+	SnapshotEvery int
 }
 
 // Provider is the service-provider engine: it owns the ledger, issues
@@ -227,6 +274,16 @@ type Provider struct {
 	thresh    int64
 	ttl       time.Duration
 	gcTick    int
+
+	// Durability (see durable.go). commitMu serializes request handling
+	// while a store is attached, so WAL order equals mutation order;
+	// dead marks a store failure (the provider stops answering until
+	// restored into a fresh instance).
+	commitMu  sync.Mutex
+	st        *store.Store
+	snapEvery int
+	sinceSnap int
+	dead      bool
 }
 
 // answeredChallenge caches the outcome of a consumed challenge so that
@@ -276,6 +333,7 @@ func NewProvider(cfg ProviderConfig) *Provider {
 		counters:  metrics.NewCounterSet(),
 		thresh:    cfg.ConfirmThresholdCents,
 		ttl:       ttl,
+		snapEvery: cfg.SnapshotEvery,
 	}
 }
 
@@ -285,9 +343,8 @@ func NewProvider(cfg ProviderConfig) *Provider {
 func (p *Provider) GC() int {
 	p.nonces.GC()
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	now := p.clock.Now()
-	n := 0
+	n, evicted := 0, 0
 	for nonce, pend := range p.pending {
 		if now.Sub(pend.issuedAt) > p.ttl {
 			delete(p.pending, nonce)
@@ -297,9 +354,14 @@ func (p *Provider) GC() int {
 	for nonce, ans := range p.answered {
 		if now.Sub(ans.at) > p.ttl {
 			delete(p.answered, nonce)
+			evicted++
 		}
 	}
-	p.stats.ExpiredChallenges += n
+	p.mu.Unlock()
+	p.count(func(s *ProviderStats) {
+		s.ExpiredChallenges += n
+		s.ExpiredOutcomes += evicted
+	})
 	return n
 }
 
@@ -323,13 +385,14 @@ func (p *Provider) maybeGC() {
 }
 
 // issueChallenge allocates a nonce and records the pending context.
-func (p *Provider) issueChallenge(pend pendingChallenge) attest.Nonce {
+func (p *Provider) issueChallenge(pend pendingChallenge, j *journal) attest.Nonce {
 	p.maybeGC()
 	nonce := p.nonces.Issue()
 	pend.issuedAt = p.clock.Now()
 	p.mu.Lock()
 	p.pending[nonce] = pend
 	p.mu.Unlock()
+	j.challengeIssued(nonce, pend)
 	return nonce
 }
 
@@ -337,7 +400,7 @@ func (p *Provider) issueChallenge(pend pendingChallenge) attest.Nonce {
 // redeems its nonce. It returns (pending, nil, "") on success, a cached
 // outcome for an already-answered nonce (idempotent retransmissions),
 // or a rejection reason.
-func (p *Provider) takePending(nonce attest.Nonce, kind pendingKind) (pendingChallenge, *Outcome, string) {
+func (p *Provider) takePending(nonce attest.Nonce, kind pendingKind, j *journal) (pendingChallenge, *Outcome, string) {
 	p.mu.Lock()
 	pend, ok := p.pending[nonce]
 	if ok {
@@ -346,6 +409,10 @@ func (p *Provider) takePending(nonce attest.Nonce, kind pendingKind) (pendingCha
 	cached, wasAnswered := p.answered[nonce]
 	p.mu.Unlock()
 	if !ok || pend.kind != kind {
+		if ok {
+			// A wrong-kind proof still consumed the pending entry.
+			j.pendingDropped(nonce)
+		}
 		if wasAnswered {
 			replay := cached.outcome
 			return pendingChallenge{}, &replay, ""
@@ -358,6 +425,7 @@ func (p *Provider) takePending(nonce attest.Nonce, kind pendingKind) (pendingCha
 	// so the expiry bound is enforced at redemption time, not just at
 	// collection time.
 	if p.clock.Now().Sub(pend.issuedAt) > p.ttl {
+		j.pendingDropped(nonce)
 		p.count(func(s *ProviderStats) {
 			s.RejectedStale++
 			s.ExpiredChallenges++
@@ -365,19 +433,40 @@ func (p *Provider) takePending(nonce attest.Nonce, kind pendingKind) (pendingCha
 		return pendingChallenge{}, nil, "challenge expired"
 	}
 	if err := p.nonces.Redeem(nonce); err != nil {
+		j.pendingDropped(nonce)
 		p.count(func(s *ProviderStats) { s.RejectedStale++ })
 		return pendingChallenge{}, nil, err.Error()
 	}
+	j.nonceRedeemed(nonce)
 	return pend, nil, ""
 }
 
 // rememberOutcome stores a proof handler's answer for idempotent
 // replays, and returns the outcome for convenience.
-func (p *Provider) rememberOutcome(nonce attest.Nonce, outcome *Outcome) *Outcome {
+func (p *Provider) rememberOutcome(nonce attest.Nonce, outcome *Outcome, j *journal) *Outcome {
+	now := p.clock.Now()
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.answered[nonce] = answeredChallenge{outcome: *outcome, at: p.clock.Now()}
+	p.answered[nonce] = answeredChallenge{outcome: *outcome, at: now}
+	p.mu.Unlock()
+	j.outcomeCached(nonce, now, outcome)
 	return outcome
+}
+
+// auditAppend records an audit entry and journals the appended form
+// (with its chain fields) for durability.
+func (p *Provider) auditAppend(e AuditEntry, j *journal) {
+	appended := p.audit.Append(e)
+	j.auditAppended(appended)
+}
+
+// applyTx executes a transfer and journals it. The caller handles
+// ErrDuplicateTransaction (idempotent success) and real failures.
+func (p *Provider) applyTx(tx *Transaction, j *journal) error {
+	if err := p.ledger.Apply(tx); err != nil {
+		return err
+	}
+	j.ledgerApplied(tx)
+	return nil
 }
 
 // Ledger exposes the provider's account store (examples, tests).
@@ -423,8 +512,39 @@ var _ netsim.Handler = (*Provider)(nil).Handle
 // Handle implements the provider's wire protocol: it decodes one request
 // message and returns the encoded response. Protocol-level rejections
 // are expressed as Outcome messages, not Go errors; a Go error means the
-// request was undecodable.
+// request was undecodable — or, on a durable provider, that the store
+// failed mid-request (store.ErrCrashed: the response was never durable,
+// so none is returned).
 func (p *Provider) Handle(req []byte) ([]byte, error) {
+	if p.st == nil {
+		return p.handle(req, nil)
+	}
+	// Durable path: serialize on the commit lock so WAL order equals
+	// mutation order, journal the request's mutations, and group-commit
+	// them before the response leaves. A crash can tear at most the
+	// whole group — the client retries into a provider that never saw
+	// the request.
+	p.commitMu.Lock()
+	defer p.commitMu.Unlock()
+	if p.isDead() {
+		return nil, store.ErrCrashed
+	}
+	j := &journal{}
+	resp, err := p.handle(req, j)
+	if err != nil {
+		return nil, err
+	}
+	if len(j.recs) > 0 {
+		if err := p.commitLocked(j); err != nil {
+			return nil, err
+		}
+	}
+	return resp, nil
+}
+
+// handle dispatches one decoded request, journaling mutations into j
+// (nil when the provider has no store).
+func (p *Provider) handle(req []byte, j *journal) ([]byte, error) {
 	msg, err := DecodeMessage(req)
 	if err != nil {
 		// An undecodable frame is either in-flight corruption or a
@@ -438,29 +558,29 @@ func (p *Provider) Handle(req []byte) ([]byte, error) {
 	var resp any
 	switch m := msg.(type) {
 	case *SubmitTx:
-		resp = p.handleSubmit(m)
+		resp = p.handleSubmit(m, j)
 	case *ConfirmTx:
-		resp = p.handleConfirm(m)
+		resp = p.handleConfirm(m, j)
 	case *PresenceRequest:
-		resp = p.handlePresenceRequest()
+		resp = p.handlePresenceRequest(j)
 	case *PresenceProof:
-		resp = p.handlePresenceProof(m)
+		resp = p.handlePresenceProof(m, j)
 	case *ProvisionRequest:
-		resp = p.handleProvisionRequest(m)
+		resp = p.handleProvisionRequest(m, j)
 	case *ProvisionComplete:
-		resp = p.handleProvisionComplete(m)
+		resp = p.handleProvisionComplete(m, j)
 	case *LoginRequest:
-		resp = p.handleLoginRequest(m)
+		resp = p.handleLoginRequest(m, j)
 	case *LoginProof:
-		resp = p.handleLoginProof(m)
+		resp = p.handleLoginProof(m, j)
 	case *SubmitBatch:
-		resp = p.handleSubmitBatch(m)
+		resp = p.handleSubmitBatch(m, j)
 	case *ConfirmBatch:
-		resp = p.handleConfirmBatch(m)
+		resp = p.handleConfirmBatch(m, j)
 	case *FallbackRequest:
-		resp = p.handleFallbackRequest(m)
+		resp = p.handleFallbackRequest(m, j)
 	case *FallbackAnswer:
-		resp = p.handleFallbackAnswer(m)
+		resp = p.handleFallbackAnswer(m, j)
 	default:
 		return nil, fmt.Errorf("%w: unexpected %T", ErrBadMessage, msg)
 	}
@@ -470,7 +590,7 @@ func (p *Provider) Handle(req []byte) ([]byte, error) {
 // handleSubmit processes a transaction submission: auto-accept below the
 // threshold, otherwise issue a confirmation challenge echoing the
 // provider's copy of the transaction.
-func (p *Provider) handleSubmit(m *SubmitTx) any {
+func (p *Provider) handleSubmit(m *SubmitTx, j *journal) any {
 	p.mu.Lock()
 	p.stats.Submitted++
 	p.mu.Unlock()
@@ -478,7 +598,13 @@ func (p *Provider) handleSubmit(m *SubmitTx) any {
 		return &Outcome{Accepted: false, Reason: err.Error(), TxID: safeTxID(m.Tx)}
 	}
 	if p.thresh > 0 && m.Tx.AmountCents < p.thresh {
-		if err := p.ledger.Apply(m.Tx); err != nil {
+		if err := p.applyTx(m.Tx, j); err != nil {
+			if errors.Is(err, ErrDuplicateTransaction) {
+				// A resubmission of an executed order (lost response,
+				// new session after a provider restart): idempotent
+				// success, no second debit.
+				return &Outcome{Accepted: true, Reason: "already executed", TxID: m.Tx.ID}
+			}
 			p.count(func(s *ProviderStats) { s.LedgerRejected++ })
 			return &Outcome{Accepted: false, Reason: err.Error(), TxID: m.Tx.ID}
 		}
@@ -486,26 +612,26 @@ func (p *Provider) handleSubmit(m *SubmitTx) any {
 		return &Outcome{Accepted: true, Reason: "below confirmation threshold", TxID: m.Tx.ID}
 	}
 	txCopy := *m.Tx
-	nonce := p.issueChallenge(pendingChallenge{kind: pendingConfirm, tx: &txCopy})
+	nonce := p.issueChallenge(pendingChallenge{kind: pendingConfirm, tx: &txCopy}, j)
 	p.count(func(s *ProviderStats) { s.Challenged++ })
 	return &Challenge{Nonce: nonce, Tx: &txCopy}
 }
 
 // handleConfirm verifies a confirmation against the pending challenge.
-func (p *Provider) handleConfirm(m *ConfirmTx) any {
-	pend, cached, rejection := p.takePending(m.Nonce, pendingConfirm)
+func (p *Provider) handleConfirm(m *ConfirmTx, j *journal) any {
+	pend, cached, rejection := p.takePending(m.Nonce, pendingConfirm, j)
 	if cached != nil {
 		return cached
 	}
 	if rejection != "" {
 		return &Outcome{Accepted: false, Reason: rejection, Retryable: true}
 	}
-	return p.rememberOutcome(m.Nonce, p.confirmOutcome(m, pend))
+	return p.rememberOutcome(m.Nonce, p.confirmOutcome(m, pend, j), j)
 }
 
 // confirmOutcome computes the outcome of a live (non-replayed)
 // confirmation.
-func (p *Provider) confirmOutcome(m *ConfirmTx, pend pendingChallenge) *Outcome {
+func (p *Provider) confirmOutcome(m *ConfirmTx, pend pendingChallenge, j *journal) *Outcome {
 	txDigest := pend.tx.Digest()
 	// Evidence that fails an integrity check is rejected as retryable: a
 	// bit flip in transit is indistinguishable from a forgery here, and
@@ -555,20 +681,26 @@ func (p *Provider) confirmOutcome(m *ConfirmTx, pend pendingChallenge) *Outcome 
 
 	// The decision is authenticated: record it (approvals AND denials —
 	// an authenticated denial is dispute evidence too).
-	p.audit.Append(AuditEntry{
+	p.auditAppend(AuditEntry{
 		At:        p.clock.Now(),
 		TxID:      pend.tx.ID,
 		TxDigest:  txDigest,
 		Confirmed: m.Confirmed,
 		Nonce:     m.Nonce,
 		Evidence:  m.Evidence, // empty in HMAC mode
-	})
+	}, j)
 
 	if !m.Confirmed {
 		p.count(func(s *ProviderStats) { s.DeniedByUser++ })
 		return &Outcome{Accepted: false, Authentic: true, Reason: "denied by user", TxID: pend.tx.ID}
 	}
-	if err := p.ledger.Apply(pend.tx); err != nil {
+	if err := p.applyTx(pend.tx, j); err != nil {
+		if errors.Is(err, ErrDuplicateTransaction) {
+			// The same order was already executed (an earlier session's
+			// confirmation whose response was lost): the human approved
+			// it, the money moved once — idempotent success.
+			return &Outcome{Accepted: true, Authentic: true, Reason: "confirmed by user (already executed)", TxID: pend.tx.ID}
+		}
 		p.count(func(s *ProviderStats) { s.LedgerRejected++ })
 		return &Outcome{Accepted: false, Authentic: true, Reason: err.Error(), TxID: pend.tx.ID}
 	}
@@ -577,25 +709,25 @@ func (p *Provider) confirmOutcome(m *ConfirmTx, pend pendingChallenge) *Outcome 
 }
 
 // handlePresenceRequest issues a presence challenge.
-func (p *Provider) handlePresenceRequest() any {
-	nonce := p.issueChallenge(pendingChallenge{kind: pendingPresence})
+func (p *Provider) handlePresenceRequest(j *journal) any {
+	nonce := p.issueChallenge(pendingChallenge{kind: pendingPresence}, j)
 	return &PresenceChallenge{Nonce: nonce, Prompt: "press any key to continue"}
 }
 
 // handlePresenceProof verifies a presence proof and grants a token.
-func (p *Provider) handlePresenceProof(m *PresenceProof) any {
-	_, cached, rejection := p.takePending(m.Nonce, pendingPresence)
+func (p *Provider) handlePresenceProof(m *PresenceProof, j *journal) any {
+	_, cached, rejection := p.takePending(m.Nonce, pendingPresence, j)
 	if cached != nil {
 		return cached
 	}
 	if rejection != "" {
 		return &Outcome{Accepted: false, Reason: rejection, Retryable: true}
 	}
-	return p.rememberOutcome(m.Nonce, p.presenceOutcome(m))
+	return p.rememberOutcome(m.Nonce, p.presenceOutcome(m, j), j)
 }
 
 // presenceOutcome computes the outcome of a live presence proof.
-func (p *Provider) presenceOutcome(m *PresenceProof) *Outcome {
+func (p *Provider) presenceOutcome(m *PresenceProof, j *journal) *Outcome {
 	ev, err := attest.UnmarshalEvidence(m.Evidence)
 	if err != nil {
 		p.count(func(s *ProviderStats) { s.PresenceRejected++ })
@@ -614,36 +746,37 @@ func (p *Provider) presenceOutcome(m *PresenceProof) *Outcome {
 	p.presence[token] = true
 	p.stats.PresenceGranted++
 	p.mu.Unlock()
+	j.presenceTokenGranted(token)
 	return &Outcome{Accepted: true, Authentic: true, Reason: "human presence verified", Token: token}
 }
 
 // handleProvisionRequest starts key provisioning.
-func (p *Provider) handleProvisionRequest(m *ProvisionRequest) any {
+func (p *Provider) handleProvisionRequest(m *ProvisionRequest, j *journal) any {
 	if p.key == nil {
 		return &Outcome{Accepted: false, Reason: "provider does not support provisioning"}
 	}
 	if m.PlatformID == "" {
 		return &Outcome{Accepted: false, Reason: "missing platform ID"}
 	}
-	nonce := p.issueChallenge(pendingChallenge{kind: pendingProvision})
+	nonce := p.issueChallenge(pendingChallenge{kind: pendingProvision}, j)
 	return &ProvisionChallenge{Nonce: nonce, ProviderPubDER: p.PublicKeyDER()}
 }
 
 // handleProvisionComplete verifies the provisioning attestation and
 // installs the key.
-func (p *Provider) handleProvisionComplete(m *ProvisionComplete) any {
-	_, cached, rejection := p.takePending(m.Nonce, pendingProvision)
+func (p *Provider) handleProvisionComplete(m *ProvisionComplete, j *journal) any {
+	_, cached, rejection := p.takePending(m.Nonce, pendingProvision, j)
 	if cached != nil {
 		return cached
 	}
 	if rejection != "" {
 		return &Outcome{Accepted: false, Reason: rejection, Retryable: true}
 	}
-	return p.rememberOutcome(m.Nonce, p.provisionOutcome(m))
+	return p.rememberOutcome(m.Nonce, p.provisionOutcome(m, j), j)
 }
 
 // provisionOutcome computes the outcome of a live provisioning proof.
-func (p *Provider) provisionOutcome(m *ProvisionComplete) *Outcome {
+func (p *Provider) provisionOutcome(m *ProvisionComplete, j *journal) *Outcome {
 	ev, err := attest.UnmarshalEvidence(m.Evidence)
 	if err != nil {
 		p.count(func(s *ProviderStats) { s.RejectedForged++ })
@@ -671,6 +804,7 @@ func (p *Provider) provisionOutcome(m *ProvisionComplete) *Outcome {
 	p.hmacKeys[m.PlatformID] = key
 	p.stats.Provisioned++
 	p.mu.Unlock()
+	j.hmacKeyInstalled(m.PlatformID, key)
 	return &Outcome{Accepted: true, Authentic: true, Reason: "key provisioned"}
 }
 
@@ -679,15 +813,15 @@ func (p *Provider) provisionOutcome(m *ProvisionComplete) *Outcome {
 // itself is recorded in the tamper-evident audit log — a dispute over a
 // CAPTCHA-gated transfer must be able to show when and why the strong
 // mechanism was bypassed.
-func (p *Provider) handleFallbackRequest(m *FallbackRequest) any {
+func (p *Provider) handleFallbackRequest(m *FallbackRequest, j *journal) any {
 	p.count(func(s *ProviderStats) { s.DowngradesRequested++ })
 	p.counters.Counter("downgrades").Inc()
-	p.audit.Append(AuditEntry{
+	p.auditAppend(AuditEntry{
 		Kind: AuditDowngrade,
 		At:   p.clock.Now(),
 		Note: fmt.Sprintf("platform %q degraded to captcha after %d trusted-path failures: %s",
 			m.PlatformID, m.Failures, m.Reason),
-	})
+	}, j)
 	ch := p.captcha.Issue()
 	return &FallbackChallenge{ID: ch.ID, Text: ch.Text}
 }
@@ -695,7 +829,7 @@ func (p *Provider) handleFallbackRequest(m *FallbackRequest) any {
 // handleFallbackAnswer grades a CAPTCHA answer and, on success, executes
 // the transaction under the weaker regime: Accepted but explicitly not
 // Authentic, and audit-logged as a fallback execution with no evidence.
-func (p *Provider) handleFallbackAnswer(m *FallbackAnswer) any {
+func (p *Provider) handleFallbackAnswer(m *FallbackAnswer, j *journal) any {
 	p.mu.Lock()
 	if prev, ok := p.fallback[m.ID]; ok {
 		// A retransmitted answer (lost response) replays the recorded
@@ -711,16 +845,17 @@ func (p *Provider) handleFallbackAnswer(m *FallbackAnswer) any {
 		p.count(func(s *ProviderStats) { s.FallbackFailed++ })
 		return &Outcome{Accepted: false, Reason: "unknown or expired challenge", Retryable: true}
 	}
-	outcome := p.fallbackOutcome(m, passed)
+	outcome := p.fallbackOutcome(m, passed, j)
 	p.mu.Lock()
 	p.fallback[m.ID] = *outcome
 	p.mu.Unlock()
+	j.fallbackOutcomeCached(m.ID, outcome)
 	return outcome
 }
 
 // fallbackOutcome computes the outcome of a live (non-replayed) CAPTCHA
 // answer.
-func (p *Provider) fallbackOutcome(m *FallbackAnswer, passed bool) *Outcome {
+func (p *Provider) fallbackOutcome(m *FallbackAnswer, passed bool, j *journal) *Outcome {
 	if !passed {
 		p.count(func(s *ProviderStats) { s.FallbackFailed++ })
 		return &Outcome{Accepted: false, Reason: "captcha failed", TxID: safeTxID(m.Tx), Retryable: true}
@@ -733,17 +868,22 @@ func (p *Provider) fallbackOutcome(m *FallbackAnswer, passed bool) *Outcome {
 		p.count(func(s *ProviderStats) { s.FallbackFailed++ })
 		return &Outcome{Accepted: false, Reason: err.Error(), TxID: m.Tx.ID}
 	}
-	if err := p.ledger.Apply(m.Tx); err != nil {
+	if err := p.applyTx(m.Tx, j); err != nil {
+		if errors.Is(err, ErrDuplicateTransaction) {
+			// The order already executed in an earlier life or session;
+			// don't debit twice, don't double-log.
+			return &Outcome{Accepted: true, Authentic: false, Reason: "already executed", TxID: m.Tx.ID}
+		}
 		p.count(func(s *ProviderStats) { s.LedgerRejected++ })
 		return &Outcome{Accepted: false, Reason: err.Error(), TxID: m.Tx.ID}
 	}
-	p.audit.Append(AuditEntry{
+	p.auditAppend(AuditEntry{
 		Kind:     AuditFallbackTx,
 		At:       p.clock.Now(),
 		TxID:     m.Tx.ID,
 		TxDigest: m.Tx.Digest(),
 		Note:     "executed on captcha-gated fallback path (no attestation)",
-	})
+	}, j)
 	p.count(func(s *ProviderStats) { s.FallbackPassed++ })
 	return &Outcome{Accepted: true, Authentic: false, Reason: "captcha passed (degraded path)", TxID: m.Tx.ID}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"unitp/internal/attest"
@@ -16,13 +17,16 @@ func (p *Provider) BindPlatform(account, platformID string) error {
 	if account == "" || platformID == "" {
 		return fmt.Errorf("core: empty account or platform ID")
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if prev, ok := p.platforms[account]; ok && prev != platformID {
-		return fmt.Errorf("core: account %s already bound to %s", account, prev)
-	}
-	p.platforms[account] = platformID
-	return nil
+	return p.mutateDurable(func(j *journal) error {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		if prev, ok := p.platforms[account]; ok && prev != platformID {
+			return fmt.Errorf("core: account %s already bound to %s", account, prev)
+		}
+		p.platforms[account] = platformID
+		j.platformBound(account, platformID)
+		return nil
+	})
 }
 
 // boundPlatform returns the platform an account is bound to ("" if
@@ -51,13 +55,17 @@ func (p *Provider) EnrollCredential(username, pin string) error {
 	if username == "" || pin == "" {
 		return fmt.Errorf("core: empty username or PIN")
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if _, ok := p.creds[username]; ok {
-		return fmt.Errorf("core: credential for %s already enrolled", username)
-	}
-	p.creds[username] = CredentialDigest(username, pin)
-	return nil
+	return p.mutateDurable(func(j *journal) error {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		if _, ok := p.creds[username]; ok {
+			return fmt.Errorf("core: credential for %s already enrolled", username)
+		}
+		digest := CredentialDigest(username, pin)
+		p.creds[username] = digest
+		j.credentialEnrolled(username, digest)
+		return nil
+	})
 }
 
 // verifyEvidence decodes and checks evidence against expectations plus
@@ -81,7 +89,7 @@ func (p *Provider) verifyEvidence(raw []byte, want attest.Expectations, expected
 }
 
 // handleLoginRequest issues a PIN-entry challenge for an enrolled user.
-func (p *Provider) handleLoginRequest(m *LoginRequest) any {
+func (p *Provider) handleLoginRequest(m *LoginRequest, j *journal) any {
 	p.mu.Lock()
 	_, enrolled := p.creds[m.Username]
 	p.mu.Unlock()
@@ -91,25 +99,25 @@ func (p *Provider) handleLoginRequest(m *LoginRequest) any {
 		// type while still failing the proof.
 		_ = enrolled
 	}
-	nonce := p.issueChallenge(pendingChallenge{kind: pendingLogin, username: m.Username})
+	nonce := p.issueChallenge(pendingChallenge{kind: pendingLogin, username: m.Username}, j)
 	p.count(func(s *ProviderStats) { s.Challenged++ })
 	return &LoginChallenge{Nonce: nonce, Username: m.Username}
 }
 
 // handleLoginProof verifies a PIN login proof.
-func (p *Provider) handleLoginProof(m *LoginProof) any {
-	pend, cached, rejection := p.takePending(m.Nonce, pendingLogin)
+func (p *Provider) handleLoginProof(m *LoginProof, j *journal) any {
+	pend, cached, rejection := p.takePending(m.Nonce, pendingLogin, j)
 	if cached != nil {
 		return cached
 	}
 	if rejection != "" {
 		return &Outcome{Accepted: false, Reason: rejection, Retryable: true}
 	}
-	return p.rememberOutcome(m.Nonce, p.loginOutcome(m, pend))
+	return p.rememberOutcome(m.Nonce, p.loginOutcome(m, pend, j), j)
 }
 
 // loginOutcome computes the outcome of a live login proof.
-func (p *Provider) loginOutcome(m *LoginProof, pend pendingChallenge) *Outcome {
+func (p *Provider) loginOutcome(m *LoginProof, pend pendingChallenge, j *journal) *Outcome {
 	if pend.username != m.Username {
 		p.count(func(s *ProviderStats) { s.LoginsRejected++ })
 		return &Outcome{Accepted: false, Reason: "username does not match challenge"}
@@ -137,12 +145,13 @@ func (p *Provider) loginOutcome(m *LoginProof, pend pendingChallenge) *Outcome {
 	p.presence[token] = true
 	p.stats.LoginsGranted++
 	p.mu.Unlock()
+	j.presenceTokenGranted(token)
 	return &Outcome{Accepted: true, Authentic: true, Reason: "login verified", Token: token}
 }
 
 // handleSubmitBatch processes a batch submission: validate every order,
 // then challenge the whole batch at once.
-func (p *Provider) handleSubmitBatch(m *SubmitBatch) any {
+func (p *Provider) handleSubmitBatch(m *SubmitBatch, j *journal) any {
 	p.count(func(s *ProviderStats) { s.Submitted += len(m.Txs) })
 	if len(m.Txs) == 0 || len(m.Txs) > maxBatchSize {
 		return &Outcome{Accepted: false, Reason: fmt.Sprintf("batch size %d outside [1, %d]", len(m.Txs), maxBatchSize)}
@@ -154,26 +163,26 @@ func (p *Provider) handleSubmitBatch(m *SubmitBatch) any {
 	}
 	batch := make([]Transaction, len(m.Txs))
 	copy(batch, m.Txs)
-	nonce := p.issueChallenge(pendingChallenge{kind: pendingBatch, batch: batch})
+	nonce := p.issueChallenge(pendingChallenge{kind: pendingBatch, batch: batch}, j)
 	p.count(func(s *ProviderStats) { s.Challenged++ })
 	return &BatchChallenge{Nonce: nonce, Txs: batch}
 }
 
 // handleConfirmBatch verifies a batch confirmation and applies the
 // approved transactions.
-func (p *Provider) handleConfirmBatch(m *ConfirmBatch) any {
-	pend, cached, rejection := p.takePending(m.Nonce, pendingBatch)
+func (p *Provider) handleConfirmBatch(m *ConfirmBatch, j *journal) any {
+	pend, cached, rejection := p.takePending(m.Nonce, pendingBatch, j)
 	if cached != nil {
 		return cached
 	}
 	if rejection != "" {
 		return &Outcome{Accepted: false, Reason: rejection, Retryable: true}
 	}
-	return p.rememberOutcome(m.Nonce, p.batchOutcome(m, pend))
+	return p.rememberOutcome(m.Nonce, p.batchOutcome(m, pend, j), j)
 }
 
 // batchOutcome computes the outcome of a live batch confirmation.
-func (p *Provider) batchOutcome(m *ConfirmBatch, pend pendingChallenge) *Outcome {
+func (p *Provider) batchOutcome(m *ConfirmBatch, pend pendingChallenge, j *journal) *Outcome {
 	if len(m.Decisions) != len(pend.batch) {
 		p.count(func(s *ProviderStats) { s.RejectedForged++ })
 		return &Outcome{Accepted: false, Reason: "decision count does not match batch"}
@@ -225,7 +234,12 @@ func (p *Provider) batchOutcome(m *ConfirmBatch, pend pendingChallenge) *Outcome
 			denied++
 			continue
 		}
-		if err := p.ledger.Apply(&pend.batch[i]); err != nil {
+		if err := p.applyTx(&pend.batch[i], j); err != nil {
+			if errors.Is(err, ErrDuplicateTransaction) {
+				// Already executed in an earlier life; idempotent.
+				applied++
+				continue
+			}
 			failed++
 			continue
 		}

@@ -211,7 +211,14 @@ func (r *Reader) String() string {
 	return string(r.Bytes())
 }
 
-// Bool decodes a one-byte boolean; any non-zero value is true.
+// Bool decodes a one-byte boolean. Only 0 and 1 are accepted: a strict
+// codec keeps every encoding canonical (one value, one byte string), so
+// a flipped bit in a persisted bool is detectable rather than silently
+// collapsing to true.
 func (r *Reader) Bool() bool {
-	return r.Uint8() != 0
+	v := r.Uint8()
+	if r.err == nil && v > 1 {
+		r.err = fmt.Errorf("cryptoutil: non-canonical boolean byte %#x", v)
+	}
+	return v != 0
 }

@@ -55,6 +55,7 @@ func All() []Runner {
 		{ID: "f7", Title: "Figure F7: population-scale fraud vs infection rate", Run: RunF7},
 		{ID: "f8", Title: "Figure F8: human-factors boundary (carelessness sweep)", Run: RunF8},
 		{ID: "f9", Title: "Figure F9: chaos sweep (fault injection, retry, degradation)", Run: RunF9},
+		{ID: "f10", Title: "Figure F10: crash sweep (crash rate × crash point × snapshot interval)", Run: RunF10},
 	}
 }
 

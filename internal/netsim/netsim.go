@@ -371,13 +371,31 @@ func (p *Pipe) attempt(req []byte) ([]byte, error) {
 // frame on the wire); the duplicate's response is discarded, exercising
 // the peer's idempotency.
 func (p *Pipe) deliver(payload []byte, duplicate bool) ([]byte, error) {
+	handler := p.currentHandler()
 	if duplicate {
 		p.count(func(s *PipeStats) { s.Duplicated++ })
-		if _, err := p.handler(payload); err != nil {
+		if _, err := handler(payload); err != nil {
 			return nil, err
 		}
 	}
-	return p.handler(payload)
+	return handler(payload)
+}
+
+// currentHandler reads the handler under the lock (it can be swapped by
+// SetHandler while traffic is in flight).
+func (p *Pipe) currentHandler() Handler {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.handler
+}
+
+// SetHandler replaces the server side of the pipe — the "same address,
+// new process" a client sees after the provider restarts. In-flight
+// round trips fail or complete against whichever end they reached.
+func (p *Pipe) SetHandler(handler Handler) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.handler = handler
 }
 
 // swapHeld stashes cur as the in-flight frame and returns the previously

@@ -1,0 +1,98 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// DirBackend stores files in one real directory — the cmd/tpserver
+// production path. Renames are followed by a directory fsync so the
+// metadata operation is durable before the caller proceeds, matching the
+// durability model MemBackend simulates.
+type DirBackend struct {
+	dir string
+}
+
+var _ Backend = (*DirBackend)(nil)
+
+// OpenDir opens (creating if needed) a directory backend.
+func OpenDir(dir string) (*DirBackend, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: open dir: %w", err)
+	}
+	return &DirBackend{dir: dir}, nil
+}
+
+// Dir returns the backing directory path.
+func (b *DirBackend) Dir() string { return b.dir }
+
+// syncDir fsyncs the directory so renames/creates/removes are durable.
+func (b *DirBackend) syncDir() error {
+	d, err := os.Open(b.dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// List implements Backend.
+func (b *DirBackend) List() ([]string, error) {
+	entries, err := os.ReadDir(b.dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if e.Type().IsRegular() {
+			names = append(names, e.Name())
+		}
+	}
+	return names, nil
+}
+
+// ReadFile implements Backend.
+func (b *DirBackend) ReadFile(name string) ([]byte, error) {
+	data, err := os.ReadFile(filepath.Join(b.dir, name))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %s", ErrNotExist, name)
+	}
+	return data, err
+}
+
+// Create implements Backend.
+func (b *DirBackend) Create(name string) (File, error) {
+	f, err := os.OpenFile(filepath.Join(b.dir, name),
+		os.O_CREATE|os.O_TRUNC|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := b.syncDir(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+// Rename implements Backend.
+func (b *DirBackend) Rename(oldname, newname string) error {
+	if err := os.Rename(filepath.Join(b.dir, oldname), filepath.Join(b.dir, newname)); err != nil {
+		return err
+	}
+	return b.syncDir()
+}
+
+// Remove implements Backend.
+func (b *DirBackend) Remove(name string) error {
+	err := os.Remove(filepath.Join(b.dir, name))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	return b.syncDir()
+}

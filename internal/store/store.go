@@ -1,0 +1,321 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// File naming: each generation g owns a snapshot "snap-<g>.snap" and a
+// log "wal-<g>.log" of records appended after that snapshot was taken.
+// A new snapshot is written as "snap-<g>.tmp", synced, and renamed into
+// place before the old generation's files are removed, so at every
+// instant at least one complete (snapshot, WAL) pair is on disk.
+// Recovery scans for the highest-numbered valid snapshot and replays
+// its WAL; stray *.tmp files and stale generations are deleted.
+
+const (
+	snapPrefix = "snap-"
+	snapSuffix = ".snap"
+	tmpSuffix  = ".tmp"
+	walPrefix  = "wal-"
+	walSuffix  = ".log"
+)
+
+func snapName(gen uint64) string { return fmt.Sprintf("%s%016d%s", snapPrefix, gen, snapSuffix) }
+func walName(gen uint64) string  { return fmt.Sprintf("%s%016d%s", walPrefix, gen, walSuffix) }
+
+// parseGen extracts the generation number from a snapshot or WAL file
+// name, returning ok=false for anything that does not match the scheme.
+func parseGen(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	mid := name[len(prefix) : len(name)-len(suffix)]
+	gen, err := strconv.ParseUint(mid, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return gen, true
+}
+
+// ErrNoSnapshot is returned by Append/Sync before the first
+// WriteSnapshot: a store only becomes writable once it has a snapshot
+// to anchor the WAL's generation.
+var ErrNoSnapshot = errors.New("store: no snapshot written yet")
+
+// Stats counts store activity since Open.
+type Stats struct {
+	// Appends is the number of WAL records appended.
+	Appends uint64
+
+	// AppendedBytes is the framed byte volume appended to the WAL.
+	AppendedBytes uint64
+
+	// Syncs counts WAL fsyncs.
+	Syncs uint64
+
+	// Snapshots counts snapshots written (generation rotations).
+	Snapshots uint64
+
+	// RecoveredRecords is the number of valid WAL records found at Open.
+	RecoveredRecords uint64
+
+	// RecoveredBytes is the valid WAL prefix length found at Open.
+	RecoveredBytes uint64
+
+	// TruncatedBytes counts torn-tail / trailing-garbage bytes discarded
+	// at Open.
+	TruncatedBytes uint64
+
+	// SkippedSnapshots counts snapshot files present at Open that failed
+	// validation and were ignored.
+	SkippedSnapshots uint64
+
+	// Generation is the store's current generation number.
+	Generation uint64
+}
+
+// Store is a WAL + snapshot pair over a Backend. One Store owns the
+// backend's namespace; after a simulated crash the Store is dead and a
+// new one must be opened over the recovered backend.
+type Store struct {
+	mu      sync.Mutex
+	backend Backend
+	stats   Stats
+
+	// recovered state from Open, consumed by the caller's restore pass.
+	snapshot []byte
+	records  [][]byte
+
+	gen uint64
+	wal File // nil until the first WriteSnapshot
+}
+
+// Open scans the backend, selects the newest valid snapshot, and loads
+// the valid prefix of its WAL. On a virgin backend Snapshot() returns
+// nil and the caller bootstraps with WriteSnapshot. Stray temp files
+// and stale generations are removed.
+func Open(b Backend) (*Store, error) {
+	names, err := b.List()
+	if err != nil {
+		return nil, fmt.Errorf("store: open: %w", err)
+	}
+
+	s := &Store{backend: b}
+
+	// Collect candidate snapshots, newest generation first.
+	var snapGens []uint64
+	walGens := make(map[uint64]bool)
+	for _, name := range names {
+		if strings.HasSuffix(name, tmpSuffix) {
+			// Leftover from a crash mid-snapshot: never valid, delete.
+			if err := b.Remove(name); err != nil {
+				return nil, fmt.Errorf("store: open: remove %s: %w", name, err)
+			}
+			continue
+		}
+		if gen, ok := parseGen(name, snapPrefix, snapSuffix); ok {
+			snapGens = append(snapGens, gen)
+		} else if gen, ok := parseGen(name, walPrefix, walSuffix); ok {
+			walGens[gen] = true
+		}
+	}
+	sort.Slice(snapGens, func(i, j int) bool { return snapGens[i] > snapGens[j] })
+
+	chosen := false
+	for _, gen := range snapGens {
+		data, err := b.ReadFile(snapName(gen))
+		if err != nil {
+			if errors.Is(err, ErrNotExist) {
+				continue
+			}
+			return nil, fmt.Errorf("store: open: %w", err)
+		}
+		fileGen, state, err := decodeSnapshot(data)
+		if err != nil || fileGen != gen {
+			s.stats.SkippedSnapshots++
+			continue
+		}
+		s.snapshot = state
+		s.gen = gen
+		chosen = true
+		break
+	}
+
+	if chosen {
+		s.stats.Generation = s.gen
+		if walData, err := s.backend.ReadFile(walName(s.gen)); err == nil {
+			scan := scanWAL(walData)
+			s.records = scan.records
+			s.stats.RecoveredRecords = uint64(len(scan.records))
+			s.stats.RecoveredBytes = uint64(scan.validBytes)
+			s.stats.TruncatedBytes = uint64(scan.truncatedBytes)
+		} else if !errors.Is(err, ErrNotExist) {
+			return nil, fmt.Errorf("store: open: %w", err)
+		}
+	}
+
+	// Drop every generation other than the chosen one. The chosen WAL
+	// itself is kept untouched — the caller replays it and then rotates
+	// via WriteSnapshot, which is how torn tails get discarded for good.
+	for _, gen := range snapGens {
+		if chosen && gen == s.gen {
+			continue
+		}
+		if err := b.Remove(snapName(gen)); err != nil {
+			return nil, fmt.Errorf("store: open: %w", err)
+		}
+	}
+	for gen := range walGens {
+		if chosen && gen == s.gen {
+			continue
+		}
+		if err := b.Remove(walName(gen)); err != nil {
+			return nil, fmt.Errorf("store: open: %w", err)
+		}
+	}
+
+	return s, nil
+}
+
+// Snapshot returns the state blob recovered at Open (nil on a virgin
+// backend).
+func (s *Store) Snapshot() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapshot
+}
+
+// Records returns the WAL records recovered at Open, in append order.
+func (s *Store) Records() [][]byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.records
+}
+
+// Generation returns the current generation number.
+func (s *Store) Generation() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gen
+}
+
+// WriteSnapshot persists state as a new generation and rotates the WAL:
+// temp-write + sync + rename, then a fresh empty WAL for the new
+// generation, then removal of the previous generation's files. After it
+// returns, state is durable and the WAL is empty.
+func (s *Store) WriteSnapshot(state []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	prevGen, hadPrev := s.gen, s.wal != nil || s.snapshot != nil || s.stats.Snapshots > 0
+	newGen := s.gen + 1
+
+	tmp := snapName(newGen) + tmpSuffix
+	f, err := s.backend.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+	if _, err := f.Write(encodeSnapshot(newGen, state)); err != nil {
+		f.Close()
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+	if err := s.backend.Rename(tmp, snapName(newGen)); err != nil {
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+
+	// The new snapshot is durable; open the new generation's WAL.
+	if s.wal != nil {
+		s.wal.Close()
+		s.wal = nil
+	}
+	wal, err := s.backend.Create(walName(newGen))
+	if err != nil {
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+
+	s.gen = newGen
+	s.wal = wal
+	s.stats.Snapshots++
+	s.stats.Generation = newGen
+	s.snapshot = nil
+	s.records = nil
+
+	// Retire the previous generation. Failures here would leave stale
+	// files that the next Open cleans up, but under the simulated crash
+	// model a failure means the whole process is dead anyway.
+	if hadPrev {
+		if err := s.backend.Remove(snapName(prevGen)); err != nil {
+			return fmt.Errorf("store: snapshot: %w", err)
+		}
+		if err := s.backend.Remove(walName(prevGen)); err != nil {
+			return fmt.Errorf("store: snapshot: %w", err)
+		}
+	}
+	return nil
+}
+
+// Append frames rec onto the current WAL. The record is not durable
+// until Sync returns.
+func (s *Store) Append(rec []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return ErrNoSnapshot
+	}
+	frame, err := appendFrame(nil, rec)
+	if err != nil {
+		return err
+	}
+	if _, err := s.wal.Write(frame); err != nil {
+		return fmt.Errorf("store: append: %w", err)
+	}
+	s.stats.Appends++
+	s.stats.AppendedBytes += uint64(len(frame))
+	return nil
+}
+
+// Sync makes every appended record durable.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return ErrNoSnapshot
+	}
+	if err := s.wal.Sync(); err != nil {
+		return fmt.Errorf("store: sync: %w", err)
+	}
+	s.stats.Syncs++
+	return nil
+}
+
+// Stats returns a copy of the store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Close releases the WAL handle without syncing. Call Sync first for a
+// clean shutdown.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return nil
+	}
+	err := s.wal.Close()
+	s.wal = nil
+	return err
+}

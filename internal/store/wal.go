@@ -1,0 +1,141 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// WAL frame layout: every record is framed as
+//
+//	u32 length | u32 CRC-32C(payload) | payload
+//
+// A reader accepts the longest valid prefix of frames and reports how it
+// stopped: a clean end, a torn tail (partial header, payload shorter
+// than the length prefix, or a CRC mismatch on the final bytes), or
+// trailing garbage — all of which recovery treats the same way, by
+// truncating to the valid prefix. Because a record only "exists" once
+// its full frame is durable and its CRC matches, a torn write can lose
+// the tail record but can never invent or alter one.
+
+// Frame limits and errors.
+var (
+	// ErrRecordTooLarge is returned when appending a record above
+	// MaxRecordSize.
+	ErrRecordTooLarge = errors.New("store: WAL record exceeds maximum size")
+)
+
+// MaxRecordSize bounds one WAL record; a hostile or garbage length
+// prefix beyond it is treated as a corrupt tail, not an allocation.
+const MaxRecordSize = 4 << 20
+
+// walFrameOverhead is the per-record framing cost in bytes.
+const walFrameOverhead = 8
+
+// castagnoli is the CRC-32C table (the checksum used by most production
+// log formats; hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// appendFrame appends one framed record to buf.
+func appendFrame(buf, payload []byte) ([]byte, error) {
+	if len(payload) > MaxRecordSize {
+		return nil, ErrRecordTooLarge
+	}
+	var hdr [walFrameOverhead]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...), nil
+}
+
+// walScan is the result of scanning a WAL file's bytes.
+type walScan struct {
+	// records are the valid records, in append order.
+	records [][]byte
+
+	// validBytes is the length of the valid frame prefix.
+	validBytes int
+
+	// truncatedBytes counts bytes past the valid prefix (torn tail or
+	// trailing garbage) that recovery discards.
+	truncatedBytes int
+}
+
+// scanWAL walks data frame by frame, collecting the longest valid
+// prefix. It never fails: damage is expressed as truncation.
+func scanWAL(data []byte) walScan {
+	s := walScan{}
+	off := 0
+	for {
+		if len(data)-off < walFrameOverhead {
+			break // clean end or partial header
+		}
+		n := int(binary.BigEndian.Uint32(data[off : off+4]))
+		sum := binary.BigEndian.Uint32(data[off+4 : off+8])
+		if n > MaxRecordSize || len(data)-off-walFrameOverhead < n {
+			break // garbage length or torn payload
+		}
+		payload := data[off+walFrameOverhead : off+walFrameOverhead+n]
+		if crc32.Checksum(payload, castagnoli) != sum {
+			break // corrupt record: cut here
+		}
+		rec := make([]byte, n)
+		copy(rec, payload)
+		s.records = append(s.records, rec)
+		off += walFrameOverhead + n
+	}
+	s.validBytes = off
+	s.truncatedBytes = len(data) - off
+	return s
+}
+
+// Snapshot envelope: u32 magic | u8 version | u64 generation |
+// u32 length | payload | u32 CRC-32C(everything before the CRC).
+// A snapshot is either wholly valid or ignored; there is no partial
+// acceptance, because the atomic temp-write/fsync/rename protocol means
+// a visible *.snap file should always be complete — the CRC catches the
+// cases where it is not (bit rot, injected garbage).
+
+const (
+	snapshotMagic   = 0x55545053 // "UTPS"
+	snapshotVersion = 1
+	snapshotHdrLen  = 4 + 1 + 8 + 4
+)
+
+// encodeSnapshot wraps state in the snapshot envelope.
+func encodeSnapshot(gen uint64, state []byte) []byte {
+	buf := make([]byte, 0, snapshotHdrLen+len(state)+4)
+	buf = binary.BigEndian.AppendUint32(buf, snapshotMagic)
+	buf = append(buf, snapshotVersion)
+	buf = binary.BigEndian.AppendUint64(buf, gen)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(state)))
+	buf = append(buf, state...)
+	return binary.BigEndian.AppendUint32(buf, crc32.Checksum(buf, castagnoli))
+}
+
+// decodeSnapshot validates an envelope and returns (generation, state).
+func decodeSnapshot(data []byte) (uint64, []byte, error) {
+	if len(data) < snapshotHdrLen+4 {
+		return 0, nil, fmt.Errorf("store: snapshot too short (%d bytes)", len(data))
+	}
+	if binary.BigEndian.Uint32(data[0:4]) != snapshotMagic {
+		return 0, nil, errors.New("store: snapshot magic mismatch")
+	}
+	if data[4] != snapshotVersion {
+		return 0, nil, fmt.Errorf("store: unsupported snapshot version %d", data[4])
+	}
+	gen := binary.BigEndian.Uint64(data[5:13])
+	n := int(binary.BigEndian.Uint32(data[13:17]))
+	if len(data) != snapshotHdrLen+n+4 {
+		return 0, nil, fmt.Errorf("store: snapshot length mismatch (%d payload, %d total)", n, len(data))
+	}
+	body := data[:snapshotHdrLen+n]
+	want := binary.BigEndian.Uint32(data[snapshotHdrLen+n:])
+	if crc32.Checksum(body, castagnoli) != want {
+		return 0, nil, errors.New("store: snapshot CRC mismatch")
+	}
+	state := make([]byte, n)
+	copy(state, data[snapshotHdrLen:snapshotHdrLen+n])
+	return gen, state, nil
+}

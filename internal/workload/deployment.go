@@ -5,6 +5,7 @@
 package workload
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -16,6 +17,7 @@ import (
 	"unitp/internal/netsim"
 	"unitp/internal/platform"
 	"unitp/internal/sim"
+	"unitp/internal/store"
 	"unitp/internal/tpm"
 )
 
@@ -67,6 +69,16 @@ type DeploymentConfig struct {
 	// Recovery tunes the client's session retries and CAPTCHA
 	// degradation (zero value = defaults).
 	Recovery core.RecoveryConfig
+
+	// Backend attaches a crash-safe durability store (WAL + snapshots)
+	// to the provider; RestartProvider can then rebuild the provider
+	// from it after a crash. nil keeps the provider memory-only.
+	Backend store.Backend
+
+	// SnapshotEvery rotates the provider's snapshot after this many WAL
+	// group commits (0 = only at attach and explicit SnapshotNow).
+	// Ignored without Backend.
+	SnapshotEvery int
 }
 
 // DefaultPIN is the PIN enrolled for alice in default deployments.
@@ -109,6 +121,10 @@ type Deployment struct {
 
 	// Cert is the client's AIK certificate.
 	Cert *attest.AIKCert
+
+	backend     store.Backend
+	providerCfg core.ProviderConfig
+	restarts    int
 }
 
 // NewDeployment wires a full deployment: boots the machine, enrolls the
@@ -156,7 +172,7 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 	if err != nil {
 		return nil, fmt.Errorf("workload: provider key: %w", err)
 	}
-	provider := core.NewProvider(core.ProviderConfig{
+	providerCfg := core.ProviderConfig{
 		Name:                  "sim-bank",
 		CAPub:                 ca.PublicKey(),
 		Key:                   provKey,
@@ -164,7 +180,9 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 		Random:                rng.Fork("provider"),
 		NonceTTL:              cfg.NonceTTL,
 		ConfirmThresholdCents: cfg.ConfirmThresholdCents,
-	})
+		SnapshotEvery:         cfg.SnapshotEvery,
+	}
+	provider := core.NewProvider(providerCfg)
 	// Approvals follow the client platform's DRTM flavour: plain image
 	// measurement on SKINIT, (SINIT, image) chain on TXT.
 	approve := func(name string, image []byte) {
@@ -196,13 +214,31 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 		}
 	}
 
-	pipe := netsim.NewPipe(netsim.Config{
+	// Setup (accounts, credentials, approvals) happens before the store
+	// attaches, so the initial snapshot captures it all.
+	if cfg.Backend != nil {
+		st, err := store.Open(cfg.Backend)
+		if err != nil {
+			return nil, fmt.Errorf("workload: open store: %w", err)
+		}
+		if err := provider.AttachStore(st); err != nil {
+			return nil, fmt.Errorf("workload: attach store: %w", err)
+		}
+	}
+
+	d := &Deployment{
+		Clock: clock, Rng: rng, Machine: machine, OS: osys,
+		Manager: manager, CA: ca, Provider: provider,
+		AIK: aik, Cert: cert,
+		backend: cfg.Backend, providerCfg: providerCfg,
+	}
+	d.Pipe = netsim.NewPipe(netsim.Config{
 		Clock:  clock,
 		Random: rng.Fork("net"),
 		Link:   cfg.Link,
 		Retry:  cfg.Retry,
 		Faults: cfg.Faults,
-	}, provider.Handle)
+	}, d.handle)
 
 	recovery := cfg.Recovery
 	if recovery.Rng == nil {
@@ -211,7 +247,7 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 	client, err := core.NewClient(core.ClientConfig{
 		Manager:   manager,
 		OS:        osys,
-		Transport: pipe,
+		Transport: d.Pipe,
 		AIK:       aik,
 		Cert:      cert,
 		Recovery:  recovery,
@@ -219,9 +255,57 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 	if err != nil {
 		return nil, fmt.Errorf("workload: client: %w", err)
 	}
-	return &Deployment{
-		Clock: clock, Rng: rng, Machine: machine, OS: osys,
-		Manager: manager, CA: ca, Provider: provider, Client: client,
-		Pipe: pipe, AIK: aik, Cert: cert,
-	}, nil
+	d.Client = client
+	return d, nil
 }
+
+// handle is the pipe's server side, indirected through the deployment
+// so RestartProvider can swap the provider under live traffic. A dead
+// provider (store crash) surfaces as a connection reset — transient
+// from the client's point of view — rather than a fatal remote error.
+func (d *Deployment) handle(req []byte) ([]byte, error) {
+	resp, err := d.Provider.Handle(req)
+	if err != nil && errors.Is(err, store.ErrCrashed) {
+		return nil, netsim.ErrReset
+	}
+	return resp, err
+}
+
+// RestartProvider models the provider process coming back after a
+// crash: a replacement engine is rebuilt from the durability store
+// (latest snapshot + WAL tail, audit chain re-verified), configuration
+// that is not state — keys and PAL approvals — is re-applied exactly as
+// at first construction, and the pipe is re-pointed at the new process.
+// When modelling a hard crash, tear the backend first (see
+// store.MemBackend.Recover and faults.RecoveryPolicy).
+func (d *Deployment) RestartProvider() error {
+	if d.backend == nil {
+		return fmt.Errorf("workload: deployment has no durability backend")
+	}
+	st, err := store.Open(d.backend)
+	if err != nil {
+		return fmt.Errorf("workload: reopen store: %w", err)
+	}
+	d.restarts++
+	pcfg := d.providerCfg
+	pcfg.Random = d.Rng.Fork(fmt.Sprintf("provider-life-%d", d.restarts))
+	p, err := core.RestoreProvider(pcfg, st)
+	if err != nil {
+		return fmt.Errorf("workload: restore provider: %w", err)
+	}
+	approve := func(name string, image []byte) {
+		p.Verifier().ApprovePALChain(name,
+			d.Machine.LaunchChain(cryptoutil.SHA1(image))...)
+	}
+	approve(core.ConfirmPALName, core.ConfirmPALImage())
+	approve(core.PresencePALName, core.PresencePALImage())
+	approve(core.ProvisionPALName, core.ProvisionPALImage(p.PublicKeyDER()))
+	approve(core.PINPALName, core.PINPALImage())
+	approve(core.BatchPALName, core.BatchPALImage())
+	d.Provider = p
+	d.Pipe.SetHandler(d.handle)
+	return nil
+}
+
+// Restarts reports how many times the provider has been restarted.
+func (d *Deployment) Restarts() int { return d.restarts }
