@@ -1,0 +1,152 @@
+package unitp_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"unitp/internal/netsim"
+	"unitp/internal/obs"
+	"unitp/internal/workload"
+)
+
+// TestAdminPlaneLiveWorkload stands up the admin HTTP plane over a live
+// deployment and polls it WHILE a workload goroutine drives trusted-path
+// sessions — the endpoints must serve consistent, moving values under
+// concurrent instrumentation writes, and the final numbers must agree
+// with what the workload actually did.
+func TestAdminPlaneLiveWorkload(t *testing.T) {
+	registry := obs.NewRegistry()
+	tracer := obs.NewTracer(64)
+	d, err := workload.NewDeployment(workload.DeploymentConfig{
+		Seed:     0xAD41,
+		Link:     netsim.LinkLoopback(),
+		Accounts: map[string]int64{"alice": 1 << 40, "bob": 0, "mallory": 0},
+		Metrics:  registry,
+		Tracer:   tracer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := obs.NewAdminMux(obs.AdminConfig{
+		Metrics:   registry,
+		Tracer:    tracer,
+		Readiness: d.Provider.Health,
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	const txCount = 12
+	var confirmed atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		stream := workload.NewTxStream(d.Rng.Fork("txs"), workload.TxStreamConfig{From: "alice"})
+		user := workload.DefaultUser(d.Rng.Fork("user"))
+		user.AttachTo(d.Machine)
+		for i := 0; i < txCount; i++ {
+			tx, _ := stream.Next()
+			user.Intend(tx)
+			outcome, err := d.Client.SubmitTransaction(tx)
+			if err != nil {
+				t.Errorf("session %d: %v", i, err)
+				return
+			}
+			if outcome.Accepted {
+				confirmed.Add(1)
+			}
+		}
+	}()
+
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		return resp.StatusCode, body
+	}
+
+	// Hammer the plane while the workload runs: every response must be
+	// well-formed regardless of where the writers are mid-session.
+	polls := 0
+	for {
+		select {
+		case <-done:
+		default:
+			if code, body := get("/healthz"); code != http.StatusOK || strings.TrimSpace(string(body)) != "ok" {
+				t.Fatalf("/healthz mid-workload: %d %q", code, body)
+			}
+			if code, body := get("/metrics"); code != http.StatusOK || !json.Valid(body) {
+				t.Fatalf("/metrics mid-workload: %d (valid JSON: %v)", code, json.Valid(body))
+			}
+			polls++
+			continue
+		}
+		break
+	}
+	if polls == 0 {
+		t.Error("workload finished before a single poll — not concurrent")
+	}
+
+	// Final state: the plane's numbers must match the workload's.
+	code, body := get("/readyz")
+	var ready obs.Readiness
+	if err := json.Unmarshal(body, &ready); err != nil || code != http.StatusOK || !ready.Ready {
+		t.Fatalf("/readyz: %d %s (err %v)", code, body, err)
+	}
+
+	code, body = get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: %d", code)
+	}
+	var payload struct {
+		Counters   map[string]int64          `json:"counters"`
+		Gauges     map[string]int64          `json:"gauges"`
+		Histograms map[string]map[string]any `json:"histograms"`
+		Tracer     obs.TracerStats           `json:"tracer"`
+	}
+	if err := json.Unmarshal(body, &payload); err != nil {
+		t.Fatalf("/metrics: %v", err)
+	}
+	if got := payload.Counters["provider.outcome.confirmed"]; got != confirmed.Load() {
+		t.Errorf("provider.outcome.confirmed = %d, workload confirmed %d", got, confirmed.Load())
+	}
+	if got := payload.Counters["provider.submitted"]; got != txCount {
+		t.Errorf("provider.submitted = %d, want %d", got, txCount)
+	}
+	if _, ok := payload.Gauges["provider.inflight"]; !ok {
+		t.Error("gauge provider.inflight missing")
+	}
+	if payload.Histograms["net.rtt"] == nil {
+		t.Error("histogram net.rtt missing")
+	}
+	if payload.Tracer.Finished != txCount {
+		t.Errorf("tracer finished %d sessions, want %d", payload.Tracer.Finished, txCount)
+	}
+
+	if code, body := get("/metrics?format=text"); code != http.StatusOK ||
+		!strings.Contains(string(body), "provider.outcome.confirmed") {
+		t.Errorf("/metrics?format=text: %d, missing counter table", code)
+	}
+
+	code, body = get("/trace?n=4")
+	var trace struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(body, &trace); err != nil || code != http.StatusOK {
+		t.Fatalf("/trace: %d (err %v)", code, err)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Error("/trace: no events for completed sessions")
+	}
+}

@@ -8,6 +8,7 @@
 //	tpbench -list           # list experiments
 //	tpbench -save results   # also write each result to results/<id>.txt
 //	tpbench -recovery       # benchmark WAL replay throughput (records/sec)
+//	tpbench -trace out.json # traced chaos run, Chrome trace_event JSON (Perfetto)
 package main
 
 import (
@@ -31,11 +32,16 @@ func run() int {
 		save     = flag.String("save", "", "directory to write per-experiment result files into")
 		recovery = flag.Bool("recovery", false, "benchmark WAL replay throughput instead of running experiments")
 		recTxs   = flag.Int("recovery-txs", 200, "transactions to journal before the recovery benchmark")
+		traceOut = flag.String("trace", "", "run a traced chaos workload and write Chrome trace_event JSON (Perfetto-loadable) to this file")
 	)
 	flag.Parse()
 
 	if *recovery {
 		return runRecoveryBench(*recTxs)
+	}
+
+	if *traceOut != "" {
+		return runTraced(*traceOut)
 	}
 
 	if *save != "" {
@@ -81,5 +87,24 @@ func run() int {
 			}
 		}
 	}
+	return 0
+}
+
+// runTraced runs the F11 chaos workload with the tracer attached and
+// writes the sessions as Chrome trace_event JSON for Perfetto.
+func runTraced(path string) int {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tpbench: -trace: %v\n", err)
+		return 1
+	}
+	defer f.Close()
+	summary, err := experiments.RunTracedChaos(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tpbench: -trace: %v\n", err)
+		return 1
+	}
+	fmt.Println(summary)
+	fmt.Printf("wrote Chrome trace to %s (open in https://ui.perfetto.dev or chrome://tracing)\n", path)
 	return 0
 }

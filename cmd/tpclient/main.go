@@ -26,6 +26,7 @@ import (
 	"unitp/internal/cryptoutil"
 	"unitp/internal/flicker"
 	"unitp/internal/netsim"
+	"unitp/internal/obs"
 	"unitp/internal/platform"
 	"unitp/internal/sim"
 	"unitp/internal/tpm"
@@ -48,8 +49,27 @@ func run() error {
 		presence = flag.Bool("presence", false, "run the human-presence (captcha replacement) flow instead")
 		login    = flag.String("login", "", "run the secure PIN login flow for this username instead")
 		pin      = flag.String("pin", "2468", "PIN typed at the trusted prompt (login flow, scripted mode)")
+		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON of this run's sessions to this file (load in Perfetto)")
 	)
 	flag.Parse()
+
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer(64)
+		defer func() {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				log.Printf("tpclient: trace: %v", err)
+				return
+			}
+			defer f.Close()
+			if err := obs.WriteChromeTrace(f, tracer.Completed(0)); err != nil {
+				log.Printf("tpclient: trace: %v", err)
+				return
+			}
+			log.Printf("tpclient: wrote trace to %s (%d sessions)", *traceOut, len(tracer.Completed(0)))
+		}()
+	}
 
 	profile, err := profileByName(*vendor)
 	if err != nil {
@@ -86,11 +106,13 @@ func run() error {
 	// transport masks transient failures with backoff and a deadline.
 	transport := netsim.NewRetryTransport(netsim.NewConnTransport(conn),
 		netsim.DefaultRetryPolicy(), sim.WallClock{}, sim.NewRand(uint64(time.Now().UnixNano())^0x7e7))
+	transport.Observe(nil, tracer)
 	client, err := core.NewClient(core.ClientConfig{
 		Manager:   flicker.NewManager(machine),
 		Transport: transport,
 		AIK:       aik,
 		Cert:      cert,
+		Tracer:    tracer,
 	})
 	if err != nil {
 		return err

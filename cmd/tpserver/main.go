@@ -9,9 +9,13 @@
 // next start; SIGINT/SIGTERM trigger a graceful shutdown that stops
 // accepting, closes live connections, and writes a final snapshot.
 //
+// With -admin the server also exposes an operational HTTP plane:
+// /metrics (JSON, ?format=text), /healthz, /readyz, /trace?n=K
+// (Chrome trace_event JSON of recent sessions), and /debug/pprof.
+//
 // Usage:
 //
-//	tpserver -addr :7700 -data /var/lib/tpserver -snapshot-every 64
+//	tpserver -addr :7700 -data /var/lib/tpserver -snapshot-every 64 -admin :7701
 package main
 
 import (
@@ -20,8 +24,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"sync"
@@ -31,14 +36,15 @@ import (
 	"unitp/internal/core"
 	"unitp/internal/cryptoutil"
 	"unitp/internal/netsim"
+	"unitp/internal/obs"
 	"unitp/internal/sim"
 	"unitp/internal/store"
 )
 
 func main() {
 	if err := run(); err != nil {
-		log.SetFlags(0)
-		log.Fatalf("tpserver: %v", err)
+		fmt.Fprintf(os.Stderr, "tpserver: %v\n", err)
+		os.Exit(1)
 	}
 }
 
@@ -48,11 +54,22 @@ func run() error {
 		threshold = flag.Int64("threshold", 0, "auto-accept below this amount in cents (0 = confirm everything)")
 		dataDir   = flag.String("data", "", "durability directory (WAL + snapshots); empty = memory-only")
 		snapEvery = flag.Int("snapshot-every", 64, "rotate the snapshot after this many journal commits (needs -data)")
+		adminAddr = flag.String("admin", "", "admin plane listen address (/metrics, /healthz, /readyz, /trace, /debug/pprof); empty = disabled")
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		traceCap  = flag.Int("trace-buffer", 256, "completed session traces retained for /trace")
 	)
 	flag.Parse()
 
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	logger := obs.NewLogger(os.Stderr, level)
+
 	clock := sim.WallClock{}
 	rng := sim.NewRand(uint64(os.Getpid()))
+	registry := obs.NewRegistry()
+	tracer := obs.NewTracer(*traceCap)
 
 	caKey, err := cryptoutil.GenerateRSAKey(rand.Reader, cryptoutil.DefaultRSABits)
 	if err != nil {
@@ -72,8 +89,10 @@ func run() error {
 		Random:                rng.Fork("provider"),
 		ConfirmThresholdCents: *threshold,
 		SnapshotEvery:         *snapEvery,
+		Metrics:               registry,
+		Tracer:                tracer,
 	}
-	provider, err := buildProvider(cfg, *dataDir)
+	provider, err := buildProvider(cfg, *dataDir, logger)
 	if err != nil {
 		return err
 	}
@@ -88,10 +107,31 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	log.Printf("tpserver: listening on %s (confirm threshold: %d cents, durability: %s)",
-		ln.Addr(), *threshold, durabilityLabel(*dataDir))
+	logger.Info("listening",
+		"addr", ln.Addr().String(),
+		"threshold_cents", *threshold,
+		"durability", durabilityLabel(*dataDir))
 
-	srv := &server{ca: ca, provider: provider, conns: map[net.Conn]struct{}{}}
+	if *adminAddr != "" {
+		adminLn, err := net.Listen("tcp", *adminAddr)
+		if err != nil {
+			return fmt.Errorf("admin listen: %w", err)
+		}
+		mux := obs.NewAdminMux(obs.AdminConfig{
+			Metrics:   registry,
+			Tracer:    tracer,
+			Readiness: provider.Health,
+			Logger:    logger,
+		})
+		logger.Info("admin plane up", "addr", adminLn.Addr().String())
+		go func() {
+			if err := http.Serve(adminLn, mux); err != nil {
+				logger.Error("admin plane stopped", "err", err)
+			}
+		}()
+	}
+
+	srv := &server{ca: ca, provider: provider, logger: logger, conns: map[net.Conn]struct{}{}}
 
 	// Graceful shutdown: stop accepting, hang up on live sessions (their
 	// in-flight request finishes its journal commit first — Handle only
@@ -100,7 +140,7 @@ func run() error {
 	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
 	go func() {
 		sig := <-sigCh
-		log.Printf("tpserver: %s: shutting down", sig)
+		logger.Info("shutting down", "signal", sig.String())
 		srv.beginShutdown()
 		ln.Close()
 	}()
@@ -120,11 +160,11 @@ func run() error {
 		}
 		go func() {
 			defer srv.untrack(conn)
-			if err := serveConn(conn, ca, provider); err != nil && !srv.shuttingDown() {
-				log.Printf("tpserver: %s: %v", conn.RemoteAddr(), err)
+			if err := serveConn(conn, ca, provider, logger); err != nil && !srv.shuttingDown() {
+				logger.Error("connection failed", "remote", conn.RemoteAddr().String(), "err", err)
 			}
 			st := provider.Stats()
-			log.Printf("tpserver: stats: %+v", st)
+			logger.Debug("provider stats", "stats", fmt.Sprintf("%+v", st))
 		}()
 	}
 }
@@ -132,7 +172,7 @@ func run() error {
 // buildProvider either restores the provider from an existing durability
 // directory or builds a fresh one (seeding demo accounts) and attaches
 // the store so the initial snapshot captures the seeded state.
-func buildProvider(cfg core.ProviderConfig, dataDir string) (*core.Provider, error) {
+func buildProvider(cfg core.ProviderConfig, dataDir string, logger *slog.Logger) (*core.Provider, error) {
 	var st *store.Store
 	if dataDir != "" {
 		backend, err := store.OpenDir(dataDir)
@@ -149,8 +189,9 @@ func buildProvider(cfg core.ProviderConfig, dataDir string) (*core.Provider, err
 				return nil, fmt.Errorf("restore provider: %w", err)
 			}
 			stats := st.Stats()
-			log.Printf("tpserver: restored generation %d (%d WAL records replayed)",
-				st.Generation(), stats.RecoveredRecords)
+			logger.Info("restored from durable store",
+				"generation", st.Generation(),
+				"wal_records_replayed", stats.RecoveredRecords)
 			return p, nil
 		}
 	}
@@ -187,6 +228,7 @@ func durabilityLabel(dataDir string) string {
 type server struct {
 	ca       *attest.PrivacyCA
 	provider *core.Provider
+	logger   *slog.Logger
 
 	mu       sync.Mutex
 	conns    map[net.Conn]struct{}
@@ -232,7 +274,7 @@ func (s *server) beginShutdown() {
 func (s *server) finish() error {
 	st := s.provider.Store()
 	if st == nil {
-		log.Printf("tpserver: shutdown complete (memory-only)")
+		s.logger.Info("shutdown complete", "durability", "memory-only")
 		return nil
 	}
 	if err := s.provider.SnapshotNow(); err != nil && !errors.Is(err, store.ErrCrashed) {
@@ -241,13 +283,13 @@ func (s *server) finish() error {
 	if err := st.Close(); err != nil {
 		return fmt.Errorf("close store: %w", err)
 	}
-	log.Printf("tpserver: shutdown complete (generation %d durable)", st.Generation())
+	s.logger.Info("shutdown complete", "generation", st.Generation())
 	return nil
 }
 
 // serveConn performs the enrollment handshake and then serves protocol
 // frames.
-func serveConn(conn net.Conn, ca *attest.PrivacyCA, provider *core.Provider) error {
+func serveConn(conn net.Conn, ca *attest.PrivacyCA, provider *core.Provider, logger *slog.Logger) error {
 	// Enrollment frame: platformID, EK (PKCS#1 DER), AIK (PKCS#1 DER).
 	hello, err := netsim.ReadFrame(conn)
 	if err != nil {
@@ -278,6 +320,11 @@ func serveConn(conn net.Conn, ca *attest.PrivacyCA, provider *core.Provider) err
 	if err := netsim.WriteFrame(conn, cert.Marshal()); err != nil {
 		return fmt.Errorf("send cert: %w", err)
 	}
-	log.Printf("tpserver: enrolled %s", platformID)
-	return netsim.Serve(conn, provider.Handle)
+	logger.Info("enrolled platform", "platform_id", platformID, "remote", conn.RemoteAddr().String())
+	return netsim.Serve(conn, func(req []byte) ([]byte, error) {
+		if sid, ok := obs.PeekSession(req); ok {
+			logger.Debug("frame", obs.Session(sid), "bytes", len(req))
+		}
+		return provider.Handle(req)
+	})
 }

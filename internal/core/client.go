@@ -3,11 +3,13 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"unitp/internal/attest"
 	"unitp/internal/flicker"
 	"unitp/internal/hostos"
 	"unitp/internal/netsim"
+	"unitp/internal/obs"
 	"unitp/internal/platform"
 	"unitp/internal/tpm"
 )
@@ -52,6 +54,11 @@ type ClientConfig struct {
 	// Recovery tunes session retries and CAPTCHA degradation for
 	// SubmitResilient. The zero value gives sensible defaults.
 	Recovery RecoveryConfig
+
+	// Tracer, when non-nil, mints a correlation ID per protocol flow,
+	// stamps it on every outgoing frame, and collects the flow's spans
+	// and events as one session trace.
+	Tracer *obs.Tracer
 }
 
 // Client is the client-side protocol engine: it submits transactions,
@@ -76,6 +83,9 @@ type Client struct {
 	failStreak int // consecutive trusted-path session failures
 
 	lastReport *platform.LaunchReport // most recent PAL session timing
+
+	tracer  *obs.Tracer
+	session *obs.SessionTrace // current flow's trace (client is single-flow)
 }
 
 // NewClient builds a client engine and registers the protocol PALs with
@@ -99,6 +109,7 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		cert:      cfg.Cert,
 		mode:      cfg.Mode,
 		recovery:  cfg.Recovery,
+		tracer:    cfg.Tracer,
 	}
 	for _, pal := range []*flicker.PAL{NewConfirmPAL(), NewPresencePAL(), NewPINPAL(), NewBatchPAL()} {
 		if err := c.manager.Register(pal); err != nil && !errors.Is(err, flicker.ErrPALExists) {
@@ -126,8 +137,54 @@ func (c *Client) SetMode(m ConfirmMode) error {
 	return nil
 }
 
+// beginSession opens the client's session trace for one protocol flow,
+// or joins the enclosing flow's trace (SubmitResilient wraps
+// SubmitTransaction; the whole resilient submission is ONE session).
+// The returned owner flag says whether the caller must end it.
+func (c *Client) beginSession(label string) (tr *obs.SessionTrace, owner bool) {
+	if c.session != nil {
+		return c.session, false
+	}
+	tr = c.tracer.StartSession(c.manager.Machine().Clock())
+	tr.SetLabel(label)
+	c.session = tr
+	return tr, tr != nil
+}
+
+// endSession finishes an owned session trace.
+func (c *Client) endSession(tr *obs.SessionTrace, owner bool) {
+	if owner {
+		tr.Finish()
+		c.session = nil
+	}
+}
+
+// recordLaunch back-dates the PAL session's phase breakdown (suspend,
+// SKINIT, PAL run, resume) onto the session trace.
+func (c *Client) recordLaunch(rep *platform.LaunchReport) {
+	if c.session == nil || rep == nil {
+		return
+	}
+	at := c.manager.Machine().Clock().Now().Add(-rep.Total)
+	for _, phase := range []struct {
+		name string
+		dur  time.Duration
+	}{
+		{"pal.suspend", rep.Suspend},
+		{"pal.skinit", rep.SKINIT},
+		{"pal.run", rep.PALRun},
+		{"pal.resume", rep.Resume},
+	} {
+		c.session.SpanAt(phase.name, at, phase.dur)
+		at = at.Add(phase.dur)
+	}
+}
+
 // roundTrip sends a protocol message through the OS's network path and
-// decodes the reply.
+// decodes the reply. The correlation-ID envelope is stamped AFTER the
+// OS's outbound filter: a compromised OS attacks the protocol frame
+// itself, and the envelope is observability metadata, not protocol
+// surface.
 func (c *Client) roundTrip(msg any) (any, error) {
 	payload, err := EncodeMessage(msg)
 	if err != nil {
@@ -136,7 +193,12 @@ func (c *Client) roundTrip(msg any) (any, error) {
 	if c.os != nil {
 		payload = c.os.FilterOutbound(payload)
 	}
+	if c.session != nil {
+		payload = obs.WrapFrame(c.session.ID(), payload)
+	}
+	sp := c.session.StartSpan("client.roundtrip")
 	resp, err := c.transport.RoundTrip(payload)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -149,6 +211,8 @@ func (c *Client) roundTrip(msg any) (any, error) {
 // quoteEvidence takes a TPM quote over the trusted-path PCRs for the
 // given nonce and packages it with the AIK certificate.
 func (c *Client) quoteEvidence(nonce attest.Nonce) ([]byte, error) {
+	sp := c.session.StartSpan("client.quote")
+	defer sp.End()
 	quote, err := c.manager.Machine().TPM().Quote(
 		c.manager.Machine().OSLocality(), c.aik, nonce[:],
 		[]int{tpm.PCRDRTM, tpm.PCRApp})
@@ -171,6 +235,8 @@ func (c *Client) quoteEvidence(nonce attest.Nonce) ([]byte, error) {
 //
 // ErrNoHumanResponse surfaces (wrapped) when nobody was at the keyboard.
 func (c *Client) SubmitTransaction(tx *Transaction) (*Outcome, error) {
+	tr, owner := c.beginSession("submit " + tx.ID)
+	defer c.endSession(tr, owner)
 	resp, err := c.roundTrip(&SubmitTx{Tx: tx})
 	if err != nil {
 		return nil, err
@@ -211,7 +277,9 @@ func (c *Client) runConfirmation(ch *Challenge) (*Outcome, error) {
 		return nil, err
 	}
 	c.lastReport = res.Report
+	c.recordLaunch(res.Report)
 	if res.PALErr != nil {
+		c.session.Event("pal.error", res.PALErr.Error())
 		return nil, fmt.Errorf("%w: %w", ErrPALFailed, res.PALErr)
 	}
 	out, err := parseConfirmOutput(res.Output)
@@ -254,6 +322,8 @@ func (c *Client) runConfirmation(ch *Challenge) (*Outcome, error) {
 // ProveHumanPresence runs the CAPTCHA-replacement flow and returns the
 // provider's outcome (with a presence token on success).
 func (c *Client) ProveHumanPresence() (*Outcome, error) {
+	tr, owner := c.beginSession("presence")
+	defer c.endSession(tr, owner)
 	resp, err := c.roundTrip(&PresenceRequest{})
 	if err != nil {
 		return nil, err
@@ -270,6 +340,7 @@ func (c *Client) ProveHumanPresence() (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.recordLaunch(res.Report)
 	if res.PALErr != nil {
 		return nil, fmt.Errorf("%w: %w", ErrPALFailed, res.PALErr)
 	}
@@ -294,6 +365,8 @@ func (c *Client) ProveHumanPresence() (*Outcome, error) {
 // provider key with an attestation binding. On success the client can
 // SetMode(ModeHMAC).
 func (c *Client) ProvisionHMACKey() (*Outcome, error) {
+	tr, owner := c.beginSession("provision")
+	defer c.endSession(tr, owner)
 	resp, err := c.roundTrip(&ProvisionRequest{PlatformID: c.cert.PlatformID})
 	if err != nil {
 		return nil, err
@@ -317,6 +390,7 @@ func (c *Client) ProvisionHMACKey() (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.recordLaunch(res.Report)
 	if res.PALErr != nil {
 		return nil, fmt.Errorf("%w: %w", ErrPALFailed, res.PALErr)
 	}

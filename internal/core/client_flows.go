@@ -10,6 +10,8 @@ import (
 // that the enrolled credential was typed by a human on this platform.
 // On success the outcome carries a session token.
 func (c *Client) Login(username string) (*Outcome, error) {
+	tr, owner := c.beginSession("login " + username)
+	defer c.endSession(tr, owner)
 	resp, err := c.roundTrip(&LoginRequest{Username: username})
 	if err != nil {
 		return nil, err
@@ -27,6 +29,7 @@ func (c *Client) Login(username string) (*Outcome, error) {
 		return nil, err
 	}
 	c.lastReport = res.Report
+	c.recordLaunch(res.Report)
 	if res.PALErr != nil {
 		return nil, fmt.Errorf("%w: %w", ErrPALFailed, res.PALErr)
 	}
@@ -53,6 +56,8 @@ func (c *Client) SubmitBatch(txs []Transaction) (*Outcome, []bool, error) {
 	if len(txs) == 0 {
 		return nil, nil, fmt.Errorf("%w: empty batch", ErrBadMessage)
 	}
+	tr, owner := c.beginSession(fmt.Sprintf("batch n=%d", len(txs)))
+	defer c.endSession(tr, owner)
 	resp, err := c.roundTrip(&SubmitBatch{Txs: txs})
 	if err != nil {
 		return nil, nil, err
@@ -78,6 +83,7 @@ func (c *Client) SubmitBatch(txs []Transaction) (*Outcome, []bool, error) {
 		return nil, nil, err
 	}
 	c.lastReport = res.Report
+	c.recordLaunch(res.Report)
 	if res.PALErr != nil {
 		return nil, nil, fmt.Errorf("%w: %w", ErrPALFailed, res.PALErr)
 	}

@@ -7,6 +7,7 @@ import (
 
 	"unitp/internal/attest"
 	"unitp/internal/cryptoutil"
+	"unitp/internal/obs"
 	"unitp/internal/store"
 )
 
@@ -652,6 +653,7 @@ func (p *Provider) replayRecord(rec []byte) error {
 func (p *Provider) AttachStore(st *store.Store) error {
 	p.commitMu.Lock()
 	defer p.commitMu.Unlock()
+	st.SetMetrics(p.obsReg)
 	p.st = st
 	return p.snapshotLocked()
 }
@@ -689,6 +691,7 @@ func (p *Provider) snapshotLocked() error {
 // store failure kills the provider — a half-durable provider must not
 // keep answering.
 func (p *Provider) commitLocked(j *journal) error {
+	start := time.Now()
 	if err := p.st.Append(j.encodeGroup()); err != nil {
 		p.markDead()
 		return err
@@ -697,11 +700,35 @@ func (p *Provider) commitLocked(j *journal) error {
 		p.markDead()
 		return err
 	}
+	p.obsReg.Counter("provider.commits").Inc()
+	p.obsReg.Observe("provider.commit_latency", time.Since(start))
 	p.sinceSnap++
 	if p.snapEvery > 0 && p.sinceSnap >= p.snapEvery {
 		return p.snapshotLocked()
 	}
 	return nil
+}
+
+// Health reports the provider's operational readiness for the admin
+// plane: store attachment, WAL sync counts, last-snapshot age, and the
+// dead flag a store failure raises.
+func (p *Provider) Health() obs.Readiness {
+	dead := p.isDead()
+	detail := map[string]any{
+		"dead":               dead,
+		"store_attached":     p.st != nil,
+		"pending_challenges": p.PendingChallenges(),
+	}
+	if p.st != nil {
+		st := p.st.Stats()
+		detail["wal_generation"] = st.Generation
+		detail["wal_appends"] = st.Appends
+		detail["wal_syncs"] = st.Syncs
+		if last := p.st.LastSnapshotTime(); !last.IsZero() {
+			detail["last_snapshot_age_s"] = time.Since(last).Seconds()
+		}
+	}
+	return obs.Readiness{Ready: !dead, Detail: detail}
 }
 
 // mutateDurable runs an out-of-band mutation (BindPlatform,
@@ -748,22 +775,39 @@ func (p *Provider) markDead() {
 // PAL approvals on Verifier() — exactly as at first construction.
 func RestoreProvider(cfg ProviderConfig, st *store.Store) (*Provider, error) {
 	p := NewProvider(cfg)
+	// Recovery runs outside any client session, so it gets a trace of
+	// its own — crash recovery must be attributable too.
+	tr := p.tracer.StartSession(p.clock)
+	tr.SetLabel("recovery")
+	defer tr.Finish()
+
+	sp := tr.StartSpan("recover.snapshot")
 	if snap := st.Snapshot(); snap != nil {
 		if err := p.loadState(snap); err != nil {
 			return nil, fmt.Errorf("core: restore snapshot: %w", err)
 		}
 	}
-	for i, group := range st.Records() {
+	sp.End()
+	sp = tr.StartSpan("recover.replay_wal")
+	groups := st.Records()
+	for i, group := range groups {
 		if err := p.replayGroup(group); err != nil {
 			return nil, fmt.Errorf("core: restore WAL group %d: %w", i, err)
 		}
 	}
+	sp.End()
+	tr.Event("recover.replayed", fmt.Sprintf("groups=%d", len(groups)))
+	sp = tr.StartSpan("recover.verify_audit")
 	if err := VerifyAuditChain(p.audit.Entries()); err != nil {
 		return nil, fmt.Errorf("core: restore: %w", err)
 	}
+	sp.End()
+	sp = tr.StartSpan("recover.rotate")
 	if err := p.AttachStore(st); err != nil {
 		return nil, fmt.Errorf("core: restore rotation: %w", err)
 	}
+	sp.End()
+	p.obsReg.Counter("provider.recoveries").Inc()
 	return p, nil
 }
 

@@ -14,6 +14,7 @@ import (
 	"unitp/internal/cryptoutil"
 	"unitp/internal/metrics"
 	"unitp/internal/netsim"
+	"unitp/internal/obs"
 	"unitp/internal/sim"
 	"unitp/internal/store"
 )
@@ -245,6 +246,15 @@ type ProviderConfig struct {
 	// group commits (0 = only on AttachStore/SnapshotNow). Irrelevant
 	// until a store is attached.
 	SnapshotEvery int
+
+	// Metrics, when non-nil, receives live outcome, replay-cache, and
+	// in-flight instrumentation.
+	Metrics *obs.Registry
+
+	// Tracer, when non-nil, lets the provider attribute its handling
+	// phases to client-minted correlation IDs (adopting remote IDs it
+	// has never seen).
+	Tracer *obs.Tracer
 }
 
 // Provider is the service-provider engine: it owns the ledger, issues
@@ -270,6 +280,8 @@ type Provider struct {
 	captcha   *captcha.Service
 	fallback  map[uint64]Outcome // answered CAPTCHA IDs (idempotency)
 	counters  *metrics.CounterSet
+	obsReg    *obs.Registry
+	tracer    *obs.Tracer
 	stats     ProviderStats
 	thresh    int64
 	ttl       time.Duration
@@ -331,6 +343,8 @@ func NewProvider(cfg ProviderConfig) *Provider {
 		captcha:   svc,
 		fallback:  make(map[uint64]Outcome),
 		counters:  metrics.NewCounterSet(),
+		obsReg:    cfg.Metrics,
+		tracer:    cfg.Tracer,
 		thresh:    cfg.ConfirmThresholdCents,
 		ttl:       ttl,
 		snapEvery: cfg.SnapshotEvery,
@@ -362,7 +376,17 @@ func (p *Provider) GC() int {
 		s.ExpiredChallenges += n
 		s.ExpiredOutcomes += evicted
 	})
+	p.obsReg.Counter("provider.gc.expired_challenges").Add(int64(n))
+	p.obsReg.Counter("provider.gc.expired_outcomes").Add(int64(evicted))
 	return n
+}
+
+// SetObservability attaches (or replaces) the provider's live metrics
+// registry and tracer. Either may be nil; instrumented paths are
+// nil-safe.
+func (p *Provider) SetObservability(m *obs.Registry, tr *obs.Tracer) {
+	p.obsReg = m
+	p.tracer = tr
 }
 
 // PendingChallenges reports the number of outstanding challenges.
@@ -414,6 +438,7 @@ func (p *Provider) takePending(nonce attest.Nonce, kind pendingKind, j *journal)
 			j.pendingDropped(nonce)
 		}
 		if wasAnswered {
+			p.obsReg.Counter("provider.replay_cache.hits").Inc()
 			replay := cached.outcome
 			return pendingChallenge{}, &replay, ""
 		}
@@ -449,6 +474,7 @@ func (p *Provider) rememberOutcome(nonce attest.Nonce, outcome *Outcome, j *jour
 	p.answered[nonce] = answeredChallenge{outcome: *outcome, at: now}
 	p.mu.Unlock()
 	j.outcomeCached(nonce, now, outcome)
+	p.obsReg.Counter("provider.replay_cache.stores").Inc()
 	return outcome
 }
 
@@ -516,8 +542,22 @@ var _ netsim.Handler = (*Provider)(nil).Handle
 // failed mid-request (store.ErrCrashed: the response was never durable,
 // so none is returned).
 func (p *Provider) Handle(req []byte) ([]byte, error) {
+	// A correlation-ID envelope, when present, attributes this request's
+	// handling to the client's session trace. Frames from legacy or
+	// hostile clients arrive bare and are processed identically.
+	sid, inner, hasSID := obs.UnwrapFrame(req)
+	var tr *obs.SessionTrace
+	if hasSID {
+		tr = p.tracer.Adopt(sid, p.clock)
+	}
+	inflight := p.obsReg.Gauge("provider.inflight")
+	inflight.Inc()
+	defer inflight.Dec()
+	sp := tr.StartSpan("provider.handle")
+	defer sp.End()
+
 	if p.st == nil {
-		return p.handle(req, nil)
+		return p.handle(inner, nil, tr)
 	}
 	// Durable path: serialize on the commit lock so WAL order equals
 	// mutation order, journal the request's mutations, and group-commit
@@ -530,12 +570,15 @@ func (p *Provider) Handle(req []byte) ([]byte, error) {
 		return nil, store.ErrCrashed
 	}
 	j := &journal{}
-	resp, err := p.handle(req, j)
+	resp, err := p.handle(inner, j, tr)
 	if err != nil {
 		return nil, err
 	}
 	if len(j.recs) > 0 {
-		if err := p.commitLocked(j); err != nil {
+		wsp := tr.StartSpan("provider.wal_commit")
+		err := p.commitLocked(j)
+		wsp.End()
+		if err != nil {
 			return nil, err
 		}
 	}
@@ -543,8 +586,9 @@ func (p *Provider) Handle(req []byte) ([]byte, error) {
 }
 
 // handle dispatches one decoded request, journaling mutations into j
-// (nil when the provider has no store).
-func (p *Provider) handle(req []byte, j *journal) ([]byte, error) {
+// (nil when the provider has no store) and attributing phases to tr
+// (nil when the frame carried no correlation ID or tracing is off).
+func (p *Provider) handle(req []byte, j *journal, tr *obs.SessionTrace) ([]byte, error) {
 	msg, err := DecodeMessage(req)
 	if err != nil {
 		// An undecodable frame is either in-flight corruption or a
@@ -553,14 +597,16 @@ func (p *Provider) handle(req []byte, j *journal) ([]byte, error) {
 		// the sender retries.
 		p.count(func(s *ProviderStats) { s.CorruptFrames++ })
 		p.counters.Counter("corrupt-frames").Inc()
+		p.obsReg.Counter("provider.corrupt_frames").Inc()
+		tr.Event("provider.corrupt_frame", err.Error())
 		return nil, err
 	}
 	var resp any
 	switch m := msg.(type) {
 	case *SubmitTx:
-		resp = p.handleSubmit(m, j)
+		resp = p.handleSubmit(m, j, tr)
 	case *ConfirmTx:
-		resp = p.handleConfirm(m, j)
+		resp = p.handleConfirm(m, j, tr)
 	case *PresenceRequest:
 		resp = p.handlePresenceRequest(j)
 	case *PresenceProof:
@@ -584,21 +630,52 @@ func (p *Provider) handle(req []byte, j *journal) ([]byte, error) {
 	default:
 		return nil, fmt.Errorf("%w: unexpected %T", ErrBadMessage, msg)
 	}
+	p.observeResponse(resp, tr)
 	return EncodeMessage(resp)
+}
+
+// observeResponse publishes the outcome taxonomy and, for sessions whose
+// correlation ID was minted remotely (adopted), completes the trace on a
+// terminal answer — the client process is not here to finish it.
+func (p *Provider) observeResponse(resp any, tr *obs.SessionTrace) {
+	o, ok := resp.(*Outcome)
+	if !ok {
+		return
+	}
+	switch {
+	case o.Accepted && o.Authentic:
+		p.obsReg.Counter("provider.outcome.confirmed").Inc()
+	case o.Accepted:
+		p.obsReg.Counter("provider.outcome.accepted").Inc()
+	case o.Authentic:
+		p.obsReg.Counter("provider.outcome.denied").Inc()
+	case o.Retryable:
+		p.obsReg.Counter("provider.outcome.rejected_retryable").Inc()
+	default:
+		p.obsReg.Counter("provider.outcome.rejected").Inc()
+	}
+	tr.Event("provider.outcome", fmt.Sprintf("accepted=%v reason=%q", o.Accepted, o.Reason))
+	if tr.Adopted() {
+		tr.Finish()
+	}
 }
 
 // handleSubmit processes a transaction submission: auto-accept below the
 // threshold, otherwise issue a confirmation challenge echoing the
 // provider's copy of the transaction.
-func (p *Provider) handleSubmit(m *SubmitTx, j *journal) any {
+func (p *Provider) handleSubmit(m *SubmitTx, j *journal, tr *obs.SessionTrace) any {
 	p.mu.Lock()
 	p.stats.Submitted++
 	p.mu.Unlock()
+	p.obsReg.Counter("provider.submitted").Inc()
 	if err := m.Tx.Validate(); err != nil {
 		return &Outcome{Accepted: false, Reason: err.Error(), TxID: safeTxID(m.Tx)}
 	}
 	if p.thresh > 0 && m.Tx.AmountCents < p.thresh {
-		if err := p.applyTx(m.Tx, j); err != nil {
+		lsp := tr.StartSpan("provider.ledger")
+		err := p.applyTx(m.Tx, j)
+		lsp.End()
+		if err != nil {
 			if errors.Is(err, ErrDuplicateTransaction) {
 				// A resubmission of an executed order (lost response,
 				// new session after a provider restart): idempotent
@@ -614,24 +691,27 @@ func (p *Provider) handleSubmit(m *SubmitTx, j *journal) any {
 	txCopy := *m.Tx
 	nonce := p.issueChallenge(pendingChallenge{kind: pendingConfirm, tx: &txCopy}, j)
 	p.count(func(s *ProviderStats) { s.Challenged++ })
+	p.obsReg.Counter("provider.challenged").Inc()
+	tr.Event("provider.challenge", "confirmation challenge issued")
 	return &Challenge{Nonce: nonce, Tx: &txCopy}
 }
 
 // handleConfirm verifies a confirmation against the pending challenge.
-func (p *Provider) handleConfirm(m *ConfirmTx, j *journal) any {
+func (p *Provider) handleConfirm(m *ConfirmTx, j *journal, tr *obs.SessionTrace) any {
 	pend, cached, rejection := p.takePending(m.Nonce, pendingConfirm, j)
 	if cached != nil {
+		tr.Event("provider.replay", "cached outcome returned")
 		return cached
 	}
 	if rejection != "" {
 		return &Outcome{Accepted: false, Reason: rejection, Retryable: true}
 	}
-	return p.rememberOutcome(m.Nonce, p.confirmOutcome(m, pend, j), j)
+	return p.rememberOutcome(m.Nonce, p.confirmOutcome(m, pend, j, tr), j)
 }
 
 // confirmOutcome computes the outcome of a live (non-replayed)
 // confirmation.
-func (p *Provider) confirmOutcome(m *ConfirmTx, pend pendingChallenge, j *journal) *Outcome {
+func (p *Provider) confirmOutcome(m *ConfirmTx, pend pendingChallenge, j *journal, tr *obs.SessionTrace) *Outcome {
 	txDigest := pend.tx.Digest()
 	// Evidence that fails an integrity check is rejected as retryable: a
 	// bit flip in transit is indistinguishable from a forgery here, and
@@ -646,10 +726,12 @@ func (p *Provider) confirmOutcome(m *ConfirmTx, pend pendingChallenge, j *journa
 			return &Outcome{Accepted: false, Reason: "malformed evidence", TxID: pend.tx.ID, Retryable: true}
 		}
 		binding := ConfirmationBinding(m.Nonce, txDigest, m.Confirmed)
+		vsp := tr.StartSpan("provider.verify")
 		res, err := p.verifier.Verify(ev, attest.Expectations{
 			Nonce:         m.Nonce,
 			ExpectedPCR23: ExpectedAppPCR(binding),
 		})
+		vsp.End()
 		if err != nil {
 			p.count(func(s *ProviderStats) { s.RejectedForged++ })
 			return &Outcome{Accepted: false, Reason: "attestation failed: " + err.Error(), TxID: pend.tx.ID, Retryable: true}
@@ -681,6 +763,7 @@ func (p *Provider) confirmOutcome(m *ConfirmTx, pend pendingChallenge, j *journa
 
 	// The decision is authenticated: record it (approvals AND denials —
 	// an authenticated denial is dispute evidence too).
+	asp := tr.StartSpan("provider.audit")
 	p.auditAppend(AuditEntry{
 		At:        p.clock.Now(),
 		TxID:      pend.tx.ID,
@@ -689,11 +772,14 @@ func (p *Provider) confirmOutcome(m *ConfirmTx, pend pendingChallenge, j *journa
 		Nonce:     m.Nonce,
 		Evidence:  m.Evidence, // empty in HMAC mode
 	}, j)
+	asp.End()
 
 	if !m.Confirmed {
 		p.count(func(s *ProviderStats) { s.DeniedByUser++ })
 		return &Outcome{Accepted: false, Authentic: true, Reason: "denied by user", TxID: pend.tx.ID}
 	}
+	lsp := tr.StartSpan("provider.ledger")
+	defer lsp.End()
 	if err := p.applyTx(pend.tx, j); err != nil {
 		if errors.Is(err, ErrDuplicateTransaction) {
 			// The same order was already executed (an earlier session's

@@ -117,10 +117,19 @@ func (c *Client) FailureStreak() int { return c.failStreak }
 // preserved for the next call.
 func (c *Client) SubmitResilient(tx *Transaction) (*SessionResult, error) {
 	rc := c.recovery.withDefaults()
+	// One trace spans the whole resilient submission: the inner
+	// SubmitTransaction / fallbackSubmit calls join it (beginSession
+	// returns owner=false for them), so every retry and the eventual
+	// degradation land on a single correlation ID.
+	tr, owner := c.beginSession("resilient " + tx.ID)
+	defer c.endSession(tr, owner)
 	res := &SessionResult{}
 	lastReason := "trusted path failed"
 	for attempt := 1; attempt <= rc.MaxSessionAttempts; attempt++ {
 		res.Attempts = attempt
+		if attempt > 1 {
+			tr.Event("session.retry", fmt.Sprintf("attempt=%d last=%s", attempt, lastReason))
+		}
 		outcome, err := c.SubmitTransaction(tx)
 		if err == nil && (outcome.Accepted || !outcome.Retryable) &&
 			(outcome.TxID == "" || outcome.TxID == tx.ID) {
@@ -144,6 +153,7 @@ func (c *Client) SubmitResilient(tx *Transaction) (*SessionResult, error) {
 		}
 		c.failStreak++
 		if c.failStreak >= rc.DegradeAfter {
+			tr.Event("session.degrade", fmt.Sprintf("streak=%d reason=%s", c.failStreak, lastReason))
 			outcome, err := c.fallbackSubmit(tx, rc, lastReason)
 			if err != nil {
 				return nil, err
@@ -166,9 +176,12 @@ func (c *Client) SubmitResilient(tx *Transaction) (*SessionResult, error) {
 // answer together with the transaction. A wrong transcription burns one
 // fallback attempt and requests a fresh challenge.
 func (c *Client) fallbackSubmit(tx *Transaction, rc RecoveryConfig, reason string) (*Outcome, error) {
+	tr, owner := c.beginSession("fallback " + tx.ID)
+	defer c.endSession(tr, owner)
 	clock := c.manager.Machine().Clock()
 	var last *Outcome
 	for try := 0; try < rc.FallbackAttempts; try++ {
+		tr.Event("fallback.request", fmt.Sprintf("try=%d", try+1))
 		resp, err := c.roundTrip(&FallbackRequest{
 			PlatformID: c.cert.PlatformID,
 			Reason:     reason,
@@ -188,6 +201,7 @@ func (c *Client) fallbackSubmit(tx *Transaction, rc RecoveryConfig, reason strin
 			return nil, fmt.Errorf("%w: %T to FallbackRequest", ErrUnexpectedResponse, resp)
 		}
 		answer := rc.Solver.Attempt(clock, rc.Rng, captcha.Challenge{ID: ch.ID, Text: ch.Text})
+		tr.Event("fallback.answer", fmt.Sprintf("challenge=%d", ch.ID))
 		resp, err = c.roundTrip(&FallbackAnswer{ID: ch.ID, Response: answer, Tx: tx})
 		if err != nil {
 			if retryableSessionError(err) {

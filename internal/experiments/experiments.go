@@ -56,6 +56,7 @@ func All() []Runner {
 		{ID: "f8", Title: "Figure F8: human-factors boundary (carelessness sweep)", Run: RunF8},
 		{ID: "f9", Title: "Figure F9: chaos sweep (fault injection, retry, degradation)", Run: RunF9},
 		{ID: "f10", Title: "Figure F10: crash sweep (crash rate × crash point × snapshot interval)", Run: RunF10},
+		{ID: "f11", Title: "Figure F11: observability overhead and chaos attribution", Run: RunF11},
 	}
 }
 

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestF11ChaosAttribution asserts the attribution invariants without the
+// (slow, wall-clock) overhead reps: every transaction maps to exactly
+// one client trace, injected faults show up on somebody's trace, and the
+// registry's injection total matches what the traces attribute.
+func TestF11ChaosAttribution(t *testing.T) {
+	registry, tracer, runs, err := f11Chaos(seedFor("f11-test", 0), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 10 {
+		t.Fatalf("got %d attributions, want 10", len(runs))
+	}
+	totalAttributed := 0
+	for i, a := range runs {
+		if a.trace == nil {
+			t.Fatalf("tx %d has no trace", i)
+		}
+		if a.trace.Label() == "" {
+			t.Errorf("tx %d trace has no label", i)
+		}
+		totalAttributed += a.netFaults()
+	}
+	snap := registry.Snapshot()
+	var requestFaults int64
+	for _, name := range []string{"net.corrupted", "net.resets", "net.lost", "net.reordered", "net.duplicated"} {
+		requestFaults += snap.Counters[name]
+	}
+	if requestFaults > 0 && totalAttributed == 0 {
+		t.Errorf("registry saw %d network faults but no trace attributes any", requestFaults)
+	}
+	if ts := tracer.Stats(); ts.Finished < 10 {
+		t.Errorf("tracer finished %d traces, want >= 10", ts.Finished)
+	}
+	text := f11AttributionText(registry, tracer, runs)
+	if text == "" {
+		t.Error("empty attribution text")
+	}
+}
+
+// TestF11AttributionDeterministic asserts two same-seed chaos runs
+// produce identical attribution tables — observability does not perturb
+// the deterministic substrate.
+func TestF11AttributionDeterministic(t *testing.T) {
+	render := func() string {
+		registry, tracer, runs, err := f11Chaos(seedFor("f11-det", 0), 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f11AttributionText(registry, tracer, runs)
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Errorf("same-seed attribution diverged:\n--- run 1:\n%s\n--- run 2:\n%s", a, b)
+	}
+}
+
+// TestRunTracedChaos asserts the -trace entry point emits valid Chrome
+// trace_event JSON with per-session threads.
+func TestRunTracedChaos(t *testing.T) {
+	var buf bytes.Buffer
+	summary, err := RunTracedChaos(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if summary == "" {
+		t.Error("empty summary")
+	}
+	var out struct {
+		TraceEvents []struct {
+			Ph   string `json:"ph"`
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	phases := map[string]bool{}
+	for _, e := range out.TraceEvents {
+		phases[e.Ph] = true
+	}
+	for _, ph := range []string{"M", "X", "i"} {
+		if !phases[ph] {
+			t.Errorf("trace has no %q events", ph)
+		}
+	}
+}

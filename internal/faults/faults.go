@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"unitp/internal/netsim"
+	"unitp/internal/obs"
 	"unitp/internal/sim"
 )
 
@@ -154,6 +155,7 @@ type Plan struct {
 	events   map[netsim.Direction]map[int]Event
 	seen     map[netsim.Direction]int
 	stats    Stats
+	metrics  *obs.Registry
 }
 
 var _ netsim.Injector = (*Plan)(nil)
@@ -187,6 +189,17 @@ func (p *Plan) Schedule(e Event) *Plan {
 	return p
 }
 
+// SetMetrics attaches a live registry: per-kind injection counters under
+// "faults.injected.<kind>" plus "faults.messages". Publishing never
+// consumes the plan's random stream, so a metered plan injects the same
+// fault sequence as an unmetered one.
+func (p *Plan) SetMetrics(m *obs.Registry) *Plan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.metrics = m
+	return p
+}
+
 // Stats returns a copy of the injection counters.
 func (p *Plan) Stats() Stats {
 	p.mu.Lock()
@@ -207,8 +220,10 @@ func (p *Plan) Inject(dir netsim.Direction, payload []byte) ([]byte, netsim.Acti
 	p.stats.Messages++
 
 	kind, delay := p.decide(dir, idx)
+	p.metrics.Counter("faults.messages").Inc()
 	if kind != None {
 		p.stats.Injected[kind]++
+		p.metrics.Counter("faults.injected." + kind.String()).Inc()
 	}
 	switch kind {
 	case Drop:

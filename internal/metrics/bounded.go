@@ -1,0 +1,183 @@
+package metrics
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// bucketCount is the number of logarithmic latency buckets. Bucket i
+// covers [2^i, 2^(i+1)) microseconds, so the range spans 1 µs to well
+// over a century — every realistic latency lands in a real bucket.
+const bucketCount = 48
+
+// BoundedHistogram is a streaming duration histogram with fixed
+// memory: power-of-two microsecond buckets plus exact count, sum, min,
+// and max. Unlike Histogram it never retains samples, so a long-running
+// process (tpserver's live metrics) can record forever without growth;
+// the price is that percentiles are bucket-resolution estimates. Use
+// Histogram when a short run needs exact percentiles. The zero value is
+// ready for use and safe for concurrent use.
+type BoundedHistogram struct {
+	mu      sync.Mutex
+	buckets [bucketCount]uint64
+	count   uint64
+	sum     time.Duration
+	min     time.Duration
+	max     time.Duration
+}
+
+// bucketFor maps a duration to its bucket index.
+func bucketFor(d time.Duration) int {
+	us := d.Microseconds()
+	if us < 1 {
+		return 0
+	}
+	b := bits.Len64(uint64(us)) - 1
+	if b >= bucketCount {
+		b = bucketCount - 1
+	}
+	return b
+}
+
+// bucketUpper is the exclusive upper bound of bucket i.
+func bucketUpper(i int) time.Duration {
+	return time.Duration(uint64(1)<<(i+1)) * time.Microsecond
+}
+
+// Record adds one sample.
+func (h *BoundedHistogram) Record(d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.buckets[bucketFor(d)]++
+	h.count++
+	h.sum += d
+	if h.count == 1 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Count returns the number of samples recorded.
+func (h *BoundedHistogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean returns the exact arithmetic mean (zero when empty).
+func (h *BoundedHistogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.count)
+}
+
+// Min returns the smallest sample (exact; zero when empty).
+func (h *BoundedHistogram) Min() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.min
+}
+
+// Max returns the largest sample (exact; zero when empty).
+func (h *BoundedHistogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Percentile returns an upper-bound estimate of the p-th percentile:
+// the exclusive upper edge of the bucket containing the nearest-rank
+// sample, clamped to the exact observed max. Zero when empty.
+func (h *BoundedHistogram) Percentile(p float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	rank := uint64(p / 100 * float64(h.count))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for i, n := range h.buckets {
+		seen += n
+		if seen >= rank {
+			up := bucketUpper(i)
+			if up > h.max {
+				return h.max
+			}
+			return up
+		}
+	}
+	return h.max
+}
+
+// Summary renders "mean (p50≤/p95≤, max)" for live-metrics tables; the
+// ≤ marks percentiles as bucket upper bounds.
+func (h *BoundedHistogram) Summary() string {
+	return fmt.Sprintf("%s (p50≤%s, p95≤%s, max %s)",
+		Millis(h.Mean()), Millis(h.Percentile(50)), Millis(h.Percentile(95)), Millis(h.Max()))
+}
+
+// HistogramSnapshot is a point-in-time copy of a BoundedHistogram's
+// scalar view, for JSON metric exports.
+type HistogramSnapshot struct {
+	Count  uint64  `json:"count"`
+	MeanMS float64 `json:"mean_ms"`
+	MinMS  float64 `json:"min_ms"`
+	MaxMS  float64 `json:"max_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+}
+
+// Snapshot returns the current scalar view.
+func (h *BoundedHistogram) Snapshot() HistogramSnapshot {
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	return HistogramSnapshot{
+		Count:  h.Count(),
+		MeanMS: ms(h.Mean()),
+		MinMS:  ms(h.Min()),
+		MaxMS:  ms(h.Max()),
+		P50MS:  ms(h.Percentile(50)),
+		P95MS:  ms(h.Percentile(95)),
+		P99MS:  ms(h.Percentile(99)),
+	}
+}
+
+// Gauge is a value that can go up and down — sessions in flight, queue
+// depths, last-snapshot ages. Counter deliberately rejects negative
+// deltas; anything that shrinks belongs here. The zero value is ready
+// and safe for concurrent use.
+type Gauge struct {
+	n atomic.Int64
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.n.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.n.Add(-1) }
+
+// Add adds delta, which may be negative.
+func (g *Gauge) Add(delta int64) { g.n.Add(delta) }
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.n.Store(v) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.n.Load() }

@@ -13,7 +13,11 @@ import (
 	"time"
 )
 
-// Histogram accumulates duration samples. The zero value is ready for
+// Histogram accumulates duration samples, retaining every one, so
+// percentiles are exact. Memory grows linearly with Record calls: use
+// it for bounded bench runs (the experiment harness), and use
+// BoundedHistogram anywhere a long-running process records — the live
+// metrics registry, servers, soak tests. The zero value is ready for
 // use. It is safe for concurrent use.
 type Histogram struct {
 	mu      sync.Mutex
@@ -140,11 +144,13 @@ type Counter struct {
 // Inc adds one.
 func (c *Counter) Inc() { c.n.Add(1) }
 
-// Add adds delta (negative deltas are ignored; counters only go up).
+// Add adds delta. Counters are monotonic: a negative delta is a
+// programming error and panics — use a Gauge for values that go down.
 func (c *Counter) Add(delta int64) {
-	if delta > 0 {
-		c.n.Add(delta)
+	if delta < 0 {
+		panic(fmt.Sprintf("metrics: Counter.Add(%d): counters only go up; use a Gauge", delta))
 	}
+	c.n.Add(delta)
 }
 
 // Value returns the current count.

@@ -22,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"unitp/internal/obs"
 	"unitp/internal/sim"
 )
 
@@ -191,6 +192,14 @@ type Config struct {
 
 	// Faults, when non-nil, is consulted on every message traversal.
 	Faults Injector
+
+	// Metrics, when non-nil, receives live traffic counters and the
+	// round-trip latency histogram.
+	Metrics *obs.Registry
+
+	// Tracer, when non-nil, receives per-session fault and retry
+	// annotations for frames carrying a correlation-ID envelope.
+	Tracer *obs.Tracer
 }
 
 // PipeStats counts what the link did to traffic.
@@ -219,6 +228,8 @@ type Pipe struct {
 	retry   RetryPolicy
 	faults  Injector
 	handler Handler
+	metrics *obs.Registry
+	tracer  *obs.Tracer
 
 	mu      sync.Mutex
 	stats   PipeStats
@@ -262,6 +273,8 @@ func NewPipe(cfg Config, handler Handler) *Pipe {
 		retry:   retry,
 		faults:  cfg.Faults,
 		handler: handler,
+		metrics: cfg.Metrics,
+		tracer:  cfg.Tracer,
 	}
 }
 
@@ -288,15 +301,36 @@ func (p *Pipe) inject(dir Direction, payload []byte) ([]byte, Action) {
 	return p.faults.Inject(dir, payload)
 }
 
+// annotate records a per-session trace event when the frame carried a
+// correlation-ID envelope (tracer and trace are nil-safe).
+func (p *Pipe) annotate(sid obs.SessionID, hasSID bool, name, detail string) {
+	if hasSID {
+		p.tracer.Event(sid, name, detail)
+	}
+}
+
 // RoundTrip implements Transport: request travels the link, the handler
 // runs, the response travels back. Losses, resets, and in-flight
 // corruption are retried under the pipe's RetryPolicy; handler errors on
 // intact frames are fatal (the server really answered that).
 func (p *Pipe) RoundTrip(req []byte) ([]byte, error) {
+	sid, hasSID := obs.PeekSession(req)
+	attempt := 0
 	resp, err := p.retry.Run(p.clock, p.rng, func() ([]byte, error) {
-		return p.attempt(req)
+		attempt++
+		if attempt > 1 {
+			p.metrics.Counter("net.retries").Inc()
+			p.annotate(sid, hasSID, "net.retry", fmt.Sprintf("attempt=%d", attempt))
+		}
+		start := p.clock.Now()
+		resp, err := p.attempt(req, sid, hasSID)
+		if err == nil {
+			p.metrics.Observe("net.rtt", p.clock.Now().Sub(start))
+		}
+		return resp, err
 	})
 	if err != nil {
+		p.metrics.Counter("net.roundtrip_failures").Inc()
 		return nil, fmt.Errorf("netsim: %s: %w", p.link.Name, err)
 	}
 	return resp, nil
@@ -304,21 +338,28 @@ func (p *Pipe) RoundTrip(req []byte) ([]byte, error) {
 
 // attempt performs one full traversal of the link, applying modelled
 // loss and injected faults in both directions.
-func (p *Pipe) attempt(req []byte) ([]byte, error) {
+func (p *Pipe) attempt(req []byte, sid obs.SessionID, hasSID bool) ([]byte, error) {
 	p.count(func(s *PipeStats) { s.Sent++ })
+	p.metrics.Counter("net.sent").Inc()
 
 	// Request direction.
 	payload, act := p.inject(DirRequest, req)
 	if act.Corrupt {
 		p.count(func(s *PipeStats) { s.Corrupted++ })
+		p.metrics.Counter("net.corrupted").Inc()
+		p.annotate(sid, hasSID, "net.corrupt", "dir=request")
 	}
 	if act.Reset {
 		p.count(func(s *PipeStats) { s.Resets++ })
+		p.metrics.Counter("net.resets").Inc()
+		p.annotate(sid, hasSID, "net.reset", "dir=request")
 		p.clock.Sleep(p.oneWayDelay())
 		return nil, ErrReset
 	}
 	if act.Drop || p.rng.Bool(p.link.LossProb) {
 		p.count(func(s *PipeStats) { s.Lost++ })
+		p.metrics.Counter("net.lost").Inc()
+		p.annotate(sid, hasSID, "net.drop", "dir=request")
 		p.clock.Sleep(p.timeout)
 		return nil, ErrTimeout
 	}
@@ -326,14 +367,22 @@ func (p *Pipe) attempt(req []byte) ([]byte, error) {
 		if held := p.swapHeld(payload); held != nil {
 			// An older frame overtakes this one: the peer sees the
 			// stale frame now, ours stays in flight for later.
+			p.metrics.Counter("net.reordered").Inc()
+			p.annotate(sid, hasSID, "net.reorder", "overtaken by held frame")
 			payload = held
 		} else {
 			// Nothing to swap with yet: the frame is in flight but will
 			// not arrive before the sender's timer expires.
 			p.count(func(s *PipeStats) { s.Lost++ })
+			p.metrics.Counter("net.lost").Inc()
+			p.annotate(sid, hasSID, "net.reorder", "held in flight")
 			p.clock.Sleep(p.timeout)
 			return nil, ErrTimeout
 		}
+	}
+	if act.Duplicate {
+		p.metrics.Counter("net.duplicated").Inc()
+		p.annotate(sid, hasSID, "net.duplicate", "dir=request")
 	}
 	p.clock.Sleep(p.oneWayDelay() + act.Delay)
 
@@ -352,14 +401,20 @@ func (p *Pipe) attempt(req []byte) ([]byte, error) {
 	respPayload, ract := p.inject(DirResponse, resp)
 	if ract.Corrupt {
 		p.count(func(s *PipeStats) { s.Corrupted++ })
+		p.metrics.Counter("net.corrupted").Inc()
+		p.annotate(sid, hasSID, "net.corrupt", "dir=response")
 	}
 	if ract.Reset {
 		p.count(func(s *PipeStats) { s.Resets++ })
+		p.metrics.Counter("net.resets").Inc()
+		p.annotate(sid, hasSID, "net.reset", "dir=response")
 		p.clock.Sleep(p.oneWayDelay())
 		return nil, ErrReset
 	}
 	if ract.Drop || p.rng.Bool(p.link.LossProb) {
 		p.count(func(s *PipeStats) { s.Lost++ })
+		p.metrics.Counter("net.lost").Inc()
+		p.annotate(sid, hasSID, "net.drop", "dir=response")
 		p.clock.Sleep(p.timeout)
 		return nil, ErrTimeout
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"unitp/internal/obs"
 	"unitp/internal/sim"
 )
 
@@ -136,10 +137,12 @@ func (rp RetryPolicy) jittered(d time.Duration, rng *sim.Rand) time.Duration {
 // real-connection client (ConnTransport) gets the same recovery
 // behaviour as the simulated pipe.
 type RetryTransport struct {
-	inner  Transport
-	policy RetryPolicy
-	clock  sim.Clock
-	rng    *sim.Rand
+	inner   Transport
+	policy  RetryPolicy
+	clock   sim.Clock
+	rng     *sim.Rand
+	metrics *obs.Registry
+	tracer  *obs.Tracer
 }
 
 // NewRetryTransport wraps inner. A nil clock gets a virtual clock; a nil
@@ -155,9 +158,30 @@ func NewRetryTransport(inner Transport, policy RetryPolicy, clock sim.Clock, rng
 	return &RetryTransport{inner: inner, policy: policy, clock: clock, rng: rng}
 }
 
+// Observe attaches live instrumentation: retry counters into m and
+// per-session retry annotations into tr for frames carrying a
+// correlation-ID envelope. Either may be nil.
+func (t *RetryTransport) Observe(m *obs.Registry, tr *obs.Tracer) {
+	t.metrics, t.tracer = m, tr
+}
+
 // RoundTrip implements Transport.
 func (t *RetryTransport) RoundTrip(req []byte) ([]byte, error) {
+	sid, hasSID := obs.PeekSession(req)
+	attempt := 0
 	return t.policy.Run(t.clock, t.rng, func() ([]byte, error) {
-		return t.inner.RoundTrip(req)
+		attempt++
+		if attempt > 1 {
+			t.metrics.Counter("net.retries").Inc()
+			if hasSID {
+				t.tracer.Event(sid, "net.retry", fmt.Sprintf("attempt=%d", attempt))
+			}
+		}
+		start := t.clock.Now()
+		resp, err := t.inner.RoundTrip(req)
+		if err == nil {
+			t.metrics.Observe("net.rtt", t.clock.Now().Sub(start))
+		}
+		return resp, err
 	})
 }

@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"strconv"
+)
+
+// Readiness is the answer /readyz serves: whether the process should
+// receive traffic, with supporting detail (store attached, WAL syncing,
+// last snapshot age, ...).
+type Readiness struct {
+	Ready  bool           `json:"ready"`
+	Detail map[string]any `json:"detail,omitempty"`
+}
+
+// AdminConfig wires the admin plane's data sources.
+type AdminConfig struct {
+	// Metrics backs /metrics. nil serves an empty snapshot.
+	Metrics *Registry
+
+	// Tracer backs /trace. nil serves an empty trace.
+	Tracer *Tracer
+
+	// Readiness backs /readyz. nil means always ready.
+	Readiness func() Readiness
+
+	// Logger receives request logs. nil disables them.
+	Logger *slog.Logger
+}
+
+// runtimeSnapshot is the Go runtime section of /metrics.
+type runtimeSnapshot struct {
+	Goroutines   int     `json:"goroutines"`
+	HeapAllocMB  float64 `json:"heap_alloc_mb"`
+	TotalAllocMB float64 `json:"total_alloc_mb"`
+	NumGC        uint32  `json:"num_gc"`
+	GCPauseMS    float64 `json:"gc_pause_total_ms"`
+}
+
+// metricsPayload is the full /metrics JSON document.
+type metricsPayload struct {
+	MetricsSnapshot
+	Runtime runtimeSnapshot `json:"runtime"`
+	Tracer  TracerStats     `json:"tracer"`
+}
+
+// NewAdminMux builds the admin-plane HTTP handler:
+//
+//	/metrics       live counters/gauges/histograms + runtime stats
+//	               (JSON; ?format=text for aligned tables)
+//	/healthz       liveness (always 200 while the process serves)
+//	/readyz        readiness (503 + detail when not ready)
+//	/trace?n=K     last K completed session traces, Chrome trace_event
+//	               JSON (open in chrome://tracing or Perfetto)
+//	/debug/pprof/  the standard Go profiling endpoints
+func NewAdminMux(cfg AdminConfig) *http.ServeMux {
+	mux := http.NewServeMux()
+	logReq := func(r *http.Request) {
+		if cfg.Logger != nil {
+			cfg.Logger.Debug("admin request", "path", r.URL.Path, "remote", r.RemoteAddr)
+		}
+	}
+
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		logReq(r)
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		logReq(r)
+		rd := Readiness{Ready: true}
+		if cfg.Readiness != nil {
+			rd = cfg.Readiness()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if !rd.Ready {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(rd)
+	})
+
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		logReq(r)
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprint(w, cfg.Metrics.RenderText())
+			return
+		}
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		payload := metricsPayload{
+			MetricsSnapshot: cfg.Metrics.Snapshot(),
+			Runtime: runtimeSnapshot{
+				Goroutines:   runtime.NumGoroutine(),
+				HeapAllocMB:  float64(ms.HeapAlloc) / (1 << 20),
+				TotalAllocMB: float64(ms.TotalAlloc) / (1 << 20),
+				NumGC:        ms.NumGC,
+				GCPauseMS:    float64(ms.PauseTotalNs) / 1e6,
+			},
+			Tracer: cfg.Tracer.Stats(),
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(payload)
+	})
+
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		logReq(r)
+		n := 16
+		if q := r.URL.Query().Get("n"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v < 0 {
+				http.Error(w, "bad n", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		w.Header().Set("Content-Type", "application/json")
+		WriteChromeTrace(w, cfg.Tracer.Completed(n))
+	})
+
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

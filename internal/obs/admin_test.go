@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRegistryNilSafe(t *testing.T) {
+	var r *Registry
+	r.Counter("c").Inc()
+	r.Gauge("g").Set(5)
+	r.Observe("h", time.Millisecond)
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Gauges) != 0 || len(snap.Histograms) != 0 {
+		t.Fatalf("nil registry snapshot = %+v", snap)
+	}
+	if r.RenderText() != "" {
+		t.Fatal("nil registry must render empty")
+	}
+	if _, err := r.JSON(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegistryInstruments(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sessions.total").Add(3)
+	r.Counter("sessions.total").Inc()
+	r.Gauge("sessions.in_flight").Inc()
+	r.Gauge("sessions.in_flight").Inc()
+	r.Gauge("sessions.in_flight").Dec()
+	r.Observe("wal.sync", 2*time.Millisecond)
+	r.Observe("wal.sync", 4*time.Millisecond)
+
+	snap := r.Snapshot()
+	if snap.Counters["sessions.total"] != 4 {
+		t.Fatalf("counter = %d", snap.Counters["sessions.total"])
+	}
+	if snap.Gauges["sessions.in_flight"] != 1 {
+		t.Fatalf("gauge = %d", snap.Gauges["sessions.in_flight"])
+	}
+	if h := snap.Histograms["wal.sync"]; h.Count != 2 {
+		t.Fatalf("hist = %+v", h)
+	}
+
+	text := r.RenderText()
+	for _, want := range []string{"counters", "gauges", "histograms", "sessions.total", "wal.sync"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("RenderText missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRegistrySameInstrumentReturned(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("x") != r.Counter("x") {
+		t.Fatal("Counter must return the same instrument per name")
+	}
+	if r.Gauge("y") != r.Gauge("y") {
+		t.Fatal("Gauge must return the same instrument per name")
+	}
+	if r.Histogram("z") != r.Histogram("z") {
+		t.Fatal("Histogram must return the same instrument per name")
+	}
+}
+
+// adminFixture builds a populated admin mux.
+func adminFixture(ready bool) *http.ServeMux {
+	reg := NewRegistry()
+	reg.Counter("sessions.total").Add(7)
+	reg.Gauge("sessions.in_flight").Set(2)
+	reg.Observe("session.latency", 3*time.Millisecond)
+	tr := NewTracer(8)
+	trace := tr.StartSession(nil)
+	trace.SetLabel("submit")
+	trace.SpanAt("handle", time.Now(), time.Millisecond)
+	trace.Finish()
+	return NewAdminMux(AdminConfig{
+		Metrics: reg,
+		Tracer:  tr,
+		Readiness: func() Readiness {
+			return Readiness{Ready: ready, Detail: map[string]any{"store": ready}}
+		},
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+}
+
+func get(t *testing.T, mux *http.ServeMux, path string) (*httptest.ResponseRecorder, string) {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	body, _ := io.ReadAll(rec.Result().Body)
+	return rec, string(body)
+}
+
+func TestAdminHealthz(t *testing.T) {
+	rec, body := get(t, adminFixture(true), "/healthz")
+	if rec.Code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("healthz = %d %q", rec.Code, body)
+	}
+}
+
+func TestAdminReadyz(t *testing.T) {
+	rec, body := get(t, adminFixture(true), "/readyz")
+	if rec.Code != 200 || !strings.Contains(body, `"ready": true`) {
+		t.Fatalf("readyz = %d %q", rec.Code, body)
+	}
+	rec, body = get(t, adminFixture(false), "/readyz")
+	if rec.Code != http.StatusServiceUnavailable || !strings.Contains(body, `"ready": false`) {
+		t.Fatalf("not-ready readyz = %d %q", rec.Code, body)
+	}
+}
+
+func TestAdminMetricsJSON(t *testing.T) {
+	rec, body := get(t, adminFixture(true), "/metrics")
+	if rec.Code != 200 {
+		t.Fatalf("metrics = %d", rec.Code)
+	}
+	var payload struct {
+		Counters map[string]int64 `json:"counters"`
+		Gauges   map[string]int64 `json:"gauges"`
+		Runtime  struct {
+			Goroutines int `json:"goroutines"`
+		} `json:"runtime"`
+		Tracer struct {
+			Finished int `json:"Finished"`
+		} `json:"tracer"`
+	}
+	if err := json.Unmarshal([]byte(body), &payload); err != nil {
+		t.Fatalf("metrics not JSON: %v\n%s", err, body)
+	}
+	if payload.Counters["sessions.total"] != 7 || payload.Gauges["sessions.in_flight"] != 2 {
+		t.Fatalf("metrics payload = %+v", payload)
+	}
+	if payload.Runtime.Goroutines <= 0 {
+		t.Fatal("runtime section missing")
+	}
+	if payload.Tracer.Finished != 1 {
+		t.Fatalf("tracer stats = %+v", payload.Tracer)
+	}
+}
+
+func TestAdminMetricsText(t *testing.T) {
+	rec, body := get(t, adminFixture(true), "/metrics?format=text")
+	if rec.Code != 200 || !strings.Contains(body, "sessions.total") {
+		t.Fatalf("metrics text = %d %q", rec.Code, body)
+	}
+	if strings.Contains(body, "{") {
+		t.Fatal("text format must not be JSON")
+	}
+}
+
+func TestAdminTrace(t *testing.T) {
+	rec, body := get(t, adminFixture(true), "/trace?n=4")
+	if rec.Code != 200 {
+		t.Fatalf("trace = %d", rec.Code)
+	}
+	var file struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &file); err != nil {
+		t.Fatalf("trace not chrome JSON: %v", err)
+	}
+	if len(file.TraceEvents) == 0 {
+		t.Fatal("trace export empty")
+	}
+	if rec, _ := get(t, adminFixture(true), "/trace?n=bogus"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad n = %d", rec.Code)
+	}
+}
+
+func TestAdminPprof(t *testing.T) {
+	rec, body := get(t, adminFixture(true), "/debug/pprof/")
+	if rec.Code != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index = %d", rec.Code)
+	}
+	if rec, _ := get(t, adminFixture(true), "/debug/pprof/cmdline"); rec.Code != 200 {
+		t.Fatalf("pprof cmdline = %d", rec.Code)
+	}
+}
+
+func TestAdminNilSources(t *testing.T) {
+	mux := NewAdminMux(AdminConfig{})
+	for _, path := range []string{"/healthz", "/readyz", "/metrics", "/metrics?format=text", "/trace"} {
+		if rec, _ := get(t, mux, path); rec.Code != 200 {
+			t.Fatalf("%s with nil sources = %d", path, rec.Code)
+		}
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug, "info": slog.LevelInfo, "": slog.LevelInfo,
+		"WARN": slog.LevelWarn, "error": slog.LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseLevel(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatal("unknown level must error")
+	}
+}
+
+func TestLoggerSessionAttr(t *testing.T) {
+	var buf bytes.Buffer
+	log := NewLogger(&buf, slog.LevelInfo)
+	log.Info("session accepted", Session(0xab))
+	if !strings.Contains(buf.String(), "sid=00000000000000ab") {
+		t.Fatalf("log line = %q", buf.String())
+	}
+	buf.Reset()
+	log.Debug("hidden")
+	if buf.Len() != 0 {
+		t.Fatal("debug must be filtered at info level")
+	}
+}

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Trace exports. Two formats:
+//
+//   - JSONL: one JSON object per span/event line, trivially greppable
+//     and diffable — the archival format next to experiment tables.
+//   - Chrome trace_event JSON: loadable in chrome://tracing and
+//     Perfetto (ui.perfetto.dev) — each session renders as one named
+//     track with its phase spans and instant fault/retry annotations.
+
+// jsonlRecord is one exported line.
+type jsonlRecord struct {
+	SID     string  `json:"sid"`
+	Label   string  `json:"label,omitempty"`
+	Type    string  `json:"type"` // "span" or "event"
+	Name    string  `json:"name"`
+	Detail  string  `json:"detail,omitempty"`
+	StartUS float64 `json:"start_us"`
+	DurUS   float64 `json:"dur_us,omitempty"`
+}
+
+// us converts a trace-relative time to fractional microseconds.
+func us(t time.Time, epoch time.Time) float64 {
+	return float64(t.Sub(epoch).Nanoseconds()) / 1e3
+}
+
+// exportEpoch finds the earliest timestamp across the traces, so
+// exported times start near zero regardless of wall vs. virtual clocks.
+func exportEpoch(traces []*SessionTrace) time.Time {
+	var epoch time.Time
+	first := true
+	note := func(ts time.Time) {
+		if first || ts.Before(epoch) {
+			epoch, first = ts, false
+		}
+	}
+	for _, t := range traces {
+		_, spans, events, _ := t.snapshot()
+		for _, s := range spans {
+			note(s.Start)
+		}
+		for _, e := range events {
+			note(e.At)
+		}
+	}
+	return epoch
+}
+
+// WriteJSONL writes one line per span and event across the traces.
+func WriteJSONL(w io.Writer, traces []*SessionTrace) error {
+	epoch := exportEpoch(traces)
+	enc := json.NewEncoder(w)
+	for _, t := range traces {
+		label, spans, events, _ := t.snapshot()
+		sid := t.ID().String()
+		for _, s := range spans {
+			if err := enc.Encode(jsonlRecord{
+				SID: sid, Label: label, Type: "span", Name: s.Name,
+				StartUS: us(s.Start, epoch), DurUS: float64(s.Dur.Nanoseconds()) / 1e3,
+			}); err != nil {
+				return err
+			}
+		}
+		for _, e := range events {
+			if err := enc.Encode(jsonlRecord{
+				SID: sid, Label: label, Type: "event", Name: e.Name,
+				Detail: e.Detail, StartUS: us(e.At, epoch),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// chromeEvent is one entry of the trace_event "traceEvents" array.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeFile is the top-level trace_event JSON object.
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace writes the traces in Chrome trace_event format.
+// Sessions map to "threads" of one synthetic process, so Perfetto
+// shows one labelled track per correlation ID.
+func WriteChromeTrace(w io.Writer, traces []*SessionTrace) error {
+	epoch := exportEpoch(traces)
+	file := chromeFile{DisplayTimeUnit: "ms"}
+	file.TraceEvents = append(file.TraceEvents, chromeEvent{
+		Name: "process_name", Phase: "M", PID: 1,
+		Args: map[string]any{"name": "unitp trusted path"},
+	})
+	for i, t := range traces {
+		label, spans, events, dropped := t.snapshot()
+		tid := i + 1
+		sid := t.ID().String()
+		track := "session " + sid
+		if label != "" {
+			track = fmt.Sprintf("session %s (%s)", sid, label)
+		}
+		file.TraceEvents = append(file.TraceEvents, chromeEvent{
+			Name: "thread_name", Phase: "M", PID: 1, TID: tid,
+			Args: map[string]any{"name": track},
+		})
+		for _, s := range spans {
+			file.TraceEvents = append(file.TraceEvents, chromeEvent{
+				Name: s.Name, Phase: "X", PID: 1, TID: tid,
+				TS: us(s.Start, epoch), Dur: float64(s.Dur.Nanoseconds()) / 1e3,
+				Args: map[string]any{"sid": sid},
+			})
+		}
+		for _, e := range events {
+			file.TraceEvents = append(file.TraceEvents, chromeEvent{
+				Name: e.Name, Phase: "i", Scope: "t", PID: 1, TID: tid,
+				TS:   us(e.At, epoch),
+				Args: map[string]any{"sid": sid, "detail": e.Detail},
+			})
+		}
+		if dropped > 0 {
+			file.TraceEvents = append(file.TraceEvents, chromeEvent{
+				Name: "records dropped (per-trace bound)", Phase: "i", Scope: "t",
+				PID: 1, TID: tid, TS: 0,
+				Args: map[string]any{"sid": sid, "dropped": dropped},
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(file)
+}

@@ -1,0 +1,65 @@
+// Package obs is the runtime observability layer of the trusted-path
+// stack: span-based session tracing with client-minted correlation IDs
+// propagated in frame headers, a live metrics registry of counters,
+// gauges, and bounded histograms, and the HTTP admin plane (metrics,
+// health, pprof, trace download) that cmd/tpserver exposes with -admin.
+//
+// Everything here is optional at every call site: a nil *Tracer mints
+// nil *SessionTrace values whose span and event methods no-op, and a
+// nil *Registry hands out shared discard instruments — so the protocol
+// stack is instrumented unconditionally while paying near-zero cost
+// when observability is off (experiment F11 measures the residue).
+//
+// Determinism: tracing never consumes simulation randomness and never
+// advances any clock; a seeded experiment produces bit-identical
+// results with tracing on or off.
+package obs
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// SessionID is the correlation ID of one trusted-path session, minted
+// at the client and carried in every frame the session sends, so every
+// layer — transport, provider, WAL — attributes its spans and events
+// to the same trace.
+type SessionID uint64
+
+// String renders the ID the way logs and trace exports show it.
+func (id SessionID) String() string { return fmt.Sprintf("%016x", uint64(id)) }
+
+// frameTag marks a correlation-ID envelope on the wire. Protocol
+// message type tags are small positive integers and the transport error
+// frame tag is 0x00, so the three namespaces cannot collide.
+const frameTag = 0xF5
+
+// envelopeLen is the number of bytes WrapFrame prepends.
+const envelopeLen = 1 + 8
+
+// WrapFrame prepends a correlation-ID header to a protocol frame.
+func WrapFrame(id SessionID, payload []byte) []byte {
+	out := make([]byte, envelopeLen+len(payload))
+	out[0] = frameTag
+	binary.BigEndian.PutUint64(out[1:envelopeLen], uint64(id))
+	copy(out[envelopeLen:], payload)
+	return out
+}
+
+// UnwrapFrame splits a frame into its correlation ID and inner payload.
+// Frames without an envelope (legacy clients, raw attack frames) are
+// returned untouched with ok=false.
+func UnwrapFrame(frame []byte) (SessionID, []byte, bool) {
+	if len(frame) < envelopeLen || frame[0] != frameTag {
+		return 0, frame, false
+	}
+	return SessionID(binary.BigEndian.Uint64(frame[1:envelopeLen])), frame[envelopeLen:], true
+}
+
+// PeekSession reads the correlation ID without stripping the envelope —
+// the transport uses it to attribute fault events to sessions while
+// forwarding the frame unmodified.
+func PeekSession(frame []byte) (SessionID, bool) {
+	id, _, ok := UnwrapFrame(frame)
+	return id, ok
+}

@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"unitp/internal/metrics"
+)
+
+// Shared discard instruments handed out by a nil *Registry, so
+// instrumented code records unconditionally and pays one atomic (or one
+// short critical section) when observability is off.
+var (
+	discardCounter metrics.Counter
+	discardGauge   metrics.Gauge
+	discardHist    metrics.BoundedHistogram
+)
+
+// Registry is a named collection of live instruments: monotonic
+// counters, gauges, and bounded latency histograms. Instruments are
+// created on first use; iteration order is first-use order so rendered
+// tables stay stable. Safe for concurrent use; all methods also accept
+// a nil receiver (returning shared discard instruments or zero values).
+type Registry struct {
+	mu           sync.Mutex
+	counters     map[string]*metrics.Counter
+	counterNames []string
+	gauges       map[string]*metrics.Gauge
+	gaugeNames   []string
+	hists        map[string]*metrics.BoundedHistogram
+	histNames    []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*metrics.Counter),
+		gauges:   make(map[string]*metrics.Gauge),
+		hists:    make(map[string]*metrics.BoundedHistogram),
+	}
+}
+
+// Counter returns the named counter, creating it at zero on first use.
+func (r *Registry) Counter(name string) *metrics.Counter {
+	if r == nil {
+		return &discardCounter
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &metrics.Counter{}
+		r.counters[name] = c
+		r.counterNames = append(r.counterNames, name)
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it at zero on first use.
+func (r *Registry) Gauge(name string) *metrics.Gauge {
+	if r == nil {
+		return &discardGauge
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &metrics.Gauge{}
+		r.gauges[name] = g
+		r.gaugeNames = append(r.gaugeNames, name)
+	}
+	return g
+}
+
+// Histogram returns the named bounded histogram, creating it on first
+// use. Bounded by construction: long-running processes can record into
+// it forever (see metrics.BoundedHistogram).
+func (r *Registry) Histogram(name string) *metrics.BoundedHistogram {
+	if r == nil {
+		return &discardHist
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &metrics.BoundedHistogram{}
+		r.hists[name] = h
+		r.histNames = append(r.histNames, name)
+	}
+	return h
+}
+
+// Observe records one latency sample — shorthand for
+// Histogram(name).Record(d).
+func (r *Registry) Observe(name string, d time.Duration) {
+	r.Histogram(name).Record(d)
+}
+
+// MetricsSnapshot is a point-in-time copy of every instrument, the
+// expvar-style JSON the admin plane serves.
+type MetricsSnapshot struct {
+	Counters   map[string]int64                     `json:"counters"`
+	Gauges     map[string]int64                     `json:"gauges"`
+	Histograms map[string]metrics.HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot copies every instrument's current value.
+func (r *Registry) Snapshot() MetricsSnapshot {
+	snap := MetricsSnapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]metrics.HistogramSnapshot{},
+	}
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	counterNames := append([]string(nil), r.counterNames...)
+	gaugeNames := append([]string(nil), r.gaugeNames...)
+	histNames := append([]string(nil), r.histNames...)
+	counters := make([]*metrics.Counter, len(counterNames))
+	gauges := make([]*metrics.Gauge, len(gaugeNames))
+	hists := make([]*metrics.BoundedHistogram, len(histNames))
+	for i, n := range counterNames {
+		counters[i] = r.counters[n]
+	}
+	for i, n := range gaugeNames {
+		gauges[i] = r.gauges[n]
+	}
+	for i, n := range histNames {
+		hists[i] = r.hists[n]
+	}
+	r.mu.Unlock()
+	for i, n := range counterNames {
+		snap.Counters[n] = counters[i].Value()
+	}
+	for i, n := range gaugeNames {
+		snap.Gauges[n] = gauges[i].Value()
+	}
+	for i, n := range histNames {
+		snap.Histograms[n] = hists[i].Snapshot()
+	}
+	return snap
+}
+
+// JSON renders the snapshot as indented JSON (stable key order).
+func (r *Registry) JSON() ([]byte, error) {
+	return json.MarshalIndent(r.Snapshot(), "", "  ")
+}
+
+// RenderText renders the registry as aligned plain-text tables, in
+// first-use order.
+func (r *Registry) RenderText() string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	counterNames := append([]string(nil), r.counterNames...)
+	gaugeNames := append([]string(nil), r.gaugeNames...)
+	histNames := append([]string(nil), r.histNames...)
+	r.mu.Unlock()
+
+	out := ""
+	if len(counterNames) > 0 {
+		t := metrics.NewTable("counters", "name", "value")
+		for _, n := range counterNames {
+			t.AddRow(n, fmt.Sprintf("%d", r.Counter(n).Value()))
+		}
+		out += t.Render()
+	}
+	if len(gaugeNames) > 0 {
+		t := metrics.NewTable("gauges", "name", "value")
+		for _, n := range gaugeNames {
+			t.AddRow(n, fmt.Sprintf("%d", r.Gauge(n).Value()))
+		}
+		if out != "" {
+			out += "\n"
+		}
+		out += t.Render()
+	}
+	if len(histNames) > 0 {
+		t := metrics.NewTable("histograms", "name", "count", "summary")
+		for _, n := range histNames {
+			h := r.Histogram(n)
+			t.AddRow(n, fmt.Sprintf("%d", h.Count()), h.Summary())
+		}
+		if out != "" {
+			out += "\n"
+		}
+		out += t.Render()
+	}
+	return out
+}

@@ -1,0 +1,326 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"unitp/internal/sim"
+)
+
+func TestWrapUnwrapRoundTrip(t *testing.T) {
+	payload := []byte{0x02, 0xde, 0xad, 0xbe, 0xef}
+	frame := WrapFrame(0x1122334455667788, payload)
+	if len(frame) != envelopeLen+len(payload) {
+		t.Fatalf("frame length = %d, want %d", len(frame), envelopeLen+len(payload))
+	}
+	id, inner, ok := UnwrapFrame(frame)
+	if !ok || id != 0x1122334455667788 || !bytes.Equal(inner, payload) {
+		t.Fatalf("UnwrapFrame = (%x, %x, %v)", id, inner, ok)
+	}
+	if got, ok := PeekSession(frame); !ok || got != id {
+		t.Fatalf("PeekSession = (%x, %v)", got, ok)
+	}
+}
+
+func TestUnwrapFrameLegacyAndCorrupt(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{0x02},                   // legacy protocol frame, tag < envelopeLen
+		{0xF5, 1, 2, 3},          // truncated envelope
+		bytes.Repeat([]byte{0x07}, 32), // legacy frame long enough but wrong tag
+	}
+	for i, frame := range cases {
+		id, inner, ok := UnwrapFrame(frame)
+		if ok {
+			t.Fatalf("case %d: unexpectedly unwrapped id=%x", i, id)
+		}
+		if !bytes.Equal(inner, frame) {
+			t.Fatalf("case %d: frame not returned untouched", i)
+		}
+	}
+}
+
+func TestSessionIDString(t *testing.T) {
+	if got := SessionID(0xab).String(); got != "00000000000000ab" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestNilTracerAndTraceNoOp(t *testing.T) {
+	var tr *Tracer
+	tr.SetIDBase(7)
+	trace := tr.StartSession(nil)
+	if trace != nil {
+		t.Fatal("nil tracer must mint nil traces")
+	}
+	// Every method must be callable on the nil trace.
+	trace.SetLabel("x")
+	trace.SpanAt("s", time.Time{}, time.Second)
+	trace.Event("e", "d")
+	trace.StartSpan("open").End()
+	trace.Finish()
+	if trace.ID() != 0 || trace.Label() != "" || trace.Adopted() {
+		t.Fatal("nil trace accessors must return zero values")
+	}
+	if tr.Adopt(1, nil) != nil || tr.Lookup(1) != nil {
+		t.Fatal("nil tracer lookups must return nil")
+	}
+	tr.Event(1, "e", "d")
+	if tr.ActiveCount() != 0 || len(tr.All()) != 0 || len(tr.Completed(0)) != 0 {
+		t.Fatal("nil tracer must report empty state")
+	}
+	if tr.Stats() != (TracerStats{}) {
+		t.Fatal("nil tracer stats must be zero")
+	}
+}
+
+func TestTracerSpanAndEventRecording(t *testing.T) {
+	clock := sim.NewVirtualClock()
+	tr := NewTracer(8)
+	trace := tr.StartSession(clock)
+	trace.SetLabel("submit")
+
+	span := trace.StartSpan("handle")
+	clock.Sleep(5 * time.Millisecond)
+	span.End()
+	trace.Event("net.drop", "attempt=1")
+	trace.SpanAt("pal.skinit", sim.Epoch, 2*time.Millisecond)
+	trace.Finish()
+
+	label, spans, events, dropped := trace.snapshot()
+	if label != "submit" || dropped != 0 {
+		t.Fatalf("label=%q dropped=%d", label, dropped)
+	}
+	if len(spans) != 2 || spans[0].Name != "handle" || spans[0].Dur != 5*time.Millisecond {
+		t.Fatalf("spans = %+v", spans)
+	}
+	if len(events) != 1 || events[0].Name != "net.drop" || events[0].Detail != "attempt=1" {
+		t.Fatalf("events = %+v", events)
+	}
+	if got := tr.Stats(); got.Started != 1 || got.Finished != 1 {
+		t.Fatalf("stats = %+v", got)
+	}
+}
+
+func TestTracerAdoptAndFinishIdempotent(t *testing.T) {
+	tr := NewTracer(8)
+	a := tr.Adopt(42, nil)
+	if !a.Adopted() || a.ID() != 42 {
+		t.Fatalf("adopted trace = %+v", a)
+	}
+	if b := tr.Adopt(42, nil); b != a {
+		t.Fatal("second Adopt of same id must return the same trace")
+	}
+	if tr.Lookup(42) != a {
+		t.Fatal("Lookup must find the active trace")
+	}
+	tr.Event(42, "wal.sync", "")
+	a.Finish()
+	a.Finish() // idempotent
+	if got := tr.Stats(); got.Adopted != 1 || got.Finished != 1 {
+		t.Fatalf("stats = %+v", got)
+	}
+	if len(tr.Completed(0)) != 1 {
+		t.Fatalf("ring size = %d", len(tr.Completed(0)))
+	}
+	// Late spans after Finish still land on the shared object.
+	a.SpanAt("late", sim.Epoch, time.Millisecond)
+	_, spans, events, _ := a.snapshot()
+	if len(spans) != 1 || len(events) != 1 {
+		t.Fatalf("late records lost: spans=%d events=%d", len(spans), len(events))
+	}
+}
+
+func TestTracerRingBound(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		trace := tr.StartSession(nil)
+		trace.SetLabel(fmt.Sprintf("s%d", i))
+		trace.Finish()
+	}
+	got := tr.Completed(0)
+	if len(got) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(got))
+	}
+	if got[0].Label() != "s6" || got[3].Label() != "s9" {
+		t.Fatalf("ring order wrong: %q .. %q", got[0].Label(), got[3].Label())
+	}
+	if last := tr.Completed(2); len(last) != 2 || last[1].Label() != "s9" {
+		t.Fatalf("Completed(2) = %d entries, last %q", len(last), last[len(last)-1].Label())
+	}
+}
+
+func TestTracerActiveEviction(t *testing.T) {
+	tr := NewTracer(2) // active bound = 8
+	var first *SessionTrace
+	for i := 0; i < 9; i++ {
+		trace := tr.StartSession(nil)
+		if i == 0 {
+			first = trace
+		}
+	}
+	stats := tr.Stats()
+	if stats.Evicted != 1 {
+		t.Fatalf("evicted = %d, want 1", stats.Evicted)
+	}
+	if tr.Lookup(first.ID()) != nil {
+		t.Fatal("oldest session must be evicted from active set")
+	}
+	if tr.ActiveCount() != 8 {
+		t.Fatalf("active = %d, want 8", tr.ActiveCount())
+	}
+}
+
+func TestTracerIDBaseAndUniqueness(t *testing.T) {
+	tr := NewTracer(8)
+	tr.SetIDBase(0xDEADBEEF00000000)
+	a := tr.StartSession(nil)
+	b := tr.StartSession(nil)
+	if a.ID() == b.ID() {
+		t.Fatal("minted IDs must differ")
+	}
+	if a.ID() != SessionID(0xDEADBEEF00000000^1) {
+		t.Fatalf("id = %s, want base^1", a.ID())
+	}
+}
+
+func TestPerTraceBound(t *testing.T) {
+	tr := NewTracer(4)
+	trace := tr.StartSession(nil)
+	for i := 0; i < maxPerTrace+10; i++ {
+		trace.SpanAt("s", sim.Epoch, time.Millisecond)
+	}
+	_, spans, _, dropped := trace.snapshot()
+	if len(spans) != maxPerTrace || dropped != 10 {
+		t.Fatalf("spans=%d dropped=%d", len(spans), dropped)
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				trace := tr.StartSession(nil)
+				sp := trace.StartSpan("work")
+				trace.Event("tick", "")
+				sp.End()
+				trace.Finish()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tr.Stats(); got.Started != 400 || got.Finished != 400 {
+		t.Fatalf("stats = %+v", got)
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	clock := sim.NewVirtualClock()
+	tr := NewTracer(8)
+	trace := tr.StartSession(clock)
+	trace.SetLabel("submit")
+	sp := trace.StartSpan("handle")
+	clock.Sleep(3 * time.Millisecond)
+	sp.End()
+	trace.Event("net.drop", "attempt=2")
+	trace.Finish()
+
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, tr.All()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines: %q", len(lines), buf.String())
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec["type"] != "span" || rec["name"] != "handle" || rec["dur_us"] != 3000.0 {
+		t.Fatalf("span line = %v", rec)
+	}
+	if rec["sid"] != trace.ID().String() {
+		t.Fatalf("sid = %v", rec["sid"])
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	clock := sim.NewVirtualClock()
+	tr := NewTracer(8)
+	trace := tr.StartSession(clock)
+	trace.SetLabel("submit")
+	sp := trace.StartSpan("handle")
+	clock.Sleep(2 * time.Millisecond)
+	sp.End()
+	trace.Event("retry", "n=1")
+	trace.Finish()
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tr.All()); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Unit        string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("not valid trace_event JSON: %v", err)
+	}
+	if file.Unit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", file.Unit)
+	}
+	var phases []string
+	for _, ev := range file.TraceEvents {
+		phases = append(phases, ev["ph"].(string))
+	}
+	// process_name meta, thread_name meta, one X span, one i event.
+	want := []string{"M", "M", "X", "i"}
+	if len(phases) != len(want) {
+		t.Fatalf("phases = %v", phases)
+	}
+	for i := range want {
+		if phases[i] != want[i] {
+			t.Fatalf("phases = %v, want %v", phases, want)
+		}
+	}
+	if !strings.Contains(buf.String(), trace.ID().String()) {
+		t.Fatal("export must mention the correlation ID")
+	}
+	if !strings.Contains(buf.String(), "submit") {
+		t.Fatal("export must carry the session label")
+	}
+}
+
+func TestExportDeterministicWithVirtualClock(t *testing.T) {
+	run := func() string {
+		clock := sim.NewVirtualClock()
+		tr := NewTracer(8)
+		tr.SetIDBase(99)
+		for i := 0; i < 3; i++ {
+			trace := tr.StartSession(clock)
+			sp := trace.StartSpan("phase")
+			clock.Sleep(time.Duration(i+1) * time.Millisecond)
+			sp.End()
+			trace.Finish()
+		}
+		var buf bytes.Buffer
+		if err := WriteJSONL(&buf, tr.All()); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if run() != run() {
+		t.Fatal("seeded trace export must be bit-identical across runs")
+	}
+}

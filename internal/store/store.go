@@ -7,6 +7,9 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
+
+	"unitp/internal/obs"
 )
 
 // File naming: each generation g owns a snapshot "snap-<g>.snap" and a
@@ -86,6 +89,11 @@ type Store struct {
 	mu      sync.Mutex
 	backend Backend
 	stats   Stats
+	metrics *obs.Registry
+
+	// lastSnap is the wall-clock instant of the last WriteSnapshot,
+	// feeding the admin plane's last-snapshot-age readiness check.
+	lastSnap time.Time
 
 	// recovered state from Open, consumed by the caller's restore pass.
 	snapshot []byte
@@ -93,6 +101,24 @@ type Store struct {
 
 	gen uint64
 	wal File // nil until the first WriteSnapshot
+}
+
+// SetMetrics attaches a live registry: append/sync/snapshot latency
+// histograms, byte counters, and the generation gauge. Latencies are
+// wall-clock (the real cost of the backend), never the simulation clock,
+// so attaching metrics cannot perturb deterministic experiments.
+func (s *Store) SetMetrics(m *obs.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.metrics = m
+}
+
+// LastSnapshotTime returns the wall-clock instant of the most recent
+// WriteSnapshot (zero before the first).
+func (s *Store) LastSnapshotTime() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastSnap
 }
 
 // Open scans the backend, selects the newest valid snapshot, and loads
@@ -211,6 +237,7 @@ func (s *Store) Generation() uint64 {
 func (s *Store) WriteSnapshot(state []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	start := time.Now()
 
 	prevGen, hadPrev := s.gen, s.wal != nil || s.snapshot != nil || s.stats.Snapshots > 0
 	newGen := s.gen + 1
@@ -251,6 +278,10 @@ func (s *Store) WriteSnapshot(state []byte) error {
 	s.stats.Generation = newGen
 	s.snapshot = nil
 	s.records = nil
+	s.lastSnap = time.Now()
+	s.metrics.Counter("store.snapshots").Inc()
+	s.metrics.Gauge("store.generation").Set(int64(newGen))
+	s.metrics.Observe("store.snapshot_latency", time.Since(start))
 
 	// Retire the previous generation. Failures here would leave stale
 	// files that the next Open cleans up, but under the simulated crash
@@ -274,6 +305,7 @@ func (s *Store) Append(rec []byte) error {
 	if s.wal == nil {
 		return ErrNoSnapshot
 	}
+	start := time.Now()
 	frame, err := appendFrame(nil, rec)
 	if err != nil {
 		return err
@@ -283,6 +315,9 @@ func (s *Store) Append(rec []byte) error {
 	}
 	s.stats.Appends++
 	s.stats.AppendedBytes += uint64(len(frame))
+	s.metrics.Counter("store.appends").Inc()
+	s.metrics.Counter("store.appended_bytes").Add(int64(len(frame)))
+	s.metrics.Observe("store.append_latency", time.Since(start))
 	return nil
 }
 
@@ -293,10 +328,13 @@ func (s *Store) Sync() error {
 	if s.wal == nil {
 		return ErrNoSnapshot
 	}
+	start := time.Now()
 	if err := s.wal.Sync(); err != nil {
 		return fmt.Errorf("store: sync: %w", err)
 	}
 	s.stats.Syncs++
+	s.metrics.Counter("store.syncs").Inc()
+	s.metrics.Observe("store.sync_latency", time.Since(start))
 	return nil
 }
 

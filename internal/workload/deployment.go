@@ -12,9 +12,11 @@ import (
 	"unitp/internal/attest"
 	"unitp/internal/core"
 	"unitp/internal/cryptoutil"
+	"unitp/internal/faults"
 	"unitp/internal/flicker"
 	"unitp/internal/hostos"
 	"unitp/internal/netsim"
+	"unitp/internal/obs"
 	"unitp/internal/platform"
 	"unitp/internal/sim"
 	"unitp/internal/store"
@@ -79,6 +81,18 @@ type DeploymentConfig struct {
 	// group commits (0 = only at attach and explicit SnapshotNow).
 	// Ignored without Backend.
 	SnapshotEvery int
+
+	// Metrics attaches a live metrics registry to every subsystem
+	// (client transport, network pipe, provider, store, fault plan if it
+	// supports it). nil runs unmetered; instrumented code paths cost
+	// nothing beyond a nil check.
+	Metrics *obs.Registry
+
+	// Tracer records span-level session traces across client, network,
+	// and provider. The deployment seeds its ID base from a dedicated
+	// random fork, so traces are deterministic per Seed. nil disables
+	// tracing.
+	Tracer *obs.Tracer
 }
 
 // DefaultPIN is the PIN enrolled for alice in default deployments.
@@ -137,6 +151,14 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 	if cfg.Link.Name == "" {
 		cfg.Link = netsim.LinkBroadband()
 	}
+	if cfg.Tracer != nil {
+		// A dedicated fork keeps session IDs deterministic per seed
+		// without perturbing any other subsystem's random stream.
+		cfg.Tracer.SetIDBase(rng.Fork("trace").Uint64())
+	}
+	if plan, ok := cfg.Faults.(*faults.Plan); ok && cfg.Metrics != nil {
+		plan.SetMetrics(cfg.Metrics)
+	}
 
 	machine, err := platform.New(platform.Config{
 		Clock:       clock,
@@ -181,6 +203,8 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 		NonceTTL:              cfg.NonceTTL,
 		ConfirmThresholdCents: cfg.ConfirmThresholdCents,
 		SnapshotEvery:         cfg.SnapshotEvery,
+		Metrics:               cfg.Metrics,
+		Tracer:                cfg.Tracer,
 	}
 	provider := core.NewProvider(providerCfg)
 	// Approvals follow the client platform's DRTM flavour: plain image
@@ -233,11 +257,13 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 		backend: cfg.Backend, providerCfg: providerCfg,
 	}
 	d.Pipe = netsim.NewPipe(netsim.Config{
-		Clock:  clock,
-		Random: rng.Fork("net"),
-		Link:   cfg.Link,
-		Retry:  cfg.Retry,
-		Faults: cfg.Faults,
+		Clock:   clock,
+		Random:  rng.Fork("net"),
+		Link:    cfg.Link,
+		Retry:   cfg.Retry,
+		Faults:  cfg.Faults,
+		Metrics: cfg.Metrics,
+		Tracer:  cfg.Tracer,
 	}, d.handle)
 
 	recovery := cfg.Recovery
@@ -251,6 +277,7 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 		AIK:       aik,
 		Cert:      cert,
 		Recovery:  recovery,
+		Tracer:    cfg.Tracer,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("workload: client: %w", err)
