@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race check bench results clean
+.PHONY: all vet build test race check bench bench-smoke results clean
 
 all: check
 
@@ -22,6 +22,12 @@ check: vet build test race
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# bench-smoke runs every benchmark exactly once — not for numbers, but
+# to keep the benchmark code (including the parallel pipeline drains,
+# which exercise real on-disk group commits) compiling and passing.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x ./...
 
 # results regenerates every table/figure into results/.
 results:

@@ -57,6 +57,7 @@ func run() error {
 		adminAddr = flag.String("admin", "", "admin plane listen address (/metrics, /healthz, /readyz, /trace, /debug/pprof); empty = disabled")
 		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		traceCap  = flag.Int("trace-buffer", 256, "completed session traces retained for /trace")
+		workers   = flag.Int("workers", 4, "concurrent request handlers per connection (1 = serial)")
 	)
 	flag.Parse()
 
@@ -160,7 +161,7 @@ func run() error {
 		}
 		go func() {
 			defer srv.untrack(conn)
-			if err := serveConn(conn, ca, provider, logger); err != nil && !srv.shuttingDown() {
+			if err := serveConn(conn, ca, provider, logger, *workers); err != nil && !srv.shuttingDown() {
 				logger.Error("connection failed", "remote", conn.RemoteAddr().String(), "err", err)
 			}
 			st := provider.Stats()
@@ -288,8 +289,9 @@ func (s *server) finish() error {
 }
 
 // serveConn performs the enrollment handshake and then serves protocol
-// frames.
-func serveConn(conn net.Conn, ca *attest.PrivacyCA, provider *core.Provider, logger *slog.Logger) error {
+// frames, handling up to `workers` requests from this connection
+// concurrently (responses stay in request order).
+func serveConn(conn net.Conn, ca *attest.PrivacyCA, provider *core.Provider, logger *slog.Logger, workers int) error {
 	// Enrollment frame: platformID, EK (PKCS#1 DER), AIK (PKCS#1 DER).
 	hello, err := netsim.ReadFrame(conn)
 	if err != nil {
@@ -321,10 +323,10 @@ func serveConn(conn net.Conn, ca *attest.PrivacyCA, provider *core.Provider, log
 		return fmt.Errorf("send cert: %w", err)
 	}
 	logger.Info("enrolled platform", "platform_id", platformID, "remote", conn.RemoteAddr().String())
-	return netsim.Serve(conn, func(req []byte) ([]byte, error) {
+	return netsim.ServeConcurrent(conn, func(req []byte) ([]byte, error) {
 		if sid, ok := obs.PeekSession(req); ok {
 			logger.Debug("frame", obs.Session(sid), "bytes", len(req))
 		}
 		return provider.Handle(req)
-	})
+	}, workers)
 }

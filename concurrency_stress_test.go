@@ -1,0 +1,312 @@
+// Concurrency stress for the provider request pipeline (DESIGN.md §11):
+// many goroutines drive mixed flows — quote confirmations, authenticated
+// denials, idempotent replays, presence proofs, corrupt frames — through
+// Provider.Handle against a durable store, and the test checks the
+// invariants the pipeline must preserve under interleaving: balance
+// conservation, exactly-once execution, a verifying audit chain, and a
+// restart that reproduces the live state. Run it with -race; the point
+// is to give the detector real interleavings over the sharded session
+// state and the group committer.
+package unitp_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"unitp/internal/attest"
+	"unitp/internal/core"
+	"unitp/internal/cryptoutil"
+	"unitp/internal/sim"
+	"unitp/internal/store"
+	"unitp/internal/workload"
+)
+
+const (
+	// stressGoroutines is the number of concurrent clients; each runs
+	// stressTxPer full sessions, so the provider sees 64×3 = 192
+	// sessions of interleaved flows.
+	stressGoroutines = 64
+	stressTxPer      = 3
+
+	// stressCents is the amount each accepted transfer moves.
+	stressCents = 7
+
+	// stressFunds seeds alice's account.
+	stressFunds = int64(1) << 30
+)
+
+// newStressRig builds a durable pipeline-mode provider plus one
+// synthetic platform every goroutine shares (evidence minting is
+// stateless), returning the config a restart needs to restore it.
+func newStressRig(t *testing.T) (*core.Provider, *store.MemBackend, *workload.SyntheticClient, core.ProviderConfig, cryptoutil.Digest) {
+	t.Helper()
+	caKey, err := cryptoutil.PooledKey(3101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca := attest.NewPrivacyCA("stress-ca", caKey, nil, sim.NewRand(0x57E5))
+	palMeas := cryptoutil.SHA1([]byte("stress-pal"))
+	// 1024-bit client keys keep evidence minting cheap under -race; the
+	// provider still does full RSA verification per request.
+	client, err := workload.NewSyntheticClient(ca, "stress-platform", palMeas,
+		sim.NewRand(0x57E6), 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.ProviderConfig{
+		Name:   "stress-bank",
+		CAPub:  ca.PublicKey(),
+		Clock:  sim.WallClock{},
+		Random: sim.NewRand(0x57E7),
+	}
+	p := core.NewProvider(cfg)
+	p.Verifier().ApprovePAL(core.ConfirmPALName, palMeas)
+	p.Verifier().ApprovePAL(core.PresencePALName, palMeas)
+	for acct, cents := range map[string]int64{"alice": stressFunds, "bob": 0} {
+		if err := p.Ledger().CreateAccount(acct, cents); err != nil {
+			t.Fatal(err)
+		}
+	}
+	backend := store.NewMemBackend()
+	st, err := store.Open(backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AttachStore(st); err != nil {
+		t.Fatal(err)
+	}
+	return p, backend, client, cfg, palMeas
+}
+
+// stressConfirm runs one full quote-confirm session and returns the
+// ConfirmTx frame it sent (for replay checks).
+func stressConfirm(p *core.Provider, client *workload.SyntheticClient, id string, approve bool) ([]byte, error) {
+	tx := &core.Transaction{ID: id, From: "alice", To: "bob",
+		AmountCents: stressCents, Currency: "EUR"}
+	req, err := core.EncodeMessage(&core.SubmitTx{Tx: tx})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := p.Handle(req)
+	if err != nil {
+		return nil, err
+	}
+	msg, err := core.DecodeMessage(resp)
+	if err != nil {
+		return nil, err
+	}
+	ch, ok := msg.(*core.Challenge)
+	if !ok {
+		return nil, fmt.Errorf("%s: got %T, want challenge", id, msg)
+	}
+	evidence, err := client.ConfirmEvidence(ch.Nonce, ch.Tx.Digest(), approve)
+	if err != nil {
+		return nil, err
+	}
+	frame, err := core.EncodeMessage(&core.ConfirmTx{
+		Nonce: ch.Nonce, Confirmed: approve, Mode: core.ModeQuote, Evidence: evidence,
+	})
+	if err != nil {
+		return nil, err
+	}
+	resp, err = p.Handle(frame)
+	if err != nil {
+		return nil, err
+	}
+	out, err := decodeOutcome(resp)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", id, err)
+	}
+	if out.Accepted != approve {
+		return nil, fmt.Errorf("%s: accepted=%v, want %v (%s)", id, out.Accepted, approve, out.Reason)
+	}
+	if !out.Authentic {
+		return nil, fmt.Errorf("%s: outcome not authentic", id)
+	}
+	return frame, nil
+}
+
+// stressPresence runs one human-presence session.
+func stressPresence(p *core.Provider, client *workload.SyntheticClient) error {
+	req, err := core.EncodeMessage(&core.PresenceRequest{})
+	if err != nil {
+		return err
+	}
+	resp, err := p.Handle(req)
+	if err != nil {
+		return err
+	}
+	msg, err := core.DecodeMessage(resp)
+	if err != nil {
+		return err
+	}
+	ch, ok := msg.(*core.PresenceChallenge)
+	if !ok {
+		return fmt.Errorf("presence: got %T, want challenge", msg)
+	}
+	evidence, err := client.PresenceEvidence(ch.Nonce)
+	if err != nil {
+		return err
+	}
+	proof, err := core.EncodeMessage(&core.PresenceProof{Nonce: ch.Nonce, Evidence: evidence})
+	if err != nil {
+		return err
+	}
+	resp, err = p.Handle(proof)
+	if err != nil {
+		return err
+	}
+	out, err := decodeOutcome(resp)
+	if err != nil {
+		return err
+	}
+	if !out.Accepted || out.Token == "" {
+		return fmt.Errorf("presence rejected: %+v", out)
+	}
+	return nil
+}
+
+func decodeOutcome(resp []byte) (*core.Outcome, error) {
+	msg, err := core.DecodeMessage(resp)
+	if err != nil {
+		return nil, err
+	}
+	out, ok := msg.(*core.Outcome)
+	if !ok {
+		return nil, fmt.Errorf("got %T, want outcome", msg)
+	}
+	return out, nil
+}
+
+func TestPipelineConcurrencyStress(t *testing.T) {
+	p, backend, client, cfg, palMeas := newStressRig(t)
+
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		errs    []error
+		replays [][]byte // one accepted ConfirmTx frame per replaying goroutine
+	)
+	report := func(err error) {
+		mu.Lock()
+		errs = append(errs, err)
+		mu.Unlock()
+	}
+	for g := 0; g < stressGoroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for k := 0; k < stressTxPer; k++ {
+				id := fmt.Sprintf("stress-%d-%d", g, k)
+				switch g % 4 {
+				case 0: // approve, then replay the exact frame
+					frame, err := stressConfirm(p, client, id, true)
+					if err != nil {
+						report(err)
+						return
+					}
+					resp, err := p.Handle(frame)
+					if err != nil {
+						report(fmt.Errorf("%s replay: %w", id, err))
+						return
+					}
+					out, err := decodeOutcome(resp)
+					if err != nil || !out.Accepted {
+						report(fmt.Errorf("%s replay: %v %+v", id, err, out))
+						return
+					}
+					if k == 0 {
+						mu.Lock()
+						replays = append(replays, frame)
+						mu.Unlock()
+					}
+				case 1: // authenticated denial — no money moves
+					if _, err := stressConfirm(p, client, id, false); err != nil {
+						report(err)
+						return
+					}
+				case 2: // presence proof — no money moves
+					if err := stressPresence(p, client); err != nil {
+						report(err)
+						return
+					}
+				case 3: // garbage frame first, then a real confirmation
+					if resp, err := p.Handle([]byte{0xFF, 0x00, 0xDE}); err == nil {
+						if out, derr := decodeOutcome(resp); derr == nil && out.Accepted {
+							report(fmt.Errorf("%s: corrupt frame accepted", id))
+							return
+						}
+					}
+					if _, err := stressConfirm(p, client, id, true); err != nil {
+						report(err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Exactly the approving classes (g%4 ∈ {0,3}) moved money; replays
+	// and denials must not have.
+	accepted := int64(stressGoroutines/2) * stressTxPer * stressCents
+	checkBalances := func(p *core.Provider, label string) {
+		t.Helper()
+		alice, err := p.Ledger().Balance("alice")
+		if err != nil {
+			t.Fatal(err)
+		}
+		bob, err := p.Ledger().Balance("bob")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if alice+bob != stressFunds {
+			t.Fatalf("%s: %d cents not conserved (alice %d + bob %d)", label, stressFunds-(alice+bob), alice, bob)
+		}
+		if bob != accepted {
+			t.Fatalf("%s: bob = %d, want %d (lost or double-applied transfers)", label, bob, accepted)
+		}
+	}
+	checkBalances(p, "live")
+	if err := core.VerifyAuditChain(p.AuditLog().Entries()); err != nil {
+		t.Fatalf("live audit chain: %v", err)
+	}
+
+	// Checkpoint, restart from the store, and check the restored
+	// provider reproduces the live one and still deduplicates replays.
+	if err := p.SnapshotNow(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Open(backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := core.RestoreProvider(cfg, st)
+	if err != nil {
+		t.Fatalf("restore after stress: %v", err)
+	}
+	p2.Verifier().ApprovePAL(core.ConfirmPALName, palMeas)
+	p2.Verifier().ApprovePAL(core.PresencePALName, palMeas)
+	checkBalances(p2, "restored")
+	if err := core.VerifyAuditChain(p2.AuditLog().Entries()); err != nil {
+		t.Fatalf("restored audit chain: %v", err)
+	}
+	for i, frame := range replays {
+		resp, err := p2.Handle(frame)
+		if err != nil {
+			t.Fatalf("post-restart replay %d: %v", i, err)
+		}
+		out, err := decodeOutcome(resp)
+		if err != nil || !out.Accepted {
+			t.Fatalf("post-restart replay %d: %v %+v", i, err, out)
+		}
+	}
+	checkBalances(p2, "after replays")
+}

@@ -56,6 +56,13 @@ type AIKCert struct {
 	// Signature is the CA's RSA-PKCS1v15-SHA256 signature over the
 	// certificate body.
 	Signature []byte
+
+	// raw holds the wire bytes this certificate was decoded from, when
+	// it came off the wire. Marshal returns them verbatim — a decoded
+	// certificate is immutable, and hot paths (the verifier's
+	// certificate cache keys on the wire form) must not pay a fresh
+	// serialization per request.
+	raw []byte
 }
 
 // body serializes the signed portion of the certificate.
@@ -68,8 +75,13 @@ func (c *AIKCert) body() []byte {
 	return b.Bytes()
 }
 
-// Marshal encodes the certificate for wire transport.
+// Marshal encodes the certificate for wire transport. A certificate
+// decoded from the wire returns its original bytes without
+// re-serializing.
 func (c *AIKCert) Marshal() []byte {
+	if c.raw != nil {
+		return c.raw
+	}
 	body := c.body()
 	b := cryptoutil.NewBuffer(len(body) + len(c.Signature) + 8)
 	b.PutRaw(body)
@@ -89,12 +101,50 @@ func UnmarshalAIKCert(data []byte) (*AIKCert, error) {
 	if err := r.ExpectEOF(); err != nil {
 		return nil, fmt.Errorf("attest: unmarshal cert: %w", err)
 	}
-	pub, err := x509.ParsePKCS1PublicKey(pubDER)
+	pub, err := parsePKCS1PublicKeyCached(pubDER)
 	if err != nil {
 		return nil, fmt.Errorf("attest: unmarshal cert key: %w", err)
 	}
 	c.AIKPub = pub
+	// ExpectEOF above proved data is exactly this certificate's wire
+	// form; keep it so Marshal round-trips without re-serializing.
+	// (Decoded frames are never mutated after decode.)
+	c.raw = data
 	return &c, nil
+}
+
+// aikKeyCache memoizes DER public-key parsing: every proof a platform
+// submits carries the same certificate, so its AIK key bytes re-arrive
+// on every request. Parsed keys are read-only, safe to share. The cache
+// is cleared wholesale when full — re-parsing is correct, just slower.
+var aikKeyCache = struct {
+	mu   sync.RWMutex
+	keys map[string]*rsa.PublicKey
+}{keys: make(map[string]*rsa.PublicKey)}
+
+// aikKeyCacheLimit bounds the parsed-key cache.
+const aikKeyCacheLimit = 4096
+
+// parsePKCS1PublicKeyCached is x509.ParsePKCS1PublicKey behind the
+// bounded cache above.
+func parsePKCS1PublicKeyCached(der []byte) (*rsa.PublicKey, error) {
+	aikKeyCache.mu.RLock()
+	pub, ok := aikKeyCache.keys[string(der)]
+	aikKeyCache.mu.RUnlock()
+	if ok {
+		return pub, nil
+	}
+	pub, err := x509.ParsePKCS1PublicKey(der)
+	if err != nil {
+		return nil, err
+	}
+	aikKeyCache.mu.Lock()
+	if len(aikKeyCache.keys) >= aikKeyCacheLimit {
+		aikKeyCache.keys = make(map[string]*rsa.PublicKey, aikKeyCacheLimit)
+	}
+	aikKeyCache.keys[string(der)] = pub
+	aikKeyCache.mu.Unlock()
+	return pub, nil
 }
 
 // VerifyAIKCert checks the certificate signature against the CA key.

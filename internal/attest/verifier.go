@@ -2,9 +2,11 @@ package attest
 
 import (
 	"crypto/rsa"
+	"crypto/sha256"
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"unitp/internal/cryptoutil"
@@ -105,17 +107,17 @@ type Result struct {
 	PlatformID string
 }
 
-// Verifier checks evidence against an approved-PAL policy. It is safe
-// for concurrent use.
 // palEntry is one approved launch identity.
 type palEntry struct {
 	name        string
 	measurement cryptoutil.Digest // the PAL's own measurement (last in chain)
 }
 
-type Verifier struct {
-	mu       sync.RWMutex
-	caPub    *rsa.PublicKey
+// verifierPolicy is an immutable snapshot of the verifier's policy
+// state. Mutators build a fresh copy and swap the pointer; Verify loads
+// the pointer once and reads without any lock, so concurrent
+// verifications never contend on approval or revocation reads.
+type verifierPolicy struct {
 	approved map[cryptoutil.Digest]palEntry // capped PCR17 -> entry
 	byName   map[string]cryptoutil.Digest   // PAL name -> capped PCR17
 	revoked  map[string]bool                // revoked platform IDs
@@ -125,40 +127,92 @@ type Verifier struct {
 	maxCertAge time.Duration
 }
 
+// clone copies the policy for a copy-on-write mutation.
+func (pol *verifierPolicy) clone() *verifierPolicy {
+	next := &verifierPolicy{
+		approved:   make(map[cryptoutil.Digest]palEntry, len(pol.approved)),
+		byName:     make(map[string]cryptoutil.Digest, len(pol.byName)),
+		revoked:    make(map[string]bool, len(pol.revoked)),
+		clock:      pol.clock,
+		maxCertAge: pol.maxCertAge,
+	}
+	for k, v := range pol.approved {
+		next.approved[k] = v
+	}
+	for k, v := range pol.byName {
+		next.byName[k] = v
+	}
+	for k, v := range pol.revoked {
+		next.revoked[k] = v
+	}
+	return next
+}
+
+// certCacheLimit bounds the verified-certificate cache. When full, the
+// cache is cleared wholesale (re-verifying a certificate is correct,
+// just slower, so eviction needs no bookkeeping).
+const certCacheLimit = 4096
+
+// Verifier checks evidence against an approved-PAL policy. It is safe
+// for concurrent use: policy reads go through an immutable snapshot,
+// and certificates that already passed signature verification are
+// remembered so repeat evidence from the same platform skips the RSA
+// verify. Revocation and expiry are checked per call against the live
+// policy — only the signature check (which cannot change for the same
+// bytes) is cached.
+type Verifier struct {
+	caPub *rsa.PublicKey
+
+	mu     sync.Mutex // serializes mutators; readers use policy only
+	policy atomic.Pointer[verifierPolicy]
+
+	certMu   sync.RWMutex
+	certSeen map[[32]byte]struct{} // SHA-256 of verified cert wire forms
+}
+
 // NewVerifier creates a verifier trusting the given privacy-CA key.
 func NewVerifier(caPub *rsa.PublicKey) *Verifier {
-	return &Verifier{
+	v := &Verifier{
 		caPub:    caPub,
+		certSeen: make(map[[32]byte]struct{}),
+	}
+	v.policy.Store(&verifierPolicy{
 		approved: make(map[cryptoutil.Digest]palEntry),
 		byName:   make(map[string]cryptoutil.Digest),
 		revoked:  make(map[string]bool),
-	}
+	})
+	return v
+}
+
+// mutatePolicy applies one copy-on-write policy change.
+func (v *Verifier) mutatePolicy(f func(pol *verifierPolicy)) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	next := v.policy.Load().clone()
+	f(next)
+	v.policy.Store(next)
 }
 
 // RevokeCert blacklists a platform (e.g. its TPM is known compromised
 // or its AIK leaked). Subsequent evidence from it fails with
 // ErrCertRevoked regardless of cryptographic validity.
 func (v *Verifier) RevokeCert(platformID string) {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	v.revoked[platformID] = true
+	v.mutatePolicy(func(pol *verifierPolicy) { pol.revoked[platformID] = true })
 }
 
 // ReinstateCert removes a platform from the revocation list.
 func (v *Verifier) ReinstateCert(platformID string) {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	delete(v.revoked, platformID)
+	v.mutatePolicy(func(pol *verifierPolicy) { delete(pol.revoked, platformID) })
 }
 
 // SetCertValidity enables certificate age checking against the given
 // clock: evidence whose AIK certificate is older than maxAge fails with
 // ErrCertExpired. A zero maxAge disables the check.
 func (v *Verifier) SetCertValidity(clock sim.Clock, maxAge time.Duration) {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	v.clock = clock
-	v.maxCertAge = maxAge
+	v.mutatePolicy(func(pol *verifierPolicy) {
+		pol.clock = clock
+		pol.maxCertAge = maxAge
+	})
 }
 
 // ApprovePAL adds a PAL measurement to the policy (SKINIT convention:
@@ -177,38 +231,59 @@ func (v *Verifier) ApprovePALChain(name string, measurements ...cryptoutil.Diges
 	if len(measurements) == 0 {
 		return
 	}
-	v.mu.Lock()
-	defer v.mu.Unlock()
 	capped := expectedChainCapped(measurements)
-	v.approved[capped] = palEntry{
-		name:        name,
-		measurement: measurements[len(measurements)-1],
-	}
-	v.byName[name] = capped
+	entry := palEntry{name: name, measurement: measurements[len(measurements)-1]}
+	v.mutatePolicy(func(pol *verifierPolicy) {
+		pol.approved[capped] = entry
+		pol.byName[name] = capped
+	})
 }
 
 // RevokePAL removes a PAL from the policy (e.g. after a vulnerability is
 // found in a deployed PAL version).
 func (v *Verifier) RevokePAL(name string) {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	capped, ok := v.byName[name]
-	if !ok {
-		return
-	}
-	delete(v.approved, capped)
-	delete(v.byName, name)
+	v.mutatePolicy(func(pol *verifierPolicy) {
+		capped, ok := pol.byName[name]
+		if !ok {
+			return
+		}
+		delete(pol.approved, capped)
+		delete(pol.byName, name)
+	})
 }
 
 // ApprovedPALs lists the approved PAL names.
 func (v *Verifier) ApprovedPALs() []string {
-	v.mu.RLock()
-	defer v.mu.RUnlock()
-	names := make([]string, 0, len(v.byName))
-	for n := range v.byName {
+	pol := v.policy.Load()
+	names := make([]string, 0, len(pol.byName))
+	for n := range pol.byName {
 		names = append(names, n)
 	}
 	return names
+}
+
+// certVerified checks the AIK certificate signature, consulting and
+// feeding the verified-certificate cache. Cache hits are sound because
+// the key covers the full wire form (body and signature): the same
+// bytes can only ever verify the same way under the same CA key.
+func (v *Verifier) certVerified(c *AIKCert) error {
+	key := sha256.Sum256(c.Marshal())
+	v.certMu.RLock()
+	_, seen := v.certSeen[key]
+	v.certMu.RUnlock()
+	if seen {
+		return nil
+	}
+	if err := VerifyAIKCert(v.caPub, c); err != nil {
+		return err
+	}
+	v.certMu.Lock()
+	if len(v.certSeen) >= certCacheLimit {
+		v.certSeen = make(map[[32]byte]struct{}, certCacheLimit)
+	}
+	v.certSeen[key] = struct{}{}
+	v.certMu.Unlock()
+	return nil
 }
 
 // expectedCapped mirrors platform.ExpectedPCR17Capped without importing
@@ -249,17 +324,14 @@ func (v *Verifier) Verify(ev *Evidence, want Expectations) (*Result, error) {
 	if ev == nil || ev.Cert == nil || ev.Quote == nil {
 		return nil, fmt.Errorf("attest: verify: nil evidence")
 	}
-	if err := VerifyAIKCert(v.caPub, ev.Cert); err != nil {
+	if err := v.certVerified(ev.Cert); err != nil {
 		return nil, err
 	}
-	v.mu.RLock()
-	isRevoked := v.revoked[ev.Cert.PlatformID]
-	clock, maxAge := v.clock, v.maxCertAge
-	v.mu.RUnlock()
-	if isRevoked {
+	pol := v.policy.Load()
+	if pol.revoked[ev.Cert.PlatformID] {
 		return nil, ErrCertRevoked
 	}
-	if clock != nil && maxAge > 0 && clock.Now().Sub(ev.Cert.IssuedAt) > maxAge {
+	if pol.clock != nil && pol.maxCertAge > 0 && pol.clock.Now().Sub(ev.Cert.IssuedAt) > pol.maxCertAge {
 		return nil, ErrCertExpired
 	}
 	if err := tpm.VerifyQuote(ev.Cert.AIKPub, ev.Quote); err != nil {
@@ -272,9 +344,7 @@ func (v *Verifier) Verify(ev *Evidence, want Expectations) (*Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: PCR17", ErrMissingPCR)
 	}
-	v.mu.RLock()
-	entry, approved := v.approved[pcr17]
-	v.mu.RUnlock()
+	entry, approved := pol.approved[pcr17]
 	if !approved {
 		return nil, ErrUnapprovedPAL
 	}

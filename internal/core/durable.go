@@ -2,7 +2,10 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"unitp/internal/attest"
@@ -22,10 +25,19 @@ import (
 // WAL tail, re-verifying the audit hash chain end to end, and rotates
 // into a fresh generation so torn tails are discarded for good.
 //
-// While a store is attached, request handling serializes on the commit
-// lock — WAL order then equals mutation order, which replay depends on
-// (audit chain links, balance-dependent transfers). Providers without a
-// store keep the original fully concurrent behavior.
+// While a store is attached, the state transition serializes on stateMu
+// — WAL order then equals mutation order, which replay depends on
+// (audit chain links, balance-dependent transfers) — but the expensive
+// stages on either side run concurrently: verification before the lock
+// (preverify.go), and durability after it, through the group committer
+// below. The committer batches every journal enqueued while a sync was
+// in flight into the next write set, so N concurrent requests cost one
+// fsync, not N. It runs as a self-terminating goroutine spawned on
+// demand: the first waiter to find no committer running starts one, and
+// it exits as soon as the provider goes quiet. Crash atomicity is
+// unchanged — groups hit the WAL in enqueue order and a response is
+// released only after its group's sync, so a crash still tears whole
+// groups off the tail, never a group's middle.
 
 // recKind tags one WAL journal record.
 type recKind uint8
@@ -170,6 +182,300 @@ func (j *journal) encodeGroup() []byte {
 	return b.Bytes()
 }
 
+// commitReq is one request's journal waiting for group commit. done is
+// buffered so a leader can deliver results without blocking on waiters.
+type commitReq struct {
+	group []byte
+	done  chan error
+}
+
+// committer batches in-flight journals into group commits. Its commit
+// loop is spawned on demand by the first waiter and commits every
+// queued journal as one WAL write set with a single sync, repeating
+// while new journals keep arriving, then exits. Queue order is WAL
+// order: journals are enqueued while their request still holds stateMu.
+type committer struct {
+	mu      sync.Mutex
+	idle    sync.Cond // signaled at committer exit; see waitCommitterIdle
+	queue   []*commitReq
+	leading bool      // a commitLoop goroutine is running
+
+	// arriving counts requests that entered the pipelined durable path
+	// but have not yet enqueued their journal (they are mid-verify or
+	// mid-state-transition). The leader uses it to gather a write set:
+	// as long as requests are still arriving, waiting a few microseconds
+	// folds their journals into this sync instead of paying them a sync
+	// each. A plain scheduler yield is not enough — on a single-CPU
+	// host, whether yielded-to goroutines actually run before the
+	// leader's fsync depends on runtime internals, and when they don't,
+	// commits degenerate to singletons.
+	arriving atomic.Int64
+
+	// sinceSnap counts groups committed since the last snapshot
+	// (snapshot rotation cadence). batchSizes histograms the committed
+	// write-set sizes for the F12 experiment.
+	sinceSnap  int
+	batchSizes map[int]int
+}
+
+// Write-set gathering bounds. All committer waiting is done with
+// runtime.Gosched, never a timer sleep: a yield hands the CPU to every
+// runnable request and returns in nanoseconds once they have parked,
+// while the kernel's sleep granularity (~1ms on a tickless 1kHz host —
+// orders of magnitude above an fsync) would stall the commit path.
+// gatherSpins caps how many yields the committer spends waiting for
+// requests that entered the pipeline but have not enqueued yet; the
+// counter check ends the wait the moment the last one arrives.
+// gatherLingers bounds how many empty-queue yields the committer
+// survives after a multi-request batch before exiting. Both caps keep
+// the wait bounded even when an arriving request is stalled behind a
+// quiescing snapshot, so gathering can only win: it trades nanoseconds
+// of yielding for syncs amortized across the whole write set.
+const (
+	gatherSpins   = 32
+	gatherLingers = 4
+)
+
+// init wires the condition variable and distribution map.
+func (c *committer) init() {
+	c.idle.L = &c.mu
+	c.batchSizes = make(map[int]int)
+}
+
+// enqueueGroup queues one journal for the next group commit. The caller
+// must hold stateMu — that is what makes queue order equal mutation
+// order — and must call awaitCommit after releasing it.
+func (p *Provider) enqueueGroup(j *journal) *commitReq {
+	req := &commitReq{group: j.encodeGroup(), done: make(chan error, 1)}
+	c := &p.commit
+	c.mu.Lock()
+	c.queue = append(c.queue, req)
+	c.mu.Unlock()
+	return req
+}
+
+// awaitCommit blocks until req's group is durable (or the store died).
+// The first waiter to find no committer running spawns one; everyone
+// parks on their done channel until the committer delivers their
+// batch's result.
+func (p *Provider) awaitCommit(req *commitReq) error {
+	c := &p.commit
+	c.mu.Lock()
+	if !c.leading {
+		c.leading = true
+		go p.commitLoop()
+	}
+	c.mu.Unlock()
+	return <-req.done
+}
+
+// commitLoop is the committer: it drains the queue in gathered batches
+// until the provider goes quiet, then exits. Running detached — instead
+// of conscripting one waiting request as leader — matters in a closed
+// loop: a request-borne leader either starves its own client by staying
+// on to commit everyone else's batches, or steps down into the
+// microsecond gap before the requests it just released re-arrive and
+// the next arrival pays a singleton sync. The loop self-terminates, so
+// a provider holds no goroutine while idle and needs no teardown hook.
+func (p *Provider) commitLoop() {
+	c := &p.commit
+	lastBatch := 0
+	lingers := 0
+	yielded := false
+	c.mu.Lock()
+	for {
+		// Yield once before every cut (cheap — a no-op when nothing
+		// else is runnable). This goroutine can hold the CPU ahead of
+		// requests that are runnable but have not executed an
+		// instruction yet — freshly spawned, it runs before them; after
+		// a delivery, the clients it just released re-submit
+		// immediately. Those requests are invisible to both the queue
+		// and the arriving counter, and cutting without the yield
+		// strands them in a separate write set: the pool splits into
+		// cohorts that each pay their own sync. The yield carries every
+		// runnable request all the way to its enqueue (it parks only
+		// once queued), so cohorts merge back into one batch.
+		if !yielded {
+			yielded = true
+			c.mu.Unlock()
+			runtime.Gosched()
+			c.mu.Lock()
+			continue
+		}
+		// Gather the write set: requests that are mid-verify on other
+		// goroutines get a bounded number of yields to join this sync,
+		// so the arrival that ends an idle period doesn't pay a
+		// singleton sync with company right behind it. On a quiet
+		// provider arriving is already zero and this costs nothing.
+		for spins := 0; spins < gatherSpins && c.arriving.Load() > 0; spins++ {
+			c.mu.Unlock()
+			runtime.Gosched()
+			c.mu.Lock()
+		}
+		if len(c.queue) == 0 {
+			// Linger a few yields after a multi-request batch —
+			// concurrent load tends to come back — then step down.
+			if lastBatch > 1 && lingers < gatherLingers {
+				lingers++
+				yielded = false
+				c.mu.Unlock()
+				runtime.Gosched()
+				c.mu.Lock()
+				continue
+			}
+			break
+		}
+		lingers = 0
+		yielded = false
+		batch := c.queue
+		c.queue = nil
+		c.mu.Unlock()
+		err := p.commitBatch(batch)
+		c.mu.Lock()
+		lastBatch = len(batch)
+		if err == nil {
+			c.sinceSnap += len(batch)
+			c.batchSizes[len(batch)]++
+			if p.snapEvery > 0 && c.sinceSnap >= p.snapEvery && len(c.queue) == 0 {
+				err = p.rotateInLoop()
+			}
+		}
+		c.mu.Unlock()
+		// Waiters are released only after any due rotation, and a
+		// rotation failure is their failure: the snapshot then lands at
+		// a deterministic point in the request stream (the commit that
+		// crossed the cadence, which also carries a mid-snapshot crash
+		// back to its session), exactly as in the serialized engine —
+		// not whenever the loop next happens to go quiet. Generation
+		// boundaries and crash cascades must not depend on goroutine
+		// scheduling.
+		for _, r := range batch {
+			r.done <- err
+		}
+		c.mu.Lock()
+	}
+	c.leading = false
+	c.idle.Broadcast()
+	c.mu.Unlock()
+}
+
+// rotateInLoop rotates the snapshot from inside the commit loop, called
+// with c.mu held right after the batch that crossed the cadence and
+// before that batch's waiters are released. It takes stateMu (so no new
+// journal can be enqueued mid-snapshot) and re-checks the queue under
+// both locks — a request that slipped in between the two acquisitions
+// defers the rotation to a later batch. A rotation failure is returned
+// so the caller can report it to the batch's waiters (snapshotIdle has
+// already marked the provider dead by then).
+func (p *Provider) rotateInLoop() error {
+	c := &p.commit
+	// Lock order everywhere else is stateMu then c.mu; release and
+	// re-acquire in that order rather than holding c.mu across stateMu.
+	c.mu.Unlock()
+	p.stateMu.Lock()
+	var err error
+	c.mu.Lock()
+	if len(c.queue) == 0 && !p.isDead() {
+		c.mu.Unlock()
+		err = p.snapshotIdle()
+		c.mu.Lock()
+	}
+	p.stateMu.Unlock()
+	return err
+}
+
+// commitBatch writes one batch of groups to the WAL — one write set
+// carrying every group in queue order, then a single sync. Any store
+// failure kills the provider: a half-durable provider must not keep
+// answering.
+func (p *Provider) commitBatch(batch []*commitReq) error {
+	start := time.Now()
+	groups := make([][]byte, len(batch))
+	for i, r := range batch {
+		groups[i] = r.group
+	}
+	if err := p.st.AppendAll(groups); err != nil {
+		p.markDead()
+		return err
+	}
+	if err := p.st.Sync(); err != nil {
+		p.markDead()
+		return err
+	}
+	p.ins.commits.Add(int64(len(batch)))
+	p.ins.commitLatency.Record(time.Since(start))
+	// The batch-size distribution rides the duration-valued histogram:
+	// one sample per group commit, size n recorded as n microseconds.
+	p.ins.commitBatchSize.Record(time.Duration(len(batch)) * time.Microsecond)
+	return nil
+}
+
+// commitSerial is the baseline engine's commit: one group, appended and
+// synced inline while the caller holds stateMu (the committer queue is
+// never used in serialize mode, so it is trivially idle for the
+// snapshot rotation).
+func (p *Provider) commitSerial(j *journal) error {
+	req := &commitReq{group: j.encodeGroup()}
+	if err := p.commitBatch([]*commitReq{req}); err != nil {
+		return err
+	}
+	c := &p.commit
+	c.mu.Lock()
+	c.sinceSnap++
+	c.batchSizes[1]++
+	due := p.snapEvery > 0 && c.sinceSnap >= p.snapEvery
+	c.mu.Unlock()
+	if due {
+		return p.snapshotIdle()
+	}
+	return nil
+}
+
+// waitCommitterIdle blocks until no leader is running and the queue is
+// empty. The caller must hold stateMu, which stops new journals from
+// being enqueued; whatever is already queued has a waiter bound for
+// awaitCommit (its enqueuer released stateMu first), so the queue
+// drains without our help. Quiescence is what makes a snapshot safe:
+// every mutation present in provider state is then covered by a synced
+// WAL group or a previous snapshot, never in limbo.
+func (p *Provider) waitCommitterIdle() {
+	c := &p.commit
+	c.mu.Lock()
+	for c.leading || len(c.queue) > 0 {
+		c.idle.Wait()
+	}
+	c.mu.Unlock()
+}
+
+// snapshotIdle writes the current state as a new generation. The caller
+// must hold stateMu with the committer idle.
+func (p *Provider) snapshotIdle() error {
+	if err := p.st.WriteSnapshot(p.encodeState()); err != nil {
+		p.markDead()
+		return err
+	}
+	c := &p.commit
+	c.mu.Lock()
+	c.sinceSnap = 0
+	c.mu.Unlock()
+	return nil
+}
+
+// CommitBatchSizes returns a copy of the group-commit batch-size
+// distribution: how many committed write sets contained exactly n
+// journals, keyed by n. Experiments diff two snapshots of this map to
+// report the distribution for one measured window.
+func (p *Provider) CommitBatchSizes() map[int]int {
+	c := &p.commit
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[int]int, len(c.batchSizes))
+	for n, count := range c.batchSizes {
+		out[n] = count
+	}
+	return out
+}
+
 // marshalOutcome encodes an Outcome via its wire form.
 func marshalOutcome(o *Outcome) []byte {
 	data, err := EncodeMessage(o)
@@ -240,6 +546,8 @@ func readPendingChallenge(r *cryptoutil.Reader) (pendingChallenge, error) {
 // statsFields enumerates the persisted counters in fixed wire order.
 // Appending a field here extends the snapshot format compatibly (the
 // count prefix lets older snapshots restore into newer providers).
+// SweptByShard is deliberately absent: it is live shard bookkeeping,
+// not persisted state.
 func statsFields(s *ProviderStats) []*int {
 	return []*int{
 		&s.Submitted, &s.AutoAccepted, &s.Challenged, &s.Confirmed,
@@ -282,15 +590,33 @@ func (p *Provider) encodeState() []byte {
 		b.PutBytes(entries[i].Marshal())
 	}
 
+	// Session state is merged across the stripes (the snapshot's sorted
+	// writes erase the shard structure, so shard count is a runtime
+	// constant, not a wire-format parameter).
+	pending := make(map[attest.Nonce]pendingChallenge)
+	answered := make(map[attest.Nonce]answeredChallenge)
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		for n, pend := range sh.pending {
+			pending[n] = pend
+		}
+		for n, a := range sh.answered {
+			answered[n] = a
+		}
+		sh.mu.Unlock()
+	}
+	fallback := make(map[uint64]Outcome)
+	for i := range p.fbShards {
+		fs := &p.fbShards[i]
+		fs.mu.Lock()
+		for id, o := range fs.outcomes {
+			fallback[id] = o
+		}
+		fs.mu.Unlock()
+	}
+
 	p.mu.Lock()
-	pending := make(map[attest.Nonce]pendingChallenge, len(p.pending))
-	for n, pend := range p.pending {
-		pending[n] = pend
-	}
-	answered := make(map[attest.Nonce]answeredChallenge, len(p.answered))
-	for n, a := range p.answered {
-		answered[n] = a
-	}
 	hmacKeys := make(map[string][]byte, len(p.hmacKeys))
 	for k, v := range p.hmacKeys {
 		hmacKeys[k] = v
@@ -306,10 +632,6 @@ func (p *Provider) encodeState() []byte {
 	platforms := make(map[string]string, len(p.platforms))
 	for k, v := range p.platforms {
 		platforms[k] = v
-	}
-	fallback := make(map[uint64]Outcome, len(p.fallback))
-	for k, v := range p.fallback {
-		fallback[k] = v
 	}
 	stats := p.stats
 	p.mu.Unlock()
@@ -440,8 +762,6 @@ func (p *Provider) loadState(data []byte) error {
 		}
 	}
 
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	for i, n := 0, int(r.Uint32()); i < n && r.Err() == nil; i++ {
 		var nonce attest.Nonce
 		copy(nonce[:], r.Raw(attest.NonceSize))
@@ -449,7 +769,10 @@ func (p *Provider) loadState(data []byte) error {
 		if err != nil {
 			return fmt.Errorf("core: snapshot pending: %w", err)
 		}
-		p.pending[nonce] = pend
+		sh := p.shardFor(nonce)
+		sh.mu.Lock()
+		sh.pending[nonce] = pend
+		sh.mu.Unlock()
 	}
 	for i, n := 0, int(r.Uint32()); i < n && r.Err() == nil; i++ {
 		var nonce attest.Nonce
@@ -459,8 +782,12 @@ func (p *Provider) loadState(data []byte) error {
 		if err != nil {
 			return fmt.Errorf("core: snapshot answered: %w", err)
 		}
-		p.answered[nonce] = answeredChallenge{outcome: *o, at: at}
+		sh := p.shardFor(nonce)
+		sh.mu.Lock()
+		sh.answered[nonce] = answeredChallenge{outcome: *o, at: at}
+		sh.mu.Unlock()
 	}
+	p.mu.Lock()
 	for i, n := 0, int(r.Uint32()); i < n && r.Err() == nil; i++ {
 		k := r.String()
 		p.hmacKeys[k] = r.Bytes()
@@ -478,13 +805,17 @@ func (p *Provider) loadState(data []byte) error {
 		k := r.String()
 		p.platforms[k] = r.String()
 	}
+	p.mu.Unlock()
 	for i, n := 0, int(r.Uint32()); i < n && r.Err() == nil; i++ {
 		id := r.Uint64()
 		o, err := unmarshalOutcome(r.Bytes())
 		if err != nil {
 			return fmt.Errorf("core: snapshot fallback: %w", err)
 		}
-		p.fallback[id] = *o
+		fs := p.fbShardFor(id)
+		fs.mu.Lock()
+		fs.outcomes[id] = *o
+		fs.mu.Unlock()
 	}
 
 	issued := make(map[attest.Nonce]time.Time)
@@ -504,13 +835,16 @@ func (p *Provider) loadState(data []byte) error {
 	p.nonces.Restore(issued, spent, issuedCount, redeemedCount)
 
 	nStats := int(r.Uint32())
+	p.mu.Lock()
 	fields := statsFields(&p.stats)
 	if nStats > len(fields) {
+		p.mu.Unlock()
 		return fmt.Errorf("core: snapshot carries %d stat fields, provider knows %d", nStats, len(fields))
 	}
 	for i := 0; i < nStats && r.Err() == nil; i++ {
 		*fields[i] = int(r.Uint64())
 	}
+	p.mu.Unlock()
 
 	if err := r.ExpectEOF(); err != nil {
 		return fmt.Errorf("core: provider snapshot: %w", err)
@@ -569,22 +903,25 @@ func (p *Provider) replayRecord(rec []byte) error {
 			return err
 		}
 		p.nonces.RestoreIssued(nonce, pend.issuedAt)
-		p.mu.Lock()
-		p.pending[nonce] = pend
-		p.mu.Unlock()
+		sh := p.shardFor(nonce)
+		sh.mu.Lock()
+		sh.pending[nonce] = pend
+		sh.mu.Unlock()
 	case recPendingDropped:
 		var nonce attest.Nonce
 		copy(nonce[:], r.Raw(attest.NonceSize))
-		p.mu.Lock()
-		delete(p.pending, nonce)
-		p.mu.Unlock()
+		sh := p.shardFor(nonce)
+		sh.mu.Lock()
+		delete(sh.pending, nonce)
+		sh.mu.Unlock()
 	case recNonceRedeemed:
 		var nonce attest.Nonce
 		copy(nonce[:], r.Raw(attest.NonceSize))
 		p.nonces.RestoreSpent(nonce)
-		p.mu.Lock()
-		delete(p.pending, nonce)
-		p.mu.Unlock()
+		sh := p.shardFor(nonce)
+		sh.mu.Lock()
+		delete(sh.pending, nonce)
+		sh.mu.Unlock()
 	case recOutcomeCached:
 		var nonce attest.Nonce
 		copy(nonce[:], r.Raw(attest.NonceSize))
@@ -593,9 +930,10 @@ func (p *Provider) replayRecord(rec []byte) error {
 		if err != nil {
 			return err
 		}
-		p.mu.Lock()
-		p.answered[nonce] = answeredChallenge{outcome: *o, at: at}
-		p.mu.Unlock()
+		sh := p.shardFor(nonce)
+		sh.mu.Lock()
+		sh.answered[nonce] = answeredChallenge{outcome: *o, at: at}
+		sh.mu.Unlock()
 	case recAuditAppended:
 		e, err := UnmarshalAuditEntry(r.Bytes())
 		if err != nil {
@@ -634,9 +972,10 @@ func (p *Provider) replayRecord(rec []byte) error {
 		if err != nil {
 			return err
 		}
-		p.mu.Lock()
-		p.fallback[id] = *o
-		p.mu.Unlock()
+		fs := p.fbShardFor(id)
+		fs.mu.Lock()
+		fs.outcomes[id] = *o
+		fs.mu.Unlock()
 	default:
 		return fmt.Errorf("core: unknown WAL record kind %d", uint8(kind))
 	}
@@ -651,62 +990,31 @@ func (p *Provider) replayRecord(rec []byte) error {
 // initial snapshot (so setup done before attaching — accounts,
 // credentials, bindings — is captured). Attach once, after setup.
 func (p *Provider) AttachStore(st *store.Store) error {
-	p.commitMu.Lock()
-	defer p.commitMu.Unlock()
+	p.stateMu.Lock()
+	defer p.stateMu.Unlock()
 	st.SetMetrics(p.obsReg)
 	p.st = st
-	return p.snapshotLocked()
+	// No requests have gone through the durable path yet, so the
+	// committer is trivially idle and the snapshot is safe.
+	return p.snapshotIdle()
 }
 
 // Store returns the attached durability store (nil if none).
 func (p *Provider) Store() *store.Store { return p.st }
 
 // SnapshotNow forces a snapshot + WAL rotation (graceful shutdown, or
-// an operator checkpoint).
+// an operator checkpoint). It quiesces in-flight commits first.
 func (p *Provider) SnapshotNow() error {
 	if p.st == nil {
 		return nil
 	}
-	p.commitMu.Lock()
-	defer p.commitMu.Unlock()
+	p.stateMu.Lock()
+	defer p.stateMu.Unlock()
 	if p.isDead() {
 		return store.ErrCrashed
 	}
-	return p.snapshotLocked()
-}
-
-// snapshotLocked writes the current state as a new generation. Must be
-// called with commitMu held.
-func (p *Provider) snapshotLocked() error {
-	if err := p.st.WriteSnapshot(p.encodeState()); err != nil {
-		p.markDead()
-		return err
-	}
-	p.sinceSnap = 0
-	return nil
-}
-
-// commitLocked group-commits one request's journal: append, sync, and
-// rotate the snapshot when due. Must be called with commitMu held. Any
-// store failure kills the provider — a half-durable provider must not
-// keep answering.
-func (p *Provider) commitLocked(j *journal) error {
-	start := time.Now()
-	if err := p.st.Append(j.encodeGroup()); err != nil {
-		p.markDead()
-		return err
-	}
-	if err := p.st.Sync(); err != nil {
-		p.markDead()
-		return err
-	}
-	p.obsReg.Counter("provider.commits").Inc()
-	p.obsReg.Observe("provider.commit_latency", time.Since(start))
-	p.sinceSnap++
-	if p.snapEvery > 0 && p.sinceSnap >= p.snapEvery {
-		return p.snapshotLocked()
-	}
-	return nil
+	p.waitCommitterIdle()
+	return p.snapshotIdle()
 }
 
 // Health reports the provider's operational readiness for the admin
@@ -732,40 +1040,41 @@ func (p *Provider) Health() obs.Readiness {
 }
 
 // mutateDurable runs an out-of-band mutation (BindPlatform,
-// EnrollCredential) under the commit lock and group-commits whatever it
-// journaled. Without a store it runs the mutation directly.
+// EnrollCredential) through the same durability pipeline as a request:
+// mutate under stateMu, then group-commit whatever was journaled.
+// Without a store it runs the mutation directly.
 func (p *Provider) mutateDurable(fn func(j *journal) error) error {
 	if p.st == nil {
 		return fn(nil)
 	}
-	p.commitMu.Lock()
-	defer p.commitMu.Unlock()
+	p.stateMu.Lock()
 	if p.isDead() {
+		p.stateMu.Unlock()
 		return store.ErrCrashed
 	}
 	j := &journal{}
 	if err := fn(j); err != nil {
+		p.stateMu.Unlock()
 		return err
 	}
 	if len(j.recs) == 0 {
+		p.stateMu.Unlock()
 		return nil
 	}
-	return p.commitLocked(j)
+	if p.serialize {
+		defer p.stateMu.Unlock()
+		return p.commitSerial(j)
+	}
+	req := p.enqueueGroup(j)
+	p.stateMu.Unlock()
+	return p.awaitCommit(req)
 }
 
 // isDead reports whether a store failure killed the provider.
-func (p *Provider) isDead() bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.dead
-}
+func (p *Provider) isDead() bool { return p.dead.Load() }
 
 // markDead records a fatal store failure.
-func (p *Provider) markDead() {
-	p.mu.Lock()
-	p.dead = true
-	p.mu.Unlock()
-}
+func (p *Provider) markDead() { p.dead.Store(true) }
 
 // RestoreProvider rebuilds a provider from a store: latest valid
 // snapshot, then the WAL tail, with the audit hash chain re-verified
@@ -807,7 +1116,7 @@ func RestoreProvider(cfg ProviderConfig, st *store.Store) (*Provider, error) {
 		return nil, fmt.Errorf("core: restore rotation: %w", err)
 	}
 	sp.End()
-	p.obsReg.Counter("provider.recoveries").Inc()
+	p.ins.recoveries.Inc()
 	return p, nil
 }
 

@@ -2,16 +2,15 @@ package core
 
 import (
 	"crypto/rsa"
-	"crypto/sha256"
 	"crypto/x509"
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"unitp/internal/attest"
 	"unitp/internal/captcha"
-	"unitp/internal/cryptoutil"
 	"unitp/internal/metrics"
 	"unitp/internal/netsim"
 	"unitp/internal/obs"
@@ -190,6 +189,10 @@ type ProviderStats struct {
 	// FallbackFailed counts failed CAPTCHA answers on the degraded
 	// path.
 	FallbackFailed int
+	// SweptByShard counts expiry-sweep evictions (expired challenges
+	// plus evicted cached outcomes) per session-state stripe. Filled by
+	// Stats() from the live shards; not persisted in snapshots.
+	SweptByShard [numShards]int
 }
 
 // pendingKind distinguishes outstanding challenges.
@@ -247,6 +250,12 @@ type ProviderConfig struct {
 	// until a store is attached.
 	SnapshotEvery int
 
+	// SerializeRequests restores the pre-pipeline engine: one global
+	// lock across decode, verification, the state transition, AND a
+	// per-request WAL sync. It exists as the baseline arm of the F12
+	// throughput experiment and for A/B debugging; leave it false.
+	SerializeRequests bool
+
 	// Metrics, when non-nil, receives live outcome, replay-cache, and
 	// in-flight instrumentation.
 	Metrics *obs.Registry
@@ -261,6 +270,15 @@ type ProviderConfig struct {
 // challenges, and verifies confirmations. Its Handle method implements
 // netsim.Handler, so the same engine serves simulated and real
 // transports.
+//
+// Requests flow through a three-stage pipeline. Stage 1 (verify,
+// preverify.go) decodes the frame and runs all pure-CPU crypto outside
+// every provider lock, concurrently across requests. Stage 2 (state
+// transition) takes the pending challenge, applies the ledger and audit
+// mutations, and journals them — under stateMu when a store is
+// attached, under per-nonce shard locks otherwise. Stage 3 (group
+// commit, durable.go) batches all in-flight journals into one WAL write
+// set with a single sync and releases every waiter when durable.
 type Provider struct {
 	mu        sync.Mutex
 	name      string
@@ -271,31 +289,93 @@ type Provider struct {
 	key       *rsa.PrivateKey
 	ledger    *Ledger
 	audit     *AuditLog
-	pending   map[attest.Nonce]pendingChallenge
-	answered  map[attest.Nonce]answeredChallenge
+	shards    [numShards]sessionShard  // pending + answered, striped by nonce
+	fbShards  [numShards]fallbackShard // answered CAPTCHA IDs, striped by ID
 	hmacKeys  map[string][]byte
 	presence  map[string]bool     // issued presence tokens
 	creds     map[string][32]byte // username -> credential digest
 	platforms map[string]string   // account -> bound platform ID
 	captcha   *captcha.Service
-	fallback  map[uint64]Outcome // answered CAPTCHA IDs (idempotency)
 	counters  *metrics.CounterSet
 	obsReg    *obs.Registry
 	tracer    *obs.Tracer
+	ins       providerInstruments
 	stats     ProviderStats
 	thresh    int64
 	ttl       time.Duration
-	gcTick    int
+	gcTick    atomic.Int64
+	serialize bool
 
-	// Durability (see durable.go). commitMu serializes request handling
-	// while a store is attached, so WAL order equals mutation order;
-	// dead marks a store failure (the provider stops answering until
-	// restored into a fresh instance).
-	commitMu  sync.Mutex
+	// Durability (see durable.go). stateMu serializes the state
+	// transition while a store is attached, so WAL order equals mutation
+	// order; commit is the group committer batching journals across
+	// requests; dead marks a store failure (the provider stops answering
+	// until restored into a fresh instance).
+	stateMu   sync.Mutex
+	commit    committer
 	st        *store.Store
 	snapEvery int
-	sinceSnap int
-	dead      bool
+	dead      atomic.Bool
+}
+
+// providerInstruments holds the provider's registry instruments,
+// resolved once at construction/SetObservability instead of by name on
+// every request (the per-request map+lock lookups were a measurable
+// hot-path cost). All instruments are nil-registry-safe discards when
+// no registry is attached.
+type providerInstruments struct {
+	inflight            *metrics.Gauge
+	corruptFrames       *metrics.Counter
+	replayHits          *metrics.Counter
+	replayStores        *metrics.Counter
+	submitted           *metrics.Counter
+	challenged          *metrics.Counter
+	outcomeConfirmed    *metrics.Counter
+	outcomeAccepted     *metrics.Counter
+	outcomeDenied       *metrics.Counter
+	outcomeRetryable    *metrics.Counter
+	outcomeRejected     *metrics.Counter
+	gcExpiredChallenges *metrics.Counter
+	gcExpiredOutcomes   *metrics.Counter
+	commits             *metrics.Counter
+	recoveries          *metrics.Counter
+	commitLatency       *metrics.BoundedHistogram
+	// commitBatchSize records one sample per group commit whose value
+	// encodes the batch size as time.Duration(n) microseconds — the
+	// registry's histogram is duration-valued, and the F12 experiment
+	// reads the exact integer distribution from CommitBatchSizes.
+	commitBatchSize *metrics.BoundedHistogram
+
+	// Pre-resolved CounterSet counters (experiment tables).
+	corruptSet   *metrics.Counter
+	downgradeSet *metrics.Counter
+}
+
+// resolveInstruments (re)binds every instrument against the current
+// registry and counter set.
+func (p *Provider) resolveInstruments() {
+	m := p.obsReg
+	p.ins = providerInstruments{
+		inflight:            m.Gauge("provider.inflight"),
+		corruptFrames:       m.Counter("provider.corrupt_frames"),
+		replayHits:          m.Counter("provider.replay_cache.hits"),
+		replayStores:        m.Counter("provider.replay_cache.stores"),
+		submitted:           m.Counter("provider.submitted"),
+		challenged:          m.Counter("provider.challenged"),
+		outcomeConfirmed:    m.Counter("provider.outcome.confirmed"),
+		outcomeAccepted:     m.Counter("provider.outcome.accepted"),
+		outcomeDenied:       m.Counter("provider.outcome.denied"),
+		outcomeRetryable:    m.Counter("provider.outcome.rejected_retryable"),
+		outcomeRejected:     m.Counter("provider.outcome.rejected"),
+		gcExpiredChallenges: m.Counter("provider.gc.expired_challenges"),
+		gcExpiredOutcomes:   m.Counter("provider.gc.expired_outcomes"),
+		commits:             m.Counter("provider.commits"),
+		recoveries:          m.Counter("provider.recoveries"),
+		commitLatency:       m.Histogram("provider.commit_latency"),
+		commitBatchSize:     m.Histogram("provider.commit_batch_size"),
+		corruptSet:          p.counters.Counter("corrupt-frames"),
+		downgradeSet:        p.counters.Counter("downgrades"),
+	}
 }
 
 // answeredChallenge caches the outcome of a consumed challenge so that
@@ -325,7 +405,7 @@ func NewProvider(cfg ProviderConfig) *Provider {
 	if svc == nil {
 		svc = captcha.NewService(rng.Fork("captcha"))
 	}
-	return &Provider{
+	p := &Provider{
 		name:      cfg.Name,
 		verifier:  attest.NewVerifier(cfg.CAPub),
 		nonces:    attest.NewNonceCache(clock, rng.Fork("nonces"), ttl),
@@ -334,76 +414,80 @@ func NewProvider(cfg ProviderConfig) *Provider {
 		key:       cfg.Key,
 		ledger:    NewLedger(),
 		audit:     NewAuditLog(),
-		pending:   make(map[attest.Nonce]pendingChallenge),
-		answered:  make(map[attest.Nonce]answeredChallenge),
 		hmacKeys:  make(map[string][]byte),
 		presence:  make(map[string]bool),
 		creds:     make(map[string][32]byte),
 		platforms: make(map[string]string),
 		captcha:   svc,
-		fallback:  make(map[uint64]Outcome),
 		counters:  metrics.NewCounterSet(),
 		obsReg:    cfg.Metrics,
 		tracer:    cfg.Tracer,
 		thresh:    cfg.ConfirmThresholdCents,
 		ttl:       ttl,
+		serialize: cfg.SerializeRequests,
 		snapEvery: cfg.SnapshotEvery,
 	}
+	for i := range p.shards {
+		p.shards[i].pending = make(map[attest.Nonce]pendingChallenge)
+		p.shards[i].answered = make(map[attest.Nonce]answeredChallenge)
+	}
+	for i := range p.fbShards {
+		p.fbShards[i].outcomes = make(map[uint64]Outcome)
+	}
+	p.commit.init()
+	p.resolveInstruments()
+	return p
 }
 
 // GC removes challenges that outlived the nonce TTL without an answer —
 // the provider-side bound on state held for clients whose malware DoSed
-// the confirmation (or who walked away). Returns the number collected.
+// the confirmation (or who walked away). Each stripe is swept under its
+// own lock, so a GC pass never blocks the whole map. Returns the number
+// collected.
 func (p *Provider) GC() int {
 	p.nonces.GC()
-	p.mu.Lock()
 	now := p.clock.Now()
 	n, evicted := 0, 0
-	for nonce, pend := range p.pending {
-		if now.Sub(pend.issuedAt) > p.ttl {
-			delete(p.pending, nonce)
-			n++
-		}
+	for i := range p.shards {
+		e, v := p.sweepShard(&p.shards[i], now)
+		n += e
+		evicted += v
 	}
-	for nonce, ans := range p.answered {
-		if now.Sub(ans.at) > p.ttl {
-			delete(p.answered, nonce)
-			evicted++
-		}
-	}
-	p.mu.Unlock()
 	p.count(func(s *ProviderStats) {
 		s.ExpiredChallenges += n
 		s.ExpiredOutcomes += evicted
 	})
-	p.obsReg.Counter("provider.gc.expired_challenges").Add(int64(n))
-	p.obsReg.Counter("provider.gc.expired_outcomes").Add(int64(evicted))
+	p.ins.gcExpiredChallenges.Add(int64(n))
+	p.ins.gcExpiredOutcomes.Add(int64(evicted))
 	return n
 }
 
 // SetObservability attaches (or replaces) the provider's live metrics
 // registry and tracer. Either may be nil; instrumented paths are
-// nil-safe.
+// nil-safe. Call before serving traffic — instrument rebinding is not
+// synchronized with in-flight requests.
 func (p *Provider) SetObservability(m *obs.Registry, tr *obs.Tracer) {
 	p.obsReg = m
 	p.tracer = tr
+	p.resolveInstruments()
 }
 
 // PendingChallenges reports the number of outstanding challenges.
 func (p *Provider) PendingChallenges() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.pending)
+	n := 0
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		n += len(sh.pending)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // maybeGC runs GC opportunistically every 64 challenge issuances, so
 // long-running providers stay bounded without an external timer.
 func (p *Provider) maybeGC() {
-	p.mu.Lock()
-	p.gcTick++
-	due := p.gcTick%64 == 0
-	p.mu.Unlock()
-	if due {
+	if p.gcTick.Add(1)%64 == 0 {
 		p.GC()
 	}
 }
@@ -413,9 +497,10 @@ func (p *Provider) issueChallenge(pend pendingChallenge, j *journal) attest.Nonc
 	p.maybeGC()
 	nonce := p.nonces.Issue()
 	pend.issuedAt = p.clock.Now()
-	p.mu.Lock()
-	p.pending[nonce] = pend
-	p.mu.Unlock()
+	sh := p.shardFor(nonce)
+	sh.mu.Lock()
+	sh.pending[nonce] = pend
+	sh.mu.Unlock()
 	j.challengeIssued(nonce, pend)
 	return nonce
 }
@@ -423,22 +508,24 @@ func (p *Provider) issueChallenge(pend pendingChallenge, j *journal) attest.Nonc
 // takePending consumes a pending challenge of the expected kind and
 // redeems its nonce. It returns (pending, nil, "") on success, a cached
 // outcome for an already-answered nonce (idempotent retransmissions),
-// or a rejection reason.
+// or a rejection reason. The consume-or-replay decision is atomic under
+// the nonce's stripe lock.
 func (p *Provider) takePending(nonce attest.Nonce, kind pendingKind, j *journal) (pendingChallenge, *Outcome, string) {
-	p.mu.Lock()
-	pend, ok := p.pending[nonce]
+	sh := p.shardFor(nonce)
+	sh.mu.Lock()
+	pend, ok := sh.pending[nonce]
 	if ok {
-		delete(p.pending, nonce)
+		delete(sh.pending, nonce)
 	}
-	cached, wasAnswered := p.answered[nonce]
-	p.mu.Unlock()
+	cached, wasAnswered := sh.answered[nonce]
+	sh.mu.Unlock()
 	if !ok || pend.kind != kind {
 		if ok {
 			// A wrong-kind proof still consumed the pending entry.
 			j.pendingDropped(nonce)
 		}
 		if wasAnswered {
-			p.obsReg.Counter("provider.replay_cache.hits").Inc()
+			p.ins.replayHits.Inc()
 			replay := cached.outcome
 			return pendingChallenge{}, &replay, ""
 		}
@@ -470,11 +557,12 @@ func (p *Provider) takePending(nonce attest.Nonce, kind pendingKind, j *journal)
 // replays, and returns the outcome for convenience.
 func (p *Provider) rememberOutcome(nonce attest.Nonce, outcome *Outcome, j *journal) *Outcome {
 	now := p.clock.Now()
-	p.mu.Lock()
-	p.answered[nonce] = answeredChallenge{outcome: *outcome, at: now}
-	p.mu.Unlock()
+	sh := p.shardFor(nonce)
+	sh.mu.Lock()
+	sh.answered[nonce] = answeredChallenge{outcome: *outcome, at: now}
+	sh.mu.Unlock()
 	j.outcomeCached(nonce, now, outcome)
-	p.obsReg.Counter("provider.replay_cache.stores").Inc()
+	p.ins.replayStores.Inc()
 	return outcome
 }
 
@@ -505,11 +593,19 @@ func (p *Provider) Verifier() *attest.Verifier { return p.verifier }
 // (non-repudiation; see ReplayAudit).
 func (p *Provider) AuditLog() *AuditLog { return p.audit }
 
-// Stats returns a copy of the outcome counters.
+// Stats returns a copy of the outcome counters, including per-shard
+// sweep totals gathered from the live stripes.
 func (p *Provider) Stats() ProviderStats {
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	s := p.stats
+	p.mu.Unlock()
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		s.SweptByShard[i] = sh.sweptChallenges + sh.sweptOutcomes
+		sh.mu.Unlock()
+	}
+	return s
 }
 
 // Counters exposes the provider's named rejection counters (corrupt
@@ -550,79 +646,122 @@ func (p *Provider) Handle(req []byte) ([]byte, error) {
 	if hasSID {
 		tr = p.tracer.Adopt(sid, p.clock)
 	}
-	inflight := p.obsReg.Gauge("provider.inflight")
-	inflight.Inc()
-	defer inflight.Dec()
+	p.ins.inflight.Inc()
+	defer p.ins.inflight.Dec()
 	sp := tr.StartSpan("provider.handle")
 	defer sp.End()
 
-	if p.st == nil {
-		return p.handle(inner, nil, tr)
-	}
-	// Durable path: serialize on the commit lock so WAL order equals
-	// mutation order, journal the request's mutations, and group-commit
-	// them before the response leaves. A crash can tear at most the
-	// whole group — the client retries into a provider that never saw
-	// the request.
-	p.commitMu.Lock()
-	defer p.commitMu.Unlock()
-	if p.isDead() {
-		return nil, store.ErrCrashed
-	}
-	j := &journal{}
-	resp, err := p.handle(inner, j, tr)
-	if err != nil {
-		return nil, err
-	}
-	if len(j.recs) > 0 {
-		wsp := tr.StartSpan("provider.wal_commit")
-		err := p.commitLocked(j)
-		wsp.End()
-		if err != nil {
-			return nil, err
-		}
-	}
-	return resp, nil
-}
-
-// handle dispatches one decoded request, journaling mutations into j
-// (nil when the provider has no store) and attributing phases to tr
-// (nil when the frame carried no correlation ID or tracing is off).
-func (p *Provider) handle(req []byte, j *journal, tr *obs.SessionTrace) ([]byte, error) {
-	msg, err := DecodeMessage(req)
+	msg, err := DecodeMessage(inner)
 	if err != nil {
 		// An undecodable frame is either in-flight corruption or a
 		// broken client; count it so chaos experiments can report the
 		// rejection rate, then let the transport layer decide whether
 		// the sender retries.
 		p.count(func(s *ProviderStats) { s.CorruptFrames++ })
-		p.counters.Counter("corrupt-frames").Inc()
-		p.obsReg.Counter("provider.corrupt_frames").Inc()
+		p.ins.corruptSet.Inc()
+		p.ins.corruptFrames.Inc()
 		tr.Event("provider.corrupt_frame", err.Error())
 		return nil, err
 	}
+
+	if p.st == nil {
+		// No durability: the state transition runs fully concurrently,
+		// consistency coming from the shard locks and the single-writer
+		// ledger and audit chain.
+		return p.dispatch(msg, p.preVerify(msg, tr), nil, tr)
+	}
+	if p.serialize {
+		return p.handleSerialized(msg, tr)
+	}
+
+	// Pipelined durable path. Stage 1: all crypto, outside every lock.
+	// The arriving count tells a commit leader this request is on its
+	// way to the queue, so the leader holds the sync open for it.
+	p.commit.arriving.Add(1)
+	pre := p.preVerify(msg, tr)
+	// Stage 2: the state transition, under stateMu so WAL order equals
+	// mutation order. The journal is enqueued while the lock is still
+	// held — queue order therefore also equals mutation order.
+	p.stateMu.Lock()
+	if p.isDead() {
+		p.commit.arriving.Add(-1)
+		p.stateMu.Unlock()
+		return nil, store.ErrCrashed
+	}
+	j := &journal{}
+	resp, err := p.dispatch(msg, pre, j, tr)
+	if err != nil || len(j.recs) == 0 {
+		p.commit.arriving.Add(-1)
+		p.stateMu.Unlock()
+		return resp, err
+	}
+	creq := p.enqueueGroup(j)
+	p.commit.arriving.Add(-1)
+	p.stateMu.Unlock()
+	// Stage 3: group commit. A crash can tear at most whole groups off
+	// the WAL tail — the response leaves only after its group is synced,
+	// so a torn request is one the client never saw answered.
+	wsp := tr.StartSpan("provider.wal_commit")
+	cerr := p.awaitCommit(creq)
+	wsp.End()
+	if cerr != nil {
+		return nil, cerr
+	}
+	return resp, nil
+}
+
+// handleSerialized is the single-lock baseline engine: decode already
+// happened, but verification, the state transition, and a per-request
+// append+sync all run under stateMu — the pre-pipeline behavior, kept
+// as the F12 comparison arm.
+func (p *Provider) handleSerialized(msg any, tr *obs.SessionTrace) ([]byte, error) {
+	p.stateMu.Lock()
+	defer p.stateMu.Unlock()
+	if p.isDead() {
+		return nil, store.ErrCrashed
+	}
+	j := &journal{}
+	resp, err := p.dispatch(msg, nil, j, tr)
+	if err != nil {
+		return nil, err
+	}
+	if len(j.recs) > 0 {
+		wsp := tr.StartSpan("provider.wal_commit")
+		cerr := p.commitSerial(j)
+		wsp.End()
+		if cerr != nil {
+			return nil, cerr
+		}
+	}
+	return resp, nil
+}
+
+// dispatch routes one decoded request, journaling mutations into j (nil
+// when the provider has no store), consuming the verify stage's result
+// (nil means every check runs inline), and attributing phases to tr.
+func (p *Provider) dispatch(msg any, pre *preVerified, j *journal, tr *obs.SessionTrace) ([]byte, error) {
 	var resp any
 	switch m := msg.(type) {
 	case *SubmitTx:
 		resp = p.handleSubmit(m, j, tr)
 	case *ConfirmTx:
-		resp = p.handleConfirm(m, j, tr)
+		resp = p.handleConfirm(m, pre.confirmPart(), j, tr)
 	case *PresenceRequest:
 		resp = p.handlePresenceRequest(j)
 	case *PresenceProof:
-		resp = p.handlePresenceProof(m, j)
+		resp = p.handlePresenceProof(m, pre.presencePart(), j)
 	case *ProvisionRequest:
 		resp = p.handleProvisionRequest(m, j)
 	case *ProvisionComplete:
-		resp = p.handleProvisionComplete(m, j)
+		resp = p.handleProvisionComplete(m, pre.provisionPart(), j)
 	case *LoginRequest:
 		resp = p.handleLoginRequest(m, j)
 	case *LoginProof:
-		resp = p.handleLoginProof(m, j)
+		resp = p.handleLoginProof(m, pre.loginPart(), j)
 	case *SubmitBatch:
 		resp = p.handleSubmitBatch(m, j)
 	case *ConfirmBatch:
-		resp = p.handleConfirmBatch(m, j)
+		resp = p.handleConfirmBatch(m, pre.batchPart(), j)
 	case *FallbackRequest:
 		resp = p.handleFallbackRequest(m, j)
 	case *FallbackAnswer:
@@ -644,15 +783,15 @@ func (p *Provider) observeResponse(resp any, tr *obs.SessionTrace) {
 	}
 	switch {
 	case o.Accepted && o.Authentic:
-		p.obsReg.Counter("provider.outcome.confirmed").Inc()
+		p.ins.outcomeConfirmed.Inc()
 	case o.Accepted:
-		p.obsReg.Counter("provider.outcome.accepted").Inc()
+		p.ins.outcomeAccepted.Inc()
 	case o.Authentic:
-		p.obsReg.Counter("provider.outcome.denied").Inc()
+		p.ins.outcomeDenied.Inc()
 	case o.Retryable:
-		p.obsReg.Counter("provider.outcome.rejected_retryable").Inc()
+		p.ins.outcomeRetryable.Inc()
 	default:
-		p.obsReg.Counter("provider.outcome.rejected").Inc()
+		p.ins.outcomeRejected.Inc()
 	}
 	tr.Event("provider.outcome", fmt.Sprintf("accepted=%v reason=%q", o.Accepted, o.Reason))
 	if tr.Adopted() {
@@ -667,7 +806,7 @@ func (p *Provider) handleSubmit(m *SubmitTx, j *journal, tr *obs.SessionTrace) a
 	p.mu.Lock()
 	p.stats.Submitted++
 	p.mu.Unlock()
-	p.obsReg.Counter("provider.submitted").Inc()
+	p.ins.submitted.Inc()
 	if err := m.Tx.Validate(); err != nil {
 		return &Outcome{Accepted: false, Reason: err.Error(), TxID: safeTxID(m.Tx)}
 	}
@@ -691,13 +830,13 @@ func (p *Provider) handleSubmit(m *SubmitTx, j *journal, tr *obs.SessionTrace) a
 	txCopy := *m.Tx
 	nonce := p.issueChallenge(pendingChallenge{kind: pendingConfirm, tx: &txCopy}, j)
 	p.count(func(s *ProviderStats) { s.Challenged++ })
-	p.obsReg.Counter("provider.challenged").Inc()
+	p.ins.challenged.Inc()
 	tr.Event("provider.challenge", "confirmation challenge issued")
 	return &Challenge{Nonce: nonce, Tx: &txCopy}
 }
 
 // handleConfirm verifies a confirmation against the pending challenge.
-func (p *Provider) handleConfirm(m *ConfirmTx, j *journal, tr *obs.SessionTrace) any {
+func (p *Provider) handleConfirm(m *ConfirmTx, pre *preConfirm, j *journal, tr *obs.SessionTrace) any {
 	pend, cached, rejection := p.takePending(m.Nonce, pendingConfirm, j)
 	if cached != nil {
 		tr.Event("provider.replay", "cached outcome returned")
@@ -706,13 +845,17 @@ func (p *Provider) handleConfirm(m *ConfirmTx, j *journal, tr *obs.SessionTrace)
 	if rejection != "" {
 		return &Outcome{Accepted: false, Reason: rejection, Retryable: true}
 	}
-	return p.rememberOutcome(m.Nonce, p.confirmOutcome(m, pend, j, tr), j)
+	return p.rememberOutcome(m.Nonce, p.confirmOutcome(m, pend, pre, j, tr), j)
 }
 
 // confirmOutcome computes the outcome of a live (non-replayed)
-// confirmation.
-func (p *Provider) confirmOutcome(m *ConfirmTx, pend pendingChallenge, j *journal, tr *obs.SessionTrace) *Outcome {
+// confirmation, consuming the verify stage's pre-computed checks when
+// available and re-running them inline otherwise.
+func (p *Provider) confirmOutcome(m *ConfirmTx, pend pendingChallenge, pre *preConfirm, j *journal, tr *obs.SessionTrace) *Outcome {
 	txDigest := pend.tx.Digest()
+	if pre == nil {
+		pre = p.preConfirmTx(m, pend, tr) // nil for an unknown mode
+	}
 	// Evidence that fails an integrity check is rejected as retryable: a
 	// bit flip in transit is indistinguishable from a forgery here, and
 	// letting the client run a fresh session is harmless — acceptance
@@ -720,36 +863,25 @@ func (p *Provider) confirmOutcome(m *ConfirmTx, pend pendingChallenge, j *journa
 	// violations and authenticated user decisions stay final.
 	switch m.Mode {
 	case ModeQuote:
-		ev, err := attest.UnmarshalEvidence(m.Evidence)
-		if err != nil {
+		if pre.evErr != nil {
 			p.count(func(s *ProviderStats) { s.RejectedForged++ })
 			return &Outcome{Accepted: false, Reason: "malformed evidence", TxID: pend.tx.ID, Retryable: true}
 		}
-		binding := ConfirmationBinding(m.Nonce, txDigest, m.Confirmed)
-		vsp := tr.StartSpan("provider.verify")
-		res, err := p.verifier.Verify(ev, attest.Expectations{
-			Nonce:         m.Nonce,
-			ExpectedPCR23: ExpectedAppPCR(binding),
-		})
-		vsp.End()
-		if err != nil {
+		if pre.verifyErr != nil {
 			p.count(func(s *ProviderStats) { s.RejectedForged++ })
-			return &Outcome{Accepted: false, Reason: "attestation failed: " + err.Error(), TxID: pend.tx.ID, Retryable: true}
+			return &Outcome{Accepted: false, Reason: "attestation failed: " + pre.verifyErr.Error(), TxID: pend.tx.ID, Retryable: true}
 		}
 		// Cuckoo/relay defence: the attesting platform must be the one
 		// bound to the debited account.
-		if reason := p.checkPlatformBinding(pend.tx.From, res.PlatformID); reason != "" {
+		if reason := p.checkPlatformBinding(pend.tx.From, pre.res.PlatformID); reason != "" {
 			return &Outcome{Accepted: false, Reason: reason, TxID: pend.tx.ID}
 		}
 	case ModeHMAC:
-		p.mu.Lock()
-		key, ok := p.hmacKeys[m.PlatformID]
-		p.mu.Unlock()
-		if !ok {
+		if !pre.keyKnown {
 			p.count(func(s *ProviderStats) { s.RejectedForged++ })
 			return &Outcome{Accepted: false, Reason: "platform has no provisioned key", TxID: pend.tx.ID, Retryable: true}
 		}
-		if !cryptoutil.VerifyHMACSHA256(key, MACMessage(m.Nonce, txDigest, m.Confirmed), m.MAC) {
+		if !pre.macOK {
 			p.count(func(s *ProviderStats) { s.RejectedForged++ })
 			return &Outcome{Accepted: false, Reason: "confirmation MAC invalid", TxID: pend.tx.ID, Retryable: true}
 		}
@@ -801,7 +933,7 @@ func (p *Provider) handlePresenceRequest(j *journal) any {
 }
 
 // handlePresenceProof verifies a presence proof and grants a token.
-func (p *Provider) handlePresenceProof(m *PresenceProof, j *journal) any {
+func (p *Provider) handlePresenceProof(m *PresenceProof, pre *prePresence, j *journal) any {
 	_, cached, rejection := p.takePending(m.Nonce, pendingPresence, j)
 	if cached != nil {
 		return cached
@@ -809,23 +941,21 @@ func (p *Provider) handlePresenceProof(m *PresenceProof, j *journal) any {
 	if rejection != "" {
 		return &Outcome{Accepted: false, Reason: rejection, Retryable: true}
 	}
-	return p.rememberOutcome(m.Nonce, p.presenceOutcome(m, j), j)
+	return p.rememberOutcome(m.Nonce, p.presenceOutcome(m, pre, j), j)
 }
 
 // presenceOutcome computes the outcome of a live presence proof.
-func (p *Provider) presenceOutcome(m *PresenceProof, j *journal) *Outcome {
-	ev, err := attest.UnmarshalEvidence(m.Evidence)
-	if err != nil {
+func (p *Provider) presenceOutcome(m *PresenceProof, pre *prePresence, j *journal) *Outcome {
+	if pre == nil {
+		pre = p.prePresenceProof(m)
+	}
+	if pre.evErr != nil {
 		p.count(func(s *ProviderStats) { s.PresenceRejected++ })
 		return &Outcome{Accepted: false, Reason: "malformed evidence", Retryable: true}
 	}
-	_, err = p.verifier.Verify(ev, attest.Expectations{
-		Nonce:         m.Nonce,
-		ExpectedPCR23: ExpectedAppPCR(PresenceBinding(m.Nonce)),
-	})
-	if err != nil {
+	if pre.verifyErr != nil {
 		p.count(func(s *ProviderStats) { s.PresenceRejected++ })
-		return &Outcome{Accepted: false, Reason: "attestation failed: " + err.Error(), Retryable: true}
+		return &Outcome{Accepted: false, Reason: "attestation failed: " + pre.verifyErr.Error(), Retryable: true}
 	}
 	token := fmt.Sprintf("presence-%016x", p.rng.Uint64())
 	p.mu.Lock()
@@ -850,7 +980,7 @@ func (p *Provider) handleProvisionRequest(m *ProvisionRequest, j *journal) any {
 
 // handleProvisionComplete verifies the provisioning attestation and
 // installs the key.
-func (p *Provider) handleProvisionComplete(m *ProvisionComplete, j *journal) any {
+func (p *Provider) handleProvisionComplete(m *ProvisionComplete, pre *preProvision, j *journal) any {
 	_, cached, rejection := p.takePending(m.Nonce, pendingProvision, j)
 	if cached != nil {
 		return cached
@@ -858,39 +988,35 @@ func (p *Provider) handleProvisionComplete(m *ProvisionComplete, j *journal) any
 	if rejection != "" {
 		return &Outcome{Accepted: false, Reason: rejection, Retryable: true}
 	}
-	return p.rememberOutcome(m.Nonce, p.provisionOutcome(m, j), j)
+	return p.rememberOutcome(m.Nonce, p.provisionOutcome(m, pre, j), j)
 }
 
 // provisionOutcome computes the outcome of a live provisioning proof.
-func (p *Provider) provisionOutcome(m *ProvisionComplete, j *journal) *Outcome {
-	ev, err := attest.UnmarshalEvidence(m.Evidence)
-	if err != nil {
+func (p *Provider) provisionOutcome(m *ProvisionComplete, pre *preProvision, j *journal) *Outcome {
+	if pre == nil {
+		pre = p.preProvisionComplete(m)
+	}
+	if pre.evErr != nil {
 		p.count(func(s *ProviderStats) { s.RejectedForged++ })
 		return &Outcome{Accepted: false, Reason: "malformed evidence", Retryable: true}
 	}
-	binding := ProvisionBinding(m.Nonce, cryptoutil.SHA1(m.EncKey))
-	res, err := p.verifier.Verify(ev, attest.Expectations{
-		Nonce:         m.Nonce,
-		ExpectedPCR23: ExpectedAppPCR(binding),
-	})
-	if err != nil {
+	if pre.verifyErr != nil {
 		p.count(func(s *ProviderStats) { s.RejectedForged++ })
-		return &Outcome{Accepted: false, Reason: "attestation failed: " + err.Error(), Retryable: true}
+		return &Outcome{Accepted: false, Reason: "attestation failed: " + pre.verifyErr.Error(), Retryable: true}
 	}
-	if res.PlatformID != m.PlatformID {
+	if pre.res.PlatformID != m.PlatformID {
 		p.count(func(s *ProviderStats) { s.RejectedForged++ })
 		return &Outcome{Accepted: false, Reason: "platform ID does not match certificate"}
 	}
-	key, err := rsa.DecryptOAEP(sha256.New(), nil, p.key, m.EncKey, oaepLabel)
-	if err != nil {
+	if pre.decErr != nil {
 		p.count(func(s *ProviderStats) { s.RejectedForged++ })
 		return &Outcome{Accepted: false, Reason: "key transport failed", Retryable: true}
 	}
 	p.mu.Lock()
-	p.hmacKeys[m.PlatformID] = key
+	p.hmacKeys[m.PlatformID] = pre.key
 	p.stats.Provisioned++
 	p.mu.Unlock()
-	j.hmacKeyInstalled(m.PlatformID, key)
+	j.hmacKeyInstalled(m.PlatformID, pre.key)
 	return &Outcome{Accepted: true, Authentic: true, Reason: "key provisioned"}
 }
 
@@ -901,7 +1027,7 @@ func (p *Provider) provisionOutcome(m *ProvisionComplete, j *journal) *Outcome {
 // mechanism was bypassed.
 func (p *Provider) handleFallbackRequest(m *FallbackRequest, j *journal) any {
 	p.count(func(s *ProviderStats) { s.DowngradesRequested++ })
-	p.counters.Counter("downgrades").Inc()
+	p.ins.downgradeSet.Inc()
 	p.auditAppend(AuditEntry{
 		Kind: AuditDowngrade,
 		At:   p.clock.Now(),
@@ -916,15 +1042,16 @@ func (p *Provider) handleFallbackRequest(m *FallbackRequest, j *journal) any {
 // the transaction under the weaker regime: Accepted but explicitly not
 // Authentic, and audit-logged as a fallback execution with no evidence.
 func (p *Provider) handleFallbackAnswer(m *FallbackAnswer, j *journal) any {
-	p.mu.Lock()
-	if prev, ok := p.fallback[m.ID]; ok {
+	fs := p.fbShardFor(m.ID)
+	fs.mu.Lock()
+	if prev, ok := fs.outcomes[m.ID]; ok {
 		// A retransmitted answer (lost response) replays the recorded
 		// outcome; the transaction never executes twice.
-		p.mu.Unlock()
+		fs.mu.Unlock()
 		replay := prev
 		return &replay
 	}
-	p.mu.Unlock()
+	fs.mu.Unlock()
 
 	passed, err := p.captcha.Answer(m.ID, m.Response)
 	if err != nil {
@@ -932,9 +1059,9 @@ func (p *Provider) handleFallbackAnswer(m *FallbackAnswer, j *journal) any {
 		return &Outcome{Accepted: false, Reason: "unknown or expired challenge", Retryable: true}
 	}
 	outcome := p.fallbackOutcome(m, passed, j)
-	p.mu.Lock()
-	p.fallback[m.ID] = *outcome
-	p.mu.Unlock()
+	fs.mu.Lock()
+	fs.outcomes[m.ID] = *outcome
+	fs.mu.Unlock()
 	j.fallbackOutcomeCached(m.ID, outcome)
 	return outcome
 }

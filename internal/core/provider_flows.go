@@ -68,24 +68,33 @@ func (p *Provider) EnrollCredential(username, pin string) error {
 	})
 }
 
-// verifyEvidence decodes and checks evidence against expectations plus
-// the expected PAL identity label, counting a forgery on failure.
-func (p *Provider) verifyEvidence(raw []byte, want attest.Expectations, expectedPAL string) (*attest.Result, string) {
+// verifyEvidenceRaw decodes and checks evidence against expectations
+// plus the expected PAL identity label. It is pure computation — no
+// stats — so the parallel verify stage can run it ahead of the state
+// transition and carry the result (preverify.go).
+func (p *Provider) verifyEvidenceRaw(raw []byte, want attest.Expectations, expectedPAL string) (*attest.Result, string) {
 	ev, err := attest.UnmarshalEvidence(raw)
 	if err != nil {
-		p.count(func(s *ProviderStats) { s.RejectedForged++ })
 		return nil, "malformed evidence"
 	}
 	res, err := p.verifier.Verify(ev, want)
 	if err != nil {
-		p.count(func(s *ProviderStats) { s.RejectedForged++ })
 		return nil, "attestation failed: " + err.Error()
 	}
 	if expectedPAL != "" && res.PALName != expectedPAL {
-		p.count(func(s *ProviderStats) { s.RejectedForged++ })
 		return nil, fmt.Sprintf("wrong PAL for this flow: %s", res.PALName)
 	}
 	return res, ""
+}
+
+// verifyEvidence is verifyEvidenceRaw plus forgery accounting: any
+// failure counts as RejectedForged, exactly once.
+func (p *Provider) verifyEvidence(raw []byte, want attest.Expectations, expectedPAL string) (*attest.Result, string) {
+	res, failReason := p.verifyEvidenceRaw(raw, want, expectedPAL)
+	if failReason != "" {
+		p.count(func(s *ProviderStats) { s.RejectedForged++ })
+	}
+	return res, failReason
 }
 
 // handleLoginRequest issues a PIN-entry challenge for an enrolled user.
@@ -105,7 +114,7 @@ func (p *Provider) handleLoginRequest(m *LoginRequest, j *journal) any {
 }
 
 // handleLoginProof verifies a PIN login proof.
-func (p *Provider) handleLoginProof(m *LoginProof, j *journal) any {
+func (p *Provider) handleLoginProof(m *LoginProof, pre *preLogin, j *journal) any {
 	pend, cached, rejection := p.takePending(m.Nonce, pendingLogin, j)
 	if cached != nil {
 		return cached
@@ -113,11 +122,14 @@ func (p *Provider) handleLoginProof(m *LoginProof, j *journal) any {
 	if rejection != "" {
 		return &Outcome{Accepted: false, Reason: rejection, Retryable: true}
 	}
-	return p.rememberOutcome(m.Nonce, p.loginOutcome(m, pend, j), j)
+	return p.rememberOutcome(m.Nonce, p.loginOutcome(m, pend, pre, j), j)
 }
 
-// loginOutcome computes the outcome of a live login proof.
-func (p *Provider) loginOutcome(m *LoginProof, pend pendingChallenge, j *journal) *Outcome {
+// loginOutcome computes the outcome of a live login proof. The gate
+// checks (username match, credential enrolled) always re-run here —
+// they are authoritative and cheap; only the evidence verification is
+// consumed from the verify stage when available.
+func (p *Provider) loginOutcome(m *LoginProof, pend pendingChallenge, pre *preLogin, j *journal) *Outcome {
 	if pend.username != m.Username {
 		p.count(func(s *ProviderStats) { s.LoginsRejected++ })
 		return &Outcome{Accepted: false, Reason: "username does not match challenge"}
@@ -129,11 +141,19 @@ func (p *Provider) loginOutcome(m *LoginProof, pend pendingChallenge, j *journal
 		p.count(func(s *ProviderStats) { s.LoginsRejected++ })
 		return &Outcome{Accepted: false, Reason: "login failed"}
 	}
-	binding := LoginBinding(m.Nonce, cred)
-	_, failReason := p.verifyEvidence(m.Evidence, attest.Expectations{
-		Nonce:         m.Nonce,
-		ExpectedPCR23: ExpectedAppPCR(binding),
-	}, PINPALName)
+	var failReason string
+	if pre != nil && pre.ran {
+		failReason = pre.failReason
+		if failReason != "" {
+			p.count(func(s *ProviderStats) { s.RejectedForged++ })
+		}
+	} else {
+		binding := LoginBinding(m.Nonce, cred)
+		_, failReason = p.verifyEvidence(m.Evidence, attest.Expectations{
+			Nonce:         m.Nonce,
+			ExpectedPCR23: ExpectedAppPCR(binding),
+		}, PINPALName)
+	}
 	if failReason != "" {
 		p.count(func(s *ProviderStats) { s.LoginsRejected++ })
 		// A wrong PIN surfaces as a binding mismatch; report it as a
@@ -170,7 +190,7 @@ func (p *Provider) handleSubmitBatch(m *SubmitBatch, j *journal) any {
 
 // handleConfirmBatch verifies a batch confirmation and applies the
 // approved transactions.
-func (p *Provider) handleConfirmBatch(m *ConfirmBatch, j *journal) any {
+func (p *Provider) handleConfirmBatch(m *ConfirmBatch, pre *preBatch, j *journal) any {
 	pend, cached, rejection := p.takePending(m.Nonce, pendingBatch, j)
 	if cached != nil {
 		return cached
@@ -178,41 +198,37 @@ func (p *Provider) handleConfirmBatch(m *ConfirmBatch, j *journal) any {
 	if rejection != "" {
 		return &Outcome{Accepted: false, Reason: rejection, Retryable: true}
 	}
-	return p.rememberOutcome(m.Nonce, p.batchOutcome(m, pend, j), j)
+	return p.rememberOutcome(m.Nonce, p.batchOutcome(m, pend, pre, j), j)
 }
 
-// batchOutcome computes the outcome of a live batch confirmation.
-func (p *Provider) batchOutcome(m *ConfirmBatch, pend pendingChallenge, j *journal) *Outcome {
+// batchOutcome computes the outcome of a live batch confirmation,
+// consuming the verify stage's pre-computed crypto when available.
+func (p *Provider) batchOutcome(m *ConfirmBatch, pend pendingChallenge, pre *preBatch, j *journal) *Outcome {
 	if len(m.Decisions) != len(pend.batch) {
 		p.count(func(s *ProviderStats) { s.RejectedForged++ })
 		return &Outcome{Accepted: false, Reason: "decision count does not match batch"}
 	}
-	digests := txDigests(pend.batch)
-	binding := BatchBinding(m.Nonce, digests, m.Decisions)
+	if pre == nil || !pre.ran {
+		pre = p.preConfirmBatch(m, pend) // nil for an unknown mode
+	}
 
 	attestingPlatform := m.PlatformID
 	switch m.Mode {
 	case ModeQuote:
-		res, failReason := p.verifyEvidence(m.Evidence, attest.Expectations{
-			Nonce:         m.Nonce,
-			ExpectedPCR23: ExpectedAppPCR(binding),
-		}, BatchPALName)
-		if failReason != "" {
+		if pre.failReason != "" {
+			p.count(func(s *ProviderStats) { s.RejectedForged++ })
 			// Integrity failures are retryable: transit corruption and
 			// forgery look alike, and a fresh session is harmless (see
 			// confirmOutcome).
-			return &Outcome{Accepted: false, Reason: failReason, Retryable: true}
+			return &Outcome{Accepted: false, Reason: pre.failReason, Retryable: true}
 		}
-		attestingPlatform = res.PlatformID
+		attestingPlatform = pre.res.PlatformID
 	case ModeHMAC:
-		p.mu.Lock()
-		key, ok := p.hmacKeys[m.PlatformID]
-		p.mu.Unlock()
-		if !ok {
+		if !pre.keyKnown {
 			p.count(func(s *ProviderStats) { s.RejectedForged++ })
 			return &Outcome{Accepted: false, Reason: "platform has no provisioned key", Retryable: true}
 		}
-		if !verifyBindingMAC(key, binding, m.MAC) {
+		if !pre.macOK {
 			p.count(func(s *ProviderStats) { s.RejectedForged++ })
 			return &Outcome{Accepted: false, Reason: "batch MAC invalid", Retryable: true}
 		}

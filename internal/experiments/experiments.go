@@ -57,6 +57,7 @@ func All() []Runner {
 		{ID: "f9", Title: "Figure F9: chaos sweep (fault injection, retry, degradation)", Run: RunF9},
 		{ID: "f10", Title: "Figure F10: crash sweep (crash rate × crash point × snapshot interval)", Run: RunF10},
 		{ID: "f11", Title: "Figure F11: observability overhead and chaos attribution", Run: RunF11},
+		{ID: "f12", Title: "Figure F12: request pipeline vs single-lock engine (group commit)", Run: RunF12},
 	}
 }
 

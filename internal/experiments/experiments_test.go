@@ -8,8 +8,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	runners := All()
-	if len(runners) != 14 {
-		t.Fatalf("registry has %d experiments, want 14 (T1-T3, F1-F11)", len(runners))
+	if len(runners) != 15 {
+		t.Fatalf("registry has %d experiments, want 15 (T1-T3, F1-F12)", len(runners))
 	}
 	seen := make(map[string]bool)
 	for _, r := range runners {

@@ -592,3 +592,96 @@ func Serve(rw io.ReadWriter, handler Handler) error {
 		}
 	}
 }
+
+// ServeConcurrent is Serve with a bounded worker pool: up to `workers`
+// requests from one connection are handled simultaneously, and
+// responses are written back in request order (the protocol has no
+// frame IDs, so clients match responses positionally). This is how a
+// pipelining client — or a proxy multiplexing many sessions over one
+// stream — exploits the provider's concurrent pipeline. workers <= 1
+// degrades to plain Serve.
+func ServeConcurrent(rw io.ReadWriter, handler Handler, workers int) error {
+	if workers <= 1 {
+		return Serve(rw, handler)
+	}
+
+	type job struct {
+		seq int
+		req []byte
+	}
+	type result struct {
+		seq  int
+		resp []byte
+	}
+
+	jobs := make(chan job, workers)
+	results := make(chan result, workers)
+	writeErr := make(chan error, 1)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for jb := range jobs {
+				resp, err := handler(jb.req)
+				if err != nil {
+					resp = EncodeErrorFrame(err)
+				}
+				results <- result{seq: jb.seq, resp: resp}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Writer: reorder completions back into request order. After a write
+	// failure it keeps draining (discarding) so workers never block on a
+	// full results channel.
+	go func() {
+		defer close(writeErr)
+		hold := make(map[int][]byte)
+		next := 0
+		failed := false
+		for res := range results {
+			hold[res.seq] = res.resp
+			for {
+				resp, ok := hold[next]
+				if !ok {
+					break
+				}
+				delete(hold, next)
+				next++
+				if failed {
+					continue
+				}
+				if err := WriteFrame(rw, resp); err != nil {
+					failed = true
+					writeErr <- err
+				}
+			}
+		}
+	}()
+
+	var readErr error
+	seq := 0
+	for {
+		req, err := ReadFrame(rw)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+				readErr = err
+			}
+			break
+		}
+		jobs <- job{seq: seq, req: req}
+		seq++
+	}
+	close(jobs)
+	werr := <-writeErr // nil once the writer drains everything cleanly
+	if readErr != nil {
+		return readErr
+	}
+	return werr
+}

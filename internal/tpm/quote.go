@@ -4,6 +4,7 @@ import (
 	"crypto"
 	"crypto/rsa"
 	"fmt"
+	"io"
 
 	"unitp/internal/cryptoutil"
 )
@@ -57,6 +58,40 @@ func (t *TPM) Quote(loc Locality, handle Handle, externalData []byte, selection 
 		ExternalData:    ext,
 		Selection:       sel,
 		PCRValues:       values,
+		Signature:       sig,
+	}, nil
+}
+
+// SignQuote builds and signs a quote directly from a key and explicit
+// PCR values, without a TPM instance. Load generators and benchmark
+// harnesses use it to mint valid evidence for platforms that exist only
+// as key material — the output is indistinguishable from TPM.Quote over
+// the same state. A nil random is allowed (PKCS#1 v1.5 signing is
+// deterministic).
+func SignQuote(random io.Reader, key *rsa.PrivateKey, externalData [20]byte, selection []int, values []cryptoutil.Digest) (*Quote, error) {
+	sel, err := NormalizeSelection(selection)
+	if err != nil {
+		return nil, err
+	}
+	if len(values) != len(sel) {
+		return nil, fmt.Errorf("tpm: sign quote: %d values for %d selected PCRs", len(values), len(sel))
+	}
+	composite, err := ComputeComposite(sel, values)
+	if err != nil {
+		return nil, err
+	}
+	digest := cryptoutil.SHA1(quoteInfoBytes(composite, externalData))
+	sig, err := rsa.SignPKCS1v15(random, key, crypto.SHA1, digest[:])
+	if err != nil {
+		return nil, fmt.Errorf("tpm: sign quote: %w", err)
+	}
+	vals := make([]cryptoutil.Digest, len(values))
+	copy(vals, values)
+	return &Quote{
+		CompositeDigest: composite,
+		ExternalData:    externalData,
+		Selection:       sel,
+		PCRValues:       vals,
 		Signature:       sig,
 	}, nil
 }

@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"crypto/rsa"
+	"fmt"
+	"io"
+
+	"unitp/internal/attest"
+	"unitp/internal/core"
+	"unitp/internal/cryptoutil"
+	"unitp/internal/platform"
+	"unitp/internal/tpm"
+)
+
+// SyntheticClient mints protocol-valid confirmation evidence from key
+// material alone — no simulated machine, host OS, or PAL run behind it.
+// Load generators and benchmarks use it to saturate a provider with
+// genuine crypto (real AIK certificate, real quote signature over the
+// real binding) at the cost of one RSA signature per proof, which is
+// what a provider-side throughput measurement needs: the provider does
+// full verification work while the client side stays cheap enough to
+// drive load.
+type SyntheticClient struct {
+	// PlatformID is the certified pseudonym.
+	PlatformID string
+
+	aik   *rsa.PrivateKey
+	cert  *attest.AIKCert
+	pcr17 cryptoutil.Digest // capped launch state of the approved PAL
+}
+
+// NewSyntheticClient enrolls a fresh platform with the CA and prepares
+// evidence material attesting a launch of the PAL with the given
+// measurement. The provider under test must approve that measurement
+// (Verifier().ApprovePAL). Key size is a parameter so benchmarks can
+// trade client-side signing cost against realism; pass
+// cryptoutil.DefaultRSABits for production-sized keys.
+func NewSyntheticClient(ca *attest.PrivacyCA, platformID string, palMeasurement cryptoutil.Digest, random io.Reader, bits int) (*SyntheticClient, error) {
+	ek, err := cryptoutil.GenerateRSAKey(random, bits)
+	if err != nil {
+		return nil, fmt.Errorf("workload: synthetic EK: %w", err)
+	}
+	aik, err := cryptoutil.GenerateRSAKey(random, bits)
+	if err != nil {
+		return nil, fmt.Errorf("workload: synthetic AIK: %w", err)
+	}
+	if err := ca.EnrollEK(platformID, &ek.PublicKey); err != nil {
+		return nil, err
+	}
+	cert, err := ca.CertifyAIK(platformID, &ek.PublicKey, &aik.PublicKey)
+	if err != nil {
+		return nil, err
+	}
+	return &SyntheticClient{
+		PlatformID: platformID,
+		aik:        aik,
+		cert:       cert,
+		pcr17:      platform.ExpectedPCR17Capped(palMeasurement),
+	}, nil
+}
+
+// quoteOver signs a quote binding the nonce and the given application
+// PCR value, and returns the marshalled evidence.
+func (c *SyntheticClient) quoteOver(nonce attest.Nonce, pcr23 cryptoutil.Digest) ([]byte, error) {
+	q, err := tpm.SignQuote(nil, c.aik, [20]byte(nonce),
+		[]int{tpm.PCRDRTM, tpm.PCRApp},
+		[]cryptoutil.Digest{c.pcr17, pcr23})
+	if err != nil {
+		return nil, err
+	}
+	ev := attest.Evidence{Cert: c.cert, Quote: q}
+	return ev.Marshal(), nil
+}
+
+// ConfirmEvidence mints evidence for a ModeQuote transaction
+// confirmation: a quote whose PCR 23 carries the confirmation binding
+// of (nonce, transaction digest, decision).
+func (c *SyntheticClient) ConfirmEvidence(nonce attest.Nonce, txDigest cryptoutil.Digest, confirmed bool) ([]byte, error) {
+	return c.quoteOver(nonce, core.ExpectedAppPCR(core.ConfirmationBinding(nonce, txDigest, confirmed)))
+}
+
+// PresenceEvidence mints evidence for a human-presence proof.
+func (c *SyntheticClient) PresenceEvidence(nonce attest.Nonce) ([]byte, error) {
+	return c.quoteOver(nonce, core.ExpectedAppPCR(core.PresenceBinding(nonce)))
+}
