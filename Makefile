@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race check bench bench-smoke results clean
+.PHONY: all vet build test race check bench bench-smoke chaos-smoke results clean
 
 all: check
 
@@ -28,6 +28,13 @@ bench:
 # which exercise real on-disk group commits) compiling and passing.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x ./...
+
+# chaos-smoke is the truncated F13 kill-a-shard sweep: every kill-phase
+# cell of the fault matrix plus a primary killed under concurrent load,
+# failing on any lost or doubled transaction, broken audit chain, or
+# unexpected failover count.
+chaos-smoke:
+	$(GO) test ./internal/experiments -run 'TestF13ChaosSmoke|TestF13MatrixCells|TestF13KillUnderLoadExactlyOnce' -count=1 -v
 
 # results regenerates every table/figure into results/.
 results:

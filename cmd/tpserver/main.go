@@ -13,9 +13,17 @@
 // /metrics (JSON, ?format=text), /healthz, /readyz, /trace?n=K
 // (Chrome trace_event JSON of recent sessions), and /debug/pprof.
 //
+// With -shards N (N > 1) the server runs a provider fleet: N shards
+// behind a consistent-hash router, each a primary plus -followers
+// replicas fed by synchronous WAL shipping. Accounts partition across
+// shards by their routing key; a primary that dies is failed over to
+// its most caught-up follower transparently, and with -data each role
+// journals under <data>/shard-<i>/{primary,follower-<j>}.
+//
 // Usage:
 //
 //	tpserver -addr :7700 -data /var/lib/tpserver -snapshot-every 64 -admin :7701
+//	tpserver -addr :7700 -shards 4 -followers 2 -data /var/lib/tpfleet
 package main
 
 import (
@@ -29,12 +37,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sync"
 	"syscall"
 
 	"unitp/internal/attest"
 	"unitp/internal/core"
 	"unitp/internal/cryptoutil"
+	"unitp/internal/fleet"
 	"unitp/internal/netsim"
 	"unitp/internal/obs"
 	"unitp/internal/sim"
@@ -58,6 +68,8 @@ func run() error {
 		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		traceCap  = flag.Int("trace-buffer", 256, "completed session traces retained for /trace")
 		workers   = flag.Int("workers", 4, "concurrent request handlers per connection (1 = serial)")
+		shards    = flag.Int("shards", 1, "provider shards; >1 fronts them with a consistent-hash router (accounts partition across shards)")
+		followers = flag.Int("followers", 1, "follower replicas per shard, fed by synchronous WAL shipping (fleet mode only)")
 	)
 	flag.Parse()
 
@@ -78,31 +90,27 @@ func run() error {
 	}
 	ca := attest.NewPrivacyCA("tpserver-ca", caKey, clock, rng.Fork("ca"))
 
-	provKey, err := cryptoutil.GenerateRSAKey(rand.Reader, cryptoutil.DefaultRSABits)
+	var eng engine
+	if *shards > 1 {
+		eng, err = buildFleetEngine(fleetParams{
+			shards:    *shards,
+			followers: *followers,
+			threshold: *threshold,
+			snapEvery: *snapEvery,
+			dataDir:   *dataDir,
+			ca:        ca,
+			clock:     clock,
+			rng:       rng,
+			registry:  registry,
+			tracer:    tracer,
+			logger:    logger,
+		})
+	} else {
+		eng, err = buildSingleEngine(ca, *threshold, *snapEvery, *dataDir, clock, rng, registry, tracer, logger)
+	}
 	if err != nil {
 		return err
 	}
-	cfg := core.ProviderConfig{
-		Name:                  "tpserver",
-		CAPub:                 ca.PublicKey(),
-		Key:                   provKey,
-		Clock:                 clock,
-		Random:                rng.Fork("provider"),
-		ConfirmThresholdCents: *threshold,
-		SnapshotEvery:         *snapEvery,
-		Metrics:               registry,
-		Tracer:                tracer,
-	}
-	provider, err := buildProvider(cfg, *dataDir, logger)
-	if err != nil {
-		return err
-	}
-	provider.Verifier().ApprovePAL(core.ConfirmPALName, cryptoutil.SHA1(core.ConfirmPALImage()))
-	provider.Verifier().ApprovePAL(core.PresencePALName, cryptoutil.SHA1(core.PresencePALImage()))
-	provider.Verifier().ApprovePAL(core.ProvisionPALName,
-		cryptoutil.SHA1(core.ProvisionPALImage(provider.PublicKeyDER())))
-	provider.Verifier().ApprovePAL(core.PINPALName, cryptoutil.SHA1(core.PINPALImage()))
-	provider.Verifier().ApprovePAL(core.BatchPALName, cryptoutil.SHA1(core.BatchPALImage()))
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -111,7 +119,8 @@ func run() error {
 	logger.Info("listening",
 		"addr", ln.Addr().String(),
 		"threshold_cents", *threshold,
-		"durability", durabilityLabel(*dataDir))
+		"durability", durabilityLabel(*dataDir),
+		"topology", eng.topology)
 
 	if *adminAddr != "" {
 		adminLn, err := net.Listen("tcp", *adminAddr)
@@ -121,7 +130,7 @@ func run() error {
 		mux := obs.NewAdminMux(obs.AdminConfig{
 			Metrics:   registry,
 			Tracer:    tracer,
-			Readiness: provider.Health,
+			Readiness: eng.ready,
 			Logger:    logger,
 		})
 		logger.Info("admin plane up", "addr", adminLn.Addr().String())
@@ -132,7 +141,7 @@ func run() error {
 		}()
 	}
 
-	srv := &server{ca: ca, provider: provider, logger: logger, conns: map[net.Conn]struct{}{}}
+	srv := &server{ca: ca, eng: eng, logger: logger, conns: map[net.Conn]struct{}{}}
 
 	// Graceful shutdown: stop accepting, hang up on live sessions (their
 	// in-flight request finishes its journal commit first — Handle only
@@ -161,13 +170,237 @@ func run() error {
 		}
 		go func() {
 			defer srv.untrack(conn)
-			if err := serveConn(conn, ca, provider, logger, *workers); err != nil && !srv.shuttingDown() {
+			if err := serveConn(conn, ca, eng.handle, logger, *workers); err != nil && !srv.shuttingDown() {
 				logger.Error("connection failed", "remote", conn.RemoteAddr().String(), "err", err)
 			}
-			st := provider.Stats()
-			logger.Debug("provider stats", "stats", fmt.Sprintf("%+v", st))
+			logger.Debug("engine stats", "stats", eng.stats())
 		}()
 	}
+}
+
+// engine abstracts what the listener serves: a single provider, or a
+// sharded fleet behind a router. The accept loop, the admin plane, and
+// graceful shutdown are identical either way.
+type engine struct {
+	topology string
+	handle   func(req []byte) ([]byte, error)
+	ready    func() obs.Readiness
+	finish   func() error
+	stats    func() string
+}
+
+// buildSingleEngine is the classic deployment: one provider, optionally
+// durable.
+func buildSingleEngine(ca *attest.PrivacyCA, threshold int64, snapEvery int, dataDir string,
+	clock sim.Clock, rng *sim.Rand, registry *obs.Registry, tracer *obs.Tracer,
+	logger *slog.Logger) (engine, error) {
+
+	provKey, err := cryptoutil.GenerateRSAKey(rand.Reader, cryptoutil.DefaultRSABits)
+	if err != nil {
+		return engine{}, err
+	}
+	cfg := core.ProviderConfig{
+		Name:                  "tpserver",
+		CAPub:                 ca.PublicKey(),
+		Key:                   provKey,
+		Clock:                 clock,
+		Random:                rng.Fork("provider"),
+		ConfirmThresholdCents: threshold,
+		SnapshotEvery:         snapEvery,
+		Metrics:               registry,
+		Tracer:                tracer,
+	}
+	provider, err := buildProvider(cfg, dataDir, logger)
+	if err != nil {
+		return engine{}, err
+	}
+	approvePALs(provider)
+	return engine{
+		topology: "single",
+		handle:   provider.Handle,
+		ready:    provider.Health,
+		finish:   func() error { return flushProvider(provider) },
+		stats:    func() string { return fmt.Sprintf("%+v", provider.Stats()) },
+	}, nil
+}
+
+// fleetParams bundles buildFleetEngine's many knobs.
+type fleetParams struct {
+	shards    int
+	followers int
+	threshold int64
+	snapEvery int
+	dataDir   string
+	ca        *attest.PrivacyCA
+	clock     sim.Clock
+	rng       *sim.Rand
+	registry  *obs.Registry
+	tracer    *obs.Tracer
+	logger    *slog.Logger
+}
+
+// buildFleetEngine runs N shards behind a consistent-hash router. Each
+// shard is a primary plus `followers` replicas fed by synchronous WAL
+// shipping; with -data every role journals under
+// <data>/shard-<i>/{primary,follower-<j>} and a restart restores each
+// primary from its own segment. A primary that dies is failed over
+// transparently by the router; the straddling client request surfaces
+// as a connection reset, which the client transport retries against the
+// promoted follower.
+func buildFleetEngine(p fleetParams) (engine, error) {
+	if p.followers < 1 {
+		return engine{}, fmt.Errorf("fleet mode needs at least 1 follower per shard (got %d)", p.followers)
+	}
+	shards := make([]*fleet.Shard, 0, p.shards)
+	for i := 0; i < p.shards; i++ {
+		s, err := buildFleetShard(i, p)
+		if err != nil {
+			return engine{}, err
+		}
+		shards = append(shards, s)
+	}
+	router := fleet.NewRouter(shards, 0, p.registry)
+	p.logger.Info("fleet assembled", "shards", p.shards, "followers_per_shard", p.followers)
+
+	return engine{
+		topology: fmt.Sprintf("fleet(%d shards × %d followers)", p.shards, p.followers),
+		handle: func(req []byte) ([]byte, error) {
+			resp, err := router.Handle(req)
+			if err != nil && (errors.Is(err, store.ErrCrashed) || fleet.FailoverTrigger(err)) {
+				// A residual primary death is transient to the client —
+				// exactly like a single provider's crash — so let the
+				// transport retry through the failed-over router.
+				return nil, netsim.ErrReset
+			}
+			return resp, err
+		},
+		ready: func() obs.Readiness {
+			ready := true
+			detail := map[string]any{}
+			for i, s := range shards {
+				h := s.Primary().Health()
+				ready = ready && h.Ready
+				detail[fmt.Sprintf("shard%d", i)] = map[string]any{
+					"ready":     h.Ready,
+					"epoch":     s.Epoch(),
+					"failovers": s.Failovers(),
+					"followers": s.FollowerApplied(),
+				}
+			}
+			return obs.Readiness{Ready: ready, Detail: detail}
+		},
+		finish: func() error {
+			for i, s := range shards {
+				if err := flushProvider(s.Primary()); err != nil {
+					return fmt.Errorf("shard %d: %w", i, err)
+				}
+			}
+			return nil
+		},
+		stats: func() string {
+			out := ""
+			for i, s := range shards {
+				out += fmt.Sprintf("shard%d{epoch=%d failovers=%d applied=%v} ",
+					i, s.Epoch(), s.Failovers(), s.FollowerApplied())
+			}
+			return out
+		},
+	}, nil
+}
+
+// buildFleetShard assembles one shard: its own provider key and random
+// stream, the shared CA and demo accounts, and per-role durable
+// backends when -data is set.
+func buildFleetShard(i int, p fleetParams) (*fleet.Shard, error) {
+	provKey, err := cryptoutil.GenerateRSAKey(rand.Reader, cryptoutil.DefaultRSABits)
+	if err != nil {
+		return nil, err
+	}
+	pcfg := core.ProviderConfig{
+		Name:                  fmt.Sprintf("tpserver-shard%d", i),
+		CAPub:                 p.ca.PublicKey(),
+		Key:                   provKey,
+		Clock:                 p.clock,
+		ConfirmThresholdCents: p.threshold,
+		SnapshotEvery:         p.snapEvery,
+		Metrics:               p.registry,
+		Tracer:                p.tracer,
+	}
+	return fleet.NewShard(fleet.ShardConfig{
+		Index:     i,
+		Followers: p.followers,
+		Metrics:   p.registry,
+		Tracer:    p.tracer,
+		Clock:     p.clock,
+		NewBackend: func(role string) (store.Backend, error) {
+			if p.dataDir == "" {
+				return store.NewMemBackend(), nil
+			}
+			return store.OpenDir(filepath.Join(p.dataDir, fmt.Sprintf("shard-%d", i), role))
+		},
+		BuildPrimary: func(epoch uint64) (*core.Provider, error) {
+			pc := pcfg
+			pc.Epoch = epoch
+			pc.Random = p.rng.Fork(fmt.Sprintf("shard%d-life-%d", i, epoch))
+			prov := core.NewProvider(pc)
+			approvePALs(prov)
+			// Every shard seeds the full demo account set; the ring
+			// decides which shard's copy a user actually lives on.
+			for _, acct := range []struct {
+				name  string
+				cents int64
+			}{{"alice", 1_000_000}, {"bob", 0}, {"mallory", 0}} {
+				if err := prov.Ledger().CreateAccount(acct.name, acct.cents); err != nil {
+					return nil, err
+				}
+			}
+			if err := prov.EnrollCredential("alice", "2468"); err != nil {
+				return nil, err
+			}
+			return prov, nil
+		},
+		RestorePrimary: func(epoch uint64, st *store.Store) (*core.Provider, error) {
+			// Accounts, credentials, and caches travel in the durable
+			// state; only configuration that is not state — the key and
+			// the PAL approvals — is re-applied.
+			pc := pcfg
+			pc.Epoch = epoch
+			pc.Random = p.rng.Fork(fmt.Sprintf("shard%d-life-%d", i, epoch))
+			prov, err := core.RestoreProvider(pc, st)
+			if err != nil {
+				return nil, err
+			}
+			approvePALs(prov)
+			return prov, nil
+		},
+	})
+}
+
+// approvePALs records the measurement whitelist every provider expects
+// from a genuine Flicker session.
+func approvePALs(p *core.Provider) {
+	p.Verifier().ApprovePAL(core.ConfirmPALName, cryptoutil.SHA1(core.ConfirmPALImage()))
+	p.Verifier().ApprovePAL(core.PresencePALName, cryptoutil.SHA1(core.PresencePALImage()))
+	p.Verifier().ApprovePAL(core.ProvisionPALName,
+		cryptoutil.SHA1(core.ProvisionPALImage(p.PublicKeyDER())))
+	p.Verifier().ApprovePAL(core.PINPALName, cryptoutil.SHA1(core.PINPALImage()))
+	p.Verifier().ApprovePAL(core.BatchPALName, cryptoutil.SHA1(core.BatchPALImage()))
+}
+
+// flushProvider writes a final snapshot (truncating the WAL so the next
+// start restores without replay) and closes the provider's store.
+func flushProvider(p *core.Provider) error {
+	st := p.Store()
+	if st == nil {
+		return nil
+	}
+	if err := p.SnapshotNow(); err != nil && !errors.Is(err, store.ErrCrashed) {
+		return fmt.Errorf("final snapshot: %w", err)
+	}
+	if err := st.Close(); err != nil {
+		return fmt.Errorf("close store: %w", err)
+	}
+	return nil
 }
 
 // buildProvider either restores the provider from an existing durability
@@ -227,9 +460,9 @@ func durabilityLabel(dataDir string) string {
 // server tracks accepted connections so shutdown can hang up on all of
 // them, and owns the final store flush.
 type server struct {
-	ca       *attest.PrivacyCA
-	provider *core.Provider
-	logger   *slog.Logger
+	ca     *attest.PrivacyCA
+	eng    engine
+	logger *slog.Logger
 
 	mu       sync.Mutex
 	conns    map[net.Conn]struct{}
@@ -273,25 +506,17 @@ func (s *server) beginShutdown() {
 // finish flushes durable state: a final snapshot truncates the WAL so
 // the next start restores without replay, then the store files close.
 func (s *server) finish() error {
-	st := s.provider.Store()
-	if st == nil {
-		s.logger.Info("shutdown complete", "durability", "memory-only")
-		return nil
+	if err := s.eng.finish(); err != nil {
+		return err
 	}
-	if err := s.provider.SnapshotNow(); err != nil && !errors.Is(err, store.ErrCrashed) {
-		return fmt.Errorf("final snapshot: %w", err)
-	}
-	if err := st.Close(); err != nil {
-		return fmt.Errorf("close store: %w", err)
-	}
-	s.logger.Info("shutdown complete", "generation", st.Generation())
+	s.logger.Info("shutdown complete", "topology", s.eng.topology)
 	return nil
 }
 
 // serveConn performs the enrollment handshake and then serves protocol
 // frames, handling up to `workers` requests from this connection
 // concurrently (responses stay in request order).
-func serveConn(conn net.Conn, ca *attest.PrivacyCA, provider *core.Provider, logger *slog.Logger, workers int) error {
+func serveConn(conn net.Conn, ca *attest.PrivacyCA, handle func([]byte) ([]byte, error), logger *slog.Logger, workers int) error {
 	// Enrollment frame: platformID, EK (PKCS#1 DER), AIK (PKCS#1 DER).
 	hello, err := netsim.ReadFrame(conn)
 	if err != nil {
@@ -327,6 +552,6 @@ func serveConn(conn net.Conn, ca *attest.PrivacyCA, provider *core.Provider, log
 		if sid, ok := obs.PeekSession(req); ok {
 			logger.Debug("frame", obs.Session(sid), "bytes", len(req))
 		}
-		return provider.Handle(req)
+		return handle(req)
 	}, workers)
 }

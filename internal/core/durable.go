@@ -402,6 +402,18 @@ func (p *Provider) commitBatch(batch []*commitReq) error {
 		p.markDead()
 		return err
 	}
+	if p.commitHook != nil {
+		// Replication shipping point: the batch is durable locally; it
+		// must reach the followers before any waiter is released, so a
+		// response can never outlive every copy of its mutations. A
+		// shipping failure kills the provider — the batch's requests
+		// surface as transport-level failures and the clients retry
+		// against whichever instance owns the shard next.
+		if err := p.commitHook(groups); err != nil {
+			p.markDead()
+			return err
+		}
+	}
 	p.ins.commits.Add(int64(len(batch)))
 	p.ins.commitLatency.Record(time.Since(start))
 	// The batch-size distribution rides the duration-valued histogram:
@@ -1022,8 +1034,11 @@ func (p *Provider) SnapshotNow() error {
 // dead flag a store failure raises.
 func (p *Provider) Health() obs.Readiness {
 	dead := p.isDead()
+	fenced := p.fenced.Load()
 	detail := map[string]any{
 		"dead":               dead,
+		"fenced":             fenced,
+		"epoch":              p.epoch,
 		"store_attached":     p.st != nil,
 		"pending_challenges": p.PendingChallenges(),
 	}
@@ -1036,7 +1051,7 @@ func (p *Provider) Health() obs.Readiness {
 			detail["last_snapshot_age_s"] = time.Since(last).Seconds()
 		}
 	}
-	return obs.Readiness{Ready: !dead, Detail: detail}
+	return obs.Readiness{Ready: !dead && !fenced, Detail: detail}
 }
 
 // mutateDurable runs an out-of-band mutation (BindPlatform,
@@ -1044,6 +1059,9 @@ func (p *Provider) Health() obs.Readiness {
 // mutate under stateMu, then group-commit whatever was journaled.
 // Without a store it runs the mutation directly.
 func (p *Provider) mutateDurable(fn func(j *journal) error) error {
+	if p.fenced.Load() {
+		return ErrFenced
+	}
 	if p.st == nil {
 		return fn(nil)
 	}

@@ -35,6 +35,12 @@ var (
 	// keeps client retries (and crash-recovery replays) from debiting
 	// twice.
 	ErrDuplicateTransaction = errors.New("core: transaction already executed")
+
+	// ErrFenced is returned by a provider that has been fenced: a newer
+	// epoch holds its shard, so this instance must not answer requests
+	// or commit state — a zombie primary answering after failover is how
+	// replicated systems double-spend.
+	ErrFenced = errors.New("core: provider fenced by newer epoch")
 )
 
 // Ledger is the provider's account store. It exists so examples and
@@ -250,6 +256,12 @@ type ProviderConfig struct {
 	// until a store is attached.
 	SnapshotEvery int
 
+	// Epoch is the fencing generation this provider instance serves
+	// under. A fleet bumps the epoch at every failover; a provider built
+	// for epoch e is outranked (and fenced) by any instance at e+1.
+	// Zero is a valid epoch for standalone providers.
+	Epoch uint64
+
 	// SerializeRequests restores the pre-pipeline engine: one global
 	// lock across decode, verification, the state transition, AND a
 	// per-request WAL sync. It exists as the baseline arm of the F12
@@ -316,6 +328,17 @@ type Provider struct {
 	st        *store.Store
 	snapEvery int
 	dead      atomic.Bool
+
+	// Fleet integration (see internal/fleet). epoch is the fencing
+	// generation this instance serves under; fenced is raised when a
+	// newer epoch takes the shard, after which every request is refused
+	// with ErrFenced. commitHook, when set, runs inside commitBatch
+	// after a successful sync — it is how a replicator ships committed
+	// WAL groups to followers before any response is released; a hook
+	// error kills the provider exactly like a store failure.
+	epoch      uint64
+	fenced     atomic.Bool
+	commitHook func(groups [][]byte) error
 }
 
 // providerInstruments holds the provider's registry instruments,
@@ -426,6 +449,7 @@ func NewProvider(cfg ProviderConfig) *Provider {
 		ttl:       ttl,
 		serialize: cfg.SerializeRequests,
 		snapEvery: cfg.SnapshotEvery,
+		epoch:     cfg.Epoch,
 	}
 	for i := range p.shards {
 		p.shards[i].pending = make(map[attest.Nonce]pendingChallenge)
@@ -629,6 +653,34 @@ func (p *Provider) ValidPresenceToken(token string) bool {
 	return p.presence[token]
 }
 
+// Epoch returns the fencing generation this instance serves under.
+func (p *Provider) Epoch() uint64 { return p.epoch }
+
+// Fence demotes this instance: a newer epoch owns the shard now, so
+// every subsequent request is refused with ErrFenced. Fencing is
+// one-way — a fenced provider is never un-fenced; failback builds a
+// fresh instance at a newer epoch.
+func (p *Provider) Fence() { p.fenced.Store(true) }
+
+// Fenced reports whether Fence has been called.
+func (p *Provider) Fenced() bool { return p.fenced.Load() }
+
+// Kill simulates abrupt process death for fault injection: the instance
+// stops answering exactly as after a fatal store failure. State already
+// synced to its WAL remains on the backend; everything else is gone.
+func (p *Provider) Kill() { p.markDead() }
+
+// Dead reports whether a store failure (or Kill) has stopped this
+// instance from answering.
+func (p *Provider) Dead() bool { return p.isDead() }
+
+// SetCommitHook installs a hook that runs inside every group commit
+// after the WAL sync and before any waiter is released — the
+// replication shipping point. A hook error kills the provider: a batch
+// that could not be replicated must not be answered. Install before
+// serving traffic; the hook runs without provider locks held.
+func (p *Provider) SetCommitHook(h func(groups [][]byte) error) { p.commitHook = h }
+
 var _ netsim.Handler = (*Provider)(nil).Handle
 
 // Handle implements the provider's wire protocol: it decodes one request
@@ -662,6 +714,13 @@ func (p *Provider) Handle(req []byte) ([]byte, error) {
 		p.ins.corruptFrames.Inc()
 		tr.Event("provider.corrupt_frame", err.Error())
 		return nil, err
+	}
+
+	if p.fenced.Load() {
+		// A fenced instance must not answer: the shard belongs to a
+		// newer epoch, and an answer from here could diverge from it.
+		tr.Event("provider.fenced", "request refused: newer epoch owns this shard")
+		return nil, ErrFenced
 	}
 
 	if p.st == nil {

@@ -58,6 +58,7 @@ func All() []Runner {
 		{ID: "f10", Title: "Figure F10: crash sweep (crash rate × crash point × snapshot interval)", Run: RunF10},
 		{ID: "f11", Title: "Figure F11: observability overhead and chaos attribution", Run: RunF11},
 		{ID: "f12", Title: "Figure F12: request pipeline vs single-lock engine (group commit)", Run: RunF12},
+		{ID: "f13", Title: "Figure F13: provider fleet — kill-a-shard chaos and shard scaling", Run: RunF13},
 	}
 }
 

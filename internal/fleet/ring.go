@@ -1,0 +1,102 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Ring is a consistent-hash ring over shard indices. Each shard owns
+// virtualNodes points on a 64-bit circle; a key belongs to the shard
+// owning the first point at or after the key's hash. Virtual nodes
+// smooth the partition (with one point per shard the largest arc is
+// routinely several times the smallest); consistent hashing keeps
+// resharding cheap — adding a shard moves only the keys on the arcs its
+// new points claim, about 1/(n+1) of the space, instead of rehashing
+// everything.
+//
+// The ring is immutable after construction and therefore safe for
+// concurrent readers. Routing is deterministic: the same (shards,
+// virtualNodes, key) always yields the same shard, which the
+// deterministic chaos experiments rely on.
+type Ring struct {
+	points []ringPoint
+	shards int
+}
+
+// ringPoint is one virtual node: a position on the circle and the shard
+// owning it.
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// DefaultVirtualNodes is the per-shard point count used when a Ring is
+// built with virtualNodes <= 0. 64 points per shard keeps the largest
+// shard's share within a few percent of 1/n for small fleets.
+const DefaultVirtualNodes = 64
+
+// NewRing builds a ring over shards [0, shards).
+func NewRing(shards, virtualNodes int) *Ring {
+	if shards < 1 {
+		shards = 1
+	}
+	if virtualNodes <= 0 {
+		virtualNodes = DefaultVirtualNodes
+	}
+	r := &Ring{points: make([]ringPoint, 0, shards*virtualNodes), shards: shards}
+	for s := 0; s < shards; s++ {
+		for v := 0; v < virtualNodes; v++ {
+			h := fnv64(fmt.Sprintf("shard-%d/point-%d", s, v))
+			r.points = append(r.points, ringPoint{hash: h, shard: s})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Ties (astronomically rare) break by shard so the ring is a
+		// deterministic function of its parameters alone.
+		return r.points[i].shard < r.points[j].shard
+	})
+	return r
+}
+
+// Shards returns the number of shards the ring partitions across.
+func (r *Ring) Shards() int { return r.shards }
+
+// Shard routes a key (an account ID, username, or platform ID) to its
+// owning shard.
+func (r *Ring) Shard(key string) int {
+	h := fnv64(key)
+	// First point at or after h, wrapping to the first point.
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].shard
+}
+
+// fnv64 is the FNV-1a 64-bit hash (matching the idiom of
+// internal/core's session striping, but over the full 64-bit space),
+// with a splitmix64 finalizer. The finalizer matters: FNV-1a diffuses
+// a trailing-byte difference through only two multiplies, leaving the
+// high bits — exactly the bits a sorted ring lookup compares first —
+// nearly unchanged, so sequentially numbered account names would all
+// land on one arc and the ring would degenerate to a single shard.
+func fnv64(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}

@@ -1,0 +1,206 @@
+package fleet
+
+import (
+	"fmt"
+	"sync"
+
+	"unitp/internal/attest"
+	"unitp/internal/core"
+	"unitp/internal/obs"
+)
+
+// Router is the fleet's client-facing front end: a netsim.Handler that
+// partitions the account space across shards by consistent hashing and
+// drives failover when a shard's primary dies under it.
+//
+// Session-opening messages (submissions, logins, provisioning) route by
+// their natural key — the debited account, the username, the platform —
+// so one user's state lives on exactly one shard. Mid-session messages
+// (confirmations, proofs, CAPTCHA answers) carry no account; the router
+// remembers which shard issued each challenge nonce and CAPTCHA ID and
+// routes the answer back to it. The sticky entry is dropped once the
+// answer is delivered; an answer for a nonce the router has never seen
+// (or has forgotten) falls back to hashing the nonce itself, landing on
+// a deterministic shard whose replay/staleness machinery gives the
+// client a well-formed retryable rejection.
+type Router struct {
+	ring    *Ring
+	shards  []*Shard
+	metrics *obs.Registry
+
+	mu           sync.Mutex
+	nonceRoute   map[attest.Nonce]int
+	captchaRoute map[uint64]int
+}
+
+// NewRouter fronts the given shards with a consistent-hash ring.
+// virtualNodes <= 0 uses DefaultVirtualNodes; metrics may be nil.
+func NewRouter(shards []*Shard, virtualNodes int, metrics *obs.Registry) *Router {
+	return &Router{
+		ring:         NewRing(len(shards), virtualNodes),
+		shards:       shards,
+		metrics:      metrics,
+		nonceRoute:   make(map[attest.Nonce]int),
+		captchaRoute: make(map[uint64]int),
+	}
+}
+
+// Shards returns the fleet's shards in index order.
+func (r *Router) Shards() []*Shard { return r.shards }
+
+// ShardFor returns the shard index owning a routing key — exposed so
+// experiments can place accounts on chosen shards.
+func (r *Router) ShardFor(key string) int { return r.ring.Shard(key) }
+
+// Handle implements netsim.Handler: route, dispatch, and on a dead or
+// fenced primary fail over and retry once. The retry is safe by the
+// protocol's own idempotency: a request the dead primary never answered
+// either replays from the promoted follower's caches or executes fresh,
+// exactly once either way.
+func (r *Router) Handle(req []byte) ([]byte, error) {
+	idx := r.route(req)
+	shard := r.shards[idx]
+	r.metrics.Counter(fmt.Sprintf("fleet.shard%d.routed", idx)).Inc()
+
+	epoch := shard.Epoch()
+	resp, err := shard.Handle(req)
+	if err != nil && FailoverTrigger(err) {
+		r.metrics.Counter("fleet.failovers_triggered").Inc()
+		if foErr := shard.Failover(epoch); foErr != nil {
+			return nil, fmt.Errorf("fleet: shard %d unavailable: %w (failover: %v)", idx, err, foErr)
+		}
+		r.metrics.Counter("fleet.failover_retries").Inc()
+		resp, err = shard.Handle(req)
+	}
+	if err == nil {
+		r.observe(idx, req, resp)
+	}
+	return resp, err
+}
+
+// route picks the shard for one request frame.
+func (r *Router) route(req []byte) int {
+	_, inner, _ := obs.UnwrapFrame(req)
+	msg, err := core.DecodeMessage(inner)
+	if err != nil {
+		// Undecodable frames go to shard 0, whose provider counts the
+		// corruption and reports the decode error to the transport.
+		return 0
+	}
+	switch m := msg.(type) {
+	case *core.SubmitTx:
+		if m.Tx != nil {
+			return r.ring.Shard(m.Tx.From)
+		}
+	case *core.SubmitBatch:
+		if len(m.Txs) > 0 {
+			return r.ring.Shard(m.Txs[0].From)
+		}
+	case *core.LoginRequest:
+		return r.ring.Shard(m.Username)
+	case *core.ProvisionRequest:
+		return r.ring.Shard(m.PlatformID)
+	case *core.FallbackRequest:
+		return r.ring.Shard(m.PlatformID)
+	case *core.ConfirmTx:
+		return r.nonceShard(m.Nonce)
+	case *core.ConfirmBatch:
+		return r.nonceShard(m.Nonce)
+	case *core.PresenceProof:
+		return r.nonceShard(m.Nonce)
+	case *core.ProvisionComplete:
+		return r.nonceShard(m.Nonce)
+	case *core.LoginProof:
+		return r.nonceShard(m.Nonce)
+	case *core.FallbackAnswer:
+		r.mu.Lock()
+		idx, ok := r.captchaRoute[m.ID]
+		r.mu.Unlock()
+		if ok {
+			return idx
+		}
+		return r.ring.Shard(fmt.Sprintf("captcha-%d", m.ID))
+	}
+	// Keyless requests (presence) hash their empty key: any shard can
+	// serve them, this one deterministically does.
+	return r.ring.Shard("")
+}
+
+// nonceShard looks up the shard that issued a challenge nonce, falling
+// back to hashing the nonce for unknown (forgotten or fabricated) ones.
+func (r *Router) nonceShard(n attest.Nonce) int {
+	r.mu.Lock()
+	idx, ok := r.nonceRoute[n]
+	r.mu.Unlock()
+	if ok {
+		return idx
+	}
+	return r.ring.Shard(string(n[:]))
+}
+
+// observe learns routing state from a delivered exchange: challenges
+// pin their nonce to the issuing shard, and delivered answers release
+// the pin.
+func (r *Router) observe(idx int, req, resp []byte) {
+	_, inner, _ := obs.UnwrapFrame(resp)
+	if msg, err := core.DecodeMessage(inner); err == nil {
+		switch m := msg.(type) {
+		case *core.Challenge:
+			r.pinNonce(m.Nonce, idx)
+			return
+		case *core.BatchChallenge:
+			r.pinNonce(m.Nonce, idx)
+			return
+		case *core.PresenceChallenge:
+			r.pinNonce(m.Nonce, idx)
+			return
+		case *core.ProvisionChallenge:
+			r.pinNonce(m.Nonce, idx)
+			return
+		case *core.LoginChallenge:
+			r.pinNonce(m.Nonce, idx)
+			return
+		case *core.FallbackChallenge:
+			r.mu.Lock()
+			r.captchaRoute[m.ID] = idx
+			r.mu.Unlock()
+			return
+		}
+	}
+
+	// Not a challenge: if the request was a session answer, its pin has
+	// served its purpose.
+	_, innerReq, _ := obs.UnwrapFrame(req)
+	if msg, err := core.DecodeMessage(innerReq); err == nil {
+		switch m := msg.(type) {
+		case *core.ConfirmTx:
+			r.unpinNonce(m.Nonce)
+		case *core.ConfirmBatch:
+			r.unpinNonce(m.Nonce)
+		case *core.PresenceProof:
+			r.unpinNonce(m.Nonce)
+		case *core.ProvisionComplete:
+			r.unpinNonce(m.Nonce)
+		case *core.LoginProof:
+			r.unpinNonce(m.Nonce)
+		case *core.FallbackAnswer:
+			r.mu.Lock()
+			delete(r.captchaRoute, m.ID)
+			r.mu.Unlock()
+		}
+	}
+}
+
+// pinNonce records which shard issued a challenge nonce.
+func (r *Router) pinNonce(n attest.Nonce, idx int) {
+	r.mu.Lock()
+	r.nonceRoute[n] = idx
+	r.mu.Unlock()
+}
+
+// unpinNonce forgets a delivered challenge nonce.
+func (r *Router) unpinNonce(n attest.Nonce) {
+	r.mu.Lock()
+	delete(r.nonceRoute, n)
+	r.mu.Unlock()
+}

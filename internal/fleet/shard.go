@@ -1,0 +1,456 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"unitp/internal/core"
+	"unitp/internal/faults"
+	"unitp/internal/netsim"
+	"unitp/internal/obs"
+	"unitp/internal/sim"
+	"unitp/internal/store"
+)
+
+// ShardConfig assembles one shard: a primary provider, its durable
+// store, and follower replicas wired up over replication links.
+type ShardConfig struct {
+	// Index is the shard's position in the fleet.
+	Index int
+
+	// Epoch is the shard's starting epoch (defaults to 1). Every
+	// failover increments it; providers and replication frames carry it
+	// so a deposed primary is refused everywhere.
+	Epoch uint64
+
+	// Followers is how many replicas the shard runs.
+	Followers int
+
+	// NewBackend opens the durable backend for one role: "primary" or
+	// "follower-<i>". Each role gets its own independent storage.
+	NewBackend func(role string) (store.Backend, error)
+
+	// BuildPrimary constructs the shard's first primary (keys, PAL
+	// approvals, seeded accounts) at the given epoch, without a store
+	// attached — the shard attaches one from NewBackend("primary").
+	BuildPrimary func(epoch uint64) (*core.Provider, error)
+
+	// RestorePrimary rebuilds a provider from a follower's durable
+	// segment at the given epoch — it must run core.RestoreProvider and
+	// re-apply configuration that is not state (keys, PAL approvals).
+	RestorePrimary func(epoch uint64, st *store.Store) (*core.Provider, error)
+
+	// NewLink builds the replication transport to one follower. Nil
+	// defaults to netsim.Direct (in-process, no faults). Fault-injected
+	// fleets pass a netsim.Pipe carrying the plan's LinkInjector.
+	NewLink func(shard, follower int, h netsim.Handler) netsim.Transport
+
+	// Plan, when non-nil, schedules primary kills at commit offsets.
+	// (Link partitions and slowdowns ride inside NewLink's transports.)
+	Plan *faults.FleetPlan
+
+	// Metrics, when non-nil, receives per-shard replication gauges and
+	// failover counters. Tracer, when non-nil, receives failover trace
+	// sessions. Clock times failovers (defaults to a virtual clock).
+	Metrics *obs.Registry
+	Tracer  *obs.Tracer
+	Clock   sim.Clock
+}
+
+// Shard is one partition of the fleet: a primary provider whose commit
+// hook synchronously ships every committed WAL group to the shard's
+// followers, and the failover machinery that promotes a follower when
+// the primary dies.
+type Shard struct {
+	cfg ShardConfig
+
+	mu        sync.RWMutex
+	epoch     uint64
+	primary   *core.Provider
+	rep       *replicator
+	followers []*Follower
+	failovers int
+}
+
+// NewShard builds a shard: fresh primary, attached store, bootstrapped
+// followers, and the replication hook installed.
+func NewShard(cfg ShardConfig) (*Shard, error) {
+	if cfg.Epoch == 0 {
+		cfg.Epoch = 1
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = sim.NewVirtualClock()
+	}
+	if cfg.NewBackend == nil {
+		return nil, fmt.Errorf("fleet: shard %d: NewBackend is required", cfg.Index)
+	}
+	if cfg.BuildPrimary == nil || cfg.RestorePrimary == nil {
+		return nil, fmt.Errorf("fleet: shard %d: BuildPrimary and RestorePrimary are required", cfg.Index)
+	}
+
+	s := &Shard{cfg: cfg, epoch: cfg.Epoch}
+
+	backend, err := cfg.NewBackend("primary")
+	if err != nil {
+		return nil, fmt.Errorf("fleet: shard %d: primary backend: %w", cfg.Index, err)
+	}
+	st, err := store.Open(backend)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: shard %d: open primary store: %w", cfg.Index, err)
+	}
+	var prov *core.Provider
+	if st.Snapshot() != nil {
+		// A process restart over a durable backend: the primary's
+		// segment survives, so restore from it rather than clobbering
+		// it with a freshly seeded provider.
+		prov, err = cfg.RestorePrimary(s.epoch, st)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: shard %d: restore primary: %w", cfg.Index, err)
+		}
+	} else {
+		prov, err = cfg.BuildPrimary(s.epoch)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: shard %d: build primary: %w", cfg.Index, err)
+		}
+		if err := prov.AttachStore(st); err != nil {
+			return nil, fmt.Errorf("fleet: shard %d: attach store: %w", cfg.Index, err)
+		}
+	}
+
+	for i := 0; i < cfg.Followers; i++ {
+		fb, err := cfg.NewBackend(fmt.Sprintf("follower-%d", i))
+		if err != nil {
+			return nil, fmt.Errorf("fleet: shard %d: follower %d backend: %w", cfg.Index, i, err)
+		}
+		s.followers = append(s.followers, NewFollower(cfg.Index, i, fb))
+	}
+
+	if err := s.wirePrimaryLocked(prov, 0); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// wirePrimaryLocked installs prov as the shard's primary at the current
+// epoch: builds replication links to every live follower, bootstraps
+// them from the primary's segment at stream offset upTo, and arms the
+// commit hook. Caller holds s.mu (or is inside NewShard).
+func (s *Shard) wirePrimaryLocked(prov *core.Provider, upTo uint64) error {
+	rep := &replicator{
+		shard:   s.cfg.Index,
+		epoch:   s.epoch,
+		offset:  upTo,
+		metrics: s.cfg.Metrics,
+	}
+	seg, err := prov.Store().ReadSegment()
+	if err != nil {
+		return fmt.Errorf("fleet: shard %d: read primary segment: %w", s.cfg.Index, err)
+	}
+	boot := encodeBootstrap(bootstrapFrame{
+		Epoch: s.epoch, UpTo: upTo, Gen: seg.Generation,
+		State: seg.State, Records: seg.Records,
+	})
+	for _, f := range s.followers {
+		link := s.newLink(f)
+		if err := rep.bootstrap(link, f, boot); err != nil {
+			return err
+		}
+	}
+
+	epoch := s.epoch
+	plan := s.cfg.Plan
+	shard := s.cfg.Index
+	prov.SetCommitHook(func(groups [][]byte) error {
+		if plan != nil && plan.OnCommit(shard, faults.KillBeforeShip, len(groups)) {
+			return fmt.Errorf("%w: shard %d primary (epoch %d) before shipping", faults.ErrKilled, shard, epoch)
+		}
+		if err := rep.ship(groups); err != nil {
+			return err
+		}
+		if plan != nil && plan.OnCommit(shard, faults.KillAfterShip, len(groups)) {
+			return fmt.Errorf("%w: shard %d primary (epoch %d) after shipping", faults.ErrKilled, shard, epoch)
+		}
+		return nil
+	})
+
+	s.primary = prov
+	s.rep = rep
+	return nil
+}
+
+// newLink builds the replication transport to one follower.
+func (s *Shard) newLink(f *Follower) netsim.Transport {
+	if s.cfg.NewLink != nil {
+		return s.cfg.NewLink(s.cfg.Index, f.Index(), f.Handle)
+	}
+	return netsim.NewDirect(f.Handle)
+}
+
+// Handle routes one client request to the shard's current primary
+// (netsim.Handler).
+func (s *Shard) Handle(req []byte) ([]byte, error) {
+	s.mu.RLock()
+	p := s.primary
+	s.mu.RUnlock()
+	return p.Handle(req)
+}
+
+// Epoch returns the shard's current epoch.
+func (s *Shard) Epoch() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.epoch
+}
+
+// Primary returns the shard's current primary provider (for health,
+// audit verification, and experiment oracles).
+func (s *Shard) Primary() *core.Provider {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.primary
+}
+
+// Failovers returns how many promotions the shard has performed.
+func (s *Shard) Failovers() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.failovers
+}
+
+// FollowerApplied returns each live follower's replication offset, in
+// follower order — the shard's replication frontier.
+func (s *Shard) FollowerApplied() []uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]uint64, len(s.followers))
+	for i, f := range s.followers {
+		out[i] = f.Applied()
+	}
+	return out
+}
+
+// Failover promotes the most caught-up follower to primary, fencing the
+// deposed epoch. observedEpoch is the epoch the caller saw failing;
+// if the shard has already moved past it the call is a no-op (another
+// caller won the race), making failover idempotent under concurrent
+// routing.
+func (s *Shard) Failover(observedEpoch uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.epoch > observedEpoch {
+		return nil // already failed over past that epoch
+	}
+
+	start := s.cfg.Clock.Now()
+	tr := s.cfg.Tracer.StartSession(s.cfg.Clock)
+	tr.SetLabel(fmt.Sprintf("failover-shard%d", s.cfg.Index))
+	defer tr.Finish()
+
+	// Fence the deposed primary first: even if it is still running (a
+	// partition-triggered failover, not a crash), it can no longer
+	// answer clients — and its stale epoch means no follower will ack
+	// it, so it could not have answered anyway. Defense in depth.
+	old := s.primary
+	oldEpoch := s.epoch
+	if old != nil {
+		old.Fence()
+		tr.Event("failover.fence", fmt.Sprintf("epoch=%d fenced", oldEpoch))
+	}
+
+	// Pick the most caught-up follower: max applied replication offset.
+	best := -1
+	var bestApplied uint64
+	for i, f := range s.followers {
+		a := f.Applied()
+		tr.Event("failover.candidate", fmt.Sprintf("follower=%d applied=%d", f.Index(), a))
+		if best == -1 || a > bestApplied {
+			best, bestApplied = i, a
+		}
+	}
+	if best == -1 {
+		tr.Event("failover.failed", "no follower available")
+		return fmt.Errorf("%w: shard %d", ErrNoFollower, s.cfg.Index)
+	}
+
+	newEpoch := oldEpoch + 1
+	chosen := s.followers[best]
+	tr.Event("failover.promote", fmt.Sprintf("follower=%d applied=%d epoch=%d", chosen.Index(), bestApplied, newEpoch))
+
+	sp := tr.StartSpan("failover.restore")
+	prov, err := chosen.Promote(func(st *store.Store) (*core.Provider, error) {
+		return s.cfg.RestorePrimary(newEpoch, st)
+	})
+	sp.End()
+	if err != nil {
+		tr.Event("failover.failed", err.Error())
+		return fmt.Errorf("fleet: shard %d failover: %w", s.cfg.Index, err)
+	}
+
+	// The promoted follower leaves the replica set; the survivors are
+	// re-bootstrapped from the new primary's freshly rotated segment at
+	// the promoted offset.
+	survivors := make([]*Follower, 0, len(s.followers)-1)
+	for i, f := range s.followers {
+		if i != best {
+			survivors = append(survivors, f)
+		}
+	}
+	s.followers = survivors
+	s.epoch = newEpoch
+	s.failovers++
+
+	if err := s.wirePrimaryLocked(prov, bestApplied); err != nil {
+		tr.Event("failover.failed", err.Error())
+		return err
+	}
+
+	d := s.cfg.Clock.Now().Sub(start)
+	tr.Event("failover.done", fmt.Sprintf("epoch=%d followers=%d duration=%s", newEpoch, len(s.followers), d))
+	s.cfg.Metrics.Counter(fmt.Sprintf("fleet.shard%d.failovers", s.cfg.Index)).Inc()
+	s.cfg.Metrics.Observe("fleet.failover_latency", d)
+	return nil
+}
+
+// AddFollower enlists a fresh follower (role "follower-<i>", numbered
+// past the shard's history), bootstraps it from the current primary,
+// and adds it to the replica set — how a shard regains redundancy after
+// a failover consumed a replica.
+func (s *Shard) AddFollower() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx := s.cfg.Followers + s.failovers // unique across the shard's life
+	backend, err := s.cfg.NewBackend(fmt.Sprintf("follower-%d", idx))
+	if err != nil {
+		return fmt.Errorf("fleet: shard %d: add follower: %w", s.cfg.Index, err)
+	}
+	f := NewFollower(s.cfg.Index, idx, backend)
+
+	seg, err := s.primary.Store().ReadSegment()
+	if err != nil {
+		return fmt.Errorf("fleet: shard %d: add follower: %w", s.cfg.Index, err)
+	}
+	boot := encodeBootstrap(bootstrapFrame{
+		Epoch: s.epoch, UpTo: s.rep.offset, Gen: seg.Generation,
+		State: seg.State, Records: seg.Records,
+	})
+	link := s.newLink(f)
+	if err := s.rep.bootstrap(link, f, boot); err != nil {
+		return err
+	}
+	s.followers = append(s.followers, f)
+	return nil
+}
+
+// replicator ships committed WAL groups from one primary (at one epoch)
+// to the shard's followers and tracks acknowledged offsets. It is
+// driven from the primary's commit hook, which the committer serializes,
+// so no internal locking is needed; a replicator is abandoned with its
+// primary on failover.
+type replicator struct {
+	shard   int
+	epoch   uint64
+	offset  uint64 // stream offset of the next group to ship
+	links   []repLink
+	metrics *obs.Registry
+}
+
+// repLink is one follower's replication endpoint and acked offset.
+type repLink struct {
+	follower  *Follower
+	transport netsim.Transport
+	acked     uint64
+}
+
+// bootstrap ships a bootstrap frame to a new follower and enlists it.
+func (r *replicator) bootstrap(link netsim.Transport, f *Follower, frame []byte) error {
+	ack, err := r.exchange(link, f, frame)
+	if err != nil {
+		return err
+	}
+	r.links = append(r.links, repLink{follower: f, transport: link, acked: ack.Applied})
+	return nil
+}
+
+// ship sends one committed batch to every follower and waits for all
+// acknowledgements. Any failure is fatal to the primary: the committer
+// kills it rather than answer half-replicated.
+func (r *replicator) ship(groups [][]byte) error {
+	frame := encodeAppend(appendFrame{Epoch: r.epoch, From: r.offset, Groups: groups})
+	r.metrics.Counter(fmt.Sprintf("fleet.shard%d.shipped_groups", r.shard)).Add(int64(len(groups)))
+	target := r.offset + uint64(len(groups))
+	for i := range r.links {
+		l := &r.links[i]
+		ack, err := r.exchange(l.transport, l.follower, frame)
+		if err != nil {
+			r.gauge(target)
+			return err
+		}
+		l.acked = ack.Applied
+		r.metrics.Counter(fmt.Sprintf("fleet.shard%d.acked_groups", r.shard)).Add(int64(len(groups)))
+	}
+	r.offset = target
+	r.gauge(target)
+	return nil
+}
+
+// exchange performs one replication round trip and decodes the ack,
+// translating refusal statuses into fleet errors.
+func (r *replicator) exchange(t netsim.Transport, f *Follower, frame []byte) (*ackFrame, error) {
+	resp, err := t.RoundTrip(frame)
+	if err != nil {
+		return nil, fmt.Errorf("%w: shard %d follower %d: %w", ErrReplication, r.shard, f.Index(), err)
+	}
+	_, _, ack, err := decodeRepFrame(resp)
+	if err != nil {
+		return nil, fmt.Errorf("%w: shard %d follower %d: %w", ErrReplication, r.shard, f.Index(), err)
+	}
+	if ack == nil {
+		return nil, fmt.Errorf("%w: shard %d follower %d: response was not an ack", ErrReplication, r.shard, f.Index())
+	}
+	switch ack.Status {
+	case ackOK:
+		return ack, nil
+	case ackFenced:
+		return nil, fmt.Errorf("%w: %w: shard %d follower %d serves epoch %d, frame carried %d",
+			ErrReplication, ErrStaleEpoch, r.shard, f.Index(), ack.Epoch, r.epoch)
+	case ackGap:
+		return nil, fmt.Errorf("%w: %w: shard %d follower %d applied %d, frame started past it",
+			ErrReplication, ErrOffsetGap, r.shard, f.Index(), ack.Applied)
+	default:
+		return nil, fmt.Errorf("%w: shard %d follower %d: unknown ack status %d", ErrReplication, r.shard, f.Index(), ack.Status)
+	}
+}
+
+// gauge publishes the replication lag: how many committed groups the
+// slowest follower is behind the primary's frontier.
+func (r *replicator) gauge(frontier uint64) {
+	var lag uint64
+	for i := range r.links {
+		if d := frontier - r.links[i].acked; d > lag {
+			lag = d
+		}
+	}
+	r.metrics.Gauge(fmt.Sprintf("fleet.shard%d.replication_lag", r.shard)).Set(int64(lag))
+}
+
+// FailoverTrigger reports whether a request error is one the router
+// should answer with a failover: the primary is dead (crashed store,
+// injected kill, failed replication) or fenced (a stale epoch the
+// router should route past).
+func FailoverTrigger(err error) bool {
+	switch {
+	case errors.Is(err, store.ErrCrashed),
+		errors.Is(err, core.ErrFenced),
+		errors.Is(err, faults.ErrKilled),
+		errors.Is(err, ErrReplication):
+		return true
+	}
+	return false
+}
+
+// failoverDeadline is documentation of intent more than mechanism: a
+// shard's failover is synchronous promotion work (restore + re-verify +
+// re-bootstrap), and F13 asserts it completes within this budget.
+const failoverDeadline = 30 * time.Second

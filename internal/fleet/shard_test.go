@@ -1,0 +1,350 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"unitp/internal/core"
+	"unitp/internal/faults"
+	"unitp/internal/obs"
+	"unitp/internal/sim"
+	"unitp/internal/store"
+)
+
+// testShard builds a minimal auto-accept shard: every submitted
+// transaction is below the confirmation threshold, so a single frame
+// exercises route → ledger → group commit → replication end to end.
+func testShard(t *testing.T, index, followers int, plan *faults.FleetPlan, metrics *obs.Registry) *Shard {
+	t.Helper()
+	build := func(epoch uint64) (*core.Provider, error) {
+		p := core.NewProvider(core.ProviderConfig{
+			Name:                  fmt.Sprintf("test-shard%d", index),
+			Clock:                 sim.NewVirtualClock(),
+			Random:                sim.NewRand(uint64(index) + 0x51AD),
+			ConfirmThresholdCents: 1_000_000,
+		})
+		if err := p.Ledger().CreateAccount("payer", 1_000_000); err != nil {
+			return nil, err
+		}
+		if err := p.Ledger().CreateAccount("sink", 0); err != nil {
+			return nil, err
+		}
+		return p, nil
+	}
+	s, err := NewShard(ShardConfig{
+		Index:     index,
+		Followers: followers,
+		Plan:      plan,
+		Metrics:   metrics,
+		NewBackend: func(string) (store.Backend, error) {
+			return store.NewMemBackend(), nil
+		},
+		BuildPrimary: build,
+		RestorePrimary: func(epoch uint64, st *store.Store) (*core.Provider, error) {
+			return core.RestoreProvider(core.ProviderConfig{
+				Name:                  fmt.Sprintf("test-shard%d", index),
+				Clock:                 sim.NewVirtualClock(),
+				Random:                sim.NewRand(uint64(index)<<8 | epoch),
+				ConfirmThresholdCents: 1_000_000,
+			}, st)
+		},
+	})
+	if err != nil {
+		t.Fatalf("NewShard: %v", err)
+	}
+	return s
+}
+
+func submitFrame(t *testing.T, id string) []byte {
+	t.Helper()
+	frame, err := core.EncodeMessage(&core.SubmitTx{Tx: &core.Transaction{
+		ID: id, From: "payer", To: "sink", AmountCents: 1, Currency: "EUR",
+	}})
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	return frame
+}
+
+func expectAccepted(t *testing.T, resp []byte, err error) *core.Outcome {
+	t.Helper()
+	if err != nil {
+		t.Fatalf("handle: %v", err)
+	}
+	msg, err := core.DecodeMessage(resp)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	out, ok := msg.(*core.Outcome)
+	if !ok || !out.Accepted {
+		t.Fatalf("outcome = %+v (%T)", msg, msg)
+	}
+	return out
+}
+
+// Every committed group must reach every follower before the client
+// sees an answer: after N accepted transactions the replication
+// frontier of both followers is N.
+func TestShardReplicatesEveryCommit(t *testing.T) {
+	s := testShard(t, 0, 2, nil, nil)
+	for i := 0; i < 3; i++ {
+		resp, err := s.Handle(submitFrame(t, fmt.Sprintf("tx-%d", i)))
+		expectAccepted(t, resp, err)
+	}
+	for i, applied := range s.FollowerApplied() {
+		if applied != 3 {
+			t.Errorf("follower %d applied %d of 3 groups", i, applied)
+		}
+	}
+}
+
+// The exactly-once heart of the design, in both kill phases. A client
+// whose request died mid-commit retransmits the same transaction ID to
+// the promoted follower:
+//
+//   - killed BEFORE shipping, the follower never saw the group, so the
+//     retry executes fresh — once;
+//   - killed AFTER shipping, the follower holds the group, so the
+//     retry is recognized as already executed — still once.
+func TestShardFailoverExactlyOnceBothPhases(t *testing.T) {
+	for _, phase := range []faults.KillPhase{faults.KillBeforeShip, faults.KillAfterShip} {
+		plan := faults.NewFleetPlan()
+		plan.KillPrimary(0, phase, 3)
+		s := testShard(t, 0, 2, plan, nil)
+
+		for i := 0; i < 2; i++ {
+			resp, err := s.Handle(submitFrame(t, fmt.Sprintf("tx-%d", i)))
+			expectAccepted(t, resp, err)
+		}
+
+		// The third commit carries the kill: the client gets an error,
+		// not an answer.
+		doomed := submitFrame(t, "tx-straddle")
+		epoch := s.Epoch()
+		if _, err := s.Handle(doomed); !errors.Is(err, faults.ErrKilled) {
+			t.Fatalf("%s: straddling request returned %v, want ErrKilled", phase, err)
+		}
+		if !FailoverTrigger(fmt.Errorf("wrapped: %w", faults.ErrKilled)) {
+			t.Fatalf("%s: ErrKilled must trigger failover", phase)
+		}
+		if err := s.Failover(epoch); err != nil {
+			t.Fatalf("%s: failover: %v", phase, err)
+		}
+		if s.Epoch() != epoch+1 || s.Failovers() != 1 {
+			t.Fatalf("%s: epoch=%d failovers=%d after failover", phase, s.Epoch(), s.Failovers())
+		}
+
+		// Retransmit the straddling transaction to the new primary.
+		resp, err := s.Handle(doomed)
+		expectAccepted(t, resp, err)
+
+		history := s.Primary().Ledger().History()
+		seen := map[string]int{}
+		for _, tx := range history {
+			seen[tx.ID]++
+		}
+		if seen["tx-straddle"] != 1 {
+			t.Fatalf("%s: straddling tx executed %d times, want exactly 1", phase, seen["tx-straddle"])
+		}
+		if len(history) != 3 {
+			t.Fatalf("%s: %d transactions in promoted ledger, want 3", phase, len(history))
+		}
+		bal, err := s.Primary().Ledger().Balance("payer")
+		if err != nil || bal != 1_000_000-3 {
+			t.Fatalf("%s: payer balance %d (err %v), want %d", phase, bal, err, 1_000_000-3)
+		}
+	}
+}
+
+// The deposed primary must be unable to answer anyone: fenced at its
+// own front door, and refused by followers on the replication channel.
+func TestShardFailoverFencesDeposedPrimary(t *testing.T) {
+	s := testShard(t, 0, 1, nil, nil)
+	resp, err := s.Handle(submitFrame(t, "tx-0"))
+	expectAccepted(t, resp, err)
+
+	old := s.Primary()
+	if err := s.Failover(s.Epoch()); err != nil {
+		t.Fatalf("failover: %v", err)
+	}
+	_, zombieErr := old.Handle(submitFrame(t, "tx-zombie"))
+	if !errors.Is(zombieErr, core.ErrFenced) {
+		t.Fatalf("deposed primary answered: %v", zombieErr)
+	}
+	if !FailoverTrigger(zombieErr) {
+		t.Fatal("ErrFenced must trigger failover routing")
+	}
+}
+
+// Failover is idempotent under racing observers: a second caller that
+// observed the same dead epoch must no-op, not promote twice.
+func TestShardFailoverIdempotent(t *testing.T) {
+	s := testShard(t, 0, 2, nil, nil)
+	epoch := s.Epoch()
+	if err := s.Failover(epoch); err != nil {
+		t.Fatalf("failover: %v", err)
+	}
+	if err := s.Failover(epoch); err != nil {
+		t.Fatalf("second failover with stale epoch: %v", err)
+	}
+	if s.Failovers() != 1 {
+		t.Fatalf("%d failovers, want 1 (second observer must no-op)", s.Failovers())
+	}
+}
+
+// A shard whose replicas are exhausted must say so, not promote nothing.
+func TestShardFailoverWithoutFollowers(t *testing.T) {
+	s := testShard(t, 0, 0, nil, nil)
+	if err := s.Failover(s.Epoch()); !errors.Is(err, ErrNoFollower) {
+		t.Fatalf("failover with no followers: %v", err)
+	}
+}
+
+// AddFollower restores redundancy after a failover consumed a replica:
+// the fresh follower bootstraps from the live primary and then tracks
+// new commits.
+func TestShardAddFollowerAfterFailover(t *testing.T) {
+	s := testShard(t, 0, 1, nil, nil)
+	resp, err := s.Handle(submitFrame(t, "tx-0"))
+	expectAccepted(t, resp, err)
+	if err := s.Failover(s.Epoch()); err != nil {
+		t.Fatalf("failover: %v", err)
+	}
+	if got := len(s.FollowerApplied()); got != 0 {
+		t.Fatalf("%d followers after promotion, want 0", got)
+	}
+	if err := s.AddFollower(); err != nil {
+		t.Fatalf("add follower: %v", err)
+	}
+	resp, err = s.Handle(submitFrame(t, "tx-1"))
+	expectAccepted(t, resp, err)
+	applied := s.FollowerApplied()
+	if len(applied) != 1 || applied[0] == 0 {
+		t.Fatalf("new follower applied = %v, want it past the bootstrap", applied)
+	}
+}
+
+// A shard rebuilt over backends that already hold state (a process
+// restart) must restore its primary from the durable segment instead of
+// clobbering it with a freshly seeded provider.
+func TestShardRestartRestoresPrimary(t *testing.T) {
+	backends := map[string]*store.MemBackend{}
+	newShard := func() *Shard {
+		build := func(epoch uint64) (*core.Provider, error) {
+			p := core.NewProvider(core.ProviderConfig{
+				Name:                  "restart-shard",
+				Clock:                 sim.NewVirtualClock(),
+				Random:                sim.NewRand(0xBEE7),
+				ConfirmThresholdCents: 1_000_000,
+			})
+			if err := p.Ledger().CreateAccount("payer", 1_000_000); err != nil {
+				return nil, err
+			}
+			return p, p.Ledger().CreateAccount("sink", 0)
+		}
+		s, err := NewShard(ShardConfig{
+			Index:     0,
+			Followers: 1,
+			NewBackend: func(role string) (store.Backend, error) {
+				if b, ok := backends[role]; ok {
+					return b, nil
+				}
+				backends[role] = store.NewMemBackend()
+				return backends[role], nil
+			},
+			BuildPrimary: build,
+			RestorePrimary: func(epoch uint64, st *store.Store) (*core.Provider, error) {
+				return core.RestoreProvider(core.ProviderConfig{
+					Name:                  "restart-shard",
+					Clock:                 sim.NewVirtualClock(),
+					Random:                sim.NewRand(0xBEE7 ^ epoch),
+					ConfirmThresholdCents: 1_000_000,
+				}, st)
+			},
+		})
+		if err != nil {
+			t.Fatalf("NewShard: %v", err)
+		}
+		return s
+	}
+
+	first := newShard()
+	for i := 0; i < 3; i++ {
+		resp, err := first.Handle(submitFrame(t, fmt.Sprintf("tx-%d", i)))
+		expectAccepted(t, resp, err)
+	}
+	if err := first.Primary().SnapshotNow(); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	if err := first.Primary().Store().Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	second := newShard()
+	bal, err := second.Primary().Ledger().Balance("payer")
+	if err != nil || bal != 1_000_000-3 {
+		t.Fatalf("restarted payer balance = %d (err %v), want %d", bal, err, 1_000_000-3)
+	}
+	if got := len(second.Primary().Ledger().History()); got != 3 {
+		t.Fatalf("restarted history has %d txs, want 3", got)
+	}
+	// The restarted shard keeps working, replication included.
+	resp, err := second.Handle(submitFrame(t, "tx-after-restart"))
+	expectAccepted(t, resp, err)
+	if applied := second.FollowerApplied(); len(applied) != 1 || applied[0] != 1 {
+		t.Fatalf("restarted follower applied = %v, want [1]", applied)
+	}
+}
+
+// The router drives failover transparently: a client pushing frames
+// through a fleet whose primary dies mid-stream sees only accepted
+// outcomes, and the shard's metrics record the promotion.
+func TestRouterFailsOverTransparently(t *testing.T) {
+	reg := obs.NewRegistry()
+	plan := faults.NewFleetPlan()
+	plan.KillPrimary(0, faults.KillBeforeShip, 2)
+	shards := []*Shard{testShard(t, 0, 1, plan, reg)}
+	r := NewRouter(shards, 0, reg)
+
+	for i := 0; i < 4; i++ {
+		resp, err := r.Handle(submitFrame(t, fmt.Sprintf("tx-%d", i)))
+		expectAccepted(t, resp, err)
+	}
+	if shards[0].Failovers() != 1 {
+		t.Fatalf("%d failovers, want 1", shards[0].Failovers())
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["fleet.failovers_triggered"] == 0 ||
+		snap.Counters["fleet.shard0.failovers"] != 1 {
+		t.Fatalf("failover metrics missing: %v", snap.Counters)
+	}
+	if snap.Histograms["fleet.failover_latency"].Count != 1 {
+		t.Fatalf("failover latency not observed: %+v", snap.Histograms)
+	}
+}
+
+// Challenge answers must return to the shard that issued the nonce,
+// and the pin must be released once the answer is delivered.
+func TestRouterNoncePinning(t *testing.T) {
+	r := NewRouter([]*Shard{nil, nil, nil, nil}, 0, nil)
+
+	confirm := &core.ConfirmTx{}
+	confirm.Nonce[0] = 0xAB
+	frame, err := core.EncodeMessage(confirm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hashed := r.route(frame)
+
+	// Pin the nonce to a different shard than its hash would pick.
+	pinned := (hashed + 1) % 4
+	r.pinNonce(confirm.Nonce, pinned)
+	if got := r.route(frame); got != pinned {
+		t.Fatalf("pinned nonce routed to %d, want %d", got, pinned)
+	}
+	r.unpinNonce(confirm.Nonce)
+	if got := r.route(frame); got != hashed {
+		t.Fatalf("unpinned nonce routed to %d, want hash fallback %d", got, hashed)
+	}
+}

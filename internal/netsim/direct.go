@@ -1,0 +1,20 @@
+package netsim
+
+// Direct is the degenerate Transport: the handler runs inline with no
+// modelled link, no loss, and no retries. It is the replication-link
+// default inside a fleet when no fault injection is configured (the
+// primary and its followers co-resident in one process), and useful in
+// tests that want transport semantics without network modelling.
+type Direct struct {
+	handler Handler
+}
+
+// NewDirect wraps a handler as a Transport.
+func NewDirect(handler Handler) *Direct {
+	return &Direct{handler: handler}
+}
+
+// RoundTrip implements Transport.
+func (d *Direct) RoundTrip(req []byte) ([]byte, error) {
+	return d.handler(req)
+}

@@ -1,0 +1,156 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"unitp/internal/sim"
+)
+
+// recordingClock captures every backoff pause Run charges, so tests can
+// assert on individual jittered values instead of only the total.
+type recordingClock struct {
+	now    time.Time
+	sleeps []time.Duration
+}
+
+func (c *recordingClock) Now() time.Time { return c.now }
+
+func (c *recordingClock) Sleep(d time.Duration) {
+	c.sleeps = append(c.sleeps, d)
+	c.now = c.now.Add(d)
+}
+
+func jitteredPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts:    5,
+		InitialBackoff: 100 * time.Millisecond,
+		Multiplier:     2,
+		MaxBackoff:     time.Second,
+		Jitter:         0.2,
+		AttemptTimeout: time.Second,
+	}
+}
+
+func runJittered(seed uint64) []time.Duration {
+	clock := &recordingClock{}
+	rp := jitteredPolicy()
+	rp.Run(clock, sim.NewRand(seed), func() ([]byte, error) {
+		return nil, ErrTimeout
+	})
+	return clock.sleeps
+}
+
+// Jittered backoff is a pure function of the seed: the deterministic
+// experiments replay fault schedules and must see identical retry
+// timing run after run.
+func TestRetryJitterDeterministicUnderSeed(t *testing.T) {
+	a, b := runJittered(42), runJittered(42)
+	if len(a) != 4 {
+		t.Fatalf("5 attempts should charge 4 backoffs, got %v", a)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at backoff %d: %v vs %v", i, a, b)
+		}
+	}
+	// A different seed must actually move the pauses — otherwise the
+	// jitter is decorative and synchronized clients still stampede.
+	c := runJittered(43)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatalf("seeds 42 and 43 produced identical jitter: %v", a)
+	}
+}
+
+// Each jittered pause stays within ±Jitter of the un-jittered schedule
+// (100, 200, 400, 800ms capped at 1s), never negative, never above the
+// cap's jitter band.
+func TestRetryJitterStaysInBand(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		sleeps := runJittered(seed)
+		base := 100 * time.Millisecond
+		for i, got := range sleeps {
+			lo := time.Duration(float64(base) * 0.8)
+			hi := time.Duration(float64(base) * 1.2)
+			if got < lo || got > hi {
+				t.Fatalf("seed %d backoff %d = %v, want within [%v, %v]", seed, i, got, lo, hi)
+			}
+			base *= 2
+			if base > time.Second {
+				base = time.Second
+			}
+		}
+	}
+}
+
+// Without an RNG the policy degrades to the deterministic schedule
+// rather than panicking or skipping the pause.
+func TestRetryJitterNilRNG(t *testing.T) {
+	clock := &recordingClock{}
+	rp := jitteredPolicy()
+	rp.Run(clock, nil, func() ([]byte, error) { return nil, ErrTimeout })
+	want := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond,
+		400 * time.Millisecond, 800 * time.Millisecond}
+	if len(clock.sleeps) != len(want) {
+		t.Fatalf("sleeps = %v", clock.sleeps)
+	}
+	for i, w := range want {
+		if clock.sleeps[i] != w {
+			t.Fatalf("nil-rng backoff %d = %v, want %v", i, clock.sleeps[i], w)
+		}
+	}
+}
+
+// The retryable-vs-fatal contract, as a table: transport-level losses
+// retry (even wrapped), everything that signals a logic or protocol
+// disagreement fails fast.
+func TestRetryableClassificationTable(t *testing.T) {
+	cases := []struct {
+		name      string
+		err       error
+		retryable bool
+	}{
+		{"timeout", ErrTimeout, true},
+		{"wrapped timeout", fmt.Errorf("attempt 3: %w", ErrTimeout), true},
+		{"connection reset", ErrReset, true},
+		{"corrupt frame", ErrCorruptFrame, true},
+		{"remote handler error", &RemoteError{Msg: "busy"}, true},
+		{"wrapped remote error", fmt.Errorf("peer: %w", &RemoteError{Msg: "busy"}), true},
+		{"deadline exhausted", ErrDeadline, false},
+		{"plain logic error", errors.New("schema violation"), false},
+		{"nil-adjacent sentinel", errors.New("timeout"), false}, // same text, not the sentinel
+	}
+	for _, tc := range cases {
+		if got := DefaultRetryable(tc.err); got != tc.retryable {
+			t.Errorf("%s: DefaultRetryable(%v) = %v, want %v", tc.name, tc.err, got, tc.retryable)
+		}
+	}
+
+	// The classifier drives Run: a fatal error stops after one attempt
+	// and surfaces verbatim, a retryable one consumes the full budget.
+	for _, tc := range cases {
+		calls := 0
+		_, err := RetryPolicy{MaxAttempts: 3}.Run(sim.NewVirtualClock(), sim.NewRand(1), func() ([]byte, error) {
+			calls++
+			return nil, tc.err
+		})
+		wantCalls := 1
+		if tc.retryable {
+			wantCalls = 3
+		}
+		if calls != wantCalls {
+			t.Errorf("%s: %d attempts, want %d", tc.name, calls, wantCalls)
+		}
+		if !tc.retryable && !errors.Is(err, tc.err) {
+			t.Errorf("%s: fatal error was rewrapped: %v", tc.name, err)
+		}
+	}
+}

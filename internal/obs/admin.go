@@ -10,6 +10,12 @@ import (
 	"strconv"
 )
 
+// MaxTraceN bounds /trace?n=K. The tracer itself retains far fewer
+// completed traces than this, so any larger request is either a typo or
+// a caller probing for an amplification vector; both get a 400 rather
+// than a silently clamped answer.
+const MaxTraceN = 65536
+
 // Readiness is the answer /readyz serves: whether the process should
 // receive traffic, with supporting detail (store attached, WAL syncing,
 // last snapshot age, ...).
@@ -118,8 +124,15 @@ func NewAdminMux(cfg AdminConfig) *http.ServeMux {
 		n := 16
 		if q := r.URL.Query().Get("n"); q != "" {
 			v, err := strconv.Atoi(q)
-			if err != nil || v < 0 {
-				http.Error(w, "bad n", http.StatusBadRequest)
+			switch {
+			case err != nil:
+				http.Error(w, fmt.Sprintf("trace: n=%q is not an integer", q), http.StatusBadRequest)
+				return
+			case v < 0:
+				http.Error(w, fmt.Sprintf("trace: n=%d is negative", v), http.StatusBadRequest)
+				return
+			case v > MaxTraceN:
+				http.Error(w, fmt.Sprintf("trace: n=%d exceeds the maximum of %d", v, MaxTraceN), http.StatusBadRequest)
 				return
 			}
 			n = v

@@ -177,6 +177,39 @@ func TestAdminTrace(t *testing.T) {
 	}
 }
 
+// /trace?n=K validation: non-numeric, negative, and absurdly large K
+// are client errors, each with a reason in the body; edge-of-range and
+// omitted K still serve a trace document.
+func TestAdminTraceValidatesN(t *testing.T) {
+	bad := map[string]string{
+		"/trace?n=bogus":       "not an integer",
+		"/trace?n=1.5":         "not an integer",
+		"/trace?n=0x10":        "not an integer",
+		"/trace?n=-1":          "negative",
+		"/trace?n=-999999":     "negative",
+		"/trace?n=65537":       "exceeds the maximum",
+		"/trace?n=99999999999": "exceeds the maximum",
+	}
+	for path, reason := range bad {
+		rec, body := get(t, adminFixture(true), path)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s = %d, want 400", path, rec.Code)
+		}
+		if !strings.Contains(body, reason) {
+			t.Errorf("%s body %q does not explain %q", path, body, reason)
+		}
+	}
+	for _, path := range []string{"/trace", "/trace?n=0", "/trace?n=65536"} {
+		rec, body := get(t, adminFixture(true), path)
+		if rec.Code != 200 {
+			t.Errorf("%s = %d, want 200", path, rec.Code)
+		}
+		if !strings.Contains(body, "traceEvents") {
+			t.Errorf("%s did not serve a trace document: %q", path, body)
+		}
+	}
+}
+
 func TestAdminPprof(t *testing.T) {
 	rec, body := get(t, adminFixture(true), "/debug/pprof/")
 	if rec.Code != 200 || !strings.Contains(body, "goroutine") {

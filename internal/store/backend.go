@@ -88,6 +88,12 @@ const (
 
 	// OpRemove is a file deletion.
 	OpRemove
+
+	// OpSyncDir is an fsync of the backing directory itself — the
+	// metadata barrier DirBackend issues after every create, rename, and
+	// remove so those operations are durable at return. MemBackend never
+	// emits it (its namespace operations are modelled as durable).
+	OpSyncDir
 )
 
 // String names the op for fault-plan tables.
@@ -103,6 +109,8 @@ func (o Op) String() string {
 		return "rename"
 	case OpRemove:
 		return "remove"
+	case OpSyncDir:
+		return "sync-dir"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(o))
 	}

@@ -9,12 +9,25 @@ import (
 )
 
 // DirBackend stores files in one real directory — the cmd/tpserver
-// production path. Renames are followed by a directory fsync so the
-// metadata operation is durable before the caller proceeds, matching the
-// durability model MemBackend simulates.
+// production path. Creates, renames, and removes are followed by an
+// fsync of the parent directory so the metadata operation is durable
+// before the caller proceeds: without the directory sync, a crash
+// immediately after a snapshot rename could lose the new generation's
+// directory entry on a real filesystem even though the file data itself
+// was synced, and recovery would silently fall back to the previous
+// generation. This matches the durability model MemBackend simulates
+// (namespace operations durable at return).
 type DirBackend struct {
-	dir string
+	dir  string
+	hook DirOpHook
 }
+
+// DirOpHook observes every backend operation DirBackend performs, in
+// order, including the OpSyncDir directory barriers. It exists so tests
+// can pin the fsync ordering discipline (file data synced before the
+// rename, directory synced after it) without faking the filesystem.
+// The hook runs synchronously on the calling goroutine; keep it cheap.
+type DirOpHook func(op Op, name string)
 
 var _ Backend = (*DirBackend)(nil)
 
@@ -29,6 +42,18 @@ func OpenDir(dir string) (*DirBackend, error) {
 // Dir returns the backing directory path.
 func (b *DirBackend) Dir() string { return b.dir }
 
+// SetOpHook installs (or removes, with nil) the operation observer.
+// Install before handing the backend to a Store; observation is not
+// synchronized with concurrent backend use.
+func (b *DirBackend) SetOpHook(h DirOpHook) { b.hook = h }
+
+// observe reports one operation to the hook, if any.
+func (b *DirBackend) observe(op Op, name string) {
+	if b.hook != nil {
+		b.hook(op, name)
+	}
+}
+
 // syncDir fsyncs the directory so renames/creates/removes are durable.
 func (b *DirBackend) syncDir() error {
 	d, err := os.Open(b.dir)
@@ -36,7 +61,11 @@ func (b *DirBackend) syncDir() error {
 		return err
 	}
 	defer d.Close()
-	return d.Sync()
+	if err := d.Sync(); err != nil {
+		return err
+	}
+	b.observe(OpSyncDir, "")
+	return nil
 }
 
 // List implements Backend.
@@ -70,11 +99,12 @@ func (b *DirBackend) Create(name string) (File, error) {
 	if err != nil {
 		return nil, err
 	}
+	b.observe(OpCreate, name)
 	if err := b.syncDir(); err != nil {
 		f.Close()
 		return nil, err
 	}
-	return f, nil
+	return &dirFile{f: f, b: b, name: name}, nil
 }
 
 // Rename implements Backend.
@@ -82,6 +112,7 @@ func (b *DirBackend) Rename(oldname, newname string) error {
 	if err := os.Rename(filepath.Join(b.dir, oldname), filepath.Join(b.dir, newname)); err != nil {
 		return err
 	}
+	b.observe(OpRename, newname)
 	return b.syncDir()
 }
 
@@ -94,5 +125,35 @@ func (b *DirBackend) Remove(name string) error {
 	if err != nil {
 		return err
 	}
+	b.observe(OpRemove, name)
 	return b.syncDir()
 }
+
+// dirFile wraps the OS file handle so data writes and fsyncs are
+// visible to the op hook alongside the namespace operations.
+type dirFile struct {
+	f    *os.File
+	b    *DirBackend
+	name string
+}
+
+// Write implements File.
+func (d *dirFile) Write(p []byte) (int, error) {
+	n, err := d.f.Write(p)
+	if err == nil {
+		d.b.observe(OpWrite, d.name)
+	}
+	return n, err
+}
+
+// Sync implements File.
+func (d *dirFile) Sync() error {
+	if err := d.f.Sync(); err != nil {
+		return err
+	}
+	d.b.observe(OpSync, d.name)
+	return nil
+}
+
+// Close implements File.
+func (d *dirFile) Close() error { return d.f.Close() }

@@ -368,6 +368,53 @@ func (s *Store) Sync() error {
 	return nil
 }
 
+// Segment is one complete generation read back from the backend: the
+// snapshot state plus every valid WAL record appended after it. It is
+// the unit a replication bootstrap ships to a follower — applying State
+// then Records reproduces exactly the durable state of this store.
+type Segment struct {
+	// Generation is the segment's generation number.
+	Generation uint64
+
+	// State is the snapshot payload the generation started from.
+	State []byte
+
+	// Records are the WAL records of this generation, in append order.
+	Records [][]byte
+}
+
+// ReadSegment re-reads the current generation's snapshot and the valid
+// prefix of its WAL from the backend. Call it quiesced (no append/sync
+// in flight) — typically right after Open+WriteSnapshot or with the
+// owning provider's committer idle — so the WAL read is a consistent
+// prefix of committed groups.
+func (s *Store) ReadSegment() (Segment, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil && s.stats.Snapshots == 0 {
+		return Segment{}, ErrNoSnapshot
+	}
+	data, err := s.backend.ReadFile(snapName(s.gen))
+	if err != nil {
+		return Segment{}, fmt.Errorf("store: read segment: %w", err)
+	}
+	gen, state, err := decodeSnapshot(data)
+	if err != nil {
+		return Segment{}, fmt.Errorf("store: read segment: %w", err)
+	}
+	if gen != s.gen {
+		return Segment{}, fmt.Errorf("store: read segment: snapshot generation %d, store at %d", gen, s.gen)
+	}
+	seg := Segment{Generation: s.gen, State: state}
+	walData, err := s.backend.ReadFile(walName(s.gen))
+	if err == nil {
+		seg.Records = scanWAL(walData).records
+	} else if !errors.Is(err, ErrNotExist) {
+		return Segment{}, fmt.Errorf("store: read segment: %w", err)
+	}
+	return seg, nil
+}
+
 // Stats returns a copy of the store's counters.
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
