@@ -18,7 +18,9 @@
 // replicas fed by synchronous WAL shipping. Accounts partition across
 // shards by their routing key; a primary that dies is failed over to
 // its most caught-up follower transparently, and with -data each role
-// journals under <data>/shard-<i>/{primary,follower-<j>}.
+// journals under <data>/shard-<i>/{manifest,primary,follower-<j>} —
+// the manifest names the role holding the shard's current lineage, so
+// a restart after a failover resumes the promoted follower's segment.
 //
 // Usage:
 //
@@ -242,8 +244,9 @@ type fleetParams struct {
 // buildFleetEngine runs N shards behind a consistent-hash router. Each
 // shard is a primary plus `followers` replicas fed by synchronous WAL
 // shipping; with -data every role journals under
-// <data>/shard-<i>/{primary,follower-<j>} and a restart restores each
-// primary from its own segment. A primary that dies is failed over
+// <data>/shard-<i>/{manifest,primary,follower-<j>} and a restart
+// follows the shard manifest to whichever role holds the current
+// lineage at the recorded epoch. A primary that dies is failed over
 // transparently by the router; the straddling client request surfaces
 // as a connection reset, which the client transport retries against the
 // promoted follower.

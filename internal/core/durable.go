@@ -1029,6 +1029,23 @@ func (p *Provider) SnapshotNow() error {
 	return p.snapshotIdle()
 }
 
+// Quiesced runs fn while the provider is fully quiesced: stateMu is
+// held (no request can enter its state transition or enqueue a
+// journal) and the group committer has drained, so no commit — and no
+// commit hook — is in flight. That is the window in which commit-hook
+// state may be mutated safely and Store().ReadSegment's consistency
+// contract holds; the fleet uses it to bootstrap a new follower from a
+// live primary without racing the replication path.
+func (p *Provider) Quiesced(fn func() error) error {
+	p.stateMu.Lock()
+	defer p.stateMu.Unlock()
+	if p.isDead() {
+		return store.ErrCrashed
+	}
+	p.waitCommitterIdle()
+	return fn()
+}
+
 // Health reports the provider's operational readiness for the admin
 // plane: store attachment, WAL sync counts, last-snapshot age, and the
 // dead flag a store failure raises.

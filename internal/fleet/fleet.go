@@ -43,4 +43,10 @@ var (
 	// ErrOffsetGap is returned by a follower whose log would have a hole
 	// if it applied the offered frame.
 	ErrOffsetGap = errors.New("fleet: replication offset gap")
+
+	// ErrCrossShard is returned by the router for a batch whose debit
+	// accounts hash to different shards. Sharded mode requires a batch
+	// to live on one shard — executing it on the first account's shard
+	// would silently reject the other accounts, which don't exist there.
+	ErrCrossShard = errors.New("fleet: batch spans multiple shards")
 )

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"testing"
 
@@ -232,5 +233,163 @@ func TestFollowerUnbootstrappedAndRetired(t *testing.T) {
 		return nil, nil
 	}); err == nil {
 		t.Fatal("promoted a retired follower twice")
+	}
+}
+
+// ---------------------------------------------------------------------
+// Router refusals
+// ---------------------------------------------------------------------
+
+// A batch whose debit accounts hash to different shards must be refused
+// outright: routing it by its first account would execute it on a shard
+// where the other accounts don't exist, a silent wrong-shard rejection
+// for a perfectly valid batch.
+func TestRouterRejectsCrossShardBatch(t *testing.T) {
+	r := NewRouter([]*Shard{nil, nil, nil, nil}, 0, nil)
+
+	// Find two accounts the ring places on different shards.
+	a := "acct-0"
+	b := ""
+	for i := 1; i < 1000; i++ {
+		name := fmt.Sprintf("acct-%d", i)
+		if r.ShardFor(name) != r.ShardFor(a) {
+			b = name
+			break
+		}
+	}
+	if b == "" {
+		t.Fatal("could not find accounts on distinct shards")
+	}
+
+	frame, err := core.EncodeMessage(&core.SubmitBatch{Txs: []core.Transaction{
+		{ID: "b1", From: a, To: "sink", AmountCents: 1, Currency: "EUR"},
+		{ID: "b2", From: b, To: "sink", AmountCents: 1, Currency: "EUR"},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Handle(frame); !errors.Is(err, ErrCrossShard) {
+		t.Fatalf("cross-shard batch returned %v, want ErrCrossShard", err)
+	}
+	// A cross-shard refusal must not look like a dead primary.
+	if FailoverTrigger(fmt.Errorf("wrapped: %w", ErrCrossShard)) {
+		t.Fatal("ErrCrossShard must not trigger failover")
+	}
+
+	// A single-shard batch (same debit account) still routes normally.
+	same, err := core.EncodeMessage(&core.SubmitBatch{Txs: []core.Transaction{
+		{ID: "b1", From: a, To: "sink", AmountCents: 1, Currency: "EUR"},
+		{ID: "b2", From: a, To: "sink2", AmountCents: 2, Currency: "EUR"},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx, err := r.route(same); err != nil || idx != r.ShardFor(a) {
+		t.Fatalf("single-shard batch routed to %d (err %v), want %d", idx, err, r.ShardFor(a))
+	}
+}
+
+// ---------------------------------------------------------------------
+// Pin tables
+// ---------------------------------------------------------------------
+
+// Abandoned pins must not accumulate without bound, the newest pins
+// must survive eviction of older generations, and eviction must be
+// deterministic (wholesale generation drops, no random iteration).
+func TestPinTableBounded(t *testing.T) {
+	pt := newPinTable[int](4)
+	for i := 0; i < 100; i++ {
+		pt.put(i, i%3)
+	}
+	if pt.size() > 8 {
+		t.Fatalf("pin table holds %d entries, cap is 2×4", pt.size())
+	}
+	// The newest cap-worth of pins always survives.
+	for i := 96; i < 100; i++ {
+		if v, ok := pt.get(i); !ok || v != i%3 {
+			t.Fatalf("recent pin %d lost (got %d, %v)", i, v, ok)
+		}
+	}
+	// Ancient pins are gone.
+	if _, ok := pt.get(0); ok {
+		t.Fatal("pin 0 survived 100 inserts into a cap-4 table")
+	}
+	// Deletion removes from either generation.
+	pt.put(200, 1)
+	pt.del(200)
+	if _, ok := pt.get(200); ok {
+		t.Fatal("deleted pin still present")
+	}
+	// Re-pinning refreshes: the key moves to the current generation and
+	// survives a full cap-worth of newer inserts.
+	pt2 := newPinTable[int](4)
+	pt2.put(300, 2)
+	for i := 0; i < 3; i++ {
+		pt2.put(400+i, 0)
+	}
+	pt2.put(300, 2) // refresh just before rotation
+	for i := 0; i < 4; i++ {
+		pt2.put(500+i, 0)
+	}
+	if _, ok := pt2.get(300); !ok {
+		t.Fatal("refreshed pin evicted with its old generation")
+	}
+}
+
+// ---------------------------------------------------------------------
+// Manifest
+// ---------------------------------------------------------------------
+
+func TestManifestRoundTrip(t *testing.T) {
+	b := store.NewMemBackend()
+
+	if _, ok, err := readManifest(b); err != nil || ok {
+		t.Fatalf("virgin backend: ok=%v err=%v, want absent", ok, err)
+	}
+
+	m := shardManifest{Epoch: 7, Active: "follower-2", Followers: []int{0, 3}, NextFollower: 4}
+	if err := writeManifest(b, m); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, ok, err := readManifest(b)
+	if err != nil || !ok {
+		t.Fatalf("read: ok=%v err=%v", ok, err)
+	}
+	if got.Epoch != 7 || got.Active != "follower-2" || got.NextFollower != 4 ||
+		len(got.Followers) != 2 || got.Followers[0] != 0 || got.Followers[1] != 3 {
+		t.Fatalf("round trip mangled: %+v", got)
+	}
+
+	// Overwrite replaces the record completely.
+	m.Epoch, m.Active, m.Followers = 8, "follower-3", nil
+	if err := writeManifest(b, m); err != nil {
+		t.Fatalf("rewrite: %v", err)
+	}
+	got, _, err = readManifest(b)
+	if err != nil || got.Epoch != 8 || got.Active != "follower-3" || len(got.Followers) != 0 {
+		t.Fatalf("rewrite mangled: %+v (err %v)", got, err)
+	}
+}
+
+// A present-but-garbled manifest must fail loudly, never read as a
+// fresh start — bootstrapping over state we cannot interpret is how
+// lineages get clobbered.
+func TestManifestRejectsGarbage(t *testing.T) {
+	for _, data := range [][]byte{{}, {0x01}, []byte("not a manifest")} {
+		if _, err := decodeManifest(data); err == nil {
+			t.Errorf("decoded garbage manifest %q", data)
+		}
+	}
+	b := store.NewMemBackend()
+	f, err := b.Create(manifestName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("garbage")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, _, err := readManifest(b); err == nil {
+		t.Fatal("read a garbage manifest as valid")
 	}
 }

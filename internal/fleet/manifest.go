@@ -1,0 +1,135 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+
+	"unitp/internal/cryptoutil"
+	"unitp/internal/store"
+)
+
+// The shard manifest is the shard's restart pointer: a tiny durable
+// record, kept in its own backend role ("manifest"), naming the storage
+// role that currently holds the shard's authoritative lineage and the
+// epoch it serves at. Failover moves the live store from the "primary"
+// role to a promoted follower's role; without the manifest a restart
+// would reopen the deposed primary's segment — a stale lineage whose
+// replay discards every client-acknowledged post-failover commit and
+// resurrects the unshipped straddling batch. NewShard therefore never
+// guesses: it follows the manifest, and Failover rewrites the manifest
+// (atomically: temp write, data sync, rename) before the promoted
+// primary answers its first request, so the durable pointer can never
+// lag a client-visible promotion.
+//
+// The manifest also carries the live replica set and the shard's
+// next-follower counter, so follower backend roles are never reused
+// across the shard's whole life — two followers sharing one directory
+// would corrupt each other's segments.
+
+// Manifest role and file names. The temp name is cleaned implicitly:
+// Create truncates it on the next write, and readers only ever look at
+// the renamed final name.
+const (
+	manifestRole = "manifest"
+	manifestName = "MANIFEST"
+	manifestTmp  = manifestName + ".tmp"
+)
+
+// manifestMagic guards against interpreting foreign bytes ("FLM1").
+const manifestMagic uint32 = 0x464C_4D31
+
+// shardManifest is the shard's durable topology record.
+type shardManifest struct {
+	// Epoch is the epoch the active lineage serves at.
+	Epoch uint64
+
+	// Active is the backend role holding the primary lineage:
+	// "primary" at birth, "follower-<i>" after a failover promoted
+	// follower i. A restart restores the provider from this role and
+	// refuses to touch any other lineage.
+	Active string
+
+	// Followers are the live replica indices (backend roles
+	// "follower-<i>"), excluding any promoted or dropped follower.
+	Followers []int
+
+	// NextFollower is the lowest follower index never yet used.
+	// AddFollower consumes and advances it, so no two followers in the
+	// shard's history ever share a backend role.
+	NextFollower int
+}
+
+func encodeManifest(m shardManifest) []byte {
+	b := cryptoutil.NewBuffer(64)
+	b.PutUint32(manifestMagic)
+	b.PutUint64(m.Epoch)
+	b.PutBytes([]byte(m.Active))
+	b.PutUint32(uint32(len(m.Followers)))
+	for _, idx := range m.Followers {
+		b.PutUint32(uint32(idx))
+	}
+	b.PutUint32(uint32(m.NextFollower))
+	return b.Bytes()
+}
+
+func decodeManifest(data []byte) (shardManifest, error) {
+	r := cryptoutil.NewReader(data)
+	if magic := r.Uint32(); r.Err() == nil && magic != manifestMagic {
+		return shardManifest{}, fmt.Errorf("fleet: manifest: bad magic %#x", magic)
+	}
+	m := shardManifest{Epoch: r.Uint64(), Active: string(r.Bytes())}
+	n := int(r.Uint32())
+	if r.Err() != nil {
+		return shardManifest{}, fmt.Errorf("fleet: manifest: %w", r.Err())
+	}
+	for i := 0; i < n; i++ {
+		m.Followers = append(m.Followers, int(r.Uint32()))
+	}
+	m.NextFollower = int(r.Uint32())
+	if err := r.ExpectEOF(); err != nil {
+		return shardManifest{}, fmt.Errorf("fleet: manifest: %w", err)
+	}
+	return m, nil
+}
+
+// readManifest loads the shard manifest; ok is false on a virgin
+// backend. A present-but-undecodable manifest is an error, not a fresh
+// start — bootstrapping over state we cannot interpret is exactly how
+// lineages get clobbered.
+func readManifest(b store.Backend) (shardManifest, bool, error) {
+	data, err := b.ReadFile(manifestName)
+	if errors.Is(err, store.ErrNotExist) {
+		return shardManifest{}, false, nil
+	}
+	if err != nil {
+		return shardManifest{}, false, err
+	}
+	m, err := decodeManifest(data)
+	if err != nil {
+		return shardManifest{}, false, err
+	}
+	return m, true, nil
+}
+
+// writeManifest durably replaces the shard manifest: temp write, data
+// sync, atomic rename (the backend makes the rename itself durable —
+// DirBackend fsyncs the parent directory). A crash at any point leaves
+// either the old manifest or the new one, never a torn mix.
+func writeManifest(b store.Backend, m shardManifest) error {
+	f, err := b.Create(manifestTmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(encodeManifest(m)); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return b.Rename(manifestTmp, manifestName)
+}

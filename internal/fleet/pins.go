@@ -1,0 +1,55 @@
+package fleet
+
+// pinTable is the router's bounded challenge-pin map. Pins whose answer
+// is delivered are removed explicitly, but a client can abandon a
+// challenge (or its answer can die on the wire forever), and those pins
+// would otherwise accumulate without bound in a long-running router.
+//
+// The bound is two generations: inserts fill the current generation,
+// and when it reaches cap the previous generation is dropped wholesale
+// and the current one takes its place. Memory is therefore at most
+// 2×cap entries, a live pin survives at least cap and at most 2×cap
+// subsequent inserts, and eviction is fully deterministic — no clocks,
+// no random map iteration — which seeded experiments require. Evicting
+// a pin a client still cares about is harmless: the router's hash
+// fallback lands the orphaned answer on a deterministic shard whose
+// replay/staleness machinery returns a well-formed retryable rejection.
+type pinTable[K comparable] struct {
+	cap  int
+	cur  map[K]int
+	prev map[K]int
+}
+
+// newPinTable builds an empty table bounded to 2×capacity entries.
+func newPinTable[K comparable](capacity int) *pinTable[K] {
+	return &pinTable[K]{cap: capacity, cur: make(map[K]int)}
+}
+
+// put records k → shard, rotating generations when the current one is
+// full. Re-pinning an existing key moves it to the current generation.
+func (t *pinTable[K]) put(k K, shard int) {
+	delete(t.prev, k)
+	if _, ok := t.cur[k]; !ok && len(t.cur) >= t.cap {
+		t.prev = t.cur
+		t.cur = make(map[K]int, t.cap)
+	}
+	t.cur[k] = shard
+}
+
+// get looks k up in both generations.
+func (t *pinTable[K]) get(k K) (int, bool) {
+	if v, ok := t.cur[k]; ok {
+		return v, true
+	}
+	v, ok := t.prev[k]
+	return v, ok
+}
+
+// del forgets k.
+func (t *pinTable[K]) del(k K) {
+	delete(t.cur, k)
+	delete(t.prev, k)
+}
+
+// size is the total live entry count across both generations.
+func (t *pinTable[K]) size() int { return len(t.cur) + len(t.prev) }

@@ -15,23 +15,32 @@ import (
 //
 // Session-opening messages (submissions, logins, provisioning) route by
 // their natural key — the debited account, the username, the platform —
-// so one user's state lives on exactly one shard. Mid-session messages
-// (confirmations, proofs, CAPTCHA answers) carry no account; the router
-// remembers which shard issued each challenge nonce and CAPTCHA ID and
-// routes the answer back to it. The sticky entry is dropped once the
-// answer is delivered; an answer for a nonce the router has never seen
-// (or has forgotten) falls back to hashing the nonce itself, landing on
-// a deterministic shard whose replay/staleness machinery gives the
-// client a well-formed retryable rejection.
+// so one user's state lives on exactly one shard. Batches must debit
+// accounts that all live on one shard; a batch straddling shards is
+// refused with ErrCrossShard rather than silently executed where half
+// its accounts don't exist. Mid-session messages (confirmations,
+// proofs, CAPTCHA answers) carry no account; the router remembers which
+// shard issued each challenge nonce and CAPTCHA ID and routes the
+// answer back to it. The sticky entry is dropped once the answer is
+// delivered, and the pin tables are bounded (abandoned challenges age
+// out deterministically); an answer for a nonce the router has never
+// seen (or has forgotten) falls back to hashing the nonce itself,
+// landing on a deterministic shard whose replay/staleness machinery
+// gives the client a well-formed retryable rejection.
 type Router struct {
 	ring    *Ring
 	shards  []*Shard
 	metrics *obs.Registry
 
 	mu           sync.Mutex
-	nonceRoute   map[attest.Nonce]int
-	captchaRoute map[uint64]int
+	nonceRoute   *pinTable[attest.Nonce]
+	captchaRoute *pinTable[uint64]
 }
+
+// maxRoutePins bounds each pin table to 2×maxRoutePins entries — far
+// above any realistic concurrent-session count, small enough that a
+// router abandoned challenges leak into stays bounded for good.
+const maxRoutePins = 1 << 14
 
 // NewRouter fronts the given shards with a consistent-hash ring.
 // virtualNodes <= 0 uses DefaultVirtualNodes; metrics may be nil.
@@ -40,8 +49,8 @@ func NewRouter(shards []*Shard, virtualNodes int, metrics *obs.Registry) *Router
 		ring:         NewRing(len(shards), virtualNodes),
 		shards:       shards,
 		metrics:      metrics,
-		nonceRoute:   make(map[attest.Nonce]int),
-		captchaRoute: make(map[uint64]int),
+		nonceRoute:   newPinTable[attest.Nonce](maxRoutePins),
+		captchaRoute: newPinTable[uint64](maxRoutePins),
 	}
 }
 
@@ -58,7 +67,11 @@ func (r *Router) ShardFor(key string) int { return r.ring.Shard(key) }
 // either replays from the promoted follower's caches or executes fresh,
 // exactly once either way.
 func (r *Router) Handle(req []byte) ([]byte, error) {
-	idx := r.route(req)
+	idx, err := r.route(req)
+	if err != nil {
+		r.metrics.Counter("fleet.rejected_cross_shard").Inc()
+		return nil, err
+	}
 	shard := r.shards[idx]
 	r.metrics.Counter(fmt.Sprintf("fleet.shard%d.routed", idx)).Inc()
 
@@ -78,59 +91,68 @@ func (r *Router) Handle(req []byte) ([]byte, error) {
 	return resp, err
 }
 
-// route picks the shard for one request frame.
-func (r *Router) route(req []byte) int {
+// route picks the shard for one request frame. The only refusal is a
+// batch whose accounts straddle shards — everything else routes
+// somewhere deterministic.
+func (r *Router) route(req []byte) (int, error) {
 	_, inner, _ := obs.UnwrapFrame(req)
 	msg, err := core.DecodeMessage(inner)
 	if err != nil {
 		// Undecodable frames go to shard 0, whose provider counts the
 		// corruption and reports the decode error to the transport.
-		return 0
+		return 0, nil
 	}
 	switch m := msg.(type) {
 	case *core.SubmitTx:
 		if m.Tx != nil {
-			return r.ring.Shard(m.Tx.From)
+			return r.ring.Shard(m.Tx.From), nil
 		}
 	case *core.SubmitBatch:
 		if len(m.Txs) > 0 {
-			return r.ring.Shard(m.Txs[0].From)
+			idx := r.ring.Shard(m.Txs[0].From)
+			for _, tx := range m.Txs[1:] {
+				if other := r.ring.Shard(tx.From); other != idx {
+					return 0, fmt.Errorf("%w: account %q is on shard %d, %q is on shard %d",
+						ErrCrossShard, m.Txs[0].From, idx, tx.From, other)
+				}
+			}
+			return idx, nil
 		}
 	case *core.LoginRequest:
-		return r.ring.Shard(m.Username)
+		return r.ring.Shard(m.Username), nil
 	case *core.ProvisionRequest:
-		return r.ring.Shard(m.PlatformID)
+		return r.ring.Shard(m.PlatformID), nil
 	case *core.FallbackRequest:
-		return r.ring.Shard(m.PlatformID)
+		return r.ring.Shard(m.PlatformID), nil
 	case *core.ConfirmTx:
-		return r.nonceShard(m.Nonce)
+		return r.nonceShard(m.Nonce), nil
 	case *core.ConfirmBatch:
-		return r.nonceShard(m.Nonce)
+		return r.nonceShard(m.Nonce), nil
 	case *core.PresenceProof:
-		return r.nonceShard(m.Nonce)
+		return r.nonceShard(m.Nonce), nil
 	case *core.ProvisionComplete:
-		return r.nonceShard(m.Nonce)
+		return r.nonceShard(m.Nonce), nil
 	case *core.LoginProof:
-		return r.nonceShard(m.Nonce)
+		return r.nonceShard(m.Nonce), nil
 	case *core.FallbackAnswer:
 		r.mu.Lock()
-		idx, ok := r.captchaRoute[m.ID]
+		idx, ok := r.captchaRoute.get(m.ID)
 		r.mu.Unlock()
 		if ok {
-			return idx
+			return idx, nil
 		}
-		return r.ring.Shard(fmt.Sprintf("captcha-%d", m.ID))
+		return r.ring.Shard(fmt.Sprintf("captcha-%d", m.ID)), nil
 	}
 	// Keyless requests (presence) hash their empty key: any shard can
 	// serve them, this one deterministically does.
-	return r.ring.Shard("")
+	return r.ring.Shard(""), nil
 }
 
 // nonceShard looks up the shard that issued a challenge nonce, falling
 // back to hashing the nonce for unknown (forgotten or fabricated) ones.
 func (r *Router) nonceShard(n attest.Nonce) int {
 	r.mu.Lock()
-	idx, ok := r.nonceRoute[n]
+	idx, ok := r.nonceRoute.get(n)
 	r.mu.Unlock()
 	if ok {
 		return idx
@@ -162,7 +184,7 @@ func (r *Router) observe(idx int, req, resp []byte) {
 			return
 		case *core.FallbackChallenge:
 			r.mu.Lock()
-			r.captchaRoute[m.ID] = idx
+			r.captchaRoute.put(m.ID, idx)
 			r.mu.Unlock()
 			return
 		}
@@ -185,7 +207,7 @@ func (r *Router) observe(idx int, req, resp []byte) {
 			r.unpinNonce(m.Nonce)
 		case *core.FallbackAnswer:
 			r.mu.Lock()
-			delete(r.captchaRoute, m.ID)
+			r.captchaRoute.del(m.ID)
 			r.mu.Unlock()
 		}
 	}
@@ -194,13 +216,13 @@ func (r *Router) observe(idx int, req, resp []byte) {
 // pinNonce records which shard issued a challenge nonce.
 func (r *Router) pinNonce(n attest.Nonce, idx int) {
 	r.mu.Lock()
-	r.nonceRoute[n] = idx
+	r.nonceRoute.put(n, idx)
 	r.mu.Unlock()
 }
 
 // unpinNonce forgets a delivered challenge nonce.
 func (r *Router) unpinNonce(n attest.Nonce) {
 	r.mu.Lock()
-	delete(r.nonceRoute, n)
+	r.nonceRoute.del(n)
 	r.mu.Unlock()
 }

@@ -20,16 +20,21 @@ type ShardConfig struct {
 	// Index is the shard's position in the fleet.
 	Index int
 
-	// Epoch is the shard's starting epoch (defaults to 1). Every
-	// failover increments it; providers and replication frames carry it
-	// so a deposed primary is refused everywhere.
+	// Epoch is the shard's starting epoch for a virgin deployment
+	// (defaults to 1). Every failover increments it; providers and
+	// replication frames carry it so a deposed primary is refused
+	// everywhere. On a restart over durable backends the persisted
+	// manifest's epoch wins — the shard resumes the lineage it last
+	// promoted, not the one it was born with.
 	Epoch uint64
 
-	// Followers is how many replicas the shard runs.
+	// Followers is how many replicas a virgin shard starts with. On a
+	// restart the manifest's recorded replica set wins.
 	Followers int
 
-	// NewBackend opens the durable backend for one role: "primary" or
-	// "follower-<i>". Each role gets its own independent storage.
+	// NewBackend opens the durable backend for one role: "primary",
+	// "follower-<i>", or "manifest" (the shard's restart pointer). Each
+	// role gets its own independent storage.
 	NewBackend func(role string) (store.Backend, error)
 
 	// BuildPrimary constructs the shard's first primary (keys, PAL
@@ -64,7 +69,8 @@ type ShardConfig struct {
 // followers, and the failover machinery that promotes a follower when
 // the primary dies.
 type Shard struct {
-	cfg ShardConfig
+	cfg      ShardConfig
+	manifest store.Backend // the shard's durable restart pointer
 
 	mu        sync.RWMutex
 	epoch     uint64
@@ -72,10 +78,27 @@ type Shard struct {
 	rep       *replicator
 	followers []*Follower
 	failovers int
+
+	// activeRole is the backend role holding the primary lineage;
+	// nextFollower is the lowest follower index never yet used. Both
+	// are persisted in the manifest so restarts resume the promoted
+	// lineage and never reuse a follower's backend role.
+	activeRole   string
+	nextFollower int
 }
 
-// NewShard builds a shard: fresh primary, attached store, bootstrapped
-// followers, and the replication hook installed.
+// rolePrimary is the backend role a shard's first primary journals to.
+const rolePrimary = "primary"
+
+// followerRole names follower i's backend role.
+func followerRole(i int) string { return fmt.Sprintf("follower-%d", i) }
+
+// NewShard builds a shard. On virgin backends it seeds a fresh primary,
+// bootstraps the followers, and records the topology in the shard
+// manifest. On backends that already hold state (a process restart) it
+// follows the manifest to the role owning the current lineage — which
+// after a failover is a promoted follower's role, never the deposed
+// primary's — and restores from that segment at the recorded epoch.
 func NewShard(cfg ShardConfig) (*Shard, error) {
 	if cfg.Epoch == 0 {
 		cfg.Epoch = 1
@@ -92,7 +115,85 @@ func NewShard(cfg ShardConfig) (*Shard, error) {
 
 	s := &Shard{cfg: cfg, epoch: cfg.Epoch}
 
-	backend, err := cfg.NewBackend("primary")
+	mb, err := cfg.NewBackend(manifestRole)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: shard %d: manifest backend: %w", cfg.Index, err)
+	}
+	s.manifest = mb
+	man, found, err := readManifest(mb)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: shard %d: read manifest: %w", cfg.Index, err)
+	}
+
+	var prov *core.Provider
+	if found {
+		prov, err = s.restoreFromManifest(man)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		prov, err = s.bootstrapFresh()
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if err := s.wirePrimaryLocked(prov, 0); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// restoreFromManifest resumes the lineage the manifest records: the
+// active role's segment at the recorded epoch, with the recorded
+// replica set. The deposed primary's role (if any) is never opened —
+// its segment is a stale lineage whose replay would discard
+// client-acknowledged post-failover commits.
+func (s *Shard) restoreFromManifest(man shardManifest) (*core.Provider, error) {
+	s.epoch = man.Epoch
+	s.activeRole = man.Active
+	s.nextFollower = man.NextFollower
+
+	backend, err := s.cfg.NewBackend(man.Active)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: shard %d: %s backend: %w", s.cfg.Index, man.Active, err)
+	}
+	st, err := store.Open(backend)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: shard %d: open %s store: %w", s.cfg.Index, man.Active, err)
+	}
+	if st.Snapshot() == nil {
+		return nil, fmt.Errorf("fleet: shard %d: manifest names role %q (epoch %d) but it holds no durable state",
+			s.cfg.Index, man.Active, man.Epoch)
+	}
+	prov, err := s.cfg.RestorePrimary(s.epoch, st)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: shard %d: restore primary: %w", s.cfg.Index, err)
+	}
+
+	for _, idx := range man.Followers {
+		fb, err := s.cfg.NewBackend(followerRole(idx))
+		if err != nil {
+			return nil, fmt.Errorf("fleet: shard %d: follower %d backend: %w", s.cfg.Index, idx, err)
+		}
+		s.followers = append(s.followers, NewFollower(s.cfg.Index, idx, fb))
+	}
+	return prov, nil
+}
+
+// bootstrapFresh builds the shard's first life: primary in the
+// "primary" role, followers 0..Followers-1, and the initial manifest.
+// A primary-role segment with no manifest (a data dir written before
+// manifests existed, or a crash in the narrow window between the first
+// snapshot and the first manifest write) is still honored: no failover
+// can have happened without a manifest write, so the primary role is
+// the only lineage there is.
+func (s *Shard) bootstrapFresh() (*core.Provider, error) {
+	cfg := s.cfg
+	s.activeRole = rolePrimary
+	s.nextFollower = cfg.Followers
+
+	backend, err := cfg.NewBackend(rolePrimary)
 	if err != nil {
 		return nil, fmt.Errorf("fleet: shard %d: primary backend: %w", cfg.Index, err)
 	}
@@ -102,9 +203,6 @@ func NewShard(cfg ShardConfig) (*Shard, error) {
 	}
 	var prov *core.Provider
 	if st.Snapshot() != nil {
-		// A process restart over a durable backend: the primary's
-		// segment survives, so restore from it rather than clobbering
-		// it with a freshly seeded provider.
 		prov, err = cfg.RestorePrimary(s.epoch, st)
 		if err != nil {
 			return nil, fmt.Errorf("fleet: shard %d: restore primary: %w", cfg.Index, err)
@@ -120,17 +218,37 @@ func NewShard(cfg ShardConfig) (*Shard, error) {
 	}
 
 	for i := 0; i < cfg.Followers; i++ {
-		fb, err := cfg.NewBackend(fmt.Sprintf("follower-%d", i))
+		fb, err := cfg.NewBackend(followerRole(i))
 		if err != nil {
 			return nil, fmt.Errorf("fleet: shard %d: follower %d backend: %w", cfg.Index, i, err)
 		}
 		s.followers = append(s.followers, NewFollower(cfg.Index, i, fb))
 	}
 
-	if err := s.wirePrimaryLocked(prov, 0); err != nil {
+	if err := s.writeManifestLocked(); err != nil {
 		return nil, err
 	}
-	return s, nil
+	return prov, nil
+}
+
+// writeManifestLocked persists the shard's current topology (epoch,
+// active lineage role, replica set, next follower index). Caller holds
+// s.mu or is inside NewShard.
+func (s *Shard) writeManifestLocked() error {
+	idxs := make([]int, len(s.followers))
+	for i, f := range s.followers {
+		idxs[i] = f.Index()
+	}
+	m := shardManifest{
+		Epoch:        s.epoch,
+		Active:       s.activeRole,
+		Followers:    idxs,
+		NextFollower: s.nextFollower,
+	}
+	if err := writeManifest(s.manifest, m); err != nil {
+		return fmt.Errorf("fleet: shard %d: write manifest: %w", s.cfg.Index, err)
+	}
+	return nil
 }
 
 // wirePrimaryLocked installs prov as the shard's primary at the current
@@ -300,6 +418,16 @@ func (s *Shard) Failover(observedEpoch uint64) error {
 	s.followers = survivors
 	s.epoch = newEpoch
 	s.failovers++
+	s.activeRole = followerRole(chosen.Index())
+
+	// The manifest must name the new lineage before the promoted
+	// primary answers anyone: a restart with a stale manifest would
+	// reopen the deposed primary's segment and silently discard every
+	// commit the new lineage acknowledged.
+	if err := s.writeManifestLocked(); err != nil {
+		tr.Event("failover.failed", err.Error())
+		return err
+	}
 
 	if err := s.wirePrimaryLocked(prov, bestApplied); err != nil {
 		tr.Event("failover.failed", err.Error())
@@ -313,40 +441,53 @@ func (s *Shard) Failover(observedEpoch uint64) error {
 	return nil
 }
 
-// AddFollower enlists a fresh follower (role "follower-<i>", numbered
-// past the shard's history), bootstraps it from the current primary,
-// and adds it to the replica set — how a shard regains redundancy after
-// a failover consumed a replica.
+// AddFollower enlists a fresh follower on a never-used backend role,
+// bootstraps it from the current primary, and adds it to the replica
+// set — how a shard regains redundancy after a failover consumed a
+// replica. The role index is a monotonic counter (persisted in the
+// manifest), never derived from the current set, so no two followers
+// in the shard's history share a backend directory.
 func (s *Shard) AddFollower() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	idx := s.cfg.Followers + s.failovers // unique across the shard's life
-	backend, err := s.cfg.NewBackend(fmt.Sprintf("follower-%d", idx))
+	idx := s.nextFollower
+	backend, err := s.cfg.NewBackend(followerRole(idx))
 	if err != nil {
 		return fmt.Errorf("fleet: shard %d: add follower: %w", s.cfg.Index, err)
 	}
 	f := NewFollower(s.cfg.Index, idx, backend)
 
-	seg, err := s.primary.Store().ReadSegment()
-	if err != nil {
-		return fmt.Errorf("fleet: shard %d: add follower: %w", s.cfg.Index, err)
-	}
-	boot := encodeBootstrap(bootstrapFrame{
-		Epoch: s.epoch, UpTo: s.rep.offset, Gen: seg.Generation,
-		State: seg.State, Records: seg.Records,
+	// Bootstrap under the primary's quiescence: the replicator's links
+	// and offset are otherwise owned by the committer goroutine (the
+	// commit hook), and ReadSegment's snapshot+WAL read is only a
+	// consistent prefix matching rep.offset while no commit is in
+	// flight. Quiesced blocks new state transitions and drains the
+	// committer for exactly this window.
+	err = s.primary.Quiesced(func() error {
+		seg, err := s.primary.Store().ReadSegment()
+		if err != nil {
+			return fmt.Errorf("fleet: shard %d: add follower: %w", s.cfg.Index, err)
+		}
+		boot := encodeBootstrap(bootstrapFrame{
+			Epoch: s.epoch, UpTo: s.rep.offset, Gen: seg.Generation,
+			State: seg.State, Records: seg.Records,
+		})
+		return s.rep.bootstrap(s.newLink(f), f, boot)
 	})
-	link := s.newLink(f)
-	if err := s.rep.bootstrap(link, f, boot); err != nil {
+	if err != nil {
 		return err
 	}
+	s.nextFollower = idx + 1
 	s.followers = append(s.followers, f)
-	return nil
+	return s.writeManifestLocked()
 }
 
 // replicator ships committed WAL groups from one primary (at one epoch)
-// to the shard's followers and tracks acknowledged offsets. It is
-// driven from the primary's commit hook, which the committer serializes,
-// so no internal locking is needed; a replicator is abandoned with its
+// to the shard's followers and tracks acknowledged offsets. It needs no
+// internal locking: ship runs on the committer goroutine (the commit
+// hook, which the committer serializes), and the only other mutation —
+// AddFollower enlisting a new link — happens inside Provider.Quiesced,
+// when no commit is in flight. A replicator is abandoned with its
 // primary on failover.
 type replicator struct {
 	shard   int

@@ -335,16 +335,208 @@ func TestRouterNoncePinning(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	hashed := r.route(frame)
+	hashed, err := r.route(frame)
+	if err != nil {
+		t.Fatalf("route: %v", err)
+	}
 
 	// Pin the nonce to a different shard than its hash would pick.
 	pinned := (hashed + 1) % 4
 	r.pinNonce(confirm.Nonce, pinned)
-	if got := r.route(frame); got != pinned {
+	if got, _ := r.route(frame); got != pinned {
 		t.Fatalf("pinned nonce routed to %d, want %d", got, pinned)
 	}
 	r.unpinNonce(confirm.Nonce)
-	if got := r.route(frame); got != hashed {
+	if got, _ := r.route(frame); got != hashed {
 		t.Fatalf("unpinned nonce routed to %d, want hash fallback %d", got, hashed)
+	}
+}
+
+// durableTestShard builds a shard over a persistent role→backend map so
+// a second call simulates a process restart over the same storage.
+func durableTestShard(t *testing.T, followers int, backends map[string]*store.MemBackend) *Shard {
+	t.Helper()
+	build := func(epoch uint64) (*core.Provider, error) {
+		p := core.NewProvider(core.ProviderConfig{
+			Name:                  "durable-shard",
+			Clock:                 sim.NewVirtualClock(),
+			Random:                sim.NewRand(0xD0_0D ^ epoch),
+			ConfirmThresholdCents: 1_000_000,
+		})
+		if err := p.Ledger().CreateAccount("payer", 1_000_000); err != nil {
+			return nil, err
+		}
+		return p, p.Ledger().CreateAccount("sink", 0)
+	}
+	s, err := NewShard(ShardConfig{
+		Index:     0,
+		Followers: followers,
+		NewBackend: func(role string) (store.Backend, error) {
+			if b, ok := backends[role]; ok {
+				return b, nil
+			}
+			backends[role] = store.NewMemBackend()
+			return backends[role], nil
+		},
+		BuildPrimary: build,
+		RestorePrimary: func(epoch uint64, st *store.Store) (*core.Provider, error) {
+			return core.RestoreProvider(core.ProviderConfig{
+				Name:                  "durable-shard",
+				Clock:                 sim.NewVirtualClock(),
+				Random:                sim.NewRand(0xD0_0D ^ epoch),
+				ConfirmThresholdCents: 1_000_000,
+			}, st)
+		},
+	})
+	if err != nil {
+		t.Fatalf("NewShard: %v", err)
+	}
+	return s
+}
+
+// The regression the shard manifest exists for: a restart after an
+// in-process failover must resume the PROMOTED lineage (the follower's
+// role, at the bumped epoch), not reopen the deposed primary's stale
+// segment — which would discard every client-acknowledged post-failover
+// commit and resurrect transactions for double execution.
+func TestShardRestartAfterFailoverKeepsPromotedLineage(t *testing.T) {
+	backends := map[string]*store.MemBackend{}
+
+	first := durableTestShard(t, 1, backends)
+	for i := 0; i < 2; i++ {
+		resp, err := first.Handle(submitFrame(t, fmt.Sprintf("pre-%d", i)))
+		expectAccepted(t, resp, err)
+	}
+	if err := first.Failover(first.Epoch()); err != nil {
+		t.Fatalf("failover: %v", err)
+	}
+	// Client-acknowledged commits on the promoted lineage — exactly the
+	// ones a stale-lineage restart would lose.
+	for i := 0; i < 2; i++ {
+		resp, err := first.Handle(submitFrame(t, fmt.Sprintf("post-%d", i)))
+		expectAccepted(t, resp, err)
+	}
+	if err := first.Primary().Store().Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	second := durableTestShard(t, 1, backends)
+	if second.Epoch() != 2 {
+		t.Fatalf("restarted shard at epoch %d, want the promoted epoch 2", second.Epoch())
+	}
+	history := second.Primary().Ledger().History()
+	seen := map[string]int{}
+	for _, tx := range history {
+		seen[tx.ID]++
+	}
+	for _, id := range []string{"pre-0", "pre-1", "post-0", "post-1"} {
+		if seen[id] != 1 {
+			t.Fatalf("transaction %s executed %d times after restart, want exactly 1 (history %v)", id, seen[id], seen)
+		}
+	}
+	bal, err := second.Primary().Ledger().Balance("payer")
+	if err != nil || bal != 1_000_000-4 {
+		t.Fatalf("restarted payer balance %d (err %v), want %d", bal, err, 1_000_000-4)
+	}
+	// A retransmission straddling the restart replays, never re-executes.
+	resp, err := second.Handle(submitFrame(t, "post-1"))
+	expectAccepted(t, resp, err)
+	if bal, _ := second.Primary().Ledger().Balance("payer"); bal != 1_000_000-4 {
+		t.Fatalf("retransmitted tx re-executed: balance %d", bal)
+	}
+}
+
+// Two AddFollower calls without an intervening failover must open two
+// distinct backend roles: a shared role means two live followers
+// corrupting each other's segments on a real directory backend.
+func TestShardAddFollowerUniqueRoles(t *testing.T) {
+	opened := map[string]int{}
+	build := func(epoch uint64) (*core.Provider, error) {
+		p := core.NewProvider(core.ProviderConfig{
+			Name:                  "roles-shard",
+			Clock:                 sim.NewVirtualClock(),
+			Random:                sim.NewRand(0x401E5),
+			ConfirmThresholdCents: 1_000_000,
+		})
+		if err := p.Ledger().CreateAccount("payer", 1_000_000); err != nil {
+			return nil, err
+		}
+		return p, p.Ledger().CreateAccount("sink", 0)
+	}
+	s, err := NewShard(ShardConfig{
+		Index:     0,
+		Followers: 1,
+		NewBackend: func(role string) (store.Backend, error) {
+			opened[role]++
+			return store.NewMemBackend(), nil
+		},
+		BuildPrimary: build,
+		RestorePrimary: func(epoch uint64, st *store.Store) (*core.Provider, error) {
+			return core.RestoreProvider(core.ProviderConfig{
+				Name:  "roles-shard",
+				Clock: sim.NewVirtualClock(), Random: sim.NewRand(0x401E5 ^ epoch),
+				ConfirmThresholdCents: 1_000_000,
+			}, st)
+		},
+	})
+	if err != nil {
+		t.Fatalf("NewShard: %v", err)
+	}
+
+	if err := s.AddFollower(); err != nil {
+		t.Fatalf("first AddFollower: %v", err)
+	}
+	if err := s.AddFollower(); err != nil {
+		t.Fatalf("second AddFollower: %v", err)
+	}
+	for role, n := range opened {
+		if n != 1 {
+			t.Fatalf("role %q opened %d times; backend roles must never be shared", role, n)
+		}
+	}
+	for _, role := range []string{"follower-0", "follower-1", "follower-2"} {
+		if opened[role] != 1 {
+			t.Fatalf("expected role %q to exist, opened = %v", role, opened)
+		}
+	}
+	resp, err := s.Handle(submitFrame(t, "tx-0"))
+	expectAccepted(t, resp, err)
+	for i, applied := range s.FollowerApplied() {
+		if applied != 1 {
+			t.Fatalf("follower %d applied %d of 1 group", i, applied)
+		}
+	}
+}
+
+// AddFollower while traffic is committing must not race the commit
+// hook's replicator (run under -race): the bootstrap happens inside the
+// primary's quiescent window, so the new follower's base offset agrees
+// with the shipped stream and every follower converges on the frontier.
+func TestShardAddFollowerDuringTraffic(t *testing.T) {
+	s := testShard(t, 0, 1, nil, nil)
+
+	const total = 40
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < total; i++ {
+			resp, err := s.Handle(submitFrame(t, fmt.Sprintf("tx-%d", i)))
+			expectAccepted(t, resp, err)
+		}
+	}()
+
+	if err := s.AddFollower(); err != nil {
+		t.Fatalf("AddFollower under load: %v", err)
+	}
+	<-done
+
+	applied := s.FollowerApplied()
+	if len(applied) != 2 {
+		t.Fatalf("%d followers, want 2", len(applied))
+	}
+	for i, a := range applied {
+		if a != total {
+			t.Fatalf("follower %d applied %d of %d groups", i, a, total)
+		}
 	}
 }

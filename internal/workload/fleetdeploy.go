@@ -46,7 +46,8 @@ type FleetConfig struct {
 	SnapshotEvery         int
 
 	// NewBackend opens storage for one role of one shard ("primary",
-	// "follower-<i>"). nil gives every role its own store.MemBackend.
+	// "follower-<i>", or "manifest" — the shard's durable restart
+	// pointer). nil gives every role its own store.MemBackend.
 	NewBackend func(shard int, role string) (store.Backend, error)
 
 	// Plan schedules fleet faults (primary kills, replication
