@@ -29,12 +29,14 @@ bench:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x ./...
 
-# chaos-smoke is the truncated F13 kill-a-shard sweep: every kill-phase
-# cell of the fault matrix plus a primary killed under concurrent load,
+# chaos-smoke is the truncated chaos gate: the F13 kill-a-shard sweep
+# (every kill-phase cell plus a primary killed under concurrent load)
+# and the F14 TCP chaos matrix (resets, corruption, truncation,
+# partition, slowloris, and overload shedding over real sockets),
 # failing on any lost or doubled transaction, broken audit chain, or
 # unexpected failover count.
 chaos-smoke:
-	$(GO) test ./internal/experiments -run 'TestF13ChaosSmoke|TestF13MatrixCells|TestF13KillUnderLoadExactlyOnce' -count=1 -v
+	$(GO) test ./internal/experiments -run 'TestF13ChaosSmoke|TestF13MatrixCells|TestF13KillUnderLoadExactlyOnce|TestF14ChaosSmoke|TestF14ChaosCellsExactlyOnce' -count=1 -v
 
 # results regenerates every table/figure into results/.
 results:

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	tpbench                 # run everything
-//	tpbench -exp t1         # one experiment (t1, t2, t3, f1..f13)
+//	tpbench -exp t1         # one experiment (t1, t2, t3, f1..f14)
 //	tpbench -list           # list experiments
 //	tpbench -save results   # also write each result to results/<id>.txt
 //	tpbench -recovery       # benchmark WAL replay throughput (records/sec)
@@ -27,7 +27,7 @@ func main() {
 
 func run() int {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run (all, t1, t2, t3, f1..f13)")
+		exp      = flag.String("exp", "all", "experiment to run (all, t1, t2, t3, f1..f14)")
 		list     = flag.Bool("list", false, "list experiments and exit")
 		save     = flag.String("save", "", "directory to write per-experiment result files into")
 		recovery = flag.Bool("recovery", false, "benchmark WAL replay throughput instead of running experiments")

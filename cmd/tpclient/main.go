@@ -4,6 +4,12 @@
 // transaction, and drives the confirmation PAL — with you as the human,
 // or with a scripted decision.
 //
+// The connection is supervised by internal/wire: if the server resets,
+// drains, or sheds the connection, in-flight requests fail fast with
+// retryable errors, the retry transport backs off, and the supervisor
+// redials (re-running the idempotent enrollment handshake) under capped
+// exponential backoff with jitter.
+//
 // Usage:
 //
 //	tpclient -server localhost:7700 -to bob -amount 12300 -decision ask
@@ -30,6 +36,7 @@ import (
 	"unitp/internal/platform"
 	"unitp/internal/sim"
 	"unitp/internal/tpm"
+	"unitp/internal/wire"
 )
 
 func main() {
@@ -90,21 +97,44 @@ func run() error {
 		return err
 	}
 
-	conn, err := net.Dial("tcp", *server)
-	if err != nil {
-		return err
-	}
-	defer conn.Close()
-
-	cert, err := enroll(conn, machine, aikPub)
-	if err != nil {
+	// The supervised connection re-runs this handshake on every
+	// (re)dial; the platform ID is stable for the process, so the server
+	// treats a reconnect as the same enrolled device (idempotent enroll,
+	// same-EK certify).
+	platformID := fmt.Sprintf("platform-%d", os.Getpid())
+	var cert *attest.AIKCert
+	registry := obs.NewRegistry()
+	defer func() {
+		// Surface what supervision had to do: silence means a clean run.
+		snap := registry.Snapshot()
+		if snap.Counters["wire.client.conn_failures"]+snap.Counters["wire.client.dial_failures"] > 0 {
+			log.Printf("tpclient: supervision: reconnects=%d conn_failures=%d dial_failures=%d handshake_failures=%d",
+				snap.Counters["wire.client.reconnects"], snap.Counters["wire.client.conn_failures"],
+				snap.Counters["wire.client.dial_failures"], snap.Counters["wire.client.handshake_failures"])
+		}
+	}()
+	supervised := wire.NewClient(wire.ClientConfig{
+		Addr:    *server,
+		Metrics: registry,
+		Handshake: func(conn net.Conn) error {
+			c, err := enroll(conn, platformID, machine, aikPub)
+			if err != nil {
+				return err
+			}
+			cert = c
+			return nil
+		},
+	})
+	defer supervised.Close()
+	if err := supervised.Connect(); err != nil {
 		return err
 	}
 	log.Printf("tpclient: enrolled as %s with CA %s", cert.PlatformID, cert.Issuer)
 
 	// Real TCP still loses frames and drops connections; the retry
-	// transport masks transient failures with backoff and a deadline.
-	transport := netsim.NewRetryTransport(netsim.NewConnTransport(conn),
+	// transport masks transient failures with backoff and a deadline,
+	// while the wire supervisor paces the redials underneath.
+	transport := netsim.NewRetryTransport(supervised,
 		netsim.DefaultRetryPolicy(), sim.WallClock{}, sim.NewRand(uint64(time.Now().UnixNano())^0x7e7))
 	transport.Observe(nil, tracer)
 	client, err := core.NewClient(core.ClientConfig{
@@ -160,16 +190,19 @@ func run() error {
 	return nil
 }
 
-// enroll performs the demo enrollment handshake with tpserver.
-func enroll(conn net.Conn, machine *platform.Machine, aikPub *rsa.PublicKey) (*attest.AIKCert, error) {
+// enroll performs the demo enrollment handshake with tpserver. A server
+// refusal (shed, draining) arrives as an error frame, which
+// ReadHandshakeFrame surfaces as a classified RemoteError so the
+// supervisor treats it like any other transient failure.
+func enroll(conn net.Conn, platformID string, machine *platform.Machine, aikPub *rsa.PublicKey) (*attest.AIKCert, error) {
 	b := cryptoutil.NewBuffer(600)
-	b.PutString(fmt.Sprintf("platform-%d", os.Getpid()))
+	b.PutString(platformID)
 	b.PutBytes(x509.MarshalPKCS1PublicKey(machine.TPM().EK()))
 	b.PutBytes(x509.MarshalPKCS1PublicKey(aikPub))
 	if err := netsim.WriteFrame(conn, b.Bytes()); err != nil {
 		return nil, err
 	}
-	certBytes, err := netsim.ReadFrame(conn)
+	certBytes, err := wire.ReadHandshakeFrame(conn)
 	if err != nil {
 		return nil, err
 	}

@@ -4,14 +4,20 @@
 // real deployment), and then speak the uni-directional trusted path
 // protocol over length-prefixed frames.
 //
+// The listener is the hardened internal/wire server: a bounded accept
+// pool with overload shedding, per-peer connection quotas and frame
+// rate limits, per-connection idle and write deadlines, and graceful
+// drain on SIGINT/SIGTERM — stop accepting, answer the in-flight
+// requests within -drain-timeout, then flush durable state.
+//
 // With -data the provider journals every state mutation to a crash-safe
 // store (WAL + snapshots) in that directory and restores from it on the
-// next start; SIGINT/SIGTERM trigger a graceful shutdown that stops
-// accepting, closes live connections, and writes a final snapshot.
+// next start.
 //
 // With -admin the server also exposes an operational HTTP plane:
-// /metrics (JSON, ?format=text), /healthz, /readyz, /trace?n=K
-// (Chrome trace_event JSON of recent sessions), and /debug/pprof.
+// /metrics (JSON, ?format=text — including the wire.* connection
+// lifecycle counters), /healthz, /readyz, /trace?n=K (Chrome
+// trace_event JSON of recent sessions), and /debug/pprof.
 //
 // With -shards N (N > 1) the server runs a provider fleet: N shards
 // behind a consistent-hash router, each a primary plus -followers
@@ -40,7 +46,6 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
-	"sync"
 	"syscall"
 
 	"unitp/internal/attest"
@@ -51,6 +56,7 @@ import (
 	"unitp/internal/obs"
 	"unitp/internal/sim"
 	"unitp/internal/store"
+	"unitp/internal/wire"
 )
 
 func main() {
@@ -72,6 +78,12 @@ func run() error {
 		workers   = flag.Int("workers", 4, "concurrent request handlers per connection (1 = serial)")
 		shards    = flag.Int("shards", 1, "provider shards; >1 fronts them with a consistent-hash router (accounts partition across shards)")
 		followers = flag.Int("followers", 1, "follower replicas per shard, fed by synchronous WAL shipping (fleet mode only)")
+
+		maxConns  = flag.Int("max-conns", wire.DefaultMaxConns, "accept-pool bound; further connections are shed with a retryable error frame")
+		peerConns = flag.Int("max-conns-per-peer", wire.DefaultMaxConnsPerPeer, "connection quota per remote IP")
+		peerRate  = flag.Float64("rate-limit", 0, "per-peer request frames per second (0 = unlimited)")
+		drainFor  = flag.Duration("drain-timeout", wire.DefaultDrainTimeout, "graceful shutdown waits this long for in-flight requests")
+		idleFor   = flag.Duration("idle-timeout", wire.DefaultIdleTimeout, "close connections with no frame activity for this long")
 	)
 	flag.Parse()
 
@@ -143,45 +155,107 @@ func run() error {
 		}()
 	}
 
-	srv := &server{ca: ca, eng: eng, logger: logger, conns: map[net.Conn]struct{}{}}
+	wsrv := wire.NewServer(wire.ServerConfig{
+		Handshake:        enrollHandshake(ca, eng, logger),
+		Classify:         classifyHandlerError,
+		Workers:          *workers,
+		MaxConns:         *maxConns,
+		MaxConnsPerPeer:  *peerConns,
+		PeerFramesPerSec: *peerRate,
+		IdleTimeout:      *idleFor,
+		DrainTimeout:     *drainFor,
+		Metrics:          registry,
+		Logger:           logger,
+	})
 
-	// Graceful shutdown: stop accepting, hang up on live sessions (their
-	// in-flight request finishes its journal commit first — Handle only
-	// returns after the WAL sync), then snapshot and close the store.
+	// Graceful shutdown: stop accepting, nudge every reader, wait for
+	// in-flight requests to answer (their journal commit completes —
+	// Handle only returns after the WAL sync), then flush the store.
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	drainRes := make(chan error, 1)
 	go func() {
 		sig := <-sigCh
 		logger.Info("shutting down", "signal", sig.String())
-		srv.beginShutdown()
-		ln.Close()
+		drainRes <- wsrv.Shutdown()
 	}()
 
-	for {
-		conn, err := ln.Accept()
+	if err := wsrv.Serve(ln); err != nil {
+		return err
+	}
+	if derr := <-drainRes; derr != nil {
+		logger.Warn("drain deadline forced connections closed", "err", derr)
+	}
+	if err := eng.finish(); err != nil {
+		return err
+	}
+	logger.Info("shutdown complete", "topology", eng.topology)
+	return nil
+}
+
+// enrollHandshake builds the wire handshake hook: read the enrollment
+// frame (platformID, EK, AIK — all the out-of-band certification a real
+// deployment does once per device), certify the AIK, and return the
+// engine handler for the connection's frames. Re-enrollment of a known
+// platform with the same EK is idempotent, so a supervised client's
+// reconnect simply re-runs the handshake; a different EK for a known
+// platform is still refused (ErrEKMismatch).
+func enrollHandshake(ca *attest.PrivacyCA, eng engine, logger *slog.Logger) func(net.Conn) (netsim.Handler, error) {
+	return func(conn net.Conn) (netsim.Handler, error) {
+		hello, err := netsim.ReadFrame(conn)
 		if err != nil {
-			if srv.shuttingDown() {
-				return srv.finish()
-			}
-			ln.Close()
-			return err
+			return nil, fmt.Errorf("read enrollment: %w", err)
 		}
-		if !srv.track(conn) {
-			conn.Close()
-			continue
+		r := cryptoutil.NewReader(hello)
+		platformID := r.String()
+		ekDER := r.Bytes()
+		aikDER := r.Bytes()
+		if err := r.ExpectEOF(); err != nil {
+			return nil, fmt.Errorf("enrollment frame: %w", err)
 		}
-		go func() {
-			defer srv.untrack(conn)
-			if err := serveConn(conn, ca, eng.handle, logger, *workers); err != nil && !srv.shuttingDown() {
-				logger.Error("connection failed", "remote", conn.RemoteAddr().String(), "err", err)
+		ek, err := x509.ParsePKCS1PublicKey(ekDER)
+		if err != nil {
+			return nil, fmt.Errorf("enrollment EK: %w", err)
+		}
+		aik, err := x509.ParsePKCS1PublicKey(aikDER)
+		if err != nil {
+			return nil, fmt.Errorf("enrollment AIK: %w", err)
+		}
+		if err := ca.EnrollEK(platformID, ek); err != nil && !errors.Is(err, attest.ErrPlatformEnrolled) {
+			return nil, fmt.Errorf("enroll: %w", err)
+		}
+		cert, err := ca.CertifyAIK(platformID, ek, aik)
+		if err != nil {
+			return nil, fmt.Errorf("certify: %w", err)
+		}
+		// Tagged write: a marshalled cert may begin with 0x00, which a
+		// bare frame would make indistinguishable from a refusal.
+		if err := wire.WriteHandshakeFrame(conn, cert.Marshal()); err != nil {
+			return nil, fmt.Errorf("send cert: %w", err)
+		}
+		logger.Info("enrolled platform", "platform_id", platformID, "remote", conn.RemoteAddr().String())
+		return func(req []byte) ([]byte, error) {
+			if sid, ok := obs.PeekSession(req); ok {
+				logger.Debug("frame", obs.Session(sid), "bytes", len(req))
 			}
-			logger.Debug("engine stats", "stats", eng.stats())
-		}()
+			return eng.handle(req)
+		}, nil
 	}
 }
 
+// classifyHandlerError maps engine errors to error-frame codes: requests
+// the router definitively refuses (a batch spanning shards) are
+// permanent — no retransmission changes the routing — while everything
+// else keeps the default transient classification.
+func classifyHandlerError(err error) uint8 {
+	if errors.Is(err, fleet.ErrCrossShard) {
+		return netsim.ErrCodePermanent
+	}
+	return wire.DefaultClassify(err)
+}
+
 // engine abstracts what the listener serves: a single provider, or a
-// sharded fleet behind a router. The accept loop, the admin plane, and
+// sharded fleet behind a router. The wire server, the admin plane, and
 // graceful shutdown are identical either way.
 type engine struct {
 	topology string
@@ -458,103 +532,4 @@ func durabilityLabel(dataDir string) string {
 		return "none"
 	}
 	return dataDir
-}
-
-// server tracks accepted connections so shutdown can hang up on all of
-// them, and owns the final store flush.
-type server struct {
-	ca     *attest.PrivacyCA
-	eng    engine
-	logger *slog.Logger
-
-	mu       sync.Mutex
-	conns    map[net.Conn]struct{}
-	draining bool
-}
-
-func (s *server) track(conn net.Conn) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.draining {
-		return false
-	}
-	s.conns[conn] = struct{}{}
-	return true
-}
-
-func (s *server) untrack(conn net.Conn) {
-	conn.Close()
-	s.mu.Lock()
-	delete(s.conns, conn)
-	s.mu.Unlock()
-}
-
-func (s *server) shuttingDown() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.draining
-}
-
-// beginShutdown refuses new connections and closes the live ones;
-// serveConn goroutines unwind on the resulting read errors.
-func (s *server) beginShutdown() {
-	s.mu.Lock()
-	s.draining = true
-	for conn := range s.conns {
-		conn.Close()
-	}
-	s.mu.Unlock()
-}
-
-// finish flushes durable state: a final snapshot truncates the WAL so
-// the next start restores without replay, then the store files close.
-func (s *server) finish() error {
-	if err := s.eng.finish(); err != nil {
-		return err
-	}
-	s.logger.Info("shutdown complete", "topology", s.eng.topology)
-	return nil
-}
-
-// serveConn performs the enrollment handshake and then serves protocol
-// frames, handling up to `workers` requests from this connection
-// concurrently (responses stay in request order).
-func serveConn(conn net.Conn, ca *attest.PrivacyCA, handle func([]byte) ([]byte, error), logger *slog.Logger, workers int) error {
-	// Enrollment frame: platformID, EK (PKCS#1 DER), AIK (PKCS#1 DER).
-	hello, err := netsim.ReadFrame(conn)
-	if err != nil {
-		return fmt.Errorf("read enrollment: %w", err)
-	}
-	r := cryptoutil.NewReader(hello)
-	platformID := r.String()
-	ekDER := r.Bytes()
-	aikDER := r.Bytes()
-	if err := r.ExpectEOF(); err != nil {
-		return fmt.Errorf("enrollment frame: %w", err)
-	}
-	ek, err := x509.ParsePKCS1PublicKey(ekDER)
-	if err != nil {
-		return fmt.Errorf("enrollment EK: %w", err)
-	}
-	aik, err := x509.ParsePKCS1PublicKey(aikDER)
-	if err != nil {
-		return fmt.Errorf("enrollment AIK: %w", err)
-	}
-	if err := ca.EnrollEK(platformID, ek); err != nil {
-		return fmt.Errorf("enroll: %w", err)
-	}
-	cert, err := ca.CertifyAIK(platformID, ek, aik)
-	if err != nil {
-		return fmt.Errorf("certify: %w", err)
-	}
-	if err := netsim.WriteFrame(conn, cert.Marshal()); err != nil {
-		return fmt.Errorf("send cert: %w", err)
-	}
-	logger.Info("enrolled platform", "platform_id", platformID, "remote", conn.RemoteAddr().String())
-	return netsim.ServeConcurrent(conn, func(req []byte) ([]byte, error) {
-		if sid, ok := obs.PeekSession(req); ok {
-			logger.Debug("frame", obs.Session(sid), "bytes", len(req))
-		}
-		return handle(req)
-	}, workers)
 }

@@ -84,20 +84,25 @@ type SessionResult struct {
 // losses, resets, deadline blowouts, corrupted frames in either
 // direction, and confused response types are all worth a fresh session;
 // PAL refusals and missing provisioning are not — no amount of
-// retransmission conjures a human or a key.
+// retransmission conjures a human or a key. A remote error the server
+// explicitly marked permanent (e.g. a request it definitively refused)
+// is likewise fatal, while overload-shed and draining responses stay
+// retryable so the degradation machinery engages after a streak.
 func retryableSessionError(err error) bool {
 	if errors.Is(err, ErrPALFailed) || errors.Is(err, ErrNotProvisioned) {
 		return false
 	}
 	var remote *netsim.RemoteError
+	if errors.As(err, &remote) {
+		return remote.Code != netsim.ErrCodePermanent
+	}
 	switch {
 	case errors.Is(err, netsim.ErrTimeout),
 		errors.Is(err, netsim.ErrReset),
 		errors.Is(err, netsim.ErrDeadline),
 		errors.Is(err, netsim.ErrCorruptFrame),
 		errors.Is(err, ErrBadMessage),
-		errors.Is(err, ErrUnexpectedResponse),
-		errors.As(err, &remote):
+		errors.Is(err, ErrUnexpectedResponse):
 		return true
 	}
 	return false

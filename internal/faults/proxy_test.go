@@ -1,0 +1,219 @@
+package faults
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"unitp/internal/netsim"
+	"unitp/internal/sim"
+	"unitp/internal/wire"
+)
+
+// startEcho runs a plain wire echo server and returns its address.
+func startEcho(t *testing.T) string {
+	t.Helper()
+	srv := wire.NewServer(wire.ServerConfig{
+		Handler: func(req []byte) ([]byte, error) {
+			out := make([]byte, len(req))
+			copy(out, req)
+			return out, nil
+		},
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		srv.Shutdown()
+		<-done
+	})
+	return ln.Addr().String()
+}
+
+func startProxy(t *testing.T, cfg ProxyConfig) *Proxy {
+	t.Helper()
+	p := NewProxy(cfg)
+	if _, err := p.Start("127.0.0.1:0"); err != nil {
+		t.Fatalf("proxy start: %v", err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+func proxyClient(p *Proxy) *wire.Client {
+	return wire.NewClient(wire.ClientConfig{
+		Addr:            p.Addr(),
+		ResponseTimeout: 3 * time.Second,
+		ReconnectMin:    time.Millisecond,
+		ReconnectMax:    20 * time.Millisecond,
+	})
+}
+
+// TestProxyPassThrough checks a clean proxy is invisible to the
+// protocol.
+func TestProxyPassThrough(t *testing.T) {
+	target := startEcho(t)
+	p := startProxy(t, ProxyConfig{Target: target, Rng: sim.NewRand(1)})
+	c := proxyClient(p)
+	defer c.Close()
+	for i := 0; i < 10; i++ {
+		resp, err := c.RoundTrip([]byte("clean"))
+		if err != nil {
+			t.Fatalf("round trip %d: %v", i, err)
+		}
+		if string(resp) != "clean" {
+			t.Fatalf("round trip %d: got %q", i, resp)
+		}
+	}
+	st := p.Stats()
+	if st.Conns != 1 || st.Resets != 0 || st.Corrupted != 0 {
+		t.Fatalf("unexpected stats: %+v", st)
+	}
+	if st.BytesForwarded == 0 {
+		t.Fatal("no bytes counted")
+	}
+}
+
+// TestProxyReset checks a 100% reset rate kills every flow and the wire
+// client fails fast with a retryable error.
+func TestProxyReset(t *testing.T) {
+	target := startEcho(t)
+	p := startProxy(t, ProxyConfig{Target: target, Rng: sim.NewRand(2), ResetRate: 1})
+	c := proxyClient(p)
+	defer c.Close()
+	_, err := c.RoundTrip([]byte("doomed"))
+	if err == nil {
+		t.Fatal("round trip through 100% reset proxy succeeded")
+	}
+	if !netsim.DefaultRetryable(err) {
+		t.Fatalf("reset must classify retryable, got %v", err)
+	}
+	if st := p.Stats(); st.Resets == 0 {
+		t.Fatalf("no resets counted: %+v", st)
+	}
+}
+
+// TestProxyCorruption checks bit flips surface as codec errors, not
+// silent payload damage: the length-prefixed frame either fails to parse
+// or delivers a wrong body the protocol layer rejects.
+func TestProxyCorruption(t *testing.T) {
+	target := startEcho(t)
+	p := startProxy(t, ProxyConfig{Target: target, Rng: sim.NewRand(3), CorruptRate: 1})
+	c := proxyClient(p)
+	defer c.Close()
+	resp, err := c.RoundTrip([]byte("fragile"))
+	if err == nil && string(resp) == "fragile" {
+		t.Fatal("100% corruption delivered the payload intact")
+	}
+	if st := p.Stats(); st.Corrupted == 0 {
+		t.Fatalf("no corruptions counted: %+v", st)
+	}
+}
+
+// TestProxyPartition severs a healthy flow mid-conversation and heals:
+// the supervised client must reconnect and complete.
+func TestProxyPartition(t *testing.T) {
+	target := startEcho(t)
+	p := startProxy(t, ProxyConfig{Target: target, Rng: sim.NewRand(4)})
+	c := proxyClient(p)
+	defer c.Close()
+
+	if _, err := c.RoundTrip([]byte("before")); err != nil {
+		t.Fatalf("pre-partition: %v", err)
+	}
+
+	p.Partition()
+	if _, err := c.RoundTrip([]byte("during")); err == nil {
+		t.Fatal("round trip through open partition succeeded")
+	}
+	if st := p.Stats(); st.Severed == 0 {
+		t.Fatalf("no severed flows counted: %+v", st)
+	}
+
+	p.Heal()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if _, err := c.RoundTrip([]byte("after")); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("client never recovered after heal")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestProxyTruncation checks a cut-short frame is detected by the codec
+// (mid-frame EOF/reset), never delivered as a shorter valid frame.
+func TestProxyTruncation(t *testing.T) {
+	target := startEcho(t)
+	p := startProxy(t, ProxyConfig{Target: target, Rng: sim.NewRand(5), TruncateRate: 1})
+	c := proxyClient(p)
+	defer c.Close()
+	resp, err := c.RoundTrip([]byte("long enough to have something to cut"))
+	if err == nil {
+		t.Fatalf("truncated flow delivered %q", resp)
+	}
+	if st := p.Stats(); st.Truncated == 0 {
+		t.Fatalf("no truncations counted: %+v", st)
+	}
+}
+
+// TestProxySlowloris checks throttling slows delivery without breaking
+// it.
+func TestProxySlowloris(t *testing.T) {
+	target := startEcho(t)
+	// ~2 KB/s: a small frame takes noticeable but bounded time.
+	p := startProxy(t, ProxyConfig{Target: target, Rng: sim.NewRand(6), ThrottleBytesPerSec: 2048})
+	c := proxyClient(p)
+	defer c.Close()
+	start := time.Now()
+	resp, err := c.RoundTrip([]byte("slow lane"))
+	if err != nil {
+		t.Fatalf("throttled round trip: %v", err)
+	}
+	if string(resp) != "slow lane" {
+		t.Fatalf("got %q", resp)
+	}
+	if elapsed := time.Since(start); elapsed < 5*time.Millisecond {
+		t.Fatalf("throttle had no effect (%s)", elapsed)
+	}
+}
+
+// TestProxyDeterministicDecisions checks the same seed yields the same
+// fault decision stream for a fixed chunk sequence.
+func TestProxyDeterministicDecisions(t *testing.T) {
+	run := func() []bool {
+		rng := sim.NewRand(42).Fork("conn-1").Fork("c2s")
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = rng.Bool(0.3)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d diverged", i)
+		}
+	}
+}
+
+// TestProxyCloseIdempotence checks double Close errors but does not
+// wedge.
+func TestProxyCloseIdempotence(t *testing.T) {
+	target := startEcho(t)
+	p := NewProxy(ProxyConfig{Target: target, Rng: sim.NewRand(7)})
+	if _, err := p.Start("127.0.0.1:0"); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := p.Close(); err == nil {
+		t.Fatal("second close should report already closed")
+	}
+}

@@ -1,8 +1,9 @@
 // Package netsim provides the network substrate between clients and
 // service providers: an in-memory request/response transport with
 // modelled latency, jitter, and loss charged to the simulation clock,
-// plus a length-prefixed frame codec for running the same protocol over
-// real TCP connections (cmd/tpserver, cmd/tpclient).
+// plus a length-prefixed, checksummed frame codec for running the same
+// protocol over real TCP connections (internal/wire, cmd/tpserver,
+// cmd/tpclient).
 //
 // The transport exposes two fault-handling layers. An Injector hook
 // (implemented by internal/faults) decides the fate of each message
@@ -18,6 +19,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"sync"
 	"time"
@@ -52,10 +54,39 @@ var (
 type RemoteError struct {
 	// Msg is the peer's error text.
 	Msg string
+
+	// Code classifies the error for the sender's retry machinery (one
+	// of the ErrCode* constants). The zero value, ErrCodeGeneric, keeps
+	// the historical semantics: retryable, because a corrupted-in-flight
+	// request is indistinguishable from a bad request at the sender.
+	Code uint8
 }
 
 // Error implements error.
 func (e *RemoteError) Error() string { return "netsim: remote error: " + e.Msg }
+
+// Error-frame codes. They ride inside the error frame so a real wire
+// transport (internal/wire) can tell the sender *why* a request was
+// refused without tearing down the connection, and the sender's
+// RetryPolicy can react: back off and retry (overload shed, drain), or
+// stop immediately (permanent refusal).
+const (
+	// ErrCodeGeneric is a handler error with no further classification
+	// (retryable: the request may have been corrupted in flight).
+	ErrCodeGeneric uint8 = 0
+
+	// ErrCodeOverloaded marks a request or connection shed by an
+	// overloaded server; the sender should back off and retry.
+	ErrCodeOverloaded uint8 = 1
+
+	// ErrCodeDraining marks a server in graceful shutdown; the sender
+	// should reconnect (elsewhere, or later).
+	ErrCodeDraining uint8 = 2
+
+	// ErrCodePermanent marks a request the server definitively refused
+	// (e.g. a cross-shard batch); retrying cannot succeed.
+	ErrCodePermanent uint8 = 3
+)
 
 // Transport is a synchronous request/response channel to a remote peer —
 // the shape of the paper's client↔provider interaction (HTTPS POST-like).
@@ -481,8 +512,16 @@ func (p *Pipe) FaultStats() PipeStats {
 // MaxFrameSize bounds a single protocol frame on real connections.
 const MaxFrameSize = 1 << 20
 
-// WriteFrame writes a 4-byte big-endian length prefix followed by the
-// payload.
+// frameCRC is the frame checksum table (Castagnoli, the polynomial with
+// hardware support on common CPUs).
+var frameCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// WriteFrame writes a 4-byte big-endian length prefix, the payload, and
+// a 4-byte CRC32-C of the payload. TCP's 16-bit checksum misses real
+// bit flips often enough that an unauthenticated length-prefixed stream
+// would execute silently mutated requests; the trailer turns any
+// payload damage into ErrCorruptFrame at the reader, which the retry
+// machinery classifies as transient.
 func WriteFrame(w io.Writer, payload []byte) error {
 	if len(payload) > MaxFrameSize {
 		return ErrFrameTooLarge
@@ -495,10 +534,16 @@ func WriteFrame(w io.Writer, payload []byte) error {
 	if _, err := w.Write(payload); err != nil {
 		return fmt.Errorf("netsim: write frame body: %w", err)
 	}
+	var sum [4]byte
+	binary.BigEndian.PutUint32(sum[:], crc32.Checksum(payload, frameCRC))
+	if _, err := w.Write(sum[:]); err != nil {
+		return fmt.Errorf("netsim: write frame checksum: %w", err)
+	}
 	return nil
 }
 
-// ReadFrame reads one length-prefixed frame.
+// ReadFrame reads one length-prefixed frame and verifies its checksum
+// trailer; a mismatch returns ErrCorruptFrame.
 func ReadFrame(r io.Reader) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -512,31 +557,57 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return nil, fmt.Errorf("netsim: read frame body: %w", err)
 	}
+	var sum [4]byte
+	if _, err := io.ReadFull(r, sum[:]); err != nil {
+		return nil, fmt.Errorf("netsim: read frame checksum: %w", err)
+	}
+	if binary.BigEndian.Uint32(sum[:]) != crc32.Checksum(payload, frameCRC) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorruptFrame)
+	}
 	return payload, nil
 }
 
 // errorFrameTag prefixes an error frame on the wire. Protocol messages
 // never start with a zero byte (core message type tags start at 1), so
 // the two are unambiguous; handlers must not emit responses beginning
-// with 0x00.
+// with 0x00. The byte after the tag is the classification code
+// (ErrCode*), followed by the error text.
 const errorFrameTag = 0x00
 
-// EncodeErrorFrame renders a handler error as an error frame payload.
+// EncodeErrorFrame renders a handler error as a generic error frame
+// payload (ErrCodeGeneric).
 func EncodeErrorFrame(err error) []byte {
+	return EncodeErrorFrameCode(ErrCodeGeneric, err)
+}
+
+// EncodeErrorFrameCode renders an error as an error frame carrying an
+// explicit classification code.
+func EncodeErrorFrameCode(code uint8, err error) []byte {
 	msg := "unknown error"
 	if err != nil {
 		msg = err.Error()
 	}
-	return append([]byte{errorFrameTag}, msg...)
+	return append([]byte{errorFrameTag, code}, msg...)
 }
 
 // DecodeErrorFrame reports whether a frame is an error frame and, if so,
 // its message.
 func DecodeErrorFrame(frame []byte) (string, bool) {
+	_, msg, ok := DecodeErrorFrameCode(frame)
+	return msg, ok
+}
+
+// DecodeErrorFrameCode reports whether a frame is an error frame and, if
+// so, its classification code and message. A bare tag with no code byte
+// decodes as ErrCodeGeneric with an empty message.
+func DecodeErrorFrameCode(frame []byte) (uint8, string, bool) {
 	if len(frame) == 0 || frame[0] != errorFrameTag {
-		return "", false
+		return 0, "", false
 	}
-	return string(frame[1:]), true
+	if len(frame) == 1 {
+		return ErrCodeGeneric, "", true
+	}
+	return frame[1], string(frame[2:]), true
 }
 
 // ConnTransport runs the protocol over a real stream connection using the
@@ -563,8 +634,8 @@ func (c *ConnTransport) RoundTrip(req []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	if msg, isErr := DecodeErrorFrame(resp); isErr {
-		return nil, &RemoteError{Msg: msg}
+	if code, msg, isErr := DecodeErrorFrameCode(resp); isErr {
+		return nil, &RemoteError{Msg: msg, Code: code}
 	}
 	return resp, nil
 }

@@ -63,13 +63,18 @@ func DefaultRetryPolicy() RetryPolicy {
 // DefaultRetryable reports whether an error is transient at the
 // transport level: timeouts, resets, corrupted frames, and peer-reported
 // handler errors (a corrupted request looks like a handler error to the
-// sender) are retryable; everything else is fatal.
+// sender) are retryable — except a remote error the peer marked
+// permanent (ErrCodePermanent), which no retransmission can fix.
+// Everything else is fatal.
 func DefaultRetryable(err error) bool {
 	if errors.Is(err, ErrTimeout) || errors.Is(err, ErrReset) || errors.Is(err, ErrCorruptFrame) {
 		return true
 	}
 	var remote *RemoteError
-	return errors.As(err, &remote)
+	if errors.As(err, &remote) {
+		return remote.Code != ErrCodePermanent
+	}
+	return false
 }
 
 // normalize fills zero fields with defaults.

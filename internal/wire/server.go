@@ -1,0 +1,560 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"unitp/internal/netsim"
+	"unitp/internal/obs"
+)
+
+// ServerConfig configures a hardened frame server.
+type ServerConfig struct {
+	// Handler processes requests when no Handshake hook is installed
+	// (or when the hook returns a nil per-connection handler).
+	Handler netsim.Handler
+
+	// Handshake, when non-nil, runs a protocol-specific handshake on
+	// each new connection (e.g. tpserver's enrollment exchange) before
+	// frame service starts, and may return a per-connection handler.
+	// Returning an error abandons the connection. The conn already
+	// carries read/write deadlines while the hook runs.
+	Handshake func(conn net.Conn) (netsim.Handler, error)
+
+	// Classify maps a handler error to an error-frame code
+	// (netsim.ErrCode*). nil uses DefaultClassify.
+	Classify func(error) uint8
+
+	// Workers bounds concurrently handled requests per connection
+	// (responses stay in request order). <= 1 serves serially. Beyond
+	// the worker pool the connection's reads stop — TCP backpressure,
+	// not unbounded queueing.
+	Workers int
+
+	// MaxConns bounds the accept pool; further connections are shed
+	// with a retryable ErrCodeOverloaded error frame. Default
+	// DefaultMaxConns.
+	MaxConns int
+
+	// MaxConnsPerPeer bounds connections per remote IP. Default
+	// DefaultMaxConnsPerPeer.
+	MaxConnsPerPeer int
+
+	// PeerFramesPerSec, when > 0, token-bucket rate-limits request
+	// frames per peer IP; over-rate frames are answered with a
+	// retryable ErrCodeOverloaded error frame instead of reaching the
+	// handler.
+	PeerFramesPerSec float64
+
+	// PeerBurst is the token-bucket capacity (default DefaultPeerBurst).
+	PeerBurst int
+
+	// IdleTimeout closes connections with no frame activity (default
+	// DefaultIdleTimeout).
+	IdleTimeout time.Duration
+
+	// WriteTimeout bounds each frame write (default
+	// DefaultWriteTimeout).
+	WriteTimeout time.Duration
+
+	// DrainTimeout bounds graceful shutdown's wait for in-flight
+	// requests to answer (default DefaultDrainTimeout).
+	DrainTimeout time.Duration
+
+	// Metrics receives connection-lifecycle counters, the shed count,
+	// and the frame-size histogram. nil runs unmetered.
+	Metrics *obs.Registry
+
+	// Logger receives connection-level diagnostics. nil is silent.
+	Logger *slog.Logger
+
+	// Now overrides the wall clock (token-bucket and deadline tests).
+	Now func() time.Time
+}
+
+// DefaultClassify maps the package's shed/drain errors to their frame
+// codes and everything else to ErrCodeGeneric.
+func DefaultClassify(err error) uint8 {
+	switch {
+	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrRateLimited), errors.Is(err, ErrQuota):
+		return netsim.ErrCodeOverloaded
+	case errors.Is(err, ErrDraining):
+		return netsim.ErrCodeDraining
+	default:
+		return netsim.ErrCodeGeneric
+	}
+}
+
+// peer tracks one remote IP's connection count and token bucket.
+type peer struct {
+	conns  int
+	tokens float64
+	last   time.Time
+}
+
+// Server is a hardened TCP frame server. Construct with NewServer, run
+// with Serve, stop with Shutdown.
+type Server struct {
+	cfg ServerConfig
+	now func() time.Time // injectable for token-bucket tests
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	peers    map[string]*peer
+	draining bool
+	pending  int           // accepted frames not yet answered/flushed
+	drainCh  chan struct{} // closed when draining and pending hits zero
+
+	connWG sync.WaitGroup // live connection goroutines
+}
+
+// NewServer builds a server; zero config fields take the package
+// defaults.
+func NewServer(cfg ServerConfig) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.MaxConns <= 0 {
+		cfg.MaxConns = DefaultMaxConns
+	}
+	if cfg.MaxConnsPerPeer <= 0 {
+		cfg.MaxConnsPerPeer = DefaultMaxConnsPerPeer
+	}
+	if cfg.PeerBurst <= 0 {
+		cfg.PeerBurst = DefaultPeerBurst
+	}
+	if cfg.IdleTimeout <= 0 {
+		cfg.IdleTimeout = DefaultIdleTimeout
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = DefaultWriteTimeout
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = DefaultDrainTimeout
+	}
+	if cfg.Classify == nil {
+		cfg.Classify = DefaultClassify
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	return &Server{
+		cfg:   cfg,
+		now:   now,
+		conns: map[net.Conn]struct{}{},
+		peers: map[string]*peer{},
+	}
+}
+
+// Serve accepts connections on ln until Shutdown (which returns nil) or
+// a listener error. Each connection runs the handshake hook, then frame
+// service under the server's hardening policy.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		ln.Close()
+		return ErrDraining
+	}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.isDraining() || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		s.admit(conn)
+	}
+}
+
+// isDraining reads the drain flag.
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// peerKey extracts the remote IP (quota/rate-limit identity).
+func peerKey(conn net.Conn) string {
+	host, _, err := net.SplitHostPort(conn.RemoteAddr().String())
+	if err != nil {
+		return conn.RemoteAddr().String()
+	}
+	return host
+}
+
+// refuse answers a connection the server will not serve with a single
+// error frame (best effort, bounded by the write timeout) and closes it.
+// The shutdown sequence half-closes and briefly drains the peer's
+// in-flight bytes: an abrupt Close with unread data would RST the
+// socket and discard the refusal frame before the peer reads it.
+func (s *Server) refuse(conn net.Conn, code uint8, cause error) {
+	conn.SetWriteDeadline(s.now().Add(s.cfg.WriteTimeout))
+	_ = netsim.WriteFrame(conn, netsim.EncodeErrorFrameCode(code, cause))
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.CloseWrite()
+		tc.SetReadDeadline(s.now().Add(time.Second))
+		io.Copy(io.Discard, tc)
+	}
+	conn.Close()
+}
+
+// admit applies the drain flag, per-peer quota, and accept-pool bound,
+// then hands the connection to its serve goroutine.
+func (s *Server) admit(conn net.Conn) {
+	key := peerKey(conn)
+	s.mu.Lock()
+	switch {
+	case s.draining:
+		s.mu.Unlock()
+		s.count("wire.conns_refused_draining")
+		go s.refuse(conn, netsim.ErrCodeDraining, ErrDraining)
+		return
+	case len(s.conns) >= s.cfg.MaxConns:
+		s.mu.Unlock()
+		s.count("wire.conns_shed")
+		go s.refuse(conn, netsim.ErrCodeOverloaded, ErrOverloaded)
+		return
+	case s.peerConnsLocked(key) >= s.cfg.MaxConnsPerPeer:
+		s.mu.Unlock()
+		s.count("wire.conns_rejected_quota")
+		go s.refuse(conn, netsim.ErrCodeOverloaded, ErrQuota)
+		return
+	}
+	s.conns[conn] = struct{}{}
+	p := s.peers[key]
+	if p == nil {
+		p = &peer{tokens: float64(s.cfg.PeerBurst), last: s.now()}
+		s.peers[key] = p
+	}
+	p.conns++
+	s.connWG.Add(1)
+	s.mu.Unlock()
+
+	s.count("wire.conns_accepted")
+	s.gaugeAdd("wire.conns_active", 1)
+	go func() {
+		defer s.connWG.Done()
+		defer s.gaugeAdd("wire.conns_active", -1)
+		defer s.release(conn, key)
+		if err := s.serveConn(conn, key); err != nil && !s.isDraining() {
+			s.count("wire.conn_errors")
+			if s.cfg.Logger != nil {
+				s.cfg.Logger.Debug("wire: connection failed",
+					"remote", conn.RemoteAddr().String(), "err", err)
+			}
+		}
+	}()
+}
+
+// peerConnsLocked reads a peer's live connection count.
+func (s *Server) peerConnsLocked(key string) int {
+	if p := s.peers[key]; p != nil {
+		return p.conns
+	}
+	return 0
+}
+
+// release closes a connection and unwinds its bookkeeping.
+func (s *Server) release(conn net.Conn, key string) {
+	conn.Close()
+	s.mu.Lock()
+	delete(s.conns, conn)
+	if p := s.peers[key]; p != nil {
+		p.conns--
+		if p.conns <= 0 {
+			delete(s.peers, key)
+		}
+	}
+	s.mu.Unlock()
+}
+
+// addPending records one accepted frame awaiting its answer.
+func (s *Server) addPending() {
+	s.mu.Lock()
+	s.pending++
+	s.mu.Unlock()
+}
+
+// donePending releases one answered (or abandoned) frame and signals
+// the drain waiter when the last one flushes.
+func (s *Server) donePending() {
+	s.mu.Lock()
+	s.pending--
+	if s.draining && s.pending <= 0 && s.drainCh != nil {
+		close(s.drainCh)
+		s.drainCh = nil
+	}
+	s.mu.Unlock()
+}
+
+// takeToken refills the peer's bucket from the wall clock and consumes
+// one token; false means the frame is over the rate limit.
+func (s *Server) takeToken(key string) bool {
+	if s.cfg.PeerFramesPerSec <= 0 {
+		return true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.peers[key]
+	if p == nil {
+		return true // connection already released; let the frame pass
+	}
+	now := s.now()
+	p.tokens += now.Sub(p.last).Seconds() * s.cfg.PeerFramesPerSec
+	if p.tokens > float64(s.cfg.PeerBurst) {
+		p.tokens = float64(s.cfg.PeerBurst)
+	}
+	p.last = now
+	if p.tokens < 1 {
+		return false
+	}
+	p.tokens--
+	return true
+}
+
+// armRead sets the idle read deadline unless the server is draining (a
+// drain nudge must not be overwritten, or the reader would sleep
+// through the drain window).
+func (s *Server) armRead(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	conn.SetReadDeadline(s.now().Add(s.cfg.IdleTimeout))
+	return true
+}
+
+// serveConn runs the handshake and then the frame loop: reads are
+// bounded by the idle deadline and the peer's token bucket, handling
+// fans out to the bounded worker pool, and responses are written back
+// in request order under the write deadline.
+func (s *Server) serveConn(conn net.Conn, key string) error {
+	handler := s.cfg.Handler
+	if s.cfg.Handshake != nil {
+		conn.SetReadDeadline(s.now().Add(s.cfg.IdleTimeout))
+		conn.SetWriteDeadline(s.now().Add(s.cfg.WriteTimeout))
+		h, err := s.cfg.Handshake(conn)
+		if err != nil {
+			s.count("wire.handshake_failures")
+			return fmt.Errorf("wire: handshake: %w", err)
+		}
+		if h != nil {
+			handler = h
+		}
+	}
+
+	type job struct {
+		seq int
+		req []byte
+	}
+	type result struct {
+		seq  int
+		resp []byte
+	}
+	jobs := make(chan job, s.cfg.Workers)
+	results := make(chan result, s.cfg.Workers)
+	writeErr := make(chan error, 1)
+
+	var workWG sync.WaitGroup
+	for w := 0; w < s.cfg.Workers; w++ {
+		workWG.Add(1)
+		go func() {
+			defer workWG.Done()
+			for jb := range jobs {
+				resp, err := handler(jb.req)
+				if err != nil {
+					resp = netsim.EncodeErrorFrameCode(s.cfg.Classify(err), err)
+				}
+				results <- result{seq: jb.seq, resp: resp}
+			}
+		}()
+	}
+	go func() {
+		workWG.Wait()
+		close(results)
+	}()
+
+	// Writer: reorder completions back into request order (clients
+	// match responses positionally). Every accepted frame is answered —
+	// or its write abandoned — exactly once, releasing the drain
+	// WaitGroup. After a write failure the writer keeps draining so
+	// workers never block on a full results channel.
+	go func() {
+		defer close(writeErr)
+		hold := make(map[int][]byte)
+		next := 0
+		failed := false
+		for res := range results {
+			hold[res.seq] = res.resp
+			for {
+				resp, ok := hold[next]
+				if !ok {
+					break
+				}
+				delete(hold, next)
+				next++
+				if !failed {
+					conn.SetWriteDeadline(s.now().Add(s.cfg.WriteTimeout))
+					if err := netsim.WriteFrame(conn, resp); err != nil {
+						failed = true
+						writeErr <- err
+					} else {
+						s.observeFrame(len(resp))
+					}
+				}
+				s.donePending()
+			}
+		}
+	}()
+
+	var readErr error
+	seq := 0
+	for {
+		if !s.armRead(conn) {
+			break // draining: no new frames, flush what is in flight
+		}
+		req, err := netsim.ReadFrame(conn)
+		if err != nil {
+			switch {
+			case errors.Is(err, io.EOF), errors.Is(err, io.ErrUnexpectedEOF):
+				// Clean (or mid-frame) hangup by the peer.
+			case errors.Is(err, os.ErrDeadlineExceeded):
+				if !s.isDraining() {
+					s.count("wire.idle_closed")
+				}
+			default:
+				readErr = err
+			}
+			break
+		}
+		s.count("wire.requests")
+		s.observeFrame(len(req))
+		s.addPending()
+		if !s.takeToken(key) {
+			s.count("wire.rate_limited")
+			results <- result{seq: seq, resp: netsim.EncodeErrorFrameCode(netsim.ErrCodeOverloaded, ErrRateLimited)}
+			seq++
+			continue
+		}
+		jobs <- job{seq: seq, req: req}
+		seq++
+	}
+	close(jobs)
+	werr := <-writeErr // nil once the writer flushed everything
+	if readErr != nil {
+		return readErr
+	}
+	return werr
+}
+
+// Shutdown gracefully drains the server: stop accepting (new
+// connections are refused with ErrCodeDraining), nudge every reader so
+// no further frames are accepted, wait up to DrainTimeout for accepted
+// frames to be answered and flushed, then close all connections. It
+// returns ErrDraining-wrapped context if the deadline forced connections
+// closed with requests still unanswered.
+func (s *Server) Shutdown() error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	ln := s.ln
+	live := make([]net.Conn, 0, len(s.conns))
+	for conn := range s.conns {
+		live = append(live, conn)
+	}
+	drained := make(chan struct{})
+	if s.pending <= 0 {
+		close(drained)
+	} else {
+		s.drainCh = drained
+	}
+	s.mu.Unlock()
+
+	if ln != nil {
+		ln.Close()
+	}
+	// Unblock every reader: a past read deadline fails current and
+	// future reads, and armRead refuses to re-arm while draining.
+	past := s.now().Add(-time.Second)
+	for _, conn := range live {
+		conn.SetReadDeadline(past)
+	}
+
+	var forced error
+	select {
+	case <-drained:
+	case <-time.After(s.cfg.DrainTimeout):
+		forced = fmt.Errorf("%w: drain deadline (%s) forced connections closed", ErrDraining, s.cfg.DrainTimeout)
+		s.count("wire.drain_forced")
+	}
+
+	s.mu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	if forced == nil {
+		s.connWG.Wait()
+		return nil
+	}
+	// Forced: a wedged handler goroutine can never be killed, only
+	// abandoned. Give the connection goroutines a moment to unwind off
+	// their closed sockets, then leak whatever is still stuck.
+	settled := make(chan struct{})
+	go func() {
+		s.connWG.Wait()
+		close(settled)
+	}()
+	select {
+	case <-settled:
+	case <-time.After(time.Second):
+	}
+	return forced
+}
+
+// ActiveConns reports the live connection count (tests, readiness).
+func (s *Server) ActiveConns() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
+// count bumps a counter (nil-registry safe).
+func (s *Server) count(name string) {
+	if s.cfg.Metrics != nil {
+		s.cfg.Metrics.Counter(name).Inc()
+	}
+}
+
+// gaugeAdd moves a gauge (nil-registry safe).
+func (s *Server) gaugeAdd(name string, delta int64) {
+	if s.cfg.Metrics != nil {
+		s.cfg.Metrics.Gauge(name).Add(delta)
+	}
+}
+
+// observeFrame records one frame's size in the wire.frame_bytes
+// histogram. The registry's histograms are microsecond-bucketed
+// durations, so sizes are recorded at 1 µs per byte: a rendered
+// "1.0 ms" bucket reads as a 1000-byte frame.
+func (s *Server) observeFrame(n int) {
+	if s.cfg.Metrics != nil {
+		s.cfg.Metrics.Observe("wire.frame_bytes", time.Duration(n)*time.Microsecond)
+	}
+}
