@@ -27,7 +27,7 @@ func main() {
 
 func run() int {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run (all, t1, t2, t3, f1..f14)")
+		exp      = flag.String("exp", "all", "experiment to run (all, t1, t2, t3, f1..f15)")
 		list     = flag.Bool("list", false, "list experiments and exit")
 		save     = flag.String("save", "", "directory to write per-experiment result files into")
 		recovery = flag.Bool("recovery", false, "benchmark WAL replay throughput instead of running experiments")

@@ -47,6 +47,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"syscall"
+	"time"
 
 	"unitp/internal/attest"
 	"unitp/internal/core"
@@ -79,6 +80,17 @@ func run() error {
 		shards    = flag.Int("shards", 1, "provider shards; >1 fronts them with a consistent-hash router (accounts partition across shards)")
 		followers = flag.Int("followers", 1, "follower replicas per shard, fed by synchronous WAL shipping (fleet mode only)")
 
+		role         = flag.String("role", "single", "process role: single (this process is the whole deployment; -shards>1 runs an in-process fleet), primary/follower (one shard member process), router (front remote shard processes), supervisor (spawn a local fleet of child processes)")
+		shardIndex   = flag.Int("shard-index", 0, "this member's shard (node roles)")
+		member       = flag.Int("member", 0, "this member's id within its shard (node roles)")
+		epoch        = flag.Uint64("epoch", 1, "starting epoch for a virgin data dir (node roles)")
+		peers        = flag.String("peers", "", "follower ship endpoints as member=addr,... (role primary)")
+		killBefore   = flag.Uint64("kill-before-ship", 0, "chaos: SIGKILL self immediately before shipping the batch that crosses this absolute stream offset (0 = off)")
+		killAfter    = flag.Uint64("kill-after-ship", 0, "chaos: SIGKILL self immediately after shipping the batch that crosses this absolute stream offset (0 = off)")
+		seedAccounts = flag.Int("seed-accounts", 0, "seed this many workload accounts (acct-00000..) plus their drain sink (node roles)")
+		fleetSpec    = flag.String("fleet", "", "router topology: shards ';'-separated, members ','-separated, each id=addr[~shipaddr]; first member is the believed primary (role router)")
+		healthEvery  = flag.Duration("health-every", 250*time.Millisecond, "warden health-check interval (role router)")
+
 		maxConns  = flag.Int("max-conns", wire.DefaultMaxConns, "accept-pool bound; further connections are shed with a retryable error frame")
 		peerConns = flag.Int("max-conns-per-peer", wire.DefaultMaxConnsPerPeer, "connection quota per remote IP")
 		peerRate  = flag.Float64("rate-limit", 0, "per-peer request frames per second (0 = unlimited)")
@@ -92,6 +104,30 @@ func run() error {
 		return err
 	}
 	logger := obs.NewLogger(os.Stderr, level)
+
+	if *role != "single" {
+		return runRole(roleParams{
+			role:         *role,
+			addr:         *addr,
+			adminAddr:    *adminAddr,
+			dataDir:      *dataDir,
+			threshold:    *threshold,
+			snapEvery:    *snapEvery,
+			workers:      *workers,
+			logger:       logger,
+			shardIndex:   *shardIndex,
+			member:       *member,
+			epoch:        *epoch,
+			peers:        *peers,
+			killBefore:   *killBefore,
+			killAfter:    *killAfter,
+			seedAccounts: *seedAccounts,
+			fleetSpec:    *fleetSpec,
+			healthEvery:  *healthEvery,
+			shards:       *shards,
+			followers:    *followers,
+		})
+	}
 
 	clock := sim.WallClock{}
 	rng := sim.NewRand(uint64(os.Getpid()))
@@ -362,6 +398,7 @@ func buildFleetEngine(p fleetParams) (engine, error) {
 					"epoch":     s.Epoch(),
 					"failovers": s.Failovers(),
 					"followers": s.FollowerApplied(),
+					"links":     linkHealthDetail(s.LinkHealth(), p.clock),
 				}
 			}
 			return obs.Readiness{Ready: ready, Detail: detail}

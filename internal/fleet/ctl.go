@@ -1,0 +1,248 @@
+package fleet
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"unitp/internal/cryptoutil"
+	"unitp/internal/netsim"
+)
+
+// The control protocol is the fleet's supervision channel: short-lived
+// connections opened with a HelloCtl handshake, carrying one request
+// frame and one response. The router's warden uses it to probe member
+// health (status), to drive failover (promote against the most
+// caught-up follower), to re-attach orphaned followers to the current
+// primary (adopt), and to stand down stale primaries it discovers
+// (demote). Every command carries or returns epochs, so a command from
+// a stale observer is refused or collapses into a no-op — the same
+// idempotence discipline Failover(observedEpoch) has in-process.
+
+// Control frame tags (requests 0x21.., responses 0x41..).
+const (
+	ctlStatus  uint8 = 0x21
+	ctlPromote uint8 = 0x22
+	ctlAdopt   uint8 = 0x23
+	ctlDemote  uint8 = 0x24
+
+	ctlStatusResp uint8 = 0x41
+	ctlOK         uint8 = 0x42
+)
+
+// MemberStatus is one shard member's self-reported state, served over
+// the control channel and aggregated on the router's admin plane.
+type MemberStatus struct {
+	Member  int
+	Role    uint8 // WelcomePrimary or WelcomeFollower
+	Epoch   uint64
+	Applied uint64 // follower: applied stream offset; primary: ship frontier
+	Healthy bool   // primary: provider alive and ready; follower: process up
+	Fenced  bool   // the member's provider was fenced (deposed primary)
+	Links   []LinkStatus
+}
+
+// LinkStatus is one replication link's position as seen by the primary,
+// with freshness expressed as an age (wire-friendly, clock-skew-free).
+type LinkStatus struct {
+	Member   int
+	Acked    uint64
+	Lag      uint64
+	AckAgeMS int64
+}
+
+// promoteCmd orders a follower to restore a primary at NewEpoch from
+// its own durable segment and re-bootstrap the listed survivors.
+type promoteCmd struct {
+	NewEpoch  uint64
+	Survivors []PeerAddr
+}
+
+// adoptCmd orders a primary to bootstrap one follower into its replica
+// set (idempotent when the member is already linked).
+type adoptCmd struct {
+	Member int
+	Addr   string
+}
+
+// demoteCmd orders a primary serving an epoch older than Epoch to fence
+// itself and rejoin as a follower awaiting adoption.
+type demoteCmd struct {
+	Epoch uint64
+}
+
+// PeerAddr names one shard member's WAL-shipping endpoint.
+type PeerAddr struct {
+	Member int
+	Addr   string
+}
+
+func encodeStatusReq() []byte {
+	b := cryptoutil.NewBuffer(4)
+	b.PutUint8(ctlStatus)
+	return b.Bytes()
+}
+
+func encodeStatusResp(st MemberStatus) []byte {
+	b := cryptoutil.NewBuffer(64)
+	b.PutUint8(ctlStatusResp)
+	b.PutUint32(uint32(st.Member))
+	b.PutUint8(st.Role)
+	b.PutUint64(st.Epoch)
+	b.PutUint64(st.Applied)
+	b.PutBool(st.Healthy)
+	b.PutBool(st.Fenced)
+	b.PutUint32(uint32(len(st.Links)))
+	for _, l := range st.Links {
+		b.PutUint32(uint32(l.Member))
+		b.PutUint64(l.Acked)
+		b.PutUint64(l.Lag)
+		b.PutUint64(uint64(l.AckAgeMS))
+	}
+	return b.Bytes()
+}
+
+func decodeStatusResp(data []byte) (MemberStatus, error) {
+	r := cryptoutil.NewReader(data)
+	if tag := r.Uint8(); r.Err() == nil && tag != ctlStatusResp {
+		return MemberStatus{}, fmt.Errorf("fleet: ctl: not a status response (tag %#x)", tag)
+	}
+	st := MemberStatus{
+		Member: int(r.Uint32()), Role: r.Uint8(),
+		Epoch: r.Uint64(), Applied: r.Uint64(),
+		Healthy: r.Bool(), Fenced: r.Bool(),
+	}
+	n := int(r.Uint32())
+	if r.Err() != nil {
+		return MemberStatus{}, fmt.Errorf("fleet: ctl status: %w", r.Err())
+	}
+	for i := 0; i < n; i++ {
+		st.Links = append(st.Links, LinkStatus{
+			Member: int(r.Uint32()), Acked: r.Uint64(), Lag: r.Uint64(), AckAgeMS: int64(r.Uint64()),
+		})
+	}
+	if err := r.ExpectEOF(); err != nil {
+		return MemberStatus{}, fmt.Errorf("fleet: ctl status: %w", err)
+	}
+	return st, nil
+}
+
+func encodePromote(cmd promoteCmd) []byte {
+	b := cryptoutil.NewBuffer(64)
+	b.PutUint8(ctlPromote)
+	b.PutUint64(cmd.NewEpoch)
+	b.PutUint32(uint32(len(cmd.Survivors)))
+	for _, p := range cmd.Survivors {
+		b.PutUint32(uint32(p.Member))
+		b.PutString(p.Addr)
+	}
+	return b.Bytes()
+}
+
+func encodeAdopt(cmd adoptCmd) []byte {
+	b := cryptoutil.NewBuffer(32)
+	b.PutUint8(ctlAdopt)
+	b.PutUint32(uint32(cmd.Member))
+	b.PutString(cmd.Addr)
+	return b.Bytes()
+}
+
+func encodeDemote(cmd demoteCmd) []byte {
+	b := cryptoutil.NewBuffer(16)
+	b.PutUint8(ctlDemote)
+	b.PutUint64(cmd.Epoch)
+	return b.Bytes()
+}
+
+func encodeCtlOK() []byte {
+	b := cryptoutil.NewBuffer(4)
+	b.PutUint8(ctlOK)
+	return b.Bytes()
+}
+
+// decodeCtlReq decodes one control request; exactly one of the result
+// fields is set.
+type ctlReq struct {
+	status  bool
+	promote *promoteCmd
+	adopt   *adoptCmd
+	demote  *demoteCmd
+}
+
+func decodeCtlReq(data []byte) (ctlReq, error) {
+	r := cryptoutil.NewReader(data)
+	switch tag := r.Uint8(); tag {
+	case ctlStatus:
+		if err := r.ExpectEOF(); err != nil {
+			return ctlReq{}, fmt.Errorf("fleet: ctl status req: %w", err)
+		}
+		return ctlReq{status: true}, nil
+	case ctlPromote:
+		cmd := &promoteCmd{NewEpoch: r.Uint64()}
+		n := int(r.Uint32())
+		if r.Err() != nil {
+			return ctlReq{}, fmt.Errorf("fleet: ctl promote: %w", r.Err())
+		}
+		for i := 0; i < n; i++ {
+			cmd.Survivors = append(cmd.Survivors, PeerAddr{Member: int(r.Uint32()), Addr: r.String()})
+		}
+		if err := r.ExpectEOF(); err != nil {
+			return ctlReq{}, fmt.Errorf("fleet: ctl promote: %w", err)
+		}
+		return ctlReq{promote: cmd}, nil
+	case ctlAdopt:
+		cmd := &adoptCmd{Member: int(r.Uint32()), Addr: r.String()}
+		if err := r.ExpectEOF(); err != nil {
+			return ctlReq{}, fmt.Errorf("fleet: ctl adopt: %w", err)
+		}
+		return ctlReq{adopt: cmd}, nil
+	case ctlDemote:
+		cmd := &demoteCmd{Epoch: r.Uint64()}
+		if err := r.ExpectEOF(); err != nil {
+			return ctlReq{}, fmt.Errorf("fleet: ctl demote: %w", err)
+		}
+		return ctlReq{demote: cmd}, nil
+	default:
+		return ctlReq{}, fmt.Errorf("fleet: unknown ctl frame tag %#x", tag)
+	}
+}
+
+// ctlRoundTrip opens a one-shot control connection: dial, HelloCtl
+// handshake, one request, one response. Refusals and remote errors
+// surface as *netsim.RemoteError with their wire code intact.
+func ctlRoundTrip(addr string, shard int, req []byte, timeout time.Duration) ([]byte, Welcome, error) {
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, Welcome{}, fmt.Errorf("fleet: ctl dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(timeout))
+	w, err := sendHello(conn, Hello{Kind: HelloCtl, Shard: uint32(shard)})
+	if err != nil {
+		return nil, Welcome{}, err
+	}
+	if err := netsim.WriteFrame(conn, req); err != nil {
+		return nil, Welcome{}, fmt.Errorf("fleet: ctl write: %w", err)
+	}
+	resp, err := netsim.ReadFrame(conn)
+	if err != nil {
+		return nil, Welcome{}, fmt.Errorf("fleet: ctl read: %w", err)
+	}
+	if code, msg, isErr := netsim.DecodeErrorFrameCode(resp); isErr {
+		return nil, w, &netsim.RemoteError{Msg: msg, Code: code}
+	}
+	return resp, w, nil
+}
+
+// Probe asks one member for its status over the control channel —
+// exported for harnesses and operational tooling.
+func Probe(addr string, shard int, timeout time.Duration) (MemberStatus, error) {
+	resp, _, err := ctlRoundTrip(addr, shard, encodeStatusReq(), timeout)
+	if err != nil {
+		return MemberStatus{}, err
+	}
+	return decodeStatusResp(resp)
+}

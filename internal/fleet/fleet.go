@@ -44,6 +44,12 @@ var (
 	// if it applied the offered frame.
 	ErrOffsetGap = errors.New("fleet: replication offset gap")
 
+	// ErrPrimaryUnreachable marks a remote shard whose believed primary
+	// cannot be reached over the wire — a failover trigger: the router
+	// must probe the membership and promote (or re-resolve) rather than
+	// keep dialing a dead process.
+	ErrPrimaryUnreachable = errors.New("fleet: primary unreachable")
+
 	// ErrCrossShard is returned by the router for a batch whose debit
 	// accounts hash to different shards. Sharded mode requires a batch
 	// to live on one shard — executing it on the first account's shard

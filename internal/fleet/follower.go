@@ -53,6 +53,32 @@ func (f *Follower) Epoch() uint64 {
 	return f.epoch
 }
 
+// raiseEpoch lifts the follower's fence floor: frames from epochs below
+// it are refused. Used when a node restarts from (or learns) a durable
+// epoch before any frame arrives; never lowers the floor.
+func (f *Follower) raiseEpoch(epoch uint64) {
+	f.mu.Lock()
+	if epoch > f.epoch {
+		f.epoch = epoch
+	}
+	f.mu.Unlock()
+}
+
+// Close releases the follower's store on graceful shutdown. The
+// follower keeps refusing frames afterwards (its store is gone), which
+// is indistinguishable from fencing to the primary — correct, since a
+// closed follower must not ack durability it can no longer provide.
+func (f *Follower) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.st != nil {
+		err := f.st.Close()
+		f.st = nil
+		return err
+	}
+	return nil
+}
+
 // Handle is the follower's replication wire endpoint (netsim.Handler).
 // Every frame is answered with an ack; fencing and gap refusals are
 // acks too, so the primary always learns the follower's position.

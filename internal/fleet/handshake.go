@@ -1,0 +1,186 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+
+	"unitp/internal/cryptoutil"
+	"unitp/internal/netsim"
+	"unitp/internal/wire"
+)
+
+// The role handshake is how epoch fencing crosses process boundaries.
+// Every connection between fleet roles — router→primary request hops,
+// primary→follower WAL shipping, and the control channel — opens with a
+// versioned Hello naming who is calling (shard, member, kind) and where
+// they believe the shard stands (epoch, stream offset). The accepting
+// node compares the caller's epoch against its own lineage and answers
+// with either a Welcome (its current role, epoch, and applied offset)
+// or a refusal error frame carrying netsim.ErrCodeFenced — a fatal,
+// non-retryable verdict delivered at the socket edge, before a single
+// payload frame is exchanged.
+//
+// The handshake runs on every (re)connect: the supervised wire.Client
+// re-sends it after a drop, reading the sender's LIVE epoch and offset
+// at reconnect time, so a primary deposed while a link was down learns
+// of its deposition the instant it redials, and a follower that failed
+// over can never be acked into a stale lineage. This is the wire
+// equivalent of the in-process rule that a fenced provider refuses
+// every call.
+
+// HelloVersion is the role-handshake protocol version. A mismatched
+// version is refused with ErrCodePermanent — old and new binaries do
+// not silently interoperate.
+const HelloVersion uint8 = 1
+
+// Hello kinds: what the connection will carry.
+const (
+	// HelloRouter opens a client-request channel; only a live,
+	// un-fenced primary accepts it.
+	HelloRouter uint8 = iota + 1
+
+	// HelloShip opens a WAL-shipping channel from a primary to a
+	// follower; refused (fenced) when the caller's epoch is stale.
+	HelloShip
+
+	// HelloCtl opens a control channel (status probes, promote, adopt,
+	// demote); any live member accepts it regardless of role.
+	HelloCtl
+)
+
+// Welcome roles: what the accepting member currently is.
+const (
+	WelcomePrimary uint8 = iota + 1
+	WelcomeFollower
+)
+
+// Hello is the first frame on every fleet connection.
+type Hello struct {
+	Version uint8
+	Kind    uint8
+	Shard   uint32
+	Member  uint32 // sender's member index (0 for the router)
+	Epoch   uint64 // the epoch the sender believes the shard serves at
+	Offset  uint64 // sender's replication stream offset (ship links)
+}
+
+// Welcome is the accepting member's answer to an acceptable Hello.
+type Welcome struct {
+	Version uint8
+	Role    uint8  // WelcomePrimary or WelcomeFollower
+	Epoch   uint64 // the member's current epoch
+	Applied uint64 // the member's stream position (followers) or frontier (primaries)
+}
+
+// helloTag / welcomeTag keep handshake frames disjoint from replication
+// and control frames (and from error frames, which start with 0x00).
+const (
+	helloTag   uint8 = 0x48 // 'H'
+	welcomeTag uint8 = 0x57 // 'W'
+)
+
+// EncodeHello serializes a Hello, stamping the protocol version.
+func EncodeHello(h Hello) []byte {
+	if h.Version == 0 {
+		h.Version = HelloVersion
+	}
+	b := cryptoutil.NewBuffer(32)
+	b.PutUint8(helloTag)
+	b.PutUint8(h.Version)
+	b.PutUint8(h.Kind)
+	b.PutUint32(h.Shard)
+	b.PutUint32(h.Member)
+	b.PutUint64(h.Epoch)
+	b.PutUint64(h.Offset)
+	return b.Bytes()
+}
+
+// DecodeHello parses a Hello frame.
+func DecodeHello(data []byte) (Hello, error) {
+	r := cryptoutil.NewReader(data)
+	if tag := r.Uint8(); r.Err() == nil && tag != helloTag {
+		return Hello{}, fmt.Errorf("fleet: handshake: not a hello frame (tag %#x)", tag)
+	}
+	h := Hello{
+		Version: r.Uint8(), Kind: r.Uint8(),
+		Shard: r.Uint32(), Member: r.Uint32(),
+		Epoch: r.Uint64(), Offset: r.Uint64(),
+	}
+	if err := r.ExpectEOF(); err != nil {
+		return Hello{}, fmt.Errorf("fleet: hello frame: %w", err)
+	}
+	if h.Version != HelloVersion {
+		return Hello{}, fmt.Errorf("fleet: hello version %d, this node speaks %d", h.Version, HelloVersion)
+	}
+	switch h.Kind {
+	case HelloRouter, HelloShip, HelloCtl:
+	default:
+		return Hello{}, fmt.Errorf("fleet: unknown hello kind %d", h.Kind)
+	}
+	return h, nil
+}
+
+// EncodeWelcome serializes a Welcome, stamping the protocol version.
+func EncodeWelcome(w Welcome) []byte {
+	if w.Version == 0 {
+		w.Version = HelloVersion
+	}
+	b := cryptoutil.NewBuffer(32)
+	b.PutUint8(welcomeTag)
+	b.PutUint8(w.Version)
+	b.PutUint8(w.Role)
+	b.PutUint64(w.Epoch)
+	b.PutUint64(w.Applied)
+	return b.Bytes()
+}
+
+// DecodeWelcome parses a Welcome frame.
+func DecodeWelcome(data []byte) (Welcome, error) {
+	r := cryptoutil.NewReader(data)
+	if tag := r.Uint8(); r.Err() == nil && tag != welcomeTag {
+		return Welcome{}, fmt.Errorf("fleet: handshake: not a welcome frame (tag %#x)", tag)
+	}
+	w := Welcome{Version: r.Uint8(), Role: r.Uint8(), Epoch: r.Uint64(), Applied: r.Uint64()}
+	if err := r.ExpectEOF(); err != nil {
+		return Welcome{}, fmt.Errorf("fleet: welcome frame: %w", err)
+	}
+	if w.Version != HelloVersion {
+		return Welcome{}, fmt.Errorf("fleet: welcome version %d, this node speaks %d", w.Version, HelloVersion)
+	}
+	return w, nil
+}
+
+// sendHello performs the client half of the role handshake on a fresh
+// connection: write the Hello, read the answer. A refusal error frame
+// surfaces as a *netsim.RemoteError (code ErrCodeFenced for a stale
+// epoch), which the supervised client and retry policies classify as
+// fatal — exactly the "rejected at the socket edge" contract.
+func sendHello(conn net.Conn, h Hello) (Welcome, error) {
+	if err := netsim.WriteFrame(conn, EncodeHello(h)); err != nil {
+		return Welcome{}, fmt.Errorf("fleet: send hello: %w", err)
+	}
+	raw, err := wire.ReadHandshakeFrame(conn)
+	if err != nil {
+		return Welcome{}, err
+	}
+	return DecodeWelcome(raw)
+}
+
+// refuseHello writes a refusal error frame for an unacceptable Hello
+// and returns the same error for the server to log. The code rides in
+// the frame so the caller's classification is wire-accurate.
+func refuseHello(conn net.Conn, code uint8, err error) error {
+	netsim.WriteFrame(conn, netsim.EncodeErrorFrameCode(code, err))
+	return err
+}
+
+// remoteCode extracts the error-frame code from an error chain, or
+// returns (0, false) when the chain carries no remote error.
+func remoteCode(err error) (uint8, bool) {
+	var remote *netsim.RemoteError
+	if errors.As(err, &remote) {
+		return remote.Code, true
+	}
+	return 0, false
+}

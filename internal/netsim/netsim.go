@@ -86,6 +86,18 @@ const (
 	// ErrCodePermanent marks a request the server definitively refused
 	// (e.g. a cross-shard batch); retrying cannot succeed.
 	ErrCodePermanent uint8 = 3
+
+	// ErrCodeFenced marks a frame refused at the socket edge because the
+	// sender's epoch is stale: the peer serves a newer lineage. Fatal —
+	// retransmitting the same epoch can never succeed; the sender must
+	// stand down (a deposed primary demotes, a router re-resolves).
+	ErrCodeFenced uint8 = 4
+
+	// ErrCodeFailover marks an endpoint that cannot serve the role the
+	// sender addressed (a dead or demoted shard member). Fatal at this
+	// address — the sender must route around it (trigger or await a
+	// failover), not retry here.
+	ErrCodeFailover uint8 = 5
 )
 
 // Transport is a synchronous request/response channel to a remote peer —

@@ -64,15 +64,21 @@ func DefaultRetryPolicy() RetryPolicy {
 // transport level: timeouts, resets, corrupted frames, and peer-reported
 // handler errors (a corrupted request looks like a handler error to the
 // sender) are retryable — except a remote error the peer marked
-// permanent (ErrCodePermanent), which no retransmission can fix.
-// Everything else is fatal.
+// permanent (ErrCodePermanent), fenced (ErrCodeFenced: the sender's
+// epoch is stale for good), or failed-over (ErrCodeFailover: this
+// endpoint no longer serves the addressed role), which no
+// retransmission can fix. Everything else is fatal.
 func DefaultRetryable(err error) bool {
 	if errors.Is(err, ErrTimeout) || errors.Is(err, ErrReset) || errors.Is(err, ErrCorruptFrame) {
 		return true
 	}
 	var remote *RemoteError
 	if errors.As(err, &remote) {
-		return remote.Code != ErrCodePermanent
+		switch remote.Code {
+		case ErrCodePermanent, ErrCodeFenced, ErrCodeFailover:
+			return false
+		}
+		return true
 	}
 	return false
 }

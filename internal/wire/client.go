@@ -87,6 +87,7 @@ type Client struct {
 	backoff  time.Duration
 	nextDial time.Time
 	everUp   bool
+	fatal    error // a fatal handshake refusal (fenced/permanent); latches
 }
 
 var _ netsim.Transport = (*Client)(nil)
@@ -147,6 +148,9 @@ func (c *Client) Connect() error {
 // the gate advances (capped exponential backoff with jitter); on
 // success it resets.
 func (c *Client) connectLocked() error {
+	if c.fatal != nil {
+		return c.fatal
+	}
 	if wait := time.Until(c.nextDial); wait > 0 {
 		return fmt.Errorf("%w: reconnect backoff, %s remaining", ErrConnDown, wait.Round(time.Millisecond))
 	}
@@ -165,9 +169,18 @@ func (c *Client) connectLocked() error {
 			c.count("wire.client.handshake_failures")
 			// A remote refusal (shed, draining) keeps its identity so
 			// the caller's policy classifies it; local errors wrap
-			// ErrConnDown.
+			// ErrConnDown. A *fatal* refusal — the peer fenced this
+			// client's role epoch or refused it permanently — latches:
+			// redialing with the same handshake can only be refused
+			// again, so every subsequent round trip fails immediately
+			// with the refusal instead of hammering the peer.
 			var remote *netsim.RemoteError
 			if errors.As(err, &remote) {
+				switch remote.Code {
+				case netsim.ErrCodePermanent, netsim.ErrCodeFenced:
+					c.fatal = err
+					c.count("wire.client.handshake_fatal")
+				}
 				return err
 			}
 			return fmt.Errorf("%w: handshake: %v", ErrConnDown, err)
