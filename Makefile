@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race check bench bench-smoke chaos-smoke results clean
+.PHONY: all vet build test race check bench bench-crypto bench-smoke chaos-smoke results clean
 
 all: check
 
@@ -17,11 +17,22 @@ race:
 	$(GO) test -race ./...
 
 # check is the full gate: vet, build, tests with and without the race
-# detector.
-check: vet build test race
+# detector, plus one pass of every benchmark (bench-smoke) so the
+# measurement code stays honest.
+check: vet build test race bench-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# bench-crypto compares the provider-side cost of one confirmed
+# transaction under each crypto profile (RSA, Ed25519, batched Ed25519)
+# against the attested-session HMAC fast path, then runs the F16
+# scheme × re-quote-interval sweep itself (CI-sized: 400 confirms per
+# cell, a few seconds of wall time) so the speedup and crossover
+# verdicts are checked, not just the micro-numbers behind them.
+bench-crypto:
+	$(GO) test -bench='BenchmarkConfirm(RSA|Ed25519|Ed25519Batch|SessionHMAC)$$' -benchmem -run xxx .
+	$(GO) run ./cmd/tpbench -exp f16
 
 # bench-smoke runs every benchmark exactly once — not for numbers, but
 # to keep the benchmark code (including the parallel pipeline drains,

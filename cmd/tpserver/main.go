@@ -46,6 +46,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -69,16 +70,19 @@ func main() {
 
 func run() error {
 	var (
-		addr      = flag.String("addr", ":7700", "listen address")
-		threshold = flag.Int64("threshold", 0, "auto-accept below this amount in cents (0 = confirm everything)")
-		dataDir   = flag.String("data", "", "durability directory (WAL + snapshots); empty = memory-only")
-		snapEvery = flag.Int("snapshot-every", 64, "rotate the snapshot after this many journal commits (needs -data)")
-		adminAddr = flag.String("admin", "", "admin plane listen address (/metrics, /healthz, /readyz, /trace, /debug/pprof); empty = disabled")
-		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
-		traceCap  = flag.Int("trace-buffer", 256, "completed session traces retained for /trace")
-		workers   = flag.Int("workers", 4, "concurrent request handlers per connection (1 = serial)")
-		shards    = flag.Int("shards", 1, "provider shards; >1 fronts them with a consistent-hash router (accounts partition across shards)")
-		followers = flag.Int("followers", 1, "follower replicas per shard, fed by synchronous WAL shipping (fleet mode only)")
+		addr       = flag.String("addr", ":7700", "listen address")
+		threshold  = flag.Int64("threshold", 0, "auto-accept below this amount in cents (0 = confirm everything)")
+		dataDir    = flag.String("data", "", "durability directory (WAL + snapshots); empty = memory-only")
+		snapEvery  = flag.Int("snapshot-every", 64, "rotate the snapshot after this many journal commits (needs -data)")
+		adminAddr  = flag.String("admin", "", "admin plane listen address (/metrics, /healthz, /readyz, /trace, /debug/pprof); empty = disabled")
+		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		traceCap   = flag.Int("trace-buffer", 256, "completed session traces retained for /trace")
+		workers    = flag.Int("workers", 4, "concurrent request handlers per connection (1 = serial)")
+		crypto     = flag.String("crypto", "rsa", "quote-signature crypto profile: "+strings.Join(cryptoutil.SchemeNames(), ", "))
+		sessMaxTx  = flag.Uint("session-max-tx", 0, "attested-session transaction budget before a forced full re-quote (0 = default)")
+		sessMaxAge = flag.Duration("session-max-age", 0, "attested-session lifetime before a forced full re-quote (0 = default)")
+		shards     = flag.Int("shards", 1, "provider shards; >1 fronts them with a consistent-hash router (accounts partition across shards)")
+		followers  = flag.Int("followers", 1, "follower replicas per shard, fed by synchronous WAL shipping (fleet mode only)")
 
 		role         = flag.String("role", "single", "process role: single (this process is the whole deployment; -shards>1 runs an in-process fleet), primary/follower (one shard member process), router (front remote shard processes), supervisor (spawn a local fleet of child processes)")
 		shardIndex   = flag.Int("shard-index", 0, "this member's shard (node roles)")
@@ -105,6 +109,11 @@ func run() error {
 	}
 	logger := obs.NewLogger(os.Stderr, level)
 
+	scheme, err := cryptoutil.SchemeByName(*crypto)
+	if err != nil {
+		return fmt.Errorf("-crypto: %w (choose one of: %s)", err, strings.Join(cryptoutil.SchemeNames(), ", "))
+	}
+
 	if *role != "single" {
 		return runRole(roleParams{
 			role:         *role,
@@ -126,6 +135,9 @@ func run() error {
 			healthEvery:  *healthEvery,
 			shards:       *shards,
 			followers:    *followers,
+			scheme:       scheme,
+			sessMaxTx:    uint32(*sessMaxTx),
+			sessMaxAge:   *sessMaxAge,
 		})
 	}
 
@@ -140,6 +152,7 @@ func run() error {
 	}
 	ca := attest.NewPrivacyCA("tpserver-ca", caKey, clock, rng.Fork("ca"))
 
+	policy := sessionPolicy{scheme: scheme, maxTx: uint32(*sessMaxTx), maxAge: *sessMaxAge}
 	var eng engine
 	if *shards > 1 {
 		eng, err = buildFleetEngine(fleetParams{
@@ -154,9 +167,10 @@ func run() error {
 			registry:  registry,
 			tracer:    tracer,
 			logger:    logger,
+			policy:    policy,
 		})
 	} else {
-		eng, err = buildSingleEngine(ca, *threshold, *snapEvery, *dataDir, clock, rng, registry, tracer, logger)
+		eng, err = buildSingleEngine(ca, *threshold, *snapEvery, *dataDir, policy, clock, rng, registry, tracer, logger)
 	}
 	if err != nil {
 		return err
@@ -170,6 +184,7 @@ func run() error {
 		"addr", ln.Addr().String(),
 		"threshold_cents", *threshold,
 		"durability", durabilityLabel(*dataDir),
+		"crypto", scheme.Name(),
 		"topology", eng.topology)
 
 	if *adminAddr != "" {
@@ -192,7 +207,7 @@ func run() error {
 	}
 
 	wsrv := wire.NewServer(wire.ServerConfig{
-		Handshake:        enrollHandshake(ca, eng, logger),
+		Handshake:        enrollHandshake(ca, eng, scheme, logger),
 		Classify:         classifyHandlerError,
 		Workers:          *workers,
 		MaxConns:         *maxConns,
@@ -231,12 +246,16 @@ func run() error {
 
 // enrollHandshake builds the wire handshake hook: read the enrollment
 // frame (platformID, EK, AIK — all the out-of-band certification a real
-// deployment does once per device), certify the AIK, and return the
-// engine handler for the connection's frames. Re-enrollment of a known
-// platform with the same EK is idempotent, so a supervised client's
-// reconnect simply re-runs the handshake; a different EK for a known
-// platform is still refused (ErrEKMismatch).
-func enrollHandshake(ca *attest.PrivacyCA, eng engine, logger *slog.Logger) func(net.Conn) (netsim.Handler, error) {
+// deployment does once per device), certify the AIK under the server's
+// crypto profile, and return the engine handler for the connection's
+// frames. The AIK bytes are scheme-encoded (PKCS#1 DER for RSA, 32 raw
+// bytes for Ed25519); a client built for a different profile fails the
+// certify step loudly rather than obtaining a cert the verifier will
+// refuse later. Re-enrollment of a known platform with the same EK is
+// idempotent, so a supervised client's reconnect simply re-runs the
+// handshake; a different EK for a known platform is still refused
+// (ErrEKMismatch).
+func enrollHandshake(ca *attest.PrivacyCA, eng engine, scheme cryptoutil.Scheme, logger *slog.Logger) func(net.Conn) (netsim.Handler, error) {
 	return func(conn net.Conn) (netsim.Handler, error) {
 		hello, err := netsim.ReadFrame(conn)
 		if err != nil {
@@ -245,7 +264,7 @@ func enrollHandshake(ca *attest.PrivacyCA, eng engine, logger *slog.Logger) func
 		r := cryptoutil.NewReader(hello)
 		platformID := r.String()
 		ekDER := r.Bytes()
-		aikDER := r.Bytes()
+		aikRaw := r.Bytes()
 		if err := r.ExpectEOF(); err != nil {
 			return nil, fmt.Errorf("enrollment frame: %w", err)
 		}
@@ -253,16 +272,20 @@ func enrollHandshake(ca *attest.PrivacyCA, eng engine, logger *slog.Logger) func
 		if err != nil {
 			return nil, fmt.Errorf("enrollment EK: %w", err)
 		}
-		aik, err := x509.ParsePKCS1PublicKey(aikDER)
-		if err != nil {
-			return nil, fmt.Errorf("enrollment AIK: %w", err)
-		}
 		if err := ca.EnrollEK(platformID, ek); err != nil && !errors.Is(err, attest.ErrPlatformEnrolled) {
 			return nil, fmt.Errorf("enroll: %w", err)
 		}
-		cert, err := ca.CertifyAIK(platformID, ek, aik)
+		cert, err := ca.CertifyAIKScheme(platformID, ek, scheme.ID(), aikRaw)
 		if err != nil {
-			return nil, fmt.Errorf("certify: %w", err)
+			// A profile mismatch is an operator configuration problem:
+			// refuse with a permanent error frame so the client reads
+			// the reason instead of a bare connection reset, and log it
+			// above debug level.
+			err = fmt.Errorf("certify (profile %s): %w", scheme.Name(), err)
+			logger.Warn("enrollment refused", "platform_id", platformID,
+				"remote", conn.RemoteAddr().String(), "err", err)
+			_ = netsim.WriteFrame(conn, netsim.EncodeErrorFrameCode(netsim.ErrCodePermanent, err))
+			return nil, err
 		}
 		// Tagged write: a marshalled cert may begin with 0x00, which a
 		// bare frame would make indistinguishable from a refusal.
@@ -290,6 +313,21 @@ func classifyHandlerError(err error) uint8 {
 	return wire.DefaultClassify(err)
 }
 
+// sessionPolicy bundles the crypto profile and attested-session limits
+// every provider in the process shares, whatever the topology.
+type sessionPolicy struct {
+	scheme cryptoutil.Scheme
+	maxTx  uint32        // 0 = provider default
+	maxAge time.Duration // 0 = provider default
+}
+
+// apply stamps the policy onto a provider config.
+func (sp sessionPolicy) apply(cfg *core.ProviderConfig) {
+	cfg.Scheme = sp.scheme
+	cfg.SessionMaxTx = sp.maxTx
+	cfg.SessionMaxAge = sp.maxAge
+}
+
 // engine abstracts what the listener serves: a single provider, or a
 // sharded fleet behind a router. The wire server, the admin plane, and
 // graceful shutdown are identical either way.
@@ -304,8 +342,8 @@ type engine struct {
 // buildSingleEngine is the classic deployment: one provider, optionally
 // durable.
 func buildSingleEngine(ca *attest.PrivacyCA, threshold int64, snapEvery int, dataDir string,
-	clock sim.Clock, rng *sim.Rand, registry *obs.Registry, tracer *obs.Tracer,
-	logger *slog.Logger) (engine, error) {
+	policy sessionPolicy, clock sim.Clock, rng *sim.Rand, registry *obs.Registry,
+	tracer *obs.Tracer, logger *slog.Logger) (engine, error) {
 
 	provKey, err := cryptoutil.GenerateRSAKey(rand.Reader, cryptoutil.DefaultRSABits)
 	if err != nil {
@@ -322,6 +360,7 @@ func buildSingleEngine(ca *attest.PrivacyCA, threshold int64, snapEvery int, dat
 		Metrics:               registry,
 		Tracer:                tracer,
 	}
+	policy.apply(&cfg)
 	provider, err := buildProvider(cfg, dataDir, logger)
 	if err != nil {
 		return engine{}, err
@@ -349,6 +388,7 @@ type fleetParams struct {
 	registry  *obs.Registry
 	tracer    *obs.Tracer
 	logger    *slog.Logger
+	policy    sessionPolicy
 }
 
 // buildFleetEngine runs N shards behind a consistent-hash router. Each
@@ -440,6 +480,7 @@ func buildFleetShard(i int, p fleetParams) (*fleet.Shard, error) {
 		Metrics:               p.registry,
 		Tracer:                p.tracer,
 	}
+	p.policy.apply(&pcfg)
 	return fleet.NewShard(fleet.ShardConfig{
 		Index:     i,
 		Followers: p.followers,
@@ -499,6 +540,9 @@ func approvePALs(p *core.Provider) {
 		cryptoutil.SHA1(core.ProvisionPALImage(p.PublicKeyDER())))
 	p.Verifier().ApprovePAL(core.PINPALName, cryptoutil.SHA1(core.PINPALImage()))
 	p.Verifier().ApprovePAL(core.BatchPALName, cryptoutil.SHA1(core.BatchPALImage()))
+	p.Verifier().ApprovePAL(core.SessionConfirmPALName, cryptoutil.SHA1(core.SessionConfirmPALImage()))
+	p.Verifier().ApprovePAL(core.SessionOpenPALNameFor(p.PublicKeyDER()),
+		cryptoutil.SHA1(core.SessionOpenPALImage(p.PublicKeyDER())))
 }
 
 // flushProvider writes a final snapshot (truncating the WAL so the next

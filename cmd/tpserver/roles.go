@@ -56,6 +56,11 @@ type roleParams struct {
 	workers   int
 	logger    *slog.Logger
 
+	// crypto profile + attested-session limits (all roles)
+	scheme     cryptoutil.Scheme
+	sessMaxTx  uint32
+	sessMaxAge time.Duration
+
 	// node roles
 	shardIndex   int
 	member       int
@@ -125,11 +130,13 @@ func runNode(p roleParams) error {
 		Metrics:               registry,
 		Tracer:                tracer,
 	}
+	sessionPolicy{scheme: p.scheme, maxTx: p.sessMaxTx, maxAge: p.sessMaxAge}.apply(&pcfg)
 
 	node, err := fleet.NewNode(fleet.NodeConfig{
 		Shard:     p.shardIndex,
 		Member:    p.member,
 		StartRole: p.role,
+		Scheme:    p.scheme.ID(),
 		Epoch:     p.epoch,
 		Followers: peers,
 		NewBackend: func(role string) (store.Backend, error) {
@@ -226,6 +233,7 @@ func runRouter(p roleParams) error {
 			Shard:   i,
 			Members: members,
 			Primary: members[0].Member,
+			Scheme:  p.scheme.ID(),
 			Metrics: registry,
 			Logger:  p.logger,
 		})
@@ -366,6 +374,13 @@ func runSupervisor(p roleParams) error {
 				"-threshold", strconv.FormatInt(p.threshold, 10),
 				"-snapshot-every", strconv.Itoa(p.snapEvery),
 				"-seed-accounts", strconv.Itoa(p.seedAccounts),
+				"-crypto", p.scheme.Name(),
+			}
+			if p.sessMaxTx != 0 {
+				args = append(args, "-session-max-tx", strconv.FormatUint(uint64(p.sessMaxTx), 10))
+			}
+			if p.sessMaxAge != 0 {
+				args = append(args, "-session-max-age", p.sessMaxAge.String())
 			}
 			if p.dataDir != "" {
 				args = append(args, "-data", filepath.Join(p.dataDir, fmt.Sprintf("shard-%d", mp.shard), fmt.Sprintf("member-%d", mp.member)))
@@ -378,6 +393,7 @@ func runSupervisor(p roleParams) error {
 		"-role", "router", "-addr", p.addr,
 		"-fleet", strings.Join(shardSpecs, ";"),
 		"-threshold", strconv.FormatInt(p.threshold, 10),
+		"-crypto", p.scheme.Name(),
 	}
 	if p.adminAddr != "" {
 		routerArgs = append(routerArgs, "-admin", p.adminAddr)

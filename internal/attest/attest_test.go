@@ -1,7 +1,9 @@
 package attest
 
 import (
+	"crypto/x509"
 	"errors"
+	"strings"
 	"testing"
 	"time"
 
@@ -109,6 +111,39 @@ func TestCARefusesUnknownAndMismatchedEK(t *testing.T) {
 	}
 	if err := f.ca.EnrollEK("platform-1", f.machine.TPM().EK()); !errors.Is(err, ErrPlatformEnrolled) {
 		t.Fatalf("double enroll: %v", err)
+	}
+}
+
+// A client built for one crypto profile must be refused at certify time
+// when enrolling under a server running another — not handed a cert
+// that every later quote verification rejects.
+func TestCertifySchemeRefusesMismatchedAIKKey(t *testing.T) {
+	f := newFixture(t)
+	ek := f.machine.TPM().EK()
+	rsaDER := x509.MarshalPKCS1PublicKey(ek) // an RSA key where 32 Ed25519 bytes belong
+	if _, err := f.ca.CertifyAIKScheme("platform-1", ek, cryptoutil.SchemeEd25519, rsaDER); err == nil {
+		t.Fatal("ed25519 certify accepted an RSA-DER AIK key")
+	} else if !strings.Contains(err.Error(), "ed25519") {
+		t.Fatalf("mismatch error should name the profile: %v", err)
+	}
+	if _, err := f.ca.CertifyAIKScheme("platform-1", ek, cryptoutil.SchemeRSA, make([]byte, 32)); err == nil {
+		t.Fatal("rsa certify accepted 32 raw bytes as a PKCS#1 key")
+	}
+	// The matched shape still certifies.
+	sch, err := cryptoutil.SchemeByID(cryptoutil.SchemeEd25519)
+	if err != nil {
+		t.Fatal(err)
+	}
+	signer, err := sch.GenerateKey(sim.NewRand(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := f.ca.CertifyAIKScheme("platform-1", ek, cryptoutil.SchemeEd25519, signer.Public())
+	if err != nil {
+		t.Fatalf("matched-profile certify: %v", err)
+	}
+	if err := VerifyAIKCert(f.ca.PublicKey(), cert); err != nil {
+		t.Fatalf("scheme cert rejected: %v", err)
 	}
 }
 

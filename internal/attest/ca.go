@@ -37,6 +37,14 @@ var (
 	ErrPlatformEnrolled = errors.New("attest: platform already enrolled")
 )
 
+// certSchemeTag prefixes the body and wire form of certificates whose
+// AIK belongs to a non-RSA crypto profile. The legacy (RSA) form starts
+// with the uint32 length of the platform ID — always < 2^24, so its
+// first byte is 0x00 and the tag is unambiguous. Tagging the *body*
+// (not just the envelope) puts the scheme under the CA signature, so a
+// certificate cannot be replayed as a different profile.
+const certSchemeTag = 0xC2
+
 // AIKCert binds an AIK public key to a platform identity, signed by a
 // privacy CA. (The paper's deployment assumes standard TCG AIK
 // enrollment; this is that, minus the ASN.1.)
@@ -44,8 +52,19 @@ type AIKCert struct {
 	// PlatformID names the certified platform (pseudonymous).
 	PlatformID string
 
-	// AIKPub is the certified attestation identity key.
+	// AIKPub is the certified attestation identity key under the
+	// paper-faithful RSA profile; nil for other crypto profiles.
 	AIKPub *rsa.PublicKey
+
+	// Scheme is the crypto profile the AIK belongs to. The zero value
+	// (SchemeRSA) is the legacy profile, so pre-scheme certificates
+	// decode correctly.
+	Scheme cryptoutil.SchemeID
+
+	// AIKPubRaw is the scheme-specific encoding of the AIK public key
+	// (PKCS#1 DER for RSA, raw 32 bytes for Ed25519). Set for every
+	// profile.
+	AIKPubRaw []byte
 
 	// Issuer names the privacy CA.
 	Issuer string
@@ -65,11 +84,22 @@ type AIKCert struct {
 	raw []byte
 }
 
-// body serializes the signed portion of the certificate.
+// body serializes the signed portion of the certificate. The RSA form
+// is the pre-scheme encoding byte for byte; other profiles prepend the
+// scheme tag so signatures never verify across profiles.
 func (c *AIKCert) body() []byte {
 	b := cryptoutil.NewBuffer(256)
+	if c.Scheme == cryptoutil.SchemeRSA {
+		b.PutString(c.PlatformID)
+		b.PutBytes(x509.MarshalPKCS1PublicKey(c.AIKPub))
+		b.PutString(c.Issuer)
+		b.PutUint64(uint64(c.IssuedAt.UnixNano()))
+		return b.Bytes()
+	}
+	b.PutUint8(certSchemeTag)
+	b.PutUint8(uint8(c.Scheme))
 	b.PutString(c.PlatformID)
-	b.PutBytes(x509.MarshalPKCS1PublicKey(c.AIKPub))
+	b.PutBytes(c.AIKPubRaw)
 	b.PutString(c.Issuer)
 	b.PutUint64(uint64(c.IssuedAt.UnixNano()))
 	return b.Bytes()
@@ -89,10 +119,32 @@ func (c *AIKCert) Marshal() []byte {
 	return b.Bytes()
 }
 
-// UnmarshalAIKCert decodes a certificate from wire bytes.
+// UnmarshalAIKCert decodes a certificate from wire bytes, dispatching
+// on the scheme tag (legacy RSA certificates start with a 0x00 length
+// byte, tagged ones with certSchemeTag).
 func UnmarshalAIKCert(data []byte) (*AIKCert, error) {
 	r := cryptoutil.NewReader(data)
 	var c AIKCert
+	if len(data) > 0 && data[0] == certSchemeTag {
+		r.Uint8() // tag
+		c.Scheme = cryptoutil.SchemeID(r.Uint8())
+		c.PlatformID = r.String()
+		c.AIKPubRaw = r.Bytes()
+		c.Issuer = r.String()
+		c.IssuedAt = time.Unix(0, int64(r.Uint64()))
+		c.Signature = r.Bytes()
+		if err := r.ExpectEOF(); err != nil {
+			return nil, fmt.Errorf("attest: unmarshal cert: %w", err)
+		}
+		if c.Scheme == cryptoutil.SchemeRSA {
+			return nil, fmt.Errorf("attest: unmarshal cert: RSA certificate with scheme tag")
+		}
+		if _, err := cryptoutil.SchemeByID(c.Scheme); err != nil {
+			return nil, fmt.Errorf("attest: unmarshal cert: %w", err)
+		}
+		c.raw = data
+		return &c, nil
+	}
 	c.PlatformID = r.String()
 	pubDER := r.Bytes()
 	c.Issuer = r.String()
@@ -106,6 +158,7 @@ func UnmarshalAIKCert(data []byte) (*AIKCert, error) {
 		return nil, fmt.Errorf("attest: unmarshal cert key: %w", err)
 	}
 	c.AIKPub = pub
+	c.AIKPubRaw = pubDER
 	// ExpectEOF above proved data is exactly this certificate's wire
 	// form; keep it so Marshal round-trips without re-serializing.
 	// (Decoded frames are never mutated after decode.)
@@ -148,9 +201,18 @@ func parsePKCS1PublicKeyCached(der []byte) (*rsa.PublicKey, error) {
 }
 
 // VerifyAIKCert checks the certificate signature against the CA key.
+// The CA always signs with RSA-SHA256 regardless of the AIK's profile —
+// swapping the attestation signature scheme does not move the CA trust
+// root.
 func VerifyAIKCert(caPub *rsa.PublicKey, c *AIKCert) error {
-	if caPub == nil || c == nil || c.AIKPub == nil {
+	if caPub == nil || c == nil {
 		return fmt.Errorf("attest: verify cert: nil argument")
+	}
+	if c.Scheme == cryptoutil.SchemeRSA && c.AIKPub == nil {
+		return fmt.Errorf("attest: verify cert: nil argument")
+	}
+	if c.Scheme != cryptoutil.SchemeRSA && len(c.AIKPubRaw) == 0 {
+		return fmt.Errorf("attest: verify cert: missing scheme public key")
 	}
 	digest := sha256.Sum256(c.body())
 	if err := rsa.VerifyPKCS1v15(caPub, crypto.SHA256, digest[:], c.Signature); err != nil {
@@ -224,14 +286,66 @@ func (ca *PrivacyCA) CertifyAIK(platformID string, ek, aikPub *rsa.PublicKey) (*
 	cert := &AIKCert{
 		PlatformID: platformID,
 		AIKPub:     aikPub,
+		AIKPubRaw:  x509.MarshalPKCS1PublicKey(aikPub),
 		Issuer:     ca.name,
 		IssuedAt:   ca.clock.Now(),
 	}
+	if err := ca.sign(cert); err != nil {
+		return nil, err
+	}
+	return cert, nil
+}
+
+// CertifyAIKScheme issues a certificate for an AIK under an arbitrary
+// crypto profile. Enrollment proof stays EK-based (the endorsement key
+// is TPM hardware identity and is RSA regardless of which profile signs
+// quotes). RSA-profile requests are routed through the legacy path so
+// the certificate bytes stay identical to pre-scheme issuance.
+func (ca *PrivacyCA) CertifyAIKScheme(platformID string, ek *rsa.PublicKey, scheme cryptoutil.SchemeID, aikPubRaw []byte) (*AIKCert, error) {
+	if scheme == cryptoutil.SchemeRSA {
+		pub, err := x509.ParsePKCS1PublicKey(aikPubRaw)
+		if err != nil {
+			return nil, fmt.Errorf("attest: certify: bad RSA AIK key: %w", err)
+		}
+		return ca.CertifyAIK(platformID, ek, pub)
+	}
+	sch, err := cryptoutil.SchemeByID(scheme)
+	if err != nil {
+		return nil, err
+	}
+	if err := sch.CheckPublicKey(aikPubRaw); err != nil {
+		return nil, fmt.Errorf("attest: certify: %w", err)
+	}
+	ca.mu.Lock()
+	defer ca.mu.Unlock()
+	enrolled, ok := ca.eks[platformID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownEK, platformID)
+	}
+	if ek == nil || enrolled.N.Cmp(ek.N) != 0 || enrolled.E != ek.E {
+		return nil, ErrEKMismatch
+	}
+	cert := &AIKCert{
+		PlatformID: platformID,
+		Scheme:     scheme,
+		AIKPubRaw:  append([]byte(nil), aikPubRaw...),
+		Issuer:     ca.name,
+		IssuedAt:   ca.clock.Now(),
+	}
+	if err := ca.sign(cert); err != nil {
+		return nil, err
+	}
+	return cert, nil
+}
+
+// sign computes the CA signature over the certificate body. Callers
+// hold ca.mu.
+func (ca *PrivacyCA) sign(cert *AIKCert) error {
 	digest := sha256.Sum256(cert.body())
 	sig, err := rsa.SignPKCS1v15(ca.rng, ca.key, crypto.SHA256, digest[:])
 	if err != nil {
-		return nil, fmt.Errorf("attest: sign cert: %w", err)
+		return fmt.Errorf("attest: sign cert: %w", err)
 	}
 	cert.Signature = sig
-	return cert, nil
+	return nil
 }

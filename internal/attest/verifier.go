@@ -38,7 +38,18 @@ var (
 	// ErrCertExpired is returned when certificate validity checking is
 	// enabled and the AIK certificate is older than the allowed age.
 	ErrCertExpired = errors.New("attest: AIK certificate expired")
+
+	// ErrSchemeMismatch is returned when evidence carries a crypto
+	// profile other than the one this verifier is configured for. Mixed
+	// profiles must fail loudly, never silently cross-verify.
+	ErrSchemeMismatch = errors.New("attest: evidence crypto profile does not match verifier profile")
 )
+
+// evidenceSchemeTag prefixes the wire form of evidence whose AIK
+// certificate belongs to a non-RSA profile. The legacy form starts with
+// the uint32 length of the certificate bytes (< 2^24, so first byte
+// 0x00), making the tag unambiguous.
+const evidenceSchemeTag = 0xE2
 
 // Evidence is what a client submits: its AIK certificate and a TPM quote.
 type Evidence struct {
@@ -49,11 +60,17 @@ type Evidence struct {
 	Quote *tpm.Quote
 }
 
-// Marshal encodes the evidence for wire transport.
+// Marshal encodes the evidence for wire transport. RSA evidence keeps
+// the pre-scheme encoding byte for byte; other profiles carry a scheme
+// tag so a legacy decoder refuses them instead of misparsing.
 func (e *Evidence) Marshal() []byte {
 	cert := e.Cert.Marshal()
 	quote := e.Quote.Marshal()
-	b := cryptoutil.NewBuffer(len(cert) + len(quote) + 8)
+	b := cryptoutil.NewBuffer(len(cert) + len(quote) + 10)
+	if e.Cert.Scheme != cryptoutil.SchemeRSA {
+		b.PutUint8(evidenceSchemeTag)
+		b.PutUint8(uint8(e.Cert.Scheme))
+	}
 	b.PutBytes(cert)
 	b.PutBytes(quote)
 	return b.Bytes()
@@ -62,6 +79,14 @@ func (e *Evidence) Marshal() []byte {
 // UnmarshalEvidence decodes evidence from wire bytes.
 func UnmarshalEvidence(data []byte) (*Evidence, error) {
 	r := cryptoutil.NewReader(data)
+	var tagged cryptoutil.SchemeID
+	if len(data) > 0 && data[0] == evidenceSchemeTag {
+		r.Uint8() // tag
+		tagged = cryptoutil.SchemeID(r.Uint8())
+		if tagged == cryptoutil.SchemeRSA {
+			return nil, fmt.Errorf("attest: unmarshal evidence: RSA evidence with scheme tag")
+		}
+	}
 	certBytes := r.Bytes()
 	quoteBytes := r.Bytes()
 	if err := r.ExpectEOF(); err != nil {
@@ -70,6 +95,10 @@ func UnmarshalEvidence(data []byte) (*Evidence, error) {
 	cert, err := UnmarshalAIKCert(certBytes)
 	if err != nil {
 		return nil, err
+	}
+	if cert.Scheme != tagged {
+		return nil, fmt.Errorf("%w: envelope says %s, certificate says %s",
+			ErrSchemeMismatch, tagged, cert.Scheme)
 	}
 	quote, err := tpm.UnmarshalQuote(quoteBytes)
 	if err != nil {
@@ -163,14 +192,34 @@ const certCacheLimit = 4096
 type Verifier struct {
 	caPub *rsa.PublicKey
 
+	// scheme is the crypto profile this verifier accepts. Evidence
+	// under any other profile fails with ErrSchemeMismatch. Immutable
+	// after construction-time SetScheme.
+	scheme cryptoutil.Scheme
+
+	// sigVerify, when set, replaces the inline quote signature check.
+	// The provider installs a cohort batcher here for batch-capable
+	// schemes; the hook receives the scheme-encoded AIK public key,
+	// the serialized TPM_QUOTE_INFO, and the signature.
+	sigVerify func(pub, msg, sig []byte) error
+
 	mu     sync.Mutex // serializes mutators; readers use policy only
 	policy atomic.Pointer[verifierPolicy]
 
 	certMu   sync.RWMutex
 	certSeen map[[32]byte]struct{} // SHA-256 of verified cert wire forms
+
+	// cert-cache effectiveness counters (atomic; see CertCacheStats).
+	certHits   atomic.Uint64
+	certMisses atomic.Uint64
+
+	// optional mirrors into an external metrics registry.
+	onCertHit  func()
+	onCertMiss func()
 }
 
-// NewVerifier creates a verifier trusting the given privacy-CA key.
+// NewVerifier creates a verifier trusting the given privacy-CA key,
+// accepting the paper-faithful RSA profile.
 func NewVerifier(caPub *rsa.PublicKey) *Verifier {
 	v := &Verifier{
 		caPub:    caPub,
@@ -182,6 +231,40 @@ func NewVerifier(caPub *rsa.PublicKey) *Verifier {
 		revoked:  make(map[string]bool),
 	})
 	return v
+}
+
+// SetScheme switches the accepted crypto profile. Call at construction
+// time, before the verifier sees traffic.
+func (v *Verifier) SetScheme(s cryptoutil.Scheme) { v.scheme = s }
+
+// SchemeID returns the accepted profile's identifier.
+func (v *Verifier) SchemeID() cryptoutil.SchemeID {
+	if v.scheme == nil {
+		return cryptoutil.SchemeRSA
+	}
+	return v.scheme.ID()
+}
+
+// SetQuoteSigVerifier installs a replacement for the inline quote
+// signature check (e.g. a cohort batch verifier). Call at construction
+// time. The hook must be safe for concurrent use and must return nil
+// only when the signature verifies.
+func (v *Verifier) SetQuoteSigVerifier(f func(pub, msg, sig []byte) error) {
+	v.sigVerify = f
+}
+
+// SetCertCacheHooks installs callbacks fired on each certificate-cache
+// hit and miss (e.g. obs-registry counters). Call at construction time.
+func (v *Verifier) SetCertCacheHooks(onHit, onMiss func()) {
+	v.onCertHit = onHit
+	v.onCertMiss = onMiss
+}
+
+// CertCacheStats reports how often certificate signature verification
+// was skipped because the exact wire bytes had already verified (hits)
+// versus paid in full (misses).
+func (v *Verifier) CertCacheStats() (hits, misses uint64) {
+	return v.certHits.Load(), v.certMisses.Load()
 }
 
 // mutatePolicy applies one copy-on-write policy change.
@@ -252,6 +335,15 @@ func (v *Verifier) RevokePAL(name string) {
 	})
 }
 
+// PALApproved reports whether the named PAL is currently on the
+// approved list. Session re-confirmation uses this to demote sessions
+// whose PAL was revoked after the session was attested (the
+// PCR-profile-change demotion rule).
+func (v *Verifier) PALApproved(name string) bool {
+	_, ok := v.policy.Load().byName[name]
+	return ok
+}
+
 // ApprovedPALs lists the approved PAL names.
 func (v *Verifier) ApprovedPALs() []string {
 	pol := v.policy.Load()
@@ -272,7 +364,15 @@ func (v *Verifier) certVerified(c *AIKCert) error {
 	_, seen := v.certSeen[key]
 	v.certMu.RUnlock()
 	if seen {
+		v.certHits.Add(1)
+		if v.onCertHit != nil {
+			v.onCertHit()
+		}
 		return nil
+	}
+	v.certMisses.Add(1)
+	if v.onCertMiss != nil {
+		v.onCertMiss()
 	}
 	if err := VerifyAIKCert(v.caPub, c); err != nil {
 		return err
@@ -309,6 +409,28 @@ func expectedChainCapped(measurements []cryptoutil.Digest) cryptoutil.Digest {
 // test).
 var capDigest = cryptoutil.SHA1([]byte("unitp.platform.session-cap.v1"))
 
+// verifyQuoteSig checks the quote's internal consistency and its
+// signature under the certified AIK, routing the signature check
+// through the installed hook (cohort batcher) when present, otherwise
+// the configured scheme. The default RSA path without a hook is
+// byte-for-byte the pre-scheme code path.
+func (v *Verifier) verifyQuoteSig(ev *Evidence) error {
+	if v.sigVerify != nil {
+		msg, err := tpm.QuoteMessage(ev.Quote)
+		if err != nil {
+			return err
+		}
+		if err := v.sigVerify(ev.Cert.AIKPubRaw, msg, ev.Quote.Signature); err != nil {
+			return fmt.Errorf("tpm: verify quote signature: %w", err)
+		}
+		return nil
+	}
+	if v.scheme == nil || v.scheme.ID() == cryptoutil.SchemeRSA {
+		return tpm.VerifyQuote(ev.Cert.AIKPub, ev.Quote)
+	}
+	return tpm.VerifyQuoteScheme(v.scheme, ev.Cert.AIKPubRaw, ev.Quote)
+}
+
 // Verify checks one piece of evidence end to end:
 //
 //  1. the AIK certificate chains to the trusted privacy CA;
@@ -324,6 +446,10 @@ func (v *Verifier) Verify(ev *Evidence, want Expectations) (*Result, error) {
 	if ev == nil || ev.Cert == nil || ev.Quote == nil {
 		return nil, fmt.Errorf("attest: verify: nil evidence")
 	}
+	if ev.Cert.Scheme != v.SchemeID() {
+		return nil, fmt.Errorf("%w: evidence is %s, verifier wants %s",
+			ErrSchemeMismatch, ev.Cert.Scheme, v.SchemeID())
+	}
 	if err := v.certVerified(ev.Cert); err != nil {
 		return nil, err
 	}
@@ -334,7 +460,7 @@ func (v *Verifier) Verify(ev *Evidence, want Expectations) (*Result, error) {
 	if pol.clock != nil && pol.maxCertAge > 0 && pol.clock.Now().Sub(ev.Cert.IssuedAt) > pol.maxCertAge {
 		return nil, ErrCertExpired
 	}
-	if err := tpm.VerifyQuote(ev.Cert.AIKPub, ev.Quote); err != nil {
+	if err := v.verifyQuoteSig(ev); err != nil {
 		return nil, err
 	}
 	if [NonceSize]byte(want.Nonce) != ev.Quote.ExternalData {

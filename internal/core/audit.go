@@ -35,6 +35,18 @@ const (
 	// AuditFallbackTx records a transaction executed under the
 	// degraded, CAPTCHA-gated regime (no attestation evidence).
 	AuditFallbackTx
+
+	// AuditSessionOpen records an attested session establishment: the
+	// entry carries the full quote evidence, with TxDigest holding the
+	// session binding (not a transaction digest) and TxID the account —
+	// so an auditor re-verifies the open exactly as the provider did.
+	AuditSessionOpen
+
+	// AuditSessionConfirm records a transaction confirmed under an
+	// attested session (HMAC over the session key). Chain-protected but
+	// not independently re-verifiable; the session's opening entry
+	// carries the attestation that anchored the key.
+	AuditSessionConfirm
 )
 
 // String names the kind for reports.
@@ -46,6 +58,10 @@ func (k AuditKind) String() string {
 		return "downgrade"
 	case AuditFallbackTx:
 		return "fallback-tx"
+	case AuditSessionOpen:
+		return "session-open"
+	case AuditSessionConfirm:
+		return "session-confirm"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -253,6 +269,15 @@ type AuditReport struct {
 	// path (AuditFallbackTx) — chain-protected, never attested.
 	FallbackTxs int
 
+	// SessionOpens counts attested session establishments whose quote
+	// evidence re-verified end to end (also counted in Reverified).
+	SessionOpens int
+
+	// SessionConfirms counts transactions confirmed under an attested
+	// session — anchored by their session's opening entry rather than
+	// per-entry evidence.
+	SessionConfirms int
+
 	// Head is the verified chain head.
 	Head cryptoutil.Digest
 }
@@ -309,6 +334,25 @@ func ReplayAudit(entries []AuditEntry, verifier *attest.Verifier) (*AuditReport,
 			continue
 		case AuditFallbackTx:
 			report.FallbackTxs++
+			continue
+		case AuditSessionOpen:
+			// The binding the PAL extended is recorded in TxDigest, so
+			// the open re-verifies without reconstructing it from parts.
+			ev, err := attest.UnmarshalEvidence(e.Evidence)
+			if err != nil {
+				return nil, fmt.Errorf("%w: entry %d: %v", ErrAuditEvidence, i, err)
+			}
+			if _, err := verifier.Verify(ev, attest.Expectations{
+				Nonce:         e.Nonce,
+				ExpectedPCR23: ExpectedAppPCR(e.TxDigest),
+			}); err != nil {
+				return nil, fmt.Errorf("%w: entry %d: %v", ErrAuditEvidence, i, err)
+			}
+			report.SessionOpens++
+			report.Reverified++
+			continue
+		case AuditSessionConfirm:
+			report.SessionConfirms++
 			continue
 		}
 		if len(e.Evidence) == 0 {

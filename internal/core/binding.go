@@ -64,6 +64,50 @@ func MACMessage(nonce attest.Nonce, txDigest cryptoutil.Digest, confirmed bool) 
 	return b[:]
 }
 
+// SessionBinding is the PCR-23 measurement for a session-open proof: it
+// pins the challenge nonce, the account the session may confirm for,
+// the client-chosen session ID, and the digest of the encrypted session
+// key — so the quoted attestation covers exactly this key reaching
+// exactly this provider for exactly this account.
+func SessionBinding(nonce attest.Nonce, account string, sessionID uint64, encKeyDigest cryptoutil.Digest) cryptoutil.Digest {
+	var sid [8]byte
+	putUint64BE(sid[:], sessionID)
+	return cryptoutil.SHA1Concat(
+		[]byte(bindingTag),
+		[]byte("/session-open/"),
+		nonce[:],
+		[]byte(account),
+		[]byte{0},
+		sid[:],
+		encKeyDigest[:],
+	)
+}
+
+// SessionMACMessage is the byte string MACed by a session-mode
+// confirmation: the confirmation binding plus the session identity and
+// the monotonic counter, domain-separated from the provisioned-key MAC
+// so the two key families can never authenticate each other's messages.
+func SessionMACMessage(nonce attest.Nonce, txDigest cryptoutil.Digest, confirmed bool, sessionID, counter uint64) []byte {
+	binding := ConfirmationBinding(nonce, txDigest, confirmed)
+	msg := make([]byte, 0, len(bindingTag)+16+len(binding)+16)
+	msg = append(msg, bindingTag...)
+	msg = append(msg, "/session-confirm/"...)
+	msg = append(msg, binding[:]...)
+	var u [8]byte
+	putUint64BE(u[:], sessionID)
+	msg = append(msg, u[:]...)
+	putUint64BE(u[:], counter)
+	msg = append(msg, u[:]...)
+	return msg
+}
+
+// putUint64BE writes v big-endian into an 8-byte slice.
+func putUint64BE(p []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		p[i] = byte(v >> (56 - 8*i))
+	}
+}
+
 // txDigests computes the digest sequence of a batch in order.
 func txDigests(txs []Transaction) []cryptoutil.Digest {
 	out := make([]cryptoutil.Digest, len(txs))

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"time"
@@ -79,6 +80,8 @@ type Client struct {
 	sealedKeyBatch []byte // same key sealed to the batch PAL
 	providerPK     []byte // provider public key DER seen at provisioning
 
+	sess *clientSession // live attested session (ModeSession)
+
 	recovery   RecoveryConfig
 	failStreak int // consecutive trusted-path session failures
 
@@ -111,7 +114,7 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		recovery:  cfg.Recovery,
 		tracer:    cfg.Tracer,
 	}
-	for _, pal := range []*flicker.PAL{NewConfirmPAL(), NewPresencePAL(), NewPINPAL(), NewBatchPAL()} {
+	for _, pal := range []*flicker.PAL{NewConfirmPAL(), NewPresencePAL(), NewPINPAL(), NewBatchPAL(), NewSessionConfirmPAL()} {
 		if err := c.manager.Register(pal); err != nil && !errors.Is(err, flicker.ErrPALExists) {
 			return nil, err
 		}
@@ -237,6 +240,20 @@ func (c *Client) quoteEvidence(nonce attest.Nonce) ([]byte, error) {
 func (c *Client) SubmitTransaction(tx *Transaction) (*Outcome, error) {
 	tr, owner := c.beginSession("submit " + tx.ID)
 	defer c.endSession(tr, owner)
+	o, err := c.submitOnce(tx)
+	if err == nil && o != nil && c.mode == ModeSession &&
+		!o.Accepted && o.Retryable && c.sess == nil {
+		// The session was demoted mid-flight (expiry, budget, failover,
+		// policy change) — exactly the cases the protocol answers with a
+		// retryable rejection. The recovery is always the same: resubmit,
+		// which re-quotes through a fresh session open.
+		o, err = c.submitOnce(tx)
+	}
+	return o, err
+}
+
+// submitOnce runs one submit/challenge/confirm round.
+func (c *Client) submitOnce(tx *Transaction) (*Outcome, error) {
 	resp, err := c.roundTrip(&SubmitTx{Tx: tx})
 	if err != nil {
 		return nil, err
@@ -263,6 +280,9 @@ func (c *Client) SubmitTransaction(tx *Transaction) (*Outcome, error) {
 // runConfirmation executes the confirmation PAL for a challenge and
 // submits the resulting proof.
 func (c *Client) runConfirmation(ch *Challenge) (*Outcome, error) {
+	if c.mode == ModeSession {
+		return c.runSessionConfirmation(ch)
+	}
 	if c.mode == ModeHMAC && c.sealedKey == nil {
 		return nil, ErrNotProvisioned
 	}
@@ -419,6 +439,169 @@ func (c *Client) ProvisionHMACKey() (*Outcome, error) {
 		c.sealedKey = out.SealedKey
 		c.sealedKeyBatch = out.SealedKeyBatch
 		c.providerPK = ch.ProviderPubDER
+	}
+	return outcome, nil
+}
+
+// clientSession is the client's half of one attested session: the
+// sealed key only the session-confirm PAL can use, plus the counter
+// discipline the provider enforces.
+type clientSession struct {
+	id        uint64
+	account   string
+	sealedKey []byte
+	counter   uint64
+	used      uint32
+	maxTx     uint32
+}
+
+// Session reports the live attested session's ID and remaining budget
+// (0, 0 when none), for tests and the experiment harness.
+func (c *Client) Session() (id uint64, remaining uint32) {
+	if c.sess == nil {
+		return 0, 0
+	}
+	return c.sess.id, c.sess.maxTx - c.sess.used
+}
+
+// OpenSession establishes an attested session for an account: one full
+// quote over the session binding buys MaxTx symmetric confirmations.
+// The session ID is derived from the challenge nonce — deterministic,
+// collision-checked by the provider, and fixed before the PAL runs so
+// the quoted binding covers it.
+func (c *Client) OpenSession(account string) error {
+	tr, owner := c.beginSession("session-open " + account)
+	defer c.endSession(tr, owner)
+	resp, err := c.roundTrip(&SessionOpen{PlatformID: c.cert.PlatformID, Account: account})
+	if err != nil {
+		return err
+	}
+	ch, ok := resp.(*SessionChallenge)
+	if !ok {
+		if o, isOutcome := resp.(*Outcome); isOutcome {
+			return fmt.Errorf("core: session open refused: %s", o.Reason)
+		}
+		return fmt.Errorf("%w: %T to SessionOpen", ErrUnexpectedResponse, resp)
+	}
+	sid := binary.BigEndian.Uint64(ch.Nonce[:8])
+	// Register (or reuse) the session-open PAL pinned to this provider
+	// key — same MITM defence as provisioning: a substituted key changes
+	// the measured image, which the provider will not approve.
+	pal := NewSessionOpenPAL(ch.ProviderPubDER)
+	if err := c.manager.Register(pal); err != nil && !errors.Is(err, flicker.ErrPALExists) {
+		return err
+	}
+	in := sessionOpenInput{
+		Nonce:          ch.Nonce,
+		ProviderPubDER: ch.ProviderPubDER,
+		KexPub:         ch.KexPub,
+		Account:        account,
+		SessionID:      sid,
+	}
+	res, err := c.manager.Run(pal.Name, in.marshal())
+	if err != nil {
+		return err
+	}
+	c.recordLaunch(res.Report)
+	if res.PALErr != nil {
+		return fmt.Errorf("%w: %w", ErrPALFailed, res.PALErr)
+	}
+	out, err := parseSessionOpenOutput(res.Output)
+	if err != nil {
+		return err
+	}
+	evidence, err := c.quoteEvidence(ch.Nonce)
+	if err != nil {
+		return err
+	}
+	resp, err = c.roundTrip(&SessionProve{
+		Nonce:      ch.Nonce,
+		PlatformID: c.cert.PlatformID,
+		Account:    account,
+		SessionID:  sid,
+		EncKey:     out.EncKey,
+		Evidence:   evidence,
+	})
+	if err != nil {
+		return err
+	}
+	grant, ok := resp.(*SessionGrant)
+	if !ok {
+		if o, isOutcome := resp.(*Outcome); isOutcome {
+			return fmt.Errorf("core: session open rejected: %s", o.Reason)
+		}
+		return fmt.Errorf("%w: %T to SessionProve", ErrUnexpectedResponse, resp)
+	}
+	c.sess = &clientSession{
+		id:        grant.SessionID,
+		account:   account,
+		sealedKey: out.SealedKey,
+		maxTx:     grant.MaxTx,
+	}
+	return nil
+}
+
+// runSessionConfirmation answers a confirmation challenge in session
+// mode, opening (or re-opening) the session first when none covers the
+// transaction's account or the local budget is spent. The human
+// interaction is identical to the quote path; only the proof changes.
+func (c *Client) runSessionConfirmation(ch *Challenge) (*Outcome, error) {
+	account := ch.Tx.From
+	if c.sess == nil || c.sess.account != account || c.sess.used >= c.sess.maxTx {
+		if err := c.OpenSession(account); err != nil {
+			return nil, err
+		}
+	}
+	sess := c.sess
+	counter := sess.counter + 1
+	in := sessionConfirmInput{
+		Nonce:     ch.Nonce,
+		TxBytes:   ch.Tx.Marshal(),
+		SealedKey: sess.sealedKey,
+		SessionID: sess.id,
+		Counter:   counter,
+	}
+	res, err := c.manager.Run(SessionConfirmPALName, in.marshal())
+	if err != nil {
+		return nil, err
+	}
+	c.lastReport = res.Report
+	c.recordLaunch(res.Report)
+	if res.PALErr != nil {
+		c.session.Event("pal.error", res.PALErr.Error())
+		return nil, fmt.Errorf("%w: %w", ErrPALFailed, res.PALErr)
+	}
+	out, err := parseSessionConfirmOutput(res.Output)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.roundTrip(&ConfirmTxSession{
+		Nonce:     ch.Nonce,
+		Confirmed: out.Confirmed,
+		SessionID: sess.id,
+		Counter:   counter,
+		MAC:       out.MAC,
+	})
+	if err != nil {
+		return nil, err
+	}
+	outcome, ok := resp.(*Outcome)
+	if !ok {
+		return nil, fmt.Errorf("%w: %T to ConfirmTxSession", ErrUnexpectedResponse, resp)
+	}
+	if outcome.TxID != "" && outcome.TxID != ch.Tx.ID {
+		return nil, fmt.Errorf("%w: outcome for transaction %q, confirmed %q",
+			ErrUnexpectedResponse, outcome.TxID, ch.Tx.ID)
+	}
+	if outcome.Authentic {
+		// The provider verified the MAC and advanced the session; keep
+		// the local counter in lock-step (denials advance it too).
+		sess.counter = counter
+		sess.used++
+	} else if !outcome.Accepted && outcome.Retryable {
+		// Demoted (or never known) on the provider — only a fresh quote
+		// recovers, so drop the session; SubmitTransaction retries once.
+		c.sess = nil
 	}
 	return outcome, nil
 }

@@ -78,6 +78,7 @@ func newRig(t *testing.T, prot *platform.Protections) *rig {
 		cryptoutil.SHA1(ProvisionPALImage(provider.PublicKeyDER())))
 	provider.Verifier().ApprovePAL(PINPALName, cryptoutil.SHA1(PINPALImage()))
 	provider.Verifier().ApprovePAL(BatchPALName, cryptoutil.SHA1(BatchPALImage()))
+	approveSessionPALs(provider)
 	if err := provider.EnrollCredential("alice", "2468"); err != nil {
 		t.Fatal(err)
 	}

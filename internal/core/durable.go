@@ -198,7 +198,7 @@ type committer struct {
 	mu      sync.Mutex
 	idle    sync.Cond // signaled at committer exit; see waitCommitterIdle
 	queue   []*commitReq
-	leading bool      // a commitLoop goroutine is running
+	leading bool // a commitLoop goroutine is running
 
 	// arriving counts requests that entered the pipelined durable path
 	// but have not yet enqueued their journal (they are mid-verify or
@@ -569,6 +569,8 @@ func statsFields(s *ProviderStats) []*int {
 		&s.LoginsGranted, &s.LoginsRejected, &s.BatchesConfirmed,
 		&s.CorruptFrames, &s.DowngradesRequested,
 		&s.FallbackPassed, &s.FallbackFailed,
+		&s.SessionsOpened, &s.SessionsConfirmed,
+		&s.SessionDemotions, &s.ExpiredSessions,
 	}
 }
 

@@ -32,6 +32,11 @@ const (
 	MsgFallbackRequest
 	MsgFallbackChallenge
 	MsgFallbackAnswer
+	MsgSessionOpen
+	MsgSessionChallenge
+	MsgSessionProve
+	MsgSessionGrant
+	MsgConfirmTxSession
 )
 
 // ConfirmMode selects how a confirmation is authenticated.
@@ -48,6 +53,12 @@ const (
 	// replaces the per-transaction RSA quote with a symmetric
 	// operation).
 	ModeHMAC
+
+	// ModeSession authenticates with an HMAC under an attested
+	// per-session key plus a monotonic counter: one full quote
+	// verification opens the session, and confirmations inside it pay
+	// only symmetric crypto until policy forces a re-quote.
+	ModeSession
 )
 
 // String names the mode for tables.
@@ -57,6 +68,8 @@ func (m ConfirmMode) String() string {
 		return "quote"
 	case ModeHMAC:
 		return "hmac"
+	case ModeSession:
+		return "session"
 	default:
 		return "unknown"
 	}
@@ -295,6 +308,114 @@ type FallbackAnswer struct {
 	Tx *Transaction
 }
 
+// SessionOpen asks for an attested-session challenge: one full quote
+// verification whose payoff is a sealed session key that authenticates
+// subsequent confirmations symmetrically.
+type SessionOpen struct {
+	// PlatformID is the client's certified platform pseudonym.
+	PlatformID string
+
+	// Account is the account the session will confirm transactions
+	// for (sessions are per-account; the quoted binding pins it).
+	Account string
+}
+
+// SessionChallenge supplies the session-open nonce, the provider's
+// keys for session-key agreement, and the session policy the provider
+// will enforce.
+type SessionChallenge struct {
+	// Nonce is the single-use challenge value.
+	Nonce attest.Nonce
+
+	// ProviderPubDER is the provider's RSA public key (PKCS#1 DER) —
+	// the identity the session-open PAL pins (a substituted key changes
+	// the measured PAL image, which the provider will not approve).
+	ProviderPubDER []byte
+
+	// KexPub is the provider's X25519 key-agreement public key (32
+	// bytes). The session key is derived from an ECDH exchange against
+	// it rather than sealed under the RSA key: one curve multiplication
+	// instead of an RSA private decrypt keeps the session-open cost off
+	// the provider's critical path (see DESIGN.md §15).
+	KexPub []byte
+
+	// Scheme is the provider's crypto profile; clients on a different
+	// profile learn the mismatch here instead of at verify time.
+	Scheme cryptoutil.SchemeID
+
+	// MaxTx is how many session-mode confirmations the session may
+	// authenticate before a full re-quote is forced (the re-quote
+	// interval N).
+	MaxTx uint32
+
+	// MaxAgeNano is the session lifetime in nanoseconds (the re-quote
+	// interval T).
+	MaxAgeNano uint64
+}
+
+// SessionProve answers a session challenge with a full attestation: the
+// quote binds the nonce, the account, the client-chosen session ID, and
+// the digest of the encrypted session key into PCR 23.
+type SessionProve struct {
+	// Nonce identifies the challenge.
+	Nonce attest.Nonce
+
+	// PlatformID is the platform opening the session.
+	PlatformID string
+
+	// Account is the account the session is for.
+	Account string
+
+	// SessionID is the client-chosen session identifier (collisions
+	// are refused; letting the client pick means evidence can be
+	// minted before first contact).
+	SessionID uint64
+
+	// EncKey is the client's ephemeral X25519 public share (32 bytes);
+	// both sides derive the session key from the exchange, and the
+	// quoted binding pins this exact share.
+	EncKey []byte
+
+	// Evidence is a marshalled attest.Evidence over the session
+	// binding.
+	Evidence []byte
+}
+
+// SessionGrant acknowledges an established attested session and echoes
+// the policy under which it will be honored.
+type SessionGrant struct {
+	// SessionID is the granted session.
+	SessionID uint64
+
+	// MaxTx echoes the enforced re-quote transaction budget.
+	MaxTx uint32
+
+	// MaxAgeNano echoes the enforced session lifetime.
+	MaxAgeNano uint64
+}
+
+// ConfirmTxSession confirms a challenged transaction under an attested
+// session: an HMAC over the confirmation binding plus a strictly
+// increasing session counter replaces the per-transaction quote.
+type ConfirmTxSession struct {
+	// Nonce identifies the challenge being answered.
+	Nonce attest.Nonce
+
+	// Confirmed is the human's claimed decision (authenticated by the
+	// MAC).
+	Confirmed bool
+
+	// SessionID names the attested session.
+	SessionID uint64
+
+	// Counter is the session's monotonic confirmation counter; the
+	// provider accepts only strictly increasing values.
+	Counter uint64
+
+	// MAC is the HMAC over the session confirmation binding.
+	MAC []byte
+}
+
 // putTxSlice appends a length-prefixed transaction sequence.
 func putTxSlice(b *cryptoutil.Buffer, txs []Transaction) {
 	b.PutUint32(uint32(len(txs)))
@@ -451,6 +572,38 @@ func EncodeMessage(msg any) ([]byte, error) {
 		b.PutUint64(m.ID)
 		b.PutString(m.Response)
 		writeTransaction(b, m.Tx)
+	case *SessionOpen:
+		b.PutUint8(uint8(MsgSessionOpen))
+		b.PutString(m.PlatformID)
+		b.PutString(m.Account)
+	case *SessionChallenge:
+		b.PutUint8(uint8(MsgSessionChallenge))
+		b.PutRaw(m.Nonce[:])
+		b.PutBytes(m.ProviderPubDER)
+		b.PutBytes(m.KexPub)
+		b.PutUint8(uint8(m.Scheme))
+		b.PutUint32(m.MaxTx)
+		b.PutUint64(m.MaxAgeNano)
+	case *SessionProve:
+		b.PutUint8(uint8(MsgSessionProve))
+		b.PutRaw(m.Nonce[:])
+		b.PutString(m.PlatformID)
+		b.PutString(m.Account)
+		b.PutUint64(m.SessionID)
+		b.PutBytes(m.EncKey)
+		b.PutBytes(m.Evidence)
+	case *SessionGrant:
+		b.PutUint8(uint8(MsgSessionGrant))
+		b.PutUint64(m.SessionID)
+		b.PutUint32(m.MaxTx)
+		b.PutUint64(m.MaxAgeNano)
+	case *ConfirmTxSession:
+		b.PutUint8(uint8(MsgConfirmTxSession))
+		b.PutRaw(m.Nonce[:])
+		b.PutBool(m.Confirmed)
+		b.PutUint64(m.SessionID)
+		b.PutUint64(m.Counter)
+		b.PutBytes(m.MAC)
 	default:
 		return nil, fmt.Errorf("%w: unknown message type %T", ErrBadMessage, msg)
 	}
@@ -573,6 +726,43 @@ func DecodeMessage(data []byte) (any, error) {
 		m.ID = r.Uint64()
 		m.Response = r.String()
 		m.Tx, err = readTransaction(r)
+		msg = m
+	case MsgSessionOpen:
+		m := &SessionOpen{}
+		m.PlatformID = r.String()
+		m.Account = r.String()
+		msg = m
+	case MsgSessionChallenge:
+		m := &SessionChallenge{}
+		copy(m.Nonce[:], r.Raw(attest.NonceSize))
+		m.ProviderPubDER = r.Bytes()
+		m.KexPub = r.Bytes()
+		m.Scheme = cryptoutil.SchemeID(r.Uint8())
+		m.MaxTx = r.Uint32()
+		m.MaxAgeNano = r.Uint64()
+		msg = m
+	case MsgSessionProve:
+		m := &SessionProve{}
+		copy(m.Nonce[:], r.Raw(attest.NonceSize))
+		m.PlatformID = r.String()
+		m.Account = r.String()
+		m.SessionID = r.Uint64()
+		m.EncKey = r.Bytes()
+		m.Evidence = r.Bytes()
+		msg = m
+	case MsgSessionGrant:
+		m := &SessionGrant{}
+		m.SessionID = r.Uint64()
+		m.MaxTx = r.Uint32()
+		m.MaxAgeNano = r.Uint64()
+		msg = m
+	case MsgConfirmTxSession:
+		m := &ConfirmTxSession{}
+		copy(m.Nonce[:], r.Raw(attest.NonceSize))
+		m.Confirmed = r.Bool()
+		m.SessionID = r.Uint64()
+		m.Counter = r.Uint64()
+		m.MAC = r.Bytes()
 		msg = m
 	default:
 		return nil, fmt.Errorf("%w: unknown type tag %d", ErrBadMessage, kind)

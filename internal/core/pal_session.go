@@ -1,0 +1,276 @@
+package core
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+
+	"unitp/internal/attest"
+	"unitp/internal/cryptoutil"
+	"unitp/internal/flicker"
+	"unitp/internal/platform"
+	"unitp/internal/tpm"
+)
+
+// Session PAL names.
+const (
+	// SessionOpenPALName is the attested-session establishment PAL
+	// (instantiated per pinned provider key, like provisioning).
+	SessionOpenPALName = "unitp-session-open"
+
+	// SessionConfirmPALName is the session-mode confirmation PAL.
+	SessionConfirmPALName = "unitp-session-confirm"
+)
+
+// SessionConfirmPALImage is the measured identity of the session-mode
+// confirmation PAL. The session key is sealed to this identity, so only
+// a genuine session of exactly this PAL can MAC a confirmation.
+func SessionConfirmPALImage() []byte {
+	return []byte("unitp.pal.session-confirm.v1\x00session-mode confirmation logic")
+}
+
+// SessionOpenPALImage is the measured identity of the session-open PAL
+// for a specific provider key — pinned exactly like provisioning, so the
+// attested identity proves where the fresh session key can go.
+func SessionOpenPALImage(providerPubDER []byte) []byte {
+	h := sha256.Sum256(providerPubDER)
+	return append([]byte("unitp.pal.session-open.v1\x00pinned-provider-key:"), h[:]...)
+}
+
+// SessionOpenPALNameFor is the registered name of the session-open PAL
+// pinned to a provider key. The provider computes the same name to
+// demand it as the expected PAL of a session-open proof.
+func SessionOpenPALNameFor(providerPubDER []byte) string {
+	h := sha256.Sum256(providerPubDER)
+	return fmt.Sprintf("%s-%x", SessionOpenPALName, h[:4])
+}
+
+// sessionOpenInput is the marshalled input of the session-open PAL.
+type sessionOpenInput struct {
+	Nonce          attest.Nonce
+	ProviderPubDER []byte
+	KexPub         []byte // provider's X25519 key-agreement public key
+	Account        string
+	SessionID      uint64
+}
+
+func (in *sessionOpenInput) marshal() []byte {
+	b := cryptoutil.NewBuffer(48 + len(in.ProviderPubDER) + len(in.KexPub) + len(in.Account))
+	b.PutRaw(in.Nonce[:])
+	b.PutBytes(in.ProviderPubDER)
+	b.PutBytes(in.KexPub)
+	b.PutString(in.Account)
+	b.PutUint64(in.SessionID)
+	return b.Bytes()
+}
+
+func parseSessionOpenInput(data []byte) (*sessionOpenInput, error) {
+	r := cryptoutil.NewReader(data)
+	var in sessionOpenInput
+	copy(in.Nonce[:], r.Raw(attest.NonceSize))
+	in.ProviderPubDER = r.Bytes()
+	in.KexPub = r.Bytes()
+	in.Account = r.String()
+	in.SessionID = r.Uint64()
+	if err := r.ExpectEOF(); err != nil {
+		return nil, fmt.Errorf("%w: session-open input", ErrBadMessage)
+	}
+	return &in, nil
+}
+
+// sessionOpenOutput is the marshalled output of the session-open PAL.
+type sessionOpenOutput struct {
+	SealedKey []byte // sealed to the session-confirm PAL, kept by the client
+	EncKey    []byte // the PAL's ephemeral X25519 share, sent to the provider
+}
+
+func (out *sessionOpenOutput) marshal() []byte {
+	b := cryptoutil.NewBuffer(16 + len(out.SealedKey) + len(out.EncKey))
+	b.PutBytes(out.SealedKey)
+	b.PutBytes(out.EncKey)
+	return b.Bytes()
+}
+
+func parseSessionOpenOutput(data []byte) (*sessionOpenOutput, error) {
+	r := cryptoutil.NewReader(data)
+	var out sessionOpenOutput
+	out.SealedKey = r.Bytes()
+	out.EncKey = r.Bytes()
+	if err := r.ExpectEOF(); err != nil {
+		return nil, fmt.Errorf("%w: session-open output", ErrBadMessage)
+	}
+	return &out, nil
+}
+
+// NewSessionOpenPAL builds the session-establishment PAL for a specific
+// provider key: it runs an X25519 exchange against the provider's
+// key-agreement key with PAL-internal randomness, seals the derived
+// session key to the session-confirm PAL's launch identity, and extends
+// the session binding over its own public share — so the subsequent
+// quote proves this exact exchange reached this exact provider bound to
+// this account and session ID. The provider's RSA identity stays
+// pinned in the PAL image exactly as before; the key-agreement key
+// rides the challenge unauthenticated, which is safe because a
+// substituted KexPub only yields mismatched keys (every MAC fails and
+// the session demotes — denial of service, never forgery).
+func NewSessionOpenPAL(providerPubDER []byte) *flicker.PAL {
+	pinned := sha256.Sum256(providerPubDER)
+	return &flicker.PAL{
+		Name:    SessionOpenPALNameFor(providerPubDER),
+		Image:   SessionOpenPALImage(providerPubDER),
+		Compute: palCompute,
+		Entry: func(env *platform.LaunchEnv, input []byte) ([]byte, error) {
+			in, err := parseSessionOpenInput(input)
+			if err != nil {
+				return nil, err
+			}
+			if sha256.Sum256(in.ProviderPubDER) != pinned {
+				return nil, ErrProviderKeyMismatch
+			}
+			if err := env.ResetPCR(tpm.PCRApp); err != nil {
+				return nil, err
+			}
+			key, clientPub, err := SessionKeyExchange(envRandReader{env}, in.KexPub, in.Nonce)
+			if err != nil {
+				return nil, err
+			}
+			pcr17 := env.LaunchIdentity(cryptoutil.SHA1(SessionConfirmPALImage()))
+			composite, err := tpm.ComputeComposite(
+				[]int{tpm.PCRDRTM}, []cryptoutil.Digest{pcr17})
+			if err != nil {
+				return nil, err
+			}
+			sealed, err := env.Seal([]int{tpm.PCRDRTM}, composite, tpm.MaskOf(2), key)
+			if err != nil {
+				return nil, err
+			}
+			binding := SessionBinding(in.Nonce, in.Account, in.SessionID, cryptoutil.SHA1(clientPub))
+			if _, err := env.Extend(tpm.PCRApp, binding); err != nil {
+				return nil, err
+			}
+			out := sessionOpenOutput{SealedKey: sealed.Marshal(), EncKey: clientPub}
+			return out.marshal(), nil
+		},
+	}
+}
+
+// sessionConfirmInput is the marshalled input of the session-mode
+// confirmation PAL.
+type sessionConfirmInput struct {
+	Nonce     attest.Nonce
+	TxBytes   []byte
+	SealedKey []byte
+	SessionID uint64
+	Counter   uint64
+}
+
+func (in *sessionConfirmInput) marshal() []byte {
+	b := cryptoutil.NewBuffer(64 + len(in.TxBytes) + len(in.SealedKey))
+	b.PutRaw(in.Nonce[:])
+	b.PutBytes(in.TxBytes)
+	b.PutBytes(in.SealedKey)
+	b.PutUint64(in.SessionID)
+	b.PutUint64(in.Counter)
+	return b.Bytes()
+}
+
+func parseSessionConfirmInput(data []byte) (*sessionConfirmInput, error) {
+	r := cryptoutil.NewReader(data)
+	var in sessionConfirmInput
+	copy(in.Nonce[:], r.Raw(attest.NonceSize))
+	in.TxBytes = r.Bytes()
+	in.SealedKey = r.Bytes()
+	in.SessionID = r.Uint64()
+	in.Counter = r.Uint64()
+	if err := r.ExpectEOF(); err != nil {
+		return nil, fmt.Errorf("%w: session-confirm input", ErrBadMessage)
+	}
+	return &in, nil
+}
+
+// sessionConfirmOutput is the marshalled output of the session-mode
+// confirmation PAL.
+type sessionConfirmOutput struct {
+	Confirmed bool
+	MAC       []byte
+}
+
+func (out *sessionConfirmOutput) marshal() []byte {
+	b := cryptoutil.NewBuffer(8 + len(out.MAC))
+	b.PutBool(out.Confirmed)
+	b.PutBytes(out.MAC)
+	return b.Bytes()
+}
+
+func parseSessionConfirmOutput(data []byte) (*sessionConfirmOutput, error) {
+	r := cryptoutil.NewReader(data)
+	var out sessionConfirmOutput
+	out.Confirmed = r.Bool()
+	out.MAC = r.Bytes()
+	if err := r.ExpectEOF(); err != nil {
+		return nil, fmt.Errorf("%w: session-confirm output", ErrBadMessage)
+	}
+	return &out, nil
+}
+
+// NewSessionConfirmPAL builds the session-mode confirmation PAL: the
+// human interaction is identical to the quote-mode confirm PAL — the
+// transaction renders over the trusted path, the decision arrives over
+// exclusively owned input — but the proof is an HMAC under the sealed
+// session key instead of a fresh quote. Only a genuine launch of exactly
+// this PAL can unseal the key, so the input-side guarantee survives the
+// cheaper proof.
+func NewSessionConfirmPAL() *flicker.PAL {
+	return &flicker.PAL{
+		Name:    SessionConfirmPALName,
+		Image:   SessionConfirmPALImage(),
+		Compute: palCompute,
+		Entry: func(env *platform.LaunchEnv, input []byte) ([]byte, error) {
+			in, err := parseSessionConfirmInput(input)
+			if err != nil {
+				return nil, err
+			}
+			tx, err := UnmarshalTransaction(in.TxBytes)
+			if err != nil {
+				return nil, err
+			}
+			if err := env.ResetPCR(tpm.PCRApp); err != nil {
+				return nil, err
+			}
+			blob, err := tpm.UnmarshalSealedBlob(in.SealedKey)
+			if err != nil {
+				return nil, err
+			}
+			key, err := env.Unseal(blob)
+			if err != nil {
+				return nil, fmt.Errorf("core: unseal session key: %w", err)
+			}
+			if err := env.StoreSecret(key); err != nil {
+				return nil, err
+			}
+			if err := env.Display("TRUSTED CONFIRMATION — " + tx.Summary() + " — press y/n"); err != nil &&
+				!errors.Is(err, platform.ErrDeviceNotOwned) {
+				return nil, err
+			}
+			ev, err := env.WaitKey()
+			if errors.Is(err, platform.ErrNoInput) {
+				return nil, ErrNoHumanResponse
+			}
+			if err != nil {
+				return nil, err
+			}
+			confirmed := ev.Rune == 'y' || ev.Rune == 'Y'
+			txDigest := cryptoutil.SHA1(in.TxBytes)
+			binding := ConfirmationBinding(in.Nonce, txDigest, confirmed)
+			if _, err := env.Extend(tpm.PCRApp, binding); err != nil {
+				return nil, err
+			}
+			out := sessionConfirmOutput{
+				Confirmed: confirmed,
+				MAC: cryptoutil.HMACSHA256(key,
+					SessionMACMessage(in.Nonce, txDigest, confirmed, in.SessionID, in.Counter)),
+			}
+			return out.marshal(), nil
+		},
+	}
+}

@@ -40,6 +40,7 @@ type preVerified struct {
 	provision *preProvision
 	login     *preLogin
 	batch     *preBatch
+	session   *preSession
 }
 
 func (pv *preVerified) confirmPart() *preConfirm {
@@ -75,6 +76,13 @@ func (pv *preVerified) batchPart() *preBatch {
 		return nil
 	}
 	return pv.batch
+}
+
+func (pv *preVerified) sessionPart() *preSession {
+	if pv == nil {
+		return nil
+	}
+	return pv.session
 }
 
 // preConfirm is the pre-computed verification of a ConfirmTx. The
@@ -117,6 +125,15 @@ type preLogin struct {
 	ran        bool
 	res        *attest.Result
 	failReason string
+}
+
+// preSession carries a session-open proof's evidence verification and
+// OAEP key unwrap, mirroring preSessionProve's inline sequence.
+type preSession struct {
+	res        *attest.Result
+	failReason string
+	key        []byte
+	decErr     error
 }
 
 // preBatch carries a batch confirmation's evidence verification. ran is
@@ -169,6 +186,14 @@ func (p *Provider) preVerify(msg any, tr *obs.SessionTrace) *preVerified {
 		if pb := p.preConfirmBatch(m, pend); pb != nil {
 			return &preVerified{batch: pb}
 		}
+	case *SessionProve:
+		pend, ok := p.peekLive(m.Nonce, pendingSession)
+		if !ok || p.key == nil || pend.username != m.Account {
+			// Account-mismatched proofs are rejected by the inline gate
+			// before any crypto runs; matching that means skipping here.
+			return nil
+		}
+		return &preVerified{session: p.preSessionProve(m, tr)}
 	}
 	return nil
 }

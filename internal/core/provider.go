@@ -1,6 +1,7 @@
 package core
 
 import (
+	"crypto/ecdh"
 	"crypto/rsa"
 	"crypto/x509"
 	"errors"
@@ -11,6 +12,7 @@ import (
 
 	"unitp/internal/attest"
 	"unitp/internal/captcha"
+	"unitp/internal/cryptoutil"
 	"unitp/internal/metrics"
 	"unitp/internal/netsim"
 	"unitp/internal/obs"
@@ -195,6 +197,21 @@ type ProviderStats struct {
 	// FallbackFailed counts failed CAPTCHA answers on the degraded
 	// path.
 	FallbackFailed int
+	// SessionsOpened counts attested sessions established (one full
+	// quote verification each).
+	SessionsOpened int
+	// SessionsConfirmed counts transactions confirmed inside attested
+	// sessions (HMAC + counter, no per-transaction quote). Each also
+	// increments Confirmed.
+	SessionsConfirmed int
+	// SessionDemotions counts sessions killed by a demotion rule (MAC
+	// failure, replayed counter, expiry, budget, PAL revocation) — each
+	// forced the client back to a full re-quote.
+	SessionDemotions int
+	// ExpiredSessions counts attested sessions garbage-collected after
+	// their lifetime, distinct from ExpiredChallenges: the pools age
+	// under different policies.
+	ExpiredSessions int
 	// SweptByShard counts expiry-sweep evictions (expired challenges
 	// plus evicted cached outcomes) per session-state stripe. Filled by
 	// Stats() from the live shards; not persisted in snapshots.
@@ -210,6 +227,10 @@ const (
 	pendingProvision
 	pendingLogin
 	pendingBatch
+	// pendingSession is a session-open challenge; its pendingChallenge
+	// reuses the username field for the account, so the journal wire
+	// format is unchanged.
+	pendingSession
 )
 
 // pendingChallenge is one outstanding nonce's context.
@@ -261,6 +282,20 @@ type ProviderConfig struct {
 	// for epoch e is outranked (and fenced) by any instance at e+1.
 	// Zero is a valid epoch for standalone providers.
 	Epoch uint64
+
+	// Scheme selects the quote-signature crypto profile (nil = the
+	// paper-faithful RSA/SHA-1 profile, byte-identical to the
+	// pre-scheme code path). Batch-capable schemes additionally get a
+	// cohort signature batcher installed on the verifier.
+	Scheme cryptoutil.Scheme
+
+	// SessionMaxTx caps how many transactions one attested session may
+	// confirm before a full re-quote is forced (0 = default 64).
+	SessionMaxTx uint32
+
+	// SessionMaxAge caps an attested session's lifetime before a full
+	// re-quote is forced (0 = default 10 min).
+	SessionMaxAge time.Duration
 
 	// SerializeRequests restores the pre-pipeline engine: one global
 	// lock across decode, verification, the state transition, AND a
@@ -318,6 +353,25 @@ type Provider struct {
 	gcTick    atomic.Int64
 	serialize bool
 
+	// Attested sessions (see session.go). sessMu guards the table; the
+	// table is deliberately NOT journaled, so restarts and failovers
+	// force a full re-quote. sessPALName is the provider's pinned
+	// session-open PAL name and kexKey its X25519 key-agreement key
+	// (both empty/nil when p.key is nil); kexKey is immutable after
+	// construction and safe to read from the parallel verify stage.
+	sessMu      sync.Mutex
+	sessions    map[uint64]*attSession
+	sessMaxTx   uint32
+	sessMaxAge  time.Duration
+	sessPALName string
+	kexKey      *ecdh.PrivateKey
+
+	// Crypto profile (see internal/cryptoutil). scheme is nil for the
+	// paper-faithful RSA profile; sigbatch is non-nil only for
+	// batch-capable schemes (cohort signature verification).
+	scheme   cryptoutil.Scheme
+	sigbatch *sigBatcher
+
 	// Durability (see durable.go). stateMu serializes the state
 	// transition while a store is attached, so WAL order equals mutation
 	// order; commit is the group committer batching journals across
@@ -360,6 +414,12 @@ type providerInstruments struct {
 	outcomeRejected     *metrics.Counter
 	gcExpiredChallenges *metrics.Counter
 	gcExpiredOutcomes   *metrics.Counter
+	gcExpiredSessions   *metrics.Counter
+	sessionsOpened      *metrics.Counter
+	sessionsConfirmed   *metrics.Counter
+	sessionsDemoted     *metrics.Counter
+	certCacheHits       *metrics.Counter
+	certCacheMisses     *metrics.Counter
 	commits             *metrics.Counter
 	recoveries          *metrics.Counter
 	commitLatency       *metrics.BoundedHistogram
@@ -392,6 +452,12 @@ func (p *Provider) resolveInstruments() {
 		outcomeRejected:     m.Counter("provider.outcome.rejected"),
 		gcExpiredChallenges: m.Counter("provider.gc.expired_challenges"),
 		gcExpiredOutcomes:   m.Counter("provider.gc.expired_outcomes"),
+		gcExpiredSessions:   m.Counter("provider.gc.expired_sessions"),
+		sessionsOpened:      m.Counter("provider.sessions.opened"),
+		sessionsConfirmed:   m.Counter("provider.sessions.confirmed"),
+		sessionsDemoted:     m.Counter("provider.sessions.demoted"),
+		certCacheHits:       m.Counter("attest.cert_cache_hits"),
+		certCacheMisses:     m.Counter("attest.cert_cache_misses"),
 		commits:             m.Counter("provider.commits"),
 		recoveries:          m.Counter("provider.recoveries"),
 		commitLatency:       m.Histogram("provider.commit_latency"),
@@ -458,8 +524,36 @@ func NewProvider(cfg ProviderConfig) *Provider {
 	for i := range p.fbShards {
 		p.fbShards[i].outcomes = make(map[uint64]Outcome)
 	}
+	p.sessions = make(map[uint64]*attSession)
+	p.sessMaxTx = cfg.SessionMaxTx
+	if p.sessMaxTx == 0 {
+		p.sessMaxTx = defaultSessionMaxTx
+	}
+	p.sessMaxAge = cfg.SessionMaxAge
+	if p.sessMaxAge == 0 {
+		p.sessMaxAge = defaultSessionMaxAge
+	}
+	if p.key != nil {
+		p.sessPALName = SessionOpenPALNameFor(p.PublicKeyDER())
+		p.kexKey = sessionKexKey(p.key)
+	}
+	if cfg.Scheme != nil {
+		p.scheme = cfg.Scheme
+		p.verifier.SetScheme(cfg.Scheme)
+		if bv, ok := cryptoutil.BatchCapable(cfg.Scheme); ok {
+			p.sigbatch = newSigBatcher(bv)
+			p.verifier.SetQuoteSigVerifier(p.sigbatch.verify)
+		}
+	}
 	p.commit.init()
 	p.resolveInstruments()
+	// Mirror the verifier's certificate-cache effectiveness into the
+	// registry (instruments are re-resolved on SetObservability; the
+	// hooks read p.ins at fire time, so they follow rebinds).
+	p.verifier.SetCertCacheHooks(
+		func() { p.ins.certCacheHits.Inc() },
+		func() { p.ins.certCacheMisses.Inc() },
+	)
 	return p
 }
 
@@ -477,12 +571,15 @@ func (p *Provider) GC() int {
 		n += e
 		evicted += v
 	}
+	sessions := p.sweepSessions(now)
 	p.count(func(s *ProviderStats) {
 		s.ExpiredChallenges += n
 		s.ExpiredOutcomes += evicted
+		s.ExpiredSessions += sessions
 	})
 	p.ins.gcExpiredChallenges.Add(int64(n))
 	p.ins.gcExpiredOutcomes.Add(int64(evicted))
+	p.ins.gcExpiredSessions.Add(int64(sessions))
 	return n
 }
 
@@ -825,6 +922,12 @@ func (p *Provider) dispatch(msg any, pre *preVerified, j *journal, tr *obs.Sessi
 		resp = p.handleFallbackRequest(m, j)
 	case *FallbackAnswer:
 		resp = p.handleFallbackAnswer(m, j)
+	case *SessionOpen:
+		resp = p.handleSessionOpen(m, j)
+	case *SessionProve:
+		resp = p.handleSessionProve(m, pre.sessionPart(), j, tr)
+	case *ConfirmTxSession:
+		resp = p.handleConfirmSession(m, j, tr)
 	default:
 		return nil, fmt.Errorf("%w: unexpected %T", ErrBadMessage, msg)
 	}

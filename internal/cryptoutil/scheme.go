@@ -1,0 +1,331 @@
+package cryptoutil
+
+import (
+	"crypto"
+	"crypto/ed25519"
+	"crypto/rsa"
+	"crypto/x509"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+)
+
+// Pluggable crypto backends. The attestation signature algorithm — what
+// signs a quote and what an AIK certificate certifies — lives behind the
+// narrow Scheme interface below (mirroring the CryptoProvider pattern of
+// consensus clients: a handful of verbs, swappable backends). The
+// paper-faithful profile is RSA-2048 with SHA-1 digests (TPM v1.2); an
+// Ed25519 profile and an Ed25519 batch-verification profile sit next to
+// it. Everything above this file — the TPM quote code, the attestation
+// verifier, the provider — dispatches through a Scheme and never names
+// an algorithm.
+//
+// Wire compatibility: SchemeRSA is the zero value, and every RSA wire
+// format (certificates, quotes, evidence) is byte-identical to the
+// pre-scheme encoding. Non-RSA profiles use tagged encodings that the
+// legacy parsers cannot produce, so mixed deployments fail loudly at
+// decode or verify time rather than silently cross-verifying.
+
+// SchemeID identifies a crypto profile on the wire and in handshakes.
+type SchemeID uint8
+
+// Crypto profiles.
+const (
+	// SchemeRSA is the paper-faithful TPM v1.2 profile: RSA-2048
+	// PKCS#1 v1.5 signatures over SHA-1 digests. The zero value, so
+	// legacy structs decode as RSA.
+	SchemeRSA SchemeID = 0
+
+	// SchemeEd25519 signs quotes with Ed25519 (RFC 8032).
+	SchemeEd25519 SchemeID = 1
+
+	// SchemeEd25519Batch is Ed25519 with cohort batch verification:
+	// the provider collects concurrently in-flight quote signatures
+	// (the same yield-before-cut cohort discipline as WAL group
+	// commit) and verifies each cohort in one VerifyBatch call.
+	SchemeEd25519Batch SchemeID = 2
+)
+
+// String names the profile for flags, tables, and handshake errors.
+func (id SchemeID) String() string {
+	switch id {
+	case SchemeRSA:
+		return "rsa"
+	case SchemeEd25519:
+		return "ed25519"
+	case SchemeEd25519Batch:
+		return "ed25519-batch"
+	default:
+		return fmt.Sprintf("scheme(%d)", uint8(id))
+	}
+}
+
+// ErrUnknownScheme is returned for unregistered scheme IDs or names.
+var ErrUnknownScheme = errors.New("cryptoutil: unknown crypto scheme")
+
+// ErrBadSignature is returned by Scheme.Verify for invalid signatures.
+var ErrBadSignature = errors.New("cryptoutil: signature verification failed")
+
+// Signer holds one attestation signing key under some scheme.
+type Signer interface {
+	// Scheme identifies the profile this key belongs to.
+	Scheme() SchemeID
+
+	// Public returns the scheme-specific public key encoding (PKCS#1
+	// DER for RSA, 32 raw bytes for Ed25519).
+	Public() []byte
+
+	// Sign signs msg. The digest step (if any) is the scheme's
+	// business: RSA hashes msg with SHA-1 first, Ed25519 signs msg
+	// directly. random may be nil for deterministic schemes.
+	Sign(random io.Reader, msg []byte) ([]byte, error)
+}
+
+// Scheme is the narrow swappable-crypto interface: generate a key,
+// encode/verify signatures. Implementations must be safe for concurrent
+// use.
+type Scheme interface {
+	// ID is the wire/handshake identifier.
+	ID() SchemeID
+
+	// Name is the flag-friendly profile name.
+	Name() string
+
+	// GenerateKey creates a signer from the given randomness source.
+	GenerateKey(random io.Reader) (Signer, error)
+
+	// Verify checks sig over msg under the scheme-encoded public key.
+	// Returns nil on success, ErrBadSignature (possibly wrapped) on
+	// failure.
+	Verify(pub, msg, sig []byte) error
+
+	// CheckPublicKey reports whether pub is a well-formed public key
+	// under this scheme. Enrollment calls this so a client built for a
+	// different profile is refused at certify time with a clear error,
+	// instead of obtaining a certificate every later quote verification
+	// rejects.
+	CheckPublicKey(pub []byte) error
+}
+
+// BatchVerifier is implemented by schemes that can verify a whole
+// cohort of signatures in one call. Verdicts are per-item and
+// positionally aligned with the inputs, so a failing item is attributed
+// without re-verifying the cohort.
+type BatchVerifier interface {
+	VerifyBatch(pubs, msgs, sigs [][]byte) []error
+}
+
+// --- RSA (paper-faithful TPM v1.2 profile) ---
+
+type rsaScheme struct{ bits int }
+
+type rsaSigner struct {
+	key *rsa.PrivateKey
+	der []byte
+}
+
+func (s *rsaSigner) Scheme() SchemeID { return SchemeRSA }
+func (s *rsaSigner) Public() []byte   { return s.der }
+
+func (s *rsaSigner) Sign(random io.Reader, msg []byte) ([]byte, error) {
+	digest := SHA1(msg)
+	sig, err := rsa.SignPKCS1v15(random, s.key, crypto.SHA1, digest[:])
+	if err != nil {
+		return nil, fmt.Errorf("cryptoutil: rsa sign: %w", err)
+	}
+	return sig, nil
+}
+
+func (rsaScheme) ID() SchemeID { return SchemeRSA }
+func (rsaScheme) Name() string { return "rsa" }
+
+func (sch rsaScheme) GenerateKey(random io.Reader) (Signer, error) {
+	bits := sch.bits
+	if bits == 0 {
+		bits = DefaultRSABits
+	}
+	key, err := GenerateRSAKey(random, bits)
+	if err != nil {
+		return nil, err
+	}
+	return NewRSASigner(key), nil
+}
+
+// NewRSASigner wraps an existing RSA key as a scheme signer (so pooled
+// and pre-enrolled keys slot into the scheme interface).
+func NewRSASigner(key *rsa.PrivateKey) Signer {
+	return &rsaSigner{key: key, der: x509.MarshalPKCS1PublicKey(&key.PublicKey)}
+}
+
+func (rsaScheme) CheckPublicKey(pub []byte) error {
+	if _, err := x509.ParsePKCS1PublicKey(pub); err != nil {
+		return fmt.Errorf("cryptoutil: rsa: bad public key: %v", err)
+	}
+	return nil
+}
+
+func (rsaScheme) Verify(pub, msg, sig []byte) error {
+	key, err := x509.ParsePKCS1PublicKey(pub)
+	if err != nil {
+		return fmt.Errorf("%w: bad RSA public key: %v", ErrBadSignature, err)
+	}
+	digest := SHA1(msg)
+	if err := rsa.VerifyPKCS1v15(key, crypto.SHA1, digest[:], sig); err != nil {
+		return ErrBadSignature
+	}
+	return nil
+}
+
+// --- Ed25519 ---
+
+type ed25519Scheme struct{ batch bool }
+
+type ed25519Signer struct {
+	priv ed25519.PrivateKey
+	id   SchemeID
+}
+
+func (s *ed25519Signer) Scheme() SchemeID { return s.id }
+func (s *ed25519Signer) Public() []byte {
+	return []byte(s.priv.Public().(ed25519.PublicKey))
+}
+
+func (s *ed25519Signer) Sign(_ io.Reader, msg []byte) ([]byte, error) {
+	return ed25519.Sign(s.priv, msg), nil
+}
+
+func (sch ed25519Scheme) ID() SchemeID {
+	if sch.batch {
+		return SchemeEd25519Batch
+	}
+	return SchemeEd25519
+}
+
+func (sch ed25519Scheme) Name() string { return sch.ID().String() }
+
+func (sch ed25519Scheme) GenerateKey(random io.Reader) (Signer, error) {
+	_, priv, err := ed25519.GenerateKey(random)
+	if err != nil {
+		return nil, fmt.Errorf("cryptoutil: ed25519 keygen: %w", err)
+	}
+	return &ed25519Signer{priv: priv, id: sch.ID()}, nil
+}
+
+func (sch ed25519Scheme) CheckPublicKey(pub []byte) error {
+	if len(pub) != ed25519.PublicKeySize {
+		return fmt.Errorf("cryptoutil: %s: bad public key length %d (want %d; an RSA-profile client cannot enroll under an Ed25519 server)",
+			sch.Name(), len(pub), ed25519.PublicKeySize)
+	}
+	return nil
+}
+
+func (ed25519Scheme) Verify(pub, msg, sig []byte) error {
+	if len(pub) != ed25519.PublicKeySize {
+		return fmt.Errorf("%w: bad ed25519 public key length %d", ErrBadSignature, len(pub))
+	}
+	if !ed25519.Verify(ed25519.PublicKey(pub), msg, sig) {
+		return ErrBadSignature
+	}
+	return nil
+}
+
+// VerifyBatch verifies a cohort of Ed25519 signatures in one call,
+// deduplicating repeated (pub, msg, sig) triples (retransmissions) and
+// fanning the distinct items across cores. Without curve-level
+// multi-scalar multiplication (which would need an external Edwards
+// arithmetic package this repo deliberately avoids) per-item cost
+// matches single verification; the batch entry point is what the
+// provider's cohort collector calls, and a true MSM backend drops in
+// behind it without touching any caller.
+func (sch ed25519Scheme) VerifyBatch(pubs, msgs, sigs [][]byte) []error {
+	n := len(pubs)
+	verdicts := make([]error, n)
+	type slot struct{ first int }
+	seen := make(map[string]slot, n)
+	dupOf := make([]int, n)
+	distinct := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		key := string(pubs[i]) + "\x00" + string(msgs[i]) + "\x00" + string(sigs[i])
+		if s, ok := seen[key]; ok {
+			dupOf[i] = s.first
+			continue
+		}
+		seen[key] = slot{first: i}
+		dupOf[i] = i
+		distinct = append(distinct, i)
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(distinct) {
+		workers = len(distinct)
+	}
+	if workers <= 1 {
+		for _, i := range distinct {
+			verdicts[i] = sch.Verify(pubs[i], msgs[i], sigs[i])
+		}
+	} else {
+		var wg sync.WaitGroup
+		ch := make(chan int, len(distinct))
+		for _, i := range distinct {
+			ch <- i
+		}
+		close(ch)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range ch {
+					verdicts[i] = sch.Verify(pubs[i], msgs[i], sigs[i])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for i := 0; i < n; i++ {
+		if dupOf[i] != i {
+			verdicts[i] = verdicts[dupOf[i]]
+		}
+	}
+	return verdicts
+}
+
+// --- Registry ---
+
+var schemes = map[SchemeID]Scheme{
+	SchemeRSA:          rsaScheme{},
+	SchemeEd25519:      ed25519Scheme{batch: false},
+	SchemeEd25519Batch: ed25519Scheme{batch: true},
+}
+
+// SchemeByID resolves a profile by wire identifier.
+func SchemeByID(id SchemeID) (Scheme, error) {
+	s, ok := schemes[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: id %d", ErrUnknownScheme, uint8(id))
+	}
+	return s, nil
+}
+
+// SchemeByName resolves a profile by flag name (rsa, ed25519,
+// ed25519-batch).
+func SchemeByName(name string) (Scheme, error) {
+	for _, s := range schemes {
+		if s.Name() == name {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %q", ErrUnknownScheme, name)
+}
+
+// SchemeNames lists the registered profile names (for flag help).
+func SchemeNames() []string {
+	return []string{"rsa", "ed25519", "ed25519-batch"}
+}
+
+// BatchCapable reports whether a scheme supports cohort verification,
+// returning the batch entry point when it does.
+func BatchCapable(s Scheme) (BatchVerifier, bool) {
+	bv, ok := s.(BatchVerifier)
+	return bv, ok
+}

@@ -61,6 +61,7 @@ func All() []Runner {
 		{ID: "f13", Title: "Figure F13: provider fleet — kill-a-shard chaos and shard scaling", Run: RunF13},
 		{ID: "f14", Title: "Figure F14: hardened TCP transport — socket chaos, overload shedding, netsim vs TCP", Run: RunF14},
 		{ID: "f15", Title: "Figure F15: distributed fleet — multi-process kill matrix over real TCP", Run: RunF15},
+		{ID: "f16", Title: "Figure F16: confirmation throughput by crypto profile × re-quote interval", Run: RunF16},
 	}
 }
 

@@ -8,8 +8,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	runners := All()
-	if len(runners) != 18 {
-		t.Fatalf("registry has %d experiments, want 18 (T1-T3, F1-F15)", len(runners))
+	if len(runners) != 19 {
+		t.Fatalf("registry has %d experiments, want 19 (T1-T3, F1-F16)", len(runners))
 	}
 	seen := make(map[string]bool)
 	for _, r := range runners {

@@ -98,10 +98,10 @@ type FleetStats struct {
 // hooks and replication links.
 type FleetPlan struct {
 	mu        sync.Mutex
-	kills     map[int][]*fleetKill  // shard -> scheduled kills
-	windows   map[int][]linkWindow  // shard -> link disturbances
-	committed map[int]uint64        // shard -> groups committed so far
-	ships     map[[2]int]uint64     // (shard, follower) -> shipping attempts so far
+	kills     map[int][]*fleetKill // shard -> scheduled kills
+	windows   map[int][]linkWindow // shard -> link disturbances
+	committed map[int]uint64       // shard -> groups committed so far
+	ships     map[[2]int]uint64    // (shard, follower) -> shipping attempts so far
 	stats     FleetStats
 }
 

@@ -31,8 +31,12 @@ import (
 
 // HelloVersion is the role-handshake protocol version. A mismatched
 // version is refused with ErrCodePermanent — old and new binaries do
-// not silently interoperate.
-const HelloVersion uint8 = 1
+// not silently interoperate. Version 2 added the crypto-profile byte:
+// data-plane channels (router requests, WAL shipping) refuse a peer
+// running a different quote-signature scheme, because a mixed-profile
+// shard would verify evidence its siblings cannot re-verify from the
+// audit chain.
+const HelloVersion uint8 = 2
 
 // Hello kinds: what the connection will carry.
 const (
@@ -59,6 +63,7 @@ const (
 type Hello struct {
 	Version uint8
 	Kind    uint8
+	Scheme  uint8 // sender's crypto profile (cryptoutil.SchemeID); ctl channels ignore it
 	Shard   uint32
 	Member  uint32 // sender's member index (0 for the router)
 	Epoch   uint64 // the epoch the sender believes the shard serves at
@@ -69,6 +74,7 @@ type Hello struct {
 type Welcome struct {
 	Version uint8
 	Role    uint8  // WelcomePrimary or WelcomeFollower
+	Scheme  uint8  // the member's crypto profile (cryptoutil.SchemeID)
 	Epoch   uint64 // the member's current epoch
 	Applied uint64 // the member's stream position (followers) or frontier (primaries)
 }
@@ -89,6 +95,7 @@ func EncodeHello(h Hello) []byte {
 	b.PutUint8(helloTag)
 	b.PutUint8(h.Version)
 	b.PutUint8(h.Kind)
+	b.PutUint8(h.Scheme)
 	b.PutUint32(h.Shard)
 	b.PutUint32(h.Member)
 	b.PutUint64(h.Epoch)
@@ -103,7 +110,7 @@ func DecodeHello(data []byte) (Hello, error) {
 		return Hello{}, fmt.Errorf("fleet: handshake: not a hello frame (tag %#x)", tag)
 	}
 	h := Hello{
-		Version: r.Uint8(), Kind: r.Uint8(),
+		Version: r.Uint8(), Kind: r.Uint8(), Scheme: r.Uint8(),
 		Shard: r.Uint32(), Member: r.Uint32(),
 		Epoch: r.Uint64(), Offset: r.Uint64(),
 	}
@@ -130,6 +137,7 @@ func EncodeWelcome(w Welcome) []byte {
 	b.PutUint8(welcomeTag)
 	b.PutUint8(w.Version)
 	b.PutUint8(w.Role)
+	b.PutUint8(w.Scheme)
 	b.PutUint64(w.Epoch)
 	b.PutUint64(w.Applied)
 	return b.Bytes()
@@ -141,7 +149,7 @@ func DecodeWelcome(data []byte) (Welcome, error) {
 	if tag := r.Uint8(); r.Err() == nil && tag != welcomeTag {
 		return Welcome{}, fmt.Errorf("fleet: handshake: not a welcome frame (tag %#x)", tag)
 	}
-	w := Welcome{Version: r.Uint8(), Role: r.Uint8(), Epoch: r.Uint64(), Applied: r.Uint64()}
+	w := Welcome{Version: r.Uint8(), Role: r.Uint8(), Scheme: r.Uint8(), Epoch: r.Uint64(), Applied: r.Uint64()}
 	if err := r.ExpectEOF(); err != nil {
 		return Welcome{}, fmt.Errorf("fleet: welcome frame: %w", err)
 	}

@@ -80,6 +80,12 @@ type NodeConfig struct {
 	// "follower". Once the node manifest exists, the manifest wins.
 	StartRole string
 
+	// Scheme is the quote-signature crypto profile this member runs
+	// (zero value = RSA). Data-plane hellos from a different profile are
+	// refused permanently: a shard must verify — and re-verify from the
+	// audit chain — under one profile.
+	Scheme cryptoutil.SchemeID
+
 	// Epoch is the starting epoch for a virgin deployment (default 1).
 	Epoch uint64
 
@@ -404,6 +410,7 @@ func (n *Node) shipHandshake() func(conn net.Conn) error {
 	return func(conn net.Conn) error {
 		h := Hello{
 			Kind:   HelloShip,
+			Scheme: uint8(n.cfg.Scheme),
 			Shard:  uint32(n.cfg.Shard),
 			Member: uint32(n.cfg.Member),
 			Epoch:  n.helloEpoch.Load(),
@@ -441,6 +448,16 @@ func (n *Node) Accept(conn net.Conn) (netsim.Handler, error) {
 	if int(h.Shard) != n.cfg.Shard {
 		return nil, refuseHello(conn, netsim.ErrCodePermanent,
 			fmt.Errorf("fleet: hello for shard %d, this member serves shard %d", h.Shard, n.cfg.Shard))
+	}
+	// Data-plane channels must agree on the crypto profile: a router or
+	// shipping primary running a different scheme would hand this member
+	// evidence (or an audit chain) it cannot verify. Control channels are
+	// exempt — probes and promotions carry no attestation traffic.
+	if h.Kind != HelloCtl && h.Scheme != uint8(n.cfg.Scheme) {
+		n.count("fleet.scheme_mismatch")
+		return nil, refuseHello(conn, netsim.ErrCodePermanent,
+			fmt.Errorf("fleet: crypto profile mismatch: hello runs %s, member %d runs %s",
+				cryptoutil.SchemeID(h.Scheme), n.cfg.Member, n.cfg.Scheme))
 	}
 
 	n.mu.Lock()
@@ -509,7 +526,7 @@ func (n *Node) Accept(conn net.Conn) (netsim.Handler, error) {
 // welcomeLocked answers an accepted Hello with this member's current
 // role, epoch, and stream position.
 func (n *Node) welcomeLocked(conn net.Conn) error {
-	w := Welcome{Role: n.role, Epoch: n.epochFloorLocked()}
+	w := Welcome{Role: n.role, Scheme: uint8(n.cfg.Scheme), Epoch: n.epochFloorLocked()}
 	switch {
 	case n.role == WelcomePrimary && n.rep != nil:
 		w.Applied = n.rep.frontier()

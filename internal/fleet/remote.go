@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"unitp/internal/cryptoutil"
 	"unitp/internal/netsim"
 	"unitp/internal/obs"
 	"unitp/internal/wire"
@@ -26,6 +27,7 @@ import (
 type RemoteShard struct {
 	shard      int
 	members    []MemberAddr
+	scheme     cryptoutil.SchemeID
 	metrics    *obs.Registry
 	logger     *slog.Logger
 	ctlTimeout time.Duration
@@ -67,7 +69,8 @@ type RemoteShardConfig struct {
 	Members    []MemberAddr
 	Primary    int // member id believed primary (default: first member)
 	Epoch      uint64
-	CtlTimeout time.Duration // per-probe/per-command budget (default 2s)
+	Scheme     cryptoutil.SchemeID // crypto profile asserted in the router hello (zero = RSA)
+	CtlTimeout time.Duration       // per-probe/per-command budget (default 2s)
 	Metrics    *obs.Registry
 	Logger     *slog.Logger
 }
@@ -87,6 +90,7 @@ func NewRemoteShard(cfg RemoteShardConfig) (*RemoteShard, error) {
 	rs := &RemoteShard{
 		shard:      cfg.Shard,
 		members:    cfg.Members,
+		scheme:     cfg.Scheme,
 		metrics:    cfg.Metrics,
 		logger:     cfg.Logger,
 		ctlTimeout: cfg.CtlTimeout,
@@ -165,9 +169,10 @@ func (rs *RemoteShard) newRequestClient(m MemberAddr) *wire.Client {
 		Addr: m.Addr,
 		Handshake: func(conn net.Conn) error {
 			w, err := sendHello(conn, Hello{
-				Kind:  HelloRouter,
-				Shard: uint32(rs.shard),
-				Epoch: rs.epoch.Load(),
+				Kind:   HelloRouter,
+				Scheme: uint8(rs.scheme),
+				Shard:  uint32(rs.shard),
+				Epoch:  rs.epoch.Load(),
 			})
 			if err != nil {
 				return err

@@ -157,6 +157,10 @@ func (r *Router) route(req []byte) (int, error) {
 		}
 	case *core.LoginRequest:
 		return r.ring.Shard(m.Username), nil
+	case *core.SessionOpen:
+		// Sessions bind to the account whose transactions they will
+		// confirm, so they live where that account's ledger lives.
+		return r.ring.Shard(m.Account), nil
 	case *core.ProvisionRequest:
 		return r.ring.Shard(m.PlatformID), nil
 	case *core.FallbackRequest:
@@ -170,6 +174,10 @@ func (r *Router) route(req []byte) (int, error) {
 	case *core.ProvisionComplete:
 		return r.nonceShard(m.Nonce), nil
 	case *core.LoginProof:
+		return r.nonceShard(m.Nonce), nil
+	case *core.SessionProve:
+		return r.nonceShard(m.Nonce), nil
+	case *core.ConfirmTxSession:
 		return r.nonceShard(m.Nonce), nil
 	case *core.FallbackAnswer:
 		r.mu.Lock()
@@ -219,6 +227,9 @@ func (r *Router) observe(idx int, req, resp []byte) {
 		case *core.LoginChallenge:
 			r.pinNonce(m.Nonce, idx)
 			return
+		case *core.SessionChallenge:
+			r.pinNonce(m.Nonce, idx)
+			return
 		case *core.FallbackChallenge:
 			r.mu.Lock()
 			r.captchaRoute.put(m.ID, idx)
@@ -241,6 +252,10 @@ func (r *Router) observe(idx int, req, resp []byte) {
 		case *core.ProvisionComplete:
 			r.unpinNonce(m.Nonce)
 		case *core.LoginProof:
+			r.unpinNonce(m.Nonce)
+		case *core.SessionProve:
+			r.unpinNonce(m.Nonce)
+		case *core.ConfirmTxSession:
 			r.unpinNonce(m.Nonce)
 		case *core.FallbackAnswer:
 			r.mu.Lock()

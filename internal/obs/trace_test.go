@@ -31,8 +31,8 @@ func TestUnwrapFrameLegacyAndCorrupt(t *testing.T) {
 	cases := [][]byte{
 		nil,
 		{},
-		{0x02},                   // legacy protocol frame, tag < envelopeLen
-		{0xF5, 1, 2, 3},          // truncated envelope
+		{0x02},                         // legacy protocol frame, tag < envelopeLen
+		{0xF5, 1, 2, 3},                // truncated envelope
 		bytes.Repeat([]byte{0x07}, 32), // legacy frame long enough but wrong tag
 	}
 	for i, frame := range cases {

@@ -96,6 +96,76 @@ func SignQuote(random io.Reader, key *rsa.PrivateKey, externalData [20]byte, sel
 	}, nil
 }
 
+// SignQuoteScheme is SignQuote for an arbitrary crypto profile: the
+// signer's scheme decides the signature algorithm while the
+// TPM_QUOTE_INFO message, composite computation, and wire layout stay
+// identical (the signature field is opaque bytes). An RSA scheme signer
+// produces byte-identical output to SignQuote over the same key and
+// state.
+func SignQuoteScheme(random io.Reader, signer cryptoutil.Signer, externalData [20]byte, selection []int, values []cryptoutil.Digest) (*Quote, error) {
+	sel, err := NormalizeSelection(selection)
+	if err != nil {
+		return nil, err
+	}
+	if len(values) != len(sel) {
+		return nil, fmt.Errorf("tpm: sign quote: %d values for %d selected PCRs", len(values), len(sel))
+	}
+	composite, err := ComputeComposite(sel, values)
+	if err != nil {
+		return nil, err
+	}
+	sig, err := signer.Sign(random, quoteInfoBytes(composite, externalData))
+	if err != nil {
+		return nil, fmt.Errorf("tpm: sign quote: %w", err)
+	}
+	vals := make([]cryptoutil.Digest, len(values))
+	copy(vals, values)
+	return &Quote{
+		CompositeDigest: composite,
+		ExternalData:    externalData,
+		Selection:       sel,
+		PCRValues:       vals,
+		Signature:       sig,
+	}, nil
+}
+
+// QuoteMessage recomputes the composite from the reported PCR values,
+// checks it against the signed composite, and returns the serialized
+// TPM_QUOTE_INFO the signature covers. Callers that route signature
+// checks elsewhere (scheme dispatch, cohort batch verification) use
+// this to split "is the quote internally consistent" from "does the
+// signature verify".
+func QuoteMessage(q *Quote) ([]byte, error) {
+	if q == nil {
+		return nil, fmt.Errorf("tpm: quote message: nil quote")
+	}
+	recomputed, err := ComputeComposite(q.Selection, q.PCRValues)
+	if err != nil {
+		return nil, fmt.Errorf("tpm: quote message: %w", err)
+	}
+	if recomputed != q.CompositeDigest {
+		return nil, ErrQuoteInconsistent
+	}
+	return quoteInfoBytes(q.CompositeDigest, q.ExternalData), nil
+}
+
+// VerifyQuoteScheme checks a quote under an arbitrary crypto profile:
+// composite consistency exactly as VerifyQuote, then the signature
+// under the scheme-encoded public key.
+func VerifyQuoteScheme(scheme cryptoutil.Scheme, pub []byte, q *Quote) error {
+	if scheme == nil || q == nil {
+		return fmt.Errorf("tpm: verify quote: nil argument")
+	}
+	msg, err := QuoteMessage(q)
+	if err != nil {
+		return err
+	}
+	if err := scheme.Verify(pub, msg, q.Signature); err != nil {
+		return fmt.Errorf("tpm: verify quote signature: %w", err)
+	}
+	return nil
+}
+
 // VerifyQuote checks a quote against an AIK public key: the reported PCR
 // values must hash to the signed composite, and the signature over
 // TPM_QUOTE_INFO must verify. It does not judge whether the PCR values

@@ -82,6 +82,11 @@ type DeploymentConfig struct {
 	// Ignored without Backend.
 	SnapshotEvery int
 
+	// SessionMaxTx / SessionMaxAge tune the provider's attested-session
+	// re-quote policy (zero values = provider defaults).
+	SessionMaxTx  uint32
+	SessionMaxAge time.Duration
+
 	// Metrics attaches a live metrics registry to every subsystem
 	// (client transport, network pipe, provider, store, fault plan if it
 	// supports it). nil runs unmetered; instrumented code paths cost
@@ -203,6 +208,8 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 		NonceTTL:              cfg.NonceTTL,
 		ConfirmThresholdCents: cfg.ConfirmThresholdCents,
 		SnapshotEvery:         cfg.SnapshotEvery,
+		SessionMaxTx:          cfg.SessionMaxTx,
+		SessionMaxAge:         cfg.SessionMaxAge,
 		Metrics:               cfg.Metrics,
 		Tracer:                cfg.Tracer,
 	}
@@ -218,6 +225,9 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 	approve(core.ProvisionPALName, core.ProvisionPALImage(provider.PublicKeyDER()))
 	approve(core.PINPALName, core.PINPALImage())
 	approve(core.BatchPALName, core.BatchPALImage())
+	approve(core.SessionConfirmPALName, core.SessionConfirmPALImage())
+	approve(core.SessionOpenPALNameFor(provider.PublicKeyDER()),
+		core.SessionOpenPALImage(provider.PublicKeyDER()))
 
 	accounts := cfg.Accounts
 	if accounts == nil {
@@ -329,6 +339,9 @@ func (d *Deployment) RestartProvider() error {
 	approve(core.ProvisionPALName, core.ProvisionPALImage(p.PublicKeyDER()))
 	approve(core.PINPALName, core.PINPALImage())
 	approve(core.BatchPALName, core.BatchPALImage())
+	approve(core.SessionConfirmPALName, core.SessionConfirmPALImage())
+	approve(core.SessionOpenPALNameFor(p.PublicKeyDER()),
+		core.SessionOpenPALImage(p.PublicKeyDER()))
 	d.Provider = p
 	d.Pipe.SetHandler(d.handle)
 	return nil

@@ -1,9 +1,9 @@
 package workload
 
 import (
-	"crypto/rsa"
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"unitp/internal/attest"
 	"unitp/internal/core"
@@ -16,55 +16,80 @@ import (
 // material alone — no simulated machine, host OS, or PAL run behind it.
 // Load generators and benchmarks use it to saturate a provider with
 // genuine crypto (real AIK certificate, real quote signature over the
-// real binding) at the cost of one RSA signature per proof, which is
-// what a provider-side throughput measurement needs: the provider does
-// full verification work while the client side stays cheap enough to
-// drive load.
+// real binding) at the cost of one signature per proof, which is what a
+// provider-side throughput measurement needs: the provider does full
+// verification work while the client side stays cheap enough to drive
+// load. The quote-signature algorithm is the client's crypto profile
+// (cryptoutil.Scheme); the provider under test must run the same one.
 type SyntheticClient struct {
 	// PlatformID is the certified pseudonym.
 	PlatformID string
 
-	aik   *rsa.PrivateKey
-	cert  *attest.AIKCert
-	pcr17 cryptoutil.Digest // capped launch state of the approved PAL
+	signer cryptoutil.Signer
+	cert   *attest.AIKCert
+	pcr17  cryptoutil.Digest // capped launch state of the approved PAL
+	random io.Reader
 }
 
-// NewSyntheticClient enrolls a fresh platform with the CA and prepares
-// evidence material attesting a launch of the PAL with the given
-// measurement. The provider under test must approve that measurement
-// (Verifier().ApprovePAL). Key size is a parameter so benchmarks can
+// NewSyntheticClient enrolls a fresh platform with the CA under the
+// paper-faithful RSA profile. Key size is a parameter so benchmarks can
 // trade client-side signing cost against realism; pass
 // cryptoutil.DefaultRSABits for production-sized keys.
 func NewSyntheticClient(ca *attest.PrivacyCA, platformID string, palMeasurement cryptoutil.Digest, random io.Reader, bits int) (*SyntheticClient, error) {
+	return NewSyntheticClientScheme(ca, platformID, palMeasurement, random, bits, nil)
+}
+
+// NewSyntheticClientScheme enrolls a fresh platform with the CA and
+// prepares evidence material attesting a launch of the PAL with the
+// given measurement, signing quotes under the given crypto profile (nil
+// = RSA at the given key size). The provider under test must approve
+// that measurement (Verifier().ApprovePAL) and verify the same profile.
+// The endorsement key stays RSA regardless of profile — it models TPM
+// hardware identity.
+func NewSyntheticClientScheme(ca *attest.PrivacyCA, platformID string, palMeasurement cryptoutil.Digest, random io.Reader, bits int, scheme cryptoutil.Scheme) (*SyntheticClient, error) {
 	ek, err := cryptoutil.GenerateRSAKey(random, bits)
 	if err != nil {
 		return nil, fmt.Errorf("workload: synthetic EK: %w", err)
 	}
-	aik, err := cryptoutil.GenerateRSAKey(random, bits)
-	if err != nil {
-		return nil, fmt.Errorf("workload: synthetic AIK: %w", err)
+	var signer cryptoutil.Signer
+	if scheme == nil || scheme.ID() == cryptoutil.SchemeRSA {
+		aik, err := cryptoutil.GenerateRSAKey(random, bits)
+		if err != nil {
+			return nil, fmt.Errorf("workload: synthetic AIK: %w", err)
+		}
+		signer = cryptoutil.NewRSASigner(aik)
+	} else {
+		signer, err = scheme.GenerateKey(random)
+		if err != nil {
+			return nil, fmt.Errorf("workload: synthetic AIK: %w", err)
+		}
 	}
 	if err := ca.EnrollEK(platformID, &ek.PublicKey); err != nil {
 		return nil, err
 	}
-	cert, err := ca.CertifyAIK(platformID, &ek.PublicKey, &aik.PublicKey)
+	cert, err := ca.CertifyAIKScheme(platformID, &ek.PublicKey, signer.Scheme(), signer.Public())
 	if err != nil {
 		return nil, err
 	}
 	return &SyntheticClient{
 		PlatformID: platformID,
-		aik:        aik,
+		signer:     signer,
 		cert:       cert,
 		pcr17:      platform.ExpectedPCR17Capped(palMeasurement),
+		random:     random,
 	}, nil
 }
 
+// Scheme reports the client's quote-signature profile.
+func (c *SyntheticClient) Scheme() cryptoutil.SchemeID { return c.signer.Scheme() }
+
 // quoteOver signs a quote binding the nonce and the given application
-// PCR value, and returns the marshalled evidence.
-func (c *SyntheticClient) quoteOver(nonce attest.Nonce, pcr23 cryptoutil.Digest) ([]byte, error) {
-	q, err := tpm.SignQuote(nil, c.aik, [20]byte(nonce),
+// PCR value against the given launch state, and returns the marshalled
+// evidence.
+func (c *SyntheticClient) quoteOver(pcr17 cryptoutil.Digest, nonce attest.Nonce, pcr23 cryptoutil.Digest) ([]byte, error) {
+	q, err := tpm.SignQuoteScheme(nil, c.signer, [20]byte(nonce),
 		[]int{tpm.PCRDRTM, tpm.PCRApp},
-		[]cryptoutil.Digest{c.pcr17, pcr23})
+		[]cryptoutil.Digest{pcr17, pcr23})
 	if err != nil {
 		return nil, err
 	}
@@ -76,10 +101,63 @@ func (c *SyntheticClient) quoteOver(nonce attest.Nonce, pcr23 cryptoutil.Digest)
 // confirmation: a quote whose PCR 23 carries the confirmation binding
 // of (nonce, transaction digest, decision).
 func (c *SyntheticClient) ConfirmEvidence(nonce attest.Nonce, txDigest cryptoutil.Digest, confirmed bool) ([]byte, error) {
-	return c.quoteOver(nonce, core.ExpectedAppPCR(core.ConfirmationBinding(nonce, txDigest, confirmed)))
+	return c.quoteOver(c.pcr17, nonce, core.ExpectedAppPCR(core.ConfirmationBinding(nonce, txDigest, confirmed)))
 }
 
 // PresenceEvidence mints evidence for a human-presence proof.
 func (c *SyntheticClient) PresenceEvidence(nonce attest.Nonce) ([]byte, error) {
-	return c.quoteOver(nonce, core.ExpectedAppPCR(core.PresenceBinding(nonce)))
+	return c.quoteOver(c.pcr17, nonce, core.ExpectedAppPCR(core.PresenceBinding(nonce)))
+}
+
+// SessionMaterial is one synthetic attested session: the HMAC key both
+// sides share after a successful open, plus the identifiers every
+// session-mode confirmation names. Counter hand-out is atomic so
+// concurrent workers can draw from one session.
+type SessionMaterial struct {
+	// ID is the client-chosen session identifier.
+	ID uint64
+
+	// Account is the account the session is bound to.
+	Account string
+
+	// Key is the session HMAC key.
+	Key []byte
+
+	// EncKey is the client's X25519 public share sent in SessionProve.
+	EncKey []byte
+
+	counter atomic.Uint64
+}
+
+// OpenSessionEvidence mints everything a SessionProve needs: a fresh
+// X25519 exchange against the provider's key-agreement key, and a quote
+// over the session binding — the synthetic equivalent of a session-open
+// PAL run. The provider under test must approve
+// core.SessionOpenPALNameFor(providerPubDER) at the measurement of
+// core.SessionOpenPALImage(providerPubDER).
+func (c *SyntheticClient) OpenSessionEvidence(nonce attest.Nonce, account string, sessionID uint64, providerPubDER, kexPub []byte) (*SessionMaterial, []byte, error) {
+	key, clientPub, err := core.SessionKeyExchange(c.random, kexPub, nonce)
+	if err != nil {
+		return nil, nil, fmt.Errorf("workload: session key exchange: %w", err)
+	}
+	openPCR17 := platform.ExpectedPCR17Capped(
+		cryptoutil.SHA1(core.SessionOpenPALImage(providerPubDER)))
+	binding := core.SessionBinding(nonce, account, sessionID, cryptoutil.SHA1(clientPub))
+	evidence, err := c.quoteOver(openPCR17, nonce, core.ExpectedAppPCR(binding))
+	if err != nil {
+		return nil, nil, err
+	}
+	return &SessionMaterial{
+		ID: sessionID, Account: account, Key: key, EncKey: clientPub,
+	}, evidence, nil
+}
+
+// ConfirmMAC draws the next counter value and MACs a session-mode
+// confirmation over it — the synthetic equivalent of a session-confirm
+// PAL run.
+func (s *SessionMaterial) ConfirmMAC(nonce attest.Nonce, txDigest cryptoutil.Digest, confirmed bool) (counter uint64, mac []byte) {
+	counter = s.counter.Add(1)
+	mac = cryptoutil.HMACSHA256(s.Key,
+		core.SessionMACMessage(nonce, txDigest, confirmed, s.ID, counter))
+	return counter, mac
 }
